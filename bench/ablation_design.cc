@@ -1,0 +1,190 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. OmniWAR deroute budget M (VCs vs. worst-case throughput on DCR)
+//   2. OmniWAR back-to-back same-dimension deroute restriction (§5.2 opt.)
+//   3. Weight bias (minimal-path stickiness) on UR and BC
+//   4. VC count sensitivity for DimWAR (spare VCs as HoL relief)
+//   5. Arbitration policy (age-based vs. round-robin)
+//   6. HyperX link trunking T (per-dimension bandwidth vs. ports)
+//
+// Flags: --scale=small --seed=7
+//        --section=all|deroutes|b2b|bias|vcs|arbiter|trunking
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/table.h"
+
+namespace {
+
+using namespace hxwar;
+using namespace hxwar::bench;
+
+harness::ExperimentConfig quick(harness::ExperimentConfig base) {
+  base.steady.maxWarmupWindows = 14;
+  base.steady.measureWindow = 2500;
+  base.steady.drainWindow = 6000;
+  return base;
+}
+
+void derouteBudget(const BenchOptions& opts) {
+  // BC keeps every dimension unaligned, so a full-distance packet can only
+  // deroute out of its saturated direct links if M > 0: the deroute budget
+  // is what buys worst-case throughput (and costs VCs). DCR, by contrast, is
+  // defeated by adaptive dimension ORDER, which every M provides.
+  std::printf("--- OmniWAR deroute budget M: VCs required (N+M) vs. throughput ---\n");
+  harness::Table table({"M", "classes (VCs)", "BC accepted @ 40%", "UR accepted @ 90%"});
+  for (const std::uint32_t m : {0u, 1u, 2u, 3u, 5u}) {
+    harness::ExperimentConfig cfg = quick(opts.base);
+    cfg.algorithm = "omniwar";
+    cfg.routingOpts.omniDeroutes = m;
+    if (3 + m > cfg.net.router.numVcs) break;  // needs N+M VCs
+    cfg.pattern = "bc";
+    cfg.injection.rate = 0.4;
+    const double bc = harness::Experiment(cfg).run().accepted;
+    cfg.pattern = "ur";
+    cfg.injection.rate = 0.9;
+    const double ur = harness::Experiment(cfg).run().accepted;
+    table.addRow({m == 0 ? "0 (deroutes only on slack)" : std::to_string(m),
+                  std::to_string(3 + m), harness::Table::pct(bc), harness::Table::pct(ur)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void backToBack(const BenchOptions& opts) {
+  std::printf("--- OmniWAR back-to-back same-dimension deroute restriction (§5.2) ---\n");
+  harness::Table table({"restriction", "pattern", "accepted", "lat_mean", "deroutes"});
+  for (const bool restrict_ : {false, true}) {
+    for (const char* pattern : {"bc", "dcr"}) {
+      harness::ExperimentConfig cfg = quick(opts.base);
+      cfg.algorithm = "omniwar";
+      cfg.routingOpts.omniRestrictBackToBack = restrict_;
+      cfg.pattern = pattern;
+      cfg.injection.rate = 0.4;
+      const auto r = harness::Experiment(cfg).run();
+      table.addRow({restrict_ ? "on" : "off", pattern, harness::Table::pct(r.accepted),
+                    r.saturated ? "-" : harness::Table::num(r.latencyMean, 1),
+                    harness::Table::num(r.avgDeroutes, 3)});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void weightBias(const BenchOptions& opts) {
+  std::printf("--- Weight bias (congestion + bias) x hops: stickiness to minimal ---\n");
+  harness::Table table({"bias", "UR@80% accepted", "UR deroutes", "BC@40% accepted",
+                        "BC lat_mean"});
+  for (const double bias : {0.5, 1.0, 4.0, 16.0, 64.0}) {
+    harness::ExperimentConfig cfg = quick(opts.base);
+    cfg.algorithm = "dimwar";
+    cfg.net.router.weightBias = bias;
+    cfg.pattern = "ur";
+    cfg.injection.rate = 0.8;
+    const auto ur = harness::Experiment(cfg).run();
+    cfg.pattern = "bc";
+    cfg.injection.rate = 0.4;
+    const auto bc = harness::Experiment(cfg).run();
+    table.addRow({harness::Table::num(bias, 1), harness::Table::pct(ur.accepted),
+                  harness::Table::num(ur.avgDeroutes, 3), harness::Table::pct(bc.accepted),
+                  bc.saturated ? "-" : harness::Table::num(bc.latencyMean, 1)});
+  }
+  table.print();
+  std::printf("(too small: deroutes on noise erode UR; too large: BC adapts late)\n\n");
+}
+
+void vcCount(const BenchOptions& opts) {
+  std::printf("--- VC count: DimWAR needs 2 classes; spares reduce HoL blocking ---\n");
+  harness::Table table({"VCs", "UR@80% accepted", "UR lat_mean", "BC@40% accepted"});
+  for (const std::uint32_t vcs : {2u, 4u, 8u}) {
+    harness::ExperimentConfig cfg = quick(opts.base);
+    cfg.algorithm = "dimwar";
+    cfg.net.router.numVcs = vcs;
+    cfg.pattern = "ur";
+    cfg.injection.rate = 0.8;
+    const auto ur = harness::Experiment(cfg).run();
+    cfg.pattern = "bc";
+    cfg.injection.rate = 0.4;
+    const auto bc = harness::Experiment(cfg).run();
+    table.addRow({std::to_string(vcs), harness::Table::pct(ur.accepted),
+                  ur.saturated ? "-" : harness::Table::num(ur.latencyMean, 1),
+                  harness::Table::pct(bc.accepted)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void arbitration(const BenchOptions& opts) {
+  std::printf("--- Arbitration policy: age-based (paper) vs. round-robin ---\n");
+  harness::Table table({"policy", "UR@80% lat_mean", "UR lat_p99", "BC@40% lat_mean"});
+  for (const auto policy : {net::ArbiterPolicy::kAgeBased, net::ArbiterPolicy::kRoundRobin}) {
+    harness::ExperimentConfig cfg = quick(opts.base);
+    cfg.algorithm = "dimwar";
+    cfg.net.router.arbiter = policy;
+    cfg.pattern = "ur";
+    cfg.injection.rate = 0.8;
+    const auto ur = harness::Experiment(cfg).run();
+    cfg.pattern = "bc";
+    cfg.injection.rate = 0.4;
+    const auto bc = harness::Experiment(cfg).run();
+    table.addRow({policy == net::ArbiterPolicy::kAgeBased ? "age-based" : "round-robin",
+                  ur.saturated ? "-" : harness::Table::num(ur.latencyMean, 1),
+                  ur.saturated ? "-" : harness::Table::num(ur.latencyP99, 1),
+                  bc.saturated ? "-" : harness::Table::num(bc.latencyMean, 1)});
+  }
+  table.print();
+  std::printf("(age-based arbitration bounds tail latency; the paper's platform uses it)\n\n");
+}
+
+void trunking(const BenchOptions& opts) {
+  std::printf("--- HyperX trunking T: parallel links per dimension pair ---\n");
+  std::printf("(2D 4x4, K=4: T=2 doubles per-dimension bandwidth at 6 extra ports)\n");
+  harness::Table table({"T", "ports/router", "BC accepted @ 60%", "UR accepted @ 90%"});
+  for (const std::uint32_t t : {1u, 2u}) {
+    harness::ExperimentConfig cfg = quick(opts.base);
+    cfg.widths = {4, 4};
+    cfg.terminalsPerRouter = 4;
+    cfg.algorithm = "dimwar";
+    topo::HyperX topo({cfg.widths, cfg.terminalsPerRouter, t});
+    // Rebuild through the raw pieces since ExperimentConfig has no T knob by
+    // design (the paper's system is untrunked); this ablation is the reason
+    // the topology supports it.
+    sim::Simulator sim1;
+    auto routing1 = routing::makeHyperXRouting("dimwar", topo, cfg.routingOpts);
+    net::Network net1(sim1, topo, *routing1, cfg.net);
+    auto bcPat = traffic::makePattern("bc", topo);
+    traffic::SyntheticInjector::Params inj = cfg.injection;
+    inj.rate = 0.6;
+    traffic::SyntheticInjector inj1(sim1, net1, *bcPat, inj);
+    const auto bc = metrics::runSteadyState(sim1, net1, inj1, cfg.steady);
+
+    sim::Simulator sim2;
+    auto routing2 = routing::makeHyperXRouting("dimwar", topo, cfg.routingOpts);
+    net::Network net2(sim2, topo, *routing2, cfg.net);
+    auto urPat = traffic::makePattern("ur", topo);
+    inj.rate = 0.9;
+    traffic::SyntheticInjector inj2(sim2, net2, *urPat, inj);
+    const auto ur = metrics::runSteadyState(sim2, net2, inj2, cfg.steady);
+
+    table.addRow({std::to_string(t), std::to_string(topo.numPorts(0)),
+                  harness::Table::pct(bc.accepted), harness::Table::pct(ur.accepted)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.parse(argc, argv);
+  auto opts = parseBenchOptions(argc, argv, {});
+  printHeader("Design ablations", "Sensitivity of the §5 design choices", opts);
+  const std::string section = flags.str("section", "all");
+  if (section == "all" || section == "deroutes") derouteBudget(opts);
+  if (section == "all" || section == "b2b") backToBack(opts);
+  if (section == "all" || section == "bias") weightBias(opts);
+  if (section == "all" || section == "vcs") vcCount(opts);
+  if (section == "all" || section == "arbiter") arbitration(opts);
+  if (section == "all" || section == "trunking") trunking(opts);
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "harness/csv.h"
+#include "harness/table.h"
+
+namespace hxwar::bench {
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaultLoads) {
+  Flags flags;
+  flags.parse(argc, argv);
+  BenchOptions opts;
+  opts.scale = flags.str("scale", "small");
+  opts.base = harness::scaleConfig(opts.scale);
+  opts.seed = flags.u64("seed", 7);
+  opts.base.injection.seed = opts.seed;
+  opts.base.net.rngSeed = opts.seed + 1;
+  opts.base.net.router.weightBias = flags.f64("bias", opts.base.net.router.weightBias);
+  if (flags.has("warmup-windows")) {
+    opts.base.steady.maxWarmupWindows =
+        static_cast<std::uint32_t>(flags.u64("warmup-windows", 25));
+  }
+  opts.loads = flags.f64List("loads", defaultLoads);
+  opts.csvPath = flags.str("csv", "");
+  const std::string algos = flags.str("algorithms", "");
+  opts.algorithms = algos.empty() ? routing::hyperxAlgorithmNames() : splitCsv(algos);
+  return opts;
+}
+
+void printHeader(const std::string& figure, const std::string& description,
+                 const BenchOptions& opts) {
+  std::printf("=== %s ===\n%s\n", figure.c_str(), description.c_str());
+  topo::HyperX topo({opts.base.widths, opts.base.terminalsPerRouter});
+  std::printf("scale=%s topology=%s vcs=%u chLat=%llu seed=%llu\n\n", opts.scale.c_str(),
+              topo.name().c_str(), opts.base.net.router.numVcs,
+              static_cast<unsigned long long>(opts.base.net.channelLatencyRouter),
+              static_cast<unsigned long long>(opts.seed));
+}
+
+void runLoadLatencyFigure(const std::string& figure, const std::string& description,
+                          const std::string& pattern, BenchOptions opts) {
+  printHeader(figure, description, opts);
+  std::printf("pattern: %s — load vs. latency; each series stops at saturation "
+              "(as in the paper's plots)\n\n", pattern.c_str());
+
+  const std::vector<std::string> columns = {"algorithm", "offered",  "accepted",
+                                            "lat_mean",  "lat_p50",  "lat_p99",
+                                            "hops",      "deroutes", "state"};
+  harness::Table table(columns);
+  harness::CsvWriter csv(opts.csvPath, columns);
+  for (const auto& algorithm : opts.algorithms) {
+    harness::ExperimentConfig cfg = opts.base;
+    cfg.algorithm = algorithm;
+    cfg.pattern = pattern;
+    const auto points = harness::loadLatencySweep(cfg, opts.loads);
+    for (const auto& p : points) {
+      const auto& r = p.result;
+      const std::vector<std::string> row = {
+          algorithm, harness::Table::pct(p.load), harness::Table::pct(r.accepted),
+          r.saturated ? "-" : harness::Table::num(r.latencyMean, 1),
+          r.saturated ? "-" : harness::Table::num(r.latencyP50, 1),
+          r.saturated ? "-" : harness::Table::num(r.latencyP99, 1),
+          harness::Table::num(r.avgHops, 2), harness::Table::num(r.avgDeroutes, 3),
+          r.saturated ? "SATURATED" : "stable"};
+      table.addRow(row);
+      csv.row(row);
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace hxwar::bench

@@ -1,0 +1,36 @@
+// Shared plumbing for the figure-regeneration benches: common flags, the
+// canonical algorithm list, and the load-latency printer that mirrors the
+// rows/series of the paper's plots.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "harness/experiment.h"
+
+namespace hxwar::bench {
+
+struct BenchOptions {
+  harness::ExperimentConfig base;       // scale preset with flags applied
+  std::vector<std::string> algorithms;  // canonical order
+  std::vector<double> loads;
+  std::uint64_t seed = 7;
+  std::string scale = "small";
+  std::string csvPath;                  // --csv=<file>: machine-readable copy
+};
+
+// Parses --scale, --algorithms, --loads, --seed, --warmup-windows, --bias, --csv.
+BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaultLoads);
+
+// Prints the figure banner: what the paper shows, what we run.
+void printHeader(const std::string& figure, const std::string& description,
+                 const BenchOptions& opts);
+
+// Runs the load-latency experiment of one synthetic pattern for every
+// algorithm and prints the series (Fig. 6a-f format). Returns the accepted
+// throughput of the highest stable load per algorithm.
+void runLoadLatencyFigure(const std::string& figure, const std::string& description,
+                          const std::string& pattern, BenchOptions opts);
+
+}  // namespace hxwar::bench

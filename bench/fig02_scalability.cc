@@ -1,0 +1,48 @@
+// Figure 2: scalability of low-diameter networks — maximum node count vs.
+// router radix, one series per topology (number in the name = diameter in
+// router traversals). Paper anchors at 64 ports: HyperX 2D 10,648 nodes,
+// 3D 78,608, 4D 463,736.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "harness/table.h"
+#include "topo/scalability.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar;
+  Flags flags;
+  flags.parse(argc, argv);
+  const auto minRadix = static_cast<std::uint32_t>(flags.u64("min-radix", 16));
+  const auto maxRadix = static_cast<std::uint32_t>(flags.u64("max-radix", 128));
+  const auto step = static_cast<std::uint32_t>(flags.u64("step", 16));
+
+  std::printf("=== Figure 2 ===\nScalability of low-diameter networks: max nodes vs. "
+              "router radix (>=50%% bisection design point)\n\n");
+
+  const auto series = topo::scalabilitySweep(minRadix, maxRadix, step);
+  std::vector<std::string> headers = {"radix"};
+  for (const auto& s : series) {
+    headers.push_back(s.name + "(" + std::to_string(s.diameter) + ")");
+  }
+  harness::Table table(headers);
+  const std::size_t points = series.front().points.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    std::vector<std::string> row = {std::to_string(series.front().points[i].radix)};
+    for (const auto& s : series) row.push_back(std::to_string(s.points[i].maxNodes));
+    table.addRow(std::move(row));
+  }
+  table.print();
+
+  const auto shape2 = topo::hyperxBestShape(64, 2);
+  const auto shape3 = topo::hyperxBestShape(64, 3);
+  std::printf("\n64-port anchors (paper: 10,648 / 78,608 / 463,736):\n"
+              "  HyperX-2D: %llu nodes (S=%u, K=%u)\n"
+              "  HyperX-3D: %llu nodes (S=%u, K=%u)\n"
+              "  HyperX-4D: %llu nodes\n",
+              static_cast<unsigned long long>(topo::hyperxMaxNodes(64, 2)), shape2.width,
+              shape2.terminals,
+              static_cast<unsigned long long>(topo::hyperxMaxNodes(64, 3)), shape3.width,
+              shape3.terminals,
+              static_cast<unsigned long long>(topo::hyperxMaxNodes(64, 4)));
+  return 0;
+}

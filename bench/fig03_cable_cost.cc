@@ -1,0 +1,52 @@
+// Figure 3: cabling cost of the Dragonfly relative to the HyperX across
+// system sizes and cable technologies. Paper: with DAC+AOC generations the
+// Dragonfly is ~10% cheaper at large scale (the 2008 result); with passive
+// optical cables the HyperX is always lower or equal in cost.
+//
+// Values > 1.00 mean the Dragonfly is MORE expensive than the HyperX.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "cost/cost_model.h"
+#include "harness/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar;
+  Flags flags;
+  flags.parse(argc, argv);
+  const auto radix = static_cast<std::uint32_t>(flags.u64("radix", 64));
+
+  std::printf("=== Figure 3 ===\nDragonfly cabling cost relative to HyperX "
+              "(cost-per-node ratio; >1.00 = Dragonfly more expensive)\n"
+              "radix=%u routers, one HyperX X-line or one Dragonfly group per rack\n\n",
+              radix);
+
+  const std::vector<std::uint64_t> sizes = {1024, 2048, 4096, 8192, 16384, 32768, 65536};
+  const auto& techs = cost::standardTechnologies();
+  cost::FloorPlan plan;
+  const auto rows = cost::fig3Sweep(sizes, radix, techs, plan);
+
+  std::vector<std::string> headers = {"nodes", "hx-nodes", "df-nodes"};
+  for (const auto& t : techs) headers.push_back(t.name);
+  harness::Table table(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {std::to_string(row.requestedNodes),
+                                      std::to_string(row.hyperxNodes),
+                                      std::to_string(row.dragonflyNodes)};
+    for (const double rel : row.relativeCost) cells.push_back(harness::Table::num(rel, 3));
+    table.addRow(std::move(cells));
+  }
+  table.print();
+
+  // Per-technology verdict at the largest size.
+  const auto& last = rows.back();
+  std::printf("\nAt %llu nodes:\n", static_cast<unsigned long long>(last.requestedNodes));
+  for (std::size_t t = 0; t < techs.size(); ++t) {
+    std::printf("  %-16s Dragonfly/HyperX = %.3f (%s)\n", techs[t].name.c_str(),
+                last.relativeCost[t],
+                last.relativeCost[t] < 1.0 ? "Dragonfly cheaper" : "HyperX cheaper or equal");
+  }
+  std::printf("\n(paper: DAC+AOC -> Dragonfly ~10%% cheaper at scale; passive optics -> "
+              "HyperX always lower or equal)\n");
+  return 0;
+}

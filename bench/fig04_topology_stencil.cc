@@ -1,0 +1,171 @@
+// Figure 4: topology performance comparison with 27-point stencil traffic —
+// Fat tree vs. Dragonfly vs. HyperX at equal node count, each with its best
+// practical routing (fat tree: adaptive up/down; Dragonfly: UGAL; HyperX:
+// DimWAR and OmniWAR). Paper: the HyperX yields a 25-38% reduction in
+// communication time, from lower collective latency and higher adaptive
+// throughput during halo exchanges. Lower is better.
+//
+// Flags: --halo-kb=48 --iterations=1 --seed=7 --nodes=256|4096
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "app/stencil.h"
+#include "common/flags.h"
+#include "harness/table.h"
+#include "net/network.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/fattree_routing.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hyperx.h"
+
+namespace {
+
+using namespace hxwar;
+
+struct Candidate {
+  std::string name;
+  std::function<std::unique_ptr<topo::Topology>()> makeTopo;
+  std::function<std::unique_ptr<routing::RoutingAlgorithm>(const topo::Topology&)> makeRouting;
+};
+
+app::StencilResult runStencil(const Candidate& cand, std::uint64_t haloBytes,
+                              std::uint32_t iterations, app::StencilMode mode,
+                              std::uint64_t seed, std::array<std::uint32_t, 3> grid) {
+  sim::Simulator sim;
+  auto topo = cand.makeTopo();
+  auto routing = cand.makeRouting(*topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 8;
+  cfg.router.inputBufferDepth = 48;
+  cfg.router.outputQueueDepth = 32;
+  cfg.router.inputSpeedup = 4;
+  cfg.rngSeed = seed + 1;
+  net::Network network(sim, *topo, *routing, cfg);
+  app::StencilConfig sc;
+  sc.grid = grid;
+  sc.haloBytesPerNode = haloBytes;
+  sc.iterations = iterations;
+  sc.mode = mode;
+  sc.seed = seed;
+  app::StencilApp stencil(network, sc);
+  return stencil.run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.parse(argc, argv);
+  const std::uint64_t haloBytes = flags.u64("halo-kb", 48) * 1024;
+  const auto iterations = static_cast<std::uint32_t>(flags.u64("iterations", 1));
+  const std::uint64_t seed = flags.u64("seed", 7);
+  const bool paperScale = flags.u64("nodes", 256) >= 4096;
+
+  std::vector<Candidate> candidates;
+  std::array<std::uint32_t, 3> grid{};
+  if (!paperScale) {
+    grid = {8, 8, 4};  // 256 processes
+    candidates.push_back(
+        {"FatTree (adaptive)",
+         [] { return std::make_unique<topo::FatTree>(topo::FatTree::Params{{4, 8, 8}, {4, 8}}); },
+         [](const topo::Topology& t) {
+           return routing::makeFatTreeRouting(static_cast<const topo::FatTree&>(t));
+         }});
+    candidates.push_back(
+        {"FatTree (2:1 taper)",
+         [] { return std::make_unique<topo::FatTree>(topo::FatTree::Params{{4, 8, 8}, {4, 4}}); },
+         [](const topo::Topology& t) {
+           return routing::makeFatTreeRouting(static_cast<const topo::FatTree&>(t));
+         }});
+    candidates.push_back(
+        {"Dragonfly (UGAL)",
+         [] { return std::make_unique<topo::Dragonfly>(topo::Dragonfly::Params{4, 8, 4, 8}); },
+         [](const topo::Topology& t) {
+           return routing::makeDragonflyRouting("ugal", static_cast<const topo::Dragonfly&>(t));
+         }});
+    candidates.push_back(
+        {"Dragonfly (PAR)",
+         [] { return std::make_unique<topo::Dragonfly>(topo::Dragonfly::Params{4, 8, 4, 8}); },
+         [](const topo::Topology& t) {
+           return routing::makeDragonflyRouting("par", static_cast<const topo::Dragonfly&>(t));
+         }});
+    candidates.push_back(
+        {"HyperX (DimWAR)",
+         [] { return std::make_unique<topo::HyperX>(topo::HyperX::Params{{4, 4, 4}, 4}); },
+         [](const topo::Topology& t) {
+           return routing::makeHyperXRouting("dimwar", static_cast<const topo::HyperX&>(t));
+         }});
+    candidates.push_back(
+        {"HyperX (OmniWAR)",
+         [] { return std::make_unique<topo::HyperX>(topo::HyperX::Params{{4, 4, 4}, 4}); },
+         [](const topo::Topology& t) {
+           return routing::makeHyperXRouting("omniwar", static_cast<const topo::HyperX&>(t));
+         }});
+  } else {
+    grid = {16, 16, 16};  // 4,096 processes (paper scale)
+    candidates.push_back(
+        {"FatTree (adaptive)",
+         [] {
+           return std::make_unique<topo::FatTree>(topo::FatTree::Params{{16, 16, 16}, {8, 16}});
+         },
+         [](const topo::Topology& t) {
+           return routing::makeFatTreeRouting(static_cast<const topo::FatTree&>(t));
+         }});
+    candidates.push_back(
+        {"Dragonfly (UGAL)",
+         [] { return std::make_unique<topo::Dragonfly>(topo::Dragonfly::Params{8, 16, 8, 32}); },
+         [](const topo::Topology& t) {
+           return routing::makeDragonflyRouting("ugal", static_cast<const topo::Dragonfly&>(t));
+         }});
+    candidates.push_back(
+        {"HyperX (OmniWAR)",
+         [] { return std::make_unique<topo::HyperX>(topo::HyperX::Params{{8, 8, 8}, 8}); },
+         [](const topo::Topology& t) {
+           return routing::makeHyperXRouting("omniwar", static_cast<const topo::HyperX&>(t));
+         }});
+  }
+
+  std::printf("=== Figure 4 ===\n");
+  std::printf("27-pt stencil execution time across topologies (equal node count, "
+              "halo %llu kB/node, %u iteration(s)). Lower is better.\n\n",
+              static_cast<unsigned long long>(haloBytes / 1024), iterations);
+
+  const std::vector<std::pair<std::string, app::StencilMode>> modes = {
+      {"collective", app::StencilMode::kCollectiveOnly},
+      {"exchange", app::StencilMode::kExchangeOnly},
+      {"full", app::StencilMode::kFull}};
+
+  harness::Table table({"topology", "collective", "exchange", "full", "vs. best non-HyperX"});
+  std::vector<std::array<Tick, 3>> results;
+  for (const auto& cand : candidates) {
+    std::array<Tick, 3> r{};
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      r[m] = runStencil(cand, haloBytes, iterations, modes[m].second, seed, grid).makespan;
+    }
+    results.push_back(r);
+  }
+  // "Communication time reduction" of each HyperX row vs. the best
+  // non-HyperX full-app time.
+  Tick bestOther = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].name.rfind("HyperX", 0) != 0) {
+      if (bestOther == 0 || results[i][2] < bestOther) bestOther = results[i][2];
+    }
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::string delta = "-";
+    if (candidates[i].name.rfind("HyperX", 0) == 0 && bestOther > 0) {
+      const double red = 1.0 - static_cast<double>(results[i][2]) / bestOther;
+      delta = harness::Table::pct(red) + " faster";
+    }
+    table.addRow({candidates[i].name, std::to_string(results[i][0]),
+                  std::to_string(results[i][1]), std::to_string(results[i][2]), delta});
+  }
+  table.print();
+  std::printf("\n(paper: HyperX 25-38%% communication-time reduction vs. Fat tree/Dragonfly)\n");
+  return 0;
+}

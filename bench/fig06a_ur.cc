@@ -1,0 +1,11 @@
+// Figure 6a: uniform random traffic. Paper: all adaptive algorithms choose
+// minimal routes; OmniWAR slightly best (Min-AD-like minimal path diversity);
+// every algorithm approaches full throughput.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.2, 0.4, 0.6, 0.8, 0.9});
+  runLoadLatencyFigure("Figure 6a", "Load vs. latency, uniform random (UR)", "ur", opts);
+  return 0;
+}

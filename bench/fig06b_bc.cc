@@ -1,0 +1,12 @@
+// Figure 6b: bit complement. Paper: minimal routing saturates when each
+// dimension's direct links saturate (1/K injection); adaptive algorithms
+// sense the congestion, take non-minimal routes and reach ~50%; DimWAR and
+// OmniWAR have lower latency and higher throughput than UGAL and Clos-AD.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.1, 0.2, 0.3, 0.4, 0.45});
+  runLoadLatencyFigure("Figure 6b", "Load vs. latency, bit complement (BC)", "bc", opts);
+  return 0;
+}

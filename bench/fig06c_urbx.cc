@@ -1,0 +1,11 @@
+// Figure 6c: URBx — the first dimension unbalanced, others uniform. Paper:
+// the congestion is visible at the source router, so every adaptive
+// algorithm load-balances and reaches ~50%.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.1, 0.2, 0.3, 0.4, 0.45});
+  runLoadLatencyFigure("Figure 6c", "Load vs. latency, URBx (X dim unbalanced)", "urbx", opts);
+  return 0;
+}

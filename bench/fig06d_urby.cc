@@ -1,0 +1,12 @@
+// Figure 6d: URBy — the *second* dimension unbalanced. Paper's headline:
+// source-adaptive UGAL/Clos-AD cannot see the dimension-2 congestion from
+// the source and collapse to DOR-level throughput (1/K), while incremental
+// DimWAR/OmniWAR route around it and reach ~50%.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.1, 0.2, 0.3, 0.4, 0.45});
+  runLoadLatencyFigure("Figure 6d", "Load vs. latency, URBy (Y dim unbalanced)", "urby", opts);
+  return 0;
+}

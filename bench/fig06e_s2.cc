@@ -1,0 +1,11 @@
+// Figure 6e: Swap-2 — adversarial in one dimension per terminal parity, with
+// lots of unused bandwidth. Paper: UGAL degenerates to VAL (~50%); Clos-AD
+// (UGAL+) exploits the spare bandwidth; DimWAR/OmniWAR reach full throughput.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.2, 0.4, 0.6, 0.8, 0.9});
+  runLoadLatencyFigure("Figure 6e", "Load vs. latency, Swap-2 (S2)", "s2", opts);
+  return 0;
+}

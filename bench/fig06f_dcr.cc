@@ -1,0 +1,12 @@
+// Figure 6f: DCR — worst-case admissible traffic for a 3D HyperX. Paper:
+// DOR collapses to 1/(K*S); DimWAR suffers from forced dimension order;
+// UGAL/UGAL+ do slightly better; only OmniWAR reaches the theoretical 50%.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace hxwar::bench;
+  auto opts = parseBenchOptions(argc, argv, {0.05, 0.125, 0.25, 0.375, 0.45});
+  runLoadLatencyFigure("Figure 6f", "Load vs. latency, DCR (worst-case admissible)", "dcr",
+                       opts);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 8: 27-point stencil discretization on the 3D HyperX, comparing all
+// routing algorithms. Three panels:
+//   (a) collectives only  — all algorithms except VAL perform well
+//   (b) halo exchange only — DOR worst, VAL second worst, WARs best
+//   (c) full application   — DimWAR/OmniWAR best, OmniWAR slightly ahead
+// Run with 1 iteration (spread-out communication) and N iterations
+// (back-to-back phases), like the paper. Lower is better.
+//
+// Flags: --scale, --algorithms, --halo-kb (default scaled to network size),
+//        --iterations-list=1,4, --phase=collective|exchange|full|all, --seed
+#include <cstdio>
+
+#include "app/stencil.h"
+#include "bench_common.h"
+#include "harness/table.h"
+
+namespace {
+
+hxwar::app::StencilConfig stencilConfigFor(const hxwar::harness::ExperimentConfig& base,
+                                           std::uint64_t haloBytes, std::uint32_t iterations,
+                                           hxwar::app::StencilMode mode, std::uint64_t seed) {
+  hxwar::app::StencilConfig sc;
+  // Process grid = one process per node; grid shaped like the router grid
+  // scaled by terminals (e.g. 4x4x4 routers x 4 terminals -> 8x8x4 procs).
+  const std::uint32_t k = base.terminalsPerRouter;
+  sc.grid = {base.widths[0] * (k >= 2 ? 2 : 1),
+             base.widths[1] * (k >= 4 ? 2 : 1),
+             base.widths[2] * (k >= 8 ? 2 : 1)};
+  sc.haloBytesPerNode = haloBytes;
+  sc.iterations = iterations;
+  sc.mode = mode;
+  sc.seed = seed;
+  return sc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hxwar;
+  using namespace hxwar::bench;
+  Flags flags;
+  flags.parse(argc, argv);
+  auto opts = parseBenchOptions(argc, argv, {});
+  printHeader("Figure 8", "27-point stencil execution time (cycles, lower is better)", opts);
+
+  // The paper sends 100 kB per node per halo on 4,096 nodes; scale the
+  // default with node count so the small preset finishes quickly.
+  const std::uint32_t nodes = opts.base.widths[0] * opts.base.widths[1] *
+                              opts.base.widths[2] * opts.base.terminalsPerRouter;
+  const std::uint64_t defaultHaloKb = nodes >= 4096 ? 100 : 48;
+  const std::uint64_t haloBytes = flags.u64("halo-kb", defaultHaloKb) * 1024;
+  const auto iterList = flags.f64List("iterations-list", {1, 4});
+  const std::string phaseArg = flags.str("phase", "all");
+
+  std::vector<std::pair<std::string, app::StencilMode>> phases;
+  if (phaseArg == "all") {
+    phases = {{"collective", app::StencilMode::kCollectiveOnly},
+              {"exchange", app::StencilMode::kExchangeOnly},
+              {"full", app::StencilMode::kFull}};
+  } else {
+    phases = {{phaseArg, app::stencilModeFromString(phaseArg)}};
+  }
+
+  for (const auto& [phaseName, mode] : phases) {
+    std::printf("--- Fig. 8%c: %s-only %s---\n",
+                phaseName == "collective" ? 'a' : (phaseName == "exchange" ? 'b' : 'c'),
+                phaseName.c_str(), phaseName == "full" ? "(exchange+collective) " : "");
+    harness::Table table({"algorithm", "iterations", "makespan", "per-iter", "msgs"});
+    for (const double itD : iterList) {
+      const auto iterations = static_cast<std::uint32_t>(itD);
+      for (const auto& algorithm : opts.algorithms) {
+        harness::ExperimentConfig cfg = opts.base;
+        cfg.algorithm = algorithm;
+        harness::Experiment exp(cfg);
+        app::StencilApp stencil(
+            exp.network(),
+            stencilConfigFor(cfg, haloBytes, iterations, mode, opts.seed));
+        const auto r = stencil.run();
+        table.addRow({algorithm, std::to_string(iterations),
+                      std::to_string(r.makespan),
+                      harness::Table::num(static_cast<double>(r.makespan) / iterations, 0),
+                      std::to_string(r.messages)});
+      }
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

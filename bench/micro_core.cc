@@ -1,0 +1,128 @@
+// Microbenchmarks of the simulator substrate (google-benchmark): event queue
+// throughput, RNG, traffic-pattern destination generation, routing-candidate
+// computation, and end-to-end simulation rate. These are the knobs that set
+// how much wall time a cycle-accurate point costs.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace {
+
+using namespace hxwar;
+
+class NullComponent final : public sim::Component {
+ public:
+  explicit NullComponent(sim::Simulator& sim) : Component(sim, "null") {}
+  void processEvent(std::uint64_t) override {}
+};
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(1);
+  const std::size_t batch = 1024;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.push(rng.below(1000), sim::kEpsRouter, nullptr, i);
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    NullComponent c(sim);
+    for (Tick t = 0; t < 4096; ++t) sim.schedule(t, sim::kEpsRouter, &c, t);
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsProcessed());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_SimulatorDispatch);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngBelow(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.below(4096));
+}
+BENCHMARK(BM_RngBelow);
+
+void BM_PatternDest(benchmark::State& state) {
+  topo::HyperX topo({{8, 8, 8}, 8});
+  const auto pattern = traffic::makePattern(
+      state.range(0) == 0 ? "ur" : (state.range(0) == 1 ? "urby" : "dcr"), topo);
+  Rng rng(3);
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern->dest(src, rng));
+    src = (src + 1) % topo.numNodes();
+  }
+}
+BENCHMARK(BM_PatternDest)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RouteCandidates(benchmark::State& state) {
+  sim::Simulator sim;
+  topo::HyperX topo({{8, 8, 8}, 8});
+  const char* names[] = {"dor", "ugal", "dimwar", "omniwar"};
+  auto routing = routing::makeHyperXRouting(names[state.range(0)], topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  std::vector<routing::Candidate> out;
+  net::Packet pkt;
+  pkt.src = 0;
+  pkt.dst = 4095;
+  Rng rng(5);
+  for (auto _ : state) {
+    out.clear();
+    pkt.intermediate = kRouterInvalid;
+    pkt.minimalCommitted = false;
+    pkt.phase2 = false;
+    const RouterId r = static_cast<RouterId>(rng.below(topo.numRouters()));
+    const routing::RouteContext ctx{network.router(r), 0, 0, true, 0};
+    if (r == topo.nodeRouter(pkt.dst)) continue;
+    routing->route(ctx, pkt, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_RouteCandidates)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->ArgNames({"alg"});
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Simulated cycles per wall second on the small network at moderate load.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    topo::HyperX topo({{4, 4, 4}, 4});
+    auto routing = routing::makeHyperXRouting("dimwar", topo);
+    net::NetworkConfig cfg;
+    cfg.channelLatencyRouter = 8;
+    net::Network network(sim, topo, *routing, cfg);
+    traffic::UniformRandom pattern(topo.numNodes());
+    traffic::SyntheticInjector::Params params;
+    params.rate = 0.4;
+    traffic::SyntheticInjector injector(sim, network, pattern, params);
+    injector.start();
+    sim.run(2000);
+    injector.stop();
+    sim.run();
+    benchmark::DoNotOptimize(network.flitsEjected());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);  // simulated cycles
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

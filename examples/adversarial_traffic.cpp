@@ -1,0 +1,102 @@
+// Adversarial traffic deep-dive: runs one traffic pattern at a fixed load
+// under several routing algorithms and shows *where* the traffic goes — the
+// hottest links, the load imbalance across the fabric, and how many deroutes
+// each algorithm spent. This makes the paper's source-vs-incremental argument
+// visible: under URBy, DOR/UGAL funnel everything through a few Y-links the
+// source cannot see, while DimWAR/OmniWAR spread the same traffic.
+//
+// Usage: adversarial_traffic [--pattern=urby] [--load=0.35]
+//                            [--algorithms=dor,ugal,dimwar,omniwar]
+//                            [--scale=small] [--cycles=6000] [--top=5]
+#include <cstdio>
+#include <sstream>
+
+#include "common/flags.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "metrics/link_util.h"
+#include "topo/hyperx.h"
+
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string describePort(const hxwar::topo::HyperX& topo, hxwar::RouterId r,
+                         hxwar::PortId p, bool toTerminal) {
+  std::ostringstream os;
+  std::vector<std::uint32_t> c;
+  topo.coords(r, c);
+  os << "(" << c[0];
+  for (std::size_t d = 1; d < c.size(); ++d) os << "," << c[d];
+  os << ")";
+  if (toTerminal) {
+    os << "->T" << p;
+  } else {
+    const auto mv = topo.portMove(r, p);
+    os << "->dim" << mv.dim << "@" << mv.toCoord;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hxwar;
+  Flags flags;
+  flags.parse(argc, argv);
+
+  harness::ExperimentConfig base = harness::scaleConfig(flags.str("scale", "small"));
+  base.pattern = flags.str("pattern", "urby");
+  base.injection.rate = flags.f64("load", 0.35);
+  const Tick cycles = flags.u64("cycles", 6000);
+  const auto top = static_cast<std::size_t>(flags.u64("top", 5));
+  const auto algorithms = splitCsv(flags.str("algorithms", "dor,ugal,dimwar,omniwar"));
+
+  std::printf("Adversarial traffic anatomy: pattern=%s offered=%.2f\n\n",
+              base.pattern.c_str(), base.injection.rate);
+
+  for (const auto& algorithm : algorithms) {
+    harness::ExperimentConfig cfg = base;
+    cfg.algorithm = algorithm;
+    harness::Experiment exp(cfg);
+    exp.injector().start();
+    exp.sim().run(cycles / 2);  // warm up
+    metrics::LinkUtilization links(exp.network());
+    const auto ejectedBefore = exp.network().flitsEjected();
+    const Tick t0 = exp.sim().now();
+    exp.sim().run(t0 + cycles);
+    exp.injector().stop();
+
+    const double accepted = static_cast<double>(exp.network().flitsEjected() - ejectedBefore) /
+                            (static_cast<double>(exp.network().numNodes()) * cycles);
+    const auto summary = links.summarize();
+    std::printf("--- %s: accepted %.1f%%, link utilization mean %.2f / max %.2f "
+                "(imbalance %.1fx)\n",
+                algorithm.c_str(), accepted * 100.0, summary.meanUtilization,
+                summary.maxUtilization, summary.imbalance);
+
+    harness::Table table({"link", "flits", "util", "deroute grants"});
+    std::size_t shown = 0;
+    for (const auto& load : links.snapshot()) {
+      if (load.toTerminal) continue;
+      table.addRow({describePort(exp.hyperx(), load.router, load.port, load.toTerminal),
+                    std::to_string(load.flits), harness::Table::num(load.utilization, 2),
+                    std::to_string(load.deroutes)});
+      if (++shown >= top) break;
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Reading the output: a high max/mean imbalance with low accepted throughput\n"
+              "is the bottleneck the source-adaptive algorithms cannot see; incremental\n"
+              "algorithms show near-1x imbalance at the same offered load.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Cable-cost explorer: builds the physical bill of materials for a HyperX and
+// a Dragonfly of the requested size and compares cable-length distributions
+// and cost under every signaling technology (the machinery behind Fig. 3).
+//
+// Usage: cost_explorer [--nodes=8192] [--radix=64] [--nodes-per-rack=288]
+#include <algorithm>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "cost/cost_model.h"
+#include "harness/table.h"
+
+namespace {
+
+void printBom(const hxwar::cost::CableBom& bom) {
+  using hxwar::harness::Table;
+  std::printf("%s — %llu nodes, %zu cables, %.0f m total\n", bom.description.c_str(),
+              static_cast<unsigned long long>(bom.nodes), bom.lengthsM.size(),
+              bom.totalLength());
+  // Length histogram.
+  const double buckets[] = {1.0, 3.0, 5.0, 8.0, 15.0, 30.0, 1e9};
+  const char* labels[] = {"<=1m", "<=3m", "<=5m", "<=8m", "<=15m", "<=30m", ">30m"};
+  std::size_t counts[7] = {};
+  for (const double len : bom.lengthsM) {
+    for (int b = 0; b < 7; ++b) {
+      if (len <= buckets[b]) {
+        counts[b] += 1;
+        break;
+      }
+    }
+  }
+  Table hist({"length", "cables", "share"});
+  for (int b = 0; b < 7; ++b) {
+    hist.addRow({labels[b], std::to_string(counts[b]),
+                 Table::pct(static_cast<double>(counts[b]) / bom.lengthsM.size())});
+  }
+  hist.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hxwar;
+  Flags flags;
+  flags.parse(argc, argv);
+  const std::uint64_t nodes = flags.u64("nodes", 8192);
+  const auto radix = static_cast<std::uint32_t>(flags.u64("radix", 64));
+
+  cost::FloorPlan plan;
+  plan.nodesPerRack = static_cast<std::uint32_t>(flags.u64("nodes-per-rack", 288));
+
+  const auto hx = cost::hyperxForSize(nodes, radix, plan);
+  const auto df = cost::dragonflyForSize(nodes, radix, plan);
+
+  std::printf("Cable bill of materials for ~%llu nodes, radix-%u routers\n\n",
+              static_cast<unsigned long long>(nodes), radix);
+  printBom(hx);
+  printBom(df);
+
+  harness::Table table({"technology", "HyperX $/node", "Dragonfly $/node", "DF/HX"});
+  for (const auto& tech : cost::standardTechnologies()) {
+    const double hxCost = hx.costPerNode(tech);
+    const double dfCost = df.costPerNode(tech);
+    table.addRow({tech.name, harness::Table::num(hxCost, 2), harness::Table::num(dfCost, 2),
+                  harness::Table::num(dfCost / hxCost, 3)});
+  }
+  table.print();
+  std::printf("\nDF/HX > 1.000 means the HyperX cables cost less per node.\n");
+  return 0;
+}

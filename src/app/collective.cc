@@ -1,0 +1,203 @@
+#include "app/collective.h"
+
+#include <numeric>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace hxwar::app {
+namespace {
+
+std::uint32_t ceilLog2(std::uint32_t n) {
+  std::uint32_t r = 0;
+  while ((1u << r) < n) ++r;
+  return r;
+}
+
+bool isPow2(std::uint32_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+CollectiveKind collectiveKindFromString(const std::string& s) {
+  if (s == "dissemination") return CollectiveKind::kDissemination;
+  if (s == "recursive-doubling" || s == "rd") return CollectiveKind::kRecursiveDoubling;
+  if (s == "ring") return CollectiveKind::kRing;
+  if (s == "all-to-all" || s == "a2a") return CollectiveKind::kAllToAll;
+  HXWAR_CHECK_MSG(false, ("unknown collective: " + s).c_str());
+  return CollectiveKind::kDissemination;
+}
+
+std::string collectiveKindName(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kDissemination: return "dissemination";
+    case CollectiveKind::kRecursiveDoubling: return "recursive-doubling";
+    case CollectiveKind::kRing: return "ring";
+    case CollectiveKind::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
+
+CollectiveApp::CollectiveApp(net::Network& network, CollectiveConfig config)
+    : network_(network),
+      config_(config),
+      numProcs_(config.processes == 0 ? network.numNodes() : config.processes),
+      messages_(network, config.message) {
+  HXWAR_CHECK_MSG(numProcs_ >= 2, "collective needs at least two processes");
+  HXWAR_CHECK_MSG(numProcs_ <= network.numNodes(), "more processes than nodes");
+  if (config_.kind == CollectiveKind::kRecursiveDoubling) {
+    HXWAR_CHECK_MSG(isPow2(numProcs_), "recursive doubling needs a power-of-two P");
+  }
+
+  placement_.resize(numProcs_);
+  std::iota(placement_.begin(), placement_.end(), 0u);
+  if (config_.randomPlacement) {
+    std::vector<NodeId> nodes(network.numNodes());
+    std::iota(nodes.begin(), nodes.end(), 0u);
+    Rng rng(config_.seed);
+    rng.shuffle(nodes);
+    for (std::uint32_t p = 0; p < numProcs_; ++p) placement_[p] = nodes[p];
+  }
+  procOfNode_.assign(network.numNodes(), kNodeInvalid);
+  for (std::uint32_t p = 0; p < numProcs_; ++p) procOfNode_[placement_[p]] = p;
+
+  buildSchedule();
+  procs_.resize(numProcs_);
+  const std::size_t slots = static_cast<std::size_t>(config_.repetitions) * rounds_;
+  for (auto& p : procs_) {
+    p.recv.assign(slots, 0);
+    p.sent.assign(slots, 0);
+  }
+  messages_.setDeliveryHandler([this](const Message& m) { onDelivery(m); });
+}
+
+void CollectiveApp::buildSchedule() {
+  schedule_.assign(numProcs_, {});
+  switch (config_.kind) {
+    case CollectiveKind::kDissemination: {
+      rounds_ = ceilLog2(numProcs_);
+      for (std::uint32_t p = 0; p < numProcs_; ++p) {
+        for (std::uint32_t r = 0; r < rounds_; ++r) {
+          const std::uint32_t k = 1u << r;
+          RoundPlan plan;
+          plan.sendTo = {(p + k) % numProcs_, (p + numProcs_ - k) % numProcs_};
+          plan.expectRecv = 2;
+          plan.bytes = config_.bytes;  // whole value each round
+          schedule_[p].push_back(std::move(plan));
+        }
+      }
+      break;
+    }
+    case CollectiveKind::kRecursiveDoubling: {
+      rounds_ = ceilLog2(numProcs_);
+      for (std::uint32_t p = 0; p < numProcs_; ++p) {
+        for (std::uint32_t r = 0; r < rounds_; ++r) {
+          RoundPlan plan;
+          plan.sendTo = {p ^ (1u << r)};
+          plan.expectRecv = 1;
+          plan.bytes = config_.bytes;
+          schedule_[p].push_back(std::move(plan));
+        }
+      }
+      break;
+    }
+    case CollectiveKind::kRing: {
+      rounds_ = 2 * (numProcs_ - 1);  // reduce-scatter + allgather
+      const std::uint64_t chunk = std::max<std::uint64_t>(1, config_.bytes / numProcs_);
+      for (std::uint32_t p = 0; p < numProcs_; ++p) {
+        for (std::uint32_t r = 0; r < rounds_; ++r) {
+          RoundPlan plan;
+          plan.sendTo = {(p + 1) % numProcs_};
+          plan.expectRecv = 1;  // from p-1
+          plan.bytes = chunk;
+          schedule_[p].push_back(std::move(plan));
+        }
+      }
+      break;
+    }
+    case CollectiveKind::kAllToAll: {
+      // Balanced personalized exchange: in round r everyone sends to
+      // (p + r + 1) mod P and receives from (p - r - 1) mod P.
+      rounds_ = numProcs_ - 1;
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(1, config_.bytes / (numProcs_ - 1));
+      for (std::uint32_t p = 0; p < numProcs_; ++p) {
+        for (std::uint32_t r = 0; r < rounds_; ++r) {
+          RoundPlan plan;
+          plan.sendTo = {(p + r + 1) % numProcs_};
+          plan.expectRecv = 1;
+          plan.bytes = chunk;
+          schedule_[p].push_back(std::move(plan));
+        }
+      }
+      break;
+    }
+  }
+}
+
+void CollectiveApp::startRound(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  const RoundPlan& plan = schedule_[proc][p.round];
+  const std::uint64_t tag =
+      (static_cast<std::uint64_t>(p.repetition) << 20) | p.round;
+  for (const std::uint32_t peer : plan.sendTo) {
+    messages_.send(placement_[proc], placement_[peer], plan.bytes, tag);
+    result_.messages += 1;
+    result_.bytes += plan.bytes;
+  }
+}
+
+void CollectiveApp::tryAdvance(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  while (!p.done) {
+    const std::size_t slot = static_cast<std::size_t>(p.repetition) * rounds_ + p.round;
+    const RoundPlan& plan = schedule_[proc][p.round];
+    if (p.recv[slot] < plan.expectRecv ||
+        p.sent[slot] < static_cast<std::uint16_t>(plan.sendTo.size())) {
+      return;  // round incomplete
+    }
+    p.round += 1;
+    if (p.round < rounds_) {
+      startRound(proc);
+      continue;
+    }
+    p.round = 0;
+    p.repetition += 1;
+    if (p.repetition < config_.repetitions) {
+      startRound(proc);
+      continue;
+    }
+    p.done = true;
+    finished_ += 1;
+    if (finished_ == numProcs_) result_.makespan = network_.simulator().now();
+  }
+}
+
+void CollectiveApp::onDelivery(const Message& msg) {
+  const auto rep = static_cast<std::uint32_t>(msg.tag >> 20);
+  const auto round = static_cast<std::uint32_t>(msg.tag & 0xfffff);
+  const std::uint32_t sender = procOfNode_[msg.src];
+  const std::uint32_t receiver = procOfNode_[msg.dst];
+  const std::size_t slot = static_cast<std::size_t>(rep) * rounds_ + round;
+  procs_[sender].sent[slot] += 1;
+  procs_[receiver].recv[slot] += 1;
+  tryAdvance(sender);
+  if (receiver != sender) tryAdvance(receiver);
+}
+
+CollectiveResult CollectiveApp::run() {
+  result_.rounds = rounds_;
+  auto& sim = network_.simulator();
+  for (std::uint32_t p = 0; p < numProcs_; ++p) startRound(p);
+  while (finished_ < numProcs_) {
+    const auto movesBefore = network_.flitMovements();
+    const auto eventsBefore = sim.eventsProcessed();
+    sim.run(sim.now() + 50000);
+    if (finished_ == numProcs_) break;
+    HXWAR_CHECK_MSG(network_.flitMovements() != movesBefore ||
+                        sim.eventsProcessed() != eventsBefore,
+                    "collective stalled — possible deadlock");
+  }
+  return result_;
+}
+
+}  // namespace hxwar::app

@@ -1,0 +1,100 @@
+// Collective-communication algorithms over the message layer.
+//
+// The stencil model (§6.2) uses the dissemination algorithm [41]; the paper
+// contrasts it with recursive doubling [42] ("very similar ... except that it
+// is topology agnostic"). This engine implements three classic allreduce
+// schedules as round-structured message exchanges so they can be compared
+// under different routing algorithms:
+//
+//   dissemination      ceil(log2 P) rounds; send to ID±2^r, await both; works
+//                      for any P
+//   recursive-doubling log2 P rounds; exchange with partner ID xor 2^r;
+//                      requires P a power of two
+//   ring               2(P-1) rounds of neighbor exchange (reduce-scatter +
+//                      allgather); bandwidth-optimal: each step moves
+//                      bytes/P
+//   all-to-all         P-1 rounds of the balanced personalized exchange:
+//                      round r sends bytes/(P-1) to (ID + r + 1) mod P —
+//                      the classic FFT/transpose communication
+//
+// Completion time is the makespan over all participating processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/message.h"
+#include "common/types.h"
+#include "net/network.h"
+
+namespace hxwar::app {
+
+enum class CollectiveKind { kDissemination, kRecursiveDoubling, kRing, kAllToAll };
+
+CollectiveKind collectiveKindFromString(const std::string& s);
+std::string collectiveKindName(CollectiveKind kind);
+
+struct CollectiveConfig {
+  CollectiveKind kind = CollectiveKind::kDissemination;
+  std::uint32_t processes = 0;     // 0 => all network nodes
+  std::uint64_t bytes = 4096;      // total reduction payload per process
+  std::uint32_t repetitions = 1;   // back-to-back collectives
+  bool randomPlacement = true;
+  std::uint64_t seed = 31;
+  MessageConfig message;
+};
+
+struct CollectiveResult {
+  Tick makespan = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t rounds = 0;
+};
+
+class CollectiveApp {
+ public:
+  CollectiveApp(net::Network& network, CollectiveConfig config);
+
+  // Runs the configured collective(s) to completion; network must be idle.
+  CollectiveResult run();
+
+  std::uint32_t numProcesses() const { return numProcs_; }
+  std::uint32_t rounds() const { return rounds_; }
+
+ private:
+  struct RoundPlan {
+    std::vector<std::uint32_t> sendTo;  // peers to message this round
+    std::uint32_t expectRecv = 0;       // messages to await this round
+    std::uint64_t bytes = 0;            // per message
+  };
+
+  void buildSchedule();
+  void startRound(std::uint32_t proc);
+  void tryAdvance(std::uint32_t proc);
+  void onDelivery(const Message& msg);
+
+  net::Network& network_;
+  CollectiveConfig config_;
+  std::uint32_t numProcs_;
+  std::uint32_t rounds_ = 0;
+  MessageLayer messages_;
+
+  std::vector<NodeId> placement_;
+  std::vector<std::uint32_t> procOfNode_;
+  // schedule_[proc][round]
+  std::vector<std::vector<RoundPlan>> schedule_;
+
+  struct Proc {
+    std::uint32_t repetition = 0;
+    std::uint32_t round = 0;
+    bool done = false;
+    std::vector<std::uint16_t> recv;  // [repetition*rounds + round]
+    std::vector<std::uint16_t> sent;  // delivered sends per slot
+  };
+  std::vector<Proc> procs_;
+  std::uint32_t finished_ = 0;
+  CollectiveResult result_;
+};
+
+}  // namespace hxwar::app

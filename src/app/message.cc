@@ -1,0 +1,60 @@
+#include "app/message.h"
+
+#include "common/assert.h"
+
+namespace hxwar::app {
+
+MessageLayer::MessageLayer(net::Network& network, MessageConfig config)
+    : network_(network), config_(config) {
+  HXWAR_CHECK(config_.flitBytes >= 1 && config_.maxPacketFlits >= 1);
+  network_.setEjectionListener([this](const net::Packet& p) { onPacketEjected(p); });
+}
+
+MessageLayer::~MessageLayer() { network_.setEjectionListener(nullptr); }
+
+std::uint32_t MessageLayer::flitsFor(std::uint64_t bytes) const {
+  return static_cast<std::uint32_t>((bytes + config_.flitBytes - 1) / config_.flitBytes);
+}
+
+MessageId MessageLayer::send(NodeId src, NodeId dst, std::uint64_t bytes, std::uint64_t tag) {
+  HXWAR_CHECK_MSG(src != dst, "message layer does not loop back self-sends");
+  auto msg = std::make_unique<Message>();
+  msg->id = nextId_++;
+  msg->src = src;
+  msg->dst = dst;
+  msg->bytes = bytes;
+  msg->tag = tag;
+  msg->sentAt = network_.simulator().now();
+  const std::uint32_t flits = std::max(1u, flitsFor(bytes));
+  msg->packetsTotal = (flits + config_.maxPacketFlits - 1) / config_.maxPacketFlits;
+
+  Message* raw = msg.get();
+  inflight_.emplace(raw->id, std::move(msg));
+
+  std::uint32_t remaining = flits;
+  for (std::uint32_t i = 0; i < raw->packetsTotal; ++i) {
+    const std::uint32_t size = std::min(remaining, config_.maxPacketFlits);
+    remaining -= size;
+    net::Packet& pkt = network_.injectPacket(src, dst, size);
+    pkt.appMessage = raw;
+    pkt.msgSeq = i;
+  }
+  return raw->id;
+}
+
+void MessageLayer::onPacketEjected(const net::Packet& pkt) {
+  if (pkt.appMessage == nullptr) return;
+  auto* msg = static_cast<Message*>(pkt.appMessage);
+  msg->packetsArrived += 1;
+  if (msg->packetsArrived < msg->packetsTotal) return;
+  msg->deliveredAt = network_.simulator().now();
+  delivered_ += 1;
+  const auto it = inflight_.find(msg->id);
+  HXWAR_CHECK(it != inflight_.end());
+  // Move out so the handler can re-enter send() safely.
+  const std::unique_ptr<Message> done = std::move(it->second);
+  inflight_.erase(it);
+  if (handler_) handler_(*done);
+}
+
+}  // namespace hxwar::app

@@ -1,0 +1,69 @@
+// Message layer: segments application messages into packets, injects them
+// through terminals, and reports delivery when the last packet reaches the
+// destination. This is the substrate for the 27-point stencil model (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "net/network.h"
+
+namespace hxwar::app {
+
+struct MessageConfig {
+  std::uint32_t flitBytes = 64;      // payload bytes per flit
+  std::uint32_t maxPacketFlits = 16; // segmentation limit (matches §6.1 sizes)
+};
+
+struct Message {
+  MessageId id = 0;
+  NodeId src = kNodeInvalid;
+  NodeId dst = kNodeInvalid;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;  // application-defined (phase/iteration/round)
+  std::uint32_t packetsTotal = 0;
+  std::uint32_t packetsArrived = 0;
+  Tick sentAt = 0;
+  Tick deliveredAt = kTickInvalid;
+};
+
+// Owns in-flight messages. Installs itself as the network's ejection
+// listener; synthetic injectors must not be used concurrently.
+class MessageLayer {
+ public:
+  // Called when the final packet of a message is ejected at the destination.
+  using DeliveryHandler = std::function<void(const Message&)>;
+
+  MessageLayer(net::Network& network, MessageConfig config);
+  ~MessageLayer();
+
+  MessageLayer(const MessageLayer&) = delete;
+  MessageLayer& operator=(const MessageLayer&) = delete;
+
+  void setDeliveryHandler(DeliveryHandler handler) { handler_ = std::move(handler); }
+
+  // Sends `bytes` from src to dst; at least one packet is always emitted.
+  MessageId send(NodeId src, NodeId dst, std::uint64_t bytes, std::uint64_t tag);
+
+  std::uint64_t messagesInFlight() const { return inflight_.size(); }
+  std::uint64_t messagesDelivered() const { return delivered_; }
+  const MessageConfig& config() const { return config_; }
+
+  // Flits needed for `bytes` of payload.
+  std::uint32_t flitsFor(std::uint64_t bytes) const;
+
+ private:
+  void onPacketEjected(const net::Packet& pkt);
+
+  net::Network& network_;
+  MessageConfig config_;
+  DeliveryHandler handler_;
+  std::unordered_map<MessageId, std::unique_ptr<Message>> inflight_;
+  MessageId nextId_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hxwar::app

@@ -1,0 +1,280 @@
+#include "app/stencil.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace hxwar::app {
+namespace {
+
+constexpr std::uint32_t kTagHalo = 1;
+constexpr std::uint32_t kTagColl = 2;
+
+std::uint32_t ceilLog2(std::uint32_t n) {
+  std::uint32_t r = 0;
+  while ((1u << r) < n) ++r;
+  return r;
+}
+
+}  // namespace
+
+StencilMode stencilModeFromString(const std::string& s) {
+  if (s == "collective") return StencilMode::kCollectiveOnly;
+  if (s == "exchange") return StencilMode::kExchangeOnly;
+  if (s == "full") return StencilMode::kFull;
+  HXWAR_CHECK_MSG(false, ("unknown stencil mode: " + s).c_str());
+  return StencilMode::kFull;
+}
+
+StencilApp::StencilApp(net::Network& network, StencilConfig config)
+    : network_(network),
+      config_(config),
+      numProcs_(config.grid[0] * config.grid[1] * config.grid[2]),
+      rounds_(ceilLog2(numProcs_)),
+      messages_(network, config.message) {
+  HXWAR_CHECK_MSG(numProcs_ >= 2, "stencil needs at least two processes");
+  HXWAR_CHECK_MSG(numProcs_ <= network.numNodes(),
+                  "more stencil processes than network nodes");
+  buildNeighbors();
+  placeProcesses();
+  procs_.resize(numProcs_);
+  phaseStart_.assign(numProcs_, 0);
+  for (auto& p : procs_) {
+    p.haloRecv.assign(config_.iterations, 0);
+    p.haloSent.assign(config_.iterations, 0);
+    p.collRecv.assign(static_cast<std::size_t>(config_.iterations) * std::max(rounds_, 1u), 0);
+    p.collSent.assign(static_cast<std::size_t>(config_.iterations) * std::max(rounds_, 1u), 0);
+  }
+  messages_.setDeliveryHandler([this](const Message& m) { onDelivery(m); });
+}
+
+void StencilApp::buildNeighbors() {
+  const auto& g = config_.grid;
+  // Halo volume per neighbor class, normalized to haloBytesPerNode.
+  const std::uint64_t weightTotal = 6ull * config_.faceWeight + 12ull * config_.edgeWeight +
+                                    8ull * config_.cornerWeight;
+  const auto bytesFor = [&](std::uint32_t w) {
+    return std::max<std::uint64_t>(1, config_.haloBytesPerNode * w / weightTotal);
+  };
+
+  neighbors_.resize(numProcs_);
+  neighborBytes_.clear();
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const int manhattan = std::abs(dx) + std::abs(dy) + std::abs(dz);
+        const std::uint32_t w = manhattan == 1   ? config_.faceWeight
+                                : manhattan == 2 ? config_.edgeWeight
+                                                 : config_.cornerWeight;
+        neighborBytes_.push_back(bytesFor(w));
+      }
+    }
+  }
+
+  const auto at = [&](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (z * g[1] + y) * g[0] + x;
+  };
+  for (std::uint32_t z = 0; z < g[2]; ++z) {
+    for (std::uint32_t y = 0; y < g[1]; ++y) {
+      for (std::uint32_t x = 0; x < g[0]; ++x) {
+        auto& list = neighbors_[at(x, y, z)];
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              // Periodic wrap keeps every process at 26 neighbors (Fig. 7b);
+              // without wrap, boundary processes get kNodeInvalid slots.
+              const int nx = static_cast<int>(x) + dx;
+              const int ny = static_cast<int>(y) + dy;
+              const int nz = static_cast<int>(z) + dz;
+              const bool inside = nx >= 0 && ny >= 0 && nz >= 0 &&
+                                  nx < static_cast<int>(g[0]) &&
+                                  ny < static_cast<int>(g[1]) &&
+                                  nz < static_cast<int>(g[2]);
+              if (!inside && !config_.periodic) {
+                list.push_back(kNodeInvalid);
+                continue;
+              }
+              const std::uint32_t wx = (nx + g[0]) % g[0];
+              const std::uint32_t wy = (ny + g[1]) % g[1];
+              const std::uint32_t wz = (nz + g[2]) % g[2];
+              const std::uint32_t peer = at(wx, wy, wz);
+              // Degenerate grids (width 1 or 2) can wrap onto self; skip.
+              list.push_back(peer == at(x, y, z) ? kNodeInvalid : peer);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void StencilApp::placeProcesses() {
+  placement_.resize(numProcs_);
+  std::iota(placement_.begin(), placement_.end(), 0u);
+  if (config_.randomPlacement) {
+    // Random placement over all network nodes (the paper's policy).
+    std::vector<NodeId> nodes(network_.numNodes());
+    std::iota(nodes.begin(), nodes.end(), 0u);
+    Rng rng(config_.seed);
+    rng.shuffle(nodes);
+    for (std::uint32_t p = 0; p < numProcs_; ++p) placement_[p] = nodes[p];
+  }
+  procOfNode_.assign(network_.numNodes(), kNodeInvalid);
+  for (std::uint32_t p = 0; p < numProcs_; ++p) procOfNode_[placement_[p]] = p;
+}
+
+std::uint64_t StencilApp::tagOf(std::uint32_t kind, std::uint32_t iter,
+                                std::uint32_t round) const {
+  return (static_cast<std::uint64_t>(kind) << 40) |
+         (static_cast<std::uint64_t>(iter) << 20) | round;
+}
+
+void StencilApp::startIteration(std::uint32_t proc) {
+  if (config_.mode == StencilMode::kCollectiveOnly) {
+    startCollective(proc);
+  } else {
+    startExchange(proc);
+  }
+}
+
+void StencilApp::startExchange(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  p.phase = Phase::kExchange;
+  phaseStart_[proc] = network_.simulator().now();
+  const std::uint32_t iter = p.iteration;
+  std::uint32_t skipped = 0;
+  for (std::size_t s = 0; s < neighbors_[proc].size(); ++s) {
+    const std::uint32_t peer = neighbors_[proc][s];
+    if (peer == kNodeInvalid || placement_[peer] == placement_[proc]) {
+      ++skipped;
+      continue;
+    }
+    messages_.send(placement_[proc], placement_[peer], neighborBytes_[s],
+                   tagOf(kTagHalo, iter, 0));
+    result_.messages += 1;
+    result_.bytes += neighborBytes_[s];
+  }
+  // Missing neighbors (non-periodic boundaries) count as already satisfied,
+  // both for our sends and for the receives we will never get.
+  p.haloSent[iter] += skipped;
+  p.haloRecv[iter] += skipped;
+  tryAdvance(proc);
+}
+
+void StencilApp::startCollective(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  p.phase = Phase::kCollective;
+  p.round = 0;
+  phaseStart_[proc] = network_.simulator().now();
+  if (rounds_ == 0) {
+    tryAdvance(proc);
+    return;
+  }
+  sendCollectiveRound(proc);
+}
+
+void StencilApp::sendCollectiveRound(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  const std::uint32_t k = 1u << p.round;
+  const std::uint32_t up = (proc + k) % numProcs_;
+  const std::uint32_t down = (proc + numProcs_ - k) % numProcs_;
+  // Dissemination allreduce (Fig. 7c): send to ID+2^r and ID-2^r.
+  for (const std::uint32_t peer : {up, down}) {
+    messages_.send(placement_[proc], placement_[peer], config_.collectiveBytes,
+                   tagOf(kTagColl, p.iteration, p.round));
+    result_.messages += 1;
+    result_.bytes += config_.collectiveBytes;
+  }
+}
+
+void StencilApp::tryAdvance(std::uint32_t proc) {
+  Proc& p = procs_[proc];
+  bool progressed = true;
+  while (progressed && p.phase != Phase::kDone) {
+    progressed = false;
+    const Tick now = network_.simulator().now();
+    if (p.phase == Phase::kExchange) {
+      if (p.haloRecv[p.iteration] == 26 && p.haloSent[p.iteration] == 26) {
+        result_.exchangeCycles += now - phaseStart_[proc];
+        if (config_.mode == StencilMode::kFull) {
+          startCollective(proc);
+        } else {
+          p.iteration += 1;
+          if (p.iteration == config_.iterations) {
+            p.phase = Phase::kDone;
+          } else {
+            startExchange(proc);
+          }
+        }
+        progressed = true;
+      }
+    } else if (p.phase == Phase::kCollective) {
+      const std::size_t slot =
+          static_cast<std::size_t>(p.iteration) * std::max(rounds_, 1u) + p.round;
+      const bool roundDone =
+          rounds_ == 0 || (p.collRecv[slot] >= 2 && p.collSent[slot] >= 2);
+      if (roundDone) {
+        p.round += 1;
+        if (rounds_ != 0 && p.round < rounds_) {
+          sendCollectiveRound(proc);
+        } else {
+          result_.collectiveCycles += now - phaseStart_[proc];
+          p.iteration += 1;
+          if (p.iteration == config_.iterations) {
+            p.phase = Phase::kDone;
+          } else {
+            startIteration(proc);
+          }
+        }
+        progressed = true;
+      }
+    }
+  }
+  if (p.phase == Phase::kDone && !p.haloRecv.empty()) {
+    // Count each process exactly once: mark by clearing the recv vector.
+    p.haloRecv.clear();
+    finished_ += 1;
+    if (finished_ == numProcs_) result_.makespan = network_.simulator().now();
+  }
+}
+
+void StencilApp::onDelivery(const Message& msg) {
+  const std::uint32_t kind = static_cast<std::uint32_t>(msg.tag >> 40);
+  const std::uint32_t iter = static_cast<std::uint32_t>((msg.tag >> 20) & 0xfffff);
+  const std::uint32_t round = static_cast<std::uint32_t>(msg.tag & 0xfffff);
+  const std::uint32_t sender = procOfNode_[msg.src];
+  const std::uint32_t receiver = procOfNode_[msg.dst];
+  HXWAR_CHECK(sender != kNodeInvalid && receiver != kNodeInvalid);
+  if (kind == kTagHalo) {
+    procs_[sender].haloSent[iter] += 1;
+    procs_[receiver].haloRecv[iter] += 1;
+  } else {
+    const std::size_t slot = static_cast<std::size_t>(iter) * std::max(rounds_, 1u) + round;
+    procs_[sender].collSent[slot] += 1;
+    procs_[receiver].collRecv[slot] += 1;
+  }
+  tryAdvance(sender);
+  if (receiver != sender) tryAdvance(receiver);
+}
+
+StencilResult StencilApp::run() {
+  auto& sim = network_.simulator();
+  for (std::uint32_t p = 0; p < numProcs_; ++p) startIteration(p);
+
+  // Event-driven to completion, with a stall watchdog.
+  while (finished_ < numProcs_) {
+    const std::uint64_t movesBefore = network_.flitMovements();
+    const std::uint64_t eventsBefore = sim.eventsProcessed();
+    sim.run(sim.now() + 50000);
+    if (finished_ == numProcs_) break;
+    HXWAR_CHECK_MSG(network_.flitMovements() != movesBefore ||
+                        sim.eventsProcessed() != eventsBefore,
+                    "stencil application stalled — possible deadlock");
+  }
+  return result_;
+}
+
+}  // namespace hxwar::app

@@ -1,0 +1,118 @@
+// 27-point stencil application model (§6.2 and Fig. 7).
+//
+// The simulated 3D physical space is split into sub-cubes, one per process.
+// Each iteration:
+//   exchange():   halo exchange with the 26 neighbors — 6 faces, 12 edges,
+//                 8 corners, with bytes split by contact area
+//   collective(): a dissemination allreduce — in round k every process sends
+//                 to (id +/- 2^k) mod P and waits for both counterparts;
+//                 ceil(log2 P) rounds
+// Computation is not modeled (the paper sets compute time to zero); processes
+// advance purely on message-delivery events. Execution time is the makespan:
+// the tick at which the last process finishes its last iteration.
+//
+// A process may run ahead of its neighbors (the dissemination barrier does
+// not complete simultaneously everywhere), so receive accounting is kept per
+// iteration and per round.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/message.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hxwar::app {
+
+enum class StencilMode { kCollectiveOnly, kExchangeOnly, kFull };
+
+struct StencilConfig {
+  std::array<std::uint32_t, 3> grid = {4, 4, 4};  // process grid (product = P)
+  std::uint64_t haloBytesPerNode = 100 * 1024;    // aggregate across 26 neighbors
+  std::uint32_t collectiveBytes = 64;             // per collective message
+  std::uint32_t iterations = 1;
+  StencilMode mode = StencilMode::kFull;
+  bool randomPlacement = true;  // the paper's placement policy
+  bool periodic = true;         // wrap the grid so every process has 26 neighbors
+  std::uint64_t seed = 21;
+  MessageConfig message;
+  // Area weights for face/edge/corner halo volumes (sub-cube edge length 4
+  // elements by default: faces 16, edges 4, corners 1).
+  std::uint32_t faceWeight = 16;
+  std::uint32_t edgeWeight = 4;
+  std::uint32_t cornerWeight = 1;
+};
+
+struct StencilResult {
+  Tick makespan = 0;             // cycles until every process finished
+  Tick exchangeCycles = 0;       // cumulative time processes spent exchanging
+  Tick collectiveCycles = 0;     // cumulative time in collectives
+  std::uint64_t messages = 0;    // total app messages
+  std::uint64_t bytes = 0;       // total app bytes
+};
+
+class StencilApp {
+ public:
+  StencilApp(net::Network& network, StencilConfig config);
+
+  // Runs the configured workload to completion; returns the result. The
+  // network must be otherwise idle.
+  StencilResult run();
+
+  std::uint32_t numProcesses() const { return numProcs_; }
+  NodeId nodeOf(std::uint32_t proc) const { return placement_[proc]; }
+
+  // Neighbor volumes (bytes) per halo exchange, in neighbor-offset order.
+  const std::vector<std::uint64_t>& neighborBytes() const { return neighborBytes_; }
+
+ private:
+  enum class Phase { kExchange, kCollective, kDone };
+
+  struct Proc {
+    Phase phase = Phase::kExchange;
+    std::uint32_t iteration = 0;
+    std::uint32_t round = 0;  // collective round
+    // Per-iteration exchange accounting (neighbors may run ahead).
+    std::vector<std::uint32_t> haloRecv;   // [iteration]
+    std::vector<std::uint32_t> haloSent;   // [iteration] delivered sends
+    // Per-(iteration, round) collective receive counters.
+    std::vector<std::uint8_t> collRecv;    // [iteration * rounds + round]
+    std::vector<std::uint8_t> collSent;    // delivered collective sends
+  };
+
+  void buildNeighbors();
+  void placeProcesses();
+  void startIteration(std::uint32_t proc);
+  void startExchange(std::uint32_t proc);
+  void startCollective(std::uint32_t proc);
+  void sendCollectiveRound(std::uint32_t proc);
+  void tryAdvance(std::uint32_t proc);
+  void onDelivery(const Message& msg);
+  std::uint64_t tagOf(std::uint32_t kind, std::uint32_t iter, std::uint32_t round) const;
+
+  net::Network& network_;
+  StencilConfig config_;
+  std::uint32_t numProcs_;
+  std::uint32_t rounds_;  // ceil(log2 P)
+  MessageLayer messages_;
+
+  std::vector<NodeId> placement_;         // proc -> node
+  std::vector<std::uint32_t> procOfNode_; // node -> proc
+  std::vector<std::vector<std::uint32_t>> neighbors_;  // proc -> 26 neighbor procs
+  std::vector<std::uint64_t> neighborBytes_;           // per neighbor slot
+  std::vector<Proc> procs_;
+
+  std::uint32_t finished_ = 0;
+  StencilResult result_;
+  std::vector<Tick> phaseStart_;  // per proc, for phase-time accounting
+};
+
+// Parses "collective" / "exchange" / "full".
+StencilMode stencilModeFromString(const std::string& s);
+
+}  // namespace hxwar::app

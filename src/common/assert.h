@@ -1,0 +1,28 @@
+// Always-on invariant checks. The simulator's correctness arguments (credit
+// conservation, VC-class monotonicity, deadlock freedom) rely on these firing
+// in release builds too, so they are not compiled out like <cassert>.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hxwar::detail {
+
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace hxwar::detail
+
+#define HXWAR_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr)) ::hxwar::detail::checkFailed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define HXWAR_CHECK_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr)) ::hxwar::detail::checkFailed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

@@ -1,0 +1,128 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
+
+namespace hxwar {
+namespace {
+
+bool looksLikeFlag(std::string_view arg) {
+  return arg.size() > 2 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+bool Flags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!looksLikeFlag(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // --no-foo => foo=false
+    if (arg.substr(0, 3) == "no-") {
+      values_[std::string(arg.substr(3))] = "false";
+      continue;
+    }
+    // --foo value (if next token is not a flag), else boolean --foo
+    if (i + 1 < argc && !looksLikeFlag(argv[i + 1])) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+bool Flags::loadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open config file: %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "malformed config line (expected key = value): %s\n", t.c_str());
+      return false;
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) return false;
+    values_.emplace(key, value);  // command-line values win (no overwrite)
+  }
+  return true;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::str(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Flags::i64(const std::string& name, std::int64_t fallback) const {
+  const auto v = raw(name);
+  return v ? std::strtoll(v->c_str(), nullptr, 0) : fallback;
+}
+
+std::uint64_t Flags::u64(const std::string& name, std::uint64_t fallback) const {
+  const auto v = raw(name);
+  return v ? std::strtoull(v->c_str(), nullptr, 0) : fallback;
+}
+
+double Flags::f64(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  return v ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+bool Flags::b(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return !(*v == "false" || *v == "0" || *v == "no" || *v == "off");
+}
+
+std::vector<double> Flags::f64List(const std::string& name,
+                                   const std::vector<double>& fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  std::vector<double> out;
+  const char* p = v->c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    const double d = std::strtod(p, &end);
+    if (end == p) break;
+    out.push_back(d);
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out;
+}
+
+}  // namespace hxwar

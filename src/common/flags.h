@@ -1,0 +1,50 @@
+// Tiny command-line flag parser used by benches and examples.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name forms,
+// plus `name = value` config files (# comments). Command-line values override
+// file values so configs serve as defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hxwar {
+
+class Flags {
+ public:
+  // Parses argv. Returns false (and prints to stderr) on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  // Loads `name = value` lines from a config file; existing keys (e.g. from
+  // the command line) win. Returns false if the file cannot be read.
+  bool loadFile(const std::string& path);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string str(const std::string& name, const std::string& fallback) const;
+  std::int64_t i64(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t u64(const std::string& name, std::uint64_t fallback) const;
+  double f64(const std::string& name, double fallback) const;
+  bool b(const std::string& name, bool fallback) const;
+
+  // Comma-separated list of doubles, e.g. --loads=0.1,0.2,0.3
+  std::vector<double> f64List(const std::string& name,
+                              const std::vector<double>& fallback) const;
+
+  // Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // All parsed flags, for echoing configuration into experiment output.
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hxwar

@@ -1,0 +1,50 @@
+// Minimal leveled logging. The simulator is performance sensitive, so debug
+// logging compiles to a cheap level check and is disabled by default.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace hxwar {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Log {
+ public:
+  static void setLevel(LogLevel level) { level_ = level; }
+  static LogLevel level() { return level_; }
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  template <typename... Args>
+  static void write(LogLevel level, const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%s] ", name(level));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+
+  static void write(LogLevel level, const char* msg) {
+    if (!enabled(level)) return;
+    std::fprintf(stderr, "[%s] %s\n", name(level), msg);
+  }
+
+ private:
+  static const char* name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "debug";
+      case LogLevel::kInfo: return "info";
+      case LogLevel::kWarn: return "warn";
+      case LogLevel::kError: return "error";
+    }
+    return "?";
+  }
+
+  static inline LogLevel level_ = LogLevel::kWarn;
+};
+
+#define HXWAR_LOG_DEBUG(...) ::hxwar::Log::write(::hxwar::LogLevel::kDebug, __VA_ARGS__)
+#define HXWAR_LOG_INFO(...) ::hxwar::Log::write(::hxwar::LogLevel::kInfo, __VA_ARGS__)
+#define HXWAR_LOG_WARN(...) ::hxwar::Log::write(::hxwar::LogLevel::kWarn, __VA_ARGS__)
+#define HXWAR_LOG_ERROR(...) ::hxwar::Log::write(::hxwar::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace hxwar

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace hxwar {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  assert(bound > 0 && "Rng::below bound must be positive");
+  // Lemire's nearly-divisionless method.
+  __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>(next()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace hxwar

@@ -1,0 +1,99 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Simulation reproducibility requires that every stochastic decision be
+// derived from an explicitly seeded stream. We provide SplitMix64 for seed
+// expansion and xoshiro256** as the workhorse generator, plus convenience
+// helpers for the distributions the simulator needs (uniform ints, Bernoulli,
+// shuffles). std::mt19937 is avoided: it is slower and its distributions are
+// not bit-reproducible across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hxwar {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state and to
+// derive independent per-component seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256**: public-domain generator by Blackman & Vigna.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x8f1bbcdcbfa53e0bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick a uniformly random element index; container must be non-empty.
+  template <typename C>
+  std::size_t pickIndex(const C& c) {
+    return static_cast<std::size_t>(below(c.size()));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hxwar

@@ -1,0 +1,30 @@
+// Fundamental identifier and time types shared by every library in the
+// repository. Kept header-only and dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hxwar {
+
+// Simulation time in cycles. One cycle is one flit time on a channel; the
+// paper's physical parameters (50 ns crossbar, 50 ns inter-router channels)
+// map onto cycles by the configuration layer.
+using Tick = std::uint64_t;
+
+constexpr Tick kTickInvalid = std::numeric_limits<Tick>::max();
+
+// Network-wide unique identifiers.
+using NodeId = std::uint32_t;     // terminal/endpoint id
+using RouterId = std::uint32_t;   // router id
+using PortId = std::uint32_t;     // port index within a router
+using VcId = std::uint32_t;       // virtual channel index within a port
+using PacketId = std::uint64_t;   // globally unique packet id
+using MessageId = std::uint64_t;  // globally unique application message id
+
+constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
+constexpr RouterId kRouterInvalid = std::numeric_limits<RouterId>::max();
+constexpr PortId kPortInvalid = std::numeric_limits<PortId>::max();
+constexpr VcId kVcInvalid = std::numeric_limits<VcId>::max();
+
+}  // namespace hxwar

@@ -1,0 +1,35 @@
+// Cable technologies and prices for the Fig. 3 cost analysis.
+//
+// The paper's absolute prices come from confidential vendor quotes; we model
+// each technology as (electrical reach, DAC $/cable, fiber $/cable) with
+// public-ballpark defaults. The *relative* Dragonfly-vs-HyperX cost — what
+// Fig. 3 actually plots — is driven by each topology's cable-length
+// distribution interacting with the reach cutoff, which this model captures
+// exactly. All prices are per-lane-bundle cable (one link).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hxwar::cost {
+
+struct CableTech {
+  std::string name;
+  double dacReachM = 0.0;     // max length of a direct-attach copper cable; 0 = no DAC
+  double dacBase = 0.0;       // $ per DAC cable
+  double dacPerMeter = 0.0;   // $/m for DAC
+  double fiberBase = 0.0;     // $ per optical cable (incl. both ends)
+  double fiberPerMeter = 0.0; // $/m for fiber
+};
+
+// Cost of one cable of the given length under this technology.
+double cableCost(const CableTech& tech, double lengthM);
+
+// The technology generations discussed in §3.1. Reaches follow the paper:
+// 2.5 GHz -> 8 m, 10 GHz -> 5 m, 25 GHz -> 3 m, 50 GHz -> 2 m,
+// 100 GHz -> 1 m; "passive" models co-packaged optics with cheap passive
+// fiber everywhere (no DAC at all, low per-end cost).
+const std::vector<CableTech>& standardTechnologies();
+CableTech technologyByName(const std::string& name);
+
+}  // namespace hxwar::cost

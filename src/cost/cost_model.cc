@@ -1,0 +1,211 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/assert.h"
+#include "topo/scalability.h"
+
+namespace hxwar::cost {
+
+double cableCost(const CableTech& tech, double lengthM) {
+  if (tech.dacReachM > 0.0 && lengthM <= tech.dacReachM) {
+    return tech.dacBase + tech.dacPerMeter * lengthM;
+  }
+  return tech.fiberBase + tech.fiberPerMeter * lengthM;
+}
+
+const std::vector<CableTech>& standardTechnologies() {
+  // DAC prices rise with signaling rate (thicker gauge, tighter tolerances);
+  // AOC prices fall $/bps but stay dominated by the active ends. "passive"
+  // models co-packaged photonics: every cable is passive fiber with cheap
+  // connectors and no active ends.
+  static const std::vector<CableTech> kTechs = {
+      {"2.5G (8m DAC)", 8.0, 15.0, 2.0, 120.0, 4.0},
+      {"10G (5m DAC)", 5.0, 20.0, 2.5, 140.0, 4.5},
+      {"25G (3m DAC)", 3.0, 25.0, 3.0, 160.0, 5.0},
+      {"50G (2m DAC)", 2.0, 30.0, 3.5, 180.0, 5.5},
+      {"100G (1m DAC)", 1.0, 35.0, 4.0, 200.0, 6.0},
+      {"passive optics", 0.0, 0.0, 0.0, 30.0, 1.5},
+  };
+  return kTechs;
+}
+
+CableTech technologyByName(const std::string& name) {
+  for (const auto& t : standardTechnologies()) {
+    if (t.name == name) return t;
+  }
+  HXWAR_CHECK_MSG(false, ("unknown cable technology: " + name).c_str());
+  return {};
+}
+
+Floor::Floor(FloorPlan plan, std::uint32_t numRacks) : plan_(plan), numRacks_(numRacks) {
+  racksPerRow_ = plan.racksPerRow != 0
+                     ? plan.racksPerRow
+                     : std::max<std::uint32_t>(
+                           1, static_cast<std::uint32_t>(std::ceil(std::sqrt(numRacks))));
+}
+
+double Floor::cableLength(std::uint32_t rackA, std::uint32_t rackB) const {
+  if (rackA == rackB) return plan_.intraRackM;
+  const std::int64_t colA = rackA % racksPerRow_, rowA = rackA / racksPerRow_;
+  const std::int64_t colB = rackB % racksPerRow_, rowB = rackB / racksPerRow_;
+  const double horiz = std::abs(colA - colB) * plan_.rackWidthM +
+                       std::abs(rowA - rowB) * plan_.rowPitchM;
+  return plan_.overheadM + horiz;
+}
+
+double CableBom::totalCost(const CableTech& tech) const {
+  double c = 0.0;
+  for (const double len : lengthsM) c += cableCost(tech, len);
+  return c;
+}
+
+double CableBom::totalLength() const {
+  return std::accumulate(lengthsM.begin(), lengthsM.end(), 0.0);
+}
+
+CableBom hyperxCables(const std::vector<std::uint32_t>& widths, std::uint32_t terminals,
+                      const FloorPlan& plan) {
+  HXWAR_CHECK_MSG(widths.size() == 3, "cost model packages 3D HyperX");
+  const std::uint32_t sx = widths[0], sy = widths[1], sz = widths[2];
+  // One X-line (sx routers) per rack; rack grid: columns = y, rows = z.
+  const std::uint32_t numRacks = sy * sz;
+  FloorPlan p = plan;
+  p.racksPerRow = sy;
+  Floor floor(p, numRacks);
+  const auto rackOf = [&](std::uint32_t y, std::uint32_t z) { return z * sy + y; };
+
+  CableBom bom;
+  bom.nodes = static_cast<std::uint64_t>(sx) * sy * sz * terminals;
+  std::ostringstream d;
+  d << "HyperX " << sx << "x" << sy << "x" << sz << " K=" << terminals;
+  bom.description = d.str();
+
+  // Terminal cables: in-rack.
+  for (std::uint64_t n = 0; n < bom.nodes; ++n) bom.lengthsM.push_back(plan.intraRackM);
+
+  // Dim 0 (intra-rack): sx*(sx-1)/2 links per (y, z).
+  const std::uint64_t dim0PerLine = static_cast<std::uint64_t>(sx) * (sx - 1) / 2;
+  for (std::uint64_t i = 0; i < dim0PerLine * sy * sz; ++i) {
+    bom.lengthsM.push_back(plan.intraRackM);
+  }
+  // Dim 1 (across racks in a row): for each z, each y-pair, sx parallel links.
+  for (std::uint32_t z = 0; z < sz; ++z) {
+    for (std::uint32_t y1 = 0; y1 < sy; ++y1) {
+      for (std::uint32_t y2 = y1 + 1; y2 < sy; ++y2) {
+        const double len = floor.cableLength(rackOf(y1, z), rackOf(y2, z));
+        for (std::uint32_t x = 0; x < sx; ++x) bom.lengthsM.push_back(len);
+      }
+    }
+  }
+  // Dim 2 (across rows): for each y, each z-pair, sx parallel links.
+  for (std::uint32_t y = 0; y < sy; ++y) {
+    for (std::uint32_t z1 = 0; z1 < sz; ++z1) {
+      for (std::uint32_t z2 = z1 + 1; z2 < sz; ++z2) {
+        const double len = floor.cableLength(rackOf(y, z1), rackOf(y, z2));
+        for (std::uint32_t x = 0; x < sx; ++x) bom.lengthsM.push_back(len);
+      }
+    }
+  }
+  return bom;
+}
+
+CableBom dragonflyCables(std::uint32_t p, std::uint32_t a, std::uint32_t h, std::uint32_t g,
+                         const FloorPlan& plan) {
+  // A group larger than one rack spans adjacent racks (packaging density
+  // limit): some "local" all-to-all cables then leave the rack.
+  const std::uint64_t groupNodes = static_cast<std::uint64_t>(p) * a;
+  const std::uint32_t racksPerGroup = static_cast<std::uint32_t>(
+      (groupNodes + plan.nodesPerRack - 1) / plan.nodesPerRack);
+  const std::uint32_t routersPerRack = (a + racksPerGroup - 1) / racksPerGroup;
+  Floor floor(plan, g * racksPerGroup);
+  const auto rackOfRouter = [&](std::uint32_t grp, std::uint32_t local) {
+    return grp * racksPerGroup + local / routersPerRack;
+  };
+
+  CableBom bom;
+  bom.nodes = groupNodes * g;
+  std::ostringstream d;
+  d << "Dragonfly p=" << p << " a=" << a << " h=" << h << " g=" << g
+    << " (racks/group=" << racksPerGroup << ")";
+  bom.description = d.str();
+
+  // Terminal cables.
+  for (std::uint64_t n = 0; n < bom.nodes; ++n) bom.lengthsM.push_back(plan.intraRackM);
+  // Local links: full all-to-all within the group, rack-aware lengths.
+  for (std::uint32_t grp = 0; grp < g; ++grp) {
+    for (std::uint32_t r1 = 0; r1 < a; ++r1) {
+      for (std::uint32_t r2 = r1 + 1; r2 < a; ++r2) {
+        bom.lengthsM.push_back(
+            floor.cableLength(rackOfRouter(grp, r1), rackOfRouter(grp, r2)));
+      }
+    }
+  }
+  // Global links: w parallel links between every group pair, endpoints at the
+  // actual exit routers' racks (slot layout as in topo::Dragonfly).
+  const std::uint32_t w = std::max(1u, (a * h) / (g - 1));
+  for (std::uint32_t g1 = 0; g1 < g; ++g1) {
+    for (std::uint32_t o = 1; o < g; ++o) {
+      const std::uint32_t g2 = (g1 + o) % g;
+      if (g2 < g1) continue;  // count each pair once
+      for (std::uint32_t c = 0; c < w; ++c) {
+        const std::uint32_t s1 = (o - 1) * w + c;
+        const std::uint32_t s2 = (g - o - 1) * w + c;
+        bom.lengthsM.push_back(floor.cableLength(rackOfRouter(g1, s1 / h),
+                                                 rackOfRouter(g2, s2 / h)));
+      }
+    }
+  }
+  return bom;
+}
+
+CableBom hyperxForSize(std::uint64_t nodes, std::uint32_t radix, const FloorPlan& plan) {
+  // Smallest (S, K) with K <= S, K + 3(S-1) <= radix, K*S^3 >= nodes.
+  for (std::uint32_t s = 2;; ++s) {
+    if (3 * (s - 1) >= radix) {
+      // Even the max shape cannot reach the size: use the max shape.
+      const auto shape = topo::hyperxBestShape(radix, 3);
+      return hyperxCables({shape.width, shape.width, shape.width}, shape.terminals, plan);
+    }
+    const std::uint32_t kMax = std::min(s, radix - 3 * (s - 1));
+    const std::uint64_t cap = static_cast<std::uint64_t>(kMax) * s * s * s;
+    if (cap >= nodes) {
+      // Keep the balanced terminal count (K = min(S, spare ports)); trimming
+      // K would inflate router-cable cost per node unfairly.
+      return hyperxCables({s, s, s}, kMax, plan);
+    }
+  }
+}
+
+CableBom dragonflyForSize(std::uint64_t nodes, std::uint32_t radix, const FloorPlan& plan) {
+  const std::uint32_t p = (radix + 1) / 4;
+  const std::uint32_t a = 2 * p;
+  const std::uint32_t h = p;
+  const std::uint64_t perGroup = static_cast<std::uint64_t>(p) * a;
+  std::uint32_t g = static_cast<std::uint32_t>((nodes + perGroup - 1) / perGroup);
+  g = std::max(2u, std::min<std::uint32_t>(g, a * h + 1));
+  return dragonflyCables(p, a, h, g, plan);
+}
+
+std::vector<Fig3Row> fig3Sweep(const std::vector<std::uint64_t>& sizes, std::uint32_t radix,
+                               const std::vector<CableTech>& techs, const FloorPlan& plan) {
+  std::vector<Fig3Row> rows;
+  for (const auto size : sizes) {
+    Fig3Row row;
+    row.requestedNodes = size;
+    const CableBom hx = hyperxForSize(size, radix, plan);
+    const CableBom df = dragonflyForSize(size, radix, plan);
+    row.hyperxNodes = hx.nodes;
+    row.dragonflyNodes = df.nodes;
+    for (const auto& tech : techs) {
+      row.relativeCost.push_back(df.costPerNode(tech) / hx.costPerNode(tech));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hxwar::cost

@@ -1,0 +1,55 @@
+// Cable enumeration and system cost for HyperX and Dragonfly (Fig. 3).
+//
+// Packaging follows the paper's packagability argument:
+//   HyperX 3D: dimension 0 inside a rack (one X-line per rack), dimension 1
+//   across the racks of a row, dimension 2 across rows.
+//   Dragonfly: one group per rack; local links in-rack, globals across racks.
+// Terminal (node-to-router) cables are in-rack for both and are included as
+// a common constant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/cable.h"
+#include "cost/layout.h"
+
+namespace hxwar::cost {
+
+// All cable lengths of a network instance, in meters (one entry per link).
+struct CableBom {
+  std::vector<double> lengthsM;
+  std::uint64_t nodes = 0;
+  std::string description;
+
+  double totalCost(const CableTech& tech) const;
+  double totalLength() const;
+  double costPerNode(const CableTech& tech) const { return totalCost(tech) / nodes; }
+};
+
+// HyperX with dimension widths S (3D expected), K terminals per router.
+CableBom hyperxCables(const std::vector<std::uint32_t>& widths, std::uint32_t terminals,
+                      const FloorPlan& plan);
+
+// Dragonfly with p terminals, a routers/group, h globals/router, g groups.
+CableBom dragonflyCables(std::uint32_t p, std::uint32_t a, std::uint32_t h, std::uint32_t g,
+                         const FloorPlan& plan);
+
+// Smallest radix-`radix` 3D HyperX with at least `nodes` endpoints.
+CableBom hyperxForSize(std::uint64_t nodes, std::uint32_t radix, const FloorPlan& plan);
+// Balanced-router dragonfly (a = 2p = 2h at the given radix) with enough
+// groups for `nodes` endpoints.
+CableBom dragonflyForSize(std::uint64_t nodes, std::uint32_t radix, const FloorPlan& plan);
+
+// One Fig. 3 row: Dragonfly cost relative to HyperX for each technology.
+struct Fig3Row {
+  std::uint64_t requestedNodes;
+  std::uint64_t hyperxNodes;
+  std::uint64_t dragonflyNodes;
+  std::vector<double> relativeCost;  // dragonfly$/node / hyperx$/node per tech
+};
+std::vector<Fig3Row> fig3Sweep(const std::vector<std::uint64_t>& sizes, std::uint32_t radix,
+                               const std::vector<CableTech>& techs, const FloorPlan& plan);
+
+}  // namespace hxwar::cost

@@ -1,0 +1,37 @@
+// Physical floor layout: racks on a 2D floor grid, cable routing lengths
+// between rack positions (overhead tray: up, across, down).
+#pragma once
+
+#include <cstdint>
+
+namespace hxwar::cost {
+
+struct FloorPlan {
+  double rackWidthM = 0.6;   // per rack column pitch
+  double rowPitchM = 2.4;    // aisle + rack depth per row
+  double overheadM = 2.0;    // up to the tray and back down
+  double intraRackM = 1.0;   // backplane / in-rack jumper
+  std::uint32_t racksPerRow = 0;  // 0 => square-ish floor
+  // Packaging density limit. A Dragonfly group (or HyperX line) larger than
+  // this spans multiple adjacent racks, turning some "local" cables into
+  // short inter-rack cables — the packagability effect §3.1 argues about.
+  std::uint32_t nodesPerRack = 288;
+};
+
+class Floor {
+ public:
+  Floor(FloorPlan plan, std::uint32_t numRacks);
+
+  std::uint32_t numRacks() const { return numRacks_; }
+  std::uint32_t racksPerRow() const { return racksPerRow_; }
+
+  // Length of a cable between two racks (same rack => intra-rack jumper).
+  double cableLength(std::uint32_t rackA, std::uint32_t rackB) const;
+
+ private:
+  FloorPlan plan_;
+  std::uint32_t numRacks_;
+  std::uint32_t racksPerRow_;
+};
+
+}  // namespace hxwar::cost

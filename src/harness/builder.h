@@ -1,0 +1,66 @@
+// String-configured network construction: builds any supported topology with
+// a matching routing algorithm from key=value configuration — the backend of
+// the `hxsim` command-line runner (and of config-file-driven experiments).
+//
+// Keys (defaults in parentheses):
+//   topology        hyperx | dragonfly | fattree | slimfly | torus  (hyperx)
+//   routing         per family:
+//                     hyperx: dor val minad ugal closad dimwar omniwar dal
+//                     dragonfly: min ugal par    fattree: adaptive
+//                     slimfly: minimal adaptive (fixed)
+//                     torus: dor (dateline)
+//   widths          hyperx/torus dimension widths, e.g. 4,4,4   (4,4,4)
+//   terminals       terminals per router (hyperx/torus)         (4)
+//   trunking        hyperx trunk links per dim pair             (1)
+//   df-p df-a df-h df-g   dragonfly shape                       (4,8,4,0)
+//   ft-down ft-up   fat-tree XGFT m-list / w-list               (4,8,8 / 4,8)
+//   sf-q            SlimFly field size (prime, q % 4 == 1)      (5)
+//   vcs             virtual channels                            (8)
+//   channel-latency / terminal-latency    cycles                (8 / 1)
+//   input-buffer / output-queue / xbar-latency / speedup        (48/32/4/4)
+//   bias            routing weight bias in flits                (4.0)
+//   vct             packet-buffer (cut-through) flow control    (true)
+//   net-seed        RNG seed for routers                        (1)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/flags.h"
+#include "net/network.h"
+#include "routing/routing.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "traffic/pattern.h"
+
+namespace hxwar::harness {
+
+class NetworkBundle {
+ public:
+  // Builds the full stack. Aborts (CHECK) on unknown topology/routing names.
+  static std::unique_ptr<NetworkBundle> fromFlags(const Flags& flags);
+
+  sim::Simulator& sim() { return sim_; }
+  const topo::Topology& topology() const { return *topology_; }
+  routing::RoutingAlgorithm& routing() { return *routing_; }
+  net::Network& network() { return *network_; }
+  const std::string& description() const { return description_; }
+
+  // Builds a traffic pattern by name against this bundle's topology. HyperX
+  // bundles support the full pattern set; other topologies support the
+  // topology-agnostic ones (ur, bc, rp).
+  std::unique_ptr<traffic::TrafficPattern> makePattern(const std::string& name,
+                                                       std::uint64_t seed = 99) const;
+
+ private:
+  NetworkBundle() = default;
+
+  sim::Simulator sim_;
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<routing::RoutingAlgorithm> routing_;
+  std::unique_ptr<net::Network> network_;
+  std::string description_;
+  bool isHyperX_ = false;
+};
+
+}  // namespace hxwar::harness

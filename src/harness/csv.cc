@@ -1,0 +1,47 @@
+#include "harness/csv.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace hxwar::harness {
+namespace {
+
+// Quote a cell if it contains separators/quotes (RFC 4180 style).
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : columns_(header.size()) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    HXWAR_LOG_WARN("could not open CSV output file %s", path.c_str());
+    return;
+  }
+  row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (file_ == nullptr) return;
+  HXWAR_CHECK_MSG(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::fprintf(file_, "%s%s", i == 0 ? "" : ",", escape(cells[i]).c_str());
+  }
+  std::fputc('\n', file_);
+}
+
+}  // namespace hxwar::harness

@@ -1,0 +1,29 @@
+// CSV writer for experiment results, so bench output can feed plotting
+// scripts directly (one row per measured point, header once).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hxwar::harness {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) `path`; invalid paths disable the writer silently so
+  // benches can pass an empty --csv flag.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  bool enabled() const { return file_ != nullptr; }
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace hxwar::harness

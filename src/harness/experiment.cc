@@ -1,0 +1,116 @@
+#include "harness/experiment.h"
+
+#include "common/assert.h"
+
+namespace hxwar::harness {
+
+ExperimentConfig smallScaleConfig() {
+  ExperimentConfig c;
+  c.widths = {4, 4, 4};
+  c.terminalsPerRouter = 4;
+  c.net.channelLatencyRouter = 8;
+  c.net.channelLatencyTerminal = 1;
+  c.net.router.numVcs = 8;
+  c.net.router.inputBufferDepth = 48;  // > credit round trip (2*8 + pipeline) + max packet
+  c.net.router.outputQueueDepth = 32;
+  c.net.router.crossbarLatency = 4;
+  c.net.router.inputSpeedup = 4;
+  c.steady.warmupWindow = 1000;
+  c.steady.maxWarmupWindows = 18;
+  c.steady.measureWindow = 3000;
+  c.steady.drainWindow = 8000;
+  return c;
+}
+
+ExperimentConfig tinyScaleConfig() {
+  ExperimentConfig c;
+  c.widths = {3, 3};
+  c.terminalsPerRouter = 2;
+  c.net.channelLatencyRouter = 4;
+  c.net.channelLatencyTerminal = 1;
+  c.net.router.numVcs = 8;
+  c.net.router.inputBufferDepth = 12;
+  c.net.router.outputQueueDepth = 4;
+  c.net.router.crossbarLatency = 2;
+  c.steady.warmupWindow = 500;
+  c.steady.maxWarmupWindows = 30;
+  c.steady.measureWindow = 2000;
+  c.steady.drainWindow = 10000;
+  return c;
+}
+
+ExperimentConfig paperScaleConfig() {
+  // The paper's 4,096-node 3D HyperX: 8x8x8, 8 terminals per router, 8 VCs,
+  // 50 ns (= 50 cycle) router-to-router channels and crossbar, 5 ns terminal
+  // channels, buffering beyond the credit round trip.
+  ExperimentConfig c;
+  c.widths = {8, 8, 8};
+  c.terminalsPerRouter = 8;
+  c.net.channelLatencyRouter = 50;
+  c.net.channelLatencyTerminal = 5;
+  c.net.router.numVcs = 8;
+  c.net.router.inputBufferDepth = 160;  // credit RTT ~ 2*50 + pipeline, plus a packet
+  c.net.router.outputQueueDepth = 32;
+  c.net.router.crossbarLatency = 50;
+  c.net.router.inputSpeedup = 4;
+  c.steady.warmupWindow = 5000;
+  c.steady.maxWarmupWindows = 60;
+  c.steady.measureWindow = 20000;
+  c.steady.drainWindow = 100000;
+  return c;
+}
+
+ExperimentConfig scaleConfig(const std::string& name) {
+  if (name == "tiny") return tinyScaleConfig();
+  if (name == "small") return smallScaleConfig();
+  if (name == "paper") return paperScaleConfig();
+  HXWAR_CHECK_MSG(false, ("unknown scale preset: " + name).c_str());
+  return smallScaleConfig();
+}
+
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config),
+      topo_(topo::HyperX::Params{config.widths, config.terminalsPerRouter}) {
+  routing_ = routing::makeHyperXRouting(config.algorithm, topo_, config.routingOpts);
+  network_ = std::make_unique<net::Network>(sim_, topo_, *routing_, config.net);
+  pattern_ = traffic::makePattern(config.pattern, topo_);
+  injector_ = std::make_unique<traffic::SyntheticInjector>(sim_, *network_, *pattern_,
+                                                           config.injection);
+}
+
+metrics::SteadyStateResult Experiment::run() {
+  return metrics::runSteadyState(sim_, *network_, *injector_, config_.steady);
+}
+
+std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
+                                         const std::vector<double>& loads,
+                                         bool stopAtSaturation) {
+  std::vector<SweepPoint> points;
+  std::uint32_t saturatedStreak = 0;
+  for (const double load : loads) {
+    ExperimentConfig cfg = base;
+    cfg.injection.rate = load;
+    Experiment exp(cfg);
+    points.push_back(SweepPoint{load, exp.run()});
+    saturatedStreak = points.back().result.saturated ? saturatedStreak + 1 : 0;
+    if (stopAtSaturation && saturatedStreak >= 2) break;
+  }
+  return points;
+}
+
+double saturationThroughput(const ExperimentConfig& base, double offered) {
+  ExperimentConfig cfg = base;
+  cfg.injection.rate = offered;
+  // Saturated runs skip the drain phase; the accepted rate over the
+  // measurement window is the steady-state throughput.
+  Experiment exp(cfg);
+  return exp.run().accepted;
+}
+
+std::vector<double> loadGrid(double step, double max) {
+  std::vector<double> loads;
+  for (double l = step; l <= max + 1e-9; l += step) loads.push_back(l);
+  return loads;
+}
+
+}  // namespace hxwar::harness

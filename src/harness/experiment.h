@@ -1,0 +1,84 @@
+// Experiment harness: wires a simulator, a HyperX topology, a routing
+// algorithm, a network, a traffic pattern, and an injector into one owned
+// bundle, with the scale presets used by the benches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/steady_state.h"
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar::harness {
+
+struct ExperimentConfig {
+  std::vector<std::uint32_t> widths = {4, 4, 4};
+  std::uint32_t terminalsPerRouter = 4;
+  std::string algorithm = "dimwar";
+  std::string pattern = "ur";
+  routing::HyperXRoutingOptions routingOpts;
+  net::NetworkConfig net;
+  traffic::SyntheticInjector::Params injection;
+  metrics::SteadyStateConfig steady;
+};
+
+// Scale presets.
+//   small: 4x4x4, K=4 (256 nodes), short channels — default for benches/tests
+//   tiny:  3x3, K=2 (18 nodes) — unit/property tests
+//   paper: 8x8x8, K=8 (4,096 nodes), 50-cycle channels — the paper's system
+ExperimentConfig smallScaleConfig();
+ExperimentConfig tinyScaleConfig();
+ExperimentConfig paperScaleConfig();
+// Lookup by name ("tiny", "small", "paper").
+ExperimentConfig scaleConfig(const std::string& name);
+
+// One self-contained simulation instance. Construct fresh per data point so
+// measurements never leak state across points.
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  sim::Simulator& sim() { return sim_; }
+  const topo::HyperX& hyperx() const { return topo_; }
+  net::Network& network() { return *network_; }
+  traffic::SyntheticInjector& injector() { return *injector_; }
+  routing::RoutingAlgorithm& routing() { return *routing_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  // Runs warmup + measurement at the configured injection rate.
+  metrics::SteadyStateResult run();
+
+ private:
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  topo::HyperX topo_;
+  std::unique_ptr<routing::RoutingAlgorithm> routing_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<traffic::TrafficPattern> pattern_;
+  std::unique_ptr<traffic::SyntheticInjector> injector_;
+};
+
+// Load-latency sweep: fresh Experiment per load. Stops early once two
+// consecutive loads saturate (the curve has ended, matching how the paper's
+// plots stop at saturation).
+struct SweepPoint {
+  double load;
+  metrics::SteadyStateResult result;
+};
+std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
+                                         const std::vector<double>& loads,
+                                         bool stopAtSaturation = true);
+
+// Accepted throughput at (near-)full offered load — the Fig. 6g metric.
+double saturationThroughput(const ExperimentConfig& base, double offered = 1.0);
+
+// Uniform load grid [step, step*2, ..., <= max].
+std::vector<double> loadGrid(double step, double max);
+
+}  // namespace hxwar::harness

@@ -1,0 +1,45 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hxwar::harness {
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto printRow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string();
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ", static_cast<int>(widths[c]), s.c_str());
+    }
+    std::fputc('\n', out);
+  };
+  printRow(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule.append(widths[c], '-');
+  }
+  std::fprintf(out, "%s\n", rule.c_str());
+  for (const auto& row : rows_) printRow(row);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+}  // namespace hxwar::harness

@@ -1,0 +1,28 @@
+// Fixed-width ASCII table printer for bench output, mirroring the rows/series
+// the paper's figures report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hxwar::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(std::FILE* out = stdout) const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);  // 0.5 -> "50.0%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hxwar::harness

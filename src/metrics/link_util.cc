@@ -1,0 +1,58 @@
+#include "metrics/link_util.h"
+
+#include <algorithm>
+
+namespace hxwar::metrics {
+
+void LinkUtilization::reset() {
+  baseTick_ = network_.simulator().now();
+  offsets_.assign(network_.numRouters() + 1, 0);
+  for (RouterId r = 0; r < network_.numRouters(); ++r) {
+    offsets_[r + 1] = offsets_[r] + network_.router(r).numPorts();
+  }
+  baseFlits_.assign(offsets_.back(), 0);
+  for (RouterId r = 0; r < network_.numRouters(); ++r) {
+    const auto& router = network_.router(r);
+    for (PortId p = 0; p < router.numPorts(); ++p) {
+      baseFlits_[offsets_[r] + p] = router.portFlitsSent(p);
+    }
+  }
+}
+
+std::vector<LinkLoad> LinkUtilization::snapshot() const {
+  const Tick elapsed = std::max<Tick>(1, network_.simulator().now() - baseTick_);
+  std::vector<LinkLoad> loads;
+  for (RouterId r = 0; r < network_.numRouters(); ++r) {
+    const auto& router = network_.router(r);
+    for (PortId p = 0; p < router.numPorts(); ++p) {
+      const std::uint64_t flits = router.portFlitsSent(p) - baseFlits_[offsets_[r] + p];
+      loads.push_back(LinkLoad{r, p, router.isTerminalPort(p), flits,
+                               router.portDeroutesGranted(p),
+                               static_cast<double>(flits) / elapsed});
+    }
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const LinkLoad& a, const LinkLoad& b) { return a.flits > b.flits; });
+  return loads;
+}
+
+LinkUtilization::Summary LinkUtilization::summarize() const {
+  Summary s;
+  std::vector<double> utils;
+  for (const auto& load : snapshot()) {
+    if (load.toTerminal) continue;
+    utils.push_back(load.utilization);
+  }
+  if (utils.empty()) return s;
+  std::sort(utils.begin(), utils.end());
+  double sum = 0.0;
+  for (const double u : utils) sum += u;
+  s.links = utils.size();
+  s.meanUtilization = sum / utils.size();
+  s.maxUtilization = utils.back();
+  s.p99Utilization = utils[static_cast<std::size_t>(0.99 * (utils.size() - 1))];
+  s.imbalance = s.meanUtilization > 0 ? s.maxUtilization / s.meanUtilization : 0.0;
+  return s;
+}
+
+}  // namespace hxwar::metrics

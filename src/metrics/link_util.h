@@ -1,0 +1,53 @@
+// Link utilization snapshots: per-output-port flit counters aggregated into
+// utilization statistics and hot-link reports. Useful for explaining *why* a
+// routing algorithm saturates (e.g. the single 64:1 link DCR creates under
+// DOR) and exercised by the adversarial-traffic example.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+
+namespace hxwar::metrics {
+
+struct LinkLoad {
+  RouterId router;
+  PortId port;
+  bool toTerminal;
+  std::uint64_t flits;
+  std::uint64_t deroutes;   // deroute grants through this port
+  double utilization;       // flits / elapsed cycles
+};
+
+class LinkUtilization {
+ public:
+  explicit LinkUtilization(net::Network& network) : network_(network) { reset(); }
+
+  // Re-bases all counters at the current simulation time.
+  void reset();
+
+  // Loads since the last reset, most utilized first.
+  std::vector<LinkLoad> snapshot() const;
+
+  // Summary statistics over inter-router links only.
+  struct Summary {
+    double meanUtilization = 0.0;
+    double maxUtilization = 0.0;
+    double p99Utilization = 0.0;
+    // max / mean: 1.0 = perfectly balanced, large = hot spot.
+    double imbalance = 0.0;
+    std::uint64_t links = 0;
+  };
+  Summary summarize() const;
+
+ private:
+  net::Network& network_;
+  Tick baseTick_ = 0;
+  std::vector<std::uint64_t> baseFlits_;  // flattened [router][port]
+  std::vector<std::uint32_t> offsets_;    // per-router base index
+};
+
+}  // namespace hxwar::metrics

@@ -1,0 +1,78 @@
+// Streaming and sample statistics used by the measurement layer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hxwar::metrics {
+
+// Constant-memory running statistics (Welford).
+class StreamingStats {
+ public:
+  void add(double x) {
+    count_ += 1;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  void reset() { *this = StreamingStats(); }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Keeps all samples; percentiles computed on demand.
+class SampleStats {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    stream_.add(x);
+  }
+
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+    stream_.reset();
+  }
+
+  std::uint64_t count() const { return stream_.count(); }
+  double mean() const { return stream_.mean(); }
+  double min() const { return stream_.min(); }
+  double max() const { return stream_.max(); }
+  double stddev() const { return stream_.stddev(); }
+
+  // p in [0, 1]; nearest-rank.
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(p * (samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+  StreamingStats stream_;
+};
+
+}  // namespace hxwar::metrics

@@ -1,0 +1,143 @@
+#include "metrics/steady_state.h"
+
+#include "common/assert.h"
+#include "common/log.h"
+
+namespace hxwar::metrics {
+namespace {
+
+// Aborts on a network-wide stall: nothing moved for a full window while
+// packets are outstanding. With correct deadlock avoidance this never fires.
+void watchdog(const net::Network& network, std::uint64_t movesBefore) {
+  if (network.packetsOutstanding() == 0) return;
+  HXWAR_CHECK_MSG(network.flitMovements() != movesBefore,
+                  "network stalled: possible routing deadlock");
+}
+
+}  // namespace
+
+SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
+                                 traffic::SyntheticInjector& injector,
+                                 const SteadyStateConfig& config) {
+  SteadyStateResult result;
+  result.offered = injector.rate();
+
+  // Window latency accumulator used during warmup.
+  StreamingStats windowLatency;
+  network.setEjectionListener([&](const net::Packet& pkt) {
+    windowLatency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
+  });
+
+  injector.start();
+  const Tick start = sim.now();
+
+  // --- warmup ---
+  bool stable = false;
+  double prevMean = -1.0;
+  std::uint32_t stableCount = 0;
+  std::uint64_t prevBacklog = 0;
+  for (std::uint32_t w = 0; w < config.maxWarmupWindows; ++w) {
+    windowLatency.reset();
+    const std::uint64_t movesBefore = network.flitMovements();
+    const std::uint64_t ejectedBefore = network.flitsEjected();
+    sim.run(sim.now() + config.warmupWindow);
+    watchdog(network, movesBefore);
+
+    // A saturated network can show stable latencies for the packets it does
+    // deliver while the source queues diverge; require the delivered rate to
+    // track the offered rate and the backlog to stop growing.
+    const double windowAccepted =
+        static_cast<double>(network.flitsEjected() - ejectedBefore) /
+        (static_cast<double>(network.numNodes()) * static_cast<double>(config.warmupWindow));
+    const bool underDelivering = windowAccepted < config.acceptedTol * injector.rate();
+
+    const std::uint64_t backlog = network.totalSourceBacklogFlits();
+    const bool backlogGrowing =
+        backlog > static_cast<std::uint64_t>(
+                      static_cast<double>(prevBacklog) * config.backlogGrowthTol) &&
+        backlog > network.numNodes();  // ignore noise at trivial backlogs
+    prevBacklog = backlog;
+
+    if (windowLatency.count() > 0 && prevMean > 0.0 && !backlogGrowing && !underDelivering) {
+      const double rel = std::abs(windowLatency.mean() - prevMean) / prevMean;
+      stableCount = (rel <= config.stabilityTol) ? stableCount + 1 : 0;
+    } else {
+      stableCount = 0;
+    }
+    prevMean = windowLatency.count() > 0 ? windowLatency.mean() : prevMean;
+    if (stableCount >= config.stableWindows) {
+      stable = true;
+      result.warmupCycles = sim.now() - start;
+      break;
+    }
+  }
+  if (!stable) {
+    result.saturated = true;
+    result.warmupCycles = sim.now() - start;
+  }
+
+  // --- measurement ---
+  // Even when saturated we measure accepted throughput (needed for the
+  // Fig. 6g throughput comparison); latency statistics are only meaningful
+  // when the warmup stabilized.
+  SampleStats latency;
+  StreamingStats hops;
+  StreamingStats deroutes;
+  const Tick mStart = sim.now();
+  const Tick mEnd = mStart + config.measureWindow;
+  std::uint64_t markedEjected = 0;
+
+  network.setEjectionListener([&](const net::Packet& pkt) {
+    if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
+    latency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
+    hops.add(pkt.hops);
+    deroutes.add(pkt.deroutes);
+    markedEjected += 1;
+  });
+
+  const std::uint64_t createdBefore = network.packetsCreated();
+  const std::uint64_t ejectedFlitsBefore = network.flitsEjected();
+  {
+    const std::uint64_t movesBefore = network.flitMovements();
+    sim.run(mEnd);
+    watchdog(network, movesBefore);
+  }
+  const std::uint64_t markedCreated = network.packetsCreated() - createdBefore;
+  result.accepted = static_cast<double>(network.flitsEjected() - ejectedFlitsBefore) /
+                    (static_cast<double>(network.numNodes()) *
+                     static_cast<double>(config.measureWindow));
+
+  // Drain: keep injecting (per the paper) until every marked packet arrives
+  // or the drain budget runs out.
+  const Tick drainDeadline = mEnd + config.drainWindow;
+  while (!result.saturated && markedEjected < markedCreated && sim.now() < drainDeadline) {
+    const std::uint64_t movesBefore = network.flitMovements();
+    sim.run(std::min(sim.now() + config.warmupWindow, drainDeadline));
+    watchdog(network, movesBefore);
+  }
+  if (markedEjected < markedCreated && !result.saturated) {
+    // Could not drain: the network is effectively saturated at this load.
+    result.saturated = true;
+  }
+  if (!result.saturated && markedEjected < config.minMeasurePackets) {
+    HXWAR_LOG_WARN("steady-state measurement captured only %llu packets",
+                   static_cast<unsigned long long>(markedEjected));
+  }
+
+  injector.stop();
+  network.setEjectionListener(nullptr);
+
+  result.packetsMeasured = markedEjected;
+  if (markedEjected > 0) {
+    result.latencyMean = latency.mean();
+    result.latencyP50 = latency.percentile(0.50);
+    result.latencyP99 = latency.percentile(0.99);
+    result.latencyMin = latency.min();
+    result.latencyMax = latency.max();
+    result.avgHops = hops.mean();
+    result.avgDeroutes = deroutes.mean();
+  }
+  return result;
+}
+
+}  // namespace hxwar::metrics

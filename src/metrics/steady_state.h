@@ -1,0 +1,66 @@
+// Steady-state measurement controller, following the methodology of §6.1:
+//
+//   "Before any measurements are taken, the network is warmed up with traffic
+//    until packet latency stabilizes. Packet injection continues until all
+//    measurements have completed. If the network never reaches a state where
+//    latency stabilizes, the network is declared saturated and measurements
+//    are not taken."
+//
+// Warmup: the run is divided into fixed windows; the mean latency of packets
+// ejected in each window is compared to the previous window. Stable when the
+// relative change stays under `stabilityTol` for `stableWindows` consecutive
+// windows AND the aggregate source backlog is not growing (a saturated
+// network can show stable *ejected* latencies while queues diverge).
+//
+// Measurement: packets created during the measurement interval are tracked to
+// ejection (latency sample = ejection - creation, so source queueing counts);
+// accepted throughput is ejected flits per node per cycle over the interval.
+// A deadlock watchdog aborts if no flit moves for a full window while packets
+// are outstanding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "metrics/stats.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "traffic/injector.h"
+
+namespace hxwar::metrics {
+
+struct SteadyStateConfig {
+  Tick warmupWindow = 1000;           // cycles per warmup window
+  std::uint32_t maxWarmupWindows = 40;
+  std::uint32_t stableWindows = 2;
+  double stabilityTol = 0.05;
+  double backlogGrowthTol = 1.10;     // per-window backlog growth => unstable
+  double acceptedTol = 0.93;          // window accepted must reach this share
+                                      // of the offered rate to count as stable
+  Tick measureWindow = 5000;          // cycles of marked-packet creation
+  Tick drainWindow = 20000;           // extra cycles to let marked packets finish
+  std::uint64_t minMeasurePackets = 100;
+};
+
+struct SteadyStateResult {
+  bool saturated = false;
+  double offered = 0.0;            // flits/node/cycle
+  double accepted = 0.0;           // flits/node/cycle during the measurement
+  double latencyMean = 0.0;        // cycles, creation -> ejection
+  double latencyP50 = 0.0;
+  double latencyP99 = 0.0;
+  double latencyMin = 0.0;
+  double latencyMax = 0.0;
+  double avgHops = 0.0;            // router-to-router hops per packet
+  double avgDeroutes = 0.0;
+  std::uint64_t packetsMeasured = 0;
+  Tick warmupCycles = 0;
+};
+
+// Runs warmup + measurement for an already-constructed network/injector.
+// The injector is started by this call and left stopped afterwards.
+SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
+                                 traffic::SyntheticInjector& injector,
+                                 const SteadyStateConfig& config);
+
+}  // namespace hxwar::metrics

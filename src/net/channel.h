@@ -1,0 +1,108 @@
+// Point-to-point channels with fixed latency.
+//
+// A FlitChannel carries one flit per cycle in one direction; a CreditChannel
+// carries credit returns the other way. Both are FIFO pipes: the sender calls
+// send() (at most once per cycle for flits, checked), the channel schedules
+// itself, and on delivery invokes the sink callback at epsilon kEpsDeliver so
+// receivers observe arrivals before their own cycle processing.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hxwar::net {
+
+class FlitSink {
+ public:
+  virtual ~FlitSink() = default;
+  virtual void receiveFlit(PortId port, VcId vc, Flit flit) = 0;
+};
+
+class CreditSink {
+ public:
+  virtual ~CreditSink() = default;
+  virtual void receiveCredit(PortId port, VcId vc) = 0;
+};
+
+class FlitChannel final : public sim::Component {
+ public:
+  FlitChannel(sim::Simulator& sim, std::string name, Tick latency, FlitSink* sink,
+              PortId sinkPort)
+      : Component(sim, std::move(name)), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+    HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
+  }
+
+  // Sends a flit on virtual channel `vc`; delivery after `latency_` cycles.
+  void send(VcId vc, Flit flit) {
+    HXWAR_CHECK_MSG(lastSend_ != sim().now(),
+                    "flit channel overdriven (more than one flit per cycle)");
+    lastSend_ = sim().now();
+    inflight_.push_back(Entry{sim().now() + latency_, vc, flit});
+    sim().schedule(sim().now() + latency_, sim::kEpsDeliver, this, 0);
+  }
+
+  void processEvent(std::uint64_t) override {
+    HXWAR_CHECK(!inflight_.empty());
+    const Entry e = inflight_.front();
+    HXWAR_CHECK(e.arrival == sim().now());
+    inflight_.pop_front();
+    sink_->receiveFlit(sinkPort_, e.vc, e.flit);
+  }
+
+  Tick latency() const { return latency_; }
+  std::size_t inflightFlits() const { return inflight_.size(); }
+
+ private:
+  struct Entry {
+    Tick arrival;
+    VcId vc;
+    Flit flit;
+  };
+
+  Tick latency_;
+  FlitSink* sink_;
+  PortId sinkPort_;
+  std::deque<Entry> inflight_;
+  Tick lastSend_ = kTickInvalid;
+};
+
+class CreditChannel final : public sim::Component {
+ public:
+  CreditChannel(sim::Simulator& sim, std::string name, Tick latency, CreditSink* sink,
+                PortId sinkPort)
+      : Component(sim, std::move(name)), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+    HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
+  }
+
+  void send(VcId vc) {
+    inflight_.push_back(Entry{sim().now() + latency_, vc});
+    sim().schedule(sim().now() + latency_, sim::kEpsDeliver, this, 0);
+  }
+
+  void processEvent(std::uint64_t) override {
+    HXWAR_CHECK(!inflight_.empty());
+    const Entry e = inflight_.front();
+    HXWAR_CHECK(e.arrival == sim().now());
+    inflight_.pop_front();
+    sink_->receiveCredit(sinkPort_, e.vc);
+  }
+
+ private:
+  struct Entry {
+    Tick arrival;
+    VcId vc;
+  };
+
+  Tick latency_;
+  CreditSink* sink_;
+  PortId sinkPort_;
+  std::deque<Entry> inflight_;
+};
+
+}  // namespace hxwar::net

@@ -1,0 +1,126 @@
+#include "net/network.h"
+
+#include <string>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace hxwar::net {
+
+Network::Network(sim::Simulator& sim, const topo::Topology& topology,
+                 routing::RoutingAlgorithm& routing, const NetworkConfig& config)
+    : sim_(sim), topology_(topology), config_(config) {
+  const std::uint32_t numRouters = topology.numRouters();
+  const std::uint32_t numNodes = topology.numNodes();
+  const routing::VcMap vcMap(config.router.numVcs, routing.numClasses());
+  HXWAR_CHECK_MSG(routing.numClasses() <= config.router.numVcs,
+                  "routing algorithm needs more VCs than configured");
+
+  SplitMix64 seeds(config.rngSeed);
+
+  routers_.reserve(numRouters);
+  for (RouterId r = 0; r < numRouters; ++r) {
+    maxPorts_ = std::max(maxPorts_, topology.numPorts(r));
+  }
+  portIsTerminal_.assign(static_cast<std::size_t>(numRouters) * maxPorts_, 0);
+  for (RouterId r = 0; r < numRouters; ++r) {
+    routers_.push_back(std::make_unique<Router>(sim, this, r, topology.numPorts(r),
+                                                config.router, &routing, vcMap, seeds.next()));
+  }
+  terminals_.reserve(numNodes);
+  for (NodeId n = 0; n < numNodes; ++n) {
+    terminals_.push_back(std::make_unique<Terminal>(sim, this, n, config.router.numVcs));
+  }
+
+  // Wire every router port.
+  for (RouterId r = 0; r < numRouters; ++r) {
+    const std::uint32_t ports = topology.numPorts(r);
+    for (PortId p = 0; p < ports; ++p) {
+      const auto target = topology.portTarget(r, p);
+      using Kind = topo::Topology::PortTarget::Kind;
+      if (target.kind == Kind::kUnused) continue;
+      if (target.kind == Kind::kTerminal) {
+        portIsTerminal_[static_cast<std::size_t>(r) * maxPorts_ + p] = 1;
+        Terminal& t = *terminals_[target.node];
+        Router& rt = *routers_[r];
+        rt.setTerminalPort(p, true);
+        // Injection path: terminal -> router flits, router -> terminal credits.
+        auto inj = std::make_unique<FlitChannel>(
+            sim, "inj" + std::to_string(target.node), config.channelLatencyTerminal, &rt, p);
+        auto injCr = std::make_unique<CreditChannel>(
+            sim, "injcr" + std::to_string(target.node), config.channelLatencyTerminal, &t, 0);
+        t.connectOutput(inj.get(), config.router.inputBufferDepth);
+        rt.connectInputCredit(p, injCr.get());
+        // Ejection path: router -> terminal flits, terminal -> router credits.
+        auto ej = std::make_unique<FlitChannel>(
+            sim, "ej" + std::to_string(target.node), config.channelLatencyTerminal, &t, 0);
+        auto ejCr = std::make_unique<CreditChannel>(
+            sim, "ejcr" + std::to_string(target.node), config.channelLatencyTerminal, &rt, p);
+        rt.connectOutput(p, ej.get(), config.terminalEjectDepth);
+        t.connectInputCredit(ejCr.get());
+        flitChannels_.push_back(std::move(inj));
+        flitChannels_.push_back(std::move(ej));
+        creditChannels_.push_back(std::move(injCr));
+        creditChannels_.push_back(std::move(ejCr));
+        continue;
+      }
+      // Router-to-router: create the forward flit channel and its paired
+      // reverse credit channel. Each directed (r, p) is visited exactly once.
+      Router& src = *routers_[r];
+      Router& dst = *routers_[target.router];
+      auto fc = std::make_unique<FlitChannel>(
+          sim, "ch" + std::to_string(r) + "." + std::to_string(p), config.channelLatencyRouter,
+          &dst, target.port);
+      auto cc = std::make_unique<CreditChannel>(
+          sim, "cr" + std::to_string(r) + "." + std::to_string(p), config.channelLatencyRouter,
+          &src, p);
+      src.connectOutput(p, fc.get(), config.router.inputBufferDepth);
+      dst.connectInputCredit(target.port, cc.get());
+      flitChannels_.push_back(std::move(fc));
+      creditChannels_.push_back(std::move(cc));
+    }
+  }
+}
+
+Network::~Network() = default;
+
+std::uint32_t Network::downstreamDepth(RouterId r, PortId p) const {
+  return portIsTerminal_[static_cast<std::size_t>(r) * maxPorts_ + p]
+             ? config_.terminalEjectDepth
+             : config_.router.inputBufferDepth;
+}
+
+Packet& Network::injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits) {
+  HXWAR_CHECK(src < numNodes() && dst < numNodes() && sizeFlits >= 1);
+  auto pkt = std::make_unique<Packet>();
+  pkt->id = nextPacketId_++;
+  pkt->src = src;
+  pkt->dst = dst;
+  pkt->sizeFlits = sizeFlits;
+  Packet& ref = *pkt;
+  packetsCreated_ += 1;
+  terminals_[src]->enqueuePacket(std::move(pkt));
+  return ref;
+}
+
+void Network::trackInFlight(Packet* pkt) {
+  HXWAR_CHECK(pkt != nullptr);
+  packetsInFlight_ += 1;
+}
+
+void Network::completePacket(Packet* pkt) {
+  flitsEjected_ += pkt->sizeFlits;
+  packetsEjected_ += 1;
+  HXWAR_CHECK(packetsInFlight_ > 0);
+  packetsInFlight_ -= 1;
+  if (listener_) listener_(*pkt);
+  delete pkt;
+}
+
+std::uint64_t Network::totalSourceBacklogFlits() const {
+  std::uint64_t n = 0;
+  for (const auto& t : terminals_) n += t->sourceQueueFlits();
+  return n;
+}
+
+}  // namespace hxwar::net

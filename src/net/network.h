@@ -1,0 +1,108 @@
+// Network: instantiates routers, terminals, and channels from a Topology and
+// a RoutingAlgorithm, owns all packets in flight, and aggregates counters for
+// the measurement layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "net/router.h"
+#include "net/terminal.h"
+#include "routing/routing.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace hxwar::net {
+
+struct NetworkConfig {
+  RouterConfig router;
+  Tick channelLatencyRouter = 10;   // cycles, router-to-router
+  Tick channelLatencyTerminal = 1;  // cycles, terminal-to-router
+  std::uint32_t terminalEjectDepth = 32;  // flits per VC buffered at the terminal
+  std::uint64_t rngSeed = 1;
+};
+
+class Network {
+ public:
+  // Called (if set) for every packet that completes, before it is freed.
+  using EjectionListener = std::function<void(const Packet&)>;
+
+  // Called (if set) whenever a packet's head flit wins switch allocation:
+  // (packet, router, input port, output port, tick). Enables path tracing
+  // and structural property checks; costs one branch per head flit when
+  // unset.
+  using HopListener =
+      std::function<void(const Packet&, RouterId, PortId, PortId, Tick)>;
+
+  Network(sim::Simulator& sim, const topo::Topology& topology,
+          routing::RoutingAlgorithm& routing, const NetworkConfig& config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Router& router(RouterId r) { return *routers_[r]; }
+  Terminal& terminal(NodeId n) { return *terminals_[n]; }
+  std::uint32_t numRouters() const { return static_cast<std::uint32_t>(routers_.size()); }
+  std::uint32_t numNodes() const { return static_cast<std::uint32_t>(terminals_.size()); }
+  const topo::Topology& topology() const { return topology_; }
+  const NetworkConfig& config() const { return config_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  void setEjectionListener(EjectionListener listener) { listener_ = std::move(listener); }
+  void setHopListener(HopListener listener) { hopListener_ = std::move(listener); }
+  bool hasHopListener() const { return static_cast<bool>(hopListener_); }
+  void notifyHop(const Packet& pkt, RouterId router, PortId inPort, PortId outPort) {
+    if (hopListener_) hopListener_(pkt, router, inPort, outPort, sim_.now());
+  }
+
+  // Convenience: build a packet and hand it to the source terminal.
+  Packet& injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits);
+
+  // --- hooks used by routers/terminals ---
+  std::uint32_t downstreamDepth(RouterId r, PortId p) const;
+  void noteFlitMoved() { flitMovements_ += 1; }
+  void noteFlitInjected() { flitsInjected_ += 1; }
+  void trackInFlight(Packet* pkt);
+  void completePacket(Packet* pkt);
+
+  // --- counters ---
+  std::uint64_t flitMovements() const { return flitMovements_; }
+  std::uint64_t flitsInjected() const { return flitsInjected_; }
+  std::uint64_t flitsEjected() const { return flitsEjected_; }
+  std::uint64_t packetsCreated() const { return packetsCreated_; }
+  std::uint64_t packetsEjected() const { return packetsEjected_; }
+  // Packets enqueued or in flight but not yet delivered.
+  std::uint64_t packetsOutstanding() const { return packetsCreated_ - packetsEjected_; }
+  // Sum of all source-queue backlogs in flits (saturation signal).
+  std::uint64_t totalSourceBacklogFlits() const;
+
+ private:
+  sim::Simulator& sim_;
+  const topo::Topology& topology_;
+  NetworkConfig config_;
+  EjectionListener listener_;
+  HopListener hopListener_;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Terminal>> terminals_;
+  std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
+  std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+  std::vector<std::uint8_t> portIsTerminal_;  // [router * maxPorts + port]
+  std::uint32_t maxPorts_ = 0;
+
+  std::uint64_t nextPacketId_ = 1;
+  std::uint64_t flitMovements_ = 0;
+  std::uint64_t flitsInjected_ = 0;
+  std::uint64_t flitsEjected_ = 0;
+  std::uint64_t packetsCreated_ = 0;
+  std::uint64_t packetsEjected_ = 0;
+  std::uint64_t packetsInFlight_ = 0;
+};
+
+}  // namespace hxwar::net

@@ -1,0 +1,54 @@
+// Packets and flits.
+//
+// A packet is the unit of routing; a flit is the unit of flow control. Flits
+// are lightweight (pointer + index) and are passed by value through buffers
+// and channels. The packet object carries measurement timestamps and the
+// per-packet routing scratch state used by source-adaptive algorithms
+// (Valiant/UGAL/Clos-AD intermediate address, DAL deroute mask). DimWAR and
+// OmniWAR deliberately do not read this scratch state: everything they need
+// is derived from the input VC class and the destination, mirroring the
+// paper's claim that they need no extra packet contents.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace hxwar::net {
+
+struct Packet {
+  PacketId id = 0;
+  NodeId src = kNodeInvalid;
+  NodeId dst = kNodeInvalid;
+  std::uint32_t sizeFlits = 1;
+
+  Tick createdAt = 0;               // entered the source queue (age basis)
+  Tick injectedAt = kTickInvalid;   // head flit left the terminal
+  Tick ejectedAt = kTickInvalid;    // tail flit absorbed at destination
+
+  std::uint16_t hops = 0;      // router-to-router hops taken
+  std::uint16_t deroutes = 0;  // non-minimal hops taken
+
+  // --- routing scratch (source-adaptive algorithms only) ---
+  RouterId intermediate = kRouterInvalid;  // VAL/UGAL/Clos-AD
+  bool phase2 = false;                     // reached the intermediate router
+  bool minimalCommitted = false;           // UGAL chose the minimal route
+  std::uint32_t deroutedDims = 0;          // DAL: bitmask of derouted dims
+
+  // --- destination-side reassembly ---
+  std::uint32_t arrivedFlits = 0;
+
+  // --- application linkage (nullptr for synthetic traffic) ---
+  void* appMessage = nullptr;
+  std::uint32_t msgSeq = 0;  // packet index within its message
+};
+
+struct Flit {
+  Packet* packet = nullptr;
+  std::uint32_t index = 0;
+
+  bool isHead() const { return index == 0; }
+  bool isTail() const { return index + 1 == packet->sizeFlits; }
+};
+
+}  // namespace hxwar::net

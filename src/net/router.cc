@@ -1,0 +1,383 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+#include "net/network.h"
+
+namespace hxwar::net {
+namespace {
+
+// Age-based priority: older packets (smaller createdAt) win; packet id breaks
+// ties deterministically.
+bool olderThan(const Packet& a, const Packet& b) {
+  if (a.createdAt != b.createdAt) return a.createdAt < b.createdAt;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t numPorts,
+               const RouterConfig& config, routing::RoutingAlgorithm* routing,
+               const routing::VcMap& vcMap, std::uint64_t rngSeed)
+    : Component(sim, "router" + std::to_string(id)),
+      network_(network),
+      id_(id),
+      numPorts_(numPorts),
+      config_(config),
+      routing_(routing),
+      vcMap_(vcMap),
+      rng_(rngSeed),
+      inputs_(numPorts * config.numVcs),
+      outputs_(numPorts * config.numVcs),
+      outChannel_(numPorts, nullptr),
+      inCredit_(numPorts, nullptr),
+      terminalPort_(numPorts, 0),
+      outputActive_(numPorts, 0),
+      outFlits_(numPorts, 0),
+      outDeroutes_(numPorts, 0),
+      rrNext_(numPorts, 0) {
+  HXWAR_CHECK(config_.numVcs >= 1 && config_.inputBufferDepth >= 1);
+  HXWAR_CHECK(config_.outputQueueDepth >= 1 && config_.crossbarLatency >= 1);
+}
+
+void Router::connectOutput(PortId port, FlitChannel* channel, std::uint32_t downstreamDepth) {
+  outChannel_[port] = channel;
+  for (VcId v = 0; v < config_.numVcs; ++v) out(port, v).credits = downstreamDepth;
+}
+
+void Router::connectInputCredit(PortId port, CreditChannel* channel) {
+  inCredit_[port] = channel;
+}
+
+void Router::setTerminalPort(PortId port, bool isTerminal) {
+  terminalPort_[port] = isTerminal ? 1 : 0;
+}
+
+double Router::congestionFlits(PortId port) const {
+  // Local output-queue occupancy only. Counting outstanding credits would add
+  // "phantom congestion" — flits merely in flight on an uncongested long
+  // channel — which makes adaptive algorithms deroute on noise. Downstream
+  // congestion still surfaces here: once credits run dry the output queue
+  // backs up and occupancy rises.
+  std::uint64_t flits = 0;
+  for (VcId v = 0; v < config_.numVcs; ++v) {
+    flits += out(port, v).occ;
+  }
+  return static_cast<double>(flits) / config_.numVcs;
+}
+
+std::uint64_t Router::bufferedFlits() const {
+  std::uint64_t n = 0;
+  for (const auto& i : inputs_) n += i.q.size();
+  for (const auto& o : outputs_) n += o.q.size();
+  n += xbarPipe_.size();
+  return n;
+}
+
+void Router::receiveFlit(PortId port, VcId vc, Flit flit) {
+  InVc& iv = in(port, vc);
+  HXWAR_CHECK_MSG(iv.q.size() < config_.inputBufferDepth,
+                  "credit protocol violated: input buffer overflow");
+  iv.q.push_back(flit);
+  if (iv.routed) {
+    addXfer(port, vc);
+  } else if (iv.q.size() == 1) {
+    HXWAR_CHECK_MSG(flit.isHead(), "non-head flit at idle input VC front");
+    addRoutePending(port, vc);
+  }
+  ensureCycle();
+}
+
+void Router::receiveCredit(PortId port, VcId vc) {
+  OutVc& o = out(port, vc);
+  o.credits += 1;
+  HXWAR_CHECK_MSG(o.credits <= network_->downstreamDepth(id_, port),
+                  "credit overflow at output");
+  if (!o.q.empty()) markOutputActive(port);
+  ensureCycle();
+}
+
+void Router::addRoutePending(PortId p, VcId v) {
+  InVc& iv = in(p, v);
+  if (iv.inRouteList) return;
+  iv.inRouteList = true;
+  routePending_.push_back(p * config_.numVcs + v);
+}
+
+void Router::addXfer(PortId p, VcId v) {
+  InVc& iv = in(p, v);
+  if (iv.inXferList) return;
+  iv.inXferList = true;
+  xferList_.push_back(p * config_.numVcs + v);
+}
+
+void Router::markOutputActive(PortId p) {
+  if (outputActive_[p]) return;
+  outputActive_[p] = 1;
+  activeOutPorts_.push_back(p);
+}
+
+void Router::ensureCycle() {
+  if (cyclePending_) return;
+  cyclePending_ = true;
+  const Tick now = sim().now();
+  const Tick target = (lastCycleTick_ == now) ? now + 1 : now;
+  sim().schedule(target, sim::kEpsRouter, this, kTagCycle);
+}
+
+void Router::processEvent(std::uint64_t tag) {
+  if (tag == kTagXbar) {
+    // A flit finished crossbar traversal: land it in its output queue.
+    HXWAR_CHECK(!xbarPipe_.empty() && xbarPipe_.front().arrive == sim().now());
+    const XbarEntry e = xbarPipe_.front();
+    xbarPipe_.pop_front();
+    out(e.outPort, e.outVc).q.push_back(e.flit);
+    markOutputActive(e.outPort);
+    ensureCycle();
+    return;
+  }
+
+  // kTagCycle: one allocation/arbitration cycle.
+  cyclePending_ = false;
+  lastCycleTick_ = sim().now();
+  stageOutput();
+  stageCrossbar();
+  stageRoute();
+  if (!routePending_.empty() || !xferList_.empty() || !activeOutPorts_.empty()) {
+    ensureCycle();
+  }
+}
+
+void Router::stageOutput() {
+  // One flit per output port per cycle onto the channel; age-based VC pick.
+  std::size_t w = 0;
+  for (std::size_t idx = 0; idx < activeOutPorts_.size(); ++idx) {
+    const PortId p = activeOutPorts_[idx];
+    VcId best = kVcInvalid;
+    if (config_.arbiter == ArbiterPolicy::kAgeBased) {
+      for (VcId v = 0; v < config_.numVcs; ++v) {
+        OutVc& o = out(p, v);
+        if (o.q.empty() || o.credits == 0) continue;
+        if (best == kVcInvalid ||
+            olderThan(*o.q.front().packet, *out(p, best).q.front().packet)) {
+          best = v;
+        }
+      }
+    } else {
+      // Round-robin: scan from the pointer; advance past the grant.
+      for (std::uint32_t k = 0; k < config_.numVcs; ++k) {
+        const VcId v = (rrNext_[p] + k) % config_.numVcs;
+        const OutVc& o = out(p, v);
+        if (o.q.empty() || o.credits == 0) continue;
+        best = v;
+        rrNext_[p] = (v + 1) % config_.numVcs;
+        break;
+      }
+    }
+    if (best != kVcInvalid) {
+      OutVc& o = out(p, best);
+      const Flit f = o.q.front();
+      o.q.pop_front();
+      o.occ -= 1;
+      o.credits -= 1;
+      outChannel_[p]->send(best, f);
+      outFlits_[p] += 1;
+      network_->noteFlitMoved();
+    }
+    bool anyQueued = false;
+    for (VcId v = 0; v < config_.numVcs; ++v) {
+      if (!out(p, v).q.empty()) {
+        anyQueued = true;
+        break;
+      }
+    }
+    if (anyQueued) {
+      activeOutPorts_[w++] = p;  // keep active
+    } else {
+      outputActive_[p] = 0;
+    }
+  }
+  activeOutPorts_.resize(w);
+}
+
+void Router::stageCrossbar() {
+  // Move up to inputSpeedup flits per input port from routed input VCs into
+  // the crossbar, oldest packet first, respecting output-queue space.
+  std::size_t w = 0;
+  // Group xferList entries by port implicitly: iterate the list and spend
+  // per-port budgets tracked in a scratch map keyed by port.
+  // numPorts_ is small (tens), so a vector budget is cheap.
+  static thread_local std::vector<std::uint32_t> budget;
+  budget.assign(numPorts_, config_.inputSpeedup);
+
+  // Age-order the candidates so older packets get crossbar slots first
+  // (round-robin mode keeps arrival order, which rotates naturally).
+  if (config_.arbiter == ArbiterPolicy::kAgeBased)
+  std::sort(xferList_.begin(), xferList_.end(), [this](std::uint32_t a, std::uint32_t b) {
+    const InVc& ia = inputs_[a];
+    const InVc& ib = inputs_[b];
+    const bool aReady = ia.routed && !ia.q.empty();
+    const bool bReady = ib.routed && !ib.q.empty();
+    if (aReady != bReady) return aReady;
+    if (!aReady) return a < b;
+    return olderThan(*ia.q.front().packet, *ib.q.front().packet);
+  });
+
+  for (std::size_t idx = 0; idx < xferList_.size(); ++idx) {
+    const std::uint32_t code = xferList_[idx];
+    const PortId p = code / config_.numVcs;
+    const VcId v = code % config_.numVcs;
+    InVc& iv = inputs_[code];
+    if (!iv.routed || iv.q.empty()) {
+      iv.inXferList = false;  // stale entry; re-added when eligible again
+      continue;
+    }
+    bool keep = true;
+    while (budget[p] > 0 && !iv.q.empty()) {
+      OutVc& o = out(iv.outPort, iv.outVc);
+      if (o.occ >= config_.outputQueueDepth) break;  // no space: retry next cycle
+      const Flit f = iv.q.front();
+      iv.q.pop_front();
+      budget[p] -= 1;
+      o.occ += 1;
+      xbarPipe_.push_back(XbarEntry{sim().now() + config_.crossbarLatency, f, iv.outPort, iv.outVc});
+      sim().schedule(sim().now() + config_.crossbarLatency, sim::kEpsDeliver, this, kTagXbar);
+      network_->noteFlitMoved();
+      // Return the buffer slot upstream (terminals also track credits).
+      HXWAR_CHECK(inCredit_[p] != nullptr);
+      inCredit_[p]->send(v);
+      if (f.isHead()) {
+        if (!terminalPort_[iv.outPort]) {
+          f.packet->hops += 1;
+          if (iv.deroute) f.packet->deroutes += 1;
+        }
+        network_->notifyHop(*f.packet, id_, p, iv.outPort);
+      }
+      if (f.isTail()) {
+        // Wormhole allocation ends: free the output VC and reset the input.
+        o.owned = false;
+        iv.routed = false;
+        iv.deroute = false;
+        iv.outPort = kPortInvalid;
+        iv.outVc = kVcInvalid;
+        keep = false;
+        if (!iv.q.empty()) {
+          HXWAR_CHECK_MSG(iv.q.front().isHead(), "packet interleaving on input VC");
+          addRoutePending(p, v);
+        }
+        break;
+      }
+    }
+    if (keep && iv.routed && !iv.q.empty()) {
+      xferList_[w++] = code;
+    } else {
+      iv.inXferList = false;
+    }
+  }
+  xferList_.resize(w);
+  // Re-append entries marked keep via addXfer during the tail handling above.
+  // (addXfer pushes to the end; entries beyond w were compacted already.)
+}
+
+bool Router::tryRoute(PortId port, VcId vc) {
+  InVc& iv = in(port, vc);
+  HXWAR_CHECK(!iv.q.empty() && iv.q.front().isHead() && !iv.routed);
+  Packet& pkt = *iv.q.front().packet;
+
+  scratchCandidates_.clear();
+  const bool atSource = terminalPort_[port];
+  const routing::RouteContext ctx{*this, port, vc, atSource,
+                                  atSource ? 0u : vcMap_.classOf(vc)};
+  routing_->route(ctx, pkt, scratchCandidates_);
+  HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
+
+  // Selection: pick the minimum-weight candidate by congestion x hops,
+  // independent of momentary VC availability (random tie-break). The packet
+  // then waits for a VC of the winner's (port, class) — re-evaluating every
+  // cycle, so the choice tracks congestion while blocked. Selecting only
+  // among momentarily-available candidates would convert transient VC
+  // ownership into spurious deroutes.
+  double bestWeight = std::numeric_limits<double>::infinity();
+  scratchBest_.clear();
+  for (std::size_t c = 0; c < scratchCandidates_.size(); ++c) {
+    const routing::Candidate& cand = scratchCandidates_[c];
+    const double weight =
+        (congestionFlits(cand.port) + config_.weightBias) * cand.hopsRemaining;
+    if (weight < bestWeight - 1e-12) {
+      bestWeight = weight;
+      scratchBest_.clear();
+    }
+    if (weight <= bestWeight + 1e-12) {
+      scratchBest_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+  HXWAR_CHECK(!scratchBest_.empty());
+  const routing::Candidate& cand = scratchCandidates_[scratchBest_[
+      scratchBest_.size() == 1 ? 0 : rng_.pickIndex(scratchBest_)]];
+
+  // Allocation: find a free VC within the winner's class; prefer most room.
+  // Virtual cut-through: demand downstream room for the whole packet so it
+  // never blocks mid-stream on the channel. The downstream depth bounds the
+  // requirement so oversized packets still make progress.
+  const std::uint32_t downstreamDepth = network_->downstreamDepth(id_, cand.port);
+  // Atomic queue allocation (§4.2): require the downstream buffer completely
+  // idle — every credit back and nothing queued or in flight locally.
+  const std::uint32_t neededCredits =
+      cand.atomic ? downstreamDepth
+      : config_.virtualCutThrough ? std::min(pkt.sizeFlits, downstreamDepth)
+                                  : 1u;
+  VcId ov = kVcInvalid;
+  std::uint32_t bestRoom = 0;
+  const std::uint32_t setSize = vcMap_.vcsInClass(cand.vcClass);
+  for (std::uint32_t k = 0; k < setSize; ++k) {
+    const VcId v = vcMap_.vcOf(cand.vcClass, k);
+    const OutVc& o = out(cand.port, v);
+    if (o.owned || o.occ >= config_.outputQueueDepth || o.credits < neededCredits) continue;
+    if (cand.atomic && o.occ != 0) continue;
+    const std::uint32_t room = o.credits + (config_.outputQueueDepth - o.occ);
+    if (ov == kVcInvalid || room > bestRoom) {
+      ov = v;
+      bestRoom = room;
+    }
+  }
+  if (ov == kVcInvalid) return false;  // winner busy: wait and re-evaluate
+
+  OutVc& o = out(cand.port, ov);
+  o.owned = true;
+  iv.routed = true;
+  iv.deroute = cand.deroute;
+  iv.outPort = cand.port;
+  iv.outVc = ov;
+  if (cand.deroute) {
+    outDeroutes_[cand.port] += 1;
+    if (cand.derouteDim != 0xff) {
+      pkt.deroutedDims |= 1u << cand.derouteDim;  // DAL once-per-dimension mask
+    }
+  }
+  addXfer(port, vc);
+  return true;
+}
+
+void Router::stageRoute() {
+  std::size_t w = 0;
+  for (std::size_t idx = 0; idx < routePending_.size(); ++idx) {
+    const std::uint32_t code = routePending_[idx];
+    const PortId p = code / config_.numVcs;
+    const VcId v = code % config_.numVcs;
+    InVc& iv = inputs_[code];
+    if (iv.routed || iv.q.empty()) {
+      iv.inRouteList = false;  // stale
+      continue;
+    }
+    if (tryRoute(p, v)) {
+      iv.inRouteList = false;
+    } else {
+      routePending_[w++] = code;  // blocked: retry next cycle
+    }
+  }
+  routePending_.resize(w);
+}
+
+}  // namespace hxwar::net

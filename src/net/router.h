@@ -1,0 +1,167 @@
+// Combined input/output-queued (CIOQ) router with virtual-channel flow
+// control, matching the evaluation platform of the paper (Section 6):
+//
+//   * per-input-port, per-VC input buffers with credit-based backpressure
+//   * routing + output-VC allocation when a head flit reaches an input
+//     buffer front (re-evaluated every cycle while blocked, so adaptive
+//     algorithms keep sensing congestion)
+//   * crossbar with configurable speedup and traversal latency ("sufficient
+//     speedup to ensure the internal router datapath is not a bottleneck")
+//   * per-output-port, per-VC output queues draining one flit per cycle onto
+//     the channel, age-based arbitration for both VC and channel scheduling
+//
+// Work is event-driven: the router only burns a cycle event when it has
+// pending work, so large idle networks simulate cheaply.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "routing/routing.h"
+#include "sim/simulator.h"
+
+namespace hxwar::net {
+
+class Network;
+
+// Output-channel and crossbar arbitration policy. The paper's platform uses
+// age-based arbitration (§6); round-robin is the common cheap alternative
+// and is exposed for ablations.
+enum class ArbiterPolicy { kAgeBased, kRoundRobin };
+
+struct RouterConfig {
+  std::uint32_t numVcs = 8;
+  ArbiterPolicy arbiter = ArbiterPolicy::kAgeBased;
+  std::uint32_t inputBufferDepth = 16;  // flits per input VC (credits granted upstream)
+  std::uint32_t outputQueueDepth = 8;   // flits per output VC
+  std::uint32_t crossbarLatency = 4;    // cycles of crossbar traversal
+  std::uint32_t inputSpeedup = 2;       // flits per input port per cycle into the crossbar
+  double weightBias = 4.0;              // flits added to congestion before weighting (minimal-path stickiness)
+  // Packet buffer flow control (virtual cut-through), as in the paper: an
+  // output VC is granted only when the downstream buffer has room for the
+  // whole packet, so packets never stall mid-stream across a channel.
+  bool virtualCutThrough = true;
+};
+
+class Router final : public sim::Component, public FlitSink, public CreditSink {
+ public:
+  Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t numPorts,
+         const RouterConfig& config, routing::RoutingAlgorithm* routing,
+         const routing::VcMap& vcMap, std::uint64_t rngSeed);
+
+  // --- wiring (done by Network during construction) ---
+  // Output side: the channel that carries flits out of `port`, and the
+  // downstream input buffer depth backing our credit counters.
+  void connectOutput(PortId port, FlitChannel* channel, std::uint32_t downstreamDepth);
+  // Input side: the channel used to return credits upstream. nullptr is not
+  // allowed — terminals also accept credits.
+  void connectInputCredit(PortId port, CreditChannel* channel);
+  void setTerminalPort(PortId port, bool isTerminal);
+
+  // --- sinks ---
+  void receiveFlit(PortId port, VcId vc, Flit flit) override;
+  void receiveCredit(PortId port, VcId vc) override;
+
+  void processEvent(std::uint64_t tag) override;
+
+  // --- queries used by routing algorithms ---
+  RouterId id() const { return id_; }
+  std::uint32_t numPorts() const { return numPorts_; }
+  std::uint32_t numVcs() const { return config_.numVcs; }
+  bool isTerminalPort(PortId port) const { return terminalPort_[port]; }
+  Rng& rng() { return rng_; }
+  const routing::VcMap& vcMap() const { return vcMap_; }
+
+  // Average queued+in-flight flits per VC at this output port; the
+  // "current detected congestion" input to the weight function.
+  double congestionFlits(PortId port) const;
+
+  // Total flits buffered in this router (diagnostics, drain checks).
+  std::uint64_t bufferedFlits() const;
+
+  // Flits sent on each output port since construction (link utilization).
+  std::uint64_t portFlitsSent(PortId port) const { return outFlits_[port]; }
+  // Deroute-flagged packet-head grants per output port (adaptivity telemetry).
+  std::uint64_t portDeroutesGranted(PortId port) const { return outDeroutes_[port]; }
+
+ private:
+  struct InVc {
+    std::deque<Flit> q;
+    bool routed = false;
+    bool deroute = false;  // the granted hop is a deroute (for stats)
+    PortId outPort = kPortInvalid;
+    VcId outVc = kVcInvalid;
+    bool inRouteList = false;
+    bool inXferList = false;
+  };
+
+  struct OutVc {
+    std::deque<Flit> q;    // flits that finished crossbar traversal
+    std::uint32_t occ = 0;  // q.size() + flits in the crossbar pipe
+    std::uint32_t credits = 0;
+    bool owned = false;  // allocated to a packet until its tail passes
+  };
+
+  struct XbarEntry {
+    Tick arrive;
+    Flit flit;
+    PortId outPort;
+    VcId outVc;
+  };
+
+  static constexpr std::uint64_t kTagCycle = 0;
+  static constexpr std::uint64_t kTagXbar = 1;
+
+  InVc& in(PortId p, VcId v) { return inputs_[p * config_.numVcs + v]; }
+  const InVc& in(PortId p, VcId v) const { return inputs_[p * config_.numVcs + v]; }
+  OutVc& out(PortId p, VcId v) { return outputs_[p * config_.numVcs + v]; }
+  const OutVc& out(PortId p, VcId v) const { return outputs_[p * config_.numVcs + v]; }
+
+  void ensureCycle();
+  void stageOutput();
+  void stageCrossbar();
+  void stageRoute();
+  bool tryRoute(PortId port, VcId vc);
+  void addRoutePending(PortId p, VcId v);
+  void addXfer(PortId p, VcId v);
+  void markOutputActive(PortId p);
+
+  Network* network_;
+  RouterId id_;
+  std::uint32_t numPorts_;
+  RouterConfig config_;
+  routing::RoutingAlgorithm* routing_;
+  routing::VcMap vcMap_;
+  Rng rng_;
+
+  std::vector<InVc> inputs_;    // [port][vc]
+  std::vector<OutVc> outputs_;  // [port][vc]
+  std::vector<FlitChannel*> outChannel_;
+  std::vector<CreditChannel*> inCredit_;
+  std::vector<std::uint8_t> terminalPort_;
+  std::vector<std::uint8_t> outputActive_;
+  std::vector<std::uint64_t> outFlits_;
+  std::vector<std::uint64_t> outDeroutes_;
+  std::vector<VcId> rrNext_;  // round-robin pointer per output port
+
+  std::vector<std::uint32_t> routePending_;  // encoded port*numVcs+vc
+  std::vector<std::uint32_t> xferList_;
+  std::vector<std::uint32_t> activeOutPorts_;
+
+  std::deque<XbarEntry> xbarPipe_;
+
+  bool cyclePending_ = false;
+  Tick lastCycleTick_ = kTickInvalid;
+
+  std::vector<routing::Candidate> scratchCandidates_;
+  std::vector<std::uint32_t> scratchBest_;
+};
+
+}  // namespace hxwar::net

@@ -1,0 +1,98 @@
+#include "net/terminal.h"
+
+#include "common/assert.h"
+#include "net/network.h"
+
+namespace hxwar::net {
+
+Terminal::Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs)
+    : Component(sim, "terminal" + std::to_string(id)),
+      network_(network),
+      id_(id),
+      numVcs_(numVcs) {}
+
+void Terminal::connectOutput(FlitChannel* toRouter, std::uint32_t routerInputDepth) {
+  toRouter_ = toRouter;
+  credits_.assign(numVcs_, routerInputDepth);
+}
+
+void Terminal::connectInputCredit(CreditChannel* toRouter) { creditReturn_ = toRouter; }
+
+void Terminal::enqueuePacket(std::unique_ptr<Packet> pkt) {
+  pkt->createdAt = sim().now();
+  pkt->src = id_;
+  sourceQueueFlits_ += pkt->sizeFlits;
+  sourceQueue_.push_back(std::move(pkt));
+  ensureCycle();
+}
+
+void Terminal::ensureCycle() {
+  if (cyclePending_) return;
+  cyclePending_ = true;
+  const Tick now = sim().now();
+  const Tick target = (lastCycleTick_ == now) ? now + 1 : now;
+  sim().schedule(target, sim::kEpsTerminal, this, 0);
+}
+
+void Terminal::processEvent(std::uint64_t) {
+  cyclePending_ = false;
+  lastCycleTick_ = sim().now();
+  injectionCycle();
+  if (!sourceQueue_.empty()) ensureCycle();
+}
+
+void Terminal::injectionCycle() {
+  if (sourceQueue_.empty()) return;
+  Packet& pkt = *sourceQueue_.front();
+  if (currentVc_ == kVcInvalid) {
+    // Pick the injection VC for this packet: any VC works for deadlock
+    // purposes (injection buffers are pure sources), so take the one with the
+    // most credits to spread head-of-line blocking.
+    VcId best = kVcInvalid;
+    for (VcId v = 0; v < numVcs_; ++v) {
+      if (credits_[v] == 0) continue;
+      if (best == kVcInvalid || credits_[v] > credits_[best]) best = v;
+    }
+    if (best == kVcInvalid) return;  // no credits at all: retry on credit return
+    currentVc_ = best;
+    nextFlit_ = 0;
+  }
+  if (credits_[currentVc_] == 0) return;  // retry on credit return
+  credits_[currentVc_] -= 1;
+  if (nextFlit_ == 0) pkt.injectedAt = sim().now();
+  toRouter_->send(currentVc_, Flit{&pkt, nextFlit_});
+  flitsInjected_ += 1;
+  sourceQueueFlits_ -= 1;
+  network_->noteFlitInjected();
+  nextFlit_ += 1;
+  if (nextFlit_ == pkt.sizeFlits) {
+    // Whole packet is in flight; ownership transfers to the network until the
+    // destination terminal reassembles and releases it.
+    network_->trackInFlight(sourceQueue_.front().release());
+    sourceQueue_.pop_front();
+    currentVc_ = kVcInvalid;
+    nextFlit_ = 0;
+  }
+}
+
+void Terminal::receiveCredit(PortId, VcId vc) {
+  credits_[vc] += 1;
+  if (!sourceQueue_.empty()) ensureCycle();
+}
+
+void Terminal::receiveFlit(PortId, VcId vc, Flit flit) {
+  // Ejection: bottomless sink; return the buffer slot immediately.
+  creditReturn_->send(vc);
+  flitsEjected_ += 1;
+  Packet* pkt = flit.packet;
+  pkt->arrivedFlits += 1;
+  HXWAR_CHECK_MSG(pkt->arrivedFlits == flit.index + 1, "flit reordering within packet");
+  if (flit.isTail()) {
+    HXWAR_CHECK_MSG(pkt->arrivedFlits == pkt->sizeFlits, "packet completed early");
+    HXWAR_CHECK_MSG(pkt->dst == id_, "packet ejected at wrong terminal");
+    pkt->ejectedAt = sim().now();
+    network_->completePacket(pkt);  // notifies listeners and frees the packet
+  }
+}
+
+}  // namespace hxwar::net

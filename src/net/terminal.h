@@ -1,0 +1,68 @@
+// Network endpoint: injects packets flit-by-flit (credit limited) and
+// reassembles arriving packets. The source queue is open-loop and unbounded;
+// packet latency is measured from enqueue time so source queueing counts,
+// which is what makes saturation visible in the load-latency curves.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "common/types.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace hxwar::net {
+
+class Network;
+
+class Terminal final : public sim::Component, public FlitSink, public CreditSink {
+ public:
+  Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs);
+
+  // --- wiring ---
+  void connectOutput(FlitChannel* toRouter, std::uint32_t routerInputDepth);
+  void connectInputCredit(CreditChannel* toRouter);
+
+  // --- injection ---
+  // Takes ownership; createdAt is stamped here.
+  void enqueuePacket(std::unique_ptr<Packet> pkt);
+
+  std::size_t sourceQueuePackets() const { return sourceQueue_.size(); }
+  std::uint64_t sourceQueueFlits() const { return sourceQueueFlits_; }
+  std::uint64_t flitsInjected() const { return flitsInjected_; }
+  std::uint64_t flitsEjected() const { return flitsEjected_; }
+  NodeId nodeId() const { return id_; }
+
+  // --- sinks ---
+  void receiveFlit(PortId port, VcId vc, Flit flit) override;  // ejection
+  void receiveCredit(PortId port, VcId vc) override;           // injection credits
+
+  void processEvent(std::uint64_t tag) override;
+
+ private:
+  void ensureCycle();
+  void injectionCycle();
+
+  Network* network_;
+  NodeId id_;
+  std::uint32_t numVcs_;
+
+  FlitChannel* toRouter_ = nullptr;
+  CreditChannel* creditReturn_ = nullptr;
+  std::vector<std::uint32_t> credits_;  // per VC toward the router
+
+  std::deque<std::unique_ptr<Packet>> sourceQueue_;
+  std::uint64_t sourceQueueFlits_ = 0;
+  std::uint32_t nextFlit_ = 0;   // index within the packet being injected
+  VcId currentVc_ = kVcInvalid;  // VC pinned for the packet being injected
+
+  std::uint64_t flitsInjected_ = 0;
+  std::uint64_t flitsEjected_ = 0;
+
+  bool cyclePending_ = false;
+  Tick lastCycleTick_ = kTickInvalid;
+};
+
+}  // namespace hxwar::net

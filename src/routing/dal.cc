@@ -1,0 +1,45 @@
+#include "routing/dal.h"
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                       std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+
+  for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+    const std::uint32_t cc = topo_.coord(cur, d);
+    const std::uint32_t dc = topo_.coord(dst, d);
+    if (cc == dc) continue;  // lateral moves only in unaligned dimensions
+    const std::uint32_t unaligned = topo_.minHops(cur, dst);
+    const std::size_t first = out.size();
+    // Minimal hop in this dimension (one candidate per trunk).
+    emitDimMove(out, cur, d, dc, 0, unaligned, false);
+    // One deroute per dimension, tracked in the packet's N-bit field.
+    if (!(pkt.deroutedDims & (1u << d))) {
+      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+        if (x == cc || x == dc) continue;
+        emitDimMove(out, cur, d, x, 0, unaligned + 1, true,
+                    static_cast<std::uint8_t>(d));
+      }
+    }
+    for (std::size_t i = first; i < out.size(); ++i) out[i].atomic = atomic_;
+  }
+  HXWAR_CHECK(!out.empty());
+}
+
+AlgorithmInfo DalRouting::info() const {
+  return AlgorithmInfo{"DAL", false, AlgorithmInfo::Style::kIncremental,
+                       "1+1e", "escape paths", "escape paths", "N-bit field"};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeDalRouting(const topo::HyperX& topo,
+                                                 bool atomicAllocation) {
+  return std::make_unique<DalRouting>(topo, atomicAllocation);
+}
+
+}  // namespace hxwar::routing

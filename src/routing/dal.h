@@ -1,0 +1,46 @@
+// Dimensionally Adaptive Load-balancing (DAL, Ahn et al. SC'09), as
+// discussed in §4.2 of the paper.
+//
+// DAL deroutes at most once per dimension (tracked in an N-bit field inside
+// the packet) and may traverse unaligned dimensions in any order. Its
+// original deadlock-avoidance scheme uses Duato-style escape paths, which on
+// modern high-radix router architectures are only implementable with *atomic
+// queue allocation*: an output VC is granted only when the downstream buffer
+// is completely empty and all credits have returned. That caps throughput at
+//
+//     PktSize x NumVCs / CreditRoundTrip            (§4.2, footnote 3)
+//
+// — 8% for single-flit packets and ~68% for 1-16-flit packets on the paper's
+// platform. This implementation reproduces exactly that practical variant
+// (every allocation atomic); the sec42_dal_limit bench validates the formula
+// against simulation. It is excluded from the headline figures, as in the
+// paper.
+#pragma once
+
+#include <memory>
+
+#include "routing/hyperx_routing.h"
+
+namespace hxwar::routing {
+
+class DalRouting final : public HyperXRoutingBase {
+ public:
+  // atomicAllocation=false gives the idealized DAL (single-cycle-channel
+  // behaviour from the original paper) for comparison; it relies on the
+  // deroute budget alone and is only deadlock-safe as an escape-less
+  // approximation, so use it for analysis benches only.
+  DalRouting(const topo::HyperX& topo, bool atomicAllocation = true)
+      : HyperXRoutingBase(topo), atomic_(atomicAllocation) {}
+
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 1; }
+  AlgorithmInfo info() const override;
+
+ private:
+  bool atomic_;
+};
+
+std::unique_ptr<RoutingAlgorithm> makeDalRouting(const topo::HyperX& topo,
+                                                 bool atomicAllocation = true);
+
+}  // namespace hxwar::routing

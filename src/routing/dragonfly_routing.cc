@@ -1,0 +1,185 @@
+#include "routing/dragonfly_routing.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+bool DragonflyRoutingBase::emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
+                                            std::vector<Candidate>& out) const {
+  if (ctx.router.id() != destRouter(pkt)) return false;
+  const PortId port = topo_.nodePort(pkt.dst);
+  for (std::uint32_t c = 0; c < numClasses(); ++c) {
+    out.push_back(Candidate{port, c, 0, false});
+  }
+  return true;
+}
+
+void DragonflyRoutingBase::minimalCandidates(RouterId cur, RouterId target, std::uint32_t c,
+                                             std::uint32_t extraHops,
+                                             std::vector<Candidate>& out) const {
+  const std::uint32_t gc = topo_.group(cur);
+  const std::uint32_t gt = topo_.group(target);
+  if (gc == gt) {
+    HXWAR_CHECK(cur != target);
+    out.push_back(Candidate{topo_.localPort(cur, topo_.localIdx(target)), c,
+                            1 + extraHops, false});
+    return;
+  }
+  // One candidate per trunk copy; duplicate local exits are deduplicated.
+  const std::size_t first = out.size();
+  for (std::uint32_t copy = 0; copy < topo_.trunking(); ++copy) {
+    const auto exit = topo_.exitTo(gc, gt, copy);
+    std::uint32_t pg = 0, ps = 0;
+    HXWAR_CHECK(topo_.slotPeer(gc, topo_.globalSlot(exit.router, exit.portK), &pg, &ps));
+    const RouterId entry = topo_.routerOf(pg, ps / topo_.h());
+    const std::uint32_t tail = (entry == target) ? 0u : 1u;
+    if (exit.router == cur) {
+      out.push_back(Candidate{topo_.globalPort(exit.portK), c, 1 + tail + extraHops, false});
+    } else {
+      const PortId lp = topo_.localPort(cur, topo_.localIdx(exit.router));
+      bool dup = false;
+      for (std::size_t i = first; i < out.size() && !dup; ++i) dup = out[i].port == lp;
+      if (!dup) out.push_back(Candidate{lp, c, 2 + tail + extraHops, false});
+    }
+  }
+}
+
+namespace {
+
+// A packet that just took a local hop inside a non-destination group must
+// take its global hop next (no local-local zigzags); keep only global-port
+// candidates in that case. `freshPhase` lifts the restriction at a phase
+// boundary (the Valiant intermediate router).
+void restrictAfterLocalHop(const topo::Dragonfly& topo, const RouteContext& ctx,
+                           bool freshPhase, std::vector<Candidate>& out) {
+  if (ctx.atSource || freshPhase) return;
+  if (!topo.isLocalPort(ctx.inPort)) return;
+  std::vector<Candidate> kept;
+  for (const auto& cand : out) {
+    if (topo.isGlobalPort(cand.port) || cand.hopsRemaining == 0) kept.push_back(cand);
+  }
+  if (!kept.empty()) out.swap(kept);
+}
+
+}  // namespace
+
+void DragonflyMinimal::route(const RouteContext& ctx, net::Packet& pkt,
+                             std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
+  HXWAR_CHECK_MSG(c < numClasses(), "dragonfly minimal ran out of distance classes");
+  minimalCandidates(cur, destRouter(pkt), c, 0, out);
+  restrictAfterLocalHop(topo_, ctx, false, out);
+}
+
+AlgorithmInfo DragonflyMinimal::info() const {
+  return AlgorithmInfo{"DF-MIN", false, AlgorithmInfo::Style::kIncremental,
+                       "3", "D.C.", "none", "none"};
+}
+
+void DragonflyUgal::decide(const RouteContext& ctx, net::Packet& pkt, RouterId cur,
+                           RouterId dst) {
+  // UGAL comparison at `cur`: best minimal first hop vs. one random Valiant
+  // path, using only congestion visible here.
+  std::vector<Candidate> minC;
+  minimalCandidates(cur, dst, 0, 0, minC);
+  double qMin = 1e18;
+  std::uint32_t hMin = 0;
+  for (const auto& cand : minC) {
+    const double q = ctx.router.congestionFlits(cand.port);
+    if (q < qMin) {
+      qMin = q;
+      hMin = cand.hopsRemaining;
+    }
+  }
+  const RouterId ri = static_cast<RouterId>(ctx.router.rng().below(topo_.numRouters()));
+  if (ri == cur || topo_.group(ri) == topo_.group(dst) ||
+      topo_.group(ri) == topo_.group(cur)) {
+    pkt.minimalCommitted = true;  // degenerate intermediate: go minimal
+    pkt.intermediate = kRouterInvalid;
+    return;
+  }
+  std::vector<Candidate> valC;
+  minimalCandidates(cur, ri, 0, 0, valC);
+  double qVal = 1e18;
+  std::uint32_t hVal = 0;
+  for (const auto& cand : valC) {
+    const double q = ctx.router.congestionFlits(cand.port);
+    if (q < qVal) {
+      qVal = q;
+      hVal = cand.hopsRemaining;
+    }
+  }
+  // Full Valiant hop count: to the intermediate, then minimal onward.
+  const std::uint32_t hValTotal = hVal + 3;
+  if ((qMin + bias_) * hMin <= (qVal + bias_) * hValTotal) {
+    pkt.minimalCommitted = true;
+    pkt.intermediate = kRouterInvalid;
+  } else {
+    pkt.minimalCommitted = false;
+    pkt.intermediate = ri;
+  }
+}
+
+void DragonflyUgal::route(const RouteContext& ctx, net::Packet& pkt,
+                          std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+
+  bool rediverted = false;
+  if (ctx.atSource && !pkt.minimalCommitted && pkt.intermediate == kRouterInvalid) {
+    decide(ctx, pkt, cur, dst);
+  } else if (progressive_ && pkt.minimalCommitted && !ctx.atSource &&
+             topo_.isLocalPort(ctx.inPort) &&
+             topo_.group(cur) == topo_.group(topo_.nodeRouter(pkt.src)) && !pkt.phase2) {
+    // PAR: the packet is still inside its source group on a minimal path —
+    // re-run the UGAL comparison with the congestion visible here. The hop
+    // budget covers the extra local hop (7 distance classes).
+    decide(ctx, pkt, cur, dst);
+    rediverted = !pkt.minimalCommitted;
+  }
+
+  const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
+  HXWAR_CHECK_MSG(c < numClasses(), "dragonfly UGAL ran out of distance classes");
+
+  if (pkt.minimalCommitted) {
+    minimalCandidates(cur, dst, c, 0, out);
+    restrictAfterLocalHop(topo_, ctx, false, out);
+    return;
+  }
+  const bool atIntermediate = !pkt.phase2 && cur == pkt.intermediate;
+  if (atIntermediate) pkt.phase2 = true;
+  if (!pkt.phase2) {
+    minimalCandidates(cur, pkt.intermediate, c, 3, out);
+    // A freshly diverted PAR packet arrived on a local port but starts a new
+    // phase here; lift the local-local restriction for that one hop.
+    restrictAfterLocalHop(topo_, ctx, rediverted, out);
+  } else {
+    minimalCandidates(cur, dst, c, 0, out);
+    restrictAfterLocalHop(topo_, ctx, atIntermediate, out);
+  }
+}
+
+AlgorithmInfo DragonflyUgal::info() const {
+  // Plain UGAL paths are at most 6 hops; PAR's in-group divert adds one.
+  return AlgorithmInfo{progressive_ ? "DF-PAR" : "DF-UGAL", false,
+                       AlgorithmInfo::Style::kSource, progressive_ ? "7" : "6",
+                       "D.C.", "none", "int. addr."};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeDragonflyRouting(const std::string& name,
+                                                       const topo::Dragonfly& topo,
+                                                       double bias) {
+  if (name == "min") return std::make_unique<DragonflyMinimal>(topo);
+  if (name == "ugal") return std::make_unique<DragonflyUgal>(topo, bias);
+  if (name == "par") return std::make_unique<DragonflyUgal>(topo, bias, /*progressive=*/true);
+  HXWAR_CHECK_MSG(false, ("unknown dragonfly routing: " + name).c_str());
+  return nullptr;
+}
+
+}  // namespace hxwar::routing

@@ -1,0 +1,70 @@
+// Dragonfly routing: minimal (local-global-local) and UGAL, used by the
+// Fig. 4 topology comparison. Deadlock avoidance uses distance classes
+// (VC = hop index), which covers both the 3-hop minimal and the 6-hop
+// Valiant paths without topology-specific dateline reasoning.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/routing.h"
+#include "topo/dragonfly.h"
+
+namespace hxwar::routing {
+
+class DragonflyRoutingBase : public RoutingAlgorithm {
+ public:
+  explicit DragonflyRoutingBase(const topo::Dragonfly& topo) : topo_(topo) {}
+
+ protected:
+  bool emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
+                        std::vector<Candidate>& out) const;
+
+  // Emits all next-hop candidates of a minimal route from ctx's router to
+  // `target` using class `c`: the direct local port, or every trunk copy's
+  // global exit (local hop toward the exit router or the global port itself).
+  void minimalCandidates(RouterId cur, RouterId target, std::uint32_t c,
+                         std::uint32_t extraHops, std::vector<Candidate>& out) const;
+
+  RouterId destRouter(const net::Packet& pkt) const { return topo_.nodeRouter(pkt.dst); }
+
+  const topo::Dragonfly& topo_;
+};
+
+// Minimal adaptive: l-g-l with adaptive choice among trunk copies.
+class DragonflyMinimal final : public DragonflyRoutingBase {
+ public:
+  using DragonflyRoutingBase::DragonflyRoutingBase;
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 3; }
+  AlgorithmInfo info() const override;
+};
+
+// UGAL: source chooses minimal vs. Valiant-through-a-random-group using
+// source-local congestion; 6 distance classes. With `progressive` set this
+// becomes PAR (progressive adaptive routing, Jiang et al. ISCA'09, discussed
+// in the paper's §2.2): a minimal decision is re-evaluated at every router
+// the packet visits inside its source group, so congestion discovered one
+// hop later can still divert the packet to a Valiant path.
+class DragonflyUgal final : public DragonflyRoutingBase {
+ public:
+  DragonflyUgal(const topo::Dragonfly& topo, double bias, bool progressive = false)
+      : DragonflyRoutingBase(topo), bias_(bias), progressive_(progressive) {}
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 7; }
+  AlgorithmInfo info() const override;
+
+ private:
+  // Runs the UGAL min-vs-Valiant comparison at `cur` and commits the result.
+  void decide(const RouteContext& ctx, net::Packet& pkt, RouterId cur, RouterId dst);
+
+  double bias_;
+  bool progressive_;
+};
+
+// names: min, ugal, par
+std::unique_ptr<RoutingAlgorithm> makeDragonflyRouting(const std::string& name,
+                                                       const topo::Dragonfly& topo,
+                                                       double bias = 1.0);
+
+}  // namespace hxwar::routing

@@ -1,0 +1,64 @@
+#include "routing/fattree_routing.h"
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+void FatTreeAdaptive::route(const RouteContext& ctx, net::Packet& pkt,
+                            std::vector<Candidate>& out) {
+  const RouterId cur = ctx.router.id();
+  const std::uint32_t level = topo_.level(cur);
+  const std::uint32_t subtree = topo_.subtree(cur);
+  const NodeId dst = pkt.dst;
+
+  // Is the destination inside this switch's subtree?
+  const std::uint32_t span = [&] {
+    std::uint32_t s = 1;
+    for (std::uint32_t l = 1; l <= level; ++l) s *= topo_.downPorts(l);
+    return s;
+  }();
+  const bool inSubtree = (dst / span) == subtree;
+
+  if (inSubtree) {
+    // Deterministic descent by destination digit.
+    const PortId port = topo_.downDigit(dst, level);
+    const std::uint32_t hops = level - 1;  // router hops left after this one
+    if (level == 1) {
+      out.push_back(Candidate{port, 0, 0, false});  // ejection
+    } else {
+      out.push_back(Candidate{port, 0, hops, false});
+    }
+    return;
+  }
+
+  // Climb: every up port reaches a parent that covers the NCA. Remaining
+  // hops: (ncaLevel - level) up + (ncaLevel - 1) down.
+  std::uint32_t tt = subtree;
+  std::uint32_t nca = level;
+  std::uint32_t dstSpan = span;
+  while (true) {
+    HXWAR_CHECK_MSG(nca < topo_.height(), "fat tree climb exceeded the root");
+    tt /= topo_.downPorts(nca + 1);
+    dstSpan *= topo_.downPorts(nca + 1);
+    nca += 1;
+    if (dst / dstSpan == tt) break;
+  }
+  const std::uint32_t hops = (nca - level) + (nca - 1);
+  const std::uint32_t ups = topo_.upPorts(level);
+  for (std::uint32_t k = 0; k < ups; ++k) {
+    out.push_back(Candidate{topo_.downPorts(level) + k, 0, hops, false});
+  }
+  HXWAR_CHECK(!out.empty());
+}
+
+AlgorithmInfo FatTreeAdaptive::info() const {
+  return AlgorithmInfo{"FT-AD", false, AlgorithmInfo::Style::kIncremental,
+                       "1", "up*/down*", "none", "none"};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeFatTreeRouting(const topo::FatTree& topo) {
+  return std::make_unique<FatTreeAdaptive>(topo);
+}
+
+}  // namespace hxwar::routing

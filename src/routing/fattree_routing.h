@@ -1,0 +1,29 @@
+// Fat-tree (folded-Clos) routing: adaptive up / deterministic down.
+// Up-ports toward the nearest common ancestor are all equivalent, so the
+// router's weight function picks the least congested; the down path is fixed
+// by the destination digits. Up*/down* paths are acyclic, so one VC class
+// suffices; the spare VCs all serve as head-of-line-blocking relief.
+#pragma once
+
+#include <memory>
+
+#include "routing/routing.h"
+#include "topo/fattree.h"
+
+namespace hxwar::routing {
+
+class FatTreeAdaptive final : public RoutingAlgorithm {
+ public:
+  explicit FatTreeAdaptive(const topo::FatTree& topo) : topo_(topo) {}
+
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 1; }
+  AlgorithmInfo info() const override;
+
+ private:
+  const topo::FatTree& topo_;
+};
+
+std::unique_ptr<RoutingAlgorithm> makeFatTreeRouting(const topo::FatTree& topo);
+
+}  // namespace hxwar::routing

@@ -1,0 +1,341 @@
+#include "routing/hyperx_routing.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+// --- base helpers ----------------------------------------------------------
+
+bool HyperXRoutingBase::emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
+                                         std::vector<Candidate>& out) const {
+  const RouterId dstR = destRouter(pkt);
+  if (ctx.router.id() != dstR) return false;
+  const PortId port = topo_.nodePort(pkt.dst);
+  // Ejection may use any class: terminal buffers always drain, so they never
+  // participate in a deadlock cycle. Emitting one candidate per class lets
+  // the router pick any free VC.
+  for (std::uint32_t c = 0; c < numClasses(); ++c) {
+    out.push_back(Candidate{port, c, 0, false});
+  }
+  return true;
+}
+
+std::uint32_t HyperXRoutingBase::firstUnalignedDim(RouterId cur, RouterId dst) const {
+  for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+    if (topo_.coord(cur, d) != topo_.coord(dst, d)) return d;
+  }
+  return topo_.numDims();
+}
+
+Candidate HyperXRoutingBase::dorStep(RouterId cur, RouterId target, std::uint32_t vcClass,
+                                     std::uint32_t hopsRemaining, std::uint32_t trunk) const {
+  const std::uint32_t d = firstUnalignedDim(cur, target);
+  HXWAR_CHECK_MSG(d < topo_.numDims(), "dorStep called at the target router");
+  const PortId port = topo_.dimPort(cur, d, topo_.coord(target, d), trunk % topo_.trunking());
+  return Candidate{port, vcClass, hopsRemaining, false};
+}
+
+void HyperXRoutingBase::emitDorStep(std::vector<Candidate>& out, RouterId cur,
+                                    RouterId target, std::uint32_t vcClass,
+                                    std::uint32_t hopsRemaining) const {
+  const std::uint32_t d = firstUnalignedDim(cur, target);
+  HXWAR_CHECK_MSG(d < topo_.numDims(), "emitDorStep called at the target router");
+  emitDimMove(out, cur, d, topo_.coord(target, d), vcClass, hopsRemaining, false);
+}
+
+void HyperXRoutingBase::emitDimMove(std::vector<Candidate>& out, RouterId cur,
+                                    std::uint32_t dim, std::uint32_t to,
+                                    std::uint32_t vcClass, std::uint32_t hopsRemaining,
+                                    bool deroute, std::uint8_t derouteDim) const {
+  for (std::uint32_t trunk = 0; trunk < topo_.trunking(); ++trunk) {
+    Candidate c{topo_.dimPort(cur, dim, to, trunk), vcClass, hopsRemaining, deroute};
+    c.derouteDim = derouteDim;
+    out.push_back(c);
+  }
+}
+
+// --- DOR --------------------------------------------------------------------
+
+void DorRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+  // Oblivious trunk choice: hash the packet id over the parallel links.
+  out.push_back(dorStep(cur, dst, 0, topo_.minHops(cur, dst),
+                        static_cast<std::uint32_t>(pkt.id)));
+}
+
+AlgorithmInfo DorRouting::info() const {
+  return AlgorithmInfo{"DOR", true, AlgorithmInfo::Style::kOblivious,
+                       "1", "R.R.", "none", "none"};
+}
+
+// --- VAL --------------------------------------------------------------------
+
+void ValiantRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                           std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+  if (ctx.atSource && pkt.intermediate == kRouterInvalid) {
+    pkt.intermediate = static_cast<RouterId>(ctx.router.rng().below(topo_.numRouters()));
+  }
+  if (!pkt.phase2 && cur == pkt.intermediate) pkt.phase2 = true;
+  if (!pkt.phase2) {
+    const std::uint32_t hops = topo_.minHops(cur, pkt.intermediate) +
+                               topo_.minHops(pkt.intermediate, dst);
+    out.push_back(dorStep(cur, pkt.intermediate, 0, hops,
+                          static_cast<std::uint32_t>(pkt.id)));
+  } else {
+    out.push_back(dorStep(cur, dst, 1, topo_.minHops(cur, dst),
+                          static_cast<std::uint32_t>(pkt.id)));
+  }
+}
+
+AlgorithmInfo ValiantRouting::info() const {
+  return AlgorithmInfo{"VAL", true, AlgorithmInfo::Style::kOblivious,
+                       "2", "R.R. & R.C.", "none", "int. addr."};
+}
+
+// --- UGAL -------------------------------------------------------------------
+
+void UgalRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+
+  if (ctx.atSource && !pkt.minimalCommitted && pkt.intermediate == kRouterInvalid) {
+    // One-shot source decision: minimal vs. one random Valiant path, using
+    // only source-local congestion (the defining limitation of UGAL).
+    const std::uint32_t hMin = topo_.minHops(cur, dst);
+    const Candidate minC = dorStep(cur, dst, 1, hMin);
+    const double qMin = ctx.router.congestionFlits(minC.port);
+
+    const RouterId ri = static_cast<RouterId>(ctx.router.rng().below(topo_.numRouters()));
+    const std::uint32_t hVal = topo_.minHops(cur, ri) + topo_.minHops(ri, dst);
+    double qVal = qMin;
+    if (ri != cur) {
+      qVal = ctx.router.congestionFlits(dorStep(cur, ri, 0, hVal).port);
+    }
+    if ((qMin + bias_) * hMin <= (qVal + bias_) * std::max(hVal, 1u)) {
+      pkt.minimalCommitted = true;
+    } else {
+      pkt.intermediate = ri;
+    }
+  }
+
+  if (pkt.minimalCommitted) {
+    emitDorStep(out, cur, dst, 1, topo_.minHops(cur, dst));
+    return;
+  }
+  if (!pkt.phase2 && cur == pkt.intermediate) pkt.phase2 = true;
+  if (!pkt.phase2) {
+    const std::uint32_t hops = topo_.minHops(cur, pkt.intermediate) +
+                               topo_.minHops(pkt.intermediate, dst);
+    emitDorStep(out, cur, pkt.intermediate, 0, hops);
+  } else {
+    emitDorStep(out, cur, dst, 1, topo_.minHops(cur, dst));
+  }
+}
+
+AlgorithmInfo UgalRouting::info() const {
+  return AlgorithmInfo{"UGAL", true, AlgorithmInfo::Style::kSource,
+                       "2", "R.R. & R.C.", "none", "int. addr."};
+}
+
+// --- Clos-AD (UGAL+) ---------------------------------------------------------
+
+void ClosAdRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                          std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+
+  if (ctx.atSource && pkt.intermediate == kRouterInvalid) {
+    // Weigh every output port of every unaligned dimension (LCA rule: never
+    // move in a dimension that is already aligned). The winner defines the
+    // intermediate router: the neighbor itself for an aligned move, or a
+    // random LCA-consistent router for a deroute move.
+    const std::uint32_t unaligned = topo_.minHops(cur, dst);
+    double bestW = 0.0;
+    std::uint32_t bestDim = 0, bestCoord = 0;
+    bool first = true;
+    std::uint32_t ties = 0;
+    for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+      const std::uint32_t cc = topo_.coord(cur, d);
+      const std::uint32_t dc = topo_.coord(dst, d);
+      if (cc == dc) continue;
+      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+        if (x == cc) continue;
+        const bool minimal = (x == dc);
+        const std::uint32_t hops = minimal ? unaligned : unaligned + 1;
+        const PortId port = topo_.dimPort(cur, d, x);
+        const double w = (ctx.router.congestionFlits(port) + bias_) * hops;
+        bool take = false;
+        if (first || w < bestW - 1e-12) {
+          take = true;
+          ties = 1;
+        } else if (w <= bestW + 1e-12) {
+          // Reservoir-style random tie-break.
+          ties += 1;
+          take = ctx.router.rng().below(ties) == 0;
+        }
+        if (take) {
+          bestW = w;
+          bestDim = d;
+          bestCoord = x;
+          first = false;
+        }
+      }
+    }
+    HXWAR_CHECK_MSG(!first, "Clos-AD found no unaligned port at the source");
+    // Build the intermediate router coordinates.
+    std::vector<std::uint32_t> ic(topo_.numDims());
+    for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+      const std::uint32_t cc = topo_.coord(cur, d);
+      const std::uint32_t dc = topo_.coord(dst, d);
+      if (d == bestDim) {
+        ic[d] = bestCoord;
+      } else if (cc == dc) {
+        ic[d] = cc;  // aligned dimensions stay aligned (LCA rule)
+      } else if (bestCoord == topo_.coord(dst, bestDim)) {
+        // Minimal move: the intermediate is just the neighbor; all other
+        // dimensions keep the source coordinate so phase 1 is one hop.
+        ic[d] = cc;
+      } else {
+        // Deroute move: scatter the remaining unaligned dimensions.
+        ic[d] = static_cast<std::uint32_t>(ctx.router.rng().below(topo_.width(d)));
+      }
+    }
+    pkt.intermediate = topo_.routerAt(ic);
+  }
+
+  if (!pkt.phase2 && cur == pkt.intermediate) pkt.phase2 = true;
+  if (!pkt.phase2) {
+    const std::uint32_t hops = topo_.minHops(cur, pkt.intermediate) +
+                               topo_.minHops(pkt.intermediate, dst);
+    emitDorStep(out, cur, pkt.intermediate, 0, hops);
+  } else {
+    emitDorStep(out, cur, dst, 1, topo_.minHops(cur, dst));
+  }
+}
+
+AlgorithmInfo ClosAdRouting::info() const {
+  return AlgorithmInfo{"Clos-AD", true, AlgorithmInfo::Style::kSource,
+                       "2", "R.R. & R.C.", "seq. alloc.", "int. addr."};
+}
+
+// --- DimWAR -------------------------------------------------------------------
+
+void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                          std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+  const std::uint32_t unaligned = topo_.minHops(cur, dst);
+  const std::uint32_t d = firstUnalignedDim(cur, dst);
+  const std::uint32_t cc = topo_.coord(cur, d);
+  const std::uint32_t dc = topo_.coord(dst, d);
+
+  // Minimal hop in the current dimension always rides class 0.
+  emitDimMove(out, cur, d, dc, 0, unaligned, false);
+
+  // One deroute per dimension: only permitted while on class 0 (a packet on
+  // class 1 has just derouted and must take the minimal hop next). Deroutes
+  // stay within the current dimension and ride class 1.
+  if (ctx.inClass == 0) {
+    for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+      if (x == cc || x == dc) continue;
+      emitDimMove(out, cur, d, x, 1, unaligned + 1, true);
+    }
+  }
+}
+
+AlgorithmInfo DimWarRouting::info() const {
+  return AlgorithmInfo{"DimWAR", true, AlgorithmInfo::Style::kIncremental,
+                       "2", "R.R. & R.C.", "none", "none"};
+}
+
+// --- OmniWAR ------------------------------------------------------------------
+
+void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                           std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = destRouter(pkt);
+  const std::uint32_t classes = numClasses();
+  // Distance classes: the next hop's class is the hop index.
+  const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
+  HXWAR_CHECK_MSG(c < classes, "OmniWAR ran out of distance classes");
+  const std::uint32_t unaligned = topo_.minHops(cur, dst);
+  const std::uint32_t remainingAfter = classes - c - 1;
+  HXWAR_CHECK_MSG(unaligned - 1 <= remainingAfter,
+                  "OmniWAR invariant violated: cannot finish minimally");
+  const bool derouteOk = !minimalOnly_ && remainingAfter >= unaligned;
+
+  // Which dimension did we come from, and was that hop a deroute? (If we
+  // arrived via dimension d and d is still unaligned, the hop was lateral.)
+  std::uint32_t cameFromDim = topo_.numDims();
+  if (!ctx.atSource && !topo_.isTerminalPort(ctx.inPort)) {
+    // The input port p on this router mirrors the peer's output port; the
+    // dimension of the move is the dimension the port belongs to.
+    cameFromDim = topo_.portMove(cur, ctx.inPort).dim;
+  }
+
+  for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+    const std::uint32_t cc = topo_.coord(cur, d);
+    const std::uint32_t dc = topo_.coord(dst, d);
+    if (cc == dc) continue;  // only unaligned dimensions are valid
+    emitDimMove(out, cur, d, dc, c, unaligned, false);
+    if (!derouteOk) continue;
+    if (restrictBackToBack_ && d == cameFromDim) continue;  // §5.2 optimization
+    for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+      if (x == cc || x == dc) continue;
+      emitDimMove(out, cur, d, x, c, unaligned + 1, true);
+    }
+  }
+}
+
+AlgorithmInfo OmniWarRouting::info() const {
+  const bool minAd = minimalOnly_;
+  return AlgorithmInfo{minAd ? "Min-AD" : "OmniWAR", false,
+                       AlgorithmInfo::Style::kIncremental,
+                       minAd ? "N" : "N+M",
+                       minAd ? "D.C." : "R.R. & D.C.", "none", "none"};
+}
+
+// --- factory -------------------------------------------------------------------
+
+std::unique_ptr<RoutingAlgorithm> makeHyperXRouting(const std::string& name,
+                                                    const topo::HyperX& topo,
+                                                    const HyperXRoutingOptions& opts) {
+  const std::uint32_t omniM = opts.omniDeroutes == HyperXRoutingOptions::kOmniDeroutesDefault
+                                  ? topo.numDims()
+                                  : opts.omniDeroutes;
+  if (name == "dor") return std::make_unique<DorRouting>(topo);
+  if (name == "val") return std::make_unique<ValiantRouting>(topo);
+  if (name == "minad") {
+    return std::make_unique<OmniWarRouting>(topo, 0, false, /*minimalOnly=*/true);
+  }
+  if (name == "ugal") return std::make_unique<UgalRouting>(topo, opts.ugalBias);
+  if (name == "closad" || name == "ugal+") {
+    return std::make_unique<ClosAdRouting>(topo, opts.ugalBias);
+  }
+  if (name == "dimwar") return std::make_unique<DimWarRouting>(topo);
+  if (name == "omniwar") {
+    return std::make_unique<OmniWarRouting>(topo, omniM, opts.omniRestrictBackToBack);
+  }
+  HXWAR_CHECK_MSG(false, ("unknown HyperX routing algorithm: " + name).c_str());
+  return nullptr;
+}
+
+const std::vector<std::string>& hyperxAlgorithmNames() {
+  static const std::vector<std::string> names = {"dor",    "val",    "ugal",
+                                                 "closad", "dimwar", "omniwar"};
+  return names;
+}
+
+}  // namespace hxwar::routing

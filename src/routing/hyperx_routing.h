@@ -1,0 +1,171 @@
+// HyperX routing algorithms.
+//
+// Implements the two algorithms contributed by the paper — DimWAR (§5.1) and
+// OmniWAR (§5.2) — plus every baseline the evaluation compares against:
+// DOR, Valiant (VAL), minimal-adaptive (Min-AD), UGAL, and Clos-AD (a.k.a.
+// UGAL+, evaluated without sequential allocation per §4.1). DAL (§4.2) lives
+// in dal.h because of its escape-path machinery.
+//
+// Deadlock-avoidance summary (see DESIGN.md §3 for the full arguments):
+//   DOR      1 class   restricted routes (dimension order)
+//   VAL      2 classes one DOR phase per class
+//   UGAL     2 classes minimal rides the phase-2 class
+//   Clos-AD  2 classes two DOR phases through an LCA-consistent intermediate
+//   Min-AD   N classes distance classes (VC = hop index)
+//   DimWAR   2 classes deroute hops on class 1, minimal hops on class 0
+//   OmniWAR  N+M       distance classes, M deroutes anywhere
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/routing.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::routing {
+
+// Shared base: destination lookup, ejection handling, DOR next hop.
+class HyperXRoutingBase : public RoutingAlgorithm {
+ public:
+  explicit HyperXRoutingBase(const topo::HyperX& topo) : topo_(topo) {}
+
+ protected:
+  // If the packet's destination terminal attaches to ctx's router, emits one
+  // ejection candidate per class and returns true.
+  bool emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
+                        std::vector<Candidate>& out) const;
+
+  // First unaligned dimension in fixed order, or numDims() if aligned.
+  std::uint32_t firstUnalignedDim(RouterId cur, RouterId dst) const;
+
+  // DOR candidate toward `target` router using `vcClass` on a specific trunk
+  // (oblivious algorithms pick one trunk per packet).
+  Candidate dorStep(RouterId cur, RouterId target, std::uint32_t vcClass,
+                    std::uint32_t hopsRemaining, std::uint32_t trunk = 0) const;
+
+  // Same next hop, but one candidate per trunk link (adaptive algorithms let
+  // the router's weight function pick among parallel links).
+  void emitDorStep(std::vector<Candidate>& out, RouterId cur, RouterId target,
+                   std::uint32_t vcClass, std::uint32_t hopsRemaining) const;
+
+  // One candidate per trunk for a move in `dim` to coordinate `to`.
+  void emitDimMove(std::vector<Candidate>& out, RouterId cur, std::uint32_t dim,
+                   std::uint32_t to, std::uint32_t vcClass, std::uint32_t hopsRemaining,
+                   bool deroute, std::uint8_t derouteDim = 0xff) const;
+
+  RouterId destRouter(const net::Packet& pkt) const { return topo_.nodeRouter(pkt.dst); }
+
+  const topo::HyperX& topo_;
+};
+
+// --- Oblivious baselines -------------------------------------------------
+
+class DorRouting final : public HyperXRoutingBase {
+ public:
+  using HyperXRoutingBase::HyperXRoutingBase;
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 1; }
+  AlgorithmInfo info() const override;
+};
+
+class ValiantRouting final : public HyperXRoutingBase {
+ public:
+  using HyperXRoutingBase::HyperXRoutingBase;
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+};
+
+// --- Source-adaptive baselines -------------------------------------------
+
+// Universal Global Adaptive Load-balancing (Singh): at the source router,
+// compare the congestion-weighted cost of the minimal DOR path against one
+// randomly chosen Valiant path; commit to whichever wins.
+class UgalRouting final : public HyperXRoutingBase {
+ public:
+  UgalRouting(const topo::HyperX& topo, double bias) : HyperXRoutingBase(topo), bias_(bias) {}
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+
+ private:
+  double bias_;
+};
+
+// Clos-AD / UGAL+ (Kim, Flattened Butterfly): weighs *every* unaligned output
+// port at the source (least-common-ancestor rule), picks the lightest, and if
+// that port is non-minimal selects a random LCA-consistent intermediate.
+// Evaluated without the sequential allocator, as in the paper.
+class ClosAdRouting final : public HyperXRoutingBase {
+ public:
+  ClosAdRouting(const topo::HyperX& topo, double bias) : HyperXRoutingBase(topo), bias_(bias) {}
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+
+ private:
+  double bias_;
+};
+
+// --- Incremental adaptive algorithms (the paper's contribution) ----------
+
+// Dimensionally-ordered Weighted Adaptive Routing (§5.1): dimensions in
+// order, at most one deroute per dimension; deroutes ride class 1, minimal
+// hops class 0 — two classes regardless of dimensionality.
+class DimWarRouting final : public HyperXRoutingBase {
+ public:
+  using HyperXRoutingBase::HyperXRoutingBase;
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+};
+
+// Omni-dimensional Weighted Adaptive Routing (§5.2): any unaligned dimension
+// at any time, M deroutes anywhere on the path, distance-class VCs (N+M).
+// Min-AD is the M = 0 special case. Optionally restricts back-to-back
+// deroutes in the same dimension (the §5.2 optimization).
+class OmniWarRouting final : public HyperXRoutingBase {
+ public:
+  OmniWarRouting(const topo::HyperX& topo, std::uint32_t deroutes, bool restrictBackToBack,
+                 bool minimalOnly = false)
+      : HyperXRoutingBase(topo),
+        deroutes_(deroutes),
+        restrictBackToBack_(restrictBackToBack),
+        minimalOnly_(minimalOnly) {}
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return topo_.numDims() + deroutes_; }
+  AlgorithmInfo info() const override;
+
+  std::uint32_t maxDeroutes() const { return deroutes_; }
+  bool minimalOnly() const { return minimalOnly_; }
+
+ private:
+  std::uint32_t deroutes_;
+  bool restrictBackToBack_;
+  // Min-AD mode: never emit deroute candidates. (Plain OmniWAR with M = 0 can
+  // still deroute packets whose minimal distance is below N, because the
+  // budget check is against remaining distance classes — paper §5.2 step 2.)
+  bool minimalOnly_;
+};
+
+// --- Factory --------------------------------------------------------------
+
+struct HyperXRoutingOptions {
+  static constexpr std::uint32_t kOmniDeroutesDefault = 0xffffffffu;
+
+  double ugalBias = 1.0;
+  // OmniWAR deroute budget M. Default sentinel => one per dimension (M = N);
+  // 0 is honored as a genuine zero budget (deroutes only on distance slack).
+  std::uint32_t omniDeroutes = kOmniDeroutesDefault;
+  bool omniRestrictBackToBack = true;
+};
+
+// names: dor, val, minad, ugal, closad (alias ugal+), dimwar, omniwar
+std::unique_ptr<RoutingAlgorithm> makeHyperXRouting(const std::string& name,
+                                                    const topo::HyperX& topo,
+                                                    const HyperXRoutingOptions& opts = {});
+
+// All algorithm names the factory accepts, in canonical evaluation order.
+const std::vector<std::string>& hyperxAlgorithmNames();
+
+}  // namespace hxwar::routing

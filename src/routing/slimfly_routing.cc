@@ -1,0 +1,42 @@
+#include "routing/slimfly_routing.h"
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+void SlimFlyMinimal::route(const RouteContext& ctx, net::Packet& pkt,
+                           std::vector<Candidate>& out) {
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = topo_.nodeRouter(pkt.dst);
+  if (cur == dst) {
+    const PortId port = topo_.nodePort(pkt.dst);
+    for (std::uint32_t c = 0; c < numClasses(); ++c) {
+      out.push_back(Candidate{port, c, 0, false});
+    }
+    return;
+  }
+  const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
+  HXWAR_CHECK_MSG(c < numClasses(), "SlimFly minimal exceeded two hops");
+  const PortId direct = topo_.portTo(cur, dst);
+  if (direct != kPortInvalid) {
+    out.push_back(Candidate{direct, c, 1, false});
+    return;
+  }
+  // Two hops: any common neighbor works; the router weighs them.
+  for (const RouterId relay : topo_.commonNeighbors(cur, dst)) {
+    out.push_back(Candidate{topo_.portTo(cur, relay), c, 2, false});
+  }
+  HXWAR_CHECK_MSG(!out.empty(), "SlimFly pair beyond diameter 2");
+}
+
+AlgorithmInfo SlimFlyMinimal::info() const {
+  return AlgorithmInfo{"SF-MIN", false, AlgorithmInfo::Style::kIncremental,
+                       "2", "D.C.", "none", "none"};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeSlimFlyRouting(const topo::SlimFly& topo) {
+  return std::make_unique<SlimFlyMinimal>(topo);
+}
+
+}  // namespace hxwar::routing

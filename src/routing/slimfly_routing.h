@@ -1,0 +1,28 @@
+// SlimFly minimal adaptive routing: destinations are at most two hops away;
+// adjacent destinations take the direct link, everything else picks the
+// least-congested relay among the common neighbors. Distance classes
+// (VC = hop index, 2 classes) make the two-hop paths trivially deadlock free.
+#pragma once
+
+#include <memory>
+
+#include "routing/routing.h"
+#include "topo/slimfly.h"
+
+namespace hxwar::routing {
+
+class SlimFlyMinimal final : public RoutingAlgorithm {
+ public:
+  explicit SlimFlyMinimal(const topo::SlimFly& topo) : topo_(topo) {}
+
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+
+ private:
+  const topo::SlimFly& topo_;
+};
+
+std::unique_ptr<RoutingAlgorithm> makeSlimFlyRouting(const topo::SlimFly& topo);
+
+}  // namespace hxwar::routing

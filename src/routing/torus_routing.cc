@@ -1,0 +1,52 @@
+#include "routing/torus_routing.h"
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+void TorusDatelineDor::route(const RouteContext& ctx, net::Packet& pkt,
+                             std::vector<Candidate>& out) {
+  const RouterId cur = ctx.router.id();
+  const RouterId dst = topo_.nodeRouter(pkt.dst);
+  if (cur == dst) {
+    const PortId port = topo_.nodePort(pkt.dst);
+    for (std::uint32_t c = 0; c < numClasses(); ++c) {
+      out.push_back(Candidate{port, c, 0, false});
+    }
+    return;
+  }
+  // First unaligned dimension, shortest ring direction.
+  std::uint32_t d = 0;
+  std::int32_t delta = 0;
+  for (; d < topo_.numDims(); ++d) {
+    delta = topo_.shortestDelta(d, topo_.coord(cur, d), topo_.coord(dst, d));
+    if (delta != 0) break;
+  }
+  HXWAR_CHECK(d < topo_.numDims());
+  const bool plus = delta > 0;
+
+  // Dateline class: reset to 0 when entering a new dimension; jump to 1 on
+  // the hop that crosses the wrap edge; stay on the inherited class otherwise.
+  std::uint32_t base = 0;
+  if (!ctx.atSource && !topo_.isTerminalPort(ctx.inPort)) {
+    const std::uint32_t inDim = (ctx.inPort - topo_.terminalsPerRouter()) / 2;
+    if (inDim == d) base = ctx.inClass;
+  }
+  const std::uint32_t cc = topo_.coord(cur, d);
+  const bool crossing = (plus && cc == topo_.width(d) - 1) || (!plus && cc == 0);
+  const std::uint32_t vcClass = crossing ? 1 : base;
+
+  out.push_back(Candidate{topo_.dimPort(d, plus), vcClass, topo_.minHops(cur, dst), false});
+}
+
+AlgorithmInfo TorusDatelineDor::info() const {
+  return AlgorithmInfo{"Torus-DOR", true, AlgorithmInfo::Style::kOblivious,
+                       "2", "R.R. & dateline R.C.", "none", "none"};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeTorusRouting(const topo::Torus& topo) {
+  return std::make_unique<TorusDatelineDor>(topo);
+}
+
+}  // namespace hxwar::routing

@@ -1,0 +1,31 @@
+// Dimension-order routing with dateline virtual channels on a torus — the
+// §2.1 background scheme DimWAR generalizes. Packets traverse dimensions in
+// order, taking the shortest ring direction; within each ring, crossing the
+// dateline (the wrap edge between coordinate S-1 and 0) moves the packet from
+// class 0 to class 1, breaking the ring's structural cycle. Classes reset per
+// dimension, so 2 classes suffice regardless of dimensionality — the same
+// re-use argument DimWAR makes for its deroute classes.
+#pragma once
+
+#include <memory>
+
+#include "routing/routing.h"
+#include "topo/torus.h"
+
+namespace hxwar::routing {
+
+class TorusDatelineDor final : public RoutingAlgorithm {
+ public:
+  explicit TorusDatelineDor(const topo::Torus& topo) : topo_(topo) {}
+
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  std::uint32_t numClasses() const override { return 2; }
+  AlgorithmInfo info() const override;
+
+ private:
+  const topo::Torus& topo_;
+};
+
+std::unique_ptr<RoutingAlgorithm> makeTorusRouting(const topo::Torus& topo);
+
+}  // namespace hxwar::routing

@@ -1,0 +1,64 @@
+// Deterministic discrete-event queue.
+//
+// Events are totally ordered by (tick, epsilon, sequence number). Epsilon
+// orders the phases within a tick (e.g., channel delivery before router
+// allocation); the sequence number makes same-phase events FIFO so repeated
+// runs with the same seed replay identically.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hxwar::sim {
+
+class Component;
+
+// Intra-tick phase ordering. Lower runs first.
+enum Epsilon : std::uint8_t {
+  kEpsDeliver = 0,   // channel payload/credit delivery
+  kEpsRouter = 1,    // router allocation & crossbar cycles
+  kEpsTerminal = 2,  // terminal injection/ejection processing
+  kEpsApp = 3,       // application-model reactions
+  kEpsControl = 4,   // harness controllers (sampling, warmup checks)
+};
+
+struct Event {
+  Tick time;
+  std::uint8_t epsilon;
+  std::uint64_t seq;
+  Component* component;
+  std::uint64_t tag;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.epsilon != b.epsilon) return a.epsilon > b.epsilon;
+    return a.seq > b.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  void push(Tick time, std::uint8_t epsilon, Component* component, std::uint64_t tag) {
+    heap_.push(Event{time, epsilon, seq_++, component, tag});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  const Event& top() const { return heap_.top(); }
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hxwar::sim

@@ -1,0 +1,25 @@
+#include "sim/simulator.h"
+
+namespace hxwar::sim {
+
+std::uint64_t Simulator::run(Tick until) {
+  std::uint64_t processed = 0;
+  while (step(until)) ++processed;
+  return processed;
+}
+
+bool Simulator::step(Tick until) {
+  if (queue_.empty()) return false;
+  if (queue_.top().time >= until) {
+    // Advance the clock to the horizon so callers can resume later.
+    if (until != kTickInvalid && until > now_) now_ = until;
+    return false;
+  }
+  const Event e = queue_.pop();
+  now_ = e.time;
+  e.component->processEvent(e.tag);
+  ++eventsProcessed_;
+  return true;
+}
+
+}  // namespace hxwar::sim

@@ -1,0 +1,68 @@
+// Simulation driver: owns the event queue and the clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "sim/event_queue.h"
+
+namespace hxwar::sim {
+
+class Component;
+
+class Simulator {
+ public:
+  Tick now() const { return now_; }
+  std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+
+  // Schedules `component->processEvent(tag)` at absolute `time`.
+  void schedule(Tick time, std::uint8_t epsilon, Component* component, std::uint64_t tag) {
+    HXWAR_CHECK_MSG(time >= now_, "cannot schedule into the past");
+    queue_.push(time, epsilon, component, tag);
+  }
+
+  void scheduleIn(Tick delta, std::uint8_t epsilon, Component* component, std::uint64_t tag) {
+    schedule(now_ + delta, epsilon, component, tag);
+  }
+
+  // Runs until the queue drains or `until` is passed (exclusive). Returns the
+  // number of events processed by this call.
+  std::uint64_t run(Tick until = kTickInvalid);
+
+  // Runs a single event; returns false if the queue is empty or the next
+  // event is at/after `until`.
+  bool step(Tick until = kTickInvalid);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+};
+
+// Anything that receives events. Components are identified by a name for
+// diagnostics; they are owned by the network/harness, never by the simulator.
+class Component {
+ public:
+  Component(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  virtual void processEvent(std::uint64_t tag) = 0;
+
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+};
+
+}  // namespace hxwar::sim

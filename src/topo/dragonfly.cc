@@ -1,0 +1,99 @@
+#include "topo/dragonfly.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::topo {
+
+Dragonfly::Dragonfly(Params params)
+    : p_(params.terminalsPerRouter),
+      a_(params.routersPerGroup),
+      h_(params.globalsPerRouter),
+      g_(params.numGroups == 0 ? params.routersPerGroup * params.globalsPerRouter + 1
+                               : params.numGroups) {
+  HXWAR_CHECK(p_ >= 1 && a_ >= 2 && h_ >= 1);
+  HXWAR_CHECK_MSG(g_ >= 2, "Dragonfly needs at least two groups");
+  HXWAR_CHECK_MSG(g_ <= a_ * h_ + 1, "too many groups for global port count");
+  w_ = (a_ * h_) / (g_ - 1);
+  HXWAR_CHECK_MSG(w_ >= 1, "not enough global ports to reach every group");
+}
+
+std::string Dragonfly::name() const {
+  std::ostringstream os;
+  os << "Dragonfly(p=" << p_ << ",a=" << a_ << ",h=" << h_ << ",g=" << g_ << ")";
+  return os.str();
+}
+
+PortId Dragonfly::localPort(RouterId r, std::uint32_t peerLocal) const {
+  const std::uint32_t own = localIdx(r);
+  HXWAR_CHECK(peerLocal != own && peerLocal < a_);
+  return p_ + (peerLocal < own ? peerLocal : peerLocal - 1);
+}
+
+bool Dragonfly::slotPeer(std::uint32_t grp, std::uint32_t s, std::uint32_t* peerGroup,
+                         std::uint32_t* peerSlot) const {
+  if (s >= w_ * (g_ - 1)) return false;  // unused trunk remainder
+  const std::uint32_t o = s / w_ + 1;    // group offset 1..g-1
+  const std::uint32_t c = s % w_;        // trunk copy
+  *peerGroup = (grp + o) % g_;
+  *peerSlot = (g_ - o - 1) * w_ + c;
+  return true;
+}
+
+Dragonfly::GlobalExit Dragonfly::exitTo(std::uint32_t grp, std::uint32_t toGroup,
+                                        std::uint32_t copy) const {
+  HXWAR_CHECK(toGroup != grp && toGroup < g_ && copy < w_);
+  const std::uint32_t o = (toGroup + g_ - grp) % g_;
+  const std::uint32_t s = (o - 1) * w_ + copy;
+  return GlobalExit{routerOf(grp, s / h_), s % h_};
+}
+
+Topology::PortTarget Dragonfly::portTarget(RouterId r, PortId port) const {
+  PortTarget t;
+  if (port < p_) {
+    t.kind = PortTarget::Kind::kTerminal;
+    t.node = r * p_ + port;
+    return t;
+  }
+  if (isLocalPort(port)) {
+    const std::uint32_t slot = port - p_;
+    const std::uint32_t own = localIdx(r);
+    const std::uint32_t peerLocal = (slot < own) ? slot : slot + 1;
+    const RouterId peer = routerOf(group(r), peerLocal);
+    t.kind = PortTarget::Kind::kRouter;
+    t.router = peer;
+    t.port = localPort(peer, own);
+    return t;
+  }
+  // Global port.
+  const std::uint32_t k = port - p_ - (a_ - 1);
+  const std::uint32_t s = globalSlot(r, k);
+  std::uint32_t pg = 0, ps = 0;
+  if (!slotPeer(group(r), s, &pg, &ps)) {
+    t.kind = PortTarget::Kind::kUnused;
+    return t;
+  }
+  t.kind = PortTarget::Kind::kRouter;
+  t.router = routerOf(pg, ps / h_);
+  t.port = globalPort(ps % h_);
+  return t;
+}
+
+std::uint32_t Dragonfly::minHops(RouterId a, RouterId b) const {
+  if (a == b) return 0;
+  const std::uint32_t ga = group(a), gb = group(b);
+  if (ga == gb) return 1;
+  std::uint32_t best = 4;  // upper bound: l + g + l is 3; start above
+  for (std::uint32_t c = 0; c < w_; ++c) {
+    const GlobalExit ex = exitTo(ga, gb, c);
+    std::uint32_t pg = 0, ps = 0;
+    HXWAR_CHECK(slotPeer(ga, globalSlot(ex.router, ex.portK), &pg, &ps));
+    const RouterId entry = routerOf(pg, ps / h_);
+    const std::uint32_t hops = (a == ex.router ? 0u : 1u) + 1u + (b == entry ? 0u : 1u);
+    if (hops < best) best = hops;
+  }
+  return best;
+}
+
+}  // namespace hxwar::topo

@@ -1,0 +1,83 @@
+// Dragonfly topology (Kim et al., ISCA'08).
+//
+// Parameters: p terminals per router, a routers per group (fully connected
+// locally), h global channels per router, g groups. Global links use an
+// offset-block arrangement that supports any g with (g-1) | coverage: each
+// group exposes a*h global endpoints; endpoint slot s = (o-1)*w + c connects
+// to group (G + o) mod g, pairing with that group's slot (g-o-1)*w + c, where
+// w = floor(a*h / (g-1)) is the trunking width per group pair. With the
+// balanced g = a*h + 1 this reduces to the canonical single-link-per-pair
+// arrangement. Endpoint slots >= w*(g-1) are unused.
+//
+// Port layout per router:
+//   [0, p)            terminals
+//   [p, p+a-1)        local ports, ordered by peer local index (skipping own)
+//   [p+a-1, p+a-1+h)  global ports
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace hxwar::topo {
+
+class Dragonfly final : public Topology {
+ public:
+  struct Params {
+    std::uint32_t terminalsPerRouter = 4;  // p
+    std::uint32_t routersPerGroup = 8;     // a
+    std::uint32_t globalsPerRouter = 4;    // h
+    std::uint32_t numGroups = 0;           // g; 0 => balanced a*h + 1
+  };
+
+  explicit Dragonfly(Params params);
+
+  std::string name() const override;
+  std::uint32_t numRouters() const override { return a_ * g_; }
+  std::uint32_t numNodes() const override { return numRouters() * p_; }
+  std::uint32_t numPorts(RouterId) const override { return p_ + (a_ - 1) + h_; }
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override { return n / p_; }
+  PortId nodePort(NodeId n) const override { return n % p_; }
+  std::uint32_t minHops(RouterId a, RouterId b) const override;
+  std::uint32_t diameter() const override { return 3; }
+
+  // --- Dragonfly-specific queries ---
+  std::uint32_t p() const { return p_; }
+  std::uint32_t a() const { return a_; }
+  std::uint32_t h() const { return h_; }
+  std::uint32_t g() const { return g_; }
+  std::uint32_t trunking() const { return w_; }  // links per group pair
+
+  std::uint32_t group(RouterId r) const { return r / a_; }
+  std::uint32_t localIdx(RouterId r) const { return r % a_; }
+  RouterId routerOf(std::uint32_t grp, std::uint32_t local) const { return grp * a_ + local; }
+
+  PortId localPort(RouterId r, std::uint32_t peerLocal) const;
+  PortId globalPort(std::uint32_t k) const { return p_ + (a_ - 1) + k; }
+  bool isTerminalPort(PortId port) const { return port < p_; }
+  bool isLocalPort(PortId port) const { return port >= p_ && port < p_ + (a_ - 1); }
+  bool isGlobalPort(PortId port) const { return port >= p_ + (a_ - 1); }
+
+  // Global endpoint slot within the group for router-local port k.
+  std::uint32_t globalSlot(RouterId r, std::uint32_t k) const { return localIdx(r) * h_ + k; }
+  // Which group does endpoint slot s of group grp connect to? Returns false
+  // for unused slots (s >= w*(g-1)).
+  bool slotPeer(std::uint32_t grp, std::uint32_t s, std::uint32_t* peerGroup,
+                std::uint32_t* peerSlot) const;
+
+  // One (router, globalPortIndex) in `grp` with a direct link to `toGroup`,
+  // for copy index c in [0, trunking()). Used by minimal routing.
+  struct GlobalExit {
+    RouterId router;
+    std::uint32_t portK;  // global port index within router
+  };
+  GlobalExit exitTo(std::uint32_t grp, std::uint32_t toGroup, std::uint32_t copy) const;
+
+ private:
+  std::uint32_t p_, a_, h_, g_, w_;
+};
+
+}  // namespace hxwar::topo

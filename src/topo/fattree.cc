@@ -1,0 +1,159 @@
+#include "topo/fattree.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::topo {
+
+FatTree::FatTree(Params params) : down_(std::move(params.down)), up_(std::move(params.up)) {
+  height_ = static_cast<std::uint32_t>(down_.size());
+  HXWAR_CHECK_MSG(height_ >= 1, "FatTree needs at least one level");
+  HXWAR_CHECK_MSG(up_.size() + 1 == down_.size(), "up.size() must be down.size()-1");
+  for (const auto m : down_) HXWAR_CHECK(m >= 1);
+  for (const auto w : up_) HXWAR_CHECK(w >= 1);
+
+  subtrees_.resize(height_ + 1);
+  copies_.resize(height_ + 1);
+  leafSpan_.resize(height_ + 1);
+  levelBase_.resize(height_ + 2);
+  for (const auto m : down_) numNodes_ *= m;
+
+  copies_[0] = 1;   // unused sentinel for level 0 (terminals)
+  leafSpan_[0] = 1;
+  std::uint32_t copyProd = 1;
+  std::uint32_t span = 1;
+  levelBase_[1] = 0;
+  for (std::uint32_t l = 1; l <= height_; ++l) {
+    copyProd *= (l == 1) ? 1 : up_[l - 2];
+    span *= down_[l - 1];
+    copies_[l] = copyProd;
+    leafSpan_[l] = span;
+    subtrees_[l] = numNodes_ / span;
+    const std::uint32_t count = subtrees_[l] * copies_[l];
+    levelBase_[l + 1] = levelBase_[l] + count;
+  }
+  totalSwitches_ = levelBase_[height_ + 1];
+}
+
+std::string FatTree::name() const {
+  std::ostringstream os;
+  os << "XGFT(" << height_ << "; m=";
+  for (std::size_t i = 0; i < down_.size(); ++i) os << (i ? "," : "") << down_[i];
+  os << "; w=";
+  for (std::size_t i = 0; i < up_.size(); ++i) os << (i ? "," : "") << up_[i];
+  os << ")";
+  return os.str();
+}
+
+std::uint32_t FatTree::level(RouterId r) const {
+  for (std::uint32_t l = 1; l <= height_; ++l) {
+    if (r < levelBase_[l + 1]) return l;
+  }
+  HXWAR_CHECK_MSG(false, "router id out of range");
+  return 0;
+}
+
+std::uint32_t FatTree::subtree(RouterId r) const {
+  const std::uint32_t l = level(r);
+  return (r - levelBase_[l]) / copies_[l];
+}
+
+std::uint32_t FatTree::copy(RouterId r) const {
+  const std::uint32_t l = level(r);
+  return (r - levelBase_[l]) % copies_[l];
+}
+
+RouterId FatTree::switchId(std::uint32_t lvl, std::uint32_t t, std::uint32_t w) const {
+  HXWAR_CHECK(lvl >= 1 && lvl <= height_ && t < subtrees_[lvl] && w < copies_[lvl]);
+  return levelBase_[lvl] + t * copies_[lvl] + w;
+}
+
+std::uint32_t FatTree::numPorts(RouterId r) const {
+  const std::uint32_t l = level(r);
+  return down_[l - 1] + (l < height_ ? up_[l - 1] : 0);
+}
+
+RouterId FatTree::nodeRouter(NodeId n) const {
+  // Level-1 switch above node n; copies_[1] == 1 so subtree index == id slot.
+  return switchId(1, n / down_[0], 0);
+}
+
+PortId FatTree::nodePort(NodeId n) const { return n % down_[0]; }
+
+Topology::PortTarget FatTree::portTarget(RouterId r, PortId p) const {
+  PortTarget t;
+  const std::uint32_t l = level(r);
+  const std::uint32_t tr = subtree(r);
+  const std::uint32_t w = copy(r);
+  if (p < down_[l - 1]) {
+    // Down port p.
+    if (l == 1) {
+      t.kind = PortTarget::Kind::kTerminal;
+      t.node = tr * down_[0] + p;
+      return t;
+    }
+    // Child switch at level l-1: subtree tr*m_l + p; copy derived from ours.
+    const std::uint32_t childSubtree = tr * down_[l - 1] + p;
+    const std::uint32_t childCopy = w % copies_[l - 1];
+    const std::uint32_t k = w / copies_[l - 1];  // which parent we are to it
+    t.kind = PortTarget::Kind::kRouter;
+    t.router = switchId(l - 1, childSubtree, childCopy);
+    t.port = down_[l - 2] + k;  // child's up port k
+    return t;
+  }
+  // Up port k at level l (< height).
+  HXWAR_CHECK(l < height_);
+  const std::uint32_t k = p - down_[l - 1];
+  HXWAR_CHECK(k < up_[l - 1]);
+  const std::uint32_t parentSubtree = tr / down_[l];
+  const std::uint32_t parentCopy = k * copies_[l] + w;
+  t.kind = PortTarget::Kind::kRouter;
+  t.router = switchId(l + 1, parentSubtree, parentCopy);
+  t.port = tr % down_[l];  // we are child index (tr mod m_{l+1}) of the parent
+  return t;
+}
+
+std::uint32_t FatTree::ncaLevel(NodeId a, NodeId b) const {
+  for (std::uint32_t l = 1; l <= height_; ++l) {
+    if (a / leafSpan_[l] == b / leafSpan_[l]) return l;
+  }
+  HXWAR_CHECK_MSG(false, "nodes share no ancestor");
+  return height_;
+}
+
+std::uint32_t FatTree::downDigit(NodeId n, std::uint32_t lvl) const {
+  // The down port used at a level-lvl switch on the way down to n.
+  return (n / leafSpan_[lvl - 1]) % down_[lvl - 1];
+}
+
+std::uint32_t FatTree::minHops(RouterId a, RouterId b) const {
+  if (a == b) return 0;
+  std::uint32_t la = level(a), lb = level(b);
+  std::uint32_t ta = subtree(a), tb = subtree(b);
+  // Climb both to the first level where the subtrees coincide. Copies are
+  // reachable because every parent set spans all copies.
+  std::uint32_t hops = 0;
+  while (la < lb) {
+    ta /= down_[la];
+    ++la;
+    ++hops;
+  }
+  while (lb < la) {
+    tb /= down_[lb];
+    ++lb;
+    ++hops;
+  }
+  while (ta != tb) {
+    HXWAR_CHECK(la < height_);
+    ta /= down_[la];
+    tb /= down_[la];
+    ++la;
+    hops += 2;
+  }
+  // Same level & subtree but different copy: go up one and back down.
+  if (hops == 0 && a != b) hops = 2;
+  return hops;
+}
+
+}  // namespace hxwar::topo

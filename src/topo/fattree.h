@@ -1,0 +1,72 @@
+// Folded-Clos / fat-tree topology, expressed as an extended generalized fat
+// tree XGFT(h; m_1..m_h; w_1..w_h) (Öhring et al.):
+//
+//   * Terminals are the leaves; N = m_1 * m_2 * ... * m_h.
+//   * A level-l switch (1 <= l <= h) is labelled (t, w):
+//       t in [0, prod_{i>l} m_i)   — which level-l subtree it belongs to
+//       w in [0, prod_{i<=l} w_i)  — which redundant copy it is
+//   * Level-l switch (t, w) has m_l down ports; for l < h it has w_{l+1} up
+//     ports to parents (t / m_{l+1}, k * prod_{i<=l} w_i + w).
+//
+// The classic 3-level k-port fat tree is XGFT(3; k/2, k/2, k; 1, k/2, k/2)
+// up to folding details. Up/down routing is deadlock free on one VC.
+//
+// Port layout per switch: [0, m_l) down ports, then [m_l, m_l + w_{l+1}) up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace hxwar::topo {
+
+class FatTree final : public Topology {
+ public:
+  struct Params {
+    std::vector<std::uint32_t> down;  // m_1..m_h
+    std::vector<std::uint32_t> up;    // w_2..w_h parents per level (size h-1)
+  };
+
+  explicit FatTree(Params params);
+
+  std::string name() const override;
+  std::uint32_t numRouters() const override { return totalSwitches_; }
+  std::uint32_t numNodes() const override { return numNodes_; }
+  std::uint32_t numPorts(RouterId r) const override;
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override;
+  PortId nodePort(NodeId n) const override;
+  std::uint32_t minHops(RouterId a, RouterId b) const override;
+  std::uint32_t diameter() const override { return 2 * (height_ - 1); }
+
+  // --- Fat-tree-specific queries ---
+  std::uint32_t height() const { return height_; }
+  std::uint32_t level(RouterId r) const;            // 1..h
+  std::uint32_t subtree(RouterId r) const;          // t
+  std::uint32_t copy(RouterId r) const;             // w
+  RouterId switchId(std::uint32_t level, std::uint32_t t, std::uint32_t w) const;
+  std::uint32_t downPorts(std::uint32_t level) const { return down_[level - 1]; }
+  std::uint32_t upPorts(std::uint32_t level) const {
+    return level < height_ ? up_[level - 1] : 0;
+  }
+  // Level of the nearest common ancestor switches of two terminals.
+  std::uint32_t ncaLevel(NodeId a, NodeId b) const;
+  // Digit of node n used to select the down port at a level-l switch.
+  std::uint32_t downDigit(NodeId n, std::uint32_t level) const;
+
+ private:
+  std::uint32_t height_;
+  std::vector<std::uint32_t> down_;         // m_1..m_h
+  std::vector<std::uint32_t> up_;           // w_2..w_h
+  std::vector<std::uint32_t> subtrees_;     // per level: prod_{i>l} m_i
+  std::vector<std::uint32_t> copies_;       // per level: prod_{i<=l} w_i
+  std::vector<std::uint32_t> levelBase_;    // router-id base per level
+  std::vector<std::uint32_t> leafSpan_;     // per level: prod_{i<=l} m_i
+  std::uint32_t totalSwitches_ = 0;
+  std::uint32_t numNodes_ = 1;
+};
+
+}  // namespace hxwar::topo

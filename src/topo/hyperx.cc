@@ -1,0 +1,123 @@
+#include "topo/hyperx.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::topo {
+
+HyperX::HyperX(Params params)
+    : widths_(std::move(params.widths)),
+      k_(params.terminalsPerRouter),
+      t_(params.trunking) {
+  HXWAR_CHECK_MSG(!widths_.empty(), "HyperX needs at least one dimension");
+  HXWAR_CHECK_MSG(k_ >= 1, "HyperX needs at least one terminal per router");
+  HXWAR_CHECK_MSG(t_ >= 1, "HyperX trunking must be >= 1");
+  numRouters_ = 1;
+  dimStride_.resize(widths_.size());
+  dimPortBase_.resize(widths_.size());
+  std::uint32_t portBase = k_;
+  for (std::size_t d = 0; d < widths_.size(); ++d) {
+    HXWAR_CHECK_MSG(widths_[d] >= 2, "HyperX dimension width must be >= 2");
+    dimStride_[d] = numRouters_;
+    numRouters_ *= widths_[d];
+    dimPortBase_[d] = portBase;
+    portBase += (widths_[d] - 1) * t_;
+  }
+  numPorts_ = portBase;
+}
+
+std::string HyperX::name() const {
+  std::ostringstream os;
+  os << "HyperX(";
+  for (std::size_t d = 0; d < widths_.size(); ++d) {
+    if (d != 0) os << "x";
+    os << widths_[d];
+  }
+  os << ", K=" << k_;
+  if (t_ > 1) os << ", T=" << t_;
+  os << ")";
+  return os.str();
+}
+
+std::uint32_t HyperX::coord(RouterId r, std::uint32_t dim) const {
+  return (r / dimStride_[dim]) % widths_[dim];
+}
+
+void HyperX::coords(RouterId r, std::vector<std::uint32_t>& out) const {
+  out.resize(widths_.size());
+  for (std::size_t d = 0; d < widths_.size(); ++d) {
+    out[d] = coord(r, static_cast<std::uint32_t>(d));
+  }
+}
+
+RouterId HyperX::routerAt(const std::vector<std::uint32_t>& c) const {
+  HXWAR_CHECK(c.size() == widths_.size());
+  RouterId r = 0;
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    HXWAR_CHECK(c[d] < widths_[d]);
+    r += c[d] * dimStride_[d];
+  }
+  return r;
+}
+
+PortId HyperX::dimPort(RouterId r, std::uint32_t dim, std::uint32_t to,
+                       std::uint32_t trunk) const {
+  const std::uint32_t own = coord(r, dim);
+  HXWAR_CHECK_MSG(to != own, "dimPort target equals own coordinate");
+  HXWAR_CHECK(to < widths_[dim] && trunk < t_);
+  // Ports in dimension `dim` are ordered by (peer coordinate, trunk),
+  // skipping the own coordinate.
+  return dimPortBase_[dim] + (to < own ? to : to - 1) * t_ + trunk;
+}
+
+HyperX::PortMove HyperX::portMove(RouterId r, PortId p) const {
+  HXWAR_CHECK_MSG(p >= k_ && p < numPorts_, "portMove on a non-network port");
+  std::uint32_t dim = 0;
+  while (dim + 1 < widths_.size() && p >= dimPortBase_[dim + 1]) ++dim;
+  const std::uint32_t slot = (p - dimPortBase_[dim]) / t_;
+  const std::uint32_t trunk = (p - dimPortBase_[dim]) % t_;
+  const std::uint32_t own = coord(r, dim);
+  const std::uint32_t to = (slot < own) ? slot : slot + 1;
+  return PortMove{dim, to, trunk};
+}
+
+RouterId HyperX::neighbor(RouterId r, std::uint32_t dim, std::uint32_t to) const {
+  const std::uint32_t own = coord(r, dim);
+  return r + (static_cast<std::int64_t>(to) - own) * static_cast<std::int64_t>(dimStride_[dim]);
+}
+
+Topology::PortTarget HyperX::portTarget(RouterId r, PortId p) const {
+  PortTarget t;
+  if (p < k_) {
+    t.kind = PortTarget::Kind::kTerminal;
+    t.node = r * k_ + p;
+    return t;
+  }
+  const PortMove mv = portMove(r, p);
+  const RouterId peer = neighbor(r, mv.dim, mv.toCoord);
+  t.kind = PortTarget::Kind::kRouter;
+  t.router = peer;
+  // The peer's port back toward us: same dimension, our coordinate, and the
+  // same trunk index so trunked links pair one-to-one.
+  t.port = dimPort(peer, mv.dim, coord(r, mv.dim), mv.trunk);
+  return t;
+}
+
+std::uint32_t HyperX::minHops(RouterId a, RouterId b) const {
+  std::uint32_t hops = 0;
+  for (std::uint32_t d = 0; d < numDims(); ++d) {
+    if (coord(a, d) != coord(b, d)) ++hops;
+  }
+  return hops;
+}
+
+std::uint32_t HyperX::unalignedMask(RouterId a, RouterId b) const {
+  std::uint32_t mask = 0;
+  for (std::uint32_t d = 0; d < numDims(); ++d) {
+    if (coord(a, d) != coord(b, d)) mask |= (1u << d);
+  }
+  return mask;
+}
+
+}  // namespace hxwar::topo

@@ -1,0 +1,90 @@
+// HyperX topology (Ahn et al., SC'09): an L-dimensional integer lattice in
+// which every dimension is fully connected. The HyperCube (S=2) and the
+// Flattened Butterfly are special cases.
+//
+// Router coordinates are mixed-radix over the per-dimension widths S[d].
+// Port layout on every router:
+//   [0, K)                       terminal ports (K terminals per router)
+//   then, for each dimension d:  (S[d]-1) * T ports — T parallel (trunked)
+//                                links per peer coordinate, ordered by
+//                                (increasing peer coordinate, trunk index).
+//
+// Example: 8x8x8 with K=8, T=1 (the paper's 4,096-node system) has
+// 8 + 7 + 7 + 7 = 29 ports per router.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace hxwar::topo {
+
+class HyperX final : public Topology {
+ public:
+  struct Params {
+    std::vector<std::uint32_t> widths;  // S[d] >= 2 for each dimension
+    std::uint32_t terminalsPerRouter = 1;  // K
+    std::uint32_t trunking = 1;            // T parallel links per dim pair
+  };
+
+  explicit HyperX(Params params);
+
+  // Topology interface.
+  std::string name() const override;
+  std::uint32_t numRouters() const override { return numRouters_; }
+  std::uint32_t numNodes() const override { return numRouters_ * k_; }
+  std::uint32_t numPorts(RouterId) const override { return numPorts_; }
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override { return n / k_; }
+  PortId nodePort(NodeId n) const override { return n % k_; }
+  std::uint32_t minHops(RouterId a, RouterId b) const override;
+  std::uint32_t diameter() const override { return numDims(); }
+
+  // --- HyperX-specific structural queries used by routing algorithms ---
+
+  std::uint32_t numDims() const { return static_cast<std::uint32_t>(widths_.size()); }
+  std::uint32_t width(std::uint32_t dim) const { return widths_[dim]; }
+  std::uint32_t terminalsPerRouter() const { return k_; }
+  std::uint32_t trunking() const { return t_; }
+
+  // Router id <-> coordinate conversion. Dimension 0 is the fastest varying.
+  std::uint32_t coord(RouterId r, std::uint32_t dim) const;
+  void coords(RouterId r, std::vector<std::uint32_t>& out) const;
+  RouterId routerAt(const std::vector<std::uint32_t>& c) const;
+
+  // Port that moves in dimension `dim` from router `r` to coordinate `to`
+  // (to != coord(r, dim)) via trunk link `trunk` in [0, T).
+  PortId dimPort(RouterId r, std::uint32_t dim, std::uint32_t to,
+                 std::uint32_t trunk = 0) const;
+
+  // Inverse of dimPort: which dimension does this inter-router port move in,
+  // to which coordinate, and on which trunk? p must be >= K.
+  struct PortMove {
+    std::uint32_t dim;
+    std::uint32_t toCoord;
+    std::uint32_t trunk;
+  };
+  PortMove portMove(RouterId r, PortId p) const;
+
+  // The router reached by moving in `dim` to coordinate `to`.
+  RouterId neighbor(RouterId r, std::uint32_t dim, std::uint32_t to) const;
+
+  bool isTerminalPort(PortId p) const { return p < k_; }
+
+  // Bitmask of dimensions where a and b differ (bit d set => unaligned).
+  std::uint32_t unalignedMask(RouterId a, RouterId b) const;
+
+ private:
+  std::vector<std::uint32_t> widths_;
+  std::vector<std::uint32_t> dimPortBase_;  // first port index of each dimension
+  std::vector<std::uint32_t> dimStride_;    // mixed-radix strides
+  std::uint32_t k_;
+  std::uint32_t t_;
+  std::uint32_t numRouters_;
+  std::uint32_t numPorts_;
+};
+
+}  // namespace hxwar::topo

@@ -1,0 +1,99 @@
+#include "topo/scalability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hxwar::topo {
+namespace {
+
+bool isPrimePower(std::uint32_t q) {
+  if (q < 2) return false;
+  std::uint32_t n = q;
+  for (std::uint32_t p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      while (n % p == 0) n /= p;
+      return n == 1;
+    }
+  }
+  return true;  // q itself is prime
+}
+
+}  // namespace
+
+HyperXShape hyperxBestShape(std::uint32_t radix, std::uint32_t dims) {
+  HyperXShape best{0, 0};
+  std::uint64_t bestNodes = 0;
+  for (std::uint32_t s = 2; dims * (s - 1) < radix; ++s) {
+    const std::uint32_t kMaxPorts = radix - dims * (s - 1);
+    const std::uint32_t k = std::min(kMaxPorts, s);  // K <= S: >= 50% bisection
+    std::uint64_t nodes = k;
+    for (std::uint32_t d = 0; d < dims; ++d) nodes *= s;
+    if (nodes > bestNodes) {
+      bestNodes = nodes;
+      best = HyperXShape{s, k};
+    }
+  }
+  return best;
+}
+
+std::uint64_t hyperxMaxNodes(std::uint32_t radix, std::uint32_t dims) {
+  const HyperXShape shape = hyperxBestShape(radix, dims);
+  std::uint64_t nodes = shape.terminals;
+  for (std::uint32_t d = 0; d < dims; ++d) nodes *= shape.width;
+  return nodes;
+}
+
+std::uint64_t dragonflyMaxNodes(std::uint32_t radix) {
+  // Balanced dragonfly: radix = p + (a-1) + h with a = 2p, h = p
+  // => radix = 4p - 1 => p = (radix + 1) / 4.
+  const std::uint32_t p = (radix + 1) / 4;
+  if (p == 0) return 0;
+  const std::uint32_t a = 2 * p;
+  const std::uint32_t h = p;
+  const std::uint64_t g = static_cast<std::uint64_t>(a) * h + 1;
+  return static_cast<std::uint64_t>(p) * a * g;
+}
+
+std::uint64_t fatTree3MaxNodes(std::uint32_t radix) {
+  return static_cast<std::uint64_t>(radix) * radix * radix / 4;
+}
+
+std::uint64_t slimflyMaxNodes(std::uint32_t radix) {
+  std::uint64_t best = 0;
+  // MMS graphs: q = 4w + delta, delta in {-1, 0, 1}; network degree
+  // k' = (3q - delta) / 2; routers 2q^2; balanced p = ceil(k'/2).
+  for (std::uint32_t q = 2; q < 2 * radix; ++q) {
+    if (!isPrimePower(q)) continue;
+    for (int delta = -1; delta <= 1; ++delta) {
+      if ((static_cast<int>(q) - delta) % 4 != 0) continue;
+      const int kNet = (3 * static_cast<int>(q) - delta) / 2;
+      if (kNet <= 0) continue;
+      const std::uint32_t p = (static_cast<std::uint32_t>(kNet) + 1) / 2;
+      if (static_cast<std::uint32_t>(kNet) + p > radix) continue;
+      const std::uint64_t nodes = 2ull * q * q * p;
+      best = std::max(best, nodes);
+    }
+  }
+  return best;
+}
+
+std::vector<ScaleSeries> scalabilitySweep(std::uint32_t minRadix, std::uint32_t maxRadix,
+                                          std::uint32_t step) {
+  std::vector<ScaleSeries> series;
+  const auto sweep = [&](const std::string& name, std::uint32_t diameter, auto fn) {
+    ScaleSeries s{name, diameter, {}};
+    for (std::uint32_t r = minRadix; r <= maxRadix; r += step) {
+      s.points.push_back(ScalePoint{r, fn(r)});
+    }
+    series.push_back(std::move(s));
+  };
+  sweep("SlimFly", 2, [](std::uint32_t r) { return slimflyMaxNodes(r); });
+  sweep("HyperX-2D", 2, [](std::uint32_t r) { return hyperxMaxNodes(r, 2); });
+  sweep("HyperX-3D", 3, [](std::uint32_t r) { return hyperxMaxNodes(r, 3); });
+  sweep("HyperX-4D", 4, [](std::uint32_t r) { return hyperxMaxNodes(r, 4); });
+  sweep("Dragonfly", 3, [](std::uint32_t r) { return dragonflyMaxNodes(r); });
+  sweep("FatTree-3L", 5, [](std::uint32_t r) { return fatTree3MaxNodes(r); });
+  return series;
+}
+
+}  // namespace hxwar::topo

@@ -1,0 +1,49 @@
+// Analytic scalability models behind Figure 2: the maximum number of
+// terminals each low-diameter topology supports at a given router radix
+// while preserving (approximately) 50% bisection bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hxwar::topo {
+
+struct ScalePoint {
+  std::uint32_t radix;
+  std::uint64_t maxNodes;
+};
+
+// HyperX with `dims` dimensions: maximize K * S^dims subject to
+// K + dims*(S-1) <= radix and K <= S (K <= S keeps each dimension's
+// bisection at >= 50% of injection bandwidth, the paper's design point).
+std::uint64_t hyperxMaxNodes(std::uint32_t radix, std::uint32_t dims);
+// The (S, K) achieving hyperxMaxNodes.
+struct HyperXShape {
+  std::uint32_t width;      // S
+  std::uint32_t terminals;  // K
+};
+HyperXShape hyperxBestShape(std::uint32_t radix, std::uint32_t dims);
+
+// Balanced Dragonfly (a = 2p = 2h, g = a*h + 1): N = p * a * g.
+std::uint64_t dragonflyMaxNodes(std::uint32_t radix);
+
+// Three-level folded Clos with k-port switches: N = k^3 / 4.
+std::uint64_t fatTree3MaxNodes(std::uint32_t radix);
+
+// SlimFly MMS-graph based diameter-2 network. Uses the Besta & Hoefler
+// construction: routers 2q^2, network radix k' = (3q - delta)/2 for a prime
+// power q = 4w + delta, terminals p = ceil(k'/2) per router (balanced).
+// Returns the max over valid q that fit the radix.
+std::uint64_t slimflyMaxNodes(std::uint32_t radix);
+
+// Full Figure-2 sweep: series name -> points over the radix range.
+struct ScaleSeries {
+  std::string name;
+  std::uint32_t diameter;
+  std::vector<ScalePoint> points;
+};
+std::vector<ScaleSeries> scalabilitySweep(std::uint32_t minRadix, std::uint32_t maxRadix,
+                                          std::uint32_t step);
+
+}  // namespace hxwar::topo

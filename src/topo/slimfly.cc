@@ -1,0 +1,159 @@
+#include "topo/slimfly.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::topo {
+namespace {
+
+bool isPrime(std::uint32_t n) {
+  if (n < 2) return false;
+  for (std::uint32_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint32_t powMod(std::uint64_t base, std::uint64_t exp, std::uint64_t mod) {
+  std::uint64_t result = 1;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = result * base % mod;
+    base = base * base % mod;
+    exp >>= 1;
+  }
+  return static_cast<std::uint32_t>(result);
+}
+
+// Smallest primitive root of prime q.
+std::uint32_t primitiveRoot(std::uint32_t q) {
+  // Factor q-1.
+  std::vector<std::uint32_t> factors;
+  std::uint32_t n = q - 1;
+  for (std::uint32_t d = 2; d * d <= n; ++d) {
+    if (n % d == 0) {
+      factors.push_back(d);
+      while (n % d == 0) n /= d;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  for (std::uint32_t g = 2; g < q; ++g) {
+    bool primitive = true;
+    for (const std::uint32_t f : factors) {
+      if (powMod(g, (q - 1) / f, q) == 1) {
+        primitive = false;
+        break;
+      }
+    }
+    if (primitive) return g;
+  }
+  HXWAR_CHECK_MSG(false, "no primitive root found (q not prime?)");
+  return 0;
+}
+
+}  // namespace
+
+SlimFly::SlimFly(Params params) : q_(params.q) {
+  HXWAR_CHECK_MSG(isPrime(q_), "SlimFly generator supports prime q");
+  HXWAR_CHECK_MSG(q_ % 4 == 1, "SlimFly generator supports q == 1 (mod 4)");
+  degree_ = (3 * q_ - 1) / 2;
+  k_ = params.terminalsPerRouter == 0 ? (degree_ + 1) / 2 : params.terminalsPerRouter;
+  numPorts_ = k_ + degree_;
+  build();
+}
+
+void SlimFly::build() {
+  // Generator sets: even and odd powers of the primitive element.
+  const std::uint32_t xi = primitiveRoot(q_);
+  std::vector<std::uint8_t> inEven(q_, 0), inOdd(q_, 0);
+  std::uint64_t p = 1;
+  for (std::uint32_t e = 0; e < q_ - 1; ++e) {
+    ((e % 2 == 0) ? inEven : inOdd)[p] = 1;
+    p = p * xi % q_;
+  }
+  for (std::uint32_t v = 1; v < q_; ++v) {
+    if (inEven[v]) genEven_.push_back(v);
+    if (inOdd[v]) genOdd_.push_back(v);
+  }
+  HXWAR_CHECK(genEven_.size() == (q_ - 1) / 2 && genOdd_.size() == (q_ - 1) / 2);
+  // q == 1 (mod 4) makes both sets symmetric (-1 is an even power), which the
+  // MMS construction requires for undirected edges.
+  for (const auto g : genEven_) HXWAR_CHECK(inEven[(q_ - g) % q_]);
+  for (const auto g : genOdd_) HXWAR_CHECK(inOdd[(q_ - g) % q_]);
+
+  adj_.assign(numRouters(), {});
+  for (RouterId r = 0; r < numRouters(); ++r) {
+    const std::uint32_t s = subgraph(r);
+    const std::uint32_t x = coordX(r);
+    const std::uint32_t y = coordY(r);
+    auto& nbrs = adj_[r];
+    // Intra-group clique edges (generator order).
+    const auto& gens = (s == 0) ? genEven_ : genOdd_;
+    for (const std::uint32_t g : gens) {
+      nbrs.push_back(routerAt(s, x, (y + g) % q_));
+    }
+    // Cross edges.
+    if (s == 0) {
+      // (0,x,y) ~ (1,m, y - m*x), ordered by m.
+      for (std::uint32_t m = 0; m < q_; ++m) {
+        const std::uint32_t c = (y + q_ - (m * x) % q_) % q_;
+        nbrs.push_back(routerAt(1, m, c));
+      }
+    } else {
+      // (1,m,c) ~ (0,x, m*x + c), ordered by x.
+      for (std::uint32_t xx = 0; xx < q_; ++xx) {
+        nbrs.push_back(routerAt(0, xx, (x * xx + y) % q_));
+      }
+    }
+    HXWAR_CHECK(nbrs.size() == degree_);
+  }
+}
+
+std::string SlimFly::name() const {
+  std::ostringstream os;
+  os << "SlimFly(q=" << q_ << ", K=" << k_ << ")";
+  return os.str();
+}
+
+PortId SlimFly::portTo(RouterId r, RouterId to) const {
+  const auto& nbrs = adj_[r];
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == to) return k_ + static_cast<PortId>(i);
+  }
+  return kPortInvalid;
+}
+
+Topology::PortTarget SlimFly::portTarget(RouterId r, PortId p) const {
+  PortTarget t;
+  if (p < k_) {
+    t.kind = PortTarget::Kind::kTerminal;
+    t.node = r * k_ + p;
+    return t;
+  }
+  const RouterId peer = adj_[r][p - k_];
+  t.kind = PortTarget::Kind::kRouter;
+  t.router = peer;
+  t.port = portTo(peer, r);
+  HXWAR_CHECK_MSG(t.port != kPortInvalid, "SlimFly adjacency not symmetric");
+  return t;
+}
+
+std::uint32_t SlimFly::minHops(RouterId a, RouterId b) const {
+  if (a == b) return 0;
+  if (adjacent(a, b)) return 1;
+  return 2;  // MMS graphs have diameter 2 (verified by tests)
+}
+
+std::vector<RouterId> SlimFly::commonNeighbors(RouterId a, RouterId b) const {
+  std::vector<RouterId> sa = adj_[a];
+  std::vector<RouterId> sb = adj_[b];
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  std::vector<RouterId> out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace hxwar::topo

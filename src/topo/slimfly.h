@@ -1,0 +1,82 @@
+// SlimFly topology (Besta & Hoefler, SC'14): a diameter-2 network built on
+// McKay-Miller-Siran (MMS) graphs, included in the paper's Fig. 2 scalability
+// comparison. This generator supports the q ≡ 1 (mod 4) prime instances:
+//
+//   * routers: 2q^2, labelled (s, x, y) with s in {0,1}, x,y in F_q
+//   * generator sets over F_q with primitive element xi:
+//       X  = even powers of xi   (size (q-1)/2)
+//       X' = odd powers of xi    (size (q-1)/2)
+//   * edges:
+//       (0,x,y) ~ (0,x,y')  iff  y - y'  in X      (intra-column cliques)
+//       (1,m,c) ~ (1,m,c')  iff  c - c'  in X'
+//       (0,x,y) ~ (1,m,c)   iff  y = m*x + c       (bipartite cross links)
+//   * network degree k' = (3q-1)/2, diameter 2
+//
+// Port layout per router: [0, K) terminals, then the (q-1)/2 intra-group
+// ports (ordered by generator index), then the q cross ports (ordered by the
+// peer's first coordinate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace hxwar::topo {
+
+class SlimFly final : public Topology {
+ public:
+  struct Params {
+    std::uint32_t q = 5;                   // prime, q % 4 == 1
+    std::uint32_t terminalsPerRouter = 0;  // 0 => balanced ceil(k'/2)
+  };
+
+  explicit SlimFly(Params params);
+
+  std::string name() const override;
+  std::uint32_t numRouters() const override { return 2 * q_ * q_; }
+  std::uint32_t numNodes() const override { return numRouters() * k_; }
+  std::uint32_t numPorts(RouterId) const override { return numPorts_; }
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override { return n / k_; }
+  PortId nodePort(NodeId n) const override { return n % k_; }
+  std::uint32_t minHops(RouterId a, RouterId b) const override;
+  std::uint32_t diameter() const override { return 2; }
+
+  // --- SlimFly-specific ---
+  std::uint32_t q() const { return q_; }
+  std::uint32_t terminalsPerRouter() const { return k_; }
+  std::uint32_t networkDegree() const { return degree_; }
+  bool isTerminalPort(PortId p) const { return p < k_; }
+
+  // Router label helpers: id = s*q^2 + x*q + y.
+  std::uint32_t subgraph(RouterId r) const { return r / (q_ * q_); }
+  std::uint32_t coordX(RouterId r) const { return (r / q_) % q_; }
+  std::uint32_t coordY(RouterId r) const { return r % q_; }
+  RouterId routerAt(std::uint32_t s, std::uint32_t x, std::uint32_t y) const {
+    return s * q_ * q_ + x * q_ + y;
+  }
+
+  // All neighbors of r, in port order (index i => port K + i).
+  const std::vector<RouterId>& neighbors(RouterId r) const { return adj_[r]; }
+  // Port on r that reaches neighbor `to` (kPortInvalid if not adjacent).
+  PortId portTo(RouterId r, RouterId to) const;
+  bool adjacent(RouterId a, RouterId b) const { return portTo(a, b) != kPortInvalid; }
+  // Routers adjacent to both a and b (the diameter-2 relay set).
+  std::vector<RouterId> commonNeighbors(RouterId a, RouterId b) const;
+
+ private:
+  void build();
+
+  std::uint32_t q_;
+  std::uint32_t k_;
+  std::uint32_t degree_;
+  std::uint32_t numPorts_;
+  std::vector<std::uint32_t> genEven_;  // X
+  std::vector<std::uint32_t> genOdd_;   // X'
+  std::vector<std::vector<RouterId>> adj_;  // per router, in port order
+};
+
+}  // namespace hxwar::topo

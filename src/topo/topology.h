@@ -1,0 +1,48 @@
+// Abstract network topology.
+//
+// A topology defines routers, terminals (nodes), and the wiring between
+// router ports. The network builder (net/network.h) instantiates channels
+// from this description; routing algorithms downcast to the concrete
+// topology for structural queries (coordinates, alignment, etc.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace hxwar::topo {
+
+class Topology {
+ public:
+  // What sits on the far side of a router port.
+  struct PortTarget {
+    enum class Kind { kRouter, kTerminal, kUnused };
+    Kind kind = Kind::kUnused;
+    RouterId router = kRouterInvalid;  // valid when kind == kRouter
+    PortId port = kPortInvalid;        // peer's port, valid when kind == kRouter
+    NodeId node = kNodeInvalid;        // valid when kind == kTerminal
+  };
+
+  virtual ~Topology() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::uint32_t numRouters() const = 0;
+  virtual std::uint32_t numNodes() const = 0;
+  // Number of ports on the given router (uniform for the regular topologies
+  // in this repo, but the interface allows irregularity).
+  virtual std::uint32_t numPorts(RouterId r) const = 0;
+  virtual PortTarget portTarget(RouterId r, PortId p) const = 0;
+
+  // Terminal attachment.
+  virtual RouterId nodeRouter(NodeId n) const = 0;
+  virtual PortId nodePort(NodeId n) const = 0;
+
+  // Minimal router-to-router hop count.
+  virtual std::uint32_t minHops(RouterId a, RouterId b) const = 0;
+
+  // Network diameter in router-to-router hops.
+  virtual std::uint32_t diameter() const = 0;
+};
+
+}  // namespace hxwar::topo

@@ -1,0 +1,92 @@
+#include "topo/torus.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::topo {
+
+Torus::Torus(Params params) : widths_(std::move(params.widths)), k_(params.terminalsPerRouter) {
+  HXWAR_CHECK_MSG(!widths_.empty(), "torus needs at least one dimension");
+  HXWAR_CHECK(k_ >= 1);
+  numRouters_ = 1;
+  dimStride_.resize(widths_.size());
+  for (std::size_t d = 0; d < widths_.size(); ++d) {
+    HXWAR_CHECK_MSG(widths_[d] >= 2, "torus dimension width must be >= 2");
+    dimStride_[d] = numRouters_;
+    numRouters_ *= widths_[d];
+  }
+  numPorts_ = k_ + 2 * numDims();
+}
+
+std::string Torus::name() const {
+  std::ostringstream os;
+  os << "Torus(";
+  for (std::size_t d = 0; d < widths_.size(); ++d) os << (d ? "x" : "") << widths_[d];
+  os << ", K=" << k_ << ")";
+  return os.str();
+}
+
+std::uint32_t Torus::coord(RouterId r, std::uint32_t dim) const {
+  return (r / dimStride_[dim]) % widths_[dim];
+}
+
+RouterId Torus::routerAt(const std::vector<std::uint32_t>& c) const {
+  HXWAR_CHECK(c.size() == widths_.size());
+  RouterId r = 0;
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    HXWAR_CHECK(c[d] < widths_[d]);
+    r += c[d] * dimStride_[d];
+  }
+  return r;
+}
+
+RouterId Torus::neighbor(RouterId r, std::uint32_t dim, bool plus) const {
+  const std::uint32_t own = coord(r, dim);
+  const std::uint32_t to = plus ? (own + 1) % widths_[dim]
+                                : (own + widths_[dim] - 1) % widths_[dim];
+  return r + (static_cast<std::int64_t>(to) - own) * static_cast<std::int64_t>(dimStride_[dim]);
+}
+
+Topology::PortTarget Torus::portTarget(RouterId r, PortId p) const {
+  PortTarget t;
+  if (p < k_) {
+    t.kind = PortTarget::Kind::kTerminal;
+    t.node = r * k_ + p;
+    return t;
+  }
+  const std::uint32_t dim = (p - k_) / 2;
+  const bool plus = ((p - k_) % 2) == 0;
+  HXWAR_CHECK(dim < numDims());
+  t.kind = PortTarget::Kind::kRouter;
+  t.router = neighbor(r, dim, plus);
+  // On a width-2 ring both directions reach the same router; pair + with -
+  // so the wiring stays a consistent involution.
+  t.port = dimPort(dim, !plus);
+  return t;
+}
+
+std::int32_t Torus::shortestDelta(std::uint32_t dim, std::uint32_t from,
+                                  std::uint32_t to) const {
+  const auto s = static_cast<std::int32_t>(widths_[dim]);
+  std::int32_t d = static_cast<std::int32_t>(to) - static_cast<std::int32_t>(from);
+  if (d > s / 2) d -= s;
+  if (d < -(s - 1) / 2) d += s;
+  return d;
+}
+
+std::uint32_t Torus::minHops(RouterId a, RouterId b) const {
+  std::uint32_t hops = 0;
+  for (std::uint32_t d = 0; d < numDims(); ++d) {
+    hops += static_cast<std::uint32_t>(std::abs(shortestDelta(d, coord(a, d), coord(b, d))));
+  }
+  return hops;
+}
+
+std::uint32_t Torus::diameter() const {
+  std::uint32_t hops = 0;
+  for (const auto w : widths_) hops += w / 2;
+  return hops;
+}
+
+}  // namespace hxwar::topo

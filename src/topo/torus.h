@@ -1,0 +1,60 @@
+// k-ary n-cube (torus) topology — the background substrate of §2.1: dateline
+// resource classes on a ring break its structural cycle, which is exactly the
+// scheme DimWAR generalizes to HyperX deroutes. Included so the dateline
+// discipline is testable in its original habitat.
+//
+// Port layout per router: [0, K) terminals, then for each dimension d two
+// ports: + direction (toward coord+1 mod S) and - direction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/topology.h"
+
+namespace hxwar::topo {
+
+class Torus final : public Topology {
+ public:
+  struct Params {
+    std::vector<std::uint32_t> widths;     // S[d] >= 2
+    std::uint32_t terminalsPerRouter = 1;  // K
+  };
+
+  explicit Torus(Params params);
+
+  std::string name() const override;
+  std::uint32_t numRouters() const override { return numRouters_; }
+  std::uint32_t numNodes() const override { return numRouters_ * k_; }
+  std::uint32_t numPorts(RouterId) const override { return numPorts_; }
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override { return n / k_; }
+  PortId nodePort(NodeId n) const override { return n % k_; }
+  std::uint32_t minHops(RouterId a, RouterId b) const override;
+  std::uint32_t diameter() const override;
+
+  // --- torus-specific ---
+  std::uint32_t numDims() const { return static_cast<std::uint32_t>(widths_.size()); }
+  std::uint32_t width(std::uint32_t dim) const { return widths_[dim]; }
+  std::uint32_t terminalsPerRouter() const { return k_; }
+  std::uint32_t coord(RouterId r, std::uint32_t dim) const;
+  RouterId routerAt(const std::vector<std::uint32_t>& c) const;
+  // plus = true: the +1 direction port of dimension d.
+  PortId dimPort(std::uint32_t dim, bool plus) const { return k_ + 2 * dim + (plus ? 0 : 1); }
+  RouterId neighbor(RouterId r, std::uint32_t dim, bool plus) const;
+  bool isTerminalPort(PortId p) const { return p < k_; }
+
+  // Shortest signed distance from a to b in dimension d (ties go +).
+  std::int32_t shortestDelta(std::uint32_t dim, std::uint32_t from, std::uint32_t to) const;
+
+ private:
+  std::vector<std::uint32_t> widths_;
+  std::vector<std::uint32_t> dimStride_;
+  std::uint32_t k_;
+  std::uint32_t numRouters_;
+  std::uint32_t numPorts_;
+};
+
+}  // namespace hxwar::topo

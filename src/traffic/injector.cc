@@ -1,0 +1,52 @@
+#include "traffic/injector.h"
+
+#include "common/assert.h"
+
+namespace hxwar::traffic {
+
+SyntheticInjector::SyntheticInjector(sim::Simulator& sim, net::Network& network,
+                                     TrafficPattern& pattern, const Params& params)
+    : Component(sim, "injector"),
+      network_(network),
+      pattern_(&pattern),
+      params_(params),
+      rng_(params.seed) {
+  HXWAR_CHECK(params_.minFlits >= 1 && params_.minFlits <= params_.maxFlits);
+  HXWAR_CHECK_MSG(params_.nodeMask.empty() || params_.nodeMask.size() == network.numNodes(),
+                  "node mask size must match the node count");
+  const double meanFlits = (params_.minFlits + params_.maxFlits) / 2.0;
+  perCycleProb_ = params_.rate / meanFlits;
+  HXWAR_CHECK_MSG(perCycleProb_ <= 1.0, "offered rate too high for packet size range");
+}
+
+void SyntheticInjector::start() {
+  if (running_) return;
+  running_ = true;
+  epoch_ += 1;
+  sim().schedule(sim().now(), sim::kEpsTerminal, this, epoch_);
+}
+
+void SyntheticInjector::stop() {
+  running_ = false;
+  epoch_ += 1;  // orphan the pending event
+}
+
+void SyntheticInjector::processEvent(std::uint64_t tag) {
+  if (!running_ || tag != epoch_) return;
+  const std::uint32_t nodes = network_.numNodes();
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (!params_.nodeMask.empty() && !params_.nodeMask[n]) continue;
+    if (!rng_.chance(perCycleProb_)) continue;
+    const std::uint32_t size = static_cast<std::uint32_t>(
+        rng_.range(params_.minFlits, params_.maxFlits));
+    const NodeId dst = pattern_->dest(n, rng_);
+    if (dst == n) continue;  // patterns with fixed points (e.g. transpose
+                             // diagonal) simply don't send from those nodes
+    network_.injectPacket(n, dst, size);
+    offeredFlits_ += size;
+    offeredPackets_ += 1;
+  }
+  sim().schedule(sim().now() + 1, sim::kEpsTerminal, this, epoch_);
+}
+
+}  // namespace hxwar::traffic

@@ -1,0 +1,129 @@
+#include "traffic/pattern.h"
+
+#include <numeric>
+
+#include "common/assert.h"
+
+namespace hxwar::traffic {
+namespace {
+
+bool isPow2(std::uint32_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+BitComplement::BitComplement(std::uint32_t numNodes)
+    : pow2_(isPow2(numNodes)), mask_(numNodes - 1) {
+  HXWAR_CHECK_MSG(numNodes >= 2, "bit complement needs at least two nodes");
+}
+
+std::string UniformRandomBisection::name() const {
+  static const char* axis = "xyzw";
+  std::string n = "URB";
+  n += (dim_ < 4) ? axis[dim_] : static_cast<char>('0' + dim_);
+  return n;
+}
+
+NodeId UniformRandomBisection::dest(NodeId src, Rng& rng) {
+  const RouterId r = topo_.nodeRouter(src);
+  std::vector<std::uint32_t> c(topo_.numDims());
+  for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+    if (d == dim_) {
+      c[d] = topo_.width(d) - 1 - topo_.coord(r, d);
+    } else {
+      c[d] = static_cast<std::uint32_t>(rng.below(topo_.width(d)));
+    }
+  }
+  const RouterId dr = topo_.routerAt(c);
+  const auto t = static_cast<std::uint32_t>(rng.below(topo_.terminalsPerRouter()));
+  return dr * topo_.terminalsPerRouter() + t;
+}
+
+Swap2::Swap2(const topo::HyperX& topo) : topo_(topo) {
+  HXWAR_CHECK_MSG(topo.numDims() >= 2, "S2 needs at least two dimensions");
+}
+
+NodeId Swap2::dest(NodeId src, Rng&) {
+  const RouterId r = topo_.nodeRouter(src);
+  const std::uint32_t t = topo_.nodePort(src);
+  const std::uint32_t d = (t % 2 == 0) ? 0 : 1;
+  std::vector<std::uint32_t> c(topo_.numDims());
+  topo_.coords(r, c);
+  c[d] = topo_.width(d) - 1 - c[d];
+  if (c[d] == topo_.coord(r, d)) {
+    // Odd widths have a self-mapping center; nudge to keep dest != src.
+    c[d] = (c[d] + 1) % topo_.width(d);
+  }
+  return topo_.routerAt(c) * topo_.terminalsPerRouter() + t;
+}
+
+DimComplementReverse::DimComplementReverse(const topo::HyperX& topo) : topo_(topo) {
+  HXWAR_CHECK_MSG(topo.numDims() == 3, "DCR is defined for 3D HyperX");
+  HXWAR_CHECK_MSG(topo.width(0) == topo.width(1) && topo.width(1) == topo.width(2),
+                  "DCR needs equal dimension widths");
+}
+
+NodeId DimComplementReverse::dest(NodeId src, Rng& rng) {
+  const RouterId r = topo_.nodeRouter(src);
+  const std::uint32_t s = topo_.width(0);
+  std::vector<std::uint32_t> c(3);
+  // Destination Z-line is a function of the source X-line (y, z) only.
+  c[0] = s - 1 - topo_.coord(r, 1);
+  c[1] = s - 1 - topo_.coord(r, 2);
+  // The source itself can lie on its complement line; redraw within the line
+  // so traffic stays admissible without self-sends.
+  for (;;) {
+    c[2] = static_cast<std::uint32_t>(rng.below(s));
+    const auto t = static_cast<std::uint32_t>(rng.below(topo_.terminalsPerRouter()));
+    const NodeId dst = topo_.routerAt(c) * topo_.terminalsPerRouter() + t;
+    if (dst != src) return dst;
+  }
+}
+
+NodeId Transpose::dest(NodeId src, Rng&) {
+  const RouterId r = topo_.nodeRouter(src);
+  const std::uint32_t dims = topo_.numDims();
+  std::vector<std::uint32_t> c(dims);
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    const std::uint32_t from = (d + 1) % dims;
+    HXWAR_CHECK_MSG(topo_.width(d) == topo_.width(from), "transpose needs equal widths");
+    c[d] = topo_.coord(r, from);
+  }
+  return topo_.routerAt(c) * topo_.terminalsPerRouter() + topo_.nodePort(src);
+}
+
+RandomPermutation::RandomPermutation(std::uint32_t numNodes, std::uint64_t seed)
+    : perm_(numNodes) {
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  Rng rng(seed);
+  rng.shuffle(perm_);
+  // Eliminate fixed points by rotating them onto each other.
+  NodeId prevFixed = kNodeInvalid;
+  for (NodeId n = 0; n < numNodes; ++n) {
+    if (perm_[n] != n) continue;
+    if (prevFixed == kNodeInvalid) {
+      prevFixed = n;
+    } else {
+      std::swap(perm_[prevFixed], perm_[n]);
+      prevFixed = kNodeInvalid;
+    }
+  }
+  if (prevFixed != kNodeInvalid && numNodes >= 2) {
+    const NodeId other = (prevFixed + 1) % numNodes;
+    std::swap(perm_[prevFixed], perm_[other]);
+  }
+}
+
+std::unique_ptr<TrafficPattern> makePattern(const std::string& name, const topo::HyperX& topo) {
+  if (name == "ur") return std::make_unique<UniformRandom>(topo.numNodes());
+  if (name == "bc") return std::make_unique<BitComplement>(topo.numNodes());
+  if (name == "urbx") return std::make_unique<UniformRandomBisection>(topo, 0);
+  if (name == "urby") return std::make_unique<UniformRandomBisection>(topo, 1);
+  if (name == "urbz") return std::make_unique<UniformRandomBisection>(topo, 2);
+  if (name == "s2") return std::make_unique<Swap2>(topo);
+  if (name == "dcr") return std::make_unique<DimComplementReverse>(topo);
+  if (name == "tp") return std::make_unique<Transpose>(topo);
+  HXWAR_CHECK_MSG(false, ("unknown traffic pattern: " + name).c_str());
+  return nullptr;
+}
+
+}  // namespace hxwar::traffic

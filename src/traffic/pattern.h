@@ -1,0 +1,125 @@
+// Synthetic traffic patterns (Table 3 of the paper, plus a few extras used
+// by tests and ablations). A pattern maps a source node to a destination
+// node, possibly randomly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::traffic {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual std::string name() const = 0;
+  // Destination for a packet injected at `src`. Must not equal src for the
+  // patterns used in the evaluation (self-traffic would inflate throughput).
+  virtual NodeId dest(NodeId src, Rng& rng) = 0;
+};
+
+// UR: uniform random over all other nodes.
+class UniformRandom final : public TrafficPattern {
+ public:
+  explicit UniformRandom(std::uint32_t numNodes) : numNodes_(numNodes) {}
+  std::string name() const override { return "UR"; }
+  NodeId dest(NodeId src, Rng& rng) override {
+    const auto d = static_cast<NodeId>(rng.below(numNodes_ - 1));
+    return d < src ? d : d + 1;
+  }
+
+ private:
+  std::uint32_t numNodes_;
+};
+
+// BC: bit complement of the node id. For power-of-two node counts this is
+// the classic bitwise complement (and reverses every HyperX coordinate); for
+// other sizes it degrades to index reversal N-1-src, which is the same map
+// on power-of-two sizes.
+class BitComplement final : public TrafficPattern {
+ public:
+  explicit BitComplement(std::uint32_t numNodes);
+  std::string name() const override { return "BC"; }
+  NodeId dest(NodeId src, Rng&) override {
+    return pow2_ ? ((~src) & mask_) : (mask_ - src);
+  }
+
+ private:
+  bool pow2_;
+  std::uint32_t mask_;  // numNodes - 1 in both modes
+};
+
+// URB(d): bit-complement (coordinate reversal) in the targeted dimension,
+// uniform random in every other dimension and in the terminal index. Leaves
+// exactly one dimension non-load-balanced.
+class UniformRandomBisection final : public TrafficPattern {
+ public:
+  UniformRandomBisection(const topo::HyperX& topo, std::uint32_t targetDim)
+      : topo_(topo), dim_(targetDim) {}
+  std::string name() const override;
+  NodeId dest(NodeId src, Rng& rng) override;
+
+ private:
+  const topo::HyperX& topo_;
+  std::uint32_t dim_;
+};
+
+// S2: even-numbered terminals reverse their coordinate in dimension 0, odd
+// ones in dimension 1; all other coordinates (and the terminal index) stay.
+// Non-load-balanced but with lots of unused bandwidth.
+class Swap2 final : public TrafficPattern {
+ public:
+  explicit Swap2(const topo::HyperX& topo);
+  std::string name() const override { return "S2"; }
+  NodeId dest(NodeId src, Rng&) override;
+
+ private:
+  const topo::HyperX& topo_;
+};
+
+// DCR: dimension complement reverse, the worst-case admissible pattern for a
+// 3D HyperX. Every terminal of the X-line (y, z) spreads its traffic
+// uniformly over the complement Z-line (x' = S-1-y, y' = S-1-z). Under DOR
+// all 64 terminals of an X-line funnel through a single Y link (64:1).
+class DimComplementReverse final : public TrafficPattern {
+ public:
+  explicit DimComplementReverse(const topo::HyperX& topo);
+  std::string name() const override { return "DCR"; }
+  NodeId dest(NodeId src, Rng& rng) override;
+
+ private:
+  const topo::HyperX& topo_;
+};
+
+// Extras -------------------------------------------------------------------
+
+// Transpose: coordinate rotation (x,y,z) -> (y,z,x); terminal preserved.
+class Transpose final : public TrafficPattern {
+ public:
+  explicit Transpose(const topo::HyperX& topo) : topo_(topo) {}
+  std::string name() const override { return "TP"; }
+  NodeId dest(NodeId src, Rng&) override;
+
+ private:
+  const topo::HyperX& topo_;
+};
+
+// Fixed random permutation of the nodes.
+class RandomPermutation final : public TrafficPattern {
+ public:
+  RandomPermutation(std::uint32_t numNodes, std::uint64_t seed);
+  std::string name() const override { return "RP"; }
+  NodeId dest(NodeId src, Rng&) override { return perm_[src]; }
+
+ private:
+  std::vector<NodeId> perm_;
+};
+
+// Factory: ur, bc, urbx, urby, urbz, s2, dcr, tp.
+std::unique_ptr<TrafficPattern> makePattern(const std::string& name, const topo::HyperX& topo);
+
+}  // namespace hxwar::traffic

@@ -1,0 +1,72 @@
+// Trace-driven injection: replays a recorded communication trace instead of
+// a synthetic process. Trace format: text lines
+//
+//     <tick> <src> <dst> <bytes>
+//
+// sorted by tick (enforced), '#' comments allowed. Bytes are segmented into
+// packets with the same flit/packet parameters as the message layer. This is
+// how production traces or externally generated workloads drive the
+// simulator; TraceRecorder produces compatible traces from live runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace hxwar::traffic {
+
+struct TraceEntry {
+  Tick tick;
+  NodeId src;
+  NodeId dst;
+  std::uint64_t bytes;
+};
+
+// Parses a trace file; aborts (CHECK) on malformed lines or unsorted ticks.
+std::vector<TraceEntry> loadTrace(const std::string& path);
+// Writes entries in the same format.
+void saveTrace(const std::string& path, const std::vector<TraceEntry>& entries);
+
+class TraceInjector final : public sim::Component {
+ public:
+  struct Params {
+    std::uint32_t flitBytes = 64;
+    std::uint32_t maxPacketFlits = 16;
+    Tick offset = 0;  // added to every entry's tick
+  };
+
+  TraceInjector(sim::Simulator& sim, net::Network& network, std::vector<TraceEntry> entries,
+                const Params& params);
+
+  // Schedules the whole trace; packets enter source queues at their ticks.
+  void start();
+
+  std::uint64_t entriesInjected() const { return next_; }
+  std::uint64_t entriesTotal() const { return entries_.size(); }
+  std::uint64_t flitsOffered() const { return flitsOffered_; }
+
+  void processEvent(std::uint64_t tag) override;
+
+ private:
+  void injectDue();
+
+  net::Network& network_;
+  std::vector<TraceEntry> entries_;
+  Params params_;
+  std::size_t next_ = 0;
+  std::uint64_t flitsOffered_ = 0;
+};
+
+// Synthesizes a trace from a synthetic pattern: the bridge between the two
+// injection modes (generate offline once, replay deterministically anywhere).
+class TrafficPattern;
+std::vector<TraceEntry> traceFromPattern(TrafficPattern& pattern, std::uint32_t numNodes,
+                                         double rate, Tick cycles,
+                                         std::uint32_t meanMessageBytes,
+                                         std::uint64_t seed);
+
+}  // namespace hxwar::traffic

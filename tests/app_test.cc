@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "app/message.h"
+#include "app/stencil.h"
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::app {
+namespace {
+
+struct Rig {
+  explicit Rig(topo::HyperX::Params shape, const std::string& algorithm = "dimwar")
+      : topo(shape),
+        routing(routing::makeHyperXRouting(algorithm, topo)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<routing::RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(MessageLayer, FlitsForRoundsUp) {
+  Rig rig({{2, 2}, 2});
+  MessageLayer layer(rig.network, MessageConfig{64, 16});
+  EXPECT_EQ(layer.flitsFor(1), 1u);
+  EXPECT_EQ(layer.flitsFor(64), 1u);
+  EXPECT_EQ(layer.flitsFor(65), 2u);
+  EXPECT_EQ(layer.flitsFor(1024), 16u);
+}
+
+TEST(MessageLayer, SingleMessageDelivered) {
+  Rig rig({{2, 2}, 2});
+  MessageLayer layer(rig.network, MessageConfig{64, 16});
+  Message got;
+  layer.setDeliveryHandler([&](const Message& m) { got = m; });
+  const MessageId id = layer.send(0, 5, 4096, 42);
+  rig.sim.run();
+  EXPECT_EQ(got.id, id);
+  EXPECT_EQ(got.src, 0u);
+  EXPECT_EQ(got.dst, 5u);
+  EXPECT_EQ(got.tag, 42u);
+  EXPECT_EQ(got.packetsTotal, 4u);  // 4096 B = 64 flits = 4 packets of 16
+  EXPECT_NE(got.deliveredAt, kTickInvalid);
+  EXPECT_EQ(layer.messagesInFlight(), 0u);
+  EXPECT_EQ(layer.messagesDelivered(), 1u);
+}
+
+TEST(MessageLayer, TinyMessageStillSendsOnePacket) {
+  Rig rig({{2, 2}, 2});
+  MessageLayer layer(rig.network, MessageConfig{64, 16});
+  std::uint32_t delivered = 0;
+  layer.setDeliveryHandler([&](const Message&) { delivered += 1; });
+  layer.send(0, 1, 0, 0);  // zero-byte message (pure synchronization)
+  rig.sim.run();
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(MessageLayer, ManyConcurrentMessages) {
+  Rig rig({{3, 3}, 2});
+  MessageLayer layer(rig.network, MessageConfig{64, 16});
+  std::uint64_t deliveredBytes = 0;
+  layer.setDeliveryHandler([&](const Message& m) { deliveredBytes += m.bytes; });
+  std::uint64_t sentBytes = 0;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.below(rig.network.numNodes()));
+    NodeId dst = static_cast<NodeId>(rng.below(rig.network.numNodes()));
+    if (dst == src) dst = (dst + 1) % rig.network.numNodes();
+    const std::uint64_t bytes = 1 + rng.below(3000);
+    layer.send(src, dst, bytes, i);
+    sentBytes += bytes;
+  }
+  rig.sim.run();
+  EXPECT_EQ(deliveredBytes, sentBytes);
+  EXPECT_EQ(layer.messagesDelivered(), 200u);
+}
+
+TEST(MessageLayer, HandlerMayChainSends) {
+  Rig rig({{2, 2}, 2});
+  MessageLayer layer(rig.network, MessageConfig{64, 16});
+  int hops = 0;
+  layer.setDeliveryHandler([&](const Message& m) {
+    if (hops < 5) {
+      hops += 1;
+      layer.send(m.dst, (m.dst + 1) % rig.network.numNodes(), 128, 0);
+    }
+  });
+  layer.send(0, 1, 128, 0);
+  rig.sim.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(layer.messagesDelivered(), 6u);
+}
+
+TEST(Stencil, NeighborVolumesFollowAreaWeights) {
+  Rig rig({{4, 4, 4}, 2});
+  StencilConfig cfg;
+  cfg.grid = {4, 4, 4};
+  cfg.haloBytesPerNode = 152 * 100;  // weight total = 6*16+12*4+8*1 = 152
+  StencilApp app(rig.network, cfg);
+  const auto& bytes = app.neighborBytes();
+  ASSERT_EQ(bytes.size(), 26u);
+  std::uint64_t total = 0;
+  int faces = 0, edges = 0, corners = 0;
+  for (const auto b : bytes) {
+    total += b;
+    if (b == 1600) faces += 1;
+    if (b == 400) edges += 1;
+    if (b == 100) corners += 1;
+  }
+  EXPECT_EQ(faces, 6);
+  EXPECT_EQ(edges, 12);
+  EXPECT_EQ(corners, 8);
+  EXPECT_EQ(total, cfg.haloBytesPerNode);
+}
+
+TEST(Stencil, CollectiveOnlyCompletes) {
+  Rig rig({{3, 3}, 2});
+  StencilConfig cfg;
+  cfg.grid = {3, 3, 2};  // 18 processes on 18 nodes
+  cfg.mode = StencilMode::kCollectiveOnly;
+  cfg.iterations = 2;
+  StencilApp app(rig.network, cfg);
+  const auto r = app.run();
+  EXPECT_GT(r.makespan, 0u);
+  // P = 18 -> 5 rounds, 2 sends per round per proc, 2 iterations.
+  EXPECT_EQ(r.messages, 18u * 5 * 2 * 2);
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Stencil, ExchangeOnlyCompletesAndCountsMessages) {
+  Rig rig({{4, 4, 4}, 2}, "omniwar");
+  StencilConfig cfg;
+  cfg.grid = {8, 4, 4};  // 128 procs on 128 nodes
+  cfg.mode = StencilMode::kExchangeOnly;
+  cfg.iterations = 1;
+  cfg.haloBytesPerNode = 4096;
+  StencilApp app(rig.network, cfg);
+  const auto r = app.run();
+  EXPECT_EQ(r.messages, 128u * 26);
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Stencil, FullAppRunsMultipleIterations) {
+  Rig rig({{3, 3}, 2}, "dimwar");
+  StencilConfig cfg;
+  cfg.grid = {3, 3, 2};
+  cfg.mode = StencilMode::kFull;
+  cfg.iterations = 3;
+  cfg.haloBytesPerNode = 2048;
+  StencilApp app(rig.network, cfg);
+  const auto r = app.run();
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_GT(r.exchangeCycles, 0u);
+  EXPECT_GT(r.collectiveCycles, 0u);
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Stencil, MoreIterationsTakeLonger) {
+  Tick t1 = 0, t3 = 0;
+  for (const std::uint32_t iters : {1u, 3u}) {
+    Rig rig({{3, 3}, 2});
+    StencilConfig cfg;
+    cfg.grid = {3, 3, 2};
+    cfg.iterations = iters;
+    cfg.haloBytesPerNode = 2048;
+    StencilApp app(rig.network, cfg);
+    (iters == 1 ? t1 : t3) = app.run().makespan;
+  }
+  EXPECT_GT(t3, 2 * t1 / 2);
+  EXPECT_GT(t3, t1);
+}
+
+TEST(Stencil, RandomPlacementIsAPermutation) {
+  Rig rig({{4, 4, 4}, 2});
+  StencilConfig cfg;
+  cfg.grid = {8, 4, 4};
+  cfg.randomPlacement = true;
+  StencilApp app(rig.network, cfg);
+  std::set<NodeId> nodes;
+  for (std::uint32_t p = 0; p < app.numProcesses(); ++p) {
+    EXPECT_TRUE(nodes.insert(app.nodeOf(p)).second);
+  }
+  EXPECT_EQ(nodes.size(), 128u);
+}
+
+TEST(Stencil, PlacementSeedChangesMapping) {
+  Rig rigA({{4, 4, 4}, 2});
+  Rig rigB({{4, 4, 4}, 2});
+  StencilConfig cfg;
+  cfg.grid = {8, 4, 4};
+  cfg.seed = 1;
+  StencilApp a(rigA.network, cfg);
+  cfg.seed = 2;
+  StencilApp b(rigB.network, cfg);
+  int same = 0;
+  for (std::uint32_t p = 0; p < a.numProcesses(); ++p) {
+    same += a.nodeOf(p) == b.nodeOf(p);
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Stencil, NonPeriodicBoundariesStillComplete) {
+  Rig rig({{3, 3}, 2});
+  StencilConfig cfg;
+  cfg.grid = {3, 3, 2};
+  cfg.periodic = false;
+  cfg.mode = StencilMode::kExchangeOnly;
+  cfg.haloBytesPerNode = 1024;
+  StencilApp app(rig.network, cfg);
+  const auto r = app.run();
+  EXPECT_GT(r.makespan, 0u);
+  // Fewer real neighbors than 26 per process at the boundaries.
+  EXPECT_LT(r.messages, 18u * 26);
+}
+
+TEST(Stencil, DeterministicMakespan) {
+  auto runOnce = [] {
+    Rig rig({{3, 3}, 2}, "omniwar");
+    StencilConfig cfg;
+    cfg.grid = {3, 3, 2};
+    cfg.haloBytesPerNode = 2048;
+    cfg.seed = 9;
+    StencilApp app(rig.network, cfg);
+    return app.run().makespan;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace hxwar::app

@@ -1,0 +1,161 @@
+// White-box tests of the channel and flow-control primitives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/channel.h"
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::net {
+namespace {
+
+class RecordingSink final : public FlitSink, public CreditSink {
+ public:
+  void receiveFlit(PortId port, VcId vc, Flit flit) override {
+    flits.push_back({port, vc, flit.index});
+  }
+  void receiveCredit(PortId port, VcId vc) override { credits.push_back({port, vc}); }
+
+  struct FlitRec {
+    PortId port;
+    VcId vc;
+    std::uint32_t index;
+  };
+  std::vector<FlitRec> flits;
+  std::vector<std::pair<PortId, VcId>> credits;
+};
+
+TEST(FlitChannel, DeliversAfterLatency) {
+  sim::Simulator sim;
+  RecordingSink sink;
+  FlitChannel ch(sim, "ch", 7, &sink, 3);
+  Packet pkt;
+  pkt.sizeFlits = 1;
+  ch.send(2, Flit{&pkt, 0});
+  EXPECT_EQ(ch.inflightFlits(), 1u);
+  sim.run(7);  // exclusive horizon: not yet delivered
+  EXPECT_TRUE(sink.flits.empty());
+  sim.run();
+  ASSERT_EQ(sink.flits.size(), 1u);
+  EXPECT_EQ(sink.flits[0].port, 3u);
+  EXPECT_EQ(sink.flits[0].vc, 2u);
+  EXPECT_EQ(sim.now(), 7u);
+  EXPECT_EQ(ch.inflightFlits(), 0u);
+}
+
+TEST(FlitChannel, PreservesFifoOrderAcrossVcs) {
+  sim::Simulator sim;
+  RecordingSink sink;
+  FlitChannel ch(sim, "ch", 4, &sink, 0);
+  Packet pkt;
+  pkt.sizeFlits = 3;
+
+  class Sender final : public sim::Component {
+   public:
+    Sender(sim::Simulator& s, FlitChannel& ch, Packet& pkt)
+        : Component(s, "sender"), ch_(ch), pkt_(pkt) {}
+    void processEvent(std::uint64_t tag) override {
+      ch_.send(static_cast<VcId>(tag % 3), Flit{&pkt_, static_cast<std::uint32_t>(tag)});
+    }
+    FlitChannel& ch_;
+    Packet& pkt_;
+  };
+  Sender sender(sim, ch, pkt);
+  for (std::uint64_t i = 0; i < 3; ++i) sim.schedule(i, sim::kEpsTerminal, &sender, i);
+  sim.run();
+  ASSERT_EQ(sink.flits.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) EXPECT_EQ(sink.flits[i].index, i);
+}
+
+TEST(CreditChannel, DeliversVcAfterLatency) {
+  sim::Simulator sim;
+  RecordingSink sink;
+  CreditChannel ch(sim, "cr", 5, &sink, 9);
+  ch.send(6);
+  ch.send(1);
+  sim.run();
+  ASSERT_EQ(sink.credits.size(), 2u);
+  EXPECT_EQ(sink.credits[0], (std::pair<PortId, VcId>{9, 6}));
+  EXPECT_EQ(sink.credits[1], (std::pair<PortId, VcId>{9, 1}));
+  EXPECT_EQ(sim.now(), 5u);
+}
+
+// Flow control property: with a tiny input buffer, the network still
+// delivers everything (credits throttle correctly instead of overflowing —
+// the router CHECKs overflow internally).
+TEST(FlowControl, TinyBuffersStillDeliver) {
+  sim::Simulator sim;
+  topo::HyperX topo({{3, 3}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::NetworkConfig cfg;
+  cfg.router.inputBufferDepth = 2;
+  cfg.router.outputQueueDepth = 2;
+  cfg.router.virtualCutThrough = false;  // VCT needs a packet-sized buffer
+  cfg.channelLatencyRouter = 6;
+  net::Network network(sim, topo, *routing, cfg);
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  for (NodeId n = 0; n < network.numNodes(); ++n) {
+    network.injectPacket(n, (n + 4) % network.numNodes(), 8);
+  }
+  sim.run();
+  EXPECT_EQ(delivered, network.numNodes());
+}
+
+// VCT property: with virtual cut-through on, a granted packet is never
+// stalled mid-stream by credits — verified indirectly: buffers at least the
+// max packet size keep single-packet latency equal to the uncontended case.
+TEST(FlowControl, VctUncontendedLatencyIndependentOfOtherVcs) {
+  auto latencyOf = [](std::uint32_t sizeFlits) {
+    sim::Simulator sim;
+    topo::HyperX topo({{2}, 1});
+    auto routing = routing::makeHyperXRouting("dor", topo);
+    net::NetworkConfig cfg;
+    cfg.router.inputBufferDepth = 32;
+    net::Network network(sim, topo, *routing, cfg);
+    Tick latency = 0;
+    network.setEjectionListener(
+        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    network.injectPacket(0, 1, sizeFlits);
+    sim.run();
+    return latency;
+  };
+  // Serialization: each extra flit adds exactly one cycle end to end.
+  const Tick l1 = latencyOf(1);
+  const Tick l9 = latencyOf(9);
+  EXPECT_EQ(l9, l1 + 8);
+}
+
+TEST(PaperScale, FullSizeNetworkConstructsAndDelivers) {
+  // The 4,096-node 8x8x8 HyperX with 29-port routers and 8 VCs: build it,
+  // push traffic through, and drain — a memory/scale smoke test.
+  sim::Simulator sim;
+  topo::HyperX topo({{8, 8, 8}, 8});
+  auto routing = routing::makeHyperXRouting("omniwar", topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 50;
+  cfg.channelLatencyTerminal = 5;
+  cfg.router.inputBufferDepth = 160;
+  cfg.router.outputQueueDepth = 32;
+  net::Network network(sim, topo, *routing, cfg);
+  EXPECT_EQ(network.numNodes(), 4096u);
+  EXPECT_EQ(network.numRouters(), 512u);
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.below(4096));
+    NodeId dst = static_cast<NodeId>(rng.below(4096));
+    if (dst == src) dst = (dst + 1) % 4096;
+    network.injectPacket(src, dst, 1 + static_cast<std::uint32_t>(rng.below(16)));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 2000u);
+  EXPECT_EQ(network.packetsOutstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace hxwar::net

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "app/collective.h"
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::app {
+namespace {
+
+struct Rig {
+  explicit Rig(topo::HyperX::Params shape = {{4, 4}, 2}, const std::string& algo = "dimwar")
+      : topo(shape),
+        routing(routing::makeHyperXRouting(algo, topo)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<routing::RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(Collective, KindParsing) {
+  EXPECT_EQ(collectiveKindFromString("dissemination"), CollectiveKind::kDissemination);
+  EXPECT_EQ(collectiveKindFromString("rd"), CollectiveKind::kRecursiveDoubling);
+  EXPECT_EQ(collectiveKindFromString("ring"), CollectiveKind::kRing);
+  EXPECT_EQ(collectiveKindName(CollectiveKind::kRing), "ring");
+}
+
+TEST(Collective, DisseminationCompletesWithExpectedMessageCount) {
+  Rig rig;
+  CollectiveConfig cfg;
+  cfg.kind = CollectiveKind::kDissemination;
+  cfg.bytes = 512;
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.numProcesses(), 32u);
+  EXPECT_EQ(app.rounds(), 5u);  // ceil(log2 32)
+  const auto r = app.run();
+  EXPECT_GT(r.makespan, 0u);
+  EXPECT_EQ(r.messages, 32u * 5 * 2);
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Collective, RecursiveDoublingHalvesMessageCount) {
+  Rig rig;
+  CollectiveConfig cfg;
+  cfg.kind = CollectiveKind::kRecursiveDoubling;
+  cfg.bytes = 512;
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.rounds(), 5u);
+  const auto r = app.run();
+  EXPECT_EQ(r.messages, 32u * 5);  // one partner per round
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Collective, RingUsesManySmallSteps) {
+  Rig rig;
+  CollectiveConfig cfg;
+  cfg.kind = CollectiveKind::kRing;
+  cfg.bytes = 3200;
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.rounds(), 2u * 31);
+  const auto r = app.run();
+  EXPECT_EQ(r.messages, 32u * 62);
+  // Each message carries bytes/P.
+  EXPECT_EQ(r.bytes, 32ull * 62 * (3200 / 32));
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Collective, AllToAllBalancedExchange) {
+  Rig rig;
+  CollectiveConfig cfg;
+  cfg.kind = CollectiveKind::kAllToAll;
+  cfg.bytes = 3100;  // per process, split across the other 31
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.rounds(), 31u);
+  const auto r = app.run();
+  EXPECT_EQ(r.messages, 32u * 31);
+  EXPECT_EQ(r.bytes, 32ull * 31 * (3100 / 31));
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+}
+
+TEST(Collective, NonPowerOfTwoDissemination) {
+  Rig rig({{3, 3}, 2});  // 18 processes
+  CollectiveConfig cfg;
+  cfg.kind = CollectiveKind::kDissemination;
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.rounds(), 5u);  // ceil(log2 18)
+  const auto r = app.run();
+  EXPECT_GT(r.makespan, 0u);
+}
+
+TEST(Collective, RepetitionsScaleTime) {
+  Tick t1 = 0, t4 = 0;
+  for (const std::uint32_t reps : {1u, 4u}) {
+    Rig rig;
+    CollectiveConfig cfg;
+    cfg.repetitions = reps;
+    CollectiveApp app(rig.network, cfg);
+    (reps == 1 ? t1 : t4) = app.run().makespan;
+  }
+  EXPECT_GT(t4, 2 * t1);
+}
+
+TEST(Collective, SubsetOfNodesParticipates) {
+  Rig rig;
+  CollectiveConfig cfg;
+  cfg.processes = 8;
+  cfg.kind = CollectiveKind::kRecursiveDoubling;
+  CollectiveApp app(rig.network, cfg);
+  EXPECT_EQ(app.numProcesses(), 8u);
+  EXPECT_EQ(app.rounds(), 3u);
+  const auto r = app.run();
+  EXPECT_EQ(r.messages, 8u * 3);
+}
+
+TEST(Collective, LatencyBoundDominatedSmallMessages) {
+  // With tiny payloads, log-depth algorithms must beat the 2(P-1)-step ring.
+  Tick diss = 0, ring = 0;
+  for (const auto kind : {CollectiveKind::kDissemination, CollectiveKind::kRing}) {
+    Rig rig;
+    CollectiveConfig cfg;
+    cfg.kind = kind;
+    cfg.bytes = 64;
+    CollectiveApp app(rig.network, cfg);
+    (kind == CollectiveKind::kDissemination ? diss : ring) = app.run().makespan;
+  }
+  EXPECT_LT(diss, ring);
+}
+
+}  // namespace
+}  // namespace hxwar::app

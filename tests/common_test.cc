@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+
+namespace hxwar {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.below(kBuckets)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(1, 16);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 16);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(19);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::vector<int> resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(SplitMix, DistinctStreams) {
+  SplitMix64 sm(123);
+  const auto a = sm.next();
+  const auto b = sm.next();
+  EXPECT_NE(a, b);
+}
+
+TEST(Flags, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--load=0.5", "--algorithm=dimwar", "--count=42"};
+  Flags f;
+  ASSERT_TRUE(f.parse(4, argv));
+  EXPECT_DOUBLE_EQ(f.f64("load", 0.0), 0.5);
+  EXPECT_EQ(f.str("algorithm", ""), "dimwar");
+  EXPECT_EQ(f.i64("count", 0), 42);
+}
+
+TEST(Flags, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--scale", "paper", "--verbose"};
+  Flags f;
+  ASSERT_TRUE(f.parse(4, argv));
+  EXPECT_EQ(f.str("scale", ""), "paper");
+  EXPECT_TRUE(f.b("verbose", false));
+}
+
+TEST(Flags, BooleanNegation) {
+  const char* argv[] = {"prog", "--no-adaptive"};
+  Flags f;
+  ASSERT_TRUE(f.parse(2, argv));
+  EXPECT_FALSE(f.b("adaptive", true));
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Flags f;
+  ASSERT_TRUE(f.parse(1, argv));
+  EXPECT_EQ(f.str("missing", "dflt"), "dflt");
+  EXPECT_EQ(f.i64("missing", -3), -3);
+  EXPECT_TRUE(f.b("missing", true));
+}
+
+TEST(Flags, FloatListParsing) {
+  const char* argv[] = {"prog", "--loads=0.1,0.2,0.35"};
+  Flags f;
+  ASSERT_TRUE(f.parse(2, argv));
+  const auto loads = f.f64List("loads", {});
+  ASSERT_EQ(loads.size(), 3u);
+  EXPECT_DOUBLE_EQ(loads[0], 0.1);
+  EXPECT_DOUBLE_EQ(loads[2], 0.35);
+}
+
+TEST(Flags, PositionalArguments) {
+  const char* argv[] = {"prog", "input.txt", "--flag=1", "other"};
+  Flags f;
+  ASSERT_TRUE(f.parse(4, argv));
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "other");
+}
+
+}  // namespace
+}  // namespace hxwar

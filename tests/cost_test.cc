@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cost/cost_model.h"
+
+namespace hxwar::cost {
+namespace {
+
+TEST(CableTech, DacWithinReachFiberBeyond) {
+  CableTech tech{"t", 3.0, 10.0, 1.0, 100.0, 2.0};
+  EXPECT_DOUBLE_EQ(cableCost(tech, 2.0), 12.0);   // DAC
+  EXPECT_DOUBLE_EQ(cableCost(tech, 3.0), 13.0);   // boundary still DAC
+  EXPECT_DOUBLE_EQ(cableCost(tech, 4.0), 108.0);  // fiber
+}
+
+TEST(CableTech, PassiveHasNoDac) {
+  const CableTech passive = technologyByName("passive optics");
+  EXPECT_DOUBLE_EQ(passive.dacReachM, 0.0);
+  EXPECT_GT(cableCost(passive, 0.5), 0.0);
+}
+
+TEST(CableTech, ReachShrinksWithSignalingRate) {
+  const auto& techs = standardTechnologies();
+  double prev = 1e9;
+  for (const auto& t : techs) {
+    if (t.dacReachM == 0.0) continue;  // passive
+    EXPECT_LT(t.dacReachM, prev);
+    prev = t.dacReachM;
+  }
+}
+
+TEST(Floor, SameRackUsesJumper) {
+  FloorPlan plan;
+  Floor floor(plan, 16);
+  EXPECT_DOUBLE_EQ(floor.cableLength(3, 3), plan.intraRackM);
+}
+
+TEST(Floor, LengthGrowsWithDistance) {
+  FloorPlan plan;
+  plan.racksPerRow = 4;
+  Floor floor(plan, 16);
+  const double adjacent = floor.cableLength(0, 1);
+  const double sameRowFar = floor.cableLength(0, 3);
+  const double nextRow = floor.cableLength(0, 4);
+  const double diagonal = floor.cableLength(0, 15);
+  EXPECT_LT(adjacent, sameRowFar);
+  EXPECT_LT(sameRowFar, diagonal);
+  EXPECT_GT(nextRow, adjacent);  // rows are further apart than columns
+  EXPECT_DOUBLE_EQ(floor.cableLength(0, 15), floor.cableLength(15, 0));
+}
+
+TEST(HyperxBom, CableCountsMatchStructure) {
+  FloorPlan plan;
+  const auto bom = hyperxCables({4, 4, 4}, 4, plan);
+  EXPECT_EQ(bom.nodes, 256u);
+  // terminals 256 + dim0 6*16 + dim1 4*6*4 + dim2 4*6*4 = 256 + 96 + 96 + 96.
+  EXPECT_EQ(bom.lengthsM.size(), 256u + 96 + 96 + 96);
+}
+
+TEST(HyperxBom, Dim0IsIntraRack) {
+  FloorPlan plan;
+  const auto bom = hyperxCables({4, 4, 4}, 1, plan);
+  // The first nodes + dim0 entries are all intra-rack jumpers.
+  const std::size_t intra = 64 + 6 * 16;
+  for (std::size_t i = 0; i < intra; ++i) {
+    EXPECT_DOUBLE_EQ(bom.lengthsM[i], plan.intraRackM);
+  }
+  // At least one dim-2 cable crosses rows (longer than a row width).
+  const double maxLen = *std::max_element(bom.lengthsM.begin(), bom.lengthsM.end());
+  EXPECT_GT(maxLen, plan.rowPitchM);
+}
+
+TEST(DragonflyBom, CableCountsMatchStructure) {
+  FloorPlan plan;
+  // p=2, a=4, h=2, g=9 (balanced, w=1): fits one rack per group.
+  const auto bom = dragonflyCables(2, 4, 2, 9, plan);
+  EXPECT_EQ(bom.nodes, 72u);
+  // terminals 72 + locals 6*9 + globals 9*8/2.
+  EXPECT_EQ(bom.lengthsM.size(), 72u + 54 + 36);
+}
+
+TEST(DragonflyBom, DenseGroupSpansRacks) {
+  FloorPlan plan;
+  plan.nodesPerRack = 8;
+  // Group of 16 nodes => 2 racks per group: some locals leave the rack.
+  const auto bom = dragonflyCables(4, 4, 2, 5, plan);
+  std::size_t interRackLocals = 0;
+  // locals are entries [nodes, nodes + 6*g).
+  for (std::size_t i = bom.nodes; i < bom.nodes + 6 * 5; ++i) {
+    if (bom.lengthsM[i] > plan.intraRackM) interRackLocals += 1;
+  }
+  EXPECT_GT(interRackLocals, 0u);
+}
+
+TEST(ForSize, HyperxCoversRequestedNodes) {
+  FloorPlan plan;
+  for (const std::uint64_t n : {500ull, 4096ull, 30000ull}) {
+    const auto bom = hyperxForSize(n, 64, plan);
+    EXPECT_GE(bom.nodes, n);
+  }
+}
+
+TEST(ForSize, DragonflyCoversRequestedNodes) {
+  FloorPlan plan;
+  for (const std::uint64_t n : {500ull, 4096ull, 30000ull}) {
+    const auto bom = dragonflyForSize(n, 64, plan);
+    EXPECT_GE(bom.nodes, n);
+  }
+}
+
+TEST(Fig3, PassiveOpticsFavorsHyperXAtScale) {
+  // The paper's claim: with passive optical cables the HyperX is always
+  // lower or equal in cost.
+  FloorPlan plan;
+  const auto rows = fig3Sweep({8192, 32768, 65536}, 64,
+                              {technologyByName("passive optics")}, plan);
+  for (const auto& row : rows) {
+    EXPECT_GE(row.relativeCost[0], 0.99) << "at " << row.requestedNodes << " nodes";
+  }
+}
+
+TEST(Fig3, MidGenerationDacFavorsDragonfly) {
+  // The 2008-style result: DAC+AOC generations leave the Dragonfly ~10%
+  // cheaper at large scale.
+  FloorPlan plan;
+  const auto rows = fig3Sweep({65536}, 64, {technologyByName("10G (5m DAC)")}, plan);
+  EXPECT_LT(rows[0].relativeCost[0], 1.0);
+  EXPECT_GT(rows[0].relativeCost[0], 0.75);
+}
+
+TEST(Bom, TotalCostIsSumOfCables) {
+  FloorPlan plan;
+  CableBom bom;
+  bom.nodes = 2;
+  bom.lengthsM = {1.0, 10.0};
+  CableTech tech{"t", 3.0, 10.0, 1.0, 100.0, 2.0};
+  EXPECT_DOUBLE_EQ(bom.totalCost(tech), 11.0 + 120.0);
+  EXPECT_DOUBLE_EQ(bom.costPerNode(tech), 131.0 / 2.0);
+  EXPECT_DOUBLE_EQ(bom.totalLength(), 11.0);
+}
+
+}  // namespace
+}  // namespace hxwar::cost

@@ -1,0 +1,144 @@
+// DAL (§4.2) unit and behavioural tests: candidate structure, the N-bit
+// deroute field, and the atomic-queue-allocation throughput ceiling.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "routing/dal.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar::routing {
+namespace {
+
+struct Rig {
+  explicit Rig(topo::HyperX::Params shape, bool atomic, net::NetworkConfig cfg = {})
+      : topo(shape), routing(makeDalRouting(topo, atomic)), network(sim, topo, *routing, cfg) {}
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(Dal, CandidatesCoverAllUnalignedDims) {
+  Rig rig({{4, 4, 4}, 2}, true);
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerAt({2, 3, 1}) * 2;
+  std::vector<Candidate> out;
+  const RouteContext ctx{rig.network.router(0), 0, 0, true, 0};
+  rig.routing->route(ctx, pkt, out);
+  // 3 minimal + 3 dims x 2 lateral coords.
+  EXPECT_EQ(out.size(), 9u);
+  for (const auto& c : out) {
+    EXPECT_TRUE(c.atomic);
+    EXPECT_EQ(c.vcClass, 0u);
+    if (c.deroute) {
+      EXPECT_NE(c.derouteDim, 0xff);
+    }
+  }
+}
+
+TEST(Dal, DeroutedDimensionsAreExcluded) {
+  Rig rig({{4, 4, 4}, 2}, true);
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerAt({2, 3, 1}) * 2;
+  pkt.deroutedDims = 0b011;  // dims 0 and 1 already derouted
+  std::vector<Candidate> out;
+  const RouteContext ctx{rig.network.router(0), 0, 0, true, 0};
+  rig.routing->route(ctx, pkt, out);
+  for (const auto& c : out) {
+    if (!c.deroute) continue;
+    EXPECT_EQ(c.derouteDim, 2) << "only dim 2 may still deroute";
+  }
+}
+
+TEST(Dal, InfoMatchesTable1) {
+  topo::HyperX topo({{4, 4, 4}, 2});
+  const auto info = makeDalRouting(topo)->info();
+  EXPECT_EQ(info.name, "DAL");
+  EXPECT_FALSE(info.dimensionOrdered);
+  EXPECT_EQ(info.vcsRequired, "1+1e");
+  EXPECT_EQ(info.packetContents, "N-bit field");
+  EXPECT_EQ(info.archRequirements, "escape paths");
+}
+
+TEST(Dal, DeliversTrafficInAtomicMode) {
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 4;
+  Rig rig({{3, 3}, 2}, true, cfg);
+  std::uint64_t delivered = 0;
+  rig.network.setEjectionListener([&](const net::Packet& p) {
+    delivered += 1;
+    EXPECT_LE(p.deroutes, 2u);  // once per dimension
+  });
+  traffic::UniformRandom pattern(rig.network.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.05;  // atomic mode is slow by design
+  traffic::SyntheticInjector injector(rig.sim, rig.network, pattern, params);
+  injector.start();
+  rig.sim.run(4000);
+  injector.stop();
+  while (rig.network.packetsOutstanding() > 0) {
+    const auto before = rig.network.flitMovements();
+    rig.sim.run(rig.sim.now() + 4000);
+    ASSERT_NE(rig.network.flitMovements(), before) << "DAL stalled";
+  }
+  EXPECT_EQ(delivered, injector.offeredPackets());
+}
+
+TEST(Dal, AtomicModeCapsThroughputPerFormula) {
+  // Two routers, one channel: ceiling = pktFlits * VCs / creditRTT.
+  const Tick chan = 20;
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = chan;
+  cfg.router.numVcs = 4;
+  cfg.router.inputBufferDepth = 96;
+  cfg.router.inputSpeedup = 4;
+  Rig rig({{2}, 1}, true, cfg);
+  traffic::BitComplement pattern(2);
+  traffic::SyntheticInjector::Params params;
+  params.rate = 1.0;
+  params.minFlits = 1;
+  params.maxFlits = 1;
+  traffic::SyntheticInjector injector(rig.sim, rig.network, pattern, params);
+  injector.start();
+  rig.sim.run(4000);
+  const auto before = rig.network.flitsEjected();
+  const Tick t0 = rig.sim.now();
+  rig.sim.run(t0 + 20000);
+  injector.stop();
+  const double accepted =
+      static_cast<double>(rig.network.flitsEjected() - before) / (2.0 * (rig.sim.now() - t0));
+  const double rtt = 2.0 * chan + 6.0;
+  const double ceiling = 1.0 * 4 / rtt;
+  EXPECT_NEAR(accepted, ceiling, ceiling * 0.25);
+  EXPECT_LT(accepted, 0.15);  // far below channel capacity
+}
+
+TEST(Dal, NonAtomicModeReachesFullChannelRate) {
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 20;
+  cfg.router.inputBufferDepth = 96;
+  cfg.router.inputSpeedup = 4;
+  Rig rig({{2}, 1}, false, cfg);
+  traffic::BitComplement pattern(2);
+  traffic::SyntheticInjector::Params params;
+  params.rate = 1.0;
+  params.minFlits = 8;
+  params.maxFlits = 8;
+  traffic::SyntheticInjector injector(rig.sim, rig.network, pattern, params);
+  injector.start();
+  rig.sim.run(4000);
+  const auto before = rig.network.flitsEjected();
+  const Tick t0 = rig.sim.now();
+  rig.sim.run(t0 + 10000);
+  injector.stop();
+  const double accepted =
+      static_cast<double>(rig.network.flitsEjected() - before) / (2.0 * (rig.sim.now() - t0));
+  EXPECT_GT(accepted, 0.85);
+}
+
+}  // namespace
+}  // namespace hxwar::routing

@@ -1,0 +1,104 @@
+// Negative-path coverage: the always-on HXWAR_CHECK invariants must fire on
+// API misuse. These guard rails matter for a library release — a silent
+// out-of-range access would corrupt results instead of failing loudly.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, HyperXRejectsDegenerateShapes) {
+  EXPECT_DEATH(topo::HyperX({{}, 1}), "at least one dimension");
+  EXPECT_DEATH(topo::HyperX({{1, 4}, 1}), "width must be >= 2");
+  EXPECT_DEATH(topo::HyperX({{4}, 0}), "terminal");
+  EXPECT_DEATH(topo::HyperX({{4}, 1, 0}), "trunking");
+}
+
+TEST(DeathTest, UnknownRoutingNameAborts) {
+  topo::HyperX topo({{4}, 1});
+  EXPECT_DEATH(routing::makeHyperXRouting("bogus", topo), "unknown HyperX routing");
+}
+
+TEST(DeathTest, UnknownPatternNameAborts) {
+  topo::HyperX topo({{4, 4, 4}, 1});
+  EXPECT_DEATH(traffic::makePattern("bogus", topo), "unknown traffic pattern");
+}
+
+TEST(DeathTest, TooManyClassesForConfiguredVcs) {
+  sim::Simulator sim;
+  topo::HyperX topo({{4, 4, 4}, 1});
+  auto routing = routing::makeHyperXRouting("omniwar", topo);  // 6 classes
+  net::NetworkConfig cfg;
+  cfg.router.numVcs = 4;
+  EXPECT_DEATH(net::Network(sim, topo, *routing, cfg), "needs more VCs");
+}
+
+TEST(DeathTest, InjectPacketValidatesEndpoints) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  EXPECT_DEATH(network.injectPacket(0, 99, 1), "");
+  EXPECT_DEATH(network.injectPacket(0, 1, 0), "");
+}
+
+TEST(DeathTest, SimulatorRejectsPastScheduling) {
+  sim::Simulator sim;
+
+  class Rewinder final : public sim::Component {
+   public:
+    explicit Rewinder(sim::Simulator& s) : Component(s, "rewinder") {}
+    void processEvent(std::uint64_t) override {
+      sim().schedule(sim().now() - 1, sim::kEpsRouter, this, 0);
+    }
+  };
+
+  Rewinder r(sim);
+  sim.schedule(5, sim::kEpsRouter, &r, 0);
+  EXPECT_DEATH(sim.run(), "cannot schedule into the past");
+}
+
+TEST(DeathTest, FlitChannelOverdriveDetected) {
+  sim::Simulator sim;
+
+  class NullSink final : public net::FlitSink {
+   public:
+    void receiveFlit(PortId, VcId, net::Flit) override {}
+  };
+
+  NullSink sink;
+  net::FlitChannel ch(sim, "ch", 4, &sink, 0);
+  net::Packet pkt;
+  pkt.sizeFlits = 2;
+  ch.send(0, net::Flit{&pkt, 0});
+  EXPECT_DEATH(ch.send(0, net::Flit{&pkt, 1}), "overdriven");
+}
+
+TEST(DeathTest, OversubscribedInjectionRateRejected) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  traffic::UniformRandom pattern(2);
+  traffic::SyntheticInjector::Params params;
+  params.rate = 1.5;  // > 1 flit/node/cycle with 1-flit packets
+  params.minFlits = 1;
+  params.maxFlits = 1;
+  EXPECT_DEATH(traffic::SyntheticInjector(sim, network, pattern, params), "rate too high");
+}
+
+TEST(DeathTest, DimPortSelfCoordinateRejected) {
+  topo::HyperX topo({{4, 4}, 1});
+  EXPECT_DEATH(topo.dimPort(0, 0, 0), "equals own coordinate");
+}
+
+}  // namespace
+}  // namespace hxwar

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "harness/csv.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+#include "metrics/link_util.h"
+
+namespace hxwar::harness {
+namespace {
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"a", "long-header", "c"});
+  t.addRow({"x", "1", "yy"});
+  t.addRow({"longer-cell", "2", "z"});
+  // Render into a pipe buffer via tmpfile.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::rewind(f);
+  char buf[4096] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string out(buf, n);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("longer-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Csv, WritesHeaderAndEscapedRows) {
+  const std::string path = ::testing::TempDir() + "/hxwar_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    ASSERT_TRUE(csv.enabled());
+    csv.row({"1", "plain"});
+    csv.row({"2", "with,comma"});
+    csv.row({"3", "with\"quote"});
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[512] = {};
+  const auto n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string out(buf, n);
+  EXPECT_NE(out.find("a,b\n"), std::string::npos);
+  EXPECT_NE(out.find("2,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(out.find("3,\"with\"\"quote\"\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EmptyPathDisablesSilently) {
+  CsvWriter csv("", {"a"});
+  EXPECT_FALSE(csv.enabled());
+  csv.row({"ignored"});  // must not crash
+}
+
+TEST(Experiment, BuildsAllAlgorithmPatternCombos) {
+  for (const auto& algorithm : routing::hyperxAlgorithmNames()) {
+    ExperimentConfig cfg = tinyScaleConfig();
+    cfg.algorithm = algorithm;
+    cfg.pattern = "ur";
+    Experiment exp(cfg);
+    EXPECT_EQ(exp.network().numNodes(), 18u);
+    EXPECT_FALSE(exp.routing().info().name.empty());
+  }
+}
+
+TEST(Experiment, SaturationThroughputIsPositiveAndBounded) {
+  ExperimentConfig cfg = tinyScaleConfig();
+  cfg.algorithm = "omniwar";
+  cfg.pattern = "ur";
+  cfg.steady.maxWarmupWindows = 10;
+  const double accepted = saturationThroughput(cfg, 1.0);
+  EXPECT_GT(accepted, 0.3);
+  EXPECT_LE(accepted, 1.01);
+}
+
+TEST(LinkUtil, CountsMatchNetworkActivity) {
+  ExperimentConfig cfg = tinyScaleConfig();
+  cfg.algorithm = "dor";
+  cfg.pattern = "ur";
+  cfg.injection.rate = 0.3;
+  Experiment exp(cfg);
+  exp.injector().start();
+  exp.sim().run(500);
+  metrics::LinkUtilization links(exp.network());
+  exp.sim().run(exp.sim().now() + 2000);
+  exp.injector().stop();
+  const auto summary = links.summarize();
+  EXPECT_GT(summary.links, 0u);
+  EXPECT_GT(summary.meanUtilization, 0.0);
+  EXPECT_LE(summary.maxUtilization, 1.0 + 1e-9);
+  EXPECT_GE(summary.imbalance, 1.0);
+  // The snapshot is sorted by flits, descending.
+  const auto snap = links.snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GE(snap[i - 1].flits, snap[i].flits);
+  }
+}
+
+TEST(LinkUtil, ResetRebasesCounters) {
+  ExperimentConfig cfg = tinyScaleConfig();
+  cfg.injection.rate = 0.3;
+  Experiment exp(cfg);
+  exp.injector().start();
+  exp.sim().run(1000);
+  metrics::LinkUtilization links(exp.network());
+  links.reset();
+  exp.injector().stop();
+  exp.sim().run();
+  // After stopping, only the drain's flits appear.
+  const auto snap = links.snapshot();
+  std::uint64_t total = 0;
+  for (const auto& l : snap) total += l.flits;
+  EXPECT_LT(total, exp.network().flitsEjected() * 4);
+}
+
+TEST(LinkUtil, HotLinkVisibleUnderAdversarialDor) {
+  // URBy under DOR creates saturated Y links; the imbalance must show.
+  ExperimentConfig cfg = smallScaleConfig();
+  cfg.algorithm = "dor";
+  cfg.pattern = "urby";
+  cfg.injection.rate = 0.35;
+  Experiment exp(cfg);
+  exp.injector().start();
+  exp.sim().run(1500);
+  metrics::LinkUtilization links(exp.network());
+  exp.sim().run(exp.sim().now() + 2500);
+  exp.injector().stop();
+  const auto summary = links.summarize();
+  EXPECT_GT(summary.maxUtilization, 0.9);  // the funnel link is saturated
+  EXPECT_GT(summary.imbalance, 2.0);
+}
+
+}  // namespace
+}  // namespace hxwar::harness

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "metrics/stats.h"
+
+namespace hxwar::metrics {
+namespace {
+
+TEST(StreamingStats, BasicMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, SingleSample) {
+  StreamingStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(StreamingStats, ResetClears) {
+  StreamingStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(SampleStats, InterleavedAddAndQuery) {
+  SampleStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+// Steady-state controller end-to-end on a tiny network.
+TEST(SteadyState, LowLoadIsStableAndAccurate) {
+  harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+  cfg.algorithm = "dimwar";
+  cfg.pattern = "ur";
+  cfg.injection.rate = 0.2;
+  harness::Experiment exp(cfg);
+  const auto r = exp.run();
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.accepted, 0.2, 0.04);
+  EXPECT_GT(r.latencyMean, 0.0);
+  EXPECT_GE(r.latencyP99, r.latencyP50);
+  EXPECT_GE(r.latencyP50, r.latencyMin);
+  EXPECT_GT(r.packetsMeasured, 100u);
+}
+
+TEST(SteadyState, OverloadIsDeclaredSaturated) {
+  harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+  cfg.algorithm = "dor";
+  cfg.pattern = "bc";  // DOR caps well below 0.9 on bit complement
+  cfg.injection.rate = 0.9;
+  cfg.steady.maxWarmupWindows = 10;
+  harness::Experiment exp(cfg);
+  const auto r = exp.run();
+  EXPECT_TRUE(r.saturated);
+  EXPECT_LT(r.accepted, 0.85);
+}
+
+TEST(SteadyState, AcceptedTracksOfferedWhenStable) {
+  for (double load : {0.1, 0.3}) {
+    harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+    cfg.algorithm = "omniwar";
+    cfg.injection.rate = load;
+    harness::Experiment exp(cfg);
+    const auto r = exp.run();
+    EXPECT_FALSE(r.saturated) << "load " << load;
+    EXPECT_NEAR(r.accepted, load, 0.05) << "load " << load;
+  }
+}
+
+TEST(SteadyState, LatencyGrowsWithLoad) {
+  double lat[2] = {0, 0};
+  int i = 0;
+  for (double load : {0.1, 0.5}) {
+    harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+    cfg.algorithm = "dimwar";
+    cfg.injection.rate = load;
+    harness::Experiment exp(cfg);
+    lat[i++] = exp.run().latencyMean;
+  }
+  EXPECT_GT(lat[1], lat[0]);
+}
+
+TEST(SteadyState, FullyDeterministicAcrossRuns) {
+  auto runOnce = [] {
+    harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+    cfg.algorithm = "omniwar";
+    cfg.pattern = "bc";
+    cfg.injection.rate = 0.3;
+    cfg.injection.seed = 33;
+    cfg.net.rngSeed = 34;
+    harness::Experiment exp(cfg);
+    return exp.run();
+  };
+  const auto a = runOnce();
+  const auto b = runOnce();
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_DOUBLE_EQ(a.accepted, b.accepted);
+  EXPECT_DOUBLE_EQ(a.latencyMean, b.latencyMean);
+  EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+  EXPECT_DOUBLE_EQ(a.avgDeroutes, b.avgDeroutes);
+}
+
+TEST(SteadyState, SeedChangesResultsSlightly) {
+  auto runWithSeed = [](std::uint64_t seed) {
+    harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+    cfg.algorithm = "dimwar";
+    cfg.injection.rate = 0.3;
+    cfg.injection.seed = seed;
+    harness::Experiment exp(cfg);
+    return exp.run();
+  };
+  const auto a = runWithSeed(1);
+  const auto b = runWithSeed(2);
+  // Different seeds: different sample sets, statistically similar results.
+  EXPECT_NE(a.latencyMean, b.latencyMean);
+  EXPECT_NEAR(a.accepted, b.accepted, 0.05);
+  EXPECT_NEAR(a.latencyMean, b.latencyMean, a.latencyMean * 0.3);
+}
+
+TEST(SteadyState, ZeroLoadEdgeBehaviour) {
+  harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+  cfg.algorithm = "dor";
+  cfg.injection.rate = 0.01;  // near-zero load: must stabilize fast
+  harness::Experiment exp(cfg);
+  const auto r = exp.run();
+  EXPECT_FALSE(r.saturated);
+  EXPECT_NEAR(r.accepted, 0.01, 0.01);
+  EXPECT_GT(r.latencyMean, 0.0);
+}
+
+TEST(Harness, LoadGridGeneration) {
+  const auto grid = harness::loadGrid(0.1, 0.5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.1);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.5);
+}
+
+TEST(Harness, SweepStopsAfterSaturation) {
+  harness::ExperimentConfig cfg = harness::tinyScaleConfig();
+  cfg.algorithm = "dor";
+  cfg.pattern = "bc";
+  cfg.steady.maxWarmupWindows = 8;
+  const auto points = harness::loadLatencySweep(cfg, harness::loadGrid(0.2, 1.0));
+  ASSERT_GE(points.size(), 2u);
+  EXPECT_LT(points.size(), 5u);  // saturates early, sweep stops
+  EXPECT_TRUE(points.back().result.saturated);
+}
+
+TEST(Harness, ScalePresetsDiffer) {
+  const auto tiny = harness::tinyScaleConfig();
+  const auto small = harness::smallScaleConfig();
+  const auto paper = harness::paperScaleConfig();
+  EXPECT_LT(tiny.widths[0], small.widths[0]);
+  EXPECT_EQ(paper.widths, (std::vector<std::uint32_t>{8, 8, 8}));
+  EXPECT_EQ(paper.terminalsPerRouter, 8u);
+  EXPECT_EQ(paper.net.channelLatencyRouter, 50u);
+}
+
+}  // namespace
+}  // namespace hxwar::metrics

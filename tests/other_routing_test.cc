@@ -1,0 +1,186 @@
+// Unit tests for the Dragonfly and fat-tree routing algorithms (candidate
+// structure; the end-to-end behaviour is covered in topo_dragonfly_fattree).
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/fattree_routing.h"
+#include "sim/simulator.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+
+namespace hxwar::routing {
+namespace {
+
+// --------------------------- Dragonfly ------------------------------------
+
+struct DfRig {
+  explicit DfRig(const std::string& algorithm)
+      : topo(topo::Dragonfly::Params{2, 4, 2, 0}),  // p=2 a=4 h=2 g=9
+        routing(makeDragonflyRouting(algorithm, topo)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  std::vector<Candidate> routeAt(RouterId r, net::Packet& pkt, bool atSource,
+                                 std::uint32_t inClass = 0, PortId inPort = 0) {
+    std::vector<Candidate> out;
+    const RouteContext ctx{network.router(r), inPort, atSource ? 0 : inClass, atSource,
+                           atSource ? 0 : inClass};
+    routing->route(ctx, pkt, out);
+    return out;
+  }
+
+  sim::Simulator sim;
+  topo::Dragonfly topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(DragonflyMinimalRouting, LocalDestinationUsesLocalPort) {
+  DfRig rig("min");
+  net::Packet pkt;
+  pkt.dst = 3 * 2;  // router 3 (same group as router 0), terminal 0
+  const auto cands = rig.routeAt(0, pkt, true);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_TRUE(rig.topo.isLocalPort(cands[0].port));
+  EXPECT_EQ(cands[0].hopsRemaining, 1u);
+  EXPECT_EQ(cands[0].vcClass, 0u);
+}
+
+TEST(DragonflyMinimalRouting, RemoteGroupOffersGlobalExit) {
+  DfRig rig("min");
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerOf(5, 2) * 2;  // group 5
+  const auto cands = rig.routeAt(0, pkt, true);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_FALSE(rig.topo.isTerminalPort(c.port));
+    EXPECT_LE(c.hopsRemaining, 3u);
+    EXPECT_GE(c.hopsRemaining, 1u);
+  }
+}
+
+TEST(DragonflyMinimalRouting, DistanceClassIncrements) {
+  DfRig rig("min");
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerOf(5, 2) * 2;
+  const auto cands = rig.routeAt(rig.topo.routerOf(5, 0), pkt, false, 1,
+                                 rig.topo.globalPort(0));
+  for (const auto& c : cands) EXPECT_EQ(c.vcClass, 2u);
+}
+
+TEST(DragonflyMinimalRouting, LocalLocalZigzagForbidden) {
+  DfRig rig("min");
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerOf(5, 2) * 2;  // remote group
+  // A minimal packet only moves locally onto the group's exit router toward
+  // the destination group; arriving there via a local port, only the global
+  // hop may follow.
+  const auto exit = rig.topo.exitTo(0, 5, 0);
+  ASSERT_NE(rig.topo.localIdx(exit.router), 0u) << "pick a dest group with a remote exit";
+  const PortId localIn = rig.topo.localPort(exit.router, 0);
+  const auto cands = rig.routeAt(exit.router, pkt, false, 0, localIn);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_TRUE(rig.topo.isGlobalPort(c.port))
+        << "local-local zigzag produced port " << c.port;
+  }
+}
+
+TEST(DragonflyUgalRouting, CommitsMinimalWhenIdle) {
+  DfRig rig("ugal");
+  for (int i = 0; i < 20; ++i) {
+    net::Packet pkt;
+    pkt.id = i + 1;
+    pkt.dst = rig.topo.routerOf(4, 1) * 2;
+    const auto cands = rig.routeAt(0, pkt, true);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_TRUE(pkt.minimalCommitted || pkt.intermediate != kRouterInvalid);
+    // On an idle network minimal must win the weighted comparison.
+    EXPECT_TRUE(pkt.minimalCommitted);
+  }
+}
+
+TEST(DragonflyUgalRouting, ValiantPathSwitchesPhaseAtIntermediate) {
+  DfRig rig("ugal");
+  net::Packet pkt;
+  pkt.dst = rig.topo.routerOf(4, 1) * 2;
+  pkt.intermediate = rig.topo.routerOf(7, 2);  // pre-committed Valiant
+  // At the intermediate router the packet flips to phase 2 and heads to dst.
+  const auto cands = rig.routeAt(pkt.intermediate, pkt, false, 2,
+                                 rig.topo.globalPort(0));
+  EXPECT_TRUE(pkt.phase2);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) EXPECT_EQ(c.vcClass, 3u);
+}
+
+// ----------------------------- Fat tree -----------------------------------
+
+struct FtRig {
+  FtRig()
+      : topo(topo::FatTree::Params{{4, 4, 4}, {2, 4}}),
+        routing(makeFatTreeRouting(topo)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  std::vector<Candidate> routeAt(RouterId r, net::Packet& pkt) {
+    std::vector<Candidate> out;
+    const RouteContext ctx{network.router(r), 0, 0, false, 0};
+    routing->route(ctx, pkt, out);
+    return out;
+  }
+
+  sim::Simulator sim;
+  topo::FatTree topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(FatTreeRouting, EjectsAtLeafSwitch) {
+  FtRig rig;
+  net::Packet pkt;
+  pkt.dst = 5;
+  const auto cands = rig.routeAt(rig.topo.nodeRouter(5), pkt);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].port, rig.topo.nodePort(5));
+  EXPECT_EQ(cands[0].hopsRemaining, 0u);
+}
+
+TEST(FatTreeRouting, ClimbOffersAllUpPorts) {
+  FtRig rig;
+  net::Packet pkt;
+  pkt.dst = 63;  // opposite corner: NCA is the root
+  const auto cands = rig.routeAt(rig.topo.nodeRouter(0), pkt);
+  ASSERT_EQ(cands.size(), 2u);  // w_2 = 2 up ports at level 1
+  for (const auto& c : cands) {
+    EXPECT_GE(c.port, rig.topo.downPorts(1));
+    EXPECT_EQ(c.hopsRemaining, 2u + 2u);  // up 2, down 2
+  }
+}
+
+TEST(FatTreeRouting, DescendsDeterministically) {
+  FtRig rig;
+  net::Packet pkt;
+  pkt.dst = 9;  // inside subtree 0 at level 2
+  const RouterId l2 = rig.topo.switchId(2, 0, 0);
+  const auto cands = rig.routeAt(l2, pkt);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].port, rig.topo.downDigit(9, 2));
+  EXPECT_EQ(cands[0].hopsRemaining, 1u);
+}
+
+TEST(FatTreeRouting, NearCommonAncestorTurnsDown) {
+  FtRig rig;
+  net::Packet pkt;
+  pkt.dst = 4;  // sibling leaf switch under the same level-2 subtree
+  const auto cands = rig.routeAt(rig.topo.nodeRouter(0), pkt);
+  ASSERT_EQ(cands.size(), 2u);  // still climbing: both parents valid
+  for (const auto& c : cands) EXPECT_EQ(c.hopsRemaining, 1u + 1u);
+}
+
+TEST(FatTreeRouting, SingleClass) {
+  FtRig rig;
+  EXPECT_EQ(rig.routing->numClasses(), 1u);
+  EXPECT_EQ(rig.routing->info().deadlockHandling, "up*/down*");
+}
+
+}  // namespace
+}  // namespace hxwar::routing

@@ -1,0 +1,141 @@
+// White-box router behaviour: wormhole VC ownership, crossbar timing,
+// age-based arbitration, speedup budgets — observed through hop traces and
+// delivery timing on purpose-built micro-networks.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::net {
+namespace {
+
+struct Rig {
+  explicit Rig(NetworkConfig cfg = NetworkConfig{}, topo::HyperX::Params shape = {{2}, 2})
+      : topo(shape),
+        routing(routing::makeHyperXRouting("dor", topo)),
+        network(sim, topo, *routing, cfg) {}
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<routing::RoutingAlgorithm> routing;
+  Network network;
+};
+
+TEST(RouterTiming, CrossbarLatencyAddsExactCycles) {
+  Tick lat4 = 0, lat12 = 0;
+  for (const std::uint32_t xbar : {4u, 12u}) {
+    NetworkConfig cfg;
+    cfg.router.crossbarLatency = xbar;
+    Rig rig(cfg);
+    Tick latency = 0;
+    rig.network.setEjectionListener(
+        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    rig.network.injectPacket(0, 2, 1);  // crosses one router-to-router hop
+    rig.sim.run();
+    (xbar == 4 ? lat4 : lat12) = latency;
+  }
+  // Two routers traversed: each adds the crossbar delta.
+  EXPECT_EQ(lat12, lat4 + 2 * 8);
+}
+
+TEST(RouterTiming, ChannelLatencyAddsExactCycles) {
+  Tick lat4 = 0, lat20 = 0;
+  for (const Tick chan : {4u, 20u}) {
+    NetworkConfig cfg;
+    cfg.channelLatencyRouter = chan;
+    Rig rig(cfg);
+    Tick latency = 0;
+    rig.network.setEjectionListener(
+        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    rig.network.injectPacket(0, 2, 1);
+    rig.sim.run();
+    (chan == 4 ? lat4 : lat20) = latency;
+  }
+  EXPECT_EQ(lat20, lat4 + 16);  // one router-to-router channel on the path
+}
+
+TEST(RouterArbitration, OlderPacketWinsTheChannel) {
+  // Two packets from different sources converge on the same output channel;
+  // the older one (earlier createdAt) must be ejected first even though the
+  // younger one is injected from a closer terminal.
+  Rig rig(NetworkConfig{}, {{2}, 2});  // routers 0,1; nodes 0,1 @ r0, 2,3 @ r1
+  std::vector<NodeId> order;
+  rig.network.setEjectionListener([&](const Packet& p) { order.push_back(p.src); });
+  rig.network.injectPacket(0, 2, 8);  // created first => older
+  rig.sim.run(rig.sim.now() + 1);
+  rig.network.injectPacket(1, 3, 8);  // younger, same output channel r0->r1
+  rig.sim.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0u) << "age-based arbitration must deliver the older packet first";
+}
+
+TEST(RouterWormhole, PacketsOnOneVcNeverInterleave) {
+  // The terminal CHECKs flit ordering; force many packets through a single
+  // VC by configuring numVcs = 1 and verify everything still arrives.
+  NetworkConfig cfg;
+  cfg.router.numVcs = 1;
+  Rig rig(cfg, {{2}, 2});
+  std::uint64_t delivered = 0;
+  rig.network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  for (int i = 0; i < 20; ++i) {
+    rig.network.injectPacket(0, 2, 4);
+    rig.network.injectPacket(1, 3, 4);
+  }
+  rig.sim.run();
+  EXPECT_EQ(delivered, 40u);
+}
+
+TEST(RouterSpeedup, HigherSpeedupNeverSlower) {
+  Tick t1 = 0, t4 = 0;
+  for (const std::uint32_t speedup : {1u, 4u}) {
+    NetworkConfig cfg;
+    cfg.router.inputSpeedup = speedup;
+    Rig rig(cfg, {{2}, 4});
+    rig.network.setEjectionListener([](const Packet&) {});
+    for (NodeId n = 0; n < 4; ++n) {
+      rig.network.injectPacket(n, n + 4, 16);  // all cross the same channel
+    }
+    rig.sim.run();
+    (speedup == 1 ? t1 : t4) = rig.sim.now();
+  }
+  EXPECT_LE(t4, t1);
+}
+
+TEST(RouterBackpressure, ThroughputBoundedByChannel) {
+  // 8 nodes on router 0 all sending to router 1: the single inter-router
+  // channel (1 flit/cycle) bounds the drain time from below.
+  Rig rig(NetworkConfig{}, {{2}, 8});
+  std::uint64_t flits = 0;
+  rig.network.setEjectionListener([&](const Packet& p) { flits += p.sizeFlits; });
+  for (NodeId n = 0; n < 8; ++n) rig.network.injectPacket(n, n + 8, 16);
+  const Tick start = rig.sim.now();
+  rig.sim.run();
+  EXPECT_EQ(flits, 8u * 16);
+  EXPECT_GE(rig.sim.now() - start, flits);  // >= 1 cycle per flit on the channel
+}
+
+TEST(RouterCounters, PortFlitCountsMatchTraffic) {
+  Rig rig(NetworkConfig{}, {{2}, 2});
+  rig.network.setEjectionListener([](const Packet&) {});
+  rig.network.injectPacket(0, 2, 10);
+  rig.sim.run();
+  // Router 0's port toward router 1 carried exactly 10 flits.
+  const PortId p = rig.topo.dimPort(0, 0, 1);
+  EXPECT_EQ(rig.network.router(0).portFlitsSent(p), 10u);
+  // Router 1 ejected them to terminal port of node 2.
+  EXPECT_EQ(rig.network.router(1).portFlitsSent(rig.topo.nodePort(2)), 10u);
+}
+
+TEST(RouterIdle, NoEventsWhenNothingHappens) {
+  Rig rig;
+  const auto before = rig.sim.eventsProcessed();
+  rig.sim.run(10000);
+  EXPECT_EQ(rig.sim.eventsProcessed(), before) << "idle network must not burn events";
+}
+
+}  // namespace
+}  // namespace hxwar::net

@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::routing {
+namespace {
+
+// Harness that lets tests call route() against real routers without running
+// the simulation.
+struct Rig {
+  explicit Rig(topo::HyperX::Params shape, const std::string& algorithm,
+               HyperXRoutingOptions opts = {})
+      : topo(shape),
+        routing(makeHyperXRouting(algorithm, topo, opts)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  std::vector<Candidate> routeAt(RouterId r, net::Packet& pkt, bool atSource,
+                                 std::uint32_t inClass = 0, PortId inPort = 0) {
+    std::vector<Candidate> out;
+    // For non-source calls pick a representative VC of the class.
+    const VcId inVc = atSource ? 0 : inClass;
+    const RouteContext ctx{network.router(r), inPort, inVc, atSource,
+                           atSource ? 0 : inClass};
+    routing->route(ctx, pkt, out);
+    return out;
+  }
+
+  net::Packet packet(NodeId src, NodeId dst) {
+    net::Packet p;
+    p.id = 1;
+    p.src = src;
+    p.dst = dst;
+    p.sizeFlits = 1;
+    return p;
+  }
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+topo::HyperX::Params shape444() { return {{4, 4, 4}, 2}; }
+
+TEST(VcMap, SpreadsSparesAcrossClasses) {
+  VcMap m(8, 2);
+  EXPECT_EQ(m.vcsInClass(0), 4u);
+  EXPECT_EQ(m.vcsInClass(1), 4u);
+  EXPECT_EQ(m.classOf(0), 0u);
+  EXPECT_EQ(m.classOf(5), 1u);
+  EXPECT_EQ(m.vcOf(1, 2), 5u);
+}
+
+TEST(VcMap, UnevenSpareDistribution) {
+  VcMap m(8, 6);
+  EXPECT_EQ(m.vcsInClass(0), 2u);  // {0, 6}
+  EXPECT_EQ(m.vcsInClass(1), 2u);  // {1, 7}
+  EXPECT_EQ(m.vcsInClass(2), 1u);
+  std::uint32_t total = 0;
+  for (std::uint32_t c = 0; c < 6; ++c) total += m.vcsInClass(c);
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(Dor, SingleMinimalCandidateInDimensionOrder) {
+  Rig rig(shape444(), "dor");
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 0}) * 2);
+  const auto cands = rig.routeAt(0, pkt, true);
+  ASSERT_EQ(cands.size(), 1u);
+  const auto mv = rig.topo.portMove(0, cands[0].port);
+  EXPECT_EQ(mv.dim, 0u);  // first unaligned dimension
+  EXPECT_EQ(mv.toCoord, 2u);
+  EXPECT_EQ(cands[0].vcClass, 0u);
+  EXPECT_EQ(cands[0].hopsRemaining, 2u);
+  EXPECT_FALSE(cands[0].deroute);
+}
+
+TEST(Dor, EjectsAtDestinationRouter) {
+  Rig rig(shape444(), "dor");
+  auto pkt = rig.packet(2, 1);  // dst node 1 on router 0
+  const auto cands = rig.routeAt(0, pkt, false, 0, 4);
+  ASSERT_FALSE(cands.empty());
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.port, rig.topo.nodePort(1));
+    EXPECT_EQ(c.hopsRemaining, 0u);
+  }
+}
+
+TEST(Valiant, TwoPhasesUseOrderedClasses) {
+  Rig rig(shape444(), "val");
+  auto pkt = rig.packet(0, rig.topo.routerAt({3, 3, 3}) * 2);
+  const auto phase1 = rig.routeAt(0, pkt, true);
+  ASSERT_EQ(phase1.size(), 1u);
+  EXPECT_EQ(phase1[0].vcClass, 0u);
+  EXPECT_NE(pkt.intermediate, kRouterInvalid);
+  // Pretend we arrived at the intermediate: phase 2 must use class 1.
+  if (pkt.intermediate != rig.topo.nodeRouter(pkt.dst)) {
+    auto cands = rig.routeAt(pkt.intermediate, pkt, false, 0, rig.topo.numPorts(0) - 1);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_TRUE(pkt.phase2);
+    EXPECT_EQ(cands[0].vcClass, 1u);
+  }
+}
+
+TEST(Ugal, CommitsMinimalWhenUncongested) {
+  Rig rig(shape444(), "ugal");
+  // With an idle network the minimal path must win the weight comparison.
+  for (int i = 0; i < 20; ++i) {
+    auto pkt = rig.packet(0, rig.topo.routerAt({1, 1, 1}) * 2);
+    const auto cands = rig.routeAt(0, pkt, true);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_TRUE(pkt.minimalCommitted);
+    EXPECT_EQ(cands[0].vcClass, 1u);  // minimal rides the phase-2 class
+  }
+}
+
+TEST(ClosAd, IntermediateRespectsLcaRule) {
+  Rig rig(shape444(), "closad");
+  // dst differs only in dimension 1: aligned dims 0 and 2 must stay aligned
+  // in the chosen intermediate.
+  const RouterId dst = rig.topo.routerAt({0, 3, 0});
+  for (int i = 0; i < 50; ++i) {
+    auto pkt = rig.packet(0, dst * 2);
+    const auto cands = rig.routeAt(0, pkt, true);
+    ASSERT_FALSE(cands.empty());
+    ASSERT_NE(pkt.intermediate, kRouterInvalid);
+    EXPECT_EQ(rig.topo.coord(pkt.intermediate, 0), 0u);
+    EXPECT_EQ(rig.topo.coord(pkt.intermediate, 2), 0u);
+  }
+}
+
+TEST(DimWar, MinimalPlusDeroutesInCurrentDimension) {
+  Rig rig(shape444(), "dimwar");
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 0}) * 2);
+  const auto cands = rig.routeAt(0, pkt, true);
+  // Dimension 0 is current: 1 minimal + (4 - 2) deroutes.
+  ASSERT_EQ(cands.size(), 3u);
+  std::uint32_t minimal = 0, deroutes = 0;
+  for (const auto& c : cands) {
+    const auto mv = rig.topo.portMove(0, c.port);
+    EXPECT_EQ(mv.dim, 0u) << "DimWAR must stay in the current dimension";
+    if (c.deroute) {
+      deroutes += 1;
+      EXPECT_EQ(c.vcClass, 1u);
+      EXPECT_EQ(c.hopsRemaining, 3u);
+      EXPECT_NE(mv.toCoord, 2u);
+    } else {
+      minimal += 1;
+      EXPECT_EQ(c.vcClass, 0u);
+      EXPECT_EQ(c.hopsRemaining, 2u);
+      EXPECT_EQ(mv.toCoord, 2u);
+    }
+  }
+  EXPECT_EQ(minimal, 1u);
+  EXPECT_EQ(deroutes, 2u);
+}
+
+TEST(DimWar, NoDerouteAfterDeroute) {
+  Rig rig(shape444(), "dimwar");
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 0}) * 2);
+  // Arriving on class 1 (just derouted) only the minimal hop is allowed.
+  const auto cands = rig.routeAt(rig.topo.routerAt({1, 0, 0}), pkt, false, 1,
+                                 rig.topo.numPorts(0) - 1);
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_FALSE(cands[0].deroute);
+  EXPECT_EQ(cands[0].vcClass, 0u);
+}
+
+TEST(OmniWar, AllUnalignedDimensionsOffered) {
+  Rig rig(shape444(), "omniwar");
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 1}) * 2);
+  const auto cands = rig.routeAt(0, pkt, true);
+  // 3 unaligned dims: 3 minimal + 3 * 2 deroutes (width 4: 2 lateral coords).
+  std::uint32_t minimal = 0, deroutes = 0;
+  std::set<std::uint32_t> dims;
+  for (const auto& c : cands) {
+    dims.insert(rig.topo.portMove(0, c.port).dim);
+    EXPECT_EQ(c.vcClass, 0u);  // first hop = distance class 0
+    c.deroute ? deroutes += 1 : minimal += 1;
+  }
+  EXPECT_EQ(minimal, 3u);
+  EXPECT_EQ(deroutes, 6u);
+  EXPECT_EQ(dims.size(), 3u);
+}
+
+TEST(OmniWar, DistanceClassIncrementsPerHop) {
+  Rig rig(shape444(), "omniwar");
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 1}) * 2);
+  const auto cands =
+      rig.routeAt(rig.topo.routerAt({1, 0, 0}), pkt, false, 2, rig.topo.numPorts(0) - 1);
+  for (const auto& c : cands) EXPECT_EQ(c.vcClass, 3u);
+}
+
+TEST(OmniWar, DeroutesForbiddenWhenClassesExhausted) {
+  Rig rig(shape444(), "omniwar");  // numClasses = 3 + 3 = 6
+  const RouterId dst = rig.topo.routerAt({2, 3, 1});
+  auto pkt = rig.packet(0, dst * 2);
+  // Arriving on class 4: next hop class 5 is the last; with 3 unaligned dims
+  // this would violate the invariant, so use a dest 1 hop away instead.
+  auto pkt1 = rig.packet(0, rig.topo.routerAt({2, 0, 0}) * 2);
+  const auto cands = rig.routeAt(0, pkt1, false, 4, rig.topo.numPorts(0) - 1);
+  for (const auto& c : cands) {
+    EXPECT_FALSE(c.deroute) << "no distance classes left for a deroute";
+  }
+  (void)pkt;
+}
+
+TEST(OmniWar, MinAdIsZeroDerouteSpecialCase) {
+  HyperXRoutingOptions opts;
+  Rig rig(shape444(), "minad", opts);
+  EXPECT_EQ(rig.routing->numClasses(), 3u);  // N classes
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 1}) * 2);
+  const auto cands = rig.routeAt(0, pkt, true);
+  for (const auto& c : cands) EXPECT_FALSE(c.deroute);
+  EXPECT_EQ(cands.size(), 3u);  // one minimal per unaligned dim
+}
+
+TEST(OmniWar, BackToBackRestrictionBlocksSameDimension) {
+  HyperXRoutingOptions opts;
+  opts.omniRestrictBackToBack = true;
+  Rig rig(shape444(), "omniwar", opts);
+  // Packet arrived via a dimension-0 port and dim 0 is still unaligned => the
+  // last hop was a deroute in dim 0; further dim-0 deroutes must be blocked.
+  const RouterId cur = rig.topo.routerAt({1, 0, 0});
+  auto pkt = rig.packet(0, rig.topo.routerAt({2, 3, 0}) * 2);
+  const PortId inPort = rig.topo.dimPort(cur, 0, 0);  // came from coord 0
+  const auto cands = rig.routeAt(cur, pkt, false, 0, inPort);
+  for (const auto& c : cands) {
+    if (!c.deroute) continue;
+    EXPECT_NE(rig.topo.portMove(cur, c.port).dim, 0u);
+  }
+}
+
+TEST(Info, Table1Properties) {
+  topo::HyperX topo(shape444());
+  const auto dimwar = makeHyperXRouting("dimwar", topo)->info();
+  EXPECT_EQ(dimwar.name, "DimWAR");
+  EXPECT_TRUE(dimwar.dimensionOrdered);
+  EXPECT_EQ(dimwar.style, AlgorithmInfo::Style::kIncremental);
+  EXPECT_EQ(dimwar.vcsRequired, "2");
+  EXPECT_EQ(dimwar.packetContents, "none");
+
+  const auto omni = makeHyperXRouting("omniwar", topo)->info();
+  EXPECT_EQ(omni.name, "OmniWAR");
+  EXPECT_FALSE(omni.dimensionOrdered);
+  EXPECT_EQ(omni.vcsRequired, "N+M");
+
+  const auto ugal = makeHyperXRouting("ugal", topo)->info();
+  EXPECT_EQ(ugal.style, AlgorithmInfo::Style::kSource);
+  EXPECT_EQ(ugal.packetContents, "int. addr.");
+}
+
+// Every algorithm must emit at least one candidate everywhere, with valid
+// ports, classes within bounds, and hopsRemaining >= the true minimal.
+class AllAlgorithms : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllAlgorithms, CandidatesAlwaysValid) {
+  Rig rig(shape444(), GetParam());
+  const std::uint32_t classes = rig.routing->numClasses();
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId src = static_cast<NodeId>(rng.below(rig.topo.numNodes()));
+    NodeId dst = static_cast<NodeId>(rng.below(rig.topo.numNodes()));
+    if (dst == src) dst = (dst + 1) % rig.topo.numNodes();
+    auto pkt = rig.packet(src, dst);
+    const RouterId r = rig.topo.nodeRouter(src);
+    const auto cands = rig.routeAt(r, pkt, true);
+    ASSERT_FALSE(cands.empty());
+    const std::uint32_t minHops = rig.topo.minHops(r, rig.topo.nodeRouter(dst));
+    for (const auto& c : cands) {
+      ASSERT_LT(c.port, rig.topo.numPorts(r));
+      ASSERT_LT(c.vcClass, classes);
+      if (minHops > 0) {
+        EXPECT_GE(c.hopsRemaining, minHops);
+        EXPECT_FALSE(rig.topo.isTerminalPort(c.port));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllAlgorithms,
+                         ::testing::Values("dor", "val", "minad", "ugal", "closad",
+                                           "dimwar", "omniwar"));
+
+}  // namespace
+}  // namespace hxwar::routing

@@ -1,0 +1,115 @@
+// Property sweep across HyperX shapes: DimWAR and OmniWAR must stay deadlock
+// free and respect their structural bounds on every configuration the
+// generalized HyperX admits — 1D, 2D, uneven widths, hypercube (S=2, where
+// no deroutes exist), and 4D.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar {
+namespace {
+
+struct ShapeCase {
+  topo::HyperX::Params shape;
+  std::string algorithm;
+};
+
+std::string caseName(const ::testing::TestParamInfo<ShapeCase>& info) {
+  std::ostringstream os;
+  os << info.param.algorithm;
+  for (const auto w : info.param.shape.widths) os << "_" << w;
+  os << "_k" << info.param.shape.terminalsPerRouter;
+  return os.str();
+}
+
+class ShapeSweep : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(ShapeSweep, AdversarialBurstDrains) {
+  const auto& param = GetParam();
+  sim::Simulator sim;
+  topo::HyperX topo(param.shape);
+  auto routing = routing::makeHyperXRouting(param.algorithm, topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 4;
+  net::Network network(sim, topo, *routing, cfg);
+
+  // Bit complement stresses every dimension at once.
+  traffic::BitComplement pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.7;
+  params.seed = 99;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+
+  const std::uint32_t maxHops = param.algorithm == "dimwar"
+                                    ? 2 * topo.numDims()
+                                    : routing->numClasses();
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    delivered += 1;
+    EXPECT_LE(p.hops, maxHops);
+    EXPECT_GE(p.hops, topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst)));
+  });
+
+  injector.start();
+  sim.run(1500);
+  injector.stop();
+  while (network.packetsOutstanding() > 0) {
+    const auto before = network.flitMovements();
+    sim.run(sim.now() + 2000);
+    ASSERT_NE(network.flitMovements(), before)
+        << param.algorithm << " deadlocked on " << topo.name();
+  }
+  EXPECT_EQ(delivered, injector.offeredPackets());
+}
+
+std::vector<ShapeCase> shapeCases() {
+  const std::vector<topo::HyperX::Params> shapes = {
+      {{4}, 2},            // 1D
+      {{4, 4}, 2},         // 2D (flattened butterfly)
+      {{3, 5}, 2},         // uneven widths
+      {{2, 2, 2, 2}, 2},   // hypercube: S=2, no lateral deroutes exist
+      {{3, 3, 3, 3}, 1},   // 4D
+      {{8, 2}, 2},         // strongly asymmetric
+      {{4, 4}, 4, 2},      // trunked: T=2 parallel links per pair
+  };
+  std::vector<ShapeCase> cases;
+  for (const auto& s : shapes) {
+    for (const char* a : {"dimwar", "omniwar"}) {
+      cases.push_back(ShapeCase{s, a});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep, ::testing::ValuesIn(shapeCases()), caseName);
+
+// On a hypercube (S=2) there are no lateral coordinates, so DimWAR and
+// OmniWAR must never emit deroute candidates.
+TEST(HypercubeDegeneracy, NoDeroutesPossible) {
+  for (const char* algorithm : {"dimwar", "omniwar"}) {
+    sim::Simulator sim;
+    topo::HyperX topo({{2, 2, 2}, 2});
+    auto routing = routing::makeHyperXRouting(algorithm, topo);
+    net::Network network(sim, topo, *routing, net::NetworkConfig{});
+    traffic::BitComplement pattern(topo.numNodes());
+    traffic::SyntheticInjector::Params params;
+    params.rate = 0.5;
+    traffic::SyntheticInjector injector(sim, network, pattern, params);
+    network.setEjectionListener(
+        [&](const net::Packet& p) { EXPECT_EQ(p.deroutes, 0u) << algorithm; });
+    injector.start();
+    sim.run(1000);
+    injector.stop();
+    sim.run();
+  }
+}
+
+}  // namespace
+}  // namespace hxwar

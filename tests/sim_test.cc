@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace hxwar::sim {
+namespace {
+
+// Records every event it receives as (time, tag).
+class Recorder final : public Component {
+ public:
+  explicit Recorder(Simulator& sim) : Component(sim, "recorder") {}
+  void processEvent(std::uint64_t tag) override {
+    events.emplace_back(sim().now(), tag);
+  }
+  std::vector<std::pair<Tick, std::uint64_t>> events;
+};
+
+TEST(Simulator, StartsAtZeroIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, DeliversInTimeOrder) {
+  Simulator sim;
+  Recorder r(sim);
+  sim.schedule(30, kEpsRouter, &r, 3);
+  sim.schedule(10, kEpsRouter, &r, 1);
+  sim.schedule(20, kEpsRouter, &r, 2);
+  sim.run();
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[0], (std::pair<Tick, std::uint64_t>{10, 1}));
+  EXPECT_EQ(r.events[1], (std::pair<Tick, std::uint64_t>{20, 2}));
+  EXPECT_EQ(r.events[2], (std::pair<Tick, std::uint64_t>{30, 3}));
+}
+
+TEST(Simulator, EpsilonOrdersWithinTick) {
+  Simulator sim;
+  Recorder r(sim);
+  sim.schedule(5, kEpsTerminal, &r, 2);
+  sim.schedule(5, kEpsDeliver, &r, 1);
+  sim.schedule(5, kEpsControl, &r, 3);
+  sim.run();
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[0].second, 1u);
+  EXPECT_EQ(r.events[1].second, 2u);
+  EXPECT_EQ(r.events[2].second, 3u);
+}
+
+TEST(Simulator, FifoWithinSameTickAndEpsilon) {
+  Simulator sim;
+  Recorder r(sim);
+  for (std::uint64_t i = 0; i < 10; ++i) sim.schedule(1, kEpsRouter, &r, i);
+  sim.run();
+  ASSERT_EQ(r.events.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(r.events[i].second, i);
+}
+
+TEST(Simulator, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  Recorder r(sim);
+  sim.schedule(10, kEpsRouter, &r, 1);
+  sim.schedule(50, kEpsRouter, &r, 2);
+  EXPECT_EQ(sim.run(20), 1u);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(Simulator, SchedulingDuringEventWorks) {
+  Simulator sim;
+
+  class Chainer final : public Component {
+   public:
+    explicit Chainer(Simulator& sim) : Component(sim, "chainer") {}
+    void processEvent(std::uint64_t tag) override {
+      ticksSeen.push_back(sim().now());
+      if (tag < 5) sim().scheduleIn(2, kEpsRouter, this, tag + 1);
+    }
+    std::vector<Tick> ticksSeen;
+  };
+
+  Chainer c(sim);
+  sim.schedule(0, kEpsRouter, &c, 0);
+  sim.run();
+  ASSERT_EQ(c.ticksSeen.size(), 6u);
+  EXPECT_EQ(c.ticksSeen.back(), 10u);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  Recorder r(sim);
+  for (int i = 0; i < 7; ++i) sim.schedule(i, kEpsRouter, &r, 0);
+  sim.run();
+  EXPECT_EQ(sim.eventsProcessed(), 7u);
+}
+
+TEST(Simulator, SameTickLaterEpsilonFromEarlierEpsilon) {
+  Simulator sim;
+
+  // Scheduling (t, kEpsRouter) while handling (t, kEpsDeliver) must deliver
+  // within the same tick — the router relies on this to react to arrivals.
+  class SameTick final : public Component {
+   public:
+    explicit SameTick(Simulator& sim) : Component(sim, "sametick") {}
+    void processEvent(std::uint64_t tag) override {
+      if (tag == 0) {
+        sim().schedule(sim().now(), kEpsRouter, this, 1);
+      } else {
+        reactedAt = sim().now();
+      }
+    }
+    Tick reactedAt = kTickInvalid;
+  };
+
+  SameTick s(sim);
+  sim.schedule(4, kEpsDeliver, &s, 0);
+  sim.run();
+  EXPECT_EQ(s.reactedAt, 4u);
+}
+
+}  // namespace
+}  // namespace hxwar::sim

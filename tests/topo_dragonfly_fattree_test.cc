@@ -1,0 +1,225 @@
+// Structural tests for the Dragonfly and fat-tree substrates, plus
+// end-to-end delivery tests with their routing algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/fattree_routing.h"
+#include "sim/simulator.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar {
+namespace {
+
+// --------------------------- Dragonfly ------------------------------------
+
+topo::Dragonfly::Params dfBalanced() {
+  // p=2, a=4, h=2, g=a*h+1=9 -> 72 nodes, w=1.
+  return topo::Dragonfly::Params{2, 4, 2, 0};
+}
+
+topo::Dragonfly::Params dfTrunked() {
+  // p=4, a=8, h=4, g=8 -> 256 nodes, w = 32/7 = 4 (4 slots unused per group).
+  return topo::Dragonfly::Params{4, 8, 4, 8};
+}
+
+TEST(Dragonfly, BalancedCounts) {
+  topo::Dragonfly d(dfBalanced());
+  EXPECT_EQ(d.g(), 9u);
+  EXPECT_EQ(d.numRouters(), 36u);
+  EXPECT_EQ(d.numNodes(), 72u);
+  EXPECT_EQ(d.numPorts(0), 2u + 3 + 2);
+  EXPECT_EQ(d.trunking(), 1u);
+}
+
+TEST(Dragonfly, PortTargetsAreSymmetric) {
+  for (const auto& params : {dfBalanced(), dfTrunked()}) {
+    topo::Dragonfly d(params);
+    for (RouterId r = 0; r < d.numRouters(); ++r) {
+      for (PortId p = 0; p < d.numPorts(r); ++p) {
+        const auto t = d.portTarget(r, p);
+        if (t.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+        const auto back = d.portTarget(t.router, t.port);
+        ASSERT_EQ(back.kind, topo::Topology::PortTarget::Kind::kRouter);
+        EXPECT_EQ(back.router, r);
+        EXPECT_EQ(back.port, p);
+      }
+    }
+  }
+}
+
+TEST(Dragonfly, EveryGroupPairConnected) {
+  for (const auto& params : {dfBalanced(), dfTrunked()}) {
+    topo::Dragonfly d(params);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (RouterId r = 0; r < d.numRouters(); ++r) {
+      for (std::uint32_t k = 0; k < d.h(); ++k) {
+        const auto t = d.portTarget(r, d.globalPort(k));
+        if (t.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+        pairs.insert({d.group(r), d.group(t.router)});
+        EXPECT_NE(d.group(r), d.group(t.router));
+      }
+    }
+    EXPECT_EQ(pairs.size(), static_cast<std::size_t>(d.g()) * (d.g() - 1));
+  }
+}
+
+TEST(Dragonfly, MinHopsWithinDiameter) {
+  topo::Dragonfly d(dfBalanced());
+  for (RouterId a = 0; a < d.numRouters(); ++a) {
+    for (RouterId b = 0; b < d.numRouters(); ++b) {
+      const auto h = d.minHops(a, b);
+      EXPECT_LE(h, 3u);
+      if (a == b) {
+        EXPECT_EQ(h, 0u);
+      }
+      if (a != b && d.group(a) == d.group(b)) {
+        EXPECT_EQ(h, 1u);
+      }
+    }
+  }
+}
+
+TEST(Dragonfly, ExitToFindsDirectLink) {
+  topo::Dragonfly d(dfTrunked());
+  for (std::uint32_t g1 = 0; g1 < d.g(); ++g1) {
+    for (std::uint32_t g2 = 0; g2 < d.g(); ++g2) {
+      if (g1 == g2) continue;
+      for (std::uint32_t c = 0; c < d.trunking(); ++c) {
+        const auto ex = d.exitTo(g1, g2, c);
+        EXPECT_EQ(d.group(ex.router), g1);
+        const auto t = d.portTarget(ex.router, d.globalPort(ex.portK));
+        ASSERT_EQ(t.kind, topo::Topology::PortTarget::Kind::kRouter);
+        EXPECT_EQ(d.group(t.router), g2);
+      }
+    }
+  }
+}
+
+class DragonflyDelivery : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DragonflyDelivery, RandomTrafficDrains) {
+  sim::Simulator sim;
+  topo::Dragonfly topo(dfTrunked());
+  auto routing = routing::makeDragonflyRouting(GetParam(), topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 4;
+  net::Network network(sim, topo, *routing, cfg);
+  traffic::UniformRandom pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.5;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    delivered += 1;
+    const std::uint32_t bound = GetParam() == "min" ? 3u : (GetParam() == "par" ? 7u : 6u);
+    EXPECT_LE(p.hops, bound);
+  });
+  injector.start();
+  sim.run(2000);
+  injector.stop();
+  while (network.packetsOutstanding() > 0) {
+    const auto before = network.flitMovements();
+    sim.run(sim.now() + 2000);
+    ASSERT_NE(network.flitMovements(), before) << "dragonfly stalled";
+  }
+  EXPECT_EQ(delivered, injector.offeredPackets());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, DragonflyDelivery, ::testing::Values("min", "ugal", "par"));
+
+// ----------------------------- Fat tree -----------------------------------
+
+topo::FatTree::Params ft3Level() {
+  // XGFT(3; 4,4,4; 2,4): 64 leaves.
+  return topo::FatTree::Params{{4, 4, 4}, {2, 4}};
+}
+
+TEST(FatTree, Counts) {
+  topo::FatTree f(ft3Level());
+  EXPECT_EQ(f.numNodes(), 64u);
+  EXPECT_EQ(f.height(), 3u);
+  // L1: 16 subtrees x 1 copy; L2: 4 x 2; L3: 1 x 8.
+  EXPECT_EQ(f.numRouters(), 16u + 8 + 8);
+}
+
+TEST(FatTree, PortTargetsAreSymmetric) {
+  topo::FatTree f(ft3Level());
+  for (RouterId r = 0; r < f.numRouters(); ++r) {
+    for (PortId p = 0; p < f.numPorts(r); ++p) {
+      const auto t = f.portTarget(r, p);
+      if (t.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+      const auto back = f.portTarget(t.router, t.port);
+      ASSERT_EQ(back.kind, topo::Topology::PortTarget::Kind::kRouter);
+      EXPECT_EQ(back.router, r) << "r=" << r << " p=" << p;
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST(FatTree, NodesAttachToLevelOne) {
+  topo::FatTree f(ft3Level());
+  for (NodeId n = 0; n < f.numNodes(); ++n) {
+    const RouterId r = f.nodeRouter(n);
+    EXPECT_EQ(f.level(r), 1u);
+    const auto t = f.portTarget(r, f.nodePort(n));
+    ASSERT_EQ(t.kind, topo::Topology::PortTarget::Kind::kTerminal);
+    EXPECT_EQ(t.node, n);
+  }
+}
+
+TEST(FatTree, MinHopsMatchesNcaStructure) {
+  topo::FatTree f(ft3Level());
+  // Same leaf switch: 0 hops between the same router.
+  const RouterId a = f.nodeRouter(0);
+  const RouterId b = f.nodeRouter(1);
+  EXPECT_EQ(a, b);
+  // Adjacent subtrees at level 2: up 1, down 1.
+  const RouterId c = f.nodeRouter(4);
+  EXPECT_EQ(f.minHops(a, c), 2u);
+  // Across the root: up 2, down 2.
+  const RouterId d = f.nodeRouter(63);
+  EXPECT_EQ(f.minHops(a, d), 4u);
+}
+
+TEST(FatTree, NcaLevels) {
+  topo::FatTree f(ft3Level());
+  EXPECT_EQ(f.ncaLevel(0, 1), 1u);
+  EXPECT_EQ(f.ncaLevel(0, 4), 2u);
+  EXPECT_EQ(f.ncaLevel(0, 63), 3u);
+}
+
+TEST(FatTree, RandomTrafficDrains) {
+  sim::Simulator sim;
+  topo::FatTree topo(ft3Level());
+  auto routing = routing::makeFatTreeRouting(topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 4;
+  net::Network network(sim, topo, *routing, cfg);
+  traffic::UniformRandom pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.6;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    delivered += 1;
+    EXPECT_LE(p.hops, 4u);  // 2*(h-1)
+  });
+  injector.start();
+  sim.run(2000);
+  injector.stop();
+  while (network.packetsOutstanding() > 0) {
+    const auto before = network.flitMovements();
+    sim.run(sim.now() + 2000);
+    ASSERT_NE(network.flitMovements(), before) << "fat tree stalled";
+  }
+  EXPECT_EQ(delivered, injector.offeredPackets());
+}
+
+}  // namespace
+}  // namespace hxwar

@@ -1,0 +1,154 @@
+// SlimFly (MMS graph) structural verification + routing tests. The key
+// property — diameter exactly 2 — is checked exhaustively by BFS, which
+// validates the finite-field construction end to end.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "net/network.h"
+#include "routing/slimfly_routing.h"
+#include "sim/simulator.h"
+#include "topo/slimfly.h"
+#include "traffic/injector.h"
+#include "traffic/pattern.h"
+
+namespace hxwar {
+namespace {
+
+std::vector<std::uint32_t> bfsDistances(const topo::SlimFly& sf, RouterId from) {
+  std::vector<std::uint32_t> dist(sf.numRouters(), 0xffffffffu);
+  std::queue<RouterId> q;
+  dist[from] = 0;
+  q.push(from);
+  while (!q.empty()) {
+    const RouterId r = q.front();
+    q.pop();
+    for (const RouterId n : sf.neighbors(r)) {
+      if (dist[n] != 0xffffffffu) continue;
+      dist[n] = dist[r] + 1;
+      q.push(n);
+    }
+  }
+  return dist;
+}
+
+class SlimFlyStructure : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlimFlyStructure, CountsMatchTheory) {
+  topo::SlimFly sf({GetParam(), 0});
+  const std::uint32_t q = GetParam();
+  EXPECT_EQ(sf.numRouters(), 2 * q * q);
+  EXPECT_EQ(sf.networkDegree(), (3 * q - 1) / 2);
+  EXPECT_EQ(sf.terminalsPerRouter(), (sf.networkDegree() + 1) / 2);
+}
+
+TEST_P(SlimFlyStructure, WiringIsSymmetric) {
+  topo::SlimFly sf({GetParam(), 1});
+  for (RouterId r = 0; r < sf.numRouters(); ++r) {
+    for (PortId p = 0; p < sf.numPorts(r); ++p) {
+      const auto t = sf.portTarget(r, p);
+      if (t.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+      const auto back = sf.portTarget(t.router, t.port);
+      ASSERT_EQ(back.kind, topo::Topology::PortTarget::Kind::kRouter);
+      EXPECT_EQ(back.router, r);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST_P(SlimFlyStructure, DiameterIsExactlyTwo) {
+  topo::SlimFly sf({GetParam(), 1});
+  std::uint32_t maxDist = 0;
+  for (RouterId r = 0; r < sf.numRouters(); ++r) {
+    const auto dist = bfsDistances(sf, r);
+    for (const auto d : dist) {
+      ASSERT_NE(d, 0xffffffffu) << "graph not connected";
+      maxDist = std::max(maxDist, d);
+    }
+  }
+  EXPECT_EQ(maxDist, 2u);
+}
+
+TEST_P(SlimFlyStructure, MinHopsAgreesWithBfs) {
+  topo::SlimFly sf({GetParam(), 1});
+  for (RouterId a = 0; a < sf.numRouters(); a += 3) {
+    const auto dist = bfsDistances(sf, a);
+    for (RouterId b = 0; b < sf.numRouters(); ++b) {
+      EXPECT_EQ(sf.minHops(a, b), dist[b]);
+    }
+  }
+}
+
+TEST_P(SlimFlyStructure, NonAdjacentPairsHaveARelay) {
+  topo::SlimFly sf({GetParam(), 1});
+  for (RouterId a = 0; a < sf.numRouters(); a += 5) {
+    for (RouterId b = a + 1; b < sf.numRouters(); b += 7) {
+      if (sf.adjacent(a, b)) continue;
+      EXPECT_FALSE(sf.commonNeighbors(a, b).empty())
+          << "no relay between " << a << " and " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrimeQ, SlimFlyStructure, ::testing::Values(5u, 13u));
+
+TEST(SlimFlyConstruction, RejectsInvalidQ) {
+  EXPECT_DEATH(topo::SlimFly({4, 1}), "prime");
+  EXPECT_DEATH(topo::SlimFly({7, 1}), "mod 4");
+}
+
+TEST(SlimFlyRouting, DeliversUniformTraffic) {
+  sim::Simulator sim;
+  topo::SlimFly topo({5, 2});  // 50 routers, 100 nodes
+  auto routing = routing::makeSlimFlyRouting(topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 4;
+  net::Network network(sim, topo, *routing, cfg);
+  traffic::UniformRandom pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.5;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+  std::uint64_t delivered = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    delivered += 1;
+    EXPECT_LE(p.hops, 2u);
+    EXPECT_GE(p.hops, topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst)));
+  });
+  injector.start();
+  sim.run(2000);
+  injector.stop();
+  while (network.packetsOutstanding() > 0) {
+    const auto before = network.flitMovements();
+    sim.run(sim.now() + 2000);
+    ASSERT_NE(network.flitMovements(), before) << "SlimFly stalled";
+  }
+  EXPECT_EQ(delivered, injector.offeredPackets());
+}
+
+TEST(SlimFlyRouting, AverageHopsNearTheoreticalMean) {
+  // With diameter 2 and ~k' direct neighbors out of 2q^2-1 others, most
+  // pairs are 2 hops: E[hops] ~ 2 - k'/(2q^2) for UR traffic.
+  sim::Simulator sim;
+  topo::SlimFly topo({5, 2});
+  auto routing = routing::makeSlimFlyRouting(topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  double hops = 0;
+  std::uint64_t count = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    hops += p.hops;
+    count += 1;
+  });
+  traffic::UniformRandom pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.2;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+  injector.start();
+  sim.run(3000);
+  injector.stop();
+  sim.run();
+  ASSERT_GT(count, 500u);
+  EXPECT_NEAR(hops / count, 1.8, 0.15);
+}
+
+}  // namespace
+}  // namespace hxwar

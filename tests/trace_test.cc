@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "net/network.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+#include "traffic/pattern.h"
+#include "traffic/trace.h"
+
+namespace hxwar::traffic {
+namespace {
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hxwar_trace_test.txt";
+  const std::vector<TraceEntry> entries = {
+      {0, 0, 1, 64}, {5, 1, 2, 4096}, {5, 2, 0, 1}, {100, 0, 3, 99999}};
+  saveTrace(path, entries);
+  const auto loaded = loadTrace(path);
+  ASSERT_EQ(loaded.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(loaded[i].tick, entries[i].tick);
+    EXPECT_EQ(loaded[i].src, entries[i].src);
+    EXPECT_EQ(loaded[i].dst, entries[i].dst);
+    EXPECT_EQ(loaded[i].bytes, entries[i].bytes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CommentsAndBlankLinesIgnored) {
+  const std::string path = ::testing::TempDir() + "/hxwar_trace_test2.txt";
+  {
+    std::ofstream out(path);
+    out << "# a trace\n\n10 0 1 64   # inline comment\n\n20 1 0 128\n";
+  }
+  const auto loaded = loadTrace(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].tick, 10u);
+  EXPECT_EQ(loaded[1].bytes, 128u);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, UnsortedTicksRejected) {
+  const std::string path = ::testing::TempDir() + "/hxwar_trace_test3.txt";
+  {
+    std::ofstream out(path);
+    out << "10 0 1 64\n5 1 0 64\n";
+  }
+  EXPECT_DEATH(loadTrace(path), "non-decreasing");
+  std::remove(path.c_str());
+}
+
+struct Rig {
+  Rig()
+      : topo({{3, 3}, 2}),
+        routing(routing::makeHyperXRouting("dimwar", topo)),
+        network(sim, topo, *routing, net::NetworkConfig{}) {}
+
+  sim::Simulator sim;
+  topo::HyperX topo;
+  std::unique_ptr<routing::RoutingAlgorithm> routing;
+  net::Network network;
+};
+
+TEST(TraceInjector, ReplaysAtTheRightTicks) {
+  Rig rig;
+  std::vector<Tick> createdAt;
+  rig.network.setEjectionListener(
+      [&](const net::Packet& p) { createdAt.push_back(p.createdAt); });
+  TraceInjector inj(rig.sim, rig.network,
+                    {{10, 0, 9, 64}, {50, 3, 12, 64}, {50, 5, 1, 2048}}, {});
+  inj.start();
+  rig.sim.run();
+  EXPECT_EQ(inj.entriesInjected(), 3u);
+  ASSERT_EQ(createdAt.size(), 2u + 2u);  // 2048 B = 32 flits = 2 packets
+  EXPECT_EQ(*std::min_element(createdAt.begin(), createdAt.end()), 10u);
+  for (const Tick t : createdAt) EXPECT_TRUE(t == 10 || t == 50);
+}
+
+TEST(TraceInjector, SegmentsLargeMessages) {
+  Rig rig;
+  std::uint64_t packets = 0, flits = 0;
+  rig.network.setEjectionListener([&](const net::Packet& p) {
+    packets += 1;
+    flits += p.sizeFlits;
+  });
+  // 100 kB at 64 B flits = 1600 flits = 100 packets of 16.
+  TraceInjector inj(rig.sim, rig.network, {{0, 0, 17, 100 * 1024}}, {});
+  inj.start();
+  rig.sim.run();
+  EXPECT_EQ(packets, 100u);
+  EXPECT_EQ(flits, 1600u);
+  EXPECT_EQ(inj.flitsOffered(), 1600u);
+}
+
+TEST(TraceInjector, OffsetShiftsReplay) {
+  Rig rig;
+  Tick created = 0;
+  rig.network.setEjectionListener([&](const net::Packet& p) { created = p.createdAt; });
+  TraceInjector::Params params;
+  params.offset = 500;
+  TraceInjector inj(rig.sim, rig.network, {{10, 0, 9, 64}}, params);
+  inj.start();
+  rig.sim.run();
+  EXPECT_EQ(created, 510u);
+}
+
+TEST(TraceFromPattern, GeneratesReplayableTraffic) {
+  Rig rig;
+  UniformRandom pattern(rig.network.numNodes());
+  const auto entries = traceFromPattern(pattern, rig.network.numNodes(), 0.2, 500, 256, 7);
+  ASSERT_FALSE(entries.empty());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_GE(entries[i].tick, entries[i - 1].tick);
+  }
+  std::uint64_t delivered = 0;
+  rig.network.setEjectionListener([&](const net::Packet&) { delivered += 1; });
+  TraceInjector inj(rig.sim, rig.network, entries, {});
+  inj.start();
+  rig.sim.run();
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(rig.network.packetsOutstanding(), 0u);
+  EXPECT_EQ(inj.entriesInjected(), entries.size());
+}
+
+TEST(TraceFromPattern, DeterministicForSeed) {
+  topo::HyperX topo({{3, 3}, 2});
+  UniformRandom pattern(topo.numNodes());
+  const auto a = traceFromPattern(pattern, topo.numNodes(), 0.1, 200, 128, 42);
+  UniformRandom pattern2(topo.numNodes());
+  const auto b = traceFromPattern(pattern2, topo.numNodes(), 0.1, 200, 128, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tick, b[i].tick);
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace hxwar::traffic

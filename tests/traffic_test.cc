@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "topo/hyperx.h"
+#include "traffic/injector.h"
+#include "routing/hyperx_routing.h"
+#include "traffic/pattern.h"
+
+namespace hxwar::traffic {
+namespace {
+
+topo::HyperX topo444() { return topo::HyperX({{4, 4, 4}, 4}); }
+
+TEST(UniformRandom, NeverSelfAndCoversNodes) {
+  UniformRandom ur(64);
+  Rng rng(1);
+  std::set<NodeId> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId d = ur.dest(13, rng);
+    EXPECT_NE(d, 13u);
+    EXPECT_LT(d, 64u);
+    seen.insert(d);
+  }
+  EXPECT_EQ(seen.size(), 63u);
+}
+
+TEST(BitComplement, IsAnInvolutionWithoutFixedPoints) {
+  BitComplement bc(256);
+  Rng rng(1);
+  for (NodeId n = 0; n < 256; ++n) {
+    const NodeId d = bc.dest(n, rng);
+    EXPECT_NE(d, n);
+    EXPECT_EQ(bc.dest(d, rng), n);
+  }
+}
+
+TEST(BitComplement, ComplementsEveryCoordinate) {
+  const auto topo = topo444();
+  BitComplement bc(topo.numNodes());
+  Rng rng(1);
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    const NodeId d = bc.dest(n, rng);
+    const RouterId rs = topo.nodeRouter(n), rd = topo.nodeRouter(d);
+    for (std::uint32_t dim = 0; dim < 3; ++dim) {
+      EXPECT_EQ(topo.coord(rd, dim), 3u - topo.coord(rs, dim));
+    }
+  }
+}
+
+TEST(Urb, TargetDimensionComplementedOthersRandom) {
+  const auto topo = topo444();
+  UniformRandomBisection urby(topo, 1);
+  Rng rng(2);
+  const NodeId src = topo.routerAt({1, 3, 2}) * 4 + 1;
+  std::set<std::uint32_t> xs, zs;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId d = urby.dest(src, rng);
+    const RouterId rd = topo.nodeRouter(d);
+    EXPECT_EQ(topo.coord(rd, 1), 0u);  // 3 -> complement 0
+    xs.insert(topo.coord(rd, 0));
+    zs.insert(topo.coord(rd, 2));
+  }
+  EXPECT_EQ(xs.size(), 4u);  // other dims cover the full width
+  EXPECT_EQ(zs.size(), 4u);
+}
+
+TEST(Urb, NamesFollowAxis) {
+  const auto topo = topo444();
+  EXPECT_EQ(UniformRandomBisection(topo, 0).name(), "URBx");
+  EXPECT_EQ(UniformRandomBisection(topo, 1).name(), "URBy");
+  EXPECT_EQ(UniformRandomBisection(topo, 2).name(), "URBz");
+}
+
+TEST(Swap2, EvenTerminalsUseXOddUseY) {
+  const auto topo = topo444();
+  Swap2 s2(topo);
+  Rng rng(3);
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    const NodeId d = s2.dest(n, rng);
+    EXPECT_NE(d, n);
+    const RouterId rs = topo.nodeRouter(n), rd = topo.nodeRouter(d);
+    EXPECT_EQ(topo.nodePort(d), topo.nodePort(n));  // terminal preserved
+    const std::uint32_t t = topo.nodePort(n);
+    const std::uint32_t dim = (t % 2 == 0) ? 0 : 1;
+    for (std::uint32_t k = 0; k < 3; ++k) {
+      if (k == dim) {
+        EXPECT_EQ(topo.coord(rd, k), 3u - topo.coord(rs, k));
+      } else {
+        EXPECT_EQ(topo.coord(rd, k), topo.coord(rs, k));
+      }
+    }
+  }
+}
+
+TEST(Dcr, DestinationLineDependsOnlyOnSourceLine) {
+  const auto topo = topo444();
+  DimComplementReverse dcr(topo);
+  Rng rng(4);
+  // All terminals of the X-line (y=1, z=2) must target the Z-line
+  // (x' = 3-1 = 2, y' = 3-2 = 1).
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      const NodeId src = topo.routerAt({x, 1, 2}) * 4 + t;
+      for (int i = 0; i < 50; ++i) {
+        const NodeId d = dcr.dest(src, rng);
+        EXPECT_NE(d, src);
+        const RouterId rd = topo.nodeRouter(d);
+        EXPECT_EQ(topo.coord(rd, 0), 2u);
+        EXPECT_EQ(topo.coord(rd, 1), 1u);
+      }
+    }
+  }
+}
+
+TEST(Dcr, IsAdmissible) {
+  // Every destination must receive at most its injection rate: count
+  // empirical arrivals per node under uniform sampling of sources.
+  const auto topo = topo444();
+  DimComplementReverse dcr(topo);
+  Rng rng(5);
+  std::map<NodeId, int> arrivals;
+  constexpr int kPerSource = 256;
+  for (NodeId src = 0; src < topo.numNodes(); ++src) {
+    for (int i = 0; i < kPerSource; ++i) arrivals[dcr.dest(src, rng)] += 1;
+  }
+  for (const auto& [node, count] : arrivals) {
+    // Each Z-line (16 nodes) receives from exactly one X-line (16 sources):
+    // expectation kPerSource with ~sqrt variance.
+    EXPECT_NEAR(count, kPerSource, kPerSource * 0.35) << "node " << node;
+  }
+}
+
+TEST(Transpose, RotatesCoordinates) {
+  const auto topo = topo444();
+  Transpose tp(topo);
+  Rng rng(6);
+  const NodeId src = topo.routerAt({1, 2, 3}) * 4 + 2;
+  const NodeId d = tp.dest(src, rng);
+  const RouterId rd = topo.nodeRouter(d);
+  EXPECT_EQ(topo.coord(rd, 0), 2u);
+  EXPECT_EQ(topo.coord(rd, 1), 3u);
+  EXPECT_EQ(topo.coord(rd, 2), 1u);
+}
+
+TEST(RandomPermutation, IsAPermutationWithoutFixedPoints) {
+  RandomPermutation rp(100, 77);
+  Rng rng(7);
+  std::set<NodeId> targets;
+  for (NodeId n = 0; n < 100; ++n) {
+    const NodeId d = rp.dest(n, rng);
+    EXPECT_NE(d, n);
+    targets.insert(d);
+  }
+  EXPECT_EQ(targets.size(), 100u);
+}
+
+TEST(Factory, AllNamesConstruct) {
+  const auto topo = topo444();
+  for (const char* name : {"ur", "bc", "urbx", "urby", "urbz", "s2", "dcr", "tp"}) {
+    EXPECT_NE(makePattern(name, topo), nullptr) << name;
+  }
+}
+
+TEST(Injector, OfferedRateMatchesConfig) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2, 2}, 2});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  UniformRandom pattern(topo.numNodes());
+  SyntheticInjector::Params params;
+  params.rate = 0.3;
+  params.seed = 11;
+  SyntheticInjector inj(sim, network, pattern, params);
+  inj.start();
+  sim.run(20000);
+  inj.stop();
+  const double offered = static_cast<double>(inj.offeredFlits()) /
+                         (20000.0 * topo.numNodes());
+  EXPECT_NEAR(offered, 0.3, 0.02);
+}
+
+TEST(Injector, NodeMaskRestrictsSources) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2, 2}, 2});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  std::set<NodeId> sources;
+  network.setEjectionListener([&](const net::Packet& p) { sources.insert(p.src); });
+  UniformRandom pattern(topo.numNodes());
+  SyntheticInjector::Params params;
+  params.rate = 0.5;
+  params.nodeMask.assign(topo.numNodes(), 0);
+  params.nodeMask[2] = 1;
+  params.nodeMask[5] = 1;
+  SyntheticInjector inj(sim, network, pattern, params);
+  inj.start();
+  sim.run(2000);
+  inj.stop();
+  sim.run();
+  ASSERT_FALSE(sources.empty());
+  for (const NodeId s : sources) EXPECT_TRUE(s == 2 || s == 5);
+}
+
+TEST(Injector, TwoInjectorsCoexist) {
+  // Two jobs with disjoint node masks share one network (§3.2 setup).
+  sim::Simulator sim;
+  topo::HyperX topo({{2, 2}, 2});
+  auto routing = routing::makeHyperXRouting("dimwar", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  UniformRandom pattern(topo.numNodes());
+  SyntheticInjector::Params a;
+  a.rate = 0.3;
+  a.seed = 1;
+  a.nodeMask.assign(topo.numNodes(), 0);
+  SyntheticInjector::Params b = a;
+  b.seed = 2;
+  b.nodeMask.assign(topo.numNodes(), 0);
+  for (NodeId n = 0; n < topo.numNodes(); ++n) {
+    (n < topo.numNodes() / 2 ? a : b).nodeMask[n] = 1;
+  }
+  SyntheticInjector injA(sim, network, pattern, a);
+  SyntheticInjector injB(sim, network, pattern, b);
+  injA.start();
+  injB.start();
+  sim.run(3000);
+  injA.stop();
+  injB.stop();
+  sim.run();
+  EXPECT_GT(injA.offeredPackets(), 0u);
+  EXPECT_GT(injB.offeredPackets(), 0u);
+  EXPECT_EQ(network.packetsOutstanding(), 0u);
+  EXPECT_EQ(network.flitsInjected(), injA.offeredFlits() + injB.offeredFlits());
+}
+
+TEST(Injector, PatternSwapMidRun) {
+  sim::Simulator sim;
+  topo::HyperX topo({{4, 4}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  std::uint64_t bcPackets = 0, totalPackets = 0;
+  BitComplement bc(topo.numNodes());
+  Rng probe(1);
+  network.setEjectionListener([&](const net::Packet& p) {
+    totalPackets += 1;
+    if (p.dst == bc.dest(p.src, probe)) bcPackets += 1;
+  });
+  UniformRandom ur(topo.numNodes());
+  SyntheticInjector::Params params;
+  params.rate = 0.3;
+  SyntheticInjector inj(sim, network, ur, params);
+  inj.start();
+  sim.run(1500);
+  const std::uint64_t beforeSwap = totalPackets;
+  inj.setPattern(bc);
+  sim.run(3000);
+  inj.stop();
+  sim.run();
+  EXPECT_GT(beforeSwap, 0u);
+  // After the swap every generated packet is a bit-complement pair.
+  EXPECT_GT(bcPackets, (totalPackets - beforeSwap) / 2);
+}
+
+TEST(Injector, PacketSizesInRange) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2, 2}, 2});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  std::uint32_t minSeen = 1000, maxSeen = 0;
+  network.setEjectionListener([&](const net::Packet& p) {
+    minSeen = std::min(minSeen, p.sizeFlits);
+    maxSeen = std::max(maxSeen, p.sizeFlits);
+  });
+  UniformRandom pattern(topo.numNodes());
+  SyntheticInjector::Params params;
+  params.rate = 0.4;
+  params.minFlits = 2;
+  params.maxFlits = 9;
+  SyntheticInjector inj(sim, network, pattern, params);
+  inj.start();
+  sim.run(5000);
+  inj.stop();
+  sim.run();
+  EXPECT_GE(minSeen, 2u);
+  EXPECT_LE(maxSeen, 9u);
+}
+
+}  // namespace
+}  // namespace hxwar::traffic

@@ -1,0 +1,140 @@
+// hxsim — config-driven simulation runner (the SuperSim-style front end).
+//
+// Builds any supported topology/routing from flags or a config file and runs
+// one of three experiments:
+//
+//   --experiment=steady    one steady-state measurement at --load
+//   --experiment=sweep     load-latency sweep over --loads
+//   --experiment=stencil   27-pt stencil app (--halo-kb, --iterations, --mode)
+//
+// Configuration can come from a file (`hxsim --config my.cfg`) with
+// `key = value` lines; command-line flags override file values. See
+// harness/builder.h for the topology/router keys.
+//
+// Examples:
+//   hxsim --experiment=sweep --routing=omniwar --pattern=bc --loads=0.1,0.3,0.45
+//   hxsim --topology=dragonfly --routing=ugal --experiment=steady --load=0.4
+//   hxsim --experiment=stencil --routing=dimwar --halo-kb=64 --iterations=2
+//   hxsim --config experiments/urby.cfg --csv=out.csv
+#include <cstdio>
+
+#include "app/stencil.h"
+#include "common/flags.h"
+#include "harness/builder.h"
+#include "harness/csv.h"
+#include "harness/table.h"
+#include "metrics/steady_state.h"
+#include "traffic/injector.h"
+
+namespace {
+
+using namespace hxwar;
+
+metrics::SteadyStateConfig steadyConfig(const Flags& flags) {
+  metrics::SteadyStateConfig cfg;
+  cfg.warmupWindow = flags.u64("warmup-window", 1000);
+  cfg.maxWarmupWindows = static_cast<std::uint32_t>(flags.u64("warmup-windows", 20));
+  cfg.measureWindow = flags.u64("measure-window", 3000);
+  cfg.drainWindow = flags.u64("drain-window", 8000);
+  return cfg;
+}
+
+traffic::SyntheticInjector::Params injectorParams(const Flags& flags, double rate) {
+  traffic::SyntheticInjector::Params p;
+  p.rate = rate;
+  p.minFlits = static_cast<std::uint32_t>(flags.u64("min-flits", 1));
+  p.maxFlits = static_cast<std::uint32_t>(flags.u64("max-flits", 16));
+  p.seed = flags.u64("seed", 7);
+  return p;
+}
+
+std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult& r) {
+  using harness::Table;
+  return {Table::pct(load),
+          Table::pct(r.accepted),
+          r.saturated ? "-" : Table::num(r.latencyMean, 1),
+          r.saturated ? "-" : Table::num(r.latencyP99, 1),
+          Table::num(r.avgHops, 2),
+          Table::num(r.avgDeroutes, 3),
+          r.saturated ? "SATURATED" : "stable"};
+}
+
+int runSteadyOrSweep(const Flags& flags, bool sweep) {
+  const std::string patternName = flags.str("pattern", "ur");
+  const auto loads = sweep ? flags.f64List("loads", {0.2, 0.4, 0.6, 0.8})
+                           : std::vector<double>{flags.f64("load", 0.3)};
+  const std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
+                                            "hops",    "deroutes", "state"};
+  harness::Table table(columns);
+  harness::CsvWriter csv(flags.str("csv", ""), columns);
+  bool prevSaturated = false;
+  for (const double load : loads) {
+    // Fresh bundle per point so state never leaks between measurements.
+    auto bundle = harness::NetworkBundle::fromFlags(flags);
+    auto pattern = bundle->makePattern(patternName, flags.u64("seed", 7));
+    traffic::SyntheticInjector injector(bundle->sim(), bundle->network(), *pattern,
+                                        injectorParams(flags, load));
+    const auto r = metrics::runSteadyState(bundle->sim(), bundle->network(), injector,
+                                           steadyConfig(flags));
+    const auto row = resultRow(load, r);
+    table.addRow(row);
+    csv.row(row);
+    if (sweep && r.saturated && prevSaturated) break;
+    prevSaturated = r.saturated;
+  }
+  table.print();
+  return 0;
+}
+
+int runStencil(const Flags& flags) {
+  auto bundle = harness::NetworkBundle::fromFlags(flags);
+  app::StencilConfig sc;
+  const auto gridList = flags.f64List("grid", {});
+  if (gridList.size() == 3) {
+    sc.grid = {static_cast<std::uint32_t>(gridList[0]),
+               static_cast<std::uint32_t>(gridList[1]),
+               static_cast<std::uint32_t>(gridList[2])};
+  } else {
+    // Default: roughly cubical grid over all nodes.
+    const std::uint32_t n = bundle->network().numNodes();
+    std::uint32_t gx = 1;
+    while ((gx + 1) * (gx + 1) * (gx + 1) <= n) ++gx;
+    sc.grid = {gx, gx, std::max(1u, n / (gx * gx))};
+  }
+  sc.haloBytesPerNode = flags.u64("halo-kb", 48) * 1024;
+  sc.iterations = static_cast<std::uint32_t>(flags.u64("iterations", 1));
+  sc.mode = app::stencilModeFromString(flags.str("mode", "full"));
+  sc.randomPlacement = !flags.b("linear-placement", false);
+  sc.seed = flags.u64("seed", 21);
+  app::StencilApp stencil(bundle->network(), sc);
+  const auto r = stencil.run();
+  harness::Table table({"metric", "value"});
+  table.addRow({"makespan (cycles)", std::to_string(r.makespan)});
+  table.addRow({"messages", std::to_string(r.messages)});
+  table.addRow({"bytes", std::to_string(r.bytes)});
+  table.addRow({"exchange proc-cycles", std::to_string(r.exchangeCycles)});
+  table.addRow({"collective proc-cycles", std::to_string(r.collectiveCycles)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!flags.parse(argc, argv)) return 1;
+  if (flags.has("config") && !flags.loadFile(flags.str("config", ""))) return 1;
+
+  {
+    auto bundle = harness::NetworkBundle::fromFlags(flags);
+    std::printf("hxsim: %s — %u routers, %u nodes\n", bundle->description().c_str(),
+                bundle->network().numRouters(), bundle->network().numNodes());
+  }
+
+  const std::string experiment = flags.str("experiment", "steady");
+  if (experiment == "steady") return runSteadyOrSweep(flags, false);
+  if (experiment == "sweep") return runSteadyOrSweep(flags, true);
+  if (experiment == "stencil") return runStencil(flags);
+  std::fprintf(stderr, "unknown experiment: %s (steady|sweep|stencil)\n", experiment.c_str());
+  return 1;
+}
