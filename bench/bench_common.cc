@@ -1,9 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "harness/csv.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 
 namespace hxwar::bench {
@@ -37,6 +39,9 @@ BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaul
   }
   opts.loads = flags.f64List("loads", defaultLoads);
   opts.csvPath = flags.str("csv", "");
+  opts.jobs = static_cast<unsigned>(flags.u64("jobs", harness::defaultJobs()));
+  if (opts.jobs == 0) opts.jobs = 1;
+  opts.perfJsonPath = flags.str("perf-json", "BENCH_sweep.json");
   const std::string algos = flags.str("algorithms", "");
   opts.algorithms = algos.empty() ? routing::hyperxAlgorithmNames() : splitCsv(algos);
   return opts;
@@ -46,6 +51,8 @@ void printHeader(const std::string& figure, const std::string& description,
                  const BenchOptions& opts) {
   std::printf("=== %s ===\n%s\n", figure.c_str(), description.c_str());
   topo::HyperX topo({opts.base.widths, opts.base.terminalsPerRouter});
+  // --jobs is deliberately absent: results are jobs-invariant, and keeping
+  // the banner identical lets `diff` verify that end to end.
   std::printf("scale=%s topology=%s vcs=%u chLat=%llu seed=%llu\n\n", opts.scale.c_str(),
               topo.name().c_str(), opts.base.net.router.numVcs,
               static_cast<unsigned long long>(opts.base.net.channelLatencyRouter),
@@ -61,16 +68,28 @@ void runLoadLatencyFigure(const std::string& figure, const std::string& descript
   const std::vector<std::string> columns = {"algorithm", "offered",  "accepted",
                                             "lat_mean",  "lat_p50",  "lat_p99",
                                             "hops",      "deroutes", "state"};
+  // The CSV carries the per-point perf telemetry too; the printed table stays
+  // deterministic (telemetry wall times vary run to run).
+  std::vector<std::string> csvColumns = columns;
+  csvColumns.insert(csvColumns.end(), {"wall_s", "events", "events_per_s"});
   harness::Table table(columns);
-  harness::CsvWriter csv(opts.csvPath, columns);
+  harness::CsvWriter csv(opts.csvPath, csvColumns);
+
+  harness::SweepOptions sweepOpts;
+  sweepOpts.jobs = opts.jobs;
+  std::unique_ptr<harness::ThreadPool> pool;
+  if (opts.jobs > 1) pool = std::make_unique<harness::ThreadPool>(opts.jobs);
+
+  harness::SweepPerfLog perf;
   for (const auto& algorithm : opts.algorithms) {
     harness::ExperimentConfig cfg = opts.base;
     cfg.algorithm = algorithm;
     cfg.pattern = pattern;
-    const auto points = harness::loadLatencySweep(cfg, opts.loads);
+    const auto points = harness::runLoadSweep(cfg, opts.loads, sweepOpts, pool.get());
+    perf.addAll(algorithm + "/" + pattern, points);
     for (const auto& p : points) {
       const auto& r = p.result;
-      const std::vector<std::string> row = {
+      std::vector<std::string> row = {
           algorithm, harness::Table::pct(p.load), harness::Table::pct(r.accepted),
           r.saturated ? "-" : harness::Table::num(r.latencyMean, 1),
           r.saturated ? "-" : harness::Table::num(r.latencyP50, 1),
@@ -78,10 +97,22 @@ void runLoadLatencyFigure(const std::string& figure, const std::string& descript
           harness::Table::num(r.avgHops, 2), harness::Table::num(r.avgDeroutes, 3),
           r.saturated ? "SATURATED" : "stable"};
       table.addRow(row);
+      row.insert(row.end(), {harness::Table::num(p.wallSeconds, 4),
+                             std::to_string(p.eventsProcessed),
+                             harness::Table::num(p.eventsPerSec, 0)});
       csv.row(row);
     }
   }
   table.print();
+  const double wall = perf.totalWallSeconds();
+  std::printf("\n[perf] %zu points, %llu events, %.2fs point-wall total "
+              "(%.2f Mev/s aggregate, jobs=%u)\n",
+              perf.points(), static_cast<unsigned long long>(perf.totalEvents()), wall,
+              wall > 0.0 ? static_cast<double>(perf.totalEvents()) / wall / 1e6 : 0.0,
+              opts.jobs);
+  if (!perf.writeJson(opts.perfJsonPath, figure, opts.scale, opts.jobs)) {
+    std::fprintf(stderr, "warning: could not write %s\n", opts.perfJsonPath.c_str());
+  }
   std::printf("\n");
 }
 

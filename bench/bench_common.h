@@ -8,6 +8,7 @@
 
 #include "common/flags.h"
 #include "harness/experiment.h"
+#include "harness/sweep_runner.h"
 
 namespace hxwar::bench {
 
@@ -18,9 +19,16 @@ struct BenchOptions {
   std::uint64_t seed = 7;
   std::string scale = "small";
   std::string csvPath;                  // --csv=<file>: machine-readable copy
+  // --jobs=N: worker threads for sweep points (default: hardware
+  // concurrency; 1 = exact serial path). Results are bit-identical for any
+  // value — see the determinism contract in harness/sweep_runner.h.
+  unsigned jobs = 1;
+  // --perf-json=<file>: per-point perf telemetry trajectory (empty disables).
+  std::string perfJsonPath = "BENCH_sweep.json";
 };
 
-// Parses --scale, --algorithms, --loads, --seed, --warmup-windows, --bias, --csv.
+// Parses --scale, --algorithms, --loads, --seed, --warmup-windows, --bias,
+// --csv, --jobs, --perf-json.
 BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaultLoads);
 
 // Prints the figure banner: what the paper shows, what we run.
@@ -28,8 +36,9 @@ void printHeader(const std::string& figure, const std::string& description,
                  const BenchOptions& opts);
 
 // Runs the load-latency experiment of one synthetic pattern for every
-// algorithm and prints the series (Fig. 6a-f format). Returns the accepted
-// throughput of the highest stable load per algorithm.
+// algorithm (sweep points run on `opts.jobs` threads) and prints the series
+// (Fig. 6a-f format). Also emits per-point perf telemetry into the CSV and
+// the --perf-json trajectory file.
 void runLoadLatencyFigure(const std::string& figure, const std::string& description,
                           const std::string& pattern, BenchOptions opts);
 

@@ -1,8 +1,15 @@
 // Microbenchmarks of the simulator substrate (google-benchmark): event queue
 // throughput, RNG, traffic-pattern destination generation, routing-candidate
-// computation, and end-to-end simulation rate. These are the knobs that set
-// how much wall time a cycle-accurate point costs.
+// computation, packet allocation (pooled vs. unpooled), and end-to-end
+// simulation rate. These are the knobs that set how much wall time a
+// cycle-accurate point costs. After the google-benchmark run, a hand-timed
+// baseline is written to BENCH_core.json so the perf trajectory of the hot
+// paths is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
 
 #include "common/rng.h"
 #include "net/network.h"
@@ -100,6 +107,32 @@ void BM_RouteCandidates(benchmark::State& state) {
 BENCHMARK(BM_RouteCandidates)->Arg(0)->Arg(1)->Arg(2)->Arg(3)
     ->ArgNames({"alg"});
 
+// The unpooled packet path this repo used to run: one heap allocation and
+// one deallocation per packet.
+void BM_PacketAllocUnpooled(benchmark::State& state) {
+  for (auto _ : state) {
+    auto pkt = std::make_unique<net::Packet>();
+    benchmark::DoNotOptimize(pkt.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketAllocUnpooled);
+
+// The pooled path: free-list pop + field reset (steady state: no allocation).
+void BM_PacketAllocPooled(benchmark::State& state) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  for (auto _ : state) {
+    net::Packet* pkt = network.allocPacket();
+    benchmark::DoNotOptimize(pkt);
+    network.recyclePacket(pkt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketAllocPooled);
+
 void BM_EndToEndSimulation(benchmark::State& state) {
   // Simulated cycles per wall second on the small network at moderate load.
   for (auto _ : state) {
@@ -123,6 +156,83 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
+// Hand-timed baseline for the perf trajectory file. Reported independently
+// of google-benchmark so the JSON stays stable across benchmark-library
+// versions.
+double timePacketChurn(bool pooled, std::uint64_t iterations) {
+  sim::Simulator sim;
+  topo::HyperX topo({{2}, 1});
+  auto routing = routing::makeHyperXRouting("dor", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  const auto t0 = std::chrono::steady_clock::now();
+  if (pooled) {
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      net::Packet* pkt = network.allocPacket();
+      benchmark::DoNotOptimize(pkt);
+      network.recyclePacket(pkt);
+    }
+  } else {
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+      auto pkt = std::make_unique<net::Packet>();
+      benchmark::DoNotOptimize(pkt.get());
+    }
+  }
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(iterations) / dt.count();  // packets/sec
+}
+
+double timeEndToEndEventsPerSec() {
+  sim::Simulator sim;
+  topo::HyperX topo({{4, 4, 4}, 4});
+  auto routing = routing::makeHyperXRouting("dimwar", topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 8;
+  net::Network network(sim, topo, *routing, cfg);
+  traffic::UniformRandom pattern(topo.numNodes());
+  traffic::SyntheticInjector::Params params;
+  params.rate = 0.4;
+  traffic::SyntheticInjector injector(sim, network, pattern, params);
+  const auto t0 = std::chrono::steady_clock::now();
+  injector.start();
+  sim.run(4000);
+  injector.stop();
+  sim.run();
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(sim.eventsProcessed()) / dt.count();
+}
+
+void writeCoreBaseline(const char* path) {
+  const std::uint64_t churn = 4'000'000;
+  const double unpooled = timePacketChurn(false, churn);
+  const double pooled = timePacketChurn(true, churn);
+  const double evps = timeEndToEndEventsPerSec();
+  std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
+              unpooled / 1e6, pooled / 1e6, pooled / unpooled);
+  std::printf("end-to-end dimwar/ur small: %.2f Mev/s\n", evps / 1e6);
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"micro_core\",\n"
+               "  \"packet_alloc_unpooled_per_sec\": %.1f,\n"
+               "  \"packet_alloc_pooled_per_sec\": %.1f,\n"
+               "  \"packet_pool_speedup\": %.3f,\n"
+               "  \"end_to_end_events_per_sec\": %.1f\n"
+               "}\n",
+               unpooled, pooled, pooled / unpooled, evps);
+  std::fclose(f);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeCoreBaseline("BENCH_core.json");
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "harness/experiment.h"
 
+#include <chrono>
+
 #include "common/assert.h"
+#include "common/rng.h"
 
 namespace hxwar::harness {
 
@@ -82,16 +85,43 @@ metrics::SteadyStateResult Experiment::run() {
   return metrics::runSteadyState(sim_, *network_, *injector_, config_.steady);
 }
 
+ExperimentConfig sweepPointConfig(const ExperimentConfig& base, double load,
+                                  std::size_t index) {
+  ExperimentConfig cfg = base;
+  cfg.injection.rate = load;
+  // Expand (base seed, point index) into independent injector/network seeds.
+  // The index — never a thread id or completion order — keys the streams, so
+  // serial and parallel execution of the same grid are bit-identical.
+  SplitMix64 mix(base.injection.seed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1)));
+  cfg.injection.seed = mix.next();
+  cfg.net.rngSeed = mix.next();
+  return cfg;
+}
+
+SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index) {
+  SweepPoint p;
+  p.load = load;
+  p.index = index;
+  const auto t0 = std::chrono::steady_clock::now();
+  Experiment exp(sweepPointConfig(base, load, index));
+  p.result = exp.run();
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
+  p.wallSeconds = elapsed.count();
+  p.eventsProcessed = exp.sim().eventsProcessed();
+  p.eventsPerSec = p.wallSeconds > 0.0
+                       ? static_cast<double>(p.eventsProcessed) / p.wallSeconds
+                       : 0.0;
+  return p;
+}
+
 std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
                                          const std::vector<double>& loads,
                                          bool stopAtSaturation) {
   std::vector<SweepPoint> points;
   std::uint32_t saturatedStreak = 0;
-  for (const double load : loads) {
-    ExperimentConfig cfg = base;
-    cfg.injection.rate = load;
-    Experiment exp(cfg);
-    points.push_back(SweepPoint{load, exp.run()});
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    points.push_back(runSweepPoint(base, loads[i], i));
     saturatedStreak = points.back().result.saturated ? saturatedStreak + 1 : 0;
     if (stopAtSaturation && saturatedStreak >= 2) break;
   }
@@ -108,8 +138,12 @@ double saturationThroughput(const ExperimentConfig& base, double offered) {
 }
 
 std::vector<double> loadGrid(double step, double max) {
+  // Multiply instead of accumulating (l += step drifts: after 20 additions of
+  // 0.05 the sum overshoots 1.0 by ~2e-16 and the last point is dropped).
   std::vector<double> loads;
-  for (double l = step; l <= max + 1e-9; l += step) loads.push_back(l);
+  for (std::size_t i = 1; step * static_cast<double>(i) <= max + 1e-9; ++i) {
+    loads.push_back(step * static_cast<double>(i));
+  }
   return loads;
 }
 

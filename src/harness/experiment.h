@@ -68,9 +68,25 @@ class Experiment {
 // consecutive loads saturate (the curve has ended, matching how the paper's
 // plots stop at saturation).
 struct SweepPoint {
-  double load;
+  double load = 0.0;
+  std::size_t index = 0;  // position in the load grid (seed derivation key)
   metrics::SteadyStateResult result;
+  // Perf telemetry for this point. Wall-clock values vary run to run; every
+  // field of `result` is deterministic given (config, load, index).
+  double wallSeconds = 0.0;
+  std::uint64_t eventsProcessed = 0;
+  double eventsPerSec = 0.0;
 };
+
+// Derives the per-point configuration for point `index` at `load`. Seeds are
+// expanded from (base seed, point index) only — never from thread identity or
+// execution order — so a sweep replays identically at any parallelism.
+ExperimentConfig sweepPointConfig(const ExperimentConfig& base, double load,
+                                  std::size_t index);
+
+// Builds and runs one sweep point, recording wall time and event throughput.
+SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index);
+
 std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
                                          const std::vector<double>& loads,
                                          bool stopAtSaturation = true);

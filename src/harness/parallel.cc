@@ -1,0 +1,40 @@
+#include "harness/parallel.h"
+
+#include <algorithm>
+
+namespace hxwar::harness {
+
+unsigned defaultJobs() { return std::max(1u, std::thread::hardware_concurrency()); }
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = std::max(1u, threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      // Drain remaining tasks even when stopping, so futures handed out
+      // before destruction always complete.
+      if (tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+}  // namespace hxwar::harness

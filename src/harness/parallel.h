@@ -1,0 +1,84 @@
+// Minimal fixed-size thread pool for embarrassingly parallel sweep points.
+//
+// Tasks are FIFO; results come back through std::future so callers reduce
+// them in whatever order they choose — the sweep runner always reduces in
+// point order, which is what makes parallel sweeps bit-identical to serial
+// ones. Exceptions thrown by a task are captured in its future and rethrow
+// at get(), so a failing point aborts the sweep instead of vanishing.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace hxwar::harness {
+
+// std::thread::hardware_concurrency(), clamped to at least 1 (the standard
+// allows it to return 0 when the count is unknowable).
+unsigned defaultJobs();
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();  // drains queued tasks, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  // Enqueues `fn` and returns a future for its result. Safe from any thread.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Runs fn(i) for every i in [0, n) across the pool and returns the results
+// in index order. If `pool` is null (or n fits in one task), runs inline on
+// the calling thread — the jobs=1 path executes exactly the serial code.
+// The first exception (in index order) propagates to the caller.
+template <typename Fn>
+auto parallelMapOrdered(ThreadPool* pool, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn, std::size_t>> {
+  using R = std::invoke_result_t<Fn, std::size_t>;
+  std::vector<R> out;
+  out.reserve(n);
+  if (pool == nullptr || pool->size() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+    return out;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace hxwar::harness

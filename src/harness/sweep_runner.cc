@@ -1,0 +1,98 @@
+#include "harness/sweep_runner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+
+namespace hxwar::harness {
+namespace {
+
+// Applies the ordered stop-at-saturation reduction to one wave of completed
+// points. Returns true once the curve has ended (cut reached).
+bool reduceWave(std::vector<SweepPoint>&& wave, bool stopAtSaturation,
+                std::vector<SweepPoint>& out, std::uint32_t& saturatedStreak) {
+  for (auto& point : wave) {
+    out.push_back(std::move(point));
+    saturatedStreak = out.back().result.saturated ? saturatedStreak + 1 : 0;
+    if (stopAtSaturation && saturatedStreak >= 2) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options) {
+  if (options.jobs <= 1) return runLoadSweep(base, loads, options, nullptr);
+  ThreadPool pool(options.jobs);
+  return runLoadSweep(base, loads, options, &pool);
+}
+
+std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options, ThreadPool* pool) {
+  if (pool == nullptr || pool->size() <= 1) {
+    return loadLatencySweep(base, loads, options.stopAtSaturation);
+  }
+  // Speculate one wave of points past the reduction frontier: points beyond
+  // the saturation cut are computed and discarded, so the returned series is
+  // byte-identical to the serial path.
+  const std::size_t waveSize =
+      std::max<std::size_t>(std::size_t{pool->size()} * std::max(1u, options.waveFactor), 1);
+  std::vector<SweepPoint> out;
+  out.reserve(loads.size());
+  std::uint32_t saturatedStreak = 0;
+  for (std::size_t waveStart = 0; waveStart < loads.size(); waveStart += waveSize) {
+    const std::size_t waveEnd = std::min(waveStart + waveSize, loads.size());
+    std::vector<SweepPoint> wave = parallelMapOrdered(
+        pool, waveEnd - waveStart, [&](std::size_t i) {
+          const std::size_t index = waveStart + i;
+          return runSweepPoint(base, loads[index], index);
+        });
+    if (reduceWave(std::move(wave), options.stopAtSaturation, out, saturatedStreak)) break;
+  }
+  return out;
+}
+
+void SweepPerfLog::add(const std::string& series, const SweepPoint& point) {
+  entries_.push_back(Entry{series, point.load, point.result.saturated,
+                           point.wallSeconds, point.eventsProcessed, point.eventsPerSec});
+  totalWall_ += point.wallSeconds;
+  totalEvents_ += point.eventsProcessed;
+}
+
+void SweepPerfLog::addAll(const std::string& series, const std::vector<SweepPoint>& points) {
+  for (const auto& p : points) add(series, p);
+}
+
+bool SweepPerfLog::writeJson(const std::string& path, const std::string& bench,
+                             const std::string& scale, unsigned jobs) const {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  // totalWall_ sums per-point wall time across all workers; with jobs > 1 the
+  // elapsed time is lower, so report the aggregate simulation rate too.
+  const double aggRate = totalWall_ > 0.0 ? static_cast<double>(totalEvents_) / totalWall_ : 0.0;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": \"%s\",\n  \"jobs\": %u,\n",
+               bench.c_str(), scale.c_str(), jobs);
+  std::fprintf(f, "  \"points\": %zu,\n  \"total_events\": %llu,\n", entries_.size(),
+               static_cast<unsigned long long>(totalEvents_));
+  std::fprintf(f, "  \"total_point_wall_seconds\": %.6f,\n  \"events_per_second\": %.1f,\n",
+               totalWall_, aggRate);
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f,
+                 "    {\"series\": \"%s\", \"load\": %.6f, \"saturated\": %s, "
+                 "\"wall_seconds\": %.6f, \"events\": %llu, \"events_per_second\": %.1f}%s\n",
+                 e.series.c_str(), e.load, e.saturated ? "true" : "false", e.wallSeconds,
+                 static_cast<unsigned long long>(e.events), e.eventsPerSec,
+                 i + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hxwar::harness

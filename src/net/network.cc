@@ -80,6 +80,11 @@ Network::Network(sim::Simulator& sim, const topo::Topology& topology,
       creditChannels_.push_back(std::move(cc));
     }
   }
+
+  // Pre-size the event heap: each channel can carry roughly one flit and one
+  // credit event in flight per cycle of latency, plus per-component cycle
+  // events. Avoids reallocation once the network is warm.
+  sim.reserveEvents(flitChannels_.size() * 4 + routers_.size() * 2 + terminals_.size() * 2);
 }
 
 Network::~Network() = default;
@@ -90,17 +95,28 @@ std::uint32_t Network::downstreamDepth(RouterId r, PortId p) const {
              : config_.router.inputBufferDepth;
 }
 
+Packet* Network::allocPacket() {
+  if (freePackets_.empty()) {
+    packetArena_.push_back(std::make_unique<Packet>());
+    return packetArena_.back().get();
+  }
+  Packet* pkt = freePackets_.back();
+  freePackets_.pop_back();
+  packetPoolReuses_ += 1;
+  *pkt = Packet{};  // reset timestamps, routing scratch, reassembly state
+  return pkt;
+}
+
 Packet& Network::injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits) {
   HXWAR_CHECK(src < numNodes() && dst < numNodes() && sizeFlits >= 1);
-  auto pkt = std::make_unique<Packet>();
+  Packet* pkt = allocPacket();
   pkt->id = nextPacketId_++;
   pkt->src = src;
   pkt->dst = dst;
   pkt->sizeFlits = sizeFlits;
-  Packet& ref = *pkt;
   packetsCreated_ += 1;
-  terminals_[src]->enqueuePacket(std::move(pkt));
-  return ref;
+  terminals_[src]->enqueuePacket(pkt);
+  return *pkt;
 }
 
 void Network::trackInFlight(Packet* pkt) {
@@ -114,7 +130,7 @@ void Network::completePacket(Packet* pkt) {
   HXWAR_CHECK(packetsInFlight_ > 0);
   packetsInFlight_ -= 1;
   if (listener_) listener_(*pkt);
-  delete pkt;
+  recyclePacket(pkt);
 }
 
 std::uint64_t Network::totalSourceBacklogFlits() const {

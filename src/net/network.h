@@ -64,6 +64,17 @@ class Network {
   // Convenience: build a packet and hand it to the source terminal.
   Packet& injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits);
 
+  // --- packet pool ---
+  // Packets are recycled through a per-network free list instead of being
+  // heap-allocated per send: at steady state every allocation is a pointer
+  // pop + field reset. The arena owns every packet ever handed out, so
+  // packets still queued or in flight at teardown are reclaimed with the
+  // network.
+  Packet* allocPacket();
+  void recyclePacket(Packet* pkt) { freePackets_.push_back(pkt); }
+  std::size_t packetPoolSize() const { return packetArena_.size(); }
+  std::uint64_t packetPoolReuses() const { return packetPoolReuses_; }
+
   // --- hooks used by routers/terminals ---
   std::uint32_t downstreamDepth(RouterId r, PortId p) const;
   void noteFlitMoved() { flitMovements_ += 1; }
@@ -95,6 +106,10 @@ class Network {
   std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
   std::vector<std::uint8_t> portIsTerminal_;  // [router * maxPorts + port]
   std::uint32_t maxPorts_ = 0;
+
+  std::vector<std::unique_ptr<Packet>> packetArena_;
+  std::vector<Packet*> freePackets_;
+  std::uint64_t packetPoolReuses_ = 0;
 
   std::uint64_t nextPacketId_ = 1;
   std::uint64_t flitMovements_ = 0;

@@ -18,11 +18,11 @@ void Terminal::connectOutput(FlitChannel* toRouter, std::uint32_t routerInputDep
 
 void Terminal::connectInputCredit(CreditChannel* toRouter) { creditReturn_ = toRouter; }
 
-void Terminal::enqueuePacket(std::unique_ptr<Packet> pkt) {
+void Terminal::enqueuePacket(Packet* pkt) {
   pkt->createdAt = sim().now();
   pkt->src = id_;
   sourceQueueFlits_ += pkt->sizeFlits;
-  sourceQueue_.push_back(std::move(pkt));
+  sourceQueue_.push_back(pkt);
   ensureCycle();
 }
 
@@ -66,9 +66,9 @@ void Terminal::injectionCycle() {
   network_->noteFlitInjected();
   nextFlit_ += 1;
   if (nextFlit_ == pkt.sizeFlits) {
-    // Whole packet is in flight; ownership transfers to the network until the
-    // destination terminal reassembles and releases it.
-    network_->trackInFlight(sourceQueue_.front().release());
+    // Whole packet is in flight; the destination terminal recycles it into
+    // the network's pool once reassembly completes.
+    network_->trackInFlight(sourceQueue_.front());
     sourceQueue_.pop_front();
     currentVc_ = kVcInvalid;
     nextFlit_ = 0;

@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
 
 #include "common/types.h"
 #include "net/channel.h"
@@ -26,8 +25,9 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   void connectInputCredit(CreditChannel* toRouter);
 
   // --- injection ---
-  // Takes ownership; createdAt is stamped here.
-  void enqueuePacket(std::unique_ptr<Packet> pkt);
+  // The packet stays owned by the network's pool arena; createdAt is stamped
+  // here and the pointer is held until the last flit enters the network.
+  void enqueuePacket(Packet* pkt);
 
   std::size_t sourceQueuePackets() const { return sourceQueue_.size(); }
   std::uint64_t sourceQueueFlits() const { return sourceQueueFlits_; }
@@ -53,7 +53,7 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   CreditChannel* creditReturn_ = nullptr;
   std::vector<std::uint32_t> credits_;  // per VC toward the router
 
-  std::deque<std::unique_ptr<Packet>> sourceQueue_;
+  std::deque<Packet*> sourceQueue_;
   std::uint64_t sourceQueueFlits_ = 0;
   std::uint32_t nextFlit_ = 0;   // index within the packet being injected
   VcId currentVc_ = kVcInvalid;  // VC pinned for the packet being injected

@@ -4,10 +4,15 @@
 // orders the phases within a tick (e.g., channel delivery before router
 // allocation); the sequence number makes same-phase events FIFO so repeated
 // runs with the same seed replay identically.
+//
+// The queue owns its backing vector directly (rather than wrapping
+// std::priority_queue) so pop() can move the top event out instead of
+// copying it, and so callers sizing a simulation up front can reserve() the
+// backing store and avoid reallocation in the hot loop.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/types.h"
@@ -44,20 +49,24 @@ struct EventAfter {
 class EventQueue {
  public:
   void push(Tick time, std::uint8_t epsilon, Component* component, std::uint64_t tag) {
-    heap_.push(Event{time, epsilon, seq_++, component, tag});
+    heap_.push_back(Event{time, epsilon, seq_++, component, tag});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
-  const Event& top() const { return heap_.top(); }
+  std::size_t capacity() const { return heap_.capacity(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  const Event& top() const { return heap_.front(); }
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+    Event e = heap_.back();
+    heap_.pop_back();
     return e;
   }
 
  private:
-  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+  std::vector<Event> heap_;
   std::uint64_t seq_ = 0;
 };
 

@@ -38,6 +38,10 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  // Pre-sizes the event heap; called by the network once the component count
+  // is known so steady-state runs never reallocate mid-simulation.
+  void reserveEvents(std::size_t n) { queue_.reserve(n); }
+
  private:
   EventQueue queue_;
   Tick now_ = 0;

@@ -4,7 +4,8 @@
 // one of three experiments:
 //
 //   --experiment=steady    one steady-state measurement at --load
-//   --experiment=sweep     load-latency sweep over --loads
+//   --experiment=sweep     load-latency sweep over --loads (--jobs=N runs
+//                          points concurrently; output is jobs-invariant)
 //   --experiment=stencil   27-pt stencil app (--halo-kb, --iterations, --mode)
 //
 // Configuration can come from a file (`hxsim --config my.cfg`) with
@@ -22,6 +23,7 @@
 #include "common/flags.h"
 #include "harness/builder.h"
 #include "harness/csv.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "metrics/steady_state.h"
 #include "traffic/injector.h"
@@ -59,24 +61,47 @@ std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult
           r.saturated ? "SATURATED" : "stable"};
 }
 
+metrics::SteadyStateResult runOnePoint(const Flags& flags, const std::string& patternName,
+                                       double load) {
+  // Fresh bundle per point so state never leaks between measurements.
+  auto bundle = harness::NetworkBundle::fromFlags(flags);
+  auto pattern = bundle->makePattern(patternName, flags.u64("seed", 7));
+  traffic::SyntheticInjector injector(bundle->sim(), bundle->network(), *pattern,
+                                      injectorParams(flags, load));
+  return metrics::runSteadyState(bundle->sim(), bundle->network(), injector,
+                                 steadyConfig(flags));
+}
+
 int runSteadyOrSweep(const Flags& flags, bool sweep) {
   const std::string patternName = flags.str("pattern", "ur");
   const auto loads = sweep ? flags.f64List("loads", {0.2, 0.4, 0.6, 0.8})
                            : std::vector<double>{flags.f64("load", 0.3)};
+  const unsigned jobs = static_cast<unsigned>(flags.u64("jobs", 1));
   const std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
                                             "hops",    "deroutes", "state"};
   harness::Table table(columns);
   harness::CsvWriter csv(flags.str("csv", ""), columns);
+  std::vector<metrics::SteadyStateResult> results;
+  if (jobs > 1 && loads.size() > 1) {
+    // Points are independent (per-point bundle, flag-derived seeds), so run
+    // them all speculatively and apply the saturation cut in load order
+    // below — output is identical to the serial path.
+    harness::ThreadPool pool(jobs);
+    results = harness::parallelMapOrdered(
+        &pool, loads.size(),
+        [&](std::size_t i) { return runOnePoint(flags, patternName, loads[i]); });
+  } else {
+    bool prevSaturated = false;
+    for (const double load : loads) {
+      results.push_back(runOnePoint(flags, patternName, load));
+      if (sweep && results.back().saturated && prevSaturated) break;
+      prevSaturated = results.back().saturated;
+    }
+  }
   bool prevSaturated = false;
-  for (const double load : loads) {
-    // Fresh bundle per point so state never leaks between measurements.
-    auto bundle = harness::NetworkBundle::fromFlags(flags);
-    auto pattern = bundle->makePattern(patternName, flags.u64("seed", 7));
-    traffic::SyntheticInjector injector(bundle->sim(), bundle->network(), *pattern,
-                                        injectorParams(flags, load));
-    const auto r = metrics::runSteadyState(bundle->sim(), bundle->network(), injector,
-                                           steadyConfig(flags));
-    const auto row = resultRow(load, r);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const auto row = resultRow(loads[i], r);
     table.addRow(row);
     csv.row(row);
     if (sweep && r.saturated && prevSaturated) break;

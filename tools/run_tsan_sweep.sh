@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Race-checks the parallel sweep engine: configures a ThreadSanitizer side
+# build (build-tsan/, separate from the main build/) and runs the
+# parallel-sweep test suite under TSan. Any data race in the thread pool or
+# the sweep reduction fails the run.
+#
+# Usage: tools/run_tsan_sweep.sh [extra ctest args...]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" --target parallel_sweep_test -j"$(nproc)"
+
+# TSAN_OPTIONS defaults: fail loudly on the first race.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+"${BUILD}/tests/parallel_sweep_test" "$@"
+echo "parallel_sweep_test passed under ThreadSanitizer"
