@@ -6,6 +6,7 @@
 
 #include "harness/csv.h"
 #include "harness/parallel.h"
+#include "harness/registry.h"
 #include "harness/table.h"
 
 namespace hxwar::bench {
@@ -42,20 +43,29 @@ BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaul
   opts.jobs = static_cast<unsigned>(flags.u64("jobs", harness::defaultJobs()));
   if (opts.jobs == 0) opts.jobs = 1;
   opts.perfJsonPath = flags.str("perf-json", "BENCH_sweep.json");
+  // The unified view starts from the HyperX preset and lets every flag —
+  // including --topology and family construction params — override it.
+  opts.spec = opts.base.toSpec();
+  opts.spec.applyFlags(flags);
   const std::string algos = flags.str("algorithms", "");
-  opts.algorithms = algos.empty() ? routing::hyperxAlgorithmNames() : splitCsv(algos);
+  opts.algorithms =
+      algos.empty()
+          ? harness::ExperimentRegistry::instance().benchRoutingNames(opts.spec.topology)
+          : splitCsv(algos);
   return opts;
 }
 
 void printHeader(const std::string& figure, const std::string& description,
                  const BenchOptions& opts) {
   std::printf("=== %s ===\n%s\n", figure.c_str(), description.c_str());
-  topo::HyperX topo({opts.base.widths, opts.base.terminalsPerRouter});
+  const auto topo = harness::ExperimentRegistry::instance()
+                        .topology(opts.spec.topology)
+                        .build(opts.spec.paramFlags());
   // --jobs is deliberately absent: results are jobs-invariant, and keeping
   // the banner identical lets `diff` verify that end to end.
   std::printf("scale=%s topology=%s vcs=%u chLat=%llu seed=%llu\n\n", opts.scale.c_str(),
-              topo.name().c_str(), opts.base.net.router.numVcs,
-              static_cast<unsigned long long>(opts.base.net.channelLatencyRouter),
+              topo->name().c_str(), opts.spec.net.router.numVcs,
+              static_cast<unsigned long long>(opts.spec.net.channelLatencyRouter),
               static_cast<unsigned long long>(opts.seed));
 }
 
@@ -82,10 +92,10 @@ void runLoadLatencyFigure(const std::string& figure, const std::string& descript
 
   harness::SweepPerfLog perf;
   for (const auto& algorithm : opts.algorithms) {
-    harness::ExperimentConfig cfg = opts.base;
-    cfg.algorithm = algorithm;
-    cfg.pattern = pattern;
-    const auto points = harness::runLoadSweep(cfg, opts.loads, sweepOpts, pool.get());
+    harness::ExperimentSpec spec = opts.spec;
+    spec.routing = algorithm;
+    spec.pattern = pattern;
+    const auto points = harness::runLoadSweep(spec, opts.loads, sweepOpts, pool.get());
     perf.addAll(algorithm + "/" + pattern, points);
     for (const auto& p : points) {
       const auto& r = p.result;

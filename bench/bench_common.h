@@ -13,8 +13,13 @@
 namespace hxwar::bench {
 
 struct BenchOptions {
-  harness::ExperimentConfig base;       // scale preset with flags applied
-  std::vector<std::string> algorithms;  // canonical order
+  harness::ExperimentConfig base;       // legacy HyperX view (scale preset + flags)
+  // Unified topology-agnostic view: base.toSpec() with every flag applied, so
+  // --topology/--routing/construction params select any registered family.
+  // fig06*/ext_collectives run on this; the HyperX-structural benches (fig08,
+  // sec32, transient, ablation) still mutate `base` directly.
+  harness::ExperimentSpec spec;
+  std::vector<std::string> algorithms;  // canonical registry order
   std::vector<double> loads;
   std::uint64_t seed = 7;
   std::string scale = "small";

@@ -26,19 +26,19 @@ int main(int argc, char** argv) {
 
   // Flatten the grid; the flat index keys the per-cell seeds, so execution
   // order (and --jobs) cannot change any result.
-  std::vector<harness::ExperimentConfig> cells;
+  std::vector<harness::ExperimentSpec> cells;
   cells.reserve(patterns.size() * nAlgos);
   for (const auto& pattern : patterns) {
     for (const auto& algorithm : opts.algorithms) {
-      harness::ExperimentConfig cfg = opts.base;
-      cfg.algorithm = algorithm;
-      cfg.pattern = pattern;
+      harness::ExperimentSpec spec = opts.spec;
+      spec.routing = algorithm;
+      spec.pattern = pattern;
       // A saturation probe does not need latency stability — only the
       // steady-state accepted rate — so keep the warmup budget tight.
-      cfg.steady.maxWarmupWindows = std::min(cfg.steady.maxWarmupWindows, 8u);
-      cfg.steady.measureWindow = std::min<Tick>(cfg.steady.measureWindow, 3000);
-      cfg.steady.drainWindow = 0;
-      cells.push_back(cfg);
+      spec.steady.maxWarmupWindows = std::min(spec.steady.maxWarmupWindows, 8u);
+      spec.steady.measureWindow = std::min<Tick>(spec.steady.measureWindow, 3000);
+      spec.steady.drainWindow = 0;
+      cells.push_back(spec);
     }
   }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string_view>
 
 namespace hxwar {
@@ -59,6 +60,15 @@ bool Flags::loadFile(const std::string& path) {
     std::fprintf(stderr, "cannot open config file: %s\n", path.c_str());
     return false;
   }
+  return loadStream(in);
+}
+
+bool Flags::loadText(const std::string& text) {
+  std::istringstream in(text);
+  return loadStream(in);
+}
+
+bool Flags::loadStream(std::istream& in) {
   std::string line;
   while (std::getline(in, line)) {
     const auto hash = line.find('#');

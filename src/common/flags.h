@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -22,7 +23,14 @@ class Flags {
   // the command line) win. Returns false if the file cannot be read.
   bool loadFile(const std::string& path);
 
+  // Same parsing for in-memory config text (e.g. ExperimentSpec::serialize()).
+  bool loadText(const std::string& text);
+
   bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  // Programmatic assignment (overwrites), for specs built from code rather
+  // than a command line.
+  void set(const std::string& name, const std::string& value) { values_[name] = value; }
 
   std::string str(const std::string& name, const std::string& fallback) const;
   std::int64_t i64(const std::string& name, std::int64_t fallback) const;
@@ -42,6 +50,7 @@ class Flags {
 
  private:
   std::optional<std::string> raw(const std::string& name) const;
+  bool loadStream(std::istream& in);
 
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;

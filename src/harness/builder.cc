@@ -2,113 +2,26 @@
 
 #include <sstream>
 
-#include "common/assert.h"
-#include "routing/dal.h"
-#include "routing/dragonfly_routing.h"
-#include "routing/fattree_routing.h"
-#include "routing/hyperx_routing.h"
-#include "routing/slimfly_routing.h"
-#include "routing/torus_routing.h"
-#include "topo/dragonfly.h"
-#include "topo/fattree.h"
-#include "topo/hyperx.h"
-#include "topo/slimfly.h"
-#include "topo/torus.h"
+#include "harness/registry.h"
+#include "harness/spec.h"
 
 namespace hxwar::harness {
-namespace {
-
-std::vector<std::uint32_t> u32List(const Flags& flags, const std::string& key,
-                                   std::vector<std::uint32_t> fallback) {
-  if (!flags.has(key)) return fallback;
-  std::vector<std::uint32_t> out;
-  for (const double v : flags.f64List(key, {})) {
-    out.push_back(static_cast<std::uint32_t>(v));
-  }
-  return out.empty() ? fallback : out;
-}
-
-net::NetworkConfig netConfig(const Flags& flags) {
-  net::NetworkConfig cfg;
-  cfg.channelLatencyRouter = flags.u64("channel-latency", 8);
-  cfg.channelLatencyTerminal = flags.u64("terminal-latency", 1);
-  cfg.rngSeed = flags.u64("net-seed", 1);
-  cfg.router.numVcs = static_cast<std::uint32_t>(flags.u64("vcs", 8));
-  cfg.router.inputBufferDepth = static_cast<std::uint32_t>(flags.u64("input-buffer", 48));
-  cfg.router.outputQueueDepth = static_cast<std::uint32_t>(flags.u64("output-queue", 32));
-  cfg.router.crossbarLatency = static_cast<std::uint32_t>(flags.u64("xbar-latency", 4));
-  cfg.router.inputSpeedup = static_cast<std::uint32_t>(flags.u64("speedup", 4));
-  cfg.router.weightBias = flags.f64("bias", 4.0);
-  cfg.router.virtualCutThrough = flags.b("vct", true);
-  const std::string arb = flags.str("arbiter", "age");
-  HXWAR_CHECK_MSG(arb == "age" || arb == "rr", "arbiter must be age or rr");
-  cfg.router.arbiter = arb == "age" ? net::ArbiterPolicy::kAgeBased
-                                    : net::ArbiterPolicy::kRoundRobin;
-  return cfg;
-}
-
-}  // namespace
 
 std::unique_ptr<NetworkBundle> NetworkBundle::fromFlags(const Flags& flags) {
   auto bundle = std::unique_ptr<NetworkBundle>(new NetworkBundle());
-  const std::string family = flags.str("topology", "hyperx");
-  const net::NetworkConfig cfg = netConfig(flags);
+  auto& registry = ExperimentRegistry::instance();
 
-  if (family == "hyperx") {
-    topo::HyperX::Params p;
-    p.widths = u32List(flags, "widths", {4, 4, 4});
-    p.terminalsPerRouter = static_cast<std::uint32_t>(flags.u64("terminals", 4));
-    p.trunking = static_cast<std::uint32_t>(flags.u64("trunking", 1));
-    auto topo = std::make_unique<topo::HyperX>(p);
-    const std::string algo = flags.str("routing", "dimwar");
-    routing::HyperXRoutingOptions opts;
-    opts.ugalBias = flags.f64("ugal-bias", 1.0);
-    if (flags.has("omni-deroutes")) {
-      opts.omniDeroutes = static_cast<std::uint32_t>(flags.u64("omni-deroutes", 0));
-    }
-    opts.omniRestrictBackToBack = flags.b("omni-restrict-b2b", true);
-    bundle->routing_ = (algo == "dal")
-                           ? routing::makeDalRouting(*topo, flags.b("dal-atomic", true))
-                           : routing::makeHyperXRouting(algo, *topo, opts);
-    bundle->topology_ = std::move(topo);
-    bundle->isHyperX_ = true;
-  } else if (family == "dragonfly") {
-    topo::Dragonfly::Params p;
-    p.terminalsPerRouter = static_cast<std::uint32_t>(flags.u64("df-p", 4));
-    p.routersPerGroup = static_cast<std::uint32_t>(flags.u64("df-a", 8));
-    p.globalsPerRouter = static_cast<std::uint32_t>(flags.u64("df-h", 4));
-    p.numGroups = static_cast<std::uint32_t>(flags.u64("df-g", 0));
-    auto topo = std::make_unique<topo::Dragonfly>(p);
-    bundle->routing_ = routing::makeDragonflyRouting(flags.str("routing", "ugal"), *topo,
-                                                     flags.f64("ugal-bias", 1.0));
-    bundle->topology_ = std::move(topo);
-  } else if (family == "fattree") {
-    topo::FatTree::Params p;
-    p.down = u32List(flags, "ft-down", {4, 8, 8});
-    p.up = u32List(flags, "ft-up", {4, 8});
-    auto topo = std::make_unique<topo::FatTree>(p);
-    bundle->routing_ = routing::makeFatTreeRouting(*topo);
-    bundle->topology_ = std::move(topo);
-  } else if (family == "slimfly") {
-    topo::SlimFly::Params p;
-    p.q = static_cast<std::uint32_t>(flags.u64("sf-q", 5));
-    p.terminalsPerRouter = static_cast<std::uint32_t>(flags.u64("terminals", 0));
-    auto topo = std::make_unique<topo::SlimFly>(p);
-    bundle->routing_ = routing::makeSlimFlyRouting(*topo);
-    bundle->topology_ = std::move(topo);
-  } else if (family == "torus") {
-    topo::Torus::Params p;
-    p.widths = u32List(flags, "widths", {4, 4});
-    p.terminalsPerRouter = static_cast<std::uint32_t>(flags.u64("terminals", 2));
-    auto topo = std::make_unique<topo::Torus>(p);
-    bundle->routing_ = routing::makeTorusRouting(*topo);
-    bundle->topology_ = std::move(topo);
-  } else {
-    HXWAR_CHECK_MSG(false, ("unknown topology family: " + family).c_str());
-  }
+  const TopologyFamily& family = registry.topology(flags.str("topology", "hyperx"));
+  bundle->topology_ = family.build(flags);
+  const std::string algo = flags.str("routing", family.defaultRouting);
+  bundle->routing_ = registry.routing(family.name, algo).build(*bundle->topology_, flags);
 
-  bundle->network_ =
-      std::make_unique<net::Network>(bundle->sim_, *bundle->topology_, *bundle->routing_, cfg);
+  // ExperimentSpec's default network config IS the builder default (spec.cc);
+  // flags override individual fields.
+  bundle->network_ = std::make_unique<net::Network>(
+      bundle->sim_, *bundle->topology_, *bundle->routing_,
+      networkConfigFromFlags(flags, ExperimentSpec().net));
+
   std::ostringstream d;
   d << bundle->topology_->name() << " + " << bundle->routing_->info().name;
   bundle->description_ = d.str();
@@ -117,14 +30,7 @@ std::unique_ptr<NetworkBundle> NetworkBundle::fromFlags(const Flags& flags) {
 
 std::unique_ptr<traffic::TrafficPattern> NetworkBundle::makePattern(
     const std::string& name, std::uint64_t seed) const {
-  if (isHyperX_) {
-    return traffic::makePattern(name, static_cast<const topo::HyperX&>(*topology_));
-  }
-  if (name == "ur") return std::make_unique<traffic::UniformRandom>(topology_->numNodes());
-  if (name == "bc") return std::make_unique<traffic::BitComplement>(topology_->numNodes());
-  if (name == "rp") return std::make_unique<traffic::RandomPermutation>(topology_->numNodes(), seed);
-  HXWAR_CHECK_MSG(false, ("pattern not supported on this topology: " + name).c_str());
-  return nullptr;
+  return ExperimentRegistry::instance().pattern(name).build(*topology_, seed);
 }
 
 }  // namespace hxwar::harness

@@ -46,9 +46,10 @@ class NetworkBundle {
   net::Network& network() { return *network_; }
   const std::string& description() const { return description_; }
 
-  // Builds a traffic pattern by name against this bundle's topology. HyperX
-  // bundles support the full pattern set; other topologies support the
-  // topology-agnostic ones (ur, bc, rp).
+  // Builds a registered traffic pattern against this bundle's topology.
+  // HyperX supports the full pattern set; other topologies support the
+  // topology-agnostic ones (ur, bc, rp) — a HyperX-only pattern on another
+  // family aborts naming the topology.
   std::unique_ptr<traffic::TrafficPattern> makePattern(const std::string& name,
                                                        std::uint64_t seed = 99) const;
 
@@ -60,7 +61,6 @@ class NetworkBundle {
   std::unique_ptr<routing::RoutingAlgorithm> routing_;
   std::unique_ptr<net::Network> network_;
   std::string description_;
-  bool isHyperX_ = false;
 };
 
 }  // namespace hxwar::harness

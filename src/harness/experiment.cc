@@ -4,8 +4,32 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "harness/registry.h"
 
 namespace hxwar::harness {
+
+ExperimentSpec ExperimentConfig::toSpec() const {
+  ExperimentSpec spec;
+  spec.topology = "hyperx";
+  spec.routing = algorithm;
+  spec.pattern = pattern;
+  spec.net = net;
+  spec.injection = injection;
+  spec.steady = steady;
+  std::string w;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i > 0) w += ',';
+    w += std::to_string(widths[i]);
+  }
+  spec.params["widths"] = w;
+  spec.params["terminals"] = std::to_string(terminalsPerRouter);
+  spec.params["ugal-bias"] = formatDouble(routingOpts.ugalBias);
+  if (routingOpts.omniDeroutes != routing::HyperXRoutingOptions::kOmniDeroutesDefault) {
+    spec.params["omni-deroutes"] = std::to_string(routingOpts.omniDeroutes);
+  }
+  if (!routingOpts.omniRestrictBackToBack) spec.params["omni-restrict-b2b"] = "false";
+  return spec;
+}
 
 ExperimentConfig smallScaleConfig() {
   ExperimentConfig c;
@@ -71,35 +95,62 @@ ExperimentConfig scaleConfig(const std::string& name) {
   return smallScaleConfig();
 }
 
-Experiment::Experiment(const ExperimentConfig& config)
-    : config_(config),
-      topo_(topo::HyperX::Params{config.widths, config.terminalsPerRouter}) {
-  routing_ = routing::makeHyperXRouting(config.algorithm, topo_, config.routingOpts);
-  network_ = std::make_unique<net::Network>(sim_, topo_, *routing_, config.net);
-  pattern_ = traffic::makePattern(config.pattern, topo_);
+Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
+  auto& registry = ExperimentRegistry::instance();
+  const Flags params = spec_.paramFlags();
+  const TopologyFamily& family = registry.topology(spec_.topology);
+  topo_ = family.build(params);
+  const std::string algo = spec_.routing.empty() ? family.defaultRouting : spec_.routing;
+  routing_ = registry.routing(family.name, algo).build(*topo_, params);
+  network_ = std::make_unique<net::Network>(sim_, *topo_, *routing_, spec_.net);
+  pattern_ = registry.pattern(spec_.pattern).build(*topo_, spec_.patternSeed);
   injector_ = std::make_unique<traffic::SyntheticInjector>(sim_, *network_, *pattern_,
-                                                           config.injection);
+                                                           spec_.injection);
+}
+
+const topo::HyperX& Experiment::hyperx() const {
+  const auto* hx = dynamic_cast<const topo::HyperX*>(topo_.get());
+  HXWAR_CHECK_MSG(hx != nullptr, "Experiment::hyperx(): topology is not a HyperX");
+  return *hx;
 }
 
 metrics::SteadyStateResult Experiment::run() {
-  return metrics::runSteadyState(sim_, *network_, *injector_, config_.steady);
+  return metrics::runSteadyState(sim_, *network_, *injector_, spec_.steady);
+}
+
+namespace {
+
+// Expand (base seed, point index) into independent injector/network seeds.
+// The index — never a thread id or completion order — keys the streams, so
+// serial and parallel execution of the same grid are bit-identical. Shared by
+// the spec and config overloads so both derive identical seeds.
+void deriveSweepSeeds(std::uint64_t baseSeed, std::size_t index,
+                      std::uint64_t& injectionSeed, std::uint64_t& netSeed) {
+  SplitMix64 mix(baseSeed ^
+                 (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1)));
+  injectionSeed = mix.next();
+  netSeed = mix.next();
+}
+
+}  // namespace
+
+ExperimentSpec sweepPointConfig(const ExperimentSpec& base, double load,
+                                std::size_t index) {
+  ExperimentSpec spec = base;
+  spec.injection.rate = load;
+  deriveSweepSeeds(base.injection.seed, index, spec.injection.seed, spec.net.rngSeed);
+  return spec;
 }
 
 ExperimentConfig sweepPointConfig(const ExperimentConfig& base, double load,
                                   std::size_t index) {
   ExperimentConfig cfg = base;
   cfg.injection.rate = load;
-  // Expand (base seed, point index) into independent injector/network seeds.
-  // The index — never a thread id or completion order — keys the streams, so
-  // serial and parallel execution of the same grid are bit-identical.
-  SplitMix64 mix(base.injection.seed ^
-                 (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1)));
-  cfg.injection.seed = mix.next();
-  cfg.net.rngSeed = mix.next();
+  deriveSweepSeeds(base.injection.seed, index, cfg.injection.seed, cfg.net.rngSeed);
   return cfg;
 }
 
-SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index) {
+SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t index) {
   SweepPoint p;
   p.load = load;
   p.index = index;
@@ -115,7 +166,11 @@ SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t 
   return p;
 }
 
-std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
+SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index) {
+  return runSweepPoint(base.toSpec(), load, index);
+}
+
+std::vector<SweepPoint> loadLatencySweep(const ExperimentSpec& base,
                                          const std::vector<double>& loads,
                                          bool stopAtSaturation) {
   std::vector<SweepPoint> points;
@@ -128,13 +183,23 @@ std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
   return points;
 }
 
-double saturationThroughput(const ExperimentConfig& base, double offered) {
-  ExperimentConfig cfg = base;
-  cfg.injection.rate = offered;
+std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
+                                         const std::vector<double>& loads,
+                                         bool stopAtSaturation) {
+  return loadLatencySweep(base.toSpec(), loads, stopAtSaturation);
+}
+
+double saturationThroughput(const ExperimentSpec& base, double offered) {
+  ExperimentSpec spec = base;
+  spec.injection.rate = offered;
   // Saturated runs skip the drain phase; the accepted rate over the
   // measurement window is the steady-state throughput.
-  Experiment exp(cfg);
+  Experiment exp(spec);
   return exp.run().accepted;
+}
+
+double saturationThroughput(const ExperimentConfig& base, double offered) {
+  return saturationThroughput(base.toSpec(), offered);
 }
 
 std::vector<double> loadGrid(double step, double max) {

@@ -1,12 +1,15 @@
-// Experiment harness: wires a simulator, a HyperX topology, a routing
-// algorithm, a network, a traffic pattern, and an injector into one owned
-// bundle, with the scale presets used by the benches.
+// Experiment harness: wires a simulator, a registry-built topology, routing
+// algorithm, network, traffic pattern, and injector into one owned bundle,
+// with the scale presets used by the benches. Works for every registered
+// topology family (see harness/registry.h); ExperimentConfig remains as the
+// HyperX-specific preset surface and converts via toSpec().
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "harness/spec.h"
 #include "metrics/steady_state.h"
 #include "net/network.h"
 #include "routing/hyperx_routing.h"
@@ -26,6 +29,11 @@ struct ExperimentConfig {
   net::NetworkConfig net;
   traffic::SyntheticInjector::Params injection;
   metrics::SteadyStateConfig steady;
+
+  // Equivalent topology-agnostic spec: widths/terminals/routingOpts become
+  // construction params, the structured sub-configs copy over verbatim (so a
+  // converted spec simulates bit-identically to the config it came from).
+  ExperimentSpec toSpec() const;
 };
 
 // Scale presets.
@@ -42,22 +50,25 @@ ExperimentConfig scaleConfig(const std::string& name);
 // measurements never leak state across points.
 class Experiment {
  public:
-  explicit Experiment(const ExperimentConfig& config);
+  explicit Experiment(const ExperimentSpec& spec);
+  explicit Experiment(const ExperimentConfig& config) : Experiment(config.toSpec()) {}
 
   sim::Simulator& sim() { return sim_; }
-  const topo::HyperX& hyperx() const { return topo_; }
+  const topo::Topology& topology() const { return *topo_; }
+  // CHECK'd downcast for HyperX-specific callers (benches, examples).
+  const topo::HyperX& hyperx() const;
   net::Network& network() { return *network_; }
   traffic::SyntheticInjector& injector() { return *injector_; }
   routing::RoutingAlgorithm& routing() { return *routing_; }
-  const ExperimentConfig& config() const { return config_; }
+  const ExperimentSpec& spec() const { return spec_; }
 
   // Runs warmup + measurement at the configured injection rate.
   metrics::SteadyStateResult run();
 
  private:
-  ExperimentConfig config_;
+  ExperimentSpec spec_;
   sim::Simulator sim_;
-  topo::HyperX topo_;
+  std::unique_ptr<topo::Topology> topo_;
   std::unique_ptr<routing::RoutingAlgorithm> routing_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<traffic::TrafficPattern> pattern_;
@@ -72,7 +83,7 @@ struct SweepPoint {
   std::size_t index = 0;  // position in the load grid (seed derivation key)
   metrics::SteadyStateResult result;
   // Perf telemetry for this point. Wall-clock values vary run to run; every
-  // field of `result` is deterministic given (config, load, index).
+  // field of `result` is deterministic given (spec, load, index).
   double wallSeconds = 0.0;
   std::uint64_t eventsProcessed = 0;
   double eventsPerSec = 0.0;
@@ -80,18 +91,26 @@ struct SweepPoint {
 
 // Derives the per-point configuration for point `index` at `load`. Seeds are
 // expanded from (base seed, point index) only — never from thread identity or
-// execution order — so a sweep replays identically at any parallelism.
+// execution order — so a sweep replays identically at any parallelism. The
+// two overloads use the same derivation, so config and spec paths agree.
+ExperimentSpec sweepPointConfig(const ExperimentSpec& base, double load,
+                                std::size_t index);
 ExperimentConfig sweepPointConfig(const ExperimentConfig& base, double load,
                                   std::size_t index);
 
 // Builds and runs one sweep point, recording wall time and event throughput.
+SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t index);
 SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index);
 
+std::vector<SweepPoint> loadLatencySweep(const ExperimentSpec& base,
+                                         const std::vector<double>& loads,
+                                         bool stopAtSaturation = true);
 std::vector<SweepPoint> loadLatencySweep(const ExperimentConfig& base,
                                          const std::vector<double>& loads,
                                          bool stopAtSaturation = true);
 
 // Accepted throughput at (near-)full offered load — the Fig. 6g metric.
+double saturationThroughput(const ExperimentSpec& base, double offered = 1.0);
 double saturationThroughput(const ExperimentConfig& base, double offered = 1.0);
 
 // Uniform load grid [step, step*2, ..., <= max].

@@ -1,0 +1,138 @@
+#include "harness/registry.h"
+
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace hxwar::harness {
+namespace {
+
+std::string joinNames(const std::vector<std::string>& names) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << names[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::ensureBuiltins() {
+  // addTopology/addRouting/addPattern below re-enter this function; the
+  // thread-local flag breaks the recursion while the magic static still
+  // serializes the one-time installation across threads.
+  static thread_local bool inProgress = false;
+  if (inProgress) return;
+  inProgress = true;
+  static const bool once = (registerBuiltinExperimentFactories(), true);
+  (void)once;
+  inProgress = false;
+}
+
+void ExperimentRegistry::addTopology(TopologyFamily entry) {
+  ensureBuiltins();
+  for (const auto& t : topologies_) {
+    HXWAR_CHECK_MSG(t.name != entry.name,
+                    ("duplicate topology family registration: " + entry.name).c_str());
+  }
+  HXWAR_CHECK_MSG(static_cast<bool>(entry.build),
+                  ("topology family " + entry.name + " has no build function").c_str());
+  topologies_.push_back(std::move(entry));
+}
+
+void ExperimentRegistry::addRouting(RoutingEntry entry) {
+  ensureBuiltins();
+  for (const auto& r : routings_) {
+    HXWAR_CHECK_MSG(r.family != entry.family || r.name != entry.name,
+                    ("duplicate routing registration: " + entry.family + "/" + entry.name)
+                        .c_str());
+  }
+  HXWAR_CHECK_MSG(static_cast<bool>(entry.build),
+                  ("routing " + entry.name + " has no build function").c_str());
+  routings_.push_back(std::move(entry));
+}
+
+void ExperimentRegistry::addPattern(PatternEntry entry) {
+  ensureBuiltins();
+  for (const auto& p : patterns_) {
+    HXWAR_CHECK_MSG(p.name != entry.name,
+                    ("duplicate pattern registration: " + entry.name).c_str());
+  }
+  HXWAR_CHECK_MSG(static_cast<bool>(entry.build),
+                  ("pattern " + entry.name + " has no build function").c_str());
+  patterns_.push_back(std::move(entry));
+}
+
+const TopologyFamily& ExperimentRegistry::topology(const std::string& name) {
+  ensureBuiltins();
+  for (const auto& t : topologies_) {
+    if (t.name == name) return t;
+  }
+  HXWAR_CHECK_MSG(false, ("unknown topology family: " + name +
+                          " (registered: " + joinNames(topologyNames()) + ")")
+                             .c_str());
+  return topologies_.front();  // unreachable
+}
+
+const RoutingEntry& ExperimentRegistry::routing(const std::string& family,
+                                                const std::string& name) {
+  ensureBuiltins();
+  for (const auto& r : routings_) {
+    if (r.family == family && r.name == name) return r;
+  }
+  HXWAR_CHECK_MSG(false, ("unknown routing algorithm: " + name + " for " + family +
+                          " (registered: " + joinNames(routingNames(family)) + ")")
+                             .c_str());
+  return routings_.front();  // unreachable
+}
+
+const PatternEntry& ExperimentRegistry::pattern(const std::string& name) {
+  ensureBuiltins();
+  for (const auto& p : patterns_) {
+    if (p.name == name) return p;
+  }
+  HXWAR_CHECK_MSG(false, ("unknown traffic pattern: " + name +
+                          " (registered: " + joinNames(patternNames()) + ")")
+                             .c_str());
+  return patterns_.front();  // unreachable
+}
+
+std::vector<std::string> ExperimentRegistry::topologyNames() {
+  ensureBuiltins();
+  std::vector<std::string> names;
+  for (const auto& t : topologies_) names.push_back(t.name);
+  return names;
+}
+
+std::vector<std::string> ExperimentRegistry::routingNames(const std::string& family) {
+  ensureBuiltins();
+  std::vector<std::string> names;
+  for (const auto& r : routings_) {
+    if (r.family == family) names.push_back(r.name);
+  }
+  return names;
+}
+
+std::vector<std::string> ExperimentRegistry::patternNames() {
+  ensureBuiltins();
+  std::vector<std::string> names;
+  for (const auto& p : patterns_) names.push_back(p.name);
+  return names;
+}
+
+std::vector<std::string> ExperimentRegistry::benchRoutingNames(const std::string& family) {
+  ensureBuiltins();
+  std::vector<std::string> names;
+  for (const auto& r : routings_) {
+    if (r.family == family && r.benchDefault) names.push_back(r.name);
+  }
+  return names;
+}
+
+}  // namespace hxwar::harness

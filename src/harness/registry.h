@@ -1,0 +1,121 @@
+// Named factory registries for the experiment layer, in the style of
+// BookSim2's function registries: topology families, routing algorithms, and
+// traffic patterns register themselves under a string name together with a
+// one-line flag schema, and every front end (hxsim, benches, ExperimentSpec)
+// resolves names through the same table.
+//
+// Lookups abort (CHECK) on unknown names and list the registered names, so a
+// typo'd --topology/--routing/--pattern tells the user what exists. Entries
+// keep insertion order: the built-ins register in canonical evaluation order
+// (see registry_builtin.cc) and name listings reproduce that order.
+//
+// Adding a new family/algorithm/pattern is a registration, not a harness
+// edit — either extend registerBuiltinExperimentFactories() or drop a
+// HXWAR_REGISTER_* macro into any linked translation unit:
+//
+//   HXWAR_REGISTER_ROUTING(("torus", "valiant", "", true,
+//       [](const topo::Topology& t, const Flags&) { ... }));
+//
+// Built-ins are installed lazily before the first lookup or registration, so
+// macro-registered extensions always sort after them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "routing/routing.h"
+#include "topo/topology.h"
+#include "traffic/pattern.h"
+
+namespace hxwar::harness {
+
+struct TopologyFamily {
+  std::string name;            // registry key, e.g. "dragonfly"
+  std::string flagSchema;      // construction keys, e.g. "df-p df-a df-h df-g"
+  std::string defaultRouting;  // routing name used when a spec leaves it empty
+  std::function<std::unique_ptr<topo::Topology>(const Flags& params)> build;
+};
+
+struct RoutingEntry {
+  std::string family;  // topology family this algorithm applies to
+  std::string name;
+  std::string flagSchema;
+  // Included in the family's default bench algorithm list (aliases and
+  // specialist baselines opt out).
+  bool benchDefault = true;
+  std::function<std::unique_ptr<routing::RoutingAlgorithm>(const topo::Topology& topo,
+                                                           const Flags& params)>
+      build;
+};
+
+struct PatternEntry {
+  std::string name;
+  std::string description;
+  // `seed` feeds seeded patterns (rp); others ignore it. Patterns needing a
+  // concrete topology (the HyperX coordinate patterns) downcast and CHECK.
+  std::function<std::unique_ptr<traffic::TrafficPattern>(const topo::Topology& topo,
+                                                         std::uint64_t seed)>
+      build;
+};
+
+class ExperimentRegistry {
+ public:
+  static ExperimentRegistry& instance();
+
+  // Registration aborts on duplicate names (same family for routing).
+  void addTopology(TopologyFamily entry);
+  void addRouting(RoutingEntry entry);
+  void addPattern(PatternEntry entry);
+
+  // Lookups abort on unknown names, listing the registered names.
+  const TopologyFamily& topology(const std::string& name);
+  const RoutingEntry& routing(const std::string& family, const std::string& name);
+  const PatternEntry& pattern(const std::string& name);
+
+  // Names in registration order.
+  std::vector<std::string> topologyNames();
+  std::vector<std::string> routingNames(const std::string& family);
+  std::vector<std::string> patternNames();
+  // routingNames filtered to benchDefault entries — the canonical algorithm
+  // list benches sweep for a family.
+  std::vector<std::string> benchRoutingNames(const std::string& family);
+
+ private:
+  ExperimentRegistry() = default;
+  void ensureBuiltins();
+
+  std::vector<TopologyFamily> topologies_;
+  std::vector<RoutingEntry> routings_;
+  std::vector<PatternEntry> patterns_;
+};
+
+// Installs the built-in families/algorithms/patterns (registry_builtin.cc).
+// Called lazily by the registry itself; never needed directly.
+void registerBuiltinExperimentFactories();
+
+#define HXWAR_REGISTRY_CONCAT_INNER(a, b) a##b
+#define HXWAR_REGISTRY_CONCAT(a, b) HXWAR_REGISTRY_CONCAT_INNER(a, b)
+
+// Self-registration from any linked TU. Wrap the braced initializer in
+// parentheses: HXWAR_REGISTER_TOPOLOGY(({"mesh", "widths", "dor", ...})).
+#define HXWAR_REGISTER_TOPOLOGY(entry)                                      \
+  static const bool HXWAR_REGISTRY_CONCAT(hxwarRegTopo_, __COUNTER__) =     \
+      (::hxwar::harness::ExperimentRegistry::instance().addTopology(        \
+           ::hxwar::harness::TopologyFamily entry),                         \
+       true)
+#define HXWAR_REGISTER_ROUTING(entry)                                       \
+  static const bool HXWAR_REGISTRY_CONCAT(hxwarRegRoute_, __COUNTER__) =    \
+      (::hxwar::harness::ExperimentRegistry::instance().addRouting(         \
+           ::hxwar::harness::RoutingEntry entry),                           \
+       true)
+#define HXWAR_REGISTER_PATTERN(entry)                                       \
+  static const bool HXWAR_REGISTRY_CONCAT(hxwarRegPattern_, __COUNTER__) =  \
+      (::hxwar::harness::ExperimentRegistry::instance().addPattern(         \
+           ::hxwar::harness::PatternEntry entry),                           \
+       true)
+
+}  // namespace hxwar::harness

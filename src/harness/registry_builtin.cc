@@ -1,0 +1,201 @@
+// Built-in registrations: the five topology families, their routing
+// algorithms, and the traffic patterns, in canonical evaluation order. This
+// is the single place the experiment layer knows concrete types; everything
+// above it (builder, Experiment, benches, hxsim) resolves names through the
+// registry.
+#include <string>
+
+#include "common/assert.h"
+#include "harness/registry.h"
+#include "harness/spec.h"
+#include "routing/dal.h"
+#include "routing/dragonfly_routing.h"
+#include "routing/fattree_routing.h"
+#include "routing/hyperx_routing.h"
+#include "routing/slimfly_routing.h"
+#include "routing/torus_routing.h"
+#include "topo/dragonfly.h"
+#include "topo/fattree.h"
+#include "topo/hyperx.h"
+#include "topo/slimfly.h"
+#include "topo/torus.h"
+
+namespace hxwar::harness {
+namespace {
+
+std::uint32_t u32(const Flags& flags, const std::string& key, std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(flags.u64(key, fallback));
+}
+
+template <typename T>
+const T& topoAs(const topo::Topology& topo, const std::string& what) {
+  const T* typed = dynamic_cast<const T*>(&topo);
+  HXWAR_CHECK_MSG(typed != nullptr,
+                  (what + " is not usable on topology " + topo.name()).c_str());
+  return *typed;
+}
+
+routing::HyperXRoutingOptions hyperxOptions(const Flags& params) {
+  routing::HyperXRoutingOptions opts;
+  opts.ugalBias = params.f64("ugal-bias", 1.0);
+  if (params.has("omni-deroutes")) opts.omniDeroutes = u32(params, "omni-deroutes", 0);
+  opts.omniRestrictBackToBack = params.b("omni-restrict-b2b", true);
+  return opts;
+}
+
+// The algorithms dispatched through routing::makeHyperXRouting share one
+// build lambda; the registry key selects the algorithm.
+RoutingEntry hyperxEntry(const std::string& name, const std::string& schema,
+                         bool benchDefault) {
+  return RoutingEntry{
+      "hyperx", name, schema, benchDefault,
+      [name](const topo::Topology& topo, const Flags& params) {
+        return routing::makeHyperXRouting(name, topoAs<topo::HyperX>(topo, name),
+                                          hyperxOptions(params));
+      }};
+}
+
+RoutingEntry dragonflyEntry(const std::string& name, const std::string& schema) {
+  return RoutingEntry{"dragonfly", name, schema, true,
+                      [name](const topo::Topology& topo, const Flags& params) {
+                        return routing::makeDragonflyRouting(
+                            name, topoAs<topo::Dragonfly>(topo, name),
+                            params.f64("ugal-bias", 1.0));
+                      }};
+}
+
+}  // namespace
+
+void registerBuiltinExperimentFactories() {
+  auto& reg = ExperimentRegistry::instance();
+
+  // --- Topology families --------------------------------------------------
+  reg.addTopology(
+      {"hyperx", "widths=4,4,4 terminals=4 trunking=1", "dimwar",
+       [](const Flags& params) -> std::unique_ptr<topo::Topology> {
+         topo::HyperX::Params p;
+         p.widths = flagU32List(params, "widths", {4, 4, 4});
+         p.terminalsPerRouter = u32(params, "terminals", 4);
+         p.trunking = u32(params, "trunking", 1);
+         return std::make_unique<topo::HyperX>(p);
+       }});
+  reg.addTopology(
+      {"dragonfly", "df-p=4 df-a=8 df-h=4 df-g=0(balanced)", "ugal",
+       [](const Flags& params) -> std::unique_ptr<topo::Topology> {
+         topo::Dragonfly::Params p;
+         p.terminalsPerRouter = u32(params, "df-p", 4);
+         p.routersPerGroup = u32(params, "df-a", 8);
+         p.globalsPerRouter = u32(params, "df-h", 4);
+         p.numGroups = u32(params, "df-g", 0);
+         return std::make_unique<topo::Dragonfly>(p);
+       }});
+  reg.addTopology(
+      {"fattree", "ft-down=4,8,8 ft-up=4,8", "adaptive",
+       [](const Flags& params) -> std::unique_ptr<topo::Topology> {
+         topo::FatTree::Params p;
+         p.down = flagU32List(params, "ft-down", {4, 8, 8});
+         p.up = flagU32List(params, "ft-up", {4, 8});
+         return std::make_unique<topo::FatTree>(p);
+       }});
+  reg.addTopology(
+      {"slimfly", "sf-q=5 terminals=0(balanced)", "minimal",
+       [](const Flags& params) -> std::unique_ptr<topo::Topology> {
+         topo::SlimFly::Params p;
+         p.q = u32(params, "sf-q", 5);
+         p.terminalsPerRouter = u32(params, "terminals", 0);
+         return std::make_unique<topo::SlimFly>(p);
+       }});
+  reg.addTopology(
+      {"torus", "widths=4,4 terminals=2", "dor",
+       [](const Flags& params) -> std::unique_ptr<topo::Topology> {
+         topo::Torus::Params p;
+         p.widths = flagU32List(params, "widths", {4, 4});
+         p.terminalsPerRouter = u32(params, "terminals", 2);
+         return std::make_unique<topo::Torus>(p);
+       }});
+
+  // --- Routing algorithms -------------------------------------------------
+  // HyperX, canonical evaluation order; benchDefault mirrors the list benches
+  // have always swept (routing::hyperxAlgorithmNames()).
+  reg.addRouting(hyperxEntry("dor", "", true));
+  reg.addRouting(hyperxEntry("val", "", true));
+  reg.addRouting(hyperxEntry("minad", "", false));
+  reg.addRouting(hyperxEntry("ugal", "ugal-bias=1.0", true));
+  reg.addRouting(hyperxEntry("closad", "ugal-bias=1.0", true));
+  reg.addRouting(hyperxEntry("ugal+", "alias of closad", false));
+  reg.addRouting(hyperxEntry("dimwar", "", true));
+  reg.addRouting(
+      hyperxEntry("omniwar", "omni-deroutes=N omni-restrict-b2b=true", true));
+  reg.addRouting({"hyperx", "dal", "dal-atomic=true", false,
+                  [](const topo::Topology& topo, const Flags& params) {
+                    return routing::makeDalRouting(topoAs<topo::HyperX>(topo, "dal"),
+                                                   params.b("dal-atomic", true));
+                  }});
+
+  reg.addRouting(dragonflyEntry("min", ""));
+  reg.addRouting(dragonflyEntry("ugal", "ugal-bias=1.0"));
+  reg.addRouting(dragonflyEntry("par", "ugal-bias=1.0"));
+
+  reg.addRouting({"fattree", "adaptive", "", true,
+                  [](const topo::Topology& topo, const Flags&) {
+                    return routing::makeFatTreeRouting(
+                        topoAs<topo::FatTree>(topo, "adaptive"));
+                  }});
+  reg.addRouting({"slimfly", "minimal", "", true,
+                  [](const topo::Topology& topo, const Flags&) {
+                    return routing::makeSlimFlyRouting(
+                        topoAs<topo::SlimFly>(topo, "minimal"));
+                  }});
+  reg.addRouting({"torus", "dor", "", true,
+                  [](const topo::Topology& topo, const Flags&) {
+                    return routing::makeTorusRouting(topoAs<topo::Torus>(topo, "dor"));
+                  }});
+
+  // --- Traffic patterns ---------------------------------------------------
+  // Topology-agnostic first, then the HyperX coordinate patterns (Table 3).
+  reg.addPattern({"ur", "uniform random",
+                  [](const topo::Topology& topo, std::uint64_t) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::UniformRandom>(topo.numNodes()));
+                  }});
+  reg.addPattern({"bc", "bit complement",
+                  [](const topo::Topology& topo, std::uint64_t) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::BitComplement>(topo.numNodes()));
+                  }});
+  reg.addPattern({"rp", "seeded random permutation",
+                  [](const topo::Topology& topo, std::uint64_t seed) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::RandomPermutation>(topo.numNodes(),
+                                                                     seed));
+                  }});
+  const auto urb = [](std::uint32_t dim) {
+    return [dim](const topo::Topology& topo, std::uint64_t) {
+      return std::unique_ptr<traffic::TrafficPattern>(
+          std::make_unique<traffic::UniformRandomBisection>(
+              topoAs<topo::HyperX>(topo, "urb"), dim));
+    };
+  };
+  reg.addPattern({"urbx", "bisection in dim 0 (hyperx)", urb(0)});
+  reg.addPattern({"urby", "bisection in dim 1 (hyperx)", urb(1)});
+  reg.addPattern({"urbz", "bisection in dim 2 (hyperx)", urb(2)});
+  reg.addPattern({"s2", "swap-2 (hyperx)",
+                  [](const topo::Topology& topo, std::uint64_t) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::Swap2>(topoAs<topo::HyperX>(topo, "s2")));
+                  }});
+  reg.addPattern({"dcr", "dimension complement reverse (hyperx)",
+                  [](const topo::Topology& topo, std::uint64_t) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::DimComplementReverse>(
+                            topoAs<topo::HyperX>(topo, "dcr")));
+                  }});
+  reg.addPattern({"tp", "transpose (hyperx)",
+                  [](const topo::Topology& topo, std::uint64_t) {
+                    return std::unique_ptr<traffic::TrafficPattern>(
+                        std::make_unique<traffic::Transpose>(
+                            topoAs<topo::HyperX>(topo, "tp")));
+                  }});
+}
+
+}  // namespace hxwar::harness

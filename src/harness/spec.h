@@ -1,0 +1,89 @@
+// ExperimentSpec: the serializable, topology-agnostic description of one
+// experiment — which topology family, routing algorithm, and traffic pattern
+// (all registry names, see harness/registry.h), the free-form construction
+// parameters those factories read, and the structured network / injection /
+// steady-state configuration.
+//
+// A spec can be built three ways, all equivalent:
+//   * programmatically (set fields, put construction keys into `params`),
+//   * from command-line flags or a `key = value` config file (fromFlags),
+//   * from a legacy HyperX ExperimentConfig (ExperimentConfig::toSpec()).
+//
+// serialize() emits the flag-backed surface as config-file text, so
+//   Flags f; f.loadFile(path); ExperimentSpec::fromFlags(f)
+// round-trips a saved spec. Fields without a flag (injection node masks, the
+// steady-state tolerance knobs) keep their defaults across a round trip.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "metrics/steady_state.h"
+#include "net/network.h"
+#include "traffic/injector.h"
+
+namespace hxwar::harness {
+
+// Shortest decimal text that parses back to exactly the same double — used
+// wherever a double crosses the string boundary (serialize, toSpec) so a
+// round-tripped spec simulates bit-identically.
+std::string formatDouble(double v);
+
+// Strict comma-separated u32 list: every entry must be a plain non-negative
+// integer ("4,4,8"); fractional ("4.5"), negative, or malformed entries abort
+// with a message naming the flag and the offending token. A present-but-empty
+// value falls back, matching the lenient legacy behavior for "--widths=".
+std::vector<std::uint32_t> flagU32List(const Flags& flags, const std::string& key,
+                                       std::vector<std::uint32_t> fallback);
+
+// Structured sub-configs from flags; fields whose flag is absent keep the
+// value in `defaults`. Flag names are documented in harness/builder.h.
+net::NetworkConfig networkConfigFromFlags(const Flags& flags, net::NetworkConfig defaults);
+metrics::SteadyStateConfig steadyConfigFromFlags(const Flags& flags,
+                                                 metrics::SteadyStateConfig defaults);
+traffic::SyntheticInjector::Params injectionFromFlags(const Flags& flags,
+                                                      traffic::SyntheticInjector::Params defaults);
+
+struct ExperimentSpec {
+  std::string topology = "hyperx";  // registered family name
+  std::string routing;              // registered algorithm name; empty = family default
+  std::string pattern = "ur";       // registered pattern name
+
+  // Construction parameters consumed by the topology/routing/pattern
+  // factories (widths, terminals, df-*, ft-*, sf-q, ugal-bias, ...). Unknown
+  // keys are ignored by the factories, so specs stay forward-compatible.
+  std::map<std::string, std::string> params;
+
+  net::NetworkConfig net;  // defaulted to the builder defaults (see spec.cc)
+  traffic::SyntheticInjector::Params injection;
+  metrics::SteadyStateConfig steady;
+
+  // Seed for seeded patterns (rp). Deliberately NOT re-derived per sweep
+  // point: a permutation pattern stays fixed across a load sweep.
+  std::uint64_t patternSeed = 99;
+
+  ExperimentSpec();  // installs the builder-default network config
+
+  // Default spec overridden by every recognized flag; defaults match the
+  // historical hxsim command line (see harness/builder.h for the key list).
+  static ExperimentSpec fromFlags(const Flags& flags);
+
+  // Overwrites only the fields whose flags are present — presets stay
+  // authoritative for everything the command line does not mention.
+  void applyFlags(const Flags& flags);
+
+  // `params` as a Flags object, the currency of the registry factories.
+  Flags paramFlags() const;
+
+  // Config-file text (`key = value` lines); see the round-trip note above.
+  std::string serialize() const;
+};
+
+// Scale presets by name ("tiny", "small", "paper") as specs — the HyperX
+// presets of experiment.h routed through the unified layer.
+ExperimentSpec scaleSpec(const std::string& name);
+
+}  // namespace hxwar::harness

@@ -21,7 +21,7 @@ bool reduceWave(std::vector<SweepPoint>&& wave, bool stopAtSaturation,
 
 }  // namespace
 
-std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
                                      const std::vector<double>& loads,
                                      const SweepOptions& options) {
   if (options.jobs <= 1) return runLoadSweep(base, loads, options, nullptr);
@@ -30,6 +30,18 @@ std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
 }
 
 std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options) {
+  return runLoadSweep(base.toSpec(), loads, options);
+}
+
+std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options, ThreadPool* pool) {
+  return runLoadSweep(base.toSpec(), loads, options, pool);
+}
+
+std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
                                      const std::vector<double>& loads,
                                      const SweepOptions& options, ThreadPool* pool) {
   if (pool == nullptr || pool->size() <= 1) {
@@ -64,6 +76,12 @@ void SweepPerfLog::add(const std::string& series, const SweepPoint& point) {
 
 void SweepPerfLog::addAll(const std::string& series, const std::vector<SweepPoint>& points) {
   for (const auto& p : points) add(series, p);
+}
+
+void SweepPerfLog::add(Entry entry) {
+  totalWall_ += entry.wallSeconds;
+  totalEvents_ += entry.events;
+  entries_.push_back(std::move(entry));
 }
 
 bool SweepPerfLog::writeJson(const std::string& path, const std::string& bench,

@@ -34,13 +34,22 @@ struct SweepOptions {
   unsigned waveFactor = 2;
 };
 
-// Runs the load grid, possibly on `jobs` threads. See the determinism
-// contract above. An exception in any point propagates to the caller.
-std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+// Runs the load grid, possibly on `jobs` threads, for any registered topology
+// family. See the determinism contract above. An exception in any point
+// propagates to the caller.
+std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
                                      const std::vector<double>& loads,
                                      const SweepOptions& options);
 
 // As runLoadSweep, but reuses an existing pool (nullptr = run serial).
+std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options, ThreadPool* pool);
+
+// Legacy HyperX-config entry points; equivalent to runLoadSweep(base.toSpec()).
+std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
+                                     const std::vector<double>& loads,
+                                     const SweepOptions& options);
 std::vector<SweepPoint> runLoadSweep(const ExperimentConfig& base,
                                      const std::vector<double>& loads,
                                      const SweepOptions& options, ThreadPool* pool);
@@ -60,6 +69,9 @@ class SweepPerfLog {
 
   void add(const std::string& series, const SweepPoint& point);
   void addAll(const std::string& series, const std::vector<SweepPoint>& points);
+  // Generic entry for work that is not a sweep point (stencil cells,
+  // collective phases, ...).
+  void add(Entry entry);
 
   std::size_t points() const { return entries_.size(); }
   double totalWallSeconds() const { return totalWall_; }

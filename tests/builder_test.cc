@@ -57,6 +57,18 @@ TEST(Builder, TorusFamily) {
   EXPECT_EQ(b->routing().info().name, "Torus-DOR");
 }
 
+TEST(BuilderDeath, UnknownTopologyListsRegisteredFamilies) {
+  const auto f = flagsFrom({"--topology=butterfly"});
+  EXPECT_DEATH(NetworkBundle::fromFlags(f),
+               "unknown topology family: butterfly.*registered:.*hyperx.*dragonfly");
+}
+
+TEST(BuilderDeath, UnknownRoutingListsFamilyAlgorithms) {
+  const auto f = flagsFrom({"--topology=torus", "--routing=omniwar"});
+  EXPECT_DEATH(NetworkBundle::fromFlags(f),
+               "unknown routing algorithm: omniwar for torus.*registered:.*dor");
+}
+
 TEST(Builder, RouterParametersApplied) {
   const auto f = flagsFrom({"--vcs=4", "--channel-latency=16", "--no-vct"});
   auto b = NetworkBundle::fromFlags(f);

@@ -1,0 +1,123 @@
+// Tests for the experiment factory registries: name listings and order,
+// benchDefault filtering, error paths (unknown names must list what exists),
+// and macro-based self-registration from an out-of-harness translation unit.
+#include <gtest/gtest.h>
+
+#include "harness/registry.h"
+#include "routing/hyperx_routing.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::harness {
+namespace {
+
+// Macro registration from this TU: a topology alias, a routing alias, and a
+// pattern. Static initializers run before main; the registry must install
+// the built-ins first regardless, so built-ins keep their canonical slots.
+HXWAR_REGISTER_TOPOLOGY(({"testmesh", "widths", "dor",
+                          [](const Flags&) -> std::unique_ptr<topo::Topology> {
+                            return std::make_unique<topo::HyperX>(
+                                topo::HyperX::Params{{3, 3}, 2});
+                          }}));
+HXWAR_REGISTER_ROUTING(({"testmesh", "dor", "", true,
+                         [](const topo::Topology& t, const Flags&) {
+                           return routing::makeHyperXRouting(
+                               "dor", static_cast<const topo::HyperX&>(t));
+                         }}));
+HXWAR_REGISTER_PATTERN(({"testpat", "uniform random (test)",
+                         [](const topo::Topology& t, std::uint64_t) {
+                           return std::unique_ptr<traffic::TrafficPattern>(
+                               std::make_unique<traffic::UniformRandom>(t.numNodes()));
+                         }}));
+
+TEST(Registry, BuiltinTopologyFamiliesInCanonicalOrder) {
+  const auto names = ExperimentRegistry::instance().topologyNames();
+  const std::vector<std::string> builtins = {"hyperx", "dragonfly", "fattree",
+                                             "slimfly", "torus"};
+  ASSERT_GE(names.size(), builtins.size());
+  for (std::size_t i = 0; i < builtins.size(); ++i) EXPECT_EQ(names[i], builtins[i]);
+}
+
+TEST(Registry, BenchDefaultMatchesLegacyHyperXAlgorithmList) {
+  // The registry's benchDefault filter supersedes routing::hyperxAlgorithmNames()
+  // as the list benches sweep — they must stay in lockstep.
+  EXPECT_EQ(ExperimentRegistry::instance().benchRoutingNames("hyperx"),
+            routing::hyperxAlgorithmNames());
+}
+
+TEST(Registry, RoutingNamesIncludeNonDefaultEntries) {
+  const auto names = ExperimentRegistry::instance().routingNames("hyperx");
+  EXPECT_NE(std::find(names.begin(), names.end(), "minad"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "dal"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ugal+"), names.end());
+  // Dragonfly names are scoped away from HyperX names.
+  EXPECT_EQ(std::find(names.begin(), names.end(), "par"), names.end());
+  EXPECT_EQ(ExperimentRegistry::instance().routingNames("dragonfly"),
+            (std::vector<std::string>{"min", "ugal", "par"}));
+}
+
+TEST(Registry, DefaultRoutingPerFamily) {
+  auto& reg = ExperimentRegistry::instance();
+  EXPECT_EQ(reg.topology("hyperx").defaultRouting, "dimwar");
+  EXPECT_EQ(reg.topology("dragonfly").defaultRouting, "ugal");
+  EXPECT_EQ(reg.topology("fattree").defaultRouting, "adaptive");
+  EXPECT_EQ(reg.topology("slimfly").defaultRouting, "minimal");
+  EXPECT_EQ(reg.topology("torus").defaultRouting, "dor");
+}
+
+TEST(Registry, PatternNamesStartWithTopologyAgnosticOnes) {
+  const auto names = ExperimentRegistry::instance().patternNames();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "ur");
+  EXPECT_EQ(names[1], "bc");
+  EXPECT_EQ(names[2], "rp");
+}
+
+TEST(Registry, MacroRegistrationAppendsAfterBuiltins) {
+  auto& reg = ExperimentRegistry::instance();
+  const auto& family = reg.topology("testmesh");
+  EXPECT_EQ(family.defaultRouting, "dor");
+  Flags none;
+  auto topo = family.build(none);
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->numNodes(), 18u);
+  auto routing = reg.routing("testmesh", "dor").build(*topo, none);
+  EXPECT_NE(routing, nullptr);
+  auto pattern = reg.pattern("testpat").build(*topo, 1);
+  EXPECT_NE(pattern, nullptr);
+  // Built-ins still occupy the canonical front slots.
+  EXPECT_EQ(reg.topologyNames().front(), "hyperx");
+}
+
+TEST(RegistryDeath, UnknownTopologyListsRegisteredNames) {
+  EXPECT_DEATH(ExperimentRegistry::instance().topology("mesh2d"),
+               "unknown topology family: mesh2d.*registered:.*hyperx.*dragonfly");
+}
+
+TEST(RegistryDeath, UnknownRoutingListsFamilyScopedNames) {
+  EXPECT_DEATH(ExperimentRegistry::instance().routing("dragonfly", "dimwar"),
+               "unknown routing algorithm: dimwar for dragonfly.*registered:.*min.*ugal.*par");
+}
+
+TEST(RegistryDeath, UnknownPatternListsRegisteredNames) {
+  EXPECT_DEATH(ExperimentRegistry::instance().pattern("zigzag"),
+               "unknown traffic pattern: zigzag.*registered:.*ur.*bc.*rp");
+}
+
+TEST(RegistryDeath, HyperXOnlyPatternRefusesOtherTopology) {
+  auto& reg = ExperimentRegistry::instance();
+  Flags none;
+  const auto torus = reg.topology("torus").build(none);
+  EXPECT_DEATH(reg.pattern("dcr").build(*torus, 1), "dcr is not usable on topology");
+}
+
+TEST(RegistryDeath, DuplicateRegistrationAborts) {
+  EXPECT_DEATH(ExperimentRegistry::instance().addTopology(
+                   {"hyperx", "", "dimwar",
+                    [](const Flags&) -> std::unique_ptr<topo::Topology> {
+                      return nullptr;
+                    }}),
+               "duplicate topology family registration: hyperx");
+}
+
+}  // namespace
+}  // namespace hxwar::harness

@@ -1,0 +1,29 @@
+# Runs hxsim twice on the same sweep — --jobs=1 and --jobs=4 — and fails
+# unless the two CSVs are byte-identical. This is the determinism contract
+# enforced end-to-end through the real binary, per topology family.
+#
+# Required -D variables: HXSIM (path to the hxsim binary), TOPOLOGY (registered
+# family name), PARAMS (semicolon list of extra flags), WORKDIR (scratch dir).
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(csv1 "${WORKDIR}/${TOPOLOGY}_jobs1.csv")
+set(csv4 "${WORKDIR}/${TOPOLOGY}_jobs4.csv")
+set(common
+    --topology=${TOPOLOGY} ${PARAMS} --experiment=sweep --loads=0.05,0.1,0.15
+    --warmup-window=300 --warmup-windows=6 --measure-window=800 --drain-window=2000)
+
+execute_process(COMMAND "${HXSIM}" ${common} --jobs=1 --csv=${csv1}
+                RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "hxsim --jobs=1 failed for ${TOPOLOGY} (exit ${rc1})")
+endif()
+execute_process(COMMAND "${HXSIM}" ${common} --jobs=4 --csv=${csv4}
+                RESULT_VARIABLE rc4 OUTPUT_QUIET)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "hxsim --jobs=4 failed for ${TOPOLOGY} (exit ${rc4})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${csv1}" "${csv4}"
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "${TOPOLOGY}: --jobs=4 CSV differs from --jobs=1 (${csv1} vs ${csv4})")
+endif()

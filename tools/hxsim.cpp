@@ -1,12 +1,18 @@
 // hxsim — config-driven simulation runner (the SuperSim-style front end).
 //
-// Builds any supported topology/routing from flags or a config file and runs
-// one of three experiments:
+// Builds any registered topology/routing from flags or a config file and
+// runs one of three experiments:
 //
 //   --experiment=steady    one steady-state measurement at --load
 //   --experiment=sweep     load-latency sweep over --loads (--jobs=N runs
 //                          points concurrently; output is jobs-invariant)
 //   --experiment=stencil   27-pt stencil app (--halo-kb, --iterations, --mode)
+//
+// steady/sweep run through the shared harness::runLoadSweep engine for every
+// topology family, with the standard determinism contract: each point's seeds
+// derive from (--seed, point index), so the table and --csv output are
+// byte-identical for any --jobs value. --perf-json captures per-point wall
+// time and event throughput.
 //
 // Configuration can come from a file (`hxsim --config my.cfg`) with
 // `key = value` lines; command-line flags override file values. See
@@ -14,7 +20,7 @@
 //
 // Examples:
 //   hxsim --experiment=sweep --routing=omniwar --pattern=bc --loads=0.1,0.3,0.45
-//   hxsim --topology=dragonfly --routing=ugal --experiment=steady --load=0.4
+//   hxsim --topology=dragonfly --routing=ugal --experiment=sweep --jobs=4
 //   hxsim --experiment=stencil --routing=dimwar --halo-kb=64 --iterations=2
 //   hxsim --config experiments/urby.cfg --csv=out.csv
 #include <cstdio>
@@ -23,32 +29,13 @@
 #include "common/flags.h"
 #include "harness/builder.h"
 #include "harness/csv.h"
-#include "harness/parallel.h"
+#include "harness/spec.h"
+#include "harness/sweep_runner.h"
 #include "harness/table.h"
-#include "metrics/steady_state.h"
-#include "traffic/injector.h"
 
 namespace {
 
 using namespace hxwar;
-
-metrics::SteadyStateConfig steadyConfig(const Flags& flags) {
-  metrics::SteadyStateConfig cfg;
-  cfg.warmupWindow = flags.u64("warmup-window", 1000);
-  cfg.maxWarmupWindows = static_cast<std::uint32_t>(flags.u64("warmup-windows", 20));
-  cfg.measureWindow = flags.u64("measure-window", 3000);
-  cfg.drainWindow = flags.u64("drain-window", 8000);
-  return cfg;
-}
-
-traffic::SyntheticInjector::Params injectorParams(const Flags& flags, double rate) {
-  traffic::SyntheticInjector::Params p;
-  p.rate = rate;
-  p.minFlits = static_cast<std::uint32_t>(flags.u64("min-flits", 1));
-  p.maxFlits = static_cast<std::uint32_t>(flags.u64("max-flits", 16));
-  p.seed = flags.u64("seed", 7);
-  return p;
-}
 
 std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult& r) {
   using harness::Table;
@@ -61,53 +48,35 @@ std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult
           r.saturated ? "SATURATED" : "stable"};
 }
 
-metrics::SteadyStateResult runOnePoint(const Flags& flags, const std::string& patternName,
-                                       double load) {
-  // Fresh bundle per point so state never leaks between measurements.
-  auto bundle = harness::NetworkBundle::fromFlags(flags);
-  auto pattern = bundle->makePattern(patternName, flags.u64("seed", 7));
-  traffic::SyntheticInjector injector(bundle->sim(), bundle->network(), *pattern,
-                                      injectorParams(flags, load));
-  return metrics::runSteadyState(bundle->sim(), bundle->network(), injector,
-                                 steadyConfig(flags));
-}
-
 int runSteadyOrSweep(const Flags& flags, bool sweep) {
-  const std::string patternName = flags.str("pattern", "ur");
+  const harness::ExperimentSpec spec = harness::ExperimentSpec::fromFlags(flags);
   const auto loads = sweep ? flags.f64List("loads", {0.2, 0.4, 0.6, 0.8})
                            : std::vector<double>{flags.f64("load", 0.3)};
-  const unsigned jobs = static_cast<unsigned>(flags.u64("jobs", 1));
+  harness::SweepOptions sweepOpts;
+  sweepOpts.jobs = static_cast<unsigned>(flags.u64("jobs", 1));
+  sweepOpts.stopAtSaturation = sweep;  // cut after two consecutive saturated loads
+  const auto points = harness::runLoadSweep(spec, loads, sweepOpts);
+
+  // No wall-clock columns: the table and CSV stay byte-identical for any
+  // --jobs value. Telemetry goes to --perf-json instead.
   const std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
                                             "hops",    "deroutes", "state"};
   harness::Table table(columns);
   harness::CsvWriter csv(flags.str("csv", ""), columns);
-  std::vector<metrics::SteadyStateResult> results;
-  if (jobs > 1 && loads.size() > 1) {
-    // Points are independent (per-point bundle, flag-derived seeds), so run
-    // them all speculatively and apply the saturation cut in load order
-    // below — output is identical to the serial path.
-    harness::ThreadPool pool(jobs);
-    results = harness::parallelMapOrdered(
-        &pool, loads.size(),
-        [&](std::size_t i) { return runOnePoint(flags, patternName, loads[i]); });
-  } else {
-    bool prevSaturated = false;
-    for (const double load : loads) {
-      results.push_back(runOnePoint(flags, patternName, load));
-      if (sweep && results.back().saturated && prevSaturated) break;
-      prevSaturated = results.back().saturated;
-    }
-  }
-  bool prevSaturated = false;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const auto row = resultRow(loads[i], r);
+  for (const auto& p : points) {
+    const auto row = resultRow(p.load, p.result);
     table.addRow(row);
     csv.row(row);
-    if (sweep && r.saturated && prevSaturated) break;
-    prevSaturated = r.saturated;
   }
   table.print();
+
+  harness::SweepPerfLog perf;
+  const std::string algo = spec.routing.empty() ? "default" : spec.routing;
+  perf.addAll(algo + "/" + spec.pattern, points);
+  const std::string perfJson = flags.str("perf-json", "");
+  if (!perf.writeJson(perfJson, "hxsim", spec.topology, sweepOpts.jobs)) {
+    std::fprintf(stderr, "warning: could not write %s\n", perfJson.c_str());
+  }
   return 0;
 }
 
