@@ -7,11 +7,13 @@
 // paths is tracked across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 
 #include "common/rng.h"
+#include "fault/degraded_topology.h"
 #include "net/network.h"
 #include "routing/hyperx_routing.h"
 #include "sim/event_queue.h"
@@ -133,6 +135,38 @@ void BM_PacketAllocPooled(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketAllocPooled);
 
+// Topology lookup hot path (portTarget + minHops), raw HyperX vs. a
+// zero-fault DegradedTopology decorator. The decorator adds one dead-bit
+// probe per portTarget and swaps coordinate-math minHops for an all-pairs
+// table read; this pair pins what the fault layer charges a fault-free run.
+std::uint64_t sweepTopologyLookups(const topo::Topology& topo, Rng& rng) {
+  std::uint64_t acc = 0;
+  const RouterId r = static_cast<RouterId>(rng.below(topo.numRouters()));
+  const RouterId s = static_cast<RouterId>(rng.below(topo.numRouters()));
+  for (PortId p = 0; p < topo.numPorts(r); ++p) {
+    const auto tgt = topo.portTarget(r, p);
+    acc += static_cast<std::uint64_t>(tgt.kind == topo::Topology::PortTarget::Kind::kRouter
+                                          ? tgt.router
+                                          : 0);
+  }
+  return acc + topo.minHops(r, s);
+}
+
+void BM_TopologyLookup(benchmark::State& state) {
+  topo::HyperX topo({{4, 4, 4}, 4});
+  std::uint32_t maxPorts = 0;
+  for (RouterId r = 0; r < topo.numRouters(); ++r) {
+    maxPorts = std::max(maxPorts, topo.numPorts(r));
+  }
+  fault::DeadPortMask mask(topo.numRouters(), maxPorts);  // zero faults
+  fault::DegradedTopology degraded(topo, mask);
+  const topo::Topology& t =
+      state.range(0) == 0 ? static_cast<const topo::Topology&>(topo) : degraded;
+  Rng rng(11);
+  for (auto _ : state) benchmark::DoNotOptimize(sweepTopologyLookups(t, rng));
+}
+BENCHMARK(BM_TopologyLookup)->Arg(0)->Arg(1)->ArgNames({"degraded"});
+
 void BM_EndToEndSimulation(benchmark::State& state) {
   // Simulated cycles per wall second on the small network at moderate load.
   for (auto _ : state) {
@@ -181,6 +215,20 @@ double timePacketChurn(bool pooled, std::uint64_t iterations) {
   return static_cast<double>(iterations) / dt.count();  // packets/sec
 }
 
+// Lookups/sec for one router's full port scan + one minHops query, so the
+// zero-fault DegradedTopology overhead lands in the perf trajectory file.
+double timeTopologyLookups(const topo::Topology& topo, std::uint64_t iterations) {
+  Rng rng(11);
+  std::uint64_t acc = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    acc += sweepTopologyLookups(topo, rng);
+  }
+  benchmark::DoNotOptimize(acc);
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(iterations) / dt.count();  // sweeps/sec
+}
+
 double timeEndToEndEventsPerSec() {
   sim::Simulator sim;
   topo::HyperX topo({{4, 4, 4}, 4});
@@ -206,8 +254,21 @@ void writeCoreBaseline(const char* path) {
   const double unpooled = timePacketChurn(false, churn);
   const double pooled = timePacketChurn(true, churn);
   const double evps = timeEndToEndEventsPerSec();
+  topo::HyperX hx({{4, 4, 4}, 4});
+  std::uint32_t maxPorts = 0;
+  for (RouterId r = 0; r < hx.numRouters(); ++r) {
+    maxPorts = std::max(maxPorts, hx.numPorts(r));
+  }
+  fault::DeadPortMask mask(hx.numRouters(), maxPorts);  // zero faults
+  fault::DegradedTopology degraded(hx, mask);
+  const std::uint64_t sweeps = 4'000'000;
+  const double rawLookups = timeTopologyLookups(hx, sweeps);
+  const double degradedLookups = timeTopologyLookups(degraded, sweeps);
   std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
               unpooled / 1e6, pooled / 1e6, pooled / unpooled);
+  std::printf("topology lookup sweeps: raw %.1f M/s, degraded(0 faults) %.1f M/s "
+              "(%.3fx overhead)\n",
+              rawLookups / 1e6, degradedLookups / 1e6, rawLookups / degradedLookups);
   std::printf("end-to-end dimwar/ur small: %.2f Mev/s\n", evps / 1e6);
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -220,9 +281,13 @@ void writeCoreBaseline(const char* path) {
                "  \"packet_alloc_unpooled_per_sec\": %.1f,\n"
                "  \"packet_alloc_pooled_per_sec\": %.1f,\n"
                "  \"packet_pool_speedup\": %.3f,\n"
+               "  \"topology_lookup_raw_per_sec\": %.1f,\n"
+               "  \"topology_lookup_degraded_per_sec\": %.1f,\n"
+               "  \"degraded_lookup_overhead\": %.3f,\n"
                "  \"end_to_end_events_per_sec\": %.1f\n"
                "}\n",
-               unpooled, pooled, pooled / unpooled, evps);
+               unpooled, pooled, pooled / unpooled, rawLookups, degradedLookups,
+               rawLookups / degradedLookups, evps);
   std::fclose(f);
 }
 

@@ -1,0 +1,71 @@
+// Dead-port mask: the shared runtime representation of link/router failures.
+//
+// One bit per (router, port). Routers consult the mask when filtering route
+// candidates and when arbitrating output channels; the fault model writes it
+// (once, for static fault sets; at the scheduled kill/revive ticks for
+// transient faults). Header-only and dependency-free below common/ so that
+// net/ and routing/ can read the mask without linking the fault library.
+//
+// The mask is always symmetric: a failed link kills both directed channels,
+// so isDead(r, p) implies isDead(peer, peerPort). buildFaultSet() enforces
+// this by construction.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace hxwar::fault {
+
+class DeadPortMask {
+ public:
+  // Default: an unsized, all-alive mask. resize() before use.
+  DeadPortMask() = default;
+
+  DeadPortMask(std::uint32_t numRouters, std::uint32_t maxPorts)
+      : maxPorts_(maxPorts),
+        dead_(static_cast<std::size_t>(numRouters) * maxPorts, 0) {}
+
+  // (Re)shapes the mask for a topology, clearing all faults.
+  void resize(std::uint32_t numRouters, std::uint32_t maxPorts) {
+    maxPorts_ = maxPorts;
+    dead_.assign(static_cast<std::size_t>(numRouters) * maxPorts, 0);
+  }
+
+  bool isDead(RouterId r, PortId p) const {
+    return dead_[static_cast<std::size_t>(r) * maxPorts_ + p] != 0;
+  }
+
+  void set(RouterId r, PortId p, bool dead) {
+    dead_[static_cast<std::size_t>(r) * maxPorts_ + p] = dead ? 1 : 0;
+  }
+
+  // Applies/clears a list of directed (router, port) entries — the format
+  // FaultSet::ports uses (both directions of every failed link present).
+  void apply(const std::vector<std::pair<RouterId, PortId>>& ports) {
+    for (const auto& [r, p] : ports) set(r, p, true);
+  }
+  void clear(const std::vector<std::pair<RouterId, PortId>>& ports) {
+    for (const auto& [r, p] : ports) set(r, p, false);
+  }
+
+  std::uint32_t maxPorts() const { return maxPorts_; }
+  std::uint32_t numRouters() const {
+    return maxPorts_ == 0 ? 0 : static_cast<std::uint32_t>(dead_.size() / maxPorts_);
+  }
+
+  std::size_t deadCount() const {
+    std::size_t n = 0;
+    for (const auto b : dead_) n += b;
+    return n;
+  }
+
+ private:
+  std::uint32_t maxPorts_ = 0;
+  std::vector<std::uint8_t> dead_;
+};
+
+}  // namespace hxwar::fault

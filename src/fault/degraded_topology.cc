@@ -1,0 +1,29 @@
+#include "fault/degraded_topology.h"
+
+#include "common/assert.h"
+#include "fault/fault_model.h"
+
+namespace hxwar::fault {
+
+DegradedTopology::DegradedTopology(const topo::Topology& base, const DeadPortMask& mask)
+    : base_(base), mask_(mask), n_(base.numRouters()) {
+  const ConnectivityReport report = checkConnectivity(base, mask);
+  HXWAR_CHECK_MSG(report.connected, report.message.c_str());
+
+  dist_.resize(static_cast<std::size_t>(n_) * n_);
+  std::vector<std::uint32_t> row;
+  for (RouterId r = 0; r < n_; ++r) {
+    bfsDistances(base, r, &mask_, row);
+    for (RouterId b = 0; b < n_; ++b) {
+      dist_[static_cast<std::size_t>(r) * n_ + b] = row[b];
+      diameter_ = std::max(diameter_, row[b]);
+    }
+  }
+}
+
+topo::Topology::PortTarget DegradedTopology::portTarget(RouterId r, PortId p) const {
+  if (mask_.isDead(r, p)) return PortTarget{};  // kUnused
+  return base_.portTarget(r, p);
+}
+
+}  // namespace hxwar::fault

@@ -1,0 +1,56 @@
+// DegradedTopology: a Topology decorator that masks failed inter-router
+// ports as kUnused and recomputes distances over the surviving graph.
+//
+// The Network builder already skips kUnused ports when wiring channels, so a
+// Network built from a DegradedTopology simply has no channel on the failed
+// links — failures are structural, not simulated stalls. minHops()/diameter()
+// come from an all-pairs BFS over the degraded graph, so path-stretch metrics
+// compare against what is actually reachable.
+//
+// Construction CHECK-fails on a partitioned fault set with the actionable
+// checkConnectivity() message (callers that must not abort run
+// checkConnectivity() themselves first).
+//
+// Routing algorithms keep operating on the *base* topology: HyperX coordinate
+// math is unaffected by missing links, and the registry factories downcast to
+// the concrete family. The dead-port mask reaches them through RouteContext.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/dead_port_mask.h"
+#include "topo/topology.h"
+
+namespace hxwar::fault {
+
+class DegradedTopology final : public topo::Topology {
+ public:
+  // Both references must outlive the decorator.
+  DegradedTopology(const topo::Topology& base, const DeadPortMask& mask);
+
+  std::string name() const override { return base_.name() + "+faults"; }
+  std::uint32_t numRouters() const override { return base_.numRouters(); }
+  std::uint32_t numNodes() const override { return base_.numNodes(); }
+  std::uint32_t numPorts(RouterId r) const override { return base_.numPorts(r); }
+  PortTarget portTarget(RouterId r, PortId p) const override;
+  RouterId nodeRouter(NodeId n) const override { return base_.nodeRouter(n); }
+  PortId nodePort(NodeId n) const override { return base_.nodePort(n); }
+  std::uint32_t minHops(RouterId a, RouterId b) const override {
+    return dist_[static_cast<std::size_t>(a) * n_ + b];
+  }
+  std::uint32_t diameter() const override { return diameter_; }
+
+  const topo::Topology& base() const { return base_; }
+  const DeadPortMask& mask() const { return mask_; }
+
+ private:
+  const topo::Topology& base_;
+  const DeadPortMask& mask_;
+  std::uint32_t n_;
+  std::uint32_t diameter_ = 0;
+  std::vector<std::uint32_t> dist_;  // all-pairs hops over the degraded graph
+};
+
+}  // namespace hxwar::fault

@@ -1,0 +1,27 @@
+#include "fault/fault_controller.h"
+
+#include "common/assert.h"
+#include "sim/event_queue.h"
+
+namespace hxwar::fault {
+
+FaultController::FaultController(sim::Simulator& sim, DeadPortMask& mask, FaultSet set,
+                                 Tick at, Tick until)
+    : Component(sim, "faultctl"), mask_(mask), set_(std::move(set)), at_(at), until_(until) {
+  HXWAR_CHECK_MSG(at_ != kTickInvalid, "FaultController needs a kill cycle");
+  HXWAR_CHECK_MSG(until_ == kTickInvalid || until_ > at_, "fault-until must be after fault-at");
+  // kEpsDeliver orders the mask write before any router cycle at the same
+  // tick, so the fault is visible to every allocation decision of cycle `at`.
+  sim.schedule(at_, sim::kEpsDeliver, this, kTagKill);
+  if (until_ != kTickInvalid) sim.schedule(until_, sim::kEpsDeliver, this, kTagRevive);
+}
+
+void FaultController::processEvent(std::uint64_t tag) {
+  if (tag == kTagKill) {
+    mask_.apply(set_.ports);
+  } else {
+    mask_.clear(set_.ports);
+  }
+}
+
+}  // namespace hxwar::fault

@@ -1,0 +1,44 @@
+// FaultController: schedules transient faults onto the shared DeadPortMask.
+//
+// For a transient fault window [at, until) the network is built from the
+// *base* topology — all channels exist — and the controller flips the mask at
+// the scheduled cycles: routers stop selecting (and stop transmitting on)
+// dead ports from cycle `at`, and resume at `until`. until == kTickInvalid
+// leaves the faults in place for the rest of the run.
+//
+// Flits already in flight on a killed channel are delivered (a cable cut in a
+// real network loses at most a channel's worth of flits; modeling that loss
+// would break credit accounting for no measurement benefit — the interesting
+// dynamics are upstream, where traffic piles onto the dead port). Packets
+// blocked on a dead port simply wait; adaptive algorithms route new traffic
+// around the hole, and everything drains when the channel revives.
+#pragma once
+
+#include "common/types.h"
+#include "fault/dead_port_mask.h"
+#include "fault/fault_model.h"
+#include "sim/simulator.h"
+
+namespace hxwar::fault {
+
+class FaultController final : public sim::Component {
+ public:
+  FaultController(sim::Simulator& sim, DeadPortMask& mask, FaultSet set, Tick at,
+                  Tick until);
+
+  void processEvent(std::uint64_t tag) override;
+
+  Tick killAt() const { return at_; }
+  Tick reviveAt() const { return until_; }
+
+ private:
+  static constexpr std::uint64_t kTagKill = 0;
+  static constexpr std::uint64_t kTagRevive = 1;
+
+  DeadPortMask& mask_;
+  FaultSet set_;
+  Tick at_;
+  Tick until_;
+};
+
+}  // namespace hxwar::fault

@@ -1,0 +1,191 @@
+#include "fault/fault_model.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace hxwar::fault {
+namespace {
+
+using Kind = topo::Topology::PortTarget::Kind;
+
+// Uniform double in [0, 1) from one independent stream per undirected link.
+// Keyed by (seed, link id) only — no iteration-order or platform dependence.
+double linkDraw(std::uint64_t seed, RouterId r, PortId p) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(r) << 32) | p;
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (key + 1)));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> splitList(const std::string& raw) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t comma = raw.find(',', pos);
+    if (comma == std::string::npos) comma = raw.size();
+    if (comma > pos) out.push_back(raw.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint32_t parseU32(const std::string& token, const std::string& flag) {
+  bool ok = !token.empty();
+  for (const char c : token) ok = ok && c >= '0' && c <= '9';
+  HXWAR_CHECK_MSG(ok, (flag + ": '" + token + "' is not a non-negative integer").c_str());
+  return static_cast<std::uint32_t>(std::strtoull(token.c_str(), nullptr, 10));
+}
+
+// Kills the directed channel (r, p) and its reverse direction. The port must
+// be a live inter-router port — failing a terminal port would silently
+// disconnect a node rather than exercise routing, so it is an error.
+void killLink(const topo::Topology& topo, RouterId r, PortId p,
+              std::set<std::pair<RouterId, PortId>>& dead) {
+  HXWAR_CHECK_MSG(r < topo.numRouters() && p < topo.numPorts(r),
+                  "fault-links: router or port id out of range");
+  const auto target = topo.portTarget(r, p);
+  if (target.kind != Kind::kRouter) {
+    std::ostringstream msg;
+    msg << "fault-links: port " << r << ":" << p << " is "
+        << (target.kind == Kind::kTerminal ? "a terminal port" : "unused")
+        << "; only inter-router links can fail";
+    HXWAR_CHECK_MSG(false, msg.str().c_str());
+  }
+  dead.insert({r, p});
+  dead.insert({target.router, target.port});
+}
+
+}  // namespace
+
+FaultSet buildFaultSet(const topo::Topology& topo, const FaultSpec& spec) {
+  HXWAR_CHECK_MSG(spec.rate >= 0.0 && spec.rate <= 1.0, "fault-rate must be in [0, 1]");
+  HXWAR_CHECK_MSG(!spec.transient() || spec.until == kTickInvalid || spec.until > spec.at,
+                  "fault-until must be after fault-at");
+  FaultSet set;
+  std::set<std::pair<RouterId, PortId>> dead;
+
+  // Random link failures: one Bernoulli draw per undirected inter-router
+  // link, taken from the canonical (lexicographically smaller) direction.
+  if (spec.rate > 0.0) {
+    for (RouterId r = 0; r < topo.numRouters(); ++r) {
+      for (PortId p = 0; p < topo.numPorts(r); ++p) {
+        const auto target = topo.portTarget(r, p);
+        if (target.kind != Kind::kRouter) continue;
+        if (std::make_pair(target.router, target.port) < std::make_pair(r, p)) continue;
+        if (linkDraw(spec.seed, r, p) < spec.rate) killLink(topo, r, p, dead);
+      }
+    }
+  }
+
+  for (const auto& token : splitList(spec.links)) {
+    const std::size_t colon = token.find(':');
+    HXWAR_CHECK_MSG(colon != std::string::npos && colon > 0 && colon + 1 < token.size(),
+                    ("fault-links: entry '" + token + "' is not of the form r:p").c_str());
+    const RouterId r = parseU32(token.substr(0, colon), "fault-links");
+    const PortId p = parseU32(token.substr(colon + 1), "fault-links");
+    killLink(topo, r, p, dead);
+  }
+
+  for (const auto& token : splitList(spec.routers)) {
+    const RouterId r = parseU32(token, "fault-routers");
+    HXWAR_CHECK_MSG(r < topo.numRouters(), "fault-routers: router id out of range");
+    set.failedRouters.push_back(r);
+    for (PortId p = 0; p < topo.numPorts(r); ++p) {
+      if (topo.portTarget(r, p).kind == Kind::kRouter) killLink(topo, r, p, dead);
+    }
+  }
+
+  set.ports.assign(dead.begin(), dead.end());
+  set.failedLinks = set.ports.size() / 2;
+  return set;
+}
+
+void bfsDistances(const topo::Topology& topo, RouterId src, const DeadPortMask* mask,
+                  std::vector<std::uint32_t>& out) {
+  out.assign(topo.numRouters(), kUnreachable);
+  out[src] = 0;
+  std::deque<RouterId> frontier{src};
+  while (!frontier.empty()) {
+    const RouterId r = frontier.front();
+    frontier.pop_front();
+    for (PortId p = 0; p < topo.numPorts(r); ++p) {
+      if (mask != nullptr && mask->isDead(r, p)) continue;
+      const auto target = topo.portTarget(r, p);
+      if (target.kind != Kind::kRouter) continue;
+      if (out[target.router] != kUnreachable) continue;
+      out[target.router] = out[r] + 1;
+      frontier.push_back(target.router);
+    }
+  }
+}
+
+ConnectivityReport checkConnectivity(const topo::Topology& topo, const DeadPortMask& mask) {
+  ConnectivityReport report;
+  std::vector<std::uint32_t> dist;
+  bfsDistances(topo, 0, &mask, dist);
+  std::size_t unreachable = 0;
+  for (RouterId r = 0; r < topo.numRouters(); ++r) {
+    if (dist[r] != kUnreachable) continue;
+    unreachable += 1;
+    if (report.connected) {
+      report.connected = false;
+      report.from = 0;
+      report.to = r;
+    }
+  }
+  if (!report.connected) {
+    std::ostringstream msg;
+    msg << "fault set partitions the network: router " << report.from
+        << " cannot reach router " << report.to << " (" << unreachable << " of "
+        << topo.numRouters() << " routers unreachable); lower --fault-rate, change "
+        << "--fault-seed, or remove entries from --fault-links/--fault-routers";
+    report.message = msg.str();
+  }
+  return report;
+}
+
+bool hyperxOneDerouteRoutable(const topo::HyperX& topo, const DeadPortMask& mask,
+                              std::string* why) {
+  // liveMove(row[a], a -> b): any surviving trunk of the direct link.
+  const auto liveMove = [&](RouterId ra, std::uint32_t d, std::uint32_t b) {
+    for (std::uint32_t t = 0; t < topo.trunking(); ++t) {
+      if (!mask.isDead(ra, topo.dimPort(ra, d, b, t))) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t d = 0; d < topo.numDims(); ++d) {
+    const std::uint32_t width = topo.width(d);
+    for (RouterId base = 0; base < topo.numRouters(); ++base) {
+      if (topo.coord(base, d) != 0) continue;  // one representative per row
+      for (std::uint32_t a = 0; a < width; ++a) {
+        const RouterId ra = a == 0 ? base : topo.neighbor(base, d, a);
+        for (std::uint32_t b = 0; b < width; ++b) {
+          if (b == a) continue;
+          if (liveMove(ra, d, b)) continue;
+          bool viaDeroute = false;
+          for (std::uint32_t x = 0; x < width && !viaDeroute; ++x) {
+            if (x == a || x == b) continue;
+            viaDeroute = liveMove(ra, d, x) && liveMove(topo.neighbor(ra, d, x), d, b);
+          }
+          if (!viaDeroute) {
+            if (why != nullptr) {
+              std::ostringstream msg;
+              msg << "dimension " << d << " row of router " << ra << ": coordinate " << a
+                  << " cannot reach coordinate " << b << " within one deroute";
+              *why = msg.str();
+            }
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hxwar::fault

@@ -1,5 +1,6 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/assert.h"
@@ -100,9 +101,46 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
   const Flags params = spec_.paramFlags();
   const TopologyFamily& family = registry.topology(spec_.topology);
   topo_ = family.build(params);
+
+  net::NetworkConfig netCfg = spec_.net;
+  if (spec_.fault.active()) {
+    faultSet_ = fault::buildFaultSet(*topo_, spec_.fault);
+    std::uint32_t maxPorts = 0;
+    for (RouterId r = 0; r < topo_->numRouters(); ++r) {
+      maxPorts = std::max(maxPorts, topo_->numPorts(r));
+    }
+    mask_.resize(topo_->numRouters(), maxPorts);
+    if (spec_.fault.transient()) {
+      // Transient window: the network wires the full topology and the
+      // controller flips the shared mask at the scheduled cycles. Validate
+      // upfront that the degraded phase would stay connected — a partition is
+      // a configuration error whether it lasts one cycle or the whole run.
+      fault::DeadPortMask preview(topo_->numRouters(), maxPorts);
+      preview.apply(faultSet_.ports);
+      const auto report = fault::checkConnectivity(*topo_, preview);
+      HXWAR_CHECK_MSG(report.connected, report.message.c_str());
+    } else {
+      // Static faults: failures are structural. The DegradedTopology rejects
+      // partitioned fault sets in its constructor and the Network simply
+      // never wires the dead channels.
+      mask_.apply(faultSet_.ports);
+      degraded_ = std::make_unique<fault::DegradedTopology>(*topo_, mask_);
+    }
+    netCfg.router.faultDropDeadEnd = netCfg.router.faultDropDeadEnd || spec_.fault.drop;
+  }
+
+  // Routing algorithms build against the *base* topology: coordinate math is
+  // unaffected by missing links, and faults reach them via the dead-port mask.
   const std::string algo = spec_.routing.empty() ? family.defaultRouting : spec_.routing;
   routing_ = registry.routing(family.name, algo).build(*topo_, params);
-  network_ = std::make_unique<net::Network>(sim_, *topo_, *routing_, spec_.net);
+  network_ = std::make_unique<net::Network>(sim_, effectiveTopology(), *routing_, netCfg);
+  if (spec_.fault.active()) {
+    network_->setDeadPortMask(&mask_);
+    if (spec_.fault.transient()) {
+      faultCtrl_ = std::make_unique<fault::FaultController>(sim_, mask_, faultSet_,
+                                                            spec_.fault.at, spec_.fault.until);
+    }
+  }
   pattern_ = registry.pattern(spec_.pattern).build(*topo_, spec_.patternSeed);
   injector_ = std::make_unique<traffic::SyntheticInjector>(sim_, *network_, *pattern_,
                                                            spec_.injection);
@@ -139,6 +177,8 @@ ExperimentSpec sweepPointConfig(const ExperimentSpec& base, double load,
   ExperimentSpec spec = base;
   spec.injection.rate = load;
   deriveSweepSeeds(base.injection.seed, index, spec.injection.seed, spec.net.rngSeed);
+  // spec.fault.seed (like patternSeed) is deliberately NOT re-derived: every
+  // point of a sweep measures the same degraded network.
   return spec;
 }
 

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "fault/degraded_topology.h"
+#include "fault/fault_controller.h"
+#include "fault/fault_model.h"
 #include "harness/spec.h"
 #include "metrics/steady_state.h"
 #include "net/network.h"
@@ -54,13 +57,24 @@ class Experiment {
   explicit Experiment(const ExperimentConfig& config) : Experiment(config.toSpec()) {}
 
   sim::Simulator& sim() { return sim_; }
+  // The base (fault-free) topology the factories built.
   const topo::Topology& topology() const { return *topo_; }
+  // The topology the network actually simulates: the DegradedTopology
+  // decorator when static faults are configured, the base otherwise.
+  const topo::Topology& effectiveTopology() const {
+    return degraded_ ? static_cast<const topo::Topology&>(*degraded_) : *topo_;
+  }
   // CHECK'd downcast for HyperX-specific callers (benches, examples).
   const topo::HyperX& hyperx() const;
   net::Network& network() { return *network_; }
   traffic::SyntheticInjector& injector() { return *injector_; }
   routing::RoutingAlgorithm& routing() { return *routing_; }
   const ExperimentSpec& spec() const { return spec_; }
+  // Fault set applied to this experiment (empty when fault-free).
+  const fault::FaultSet& faultSet() const { return faultSet_; }
+  const fault::DeadPortMask* deadPortMask() const {
+    return spec_.fault.active() ? &mask_ : nullptr;
+  }
 
   // Runs warmup + measurement at the configured injection rate.
   metrics::SteadyStateResult run();
@@ -69,8 +83,14 @@ class Experiment {
   ExperimentSpec spec_;
   sim::Simulator sim_;
   std::unique_ptr<topo::Topology> topo_;
+  // Fault state. Declaration order matters: degraded_ holds references to
+  // topo_ and mask_, so it must be declared (and thus destroyed) after them.
+  fault::FaultSet faultSet_;
+  fault::DeadPortMask mask_;
+  std::unique_ptr<fault::DegradedTopology> degraded_;
   std::unique_ptr<routing::RoutingAlgorithm> routing_;
   std::unique_ptr<net::Network> network_;
+  std::unique_ptr<fault::FaultController> faultCtrl_;
   std::unique_ptr<traffic::TrafficPattern> pattern_;
   std::unique_ptr<traffic::SyntheticInjector> injector_;
 };

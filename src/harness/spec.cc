@@ -38,9 +38,12 @@ const std::set<std::string>& structuredKeys() {
       "warmup-window", "warmup-windows", "measure-window", "drain-window",
       "stable-windows", "stability-tol", "backlog-growth-tol", "accepted-tol",
       "min-measure-packets",
+      // fault injection
+      "fault-rate", "fault-seed", "fault-links", "fault-routers", "fault-at",
+      "fault-until", "fault-drop",
       // front-end operational keys, never part of an experiment's identity
       "loads", "csv", "jobs", "perf-json", "experiment", "config", "scale",
-      "algorithms"};
+      "algorithms", "list"};
   return keys;
 }
 
@@ -114,6 +117,17 @@ traffic::SyntheticInjector::Params injectionFromFlags(
   return d;
 }
 
+fault::FaultSpec faultSpecFromFlags(const Flags& flags, fault::FaultSpec d) {
+  d.rate = flags.f64("fault-rate", d.rate);
+  d.seed = flags.u64("fault-seed", d.seed);
+  if (flags.has("fault-links")) d.links = flags.str("fault-links", d.links);
+  if (flags.has("fault-routers")) d.routers = flags.str("fault-routers", d.routers);
+  if (flags.has("fault-at")) d.at = flags.u64("fault-at", d.at);
+  if (flags.has("fault-until")) d.until = flags.u64("fault-until", d.until);
+  d.drop = flags.b("fault-drop", d.drop);
+  return d;
+}
+
 ExperimentSpec::ExperimentSpec() {
   // The builder/hxsim defaults (harness/builder.h): short channels, deep
   // buffers, a quick steady-state schedule.
@@ -144,6 +158,7 @@ void ExperimentSpec::applyFlags(const Flags& flags) {
   net = networkConfigFromFlags(flags, net);
   steady = steadyConfigFromFlags(flags, steady);
   injection = injectionFromFlags(flags, injection);
+  fault = faultSpecFromFlags(flags, fault);
   if (flags.has("pattern-seed")) {
     patternSeed = flags.u64("pattern-seed", patternSeed);
   } else if (flags.has("seed")) {
@@ -191,6 +206,17 @@ std::string ExperimentSpec::serialize() const {
   out << "measure-window = " << steady.measureWindow << "\n";
   out << "drain-window = " << steady.drainWindow << "\n";
   out << "min-measure-packets = " << steady.minMeasurePackets << "\n";
+  if (fault.active()) {
+    // Fault keys appear only when faults are configured, keeping faultless
+    // spec text byte-identical to pre-fault builds of this serializer.
+    if (fault.rate > 0.0) out << "fault-rate = " << formatDouble(fault.rate) << "\n";
+    out << "fault-seed = " << fault.seed << "\n";
+    if (!fault.links.empty()) out << "fault-links = " << fault.links << "\n";
+    if (!fault.routers.empty()) out << "fault-routers = " << fault.routers << "\n";
+    if (fault.at != kTickInvalid) out << "fault-at = " << fault.at << "\n";
+    if (fault.until != kTickInvalid) out << "fault-until = " << fault.until << "\n";
+    if (fault.drop) out << "fault-drop = true\n";
+  }
   for (const auto& [key, value] : params) {
     if (structuredKeys().count(key) == 0) out << key << " = " << value << "\n";
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "fault/fault_model.h"
 #include "metrics/steady_state.h"
 #include "net/network.h"
 #include "traffic/injector.h"
@@ -46,6 +47,7 @@ metrics::SteadyStateConfig steadyConfigFromFlags(const Flags& flags,
                                                  metrics::SteadyStateConfig defaults);
 traffic::SyntheticInjector::Params injectionFromFlags(const Flags& flags,
                                                       traffic::SyntheticInjector::Params defaults);
+fault::FaultSpec faultSpecFromFlags(const Flags& flags, fault::FaultSpec defaults);
 
 struct ExperimentSpec {
   std::string topology = "hyperx";  // registered family name
@@ -64,6 +66,11 @@ struct ExperimentSpec {
   // Seed for seeded patterns (rp). Deliberately NOT re-derived per sweep
   // point: a permutation pattern stays fixed across a load sweep.
   std::uint64_t patternSeed = 99;
+
+  // Fault injection (see fault/fault_model.h). Like patternSeed, fault.seed
+  // is NOT re-derived per sweep point: a load sweep measures one fixed
+  // degraded network, not a different fault set per load.
+  fault::FaultSpec fault;
 
   ExperimentSpec();  // installs the builder-default network config
 

@@ -40,14 +40,20 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
     windowLatency.reset();
     const std::uint64_t movesBefore = network.flitMovements();
     const std::uint64_t ejectedBefore = network.flitsEjected();
+    const std::uint64_t droppedBefore = network.flitsDropped();
     sim.run(sim.now() + config.warmupWindow);
     watchdog(network, movesBefore);
 
     // A saturated network can show stable latencies for the packets it does
     // deliver while the source queues diverge; require the delivered rate to
-    // track the offered rate and the backlog to stop growing.
+    // track the offered rate and the backlog to stop growing. Flits dropped
+    // at fault dead ends count as handled here — a lossy-but-stable degraded
+    // network is stable, not saturated (the loss shows up in droppedShare,
+    // not as a refusal to measure) — while result.accepted stays
+    // delivered-only.
     const double windowAccepted =
-        static_cast<double>(network.flitsEjected() - ejectedBefore) /
+        static_cast<double>(network.flitsEjected() - ejectedBefore +
+                            network.flitsDropped() - droppedBefore) /
         (static_cast<double>(network.numNodes()) * static_cast<double>(config.warmupWindow));
     const bool underDelivering = windowAccepted < config.acceptedTol * injector.rate();
 
@@ -83,16 +89,31 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   SampleStats latency;
   StreamingStats hops;
   StreamingStats deroutes;
+  StreamingStats stretch;
   const Tick mStart = sim.now();
   const Tick mEnd = mStart + config.measureWindow;
   std::uint64_t markedEjected = 0;
+  std::uint64_t markedDropped = 0;
+  const topo::Topology& topology = network.topology();
 
   network.setEjectionListener([&](const net::Packet& pkt) {
     if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
     latency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
     hops.add(pkt.hops);
     deroutes.add(pkt.deroutes);
+    // Path stretch against the effective topology: on a degraded network
+    // minHops is the BFS distance over surviving links, so routing around a
+    // fault on a shortest reachable path still scores 1.0.
+    const std::uint32_t minHops =
+        topology.minHops(topology.nodeRouter(pkt.src), topology.nodeRouter(pkt.dst));
+    if (minHops > 0) {
+      stretch.add(static_cast<double>(pkt.hops) / static_cast<double>(minHops));
+    }
     markedEjected += 1;
+  });
+  network.setDropListener([&](const net::Packet& pkt) {
+    if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
+    markedDropped += 1;
   });
 
   const std::uint64_t createdBefore = network.packetsCreated();
@@ -110,12 +131,13 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   // Drain: keep injecting (per the paper) until every marked packet arrives
   // or the drain budget runs out.
   const Tick drainDeadline = mEnd + config.drainWindow;
-  while (!result.saturated && markedEjected < markedCreated && sim.now() < drainDeadline) {
+  while (!result.saturated && markedEjected + markedDropped < markedCreated &&
+         sim.now() < drainDeadline) {
     const std::uint64_t movesBefore = network.flitMovements();
     sim.run(std::min(sim.now() + config.warmupWindow, drainDeadline));
     watchdog(network, movesBefore);
   }
-  if (markedEjected < markedCreated && !result.saturated) {
+  if (markedEjected + markedDropped < markedCreated && !result.saturated) {
     // Could not drain: the network is effectively saturated at this load.
     result.saturated = true;
   }
@@ -126,8 +148,14 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
 
   injector.stop();
   network.setEjectionListener(nullptr);
+  network.setDropListener(nullptr);
 
   result.packetsMeasured = markedEjected;
+  result.packetsDropped = markedDropped;
+  if (markedCreated > 0) {
+    result.droppedShare =
+        static_cast<double>(markedDropped) / static_cast<double>(markedCreated);
+  }
   if (markedEjected > 0) {
     result.latencyMean = latency.mean();
     result.latencyP50 = latency.percentile(0.50);
@@ -136,6 +164,7 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
     result.latencyMax = latency.max();
     result.avgHops = hops.mean();
     result.avgDeroutes = deroutes.mean();
+    result.avgStretch = stretch.count() > 0 ? stretch.mean() : 0.0;
   }
   return result;
 }

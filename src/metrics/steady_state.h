@@ -55,6 +55,16 @@ struct SteadyStateResult {
   double avgDeroutes = 0.0;
   std::uint64_t packetsMeasured = 0;
   Tick warmupCycles = 0;
+  // --- resilience metrics (nonzero only on faulted networks) ---
+  // Marked packets dropped at fault dead ends (--fault-drop policy).
+  std::uint64_t packetsDropped = 0;
+  // packetsDropped / marked packets created: the delivered-vs-dropped split.
+  double droppedShare = 0.0;
+  // Mean hops / minHops over delivered marked packets, where minHops is taken
+  // from the network's effective topology — on a degraded network, the BFS
+  // distance over the surviving links. 1.0 = every packet took a shortest
+  // reachable path; the excess is the price of routing around faults.
+  double avgStretch = 0.0;
 };
 
 // Runs warmup + measurement for an already-constructed network/injector.

@@ -124,6 +124,23 @@ void Network::trackInFlight(Packet* pkt) {
   packetsInFlight_ += 1;
 }
 
+void Network::setDeadPortMask(const fault::DeadPortMask* mask) {
+  if (mask != nullptr) {
+    HXWAR_CHECK_MSG(mask->numRouters() == numRouters() && mask->maxPorts() >= maxPorts_,
+                    "dead-port mask shape does not match the network");
+  }
+  for (auto& r : routers_) r->setDeadPortMask(mask);
+}
+
+void Network::dropPacket(Packet* pkt) {
+  flitsDropped_ += pkt->sizeFlits;
+  packetsDropped_ += 1;
+  HXWAR_CHECK(packetsInFlight_ > 0);
+  packetsInFlight_ -= 1;
+  if (dropListener_) dropListener_(*pkt);
+  recyclePacket(pkt);
+}
+
 void Network::completePacket(Packet* pkt) {
   flitsEjected_ += pkt->sizeFlits;
   packetsEjected_ += 1;

@@ -55,6 +55,12 @@ class Network {
   sim::Simulator& simulator() { return sim_; }
 
   void setEjectionListener(EjectionListener listener) { listener_ = std::move(listener); }
+  // Called (if set) for every packet dropped at a fault dead end.
+  void setDropListener(EjectionListener listener) { dropListener_ = std::move(listener); }
+  // Installs the fault mask on every router (nullptr disables fault logic).
+  // Routers filter candidates and silence dead output ports through it; the
+  // mask contents may change mid-run (FaultController transient windows).
+  void setDeadPortMask(const fault::DeadPortMask* mask);
   void setHopListener(HopListener listener) { hopListener_ = std::move(listener); }
   bool hasHopListener() const { return static_cast<bool>(hopListener_); }
   void notifyHop(const Packet& pkt, RouterId router, PortId inPort, PortId outPort) {
@@ -81,6 +87,8 @@ class Network {
   void noteFlitInjected() { flitsInjected_ += 1; }
   void trackInFlight(Packet* pkt);
   void completePacket(Packet* pkt);
+  // Fault dead end: count the loss, notify the drop listener, recycle.
+  void dropPacket(Packet* pkt);
 
   // --- counters ---
   std::uint64_t flitMovements() const { return flitMovements_; }
@@ -88,8 +96,12 @@ class Network {
   std::uint64_t flitsEjected() const { return flitsEjected_; }
   std::uint64_t packetsCreated() const { return packetsCreated_; }
   std::uint64_t packetsEjected() const { return packetsEjected_; }
-  // Packets enqueued or in flight but not yet delivered.
-  std::uint64_t packetsOutstanding() const { return packetsCreated_ - packetsEjected_; }
+  std::uint64_t packetsDropped() const { return packetsDropped_; }
+  std::uint64_t flitsDropped() const { return flitsDropped_; }
+  // Packets enqueued or in flight but neither delivered nor dropped.
+  std::uint64_t packetsOutstanding() const {
+    return packetsCreated_ - packetsEjected_ - packetsDropped_;
+  }
   // Sum of all source-queue backlogs in flits (saturation signal).
   std::uint64_t totalSourceBacklogFlits() const;
 
@@ -98,6 +110,7 @@ class Network {
   const topo::Topology& topology_;
   NetworkConfig config_;
   EjectionListener listener_;
+  EjectionListener dropListener_;
   HopListener hopListener_;
 
   std::vector<std::unique_ptr<Router>> routers_;
@@ -117,6 +130,8 @@ class Network {
   std::uint64_t flitsEjected_ = 0;
   std::uint64_t packetsCreated_ = 0;
   std::uint64_t packetsEjected_ = 0;
+  std::uint64_t packetsDropped_ = 0;
+  std::uint64_t flitsDropped_ = 0;
   std::uint64_t packetsInFlight_ = 0;
 };
 

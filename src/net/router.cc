@@ -78,6 +78,19 @@ std::uint64_t Router::bufferedFlits() const {
 
 void Router::receiveFlit(PortId port, VcId vc, Flit flit) {
   InVc& iv = in(port, vc);
+  if (iv.dropping) {
+    // The packet at the front of this VC hit a fault dead end before its tail
+    // arrived: consume the remaining flits on arrival, returning the buffer
+    // slot upstream, and finalize the drop at the tail.
+    HXWAR_CHECK(iv.q.empty() && !flit.isHead());
+    inCredit_[port]->send(vc);
+    network_->noteFlitMoved();
+    if (flit.isTail()) {
+      iv.dropping = false;
+      network_->dropPacket(flit.packet);
+    }
+    return;
+  }
   HXWAR_CHECK_MSG(iv.q.size() < config_.inputBufferDepth,
                   "credit protocol violated: input buffer overflow");
   iv.q.push_back(flit);
@@ -155,8 +168,14 @@ void Router::stageOutput() {
   std::size_t w = 0;
   for (std::size_t idx = 0; idx < activeOutPorts_.size(); ++idx) {
     const PortId p = activeOutPorts_[idx];
+    // A transiently dead output port transmits nothing: queued flits wait in
+    // place (the port stays active below, retrying each cycle) and drain when
+    // the channel revives. Statically dead ports never get queued flits — the
+    // candidate filter in tryRoute rejects them before allocation.
+    const bool portDead = deadPorts_ != nullptr && deadPorts_->isDead(id_, p);
     VcId best = kVcInvalid;
-    if (config_.arbiter == ArbiterPolicy::kAgeBased) {
+    if (portDead) {
+    } else if (config_.arbiter == ArbiterPolicy::kAgeBased) {
       for (VcId v = 0; v < config_.numVcs; ++v) {
         OutVc& o = out(p, v);
         if (o.q.empty() || o.credits == 0) continue;
@@ -281,7 +300,7 @@ void Router::stageCrossbar() {
   // (addXfer pushes to the end; entries beyond w were compacted already.)
 }
 
-bool Router::tryRoute(PortId port, VcId vc) {
+Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   InVc& iv = in(port, vc);
   HXWAR_CHECK(!iv.q.empty() && iv.q.front().isHead() && !iv.routed);
   Packet& pkt = *iv.q.front().packet;
@@ -289,9 +308,34 @@ bool Router::tryRoute(PortId port, VcId vc) {
   scratchCandidates_.clear();
   const bool atSource = terminalPort_[port];
   const routing::RouteContext ctx{*this, port, vc, atSource,
-                                  atSource ? 0u : vcMap_.classOf(vc)};
+                                  atSource ? 0u : vcMap_.classOf(vc), deadPorts_};
   routing_->route(ctx, pkt, scratchCandidates_);
   HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
+
+  if (deadPorts_ != nullptr) {
+    // Reject candidates targeting dead ports. Fault-aware algorithms already
+    // avoided them; this filter turns a non-fault-aware algorithm's dead end
+    // into an explicit drop (or a loud abort) instead of an eternal stall.
+    std::size_t live = 0;
+    for (std::size_t c = 0; c < scratchCandidates_.size(); ++c) {
+      if (!deadPorts_->isDead(id_, scratchCandidates_[c].port)) {
+        scratchCandidates_[live++] = scratchCandidates_[c];
+      }
+    }
+    scratchCandidates_.resize(live);
+    if (scratchCandidates_.empty()) {
+      if (config_.faultDropDeadEnd) {
+        startDrop(port, vc);
+        return RouteOutcome::kDropped;
+      }
+      const std::string msg =
+          "fault dead end: " + routing_->info().name + " at router " +
+          std::to_string(id_) + " has no live output for packet " +
+          std::to_string(pkt.id) + " (dst node " + std::to_string(pkt.dst) +
+          "); use a fault-aware algorithm (dal/dimwar/omniwar) or --fault-drop=true";
+      HXWAR_CHECK_MSG(false, msg.c_str());
+    }
+  }
 
   // Selection: pick the minimum-weight candidate by congestion x hops,
   // independent of momentary VC availability (random tie-break). The packet
@@ -342,7 +386,7 @@ bool Router::tryRoute(PortId port, VcId vc) {
       bestRoom = room;
     }
   }
-  if (ov == kVcInvalid) return false;  // winner busy: wait and re-evaluate
+  if (ov == kVcInvalid) return RouteOutcome::kBlocked;  // winner busy: wait and re-evaluate
 
   OutVc& o = out(cand.port, ov);
   o.owned = true;
@@ -357,7 +401,31 @@ bool Router::tryRoute(PortId port, VcId vc) {
     }
   }
   addXfer(port, vc);
-  return true;
+  return RouteOutcome::kGranted;
+}
+
+void Router::startDrop(PortId port, VcId vc) {
+  InVc& iv = in(port, vc);
+  Packet* pkt = iv.q.front().packet;
+  bool sawTail = false;
+  while (!iv.q.empty() && iv.q.front().packet == pkt) {
+    const Flit f = iv.q.front();
+    iv.q.pop_front();
+    inCredit_[port]->send(vc);
+    network_->noteFlitMoved();
+    if (f.isTail()) {
+      sawTail = true;
+      break;
+    }
+  }
+  if (sawTail) {
+    if (!iv.q.empty()) {
+      HXWAR_CHECK_MSG(iv.q.front().isHead(), "packet interleaving on input VC");
+    }
+    network_->dropPacket(pkt);
+  } else {
+    iv.dropping = true;  // remaining flits consumed on arrival (receiveFlit)
+  }
 }
 
 void Router::stageRoute() {
@@ -371,10 +439,15 @@ void Router::stageRoute() {
       iv.inRouteList = false;  // stale
       continue;
     }
-    if (tryRoute(p, v)) {
+    const RouteOutcome outcome = tryRoute(p, v);
+    if (outcome == RouteOutcome::kGranted) {
       iv.inRouteList = false;
+    } else if (outcome == RouteOutcome::kBlocked || !iv.q.empty()) {
+      // Blocked heads retry next cycle; after a finalized drop the next
+      // packet's head may already be queued and routes next cycle.
+      routePending_[w++] = code;
     } else {
-      routePending_[w++] = code;  // blocked: retry next cycle
+      iv.inRouteList = false;
     }
   }
   routePending_.resize(w);

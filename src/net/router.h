@@ -48,6 +48,10 @@ struct RouterConfig {
   // output VC is granted only when the downstream buffer has room for the
   // whole packet, so packets never stall mid-stream across a channel.
   bool virtualCutThrough = true;
+  // Dead-end policy on a faulted network: when every candidate a routing
+  // algorithm emits targets a dead port, true drops the packet (counted by
+  // the network) and false aborts loudly. Irrelevant without a fault mask.
+  bool faultDropDeadEnd = false;
 };
 
 class Router final : public sim::Component, public FlitSink, public CreditSink {
@@ -64,6 +68,9 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // allowed — terminals also accept credits.
   void connectInputCredit(PortId port, CreditChannel* channel);
   void setTerminalPort(PortId port, bool isTerminal);
+  // Installs the fault mask (set by Network on every router; nullptr = no
+  // faults, keeping the fault logic entirely off the no-fault fast path).
+  void setDeadPortMask(const fault::DeadPortMask* mask) { deadPorts_ = mask; }
 
   // --- sinks ---
   void receiveFlit(PortId port, VcId vc, Flit flit) override;
@@ -96,6 +103,9 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
     std::deque<Flit> q;
     bool routed = false;
     bool deroute = false;  // the granted hop is a deroute (for stats)
+    // Mid-drop: the packet at the front hit a fault dead end before its tail
+    // arrived; remaining flits are consumed (credits returned) on arrival.
+    bool dropping = false;
     PortId outPort = kPortInvalid;
     VcId outVc = kVcInvalid;
     bool inRouteList = false;
@@ -124,11 +134,17 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   OutVc& out(PortId p, VcId v) { return outputs_[p * config_.numVcs + v]; }
   const OutVc& out(PortId p, VcId v) const { return outputs_[p * config_.numVcs + v]; }
 
+  enum class RouteOutcome { kGranted, kBlocked, kDropped };
+
   void ensureCycle();
   void stageOutput();
   void stageCrossbar();
   void stageRoute();
-  bool tryRoute(PortId port, VcId vc);
+  RouteOutcome tryRoute(PortId port, VcId vc);
+  // Fault dead end: consume the front packet's queued flits (returning
+  // credits) and finalize the drop once the tail is seen; flits still in
+  // flight are consumed by receiveFlit while `dropping` is set.
+  void startDrop(PortId port, VcId vc);
   void addRoutePending(PortId p, VcId v);
   void addXfer(PortId p, VcId v);
   void markOutputActive(PortId p);
@@ -139,6 +155,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   RouterConfig config_;
   routing::RoutingAlgorithm* routing_;
   routing::VcMap vcMap_;
+  const fault::DeadPortMask* deadPorts_ = nullptr;
   Rng rng_;
 
   std::vector<InVc> inputs_;    // [port][vc]

@@ -10,12 +10,63 @@ void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
   if (emitEjectIfLocal(ctx, pkt, out)) return;
   const RouterId cur = ctx.router.id();
   const RouterId dst = destRouter(pkt);
+  const std::uint32_t unaligned = topo_.minHops(cur, dst);
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+
+  if (mask != nullptr) {
+    // Fault-aware emission: minimal hops only on surviving links; deroutes
+    // only when both legs survive, so a deroute never lands facing a dead
+    // minimal link. Every allocation stays atomic — DAL's deadlock freedom
+    // comes from the escape-path allocation rule, not the deroute budget, so
+    // skipping dead candidates cannot introduce a cycle.
+    for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+      const std::uint32_t cc = topo_.coord(cur, d);
+      const std::uint32_t dc = topo_.coord(dst, d);
+      if (cc == dc) continue;
+      if (moveLive(mask, cur, d, dc)) {
+        emitDimMoveLive(mask, out, cur, d, dc, 0, unaligned, false);
+      }
+      if (!(pkt.deroutedDims & (1u << d))) {
+        for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+          if (x == cc || x == dc) continue;
+          if (!moveLive(mask, cur, d, x)) continue;
+          if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+          emitDimMoveLive(mask, out, cur, d, x, 0, unaligned + 1, true,
+                          static_cast<std::uint8_t>(d));
+        }
+      }
+    }
+    if (out.empty()) {
+      // Fault re-deroute: the once-per-dimension budget is a path-length
+      // bound, not a deadlock-avoidance rule (atomic allocation is safe at
+      // any deroute count), so when every budgeted candidate is dead the
+      // packet may re-deroute within an already-derouted dimension to get
+      // around the hole. The lookahead still applies.
+      for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+        const std::uint32_t cc = topo_.coord(cur, d);
+        const std::uint32_t dc = topo_.coord(dst, d);
+        if (cc == dc) continue;
+        for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+          if (x == cc || x == dc) continue;
+          if (!moveLive(mask, cur, d, x)) continue;
+          if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+          emitDimMoveLive(mask, out, cur, d, x, 0, unaligned + 1, true,
+                          static_cast<std::uint8_t>(d));
+        }
+      }
+    }
+    if (!out.empty()) {
+      for (auto& c : out) c.atomic = atomic_;
+      return;
+    }
+    // Degraded beyond one-deroute routability from this router: fall through
+    // to the plain emission so the router's dead-end policy decides.
+  }
 
   for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
     const std::uint32_t cc = topo_.coord(cur, d);
     const std::uint32_t dc = topo_.coord(dst, d);
     if (cc == dc) continue;  // lateral moves only in unaligned dimensions
-    const std::uint32_t unaligned = topo_.minHops(cur, dst);
     const std::size_t first = out.size();
     // Minimal hop in this dimension (one candidate per trunk).
     emitDimMove(out, cur, d, dc, 0, unaligned, false);

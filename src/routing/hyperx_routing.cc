@@ -57,6 +57,29 @@ void HyperXRoutingBase::emitDimMove(std::vector<Candidate>& out, RouterId cur,
   }
 }
 
+bool HyperXRoutingBase::moveLive(const fault::DeadPortMask* mask, RouterId cur,
+                                 std::uint32_t dim, std::uint32_t to) const {
+  if (mask == nullptr) return true;
+  for (std::uint32_t trunk = 0; trunk < topo_.trunking(); ++trunk) {
+    if (!mask->isDead(cur, topo_.dimPort(cur, dim, to, trunk))) return true;
+  }
+  return false;
+}
+
+void HyperXRoutingBase::emitDimMoveLive(const fault::DeadPortMask* mask,
+                                        std::vector<Candidate>& out, RouterId cur,
+                                        std::uint32_t dim, std::uint32_t to,
+                                        std::uint32_t vcClass, std::uint32_t hopsRemaining,
+                                        bool deroute, std::uint8_t derouteDim) const {
+  for (std::uint32_t trunk = 0; trunk < topo_.trunking(); ++trunk) {
+    const PortId port = topo_.dimPort(cur, dim, to, trunk);
+    if (mask != nullptr && mask->isDead(cur, port)) continue;
+    Candidate c{port, vcClass, hopsRemaining, deroute};
+    c.derouteDim = derouteDim;
+    out.push_back(c);
+  }
+}
+
 // --- DOR --------------------------------------------------------------------
 
 void DorRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) {
@@ -240,6 +263,29 @@ void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
   const std::uint32_t cc = topo_.coord(cur, d);
   const std::uint32_t dc = topo_.coord(dst, d);
 
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+  if (mask != nullptr) {
+    // Fault-aware emission: minimal hop only when its link survives, and a
+    // deroute to x only when both legs (cur->x and x->dc) survive — the
+    // lookahead matters because a class-1 packet MUST take the minimal hop
+    // next, so granting a deroute into a dead-ended row member would strand
+    // it. On a one-deroute-routable degraded network this set is never empty
+    // (DESIGN.md §8); if a worse fault set empties it, fall through to the
+    // plain emission and let the router's dead-end policy decide.
+    if (moveLive(mask, cur, d, dc)) {
+      emitDimMoveLive(mask, out, cur, d, dc, 0, unaligned, false);
+    }
+    if (ctx.inClass == 0) {
+      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+        if (x == cc || x == dc) continue;
+        if (!moveLive(mask, cur, d, x)) continue;
+        if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+        emitDimMoveLive(mask, out, cur, d, x, 1, unaligned + 1, true);
+      }
+    }
+    if (!out.empty()) return;
+  }
+
   // Minimal hop in the current dimension always rides class 0.
   emitDimMove(out, cur, d, dc, 0, unaligned, false);
 
@@ -283,6 +329,40 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
     // The input port p on this router mirrors the peer's output port; the
     // dimension of the move is the dimension the port belongs to.
     cameFromDim = topo_.portMove(cur, ctx.inPort).dim;
+  }
+
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+  if (mask != nullptr) {
+    // Fault-aware emission. Minimal moves only on surviving links; deroutes
+    // need both legs alive AND the tighter budget remainingAfter >= 2k
+    // (k = unaligned dims) instead of the fault-free >= k. The 2k reserve
+    // keeps the invariant R >= 2k on the remaining distance classes: every
+    // minimal hop spends one class and halves the 2-per-dimension reserve it
+    // no longer needs; every granted deroute keeps k constant, spends one
+    // class, and guarantees (via the lookahead) a live minimal hop next — so
+    // on a one-deroute-routable degraded network a packet always has a live
+    // candidate and always has classes left to finish (DESIGN.md §8). With
+    // M >= N deroute classes (the default M = N) the invariant holds from
+    // the source: R = N + M >= 2k for any k <= N.
+    for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+      const std::uint32_t cc = topo_.coord(cur, d);
+      const std::uint32_t dc = topo_.coord(dst, d);
+      if (cc == dc) continue;
+      if (moveLive(mask, cur, d, dc)) {
+        emitDimMoveLive(mask, out, cur, d, dc, c, unaligned, false);
+      }
+      if (minimalOnly_ || remainingAfter < 2 * unaligned) continue;
+      if (restrictBackToBack_ && d == cameFromDim) continue;
+      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+        if (x == cc || x == dc) continue;
+        if (!moveLive(mask, cur, d, x)) continue;
+        if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+        emitDimMoveLive(mask, out, cur, d, x, c, unaligned + 1, true);
+      }
+    }
+    if (!out.empty()) return;
+    // Degraded beyond the routable guarantee: fall through to the plain
+    // emission so the router's dead-end policy decides.
   }
 
   for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {

@@ -53,6 +53,19 @@ class HyperXRoutingBase : public RoutingAlgorithm {
                    std::uint32_t to, std::uint32_t vcClass, std::uint32_t hopsRemaining,
                    bool deroute, std::uint8_t derouteDim = 0xff) const;
 
+  // True when some trunk of the move cur --dim--> to survives the fault mask
+  // (nullptr mask = no faults). The mask is global, so this also answers
+  // one-step lookahead queries at remote routers (`cur` need not be ctx's
+  // router) — fault-aware deroutes check both legs before committing.
+  bool moveLive(const fault::DeadPortMask* mask, RouterId cur, std::uint32_t dim,
+                std::uint32_t to) const;
+
+  // emitDimMove restricted to live trunks (emits nothing if all are dead).
+  void emitDimMoveLive(const fault::DeadPortMask* mask, std::vector<Candidate>& out,
+                       RouterId cur, std::uint32_t dim, std::uint32_t to,
+                       std::uint32_t vcClass, std::uint32_t hopsRemaining, bool deroute,
+                       std::uint8_t derouteDim = 0xff) const;
+
   RouterId destRouter(const net::Packet& pkt) const { return topo_.nodeRouter(pkt.dst); }
 
   const topo::HyperX& topo_;

@@ -20,6 +20,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/dead_port_mask.h"
 #include "net/packet.h"
 
 namespace hxwar::net {
@@ -49,6 +50,13 @@ struct RouteContext {
   VcId inVc;        // meaningless when atSource
   bool atSource;    // head is at its source router (arrived from a terminal)
   std::uint32_t inClass;  // class of inVc (0 when atSource)
+  // Dead-port mask when the network carries faults, nullptr otherwise.
+  // Fault-aware algorithms (DAL/DimWAR/OmniWAR) consult it — including
+  // one-step lookahead at remote routers — to skip dead candidates; the
+  // router additionally filters every returned candidate against it, so
+  // non-fault-aware algorithms fail loudly (or drop, under --fault-drop) at
+  // the dead end instead of stalling forever.
+  const fault::DeadPortMask* deadPorts = nullptr;
 };
 
 // Static implementation properties (reproduces Table 1).

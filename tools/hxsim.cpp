@@ -8,6 +8,15 @@
 //                          points concurrently; output is jobs-invariant)
 //   --experiment=stencil   27-pt stencil app (--halo-kb, --iterations, --mode)
 //
+// `hxsim --list` prints the registered topologies, routing algorithms, and
+// traffic patterns and exits.
+//
+// Fault injection (steady/sweep): --fault-rate + --fault-seed draw random
+// link failures, --fault-links=r:p,... / --fault-routers=r,... name them
+// explicitly, --fault-at/--fault-until make them transient, and
+// --fault-drop=true switches the dead-end policy from abort to drop (adds
+// `dropped`/`stretch` columns). See fault/fault_model.h.
+//
 // steady/sweep run through the shared harness::runLoadSweep engine for every
 // topology family, with the standard determinism contract: each point's seeds
 // derive from (--seed, point index), so the table and --csv output are
@@ -29,6 +38,7 @@
 #include "common/flags.h"
 #include "harness/builder.h"
 #include "harness/csv.h"
+#include "harness/registry.h"
 #include "harness/spec.h"
 #include "harness/sweep_runner.h"
 #include "harness/table.h"
@@ -37,15 +47,40 @@ namespace {
 
 using namespace hxwar;
 
-std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult& r) {
+std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult& r,
+                                   bool faulted) {
   using harness::Table;
-  return {Table::pct(load),
-          Table::pct(r.accepted),
-          r.saturated ? "-" : Table::num(r.latencyMean, 1),
-          r.saturated ? "-" : Table::num(r.latencyP99, 1),
-          Table::num(r.avgHops, 2),
-          Table::num(r.avgDeroutes, 3),
-          r.saturated ? "SATURATED" : "stable"};
+  std::vector<std::string> row = {Table::pct(load),
+                                  Table::pct(r.accepted),
+                                  r.saturated ? "-" : Table::num(r.latencyMean, 1),
+                                  r.saturated ? "-" : Table::num(r.latencyP99, 1),
+                                  Table::num(r.avgHops, 2),
+                                  Table::num(r.avgDeroutes, 3),
+                                  r.saturated ? "SATURATED" : "stable"};
+  if (faulted) {
+    row.push_back(Table::num(r.droppedShare, 4));
+    row.push_back(Table::num(r.avgStretch, 3));
+  }
+  return row;
+}
+
+// --list: the registered experiment vocabulary, then exit.
+int listRegistry() {
+  auto& registry = harness::ExperimentRegistry::instance();
+  std::printf("topologies (with routing algorithms):\n");
+  for (const auto& topology : registry.topologyNames()) {
+    std::printf("  %-10s:", topology.c_str());
+    for (const auto& routing : registry.routingNames(topology)) {
+      std::printf(" %s", routing.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("patterns:\n");
+  for (const auto& pattern : registry.patternNames()) {
+    std::printf("  %-6s %s\n", pattern.c_str(),
+                registry.pattern(pattern).description.c_str());
+  }
+  return 0;
 }
 
 int runSteadyOrSweep(const Flags& flags, bool sweep) {
@@ -58,13 +93,19 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   const auto points = harness::runLoadSweep(spec, loads, sweepOpts);
 
   // No wall-clock columns: the table and CSV stay byte-identical for any
-  // --jobs value. Telemetry goes to --perf-json instead.
-  const std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
-                                            "hops",    "deroutes", "state"};
+  // --jobs value. Telemetry goes to --perf-json instead. Resilience columns
+  // appear only on faulted runs, keeping fault-free output unchanged.
+  std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
+                                      "hops",    "deroutes", "state"};
+  const bool faulted = spec.fault.active();
+  if (faulted) {
+    columns.push_back("dropped");
+    columns.push_back("stretch");
+  }
   harness::Table table(columns);
   harness::CsvWriter csv(flags.str("csv", ""), columns);
   for (const auto& p : points) {
-    const auto row = resultRow(p.load, p.result);
+    const auto row = resultRow(p.load, p.result, faulted);
     table.addRow(row);
     csv.row(row);
   }
@@ -118,6 +159,7 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!flags.parse(argc, argv)) return 1;
   if (flags.has("config") && !flags.loadFile(flags.str("config", ""))) return 1;
+  if (flags.b("list", false)) return listRegistry();
 
   {
     auto bundle = harness::NetworkBundle::fromFlags(flags);

@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
 # Race-checks the parallel sweep engine: configures a ThreadSanitizer side
 # build (build-tsan/, separate from the main build/) and runs the
-# parallel-sweep test suite under TSan. Any data race in the thread pool or
-# the sweep reduction fails the run.
+# parallel-sweep test suite under TSan, then the fault suite (transient
+# kill/revive events mutate the shared dead-port mask, and the faulted
+# --jobs sweep exercises per-thread fault-set construction). Any data race
+# in the thread pool, the sweep reduction, or the fault layer fails the run.
 #
-# Usage: tools/run_tsan_sweep.sh [extra ctest args...]
+# Usage: tools/run_tsan_sweep.sh [extra gtest args...]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-tsan"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" --target parallel_sweep_test -j"$(nproc)"
+cmake --build "${BUILD}" --target parallel_sweep_test fault_test -j"$(nproc)"
 
 # TSAN_OPTIONS defaults: fail loudly on the first race.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 "${BUILD}/tests/parallel_sweep_test" "$@"
 echo "parallel_sweep_test passed under ThreadSanitizer"
+
+# Transient-fault sweep: the kill/revive schedule plus the multi-threaded
+# faulted sweep (FaultSweep.JobsInvariantOnFaultedNetwork runs jobs=4).
+# Death tests fork and are meaningless under TSan; skip them.
+"${BUILD}/tests/fault_test" --gtest_filter='-*Death*' "$@"
+echo "fault_test (transient-fault sweep) passed under ThreadSanitizer"
