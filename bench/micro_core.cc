@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "fault/degraded_topology.h"
 #include "net/network.h"
+#include "obs/net_observer.h"
 #include "routing/hyperx_routing.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -229,13 +230,30 @@ double timeTopologyLookups(const topo::Topology& topo, std::uint64_t iterations)
   return static_cast<double>(iterations) / dt.count();  // sweeps/sec
 }
 
-double timeEndToEndEventsPerSec() {
+// Observer attachment levels for the end-to-end rate: detached (the pre-obs
+// hot path plus one null-pointer branch per hook), counters only, and
+// every-packet tracing (the worst case --trace-sample=1 configuration).
+enum class ObsMode { kOff, kCounters, kTraced };
+
+double timeEndToEndEventsPerSec(ObsMode mode = ObsMode::kOff) {
   sim::Simulator sim;
   topo::HyperX topo({{4, 4, 4}, 4});
   auto routing = routing::makeHyperXRouting("dimwar", topo);
   net::NetworkConfig cfg;
   cfg.channelLatencyRouter = 8;
   net::Network network(sim, topo, *routing, cfg);
+  std::unique_ptr<obs::NetObserver> observer;
+  if (mode != ObsMode::kOff) {
+    obs::ObsOptions opts;
+    if (mode == ObsMode::kTraced) {
+      opts.traceOut = "bench";  // enables tracing; nothing is written here
+      opts.traceSample = 1;
+    } else {
+      opts.metricsJson = "bench";  // counters only
+    }
+    observer = std::make_unique<obs::NetObserver>(topo, cfg.router.numVcs, opts);
+    network.setObserver(observer.get());
+  }
   traffic::UniformRandom pattern(topo.numNodes());
   traffic::SyntheticInjector::Params params;
   params.rate = 0.4;
@@ -254,6 +272,8 @@ void writeCoreBaseline(const char* path) {
   const double unpooled = timePacketChurn(false, churn);
   const double pooled = timePacketChurn(true, churn);
   const double evps = timeEndToEndEventsPerSec();
+  const double evpsCounters = timeEndToEndEventsPerSec(ObsMode::kCounters);
+  const double evpsTraced = timeEndToEndEventsPerSec(ObsMode::kTraced);
   topo::HyperX hx({{4, 4, 4}, 4});
   std::uint32_t maxPorts = 0;
   for (RouterId r = 0; r < hx.numRouters(); ++r) {
@@ -270,6 +290,10 @@ void writeCoreBaseline(const char* path) {
               "(%.3fx overhead)\n",
               rawLookups / 1e6, degradedLookups / 1e6, rawLookups / degradedLookups);
   std::printf("end-to-end dimwar/ur small: %.2f Mev/s\n", evps / 1e6);
+  std::printf("  with obs counters: %.2f Mev/s (%.3fx overhead), traced 1-in-1: "
+              "%.2f Mev/s (%.3fx overhead)\n",
+              evpsCounters / 1e6, evps / evpsCounters, evpsTraced / 1e6,
+              evps / evpsTraced);
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: could not write %s\n", path);
@@ -284,10 +308,15 @@ void writeCoreBaseline(const char* path) {
                "  \"topology_lookup_raw_per_sec\": %.1f,\n"
                "  \"topology_lookup_degraded_per_sec\": %.1f,\n"
                "  \"degraded_lookup_overhead\": %.3f,\n"
-               "  \"end_to_end_events_per_sec\": %.1f\n"
+               "  \"end_to_end_events_per_sec\": %.1f,\n"
+               "  \"end_to_end_obs_counters_events_per_sec\": %.1f,\n"
+               "  \"end_to_end_obs_traced_events_per_sec\": %.1f,\n"
+               "  \"obs_counters_overhead\": %.3f,\n"
+               "  \"obs_traced_overhead\": %.3f\n"
                "}\n",
                unpooled, pooled, pooled / unpooled, rawLookups, degradedLookups,
-               rawLookups / degradedLookups, evps);
+               rawLookups / degradedLookups, evps, evpsCounters, evpsTraced,
+               evps / evpsCounters, evps / evpsTraced);
   std::fclose(f);
 }
 

@@ -41,6 +41,11 @@ class DegradedTopology final : public topo::Topology {
     return dist_[static_cast<std::size_t>(a) * n_ + b];
   }
   std::uint32_t diameter() const override { return diameter_; }
+  // Dimension attribution is structural, not connectivity-dependent.
+  std::uint32_t numPortDims() const override { return base_.numPortDims(); }
+  std::uint32_t portDim(RouterId r, PortId p) const override {
+    return base_.portDim(r, p);
+  }
 
   const topo::Topology& base() const { return base_; }
   const DeadPortMask& mask() const { return mask_; }

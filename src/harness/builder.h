@@ -21,6 +21,10 @@
 //   bias            routing weight bias in flits                (4.0)
 //   vct             packet-buffer (cut-through) flow control    (true)
 //   net-seed        RNG seed for routers                        (1)
+//
+// Observability flags (trace-out, trace-sample, metrics-json,
+// sample-interval, stall-window) are harness-level, not construction keys:
+// see obs/obs.h and harness/spec.h (obsOptionsFromFlags).
 #pragma once
 
 #include <memory>

@@ -144,6 +144,40 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
   pattern_ = registry.pattern(spec_.pattern).build(*topo_, spec_.patternSeed);
   injector_ = std::make_unique<traffic::SyntheticInjector>(sim_, *network_, *pattern_,
                                                            spec_.injection);
+
+  if constexpr (obs::kCompiledIn) {
+    if (spec_.obs.enabled()) {
+      observer_ = std::make_unique<obs::NetObserver>(effectiveTopology(),
+                                                     spec_.net.router.numVcs, spec_.obs);
+      network_->setObserver(observer_.get());
+      // Pull gauges over the network's aggregate counters (polled at sampler
+      // cadence / diagnostic dumps only, so the per-call cost is irrelevant).
+      net::Network* net = network_.get();
+      obs::Registry& reg = observer_->registry();
+      reg.gauge(obs::gauges::kFlitsInjected,
+                [net] { return static_cast<double>(net->flitsInjected()); });
+      reg.gauge(obs::gauges::kFlitsEjected,
+                [net] { return static_cast<double>(net->flitsEjected()); });
+      reg.gauge(obs::gauges::kFlitMovements,
+                [net] { return static_cast<double>(net->flitMovements()); });
+      reg.gauge(obs::gauges::kBacklogFlits,
+                [net] { return static_cast<double>(net->totalSourceBacklogFlits()); });
+      reg.gauge(obs::gauges::kQueuedFlits, [net] {
+        std::uint64_t queued = 0;
+        for (RouterId r = 0; r < net->numRouters(); ++r) {
+          queued += net->router(r).bufferedFlits();
+        }
+        return static_cast<double>(queued);
+      });
+      reg.gauge(obs::gauges::kPacketsOutstanding,
+                [net] { return static_cast<double>(net->packetsOutstanding()); });
+      if (spec_.obs.sampling()) {
+        sampler_ = std::make_unique<obs::Sampler>(sim_, *observer_,
+                                                  spec_.obs.sampleInterval,
+                                                  spec_.obs.stallWindow);
+      }
+    }
+  }
 }
 
 const topo::HyperX& Experiment::hyperx() const {
@@ -203,6 +237,12 @@ SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t in
   p.eventsPerSec = p.wallSeconds > 0.0
                        ? static_cast<double>(p.eventsProcessed) / p.wallSeconds
                        : 0.0;
+  if constexpr (obs::kCompiledIn) {
+    if (obs::NetObserver* o = exp.observer()) {
+      p.trace = o->trace();
+      p.samples = o->samples();
+    }
+  }
   return p;
 }
 

@@ -15,6 +15,8 @@
 #include "harness/spec.h"
 #include "metrics/steady_state.h"
 #include "net/network.h"
+#include "obs/net_observer.h"
+#include "obs/sampler.h"
 #include "routing/hyperx_routing.h"
 #include "sim/simulator.h"
 #include "topo/hyperx.h"
@@ -75,6 +77,9 @@ class Experiment {
   const fault::DeadPortMask* deadPortMask() const {
     return spec_.fault.active() ? &mask_ : nullptr;
   }
+  // Attached observability sink; nullptr when spec.obs is all-defaults or the
+  // obs layer is compiled out.
+  obs::NetObserver* observer() { return observer_.get(); }
 
   // Runs warmup + measurement at the configured injection rate.
   metrics::SteadyStateResult run();
@@ -93,6 +98,11 @@ class Experiment {
   std::unique_ptr<fault::FaultController> faultCtrl_;
   std::unique_ptr<traffic::TrafficPattern> pattern_;
   std::unique_ptr<traffic::SyntheticInjector> injector_;
+  // Observability (optional): the observer outlives the sampler that polls it
+  // and the network that holds a raw pointer to it; both are declared after
+  // network_ so teardown order is safe.
+  std::unique_ptr<obs::NetObserver> observer_;
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 // Load-latency sweep: fresh Experiment per load. Stops early once two
@@ -107,6 +117,10 @@ struct SweepPoint {
   double wallSeconds = 0.0;
   std::uint64_t eventsProcessed = 0;
   double eventsPerSec = 0.0;
+  // Observability captures (empty unless the spec enables them). Deterministic
+  // like `result`: trace sampling keys on packet ids, sampler rows on ticks.
+  obs::TraceBuffer trace;
+  std::vector<obs::SampleRow> samples;
 };
 
 // Derives the per-point configuration for point `index` at `load`. Seeds are

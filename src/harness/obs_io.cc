@@ -1,0 +1,142 @@
+#include "harness/obs_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace hxwar::harness {
+namespace {
+
+std::FILE* openOut(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) HXWAR_LOG_WARN("could not open output file %s", path.c_str());
+  return f;
+}
+
+void writeU64Array(std::FILE* f, const char* key,
+                   const std::vector<std::uint64_t>& values) {
+  std::fprintf(f, "\"%s\":[", key);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ",", values[i]);
+  }
+  std::fprintf(f, "]");
+}
+
+}  // namespace
+
+bool writeTraceJson(const std::string& path, const ExperimentSpec& spec,
+                    const std::vector<SweepPoint>& points) {
+  if (path.empty()) return true;
+  std::FILE* f = openOut(path);
+  if (f == nullptr) return false;
+
+  // JSON Object Format: a traceEvents array plus top-level metadata. One "M"
+  // process_name event labels each sweep point's Perfetto process group.
+  std::fprintf(f, "{\"traceEvents\":[");
+  bool first = true;
+  for (const SweepPoint& p : points) {
+    const auto pid = static_cast<std::uint32_t>(p.index);
+    char name[96];
+    std::snprintf(name, sizeof(name), "point %zu load %.4f", p.index, p.load);
+    std::fprintf(f, "%s%s", first ? "" : ",", obs::chromeProcessName(pid, name).c_str());
+    first = false;
+    if (p.trace.empty()) continue;
+    std::string events;
+    obs::appendChromeJson(p.trace, pid, events);
+    std::fprintf(f, ",%s", events.c_str());
+  }
+  std::fprintf(f, "],\"displayTimeUnit\":\"ns\",\"otherData\":{");
+  std::fprintf(f, "\"tool\":\"hxsim\",\"topology\":\"%s\",\"routing\":\"%s\","
+                  "\"pattern\":\"%s\",\"trace_sample\":%" PRIu64 "}}\n",
+               spec.topology.c_str(),
+               spec.routing.empty() ? "default" : spec.routing.c_str(),
+               spec.pattern.c_str(), spec.obs.traceSample);
+  std::fclose(f);
+  return true;
+}
+
+bool writeMetricsJson(const std::string& path, const ExperimentSpec& spec,
+                      const std::vector<SweepPoint>& points) {
+  if (path.empty()) return true;
+  std::FILE* f = openOut(path);
+  if (f == nullptr) return false;
+
+  std::fprintf(f, "{\"tool\":\"hxsim\",\"topology\":\"%s\",\"routing\":\"%s\","
+                  "\"pattern\":\"%s\",\"points\":[",
+               spec.topology.c_str(),
+               spec.routing.empty() ? "default" : spec.routing.c_str(),
+               spec.pattern.c_str());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    const metrics::SteadyStateResult& r = p.result;
+    std::fprintf(f, "%s{\"index\":%zu,\"load\":%s,\"saturated\":%s,", i == 0 ? "" : ",",
+                 p.index, formatDouble(p.load).c_str(), r.saturated ? "true" : "false");
+    std::fprintf(f, "\"offered\":%s,\"accepted\":%s,\"packets\":%" PRIu64 ",",
+                 formatDouble(r.offered).c_str(), formatDouble(r.accepted).c_str(),
+                 r.packetsMeasured);
+    std::fprintf(f,
+                 "\"latency\":{\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,"
+                 "\"p999\":%s,\"min\":%s,\"max\":%s},",
+                 formatDouble(r.latencyMean).c_str(), formatDouble(r.latencyP50).c_str(),
+                 formatDouble(r.latencyP90).c_str(), formatDouble(r.latencyP99).c_str(),
+                 formatDouble(r.latencyP999).c_str(), formatDouble(r.latencyMin).c_str(),
+                 formatDouble(r.latencyMax).c_str());
+    std::fprintf(f, "\"hops\":%s,\"deroutes\":%s,",
+                 formatDouble(r.avgHops).c_str(), formatDouble(r.avgDeroutes).c_str());
+
+    // Nonzero log2 buckets only: [lo, hi) edges are exact powers of two.
+    std::fprintf(f, "\"latency_histogram\":[");
+    bool firstBucket = true;
+    for (std::uint32_t b = 0; b < obs::LogHistogram::kBuckets; ++b) {
+      if (r.latencyHistogram.count(b) == 0) continue;
+      std::fprintf(f, "%s{\"lo\":%.0f,\"hi\":%.0f,\"count\":%" PRIu64 "}",
+                   firstBucket ? "" : ",", obs::LogHistogram::bucketLow(b),
+                   obs::LogHistogram::bucketHigh(b), r.latencyHistogram.count(b));
+      firstBucket = false;
+    }
+    std::fprintf(f, "],\"hop_latency\":[");
+    bool firstHop = true;
+    for (std::size_t h = 0; h < r.hopLatency.size(); ++h) {
+      if (r.hopLatency[h].packets == 0) continue;
+      std::fprintf(f, "%s{\"hops\":%zu,\"packets\":%" PRIu64 ",\"mean\":%s}",
+                   firstHop ? "" : ",", h, r.hopLatency[h].packets,
+                   formatDouble(r.hopLatency[h].meanLatency).c_str());
+      firstHop = false;
+    }
+    std::fprintf(f, "],");
+
+    std::fprintf(f,
+                 "\"routing\":{\"decisions\":%" PRIu64 ",\"deroutes_taken\":%" PRIu64
+                 ",\"deroutes_refused\":%" PRIu64 ",\"fault_escapes\":%" PRIu64
+                 ",\"path_deroutes\":%" PRIu64 ",\"credit_stalls\":%" PRIu64 ",",
+                 r.routing.decisions, r.routing.derouteGrants, r.routing.derouteRefusals,
+                 r.routing.faultEscapes, r.routing.pathDeroutes, r.routing.creditStalls);
+    writeU64Array(f, "deroutes_taken_by_dim", r.routing.derouteTakenByDim);
+    std::fprintf(f, ",");
+    writeU64Array(f, "deroutes_refused_by_dim", r.routing.derouteRefusedByDim);
+    std::fprintf(f, ",");
+    writeU64Array(f, "grants_by_vc", r.routing.grantsByVc);
+    std::fprintf(f, "},\"samples\":[");
+    for (std::size_t s = 0; s < p.samples.size(); ++s) {
+      const obs::SampleRow& row = p.samples[s];
+      std::fprintf(f,
+                   "%s{\"tick\":%" PRIu64 ",\"injected\":%" PRIu64
+                   ",\"ejected\":%" PRIu64 ",\"movements\":%" PRIu64
+                   ",\"backlog\":%" PRIu64 ",\"queued\":%" PRIu64
+                   ",\"credit_stalls\":%" PRIu64 ",\"outstanding\":%" PRIu64 "}",
+                   s == 0 ? "" : ",", static_cast<std::uint64_t>(row.tick),
+                   row.flitsInjected, row.flitsEjected, row.flitMovements,
+                   row.backlogFlits, row.queuedFlits, row.creditStalls,
+                   row.packetsOutstanding);
+    }
+    std::fprintf(f, "]}");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace hxwar::harness

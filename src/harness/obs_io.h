@@ -1,0 +1,32 @@
+// Observability output writers for sweep results: the merged Chrome-trace
+// JSON (--trace-out) and the structured metrics JSON (--metrics-json).
+//
+// Both are assembled from per-point captures after the sweep completes, in
+// point order — never completion order — so output is byte-identical for any
+// --jobs value (the same contract as the CSV/table surface).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/spec.h"
+
+namespace hxwar::harness {
+
+// Chrome-trace JSON for the whole sweep: one Perfetto process group per sweep
+// point ("point N load X"), packet lifecycles as async events, sampler
+// snapshots as counter tracks. Loads in chrome://tracing and ui.perfetto.dev.
+// Returns false (after a warning) when the file cannot be opened.
+bool writeTraceJson(const std::string& path, const ExperimentSpec& spec,
+                    const std::vector<SweepPoint>& points);
+
+// Structured metrics JSON: per point, the latency distribution (mean /
+// p50/p90/p99/p999 / min/max plus the nonzero log2 histogram buckets and the
+// per-hop-count breakdown), the routing-decision counters (deroutes taken and
+// refused per dimension, fault escapes, path deroutes, VC grants), and the
+// periodic sampler rows when --sample-interval is set.
+bool writeMetricsJson(const std::string& path, const ExperimentSpec& spec,
+                      const std::vector<SweepPoint>& points);
+
+}  // namespace hxwar::harness

@@ -43,7 +43,10 @@ const std::set<std::string>& structuredKeys() {
       "fault-until", "fault-drop",
       // front-end operational keys, never part of an experiment's identity
       "loads", "csv", "jobs", "perf-json", "experiment", "config", "scale",
-      "algorithms", "list"};
+      "algorithms", "list",
+      // observability (operational; omitted from serialize())
+      "trace-out", "trace-sample", "metrics-json", "sample-interval",
+      "stall-window"};
   return keys;
 }
 
@@ -128,6 +131,16 @@ fault::FaultSpec faultSpecFromFlags(const Flags& flags, fault::FaultSpec d) {
   return d;
 }
 
+obs::ObsOptions obsOptionsFromFlags(const Flags& flags, obs::ObsOptions d) {
+  if (flags.has("trace-out")) d.traceOut = flags.str("trace-out", d.traceOut);
+  if (flags.has("metrics-json")) d.metricsJson = flags.str("metrics-json", d.metricsJson);
+  d.traceSample = flags.u64("trace-sample", d.traceSample);
+  HXWAR_CHECK_MSG(d.traceSample > 0, "trace-sample must be >= 1");
+  d.sampleInterval = flags.u64("sample-interval", d.sampleInterval);
+  d.stallWindow = flags.u64("stall-window", d.stallWindow);
+  return d;
+}
+
 ExperimentSpec::ExperimentSpec() {
   // The builder/hxsim defaults (harness/builder.h): short channels, deep
   // buffers, a quick steady-state schedule.
@@ -159,6 +172,7 @@ void ExperimentSpec::applyFlags(const Flags& flags) {
   steady = steadyConfigFromFlags(flags, steady);
   injection = injectionFromFlags(flags, injection);
   fault = faultSpecFromFlags(flags, fault);
+  obs = obsOptionsFromFlags(flags, obs);
   if (flags.has("pattern-seed")) {
     patternSeed = flags.u64("pattern-seed", patternSeed);
   } else if (flags.has("seed")) {

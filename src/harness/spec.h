@@ -24,6 +24,7 @@
 #include "fault/fault_model.h"
 #include "metrics/steady_state.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "traffic/injector.h"
 
 namespace hxwar::harness {
@@ -48,6 +49,7 @@ metrics::SteadyStateConfig steadyConfigFromFlags(const Flags& flags,
 traffic::SyntheticInjector::Params injectionFromFlags(const Flags& flags,
                                                       traffic::SyntheticInjector::Params defaults);
 fault::FaultSpec faultSpecFromFlags(const Flags& flags, fault::FaultSpec defaults);
+obs::ObsOptions obsOptionsFromFlags(const Flags& flags, obs::ObsOptions defaults);
 
 struct ExperimentSpec {
   std::string topology = "hyperx";  // registered family name
@@ -71,6 +73,12 @@ struct ExperimentSpec {
   // is NOT re-derived per sweep point: a load sweep measures one fixed
   // degraded network, not a different fault set per load.
   fault::FaultSpec fault;
+
+  // Observability options (--trace-out / --metrics-json / --sample-interval,
+  // see obs/obs.h). Operational output knobs, never part of an experiment's
+  // identity: serialize() omits them and the per-point seeds ignore them, so
+  // a traced run simulates bit-identically to an untraced one.
+  obs::ObsOptions obs;
 
   ExperimentSpec();  // installs the builder-default network config
 

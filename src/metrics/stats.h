@@ -58,13 +58,17 @@ class SampleStats {
   double max() const { return stream_.max(); }
   double stddev() const { return stream_.stddev(); }
 
-  // p in [0, 1]; nearest-rank.
+  // Nearest-rank percentile. `p` is clamped to [0, 1], so percentile(0.0)
+  // == min() and percentile(1.0) == max(). An empty sample set has no order
+  // statistics; returns 0.0 by convention so unmeasured sweep points
+  // serialize as zeros rather than NaN.
   double percentile(double p) {
     if (samples_.empty()) return 0.0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
+    p = std::clamp(p, 0.0, 1.0);
     const auto idx = static_cast<std::size_t>(p * (samples_.size() - 1) + 0.5);
     return samples_[std::min(idx, samples_.size() - 1)];
   }

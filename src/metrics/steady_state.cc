@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "common/log.h"
+#include "obs/net_observer.h"
 
 namespace hxwar::metrics {
 namespace {
@@ -90,6 +91,7 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   StreamingStats hops;
   StreamingStats deroutes;
   StreamingStats stretch;
+  std::vector<StreamingStats> perHopLatency;
   const Tick mStart = sim.now();
   const Tick mEnd = mStart + config.measureWindow;
   std::uint64_t markedEjected = 0;
@@ -98,7 +100,11 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
 
   network.setEjectionListener([&](const net::Packet& pkt) {
     if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
-    latency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
+    const Tick lat = pkt.ejectedAt - pkt.createdAt;
+    latency.add(static_cast<double>(lat));
+    result.latencyHistogram.add(lat);
+    if (pkt.hops >= perHopLatency.size()) perHopLatency.resize(pkt.hops + 1);
+    perHopLatency[pkt.hops].add(static_cast<double>(lat));
     hops.add(pkt.hops);
     deroutes.add(pkt.deroutes);
     // Path stretch against the effective topology: on a degraded network
@@ -159,12 +165,24 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   if (markedEjected > 0) {
     result.latencyMean = latency.mean();
     result.latencyP50 = latency.percentile(0.50);
+    result.latencyP90 = latency.percentile(0.90);
     result.latencyP99 = latency.percentile(0.99);
+    result.latencyP999 = latency.percentile(0.999);
     result.latencyMin = latency.min();
     result.latencyMax = latency.max();
     result.avgHops = hops.mean();
     result.avgDeroutes = deroutes.mean();
     result.avgStretch = stretch.count() > 0 ? stretch.mean() : 0.0;
+    result.hopLatency.resize(perHopLatency.size());
+    for (std::size_t h = 0; h < perHopLatency.size(); ++h) {
+      result.hopLatency[h].packets = perHopLatency[h].count();
+      result.hopLatency[h].meanLatency = perHopLatency[h].mean();
+    }
+  }
+  if constexpr (obs::kCompiledIn) {
+    if (network.observer() != nullptr) {
+      result.routing = network.observer()->routingCounters();
+    }
   }
   return result;
 }

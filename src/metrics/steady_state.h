@@ -20,10 +20,13 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 #include "metrics/stats.h"
 #include "net/network.h"
+#include "obs/histogram.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 #include "traffic/injector.h"
 
@@ -48,7 +51,9 @@ struct SteadyStateResult {
   double accepted = 0.0;           // flits/node/cycle during the measurement
   double latencyMean = 0.0;        // cycles, creation -> ejection
   double latencyP50 = 0.0;
+  double latencyP90 = 0.0;
   double latencyP99 = 0.0;
+  double latencyP999 = 0.0;
   double latencyMin = 0.0;
   double latencyMax = 0.0;
   double avgHops = 0.0;            // router-to-router hops per packet
@@ -65,6 +70,22 @@ struct SteadyStateResult {
   // distance over the surviving links. 1.0 = every packet took a shortest
   // reachable path; the excess is the price of routing around faults.
   double avgStretch = 0.0;
+  // --- observability extensions ---
+  // Log2-bucketed latency distribution over the marked packets; the tail
+  // percentiles above are nearest-rank over the raw samples, the histogram
+  // backs the metrics-json bucket dump and cross-point merging.
+  obs::LogHistogram latencyHistogram;
+  // Latency broken down by router-to-router hop count: hopLatency[h] covers
+  // the marked packets that took exactly h hops (empty entries have
+  // packets == 0). Separates "far packets are slow" from "queueing is slow".
+  struct HopLatency {
+    std::uint64_t packets = 0;
+    double meanLatency = 0.0;
+  };
+  std::vector<HopLatency> hopLatency;
+  // Routing-decision telemetry copied from the network's observer at the end
+  // of the run; all-zero when no observer is attached (obs disabled).
+  obs::RoutingCounters routing;
 };
 
 // Runs warmup + measurement for an already-constructed network/injector.

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/rng.h"
+#include "obs/net_observer.h"
 
 namespace hxwar::net {
 
@@ -116,6 +117,9 @@ Packet& Network::injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits) {
   pkt->sizeFlits = sizeFlits;
   packetsCreated_ += 1;
   terminals_[src]->enqueuePacket(pkt);
+  if constexpr (obs::kCompiledIn) {
+    if (obs_ != nullptr) obs_->onPacketCreated(*pkt, sim_.now());
+  }
   return *pkt;
 }
 
@@ -132,11 +136,19 @@ void Network::setDeadPortMask(const fault::DeadPortMask* mask) {
   for (auto& r : routers_) r->setDeadPortMask(mask);
 }
 
+void Network::setObserver(obs::NetObserver* observer) {
+  obs_ = observer;
+  for (auto& r : routers_) r->setObserver(observer);
+}
+
 void Network::dropPacket(Packet* pkt) {
   flitsDropped_ += pkt->sizeFlits;
   packetsDropped_ += 1;
   HXWAR_CHECK(packetsInFlight_ > 0);
   packetsInFlight_ -= 1;
+  if constexpr (obs::kCompiledIn) {
+    if (obs_ != nullptr) obs_->onPacketDone(*pkt, /*dropped=*/true, sim_.now());
+  }
   if (dropListener_) dropListener_(*pkt);
   recyclePacket(pkt);
 }
@@ -146,6 +158,9 @@ void Network::completePacket(Packet* pkt) {
   packetsEjected_ += 1;
   HXWAR_CHECK(packetsInFlight_ > 0);
   packetsInFlight_ -= 1;
+  if constexpr (obs::kCompiledIn) {
+    if (obs_ != nullptr) obs_->onPacketDone(*pkt, /*dropped=*/false, sim_.now());
+  }
   if (listener_) listener_(*pkt);
   recyclePacket(pkt);
 }

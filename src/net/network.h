@@ -17,6 +17,10 @@
 #include "sim/simulator.h"
 #include "topo/topology.h"
 
+namespace hxwar::obs {
+class NetObserver;
+}
+
 namespace hxwar::net {
 
 struct NetworkConfig {
@@ -62,6 +66,12 @@ class Network {
   // mask contents may change mid-run (FaultController transient windows).
   void setDeadPortMask(const fault::DeadPortMask* mask);
   void setHopListener(HopListener listener) { hopListener_ = std::move(listener); }
+  // Attaches the observability sink to this network and all its routers
+  // (nullptr detaches). One observer per network, same threading rules as the
+  // network itself. Hot paths pay one branch on the cached pointer when no
+  // observer is attached; see obs/net_observer.h.
+  void setObserver(obs::NetObserver* observer);
+  obs::NetObserver* observer() const { return obs_; }
   bool hasHopListener() const { return static_cast<bool>(hopListener_); }
   void notifyHop(const Packet& pkt, RouterId router, PortId inPort, PortId outPort) {
     if (hopListener_) hopListener_(pkt, router, inPort, outPort, sim_.now());
@@ -112,6 +122,7 @@ class Network {
   EjectionListener listener_;
   EjectionListener dropListener_;
   HopListener hopListener_;
+  obs::NetObserver* obs_ = nullptr;
 
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Terminal>> terminals_;

@@ -5,6 +5,7 @@
 
 #include "common/assert.h"
 #include "net/network.h"
+#include "obs/net_observer.h"
 
 namespace hxwar::net {
 namespace {
@@ -212,6 +213,12 @@ void Router::stageOutput() {
         break;
       }
     }
+    // Credit stall: flits are queued at this output but none could transmit
+    // (no credits, or the port is transiently dead). Counted once per port
+    // per cycle, so the sampler sees stalled-port-cycles.
+    if constexpr (obs::kCompiledIn) {
+      if (obs_ != nullptr && best == kVcInvalid && anyQueued) obs_->noteCreditStall();
+    }
     if (anyQueued) {
       activeOutPorts_[w++] = p;  // keep active
     } else {
@@ -273,6 +280,9 @@ void Router::stageCrossbar() {
           if (iv.deroute) f.packet->deroutes += 1;
         }
         network_->notifyHop(*f.packet, id_, p, iv.outPort);
+        if constexpr (obs::kCompiledIn) {
+          if (obs_ != nullptr) obs_->onHop(id_, p, iv.outPort, *f.packet, sim().now());
+        }
       }
       if (f.isTail()) {
         // Wormhole allocation ends: free the output VC and reset the input.
@@ -308,7 +318,7 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   scratchCandidates_.clear();
   const bool atSource = terminalPort_[port];
   const routing::RouteContext ctx{*this, port, vc, atSource,
-                                  atSource ? 0u : vcMap_.classOf(vc), deadPorts_};
+                                  atSource ? 0u : vcMap_.classOf(vc), deadPorts_, obs_};
   routing_->route(ctx, pkt, scratchCandidates_);
   HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
 
@@ -398,6 +408,11 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
     outDeroutes_[cand.port] += 1;
     if (cand.derouteDim != 0xff) {
       pkt.deroutedDims |= 1u << cand.derouteDim;  // DAL once-per-dimension mask
+    }
+  }
+  if constexpr (obs::kCompiledIn) {
+    if (obs_ != nullptr) {
+      obs_->onRouteGrant(id_, pkt, cand, ov, scratchCandidates_, sim().now());
     }
   }
   addXfer(port, vc);

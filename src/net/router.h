@@ -71,6 +71,9 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // Installs the fault mask (set by Network on every router; nullptr = no
   // faults, keeping the fault logic entirely off the no-fault fast path).
   void setDeadPortMask(const fault::DeadPortMask* mask) { deadPorts_ = mask; }
+  // Observability sink (set by Network::setObserver; nullptr = detached,
+  // keeping instrumentation entirely off the hot path).
+  void setObserver(obs::NetObserver* observer) { obs_ = observer; }
 
   // --- sinks ---
   void receiveFlit(PortId port, VcId vc, Flit flit) override;
@@ -156,6 +159,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   routing::RoutingAlgorithm* routing_;
   routing::VcMap vcMap_;
   const fault::DeadPortMask* deadPorts_ = nullptr;
+  obs::NetObserver* obs_ = nullptr;
   Rng rng_;
 
   std::vector<InVc> inputs_;    // [port][vc]

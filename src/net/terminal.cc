@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "net/network.h"
+#include "obs/net_observer.h"
 
 namespace hxwar::net {
 
@@ -59,7 +60,12 @@ void Terminal::injectionCycle() {
   }
   if (credits_[currentVc_] == 0) return;  // retry on credit return
   credits_[currentVc_] -= 1;
-  if (nextFlit_ == 0) pkt.injectedAt = sim().now();
+  if (nextFlit_ == 0) {
+    pkt.injectedAt = sim().now();
+    if constexpr (obs::kCompiledIn) {
+      if (obs::NetObserver* o = network_->observer()) o->onInjectStart(pkt, sim().now());
+    }
+  }
   toRouter_->send(currentVc_, Flit{&pkt, nextFlit_});
   flitsInjected_ += 1;
   sourceQueueFlits_ -= 1;

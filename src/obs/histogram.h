@@ -1,0 +1,74 @@
+// Log2-bucketed latency histogram: constant memory, one increment per sample,
+// percentiles via linear interpolation within the hit bucket. Bucket b covers
+// [2^(b-1), 2^b) with bucket 0 covering [0, 1) — power-of-two edges keep the
+// bucket index a bit operation and the edges exact in JSON output.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace hxwar::obs {
+
+class LogHistogram {
+ public:
+  static constexpr std::uint32_t kBuckets = 64;
+
+  void add(double v) {
+    counts_[bucketOf(v)] += 1;
+    total_ += 1;
+  }
+
+  // Bucket index for a value. Negative/NaN values clamp into bucket 0; values
+  // past 2^62 clamp into the top bucket.
+  static std::uint32_t bucketOf(double v) {
+    if (!(v >= 1.0)) return 0;
+    if (v >= 9.223372036854775808e18) return kBuckets - 1;  // 2^63
+    const auto u = static_cast<std::uint64_t>(v);
+    const auto b = static_cast<std::uint32_t>(64 - std::countl_zero(u));
+    return std::min(b, kBuckets - 1);
+  }
+
+  // [bucketLow(b), bucketHigh(b)) is bucket b's value range.
+  static double bucketLow(std::uint32_t b) {
+    return b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+  }
+  static double bucketHigh(std::uint32_t b) { return std::ldexp(1.0, static_cast<int>(b)); }
+
+  std::uint64_t count(std::uint32_t b) const { return counts_[b]; }
+  std::uint64_t total() const { return total_; }
+
+  // p in [0, 1] (clamped); 0.0 on an empty histogram. Resolution is the
+  // bucket width (exact percentiles come from SampleStats; the histogram adds
+  // the shape and the per-hop/per-point breakdowns at constant memory).
+  double percentile(double p) const {
+    if (total_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Nearest-rank target, then interpolate linearly inside the hit bucket.
+    const double target = p * static_cast<double>(total_ - 1);
+    std::uint64_t cum = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      if (counts_[b] == 0) continue;
+      const auto lo = static_cast<double>(cum);
+      cum += counts_[b];
+      if (target < static_cast<double>(cum)) {
+        const double frac =
+            counts_[b] == 1 ? 0.0 : (target - lo) / static_cast<double>(counts_[b] - 1);
+        return bucketLow(b) + frac * (bucketHigh(b) - bucketLow(b));
+      }
+    }
+    return bucketHigh(kBuckets - 1);  // unreachable: cum == total_ covers target
+  }
+
+  void merge(const LogHistogram& other) {
+    for (std::uint32_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+    total_ += other.total_;
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hxwar::obs

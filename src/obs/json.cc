@@ -1,0 +1,208 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hxwar::obs {
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string& error) : text_(text), error_(error) {}
+
+  bool parse(JsonValue& out) {
+    skipWs();
+    if (!parseValue(out)) return false;
+    skipWs();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON value");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    error_ = msg + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool parseValue(JsonValue& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parseObject(out);
+    if (c == '[') return parseArray(out);
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return parseString(out.string);
+    }
+    if (c == 't' || c == 'f') return parseKeyword(out);
+    if (c == 'n') return parseKeyword(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return parseNumber(out);
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool parseKeyword(JsonValue& out) {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out.type = JsonValue::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid keyword");
+  }
+
+  bool parseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return fail("invalid number");
+    }
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (text_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return fail("truncated \\u escape");
+            // Validator-grade: keep the escape verbatim (no UTF-8 decode) —
+            // nothing this repo emits uses \u sequences.
+            out += "\\u";
+            out += text_.substr(pos_ + 1, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return fail("invalid escape");
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skipWs();
+      if (!parseValue(element)) return false;
+      out.array.push_back(std::move(element));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      if (!parseString(key)) return false;
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skipWs();
+      JsonValue value;
+      if (!parseValue(value)) return false;
+      out.object.emplace(std::move(key), std::move(value));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::string& error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool parseJson(const std::string& text, JsonValue& out, std::string& error) {
+  Parser parser(text, error);
+  return parser.parse(out);
+}
+
+}  // namespace hxwar::obs

@@ -1,0 +1,46 @@
+// Minimal JSON reader used by the trace checker (tools/trace_check.cc) and
+// the observability tests to parse emitted trace/metrics files back. Handles
+// the full JSON grammar this repo emits (objects, arrays, strings with
+// standard escapes, numbers, booleans, null); it is a validator-grade reader,
+// not a general-purpose library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hxwar::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool isNull() const { return type == Type::kNull; }
+  bool isBool() const { return type == Type::kBool; }
+  bool isNumber() const { return type == Type::kNumber; }
+  bool isString() const { return type == Type::kString; }
+  bool isArray() const { return type == Type::kArray; }
+  bool isObject() const { return type == Type::kObject; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses `text` into `out`. Returns false (with a position/message in
+// `error`) on malformed input or trailing garbage.
+bool parseJson(const std::string& text, JsonValue& out, std::string& error);
+
+}  // namespace hxwar::obs

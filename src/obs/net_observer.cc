@@ -1,0 +1,147 @@
+#include "obs/net_observer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <string>
+
+namespace hxwar::obs {
+
+NetObserver::NetObserver(const topo::Topology& topology, std::uint32_t numVcs,
+                         const ObsOptions& options)
+    : opts_(options),
+      tracing_(options.tracing()),
+      traceSample_(std::max<std::uint64_t>(1, options.traceSample)) {
+  // Per-dim arrays are indexed by a bitmask below, so cap at 32 dimensions
+  // (any real lattice here has <= 8); extra dimensions fall into the
+  // unattributable slot.
+  dims_ = std::min<std::uint32_t>(topology.numPortDims(), 32);
+  const std::uint32_t numRouters = topology.numRouters();
+  for (RouterId r = 0; r < numRouters; ++r) {
+    maxPorts_ = std::max(maxPorts_, topology.numPorts(r));
+  }
+  portDim_.assign(static_cast<std::size_t>(numRouters) * maxPorts_,
+                  static_cast<std::uint8_t>(dims_));
+  for (RouterId r = 0; r < numRouters; ++r) {
+    const std::uint32_t ports = topology.numPorts(r);
+    for (PortId p = 0; p < ports; ++p) {
+      const std::uint32_t d = topology.portDim(r, p);
+      if (d < dims_) {
+        portDim_[static_cast<std::size_t>(r) * maxPorts_ + p] =
+            static_cast<std::uint8_t>(d);
+      }
+    }
+  }
+
+  decisions_ = registry_.counter("route.decisions");
+  derouteGrants_ = registry_.counter("route.deroutes_taken");
+  derouteRefusals_ = registry_.counter("route.deroutes_refused");
+  faultEscapes_ = registry_.counter("route.fault_escapes");
+  pathDeroutes_ = registry_.counter("route.path_deroutes");
+  creditStalls_ = registry_.counter("net.credit_stalls");
+  takenByDim_.reserve(dims_ + 1);
+  refusedByDim_.reserve(dims_ + 1);
+  for (std::uint32_t d = 0; d <= dims_; ++d) {
+    const std::string suffix = d < dims_ ? "dim" + std::to_string(d) : "other";
+    takenByDim_.push_back(registry_.counter("route.deroutes_taken." + suffix));
+    refusedByDim_.push_back(registry_.counter("route.deroutes_refused." + suffix));
+  }
+  grantsByVc_.reserve(numVcs);
+  for (std::uint32_t v = 0; v < numVcs; ++v) {
+    grantsByVc_.push_back(registry_.counter("route.grants.vc" + std::to_string(v)));
+  }
+}
+
+void NetObserver::onRouteGrant(RouterId router, const net::Packet& pkt,
+                               const routing::Candidate& chosen, VcId outVc,
+                               const std::vector<routing::Candidate>& candidates,
+                               Tick now) {
+  *decisions_ += 1;
+  *grantsByVc_[outVc] += 1;
+  const std::uint32_t dim = portDimAt(router, chosen.port);
+  if (chosen.deroute) {
+    *derouteGrants_ += 1;
+    *takenByDim_[dim] += 1;
+    if (chosen.faultEscape) *faultEscapes_ += 1;
+  } else {
+    // Minimal grant: did the algorithm offer a deroute this decision refused?
+    // Each dimension with at least one refused offer counts once.
+    std::uint64_t refusedMask = 0;
+    for (const routing::Candidate& c : candidates) {
+      if (c.deroute) refusedMask |= 1ull << portDimAt(router, c.port);
+    }
+    if (refusedMask != 0) {
+      *derouteRefusals_ += 1;
+      for (std::uint32_t d = 0; d <= dims_; ++d) {
+        if ((refusedMask >> d) & 1u) *refusedByDim_[d] += 1;
+      }
+    }
+  }
+  if (sampled(pkt.id)) {
+    const std::uint32_t traceDim = dim < dims_ ? dim : 0xffu;
+    const std::uint32_t flags = (chosen.deroute ? 1u : 0u) |
+                                (chosen.faultEscape ? 2u : 0u) | (traceDim << 8);
+    trace_.add({TraceKind::kRoute, now, pkt.id, router, chosen.port, outVc, flags});
+  }
+}
+
+void NetObserver::onSample(const SampleRow& row) {
+  if (tracing_) {
+    const SampleRow prev = samples_.empty() ? SampleRow{} : samples_.back();
+    TraceEvent e;
+    e.kind = TraceKind::kCounter;
+    e.ts = row.tick;
+    e.a = static_cast<std::uint32_t>(row.creditStalls - prev.creditStalls);
+    e.v0 = static_cast<double>(row.flitsInjected - prev.flitsInjected);
+    e.v1 = static_cast<double>(row.flitsEjected - prev.flitsEjected);
+    e.v2 = static_cast<double>(row.backlogFlits);
+    e.v3 = static_cast<double>(row.queuedFlits);
+    trace_.add(e);
+  }
+  samples_.push_back(row);
+}
+
+RoutingCounters NetObserver::routingCounters() const {
+  RoutingCounters rc;
+  rc.decisions = *decisions_;
+  rc.derouteGrants = *derouteGrants_;
+  rc.derouteRefusals = *derouteRefusals_;
+  rc.faultEscapes = *faultEscapes_;
+  rc.pathDeroutes = *pathDeroutes_;
+  rc.creditStalls = *creditStalls_;
+  rc.derouteTakenByDim.reserve(takenByDim_.size());
+  rc.derouteRefusedByDim.reserve(refusedByDim_.size());
+  for (const std::uint64_t* slot : takenByDim_) rc.derouteTakenByDim.push_back(*slot);
+  for (const std::uint64_t* slot : refusedByDim_) rc.derouteRefusedByDim.push_back(*slot);
+  rc.grantsByVc.reserve(grantsByVc_.size());
+  for (const std::uint64_t* slot : grantsByVc_) rc.grantsByVc.push_back(*slot);
+  return rc;
+}
+
+void NetObserver::dumpDiagnostics(std::FILE* f) const {
+  std::fprintf(f, "--- observability diagnostic dump ---\n");
+  std::fprintf(f, "counters:\n");
+  for (const auto& c : registry_.counters()) {
+    std::fprintf(f, "  %-32s %" PRIu64 "\n", c.name.c_str(), c.value);
+  }
+  std::fprintf(f, "gauges:\n");
+  for (const auto& g : registry_.gauges()) {
+    std::fprintf(f, "  %-32s %.0f\n", g.name.c_str(), g.value);
+  }
+  const std::size_t tail = std::min<std::size_t>(samples_.size(), 8);
+  if (tail > 0) {
+    std::fprintf(f, "last %zu sampler rows (tick inj ej moves backlog queued stalls"
+                    " outstanding):\n", tail);
+    for (std::size_t i = samples_.size() - tail; i < samples_.size(); ++i) {
+      const SampleRow& s = samples_[i];
+      std::fprintf(f,
+                   "  %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+                   " %" PRIu64 " %" PRIu64 " %" PRIu64 "\n",
+                   static_cast<std::uint64_t>(s.tick), s.flitsInjected, s.flitsEjected,
+                   s.flitMovements, s.backlogFlits, s.queuedFlits, s.creditStalls,
+                   s.packetsOutstanding);
+    }
+  }
+  std::fprintf(f, "--- end diagnostic dump ---\n");
+}
+
+}  // namespace hxwar::obs

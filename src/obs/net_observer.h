@@ -1,0 +1,129 @@
+// NetObserver: the per-experiment sink for every instrumentation hook in the
+// network layer. One instance per Experiment (never shared across sweep
+// points or threads — the TSan gate relies on this), attached to the Network
+// which fans the raw pointer out to its routers and terminals.
+//
+// Hot-path contract: instrumented code guards every call with
+// `if (obs_ != nullptr)`, and the hooks themselves do only pointer-chasing
+// increments and (when the packet is trace-sampled) one vector push_back. No
+// virtual calls, no allocation in the common case, no locking.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/types.h"
+#include "net/packet.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace hxwar::obs {
+
+class NetObserver {
+ public:
+  // Builds the per-(router, port) dimension table from the topology (virtual
+  // calls at construction only; lookups on the hot path are one array read).
+  NetObserver(const topo::Topology& topology, std::uint32_t numVcs,
+              const ObsOptions& options);
+
+  NetObserver(const NetObserver&) = delete;
+  NetObserver& operator=(const NetObserver&) = delete;
+
+  const ObsOptions& options() const { return opts_; }
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  bool tracing() const { return tracing_; }
+  // Trace sampling by packet id: deterministic, independent of execution
+  // order, and stable across --jobs values.
+  bool sampled(std::uint64_t packetId) const {
+    return tracing_ && packetId % traceSample_ == 0;
+  }
+
+  // Number of attributable dimensions (per-dim counter arrays have one extra
+  // trailing slot for unattributable ports).
+  std::uint32_t numDims() const { return dims_; }
+
+  // --- packet lifecycle hooks (trace only; cheap sampling check first) ---
+  void onPacketCreated(const net::Packet& pkt, Tick now) {
+    if (!sampled(pkt.id)) return;
+    trace_.add({TraceKind::kBegin, now, pkt.id, pkt.src, pkt.dst, pkt.sizeFlits, 0});
+  }
+  void onInjectStart(const net::Packet& pkt, Tick now) {
+    if (!sampled(pkt.id)) return;
+    trace_.add({TraceKind::kInject, now, pkt.id, pkt.src, 0, 0, 0});
+  }
+  void onHop(RouterId router, PortId inPort, PortId outPort, const net::Packet& pkt,
+             Tick now) {
+    if (!sampled(pkt.id)) return;
+    trace_.add({TraceKind::kHop, now, pkt.id, router, inPort, outPort, 0});
+  }
+  void onPacketDone(const net::Packet& pkt, bool dropped, Tick now) {
+    if (!sampled(pkt.id)) return;
+    trace_.add({TraceKind::kEnd, now, pkt.id, dropped ? 1u : 0u, pkt.hops,
+                pkt.deroutes, 0});
+  }
+
+  // --- routing-decision hook (router tryRoute, on grant) ---
+  // `chosen` is the granted candidate, `outVc` the allocated VC, `candidates`
+  // the full set the algorithm emitted (scanned for refused deroute offers).
+  void onRouteGrant(RouterId router, const net::Packet& pkt,
+                    const routing::Candidate& chosen, VcId outVc,
+                    const std::vector<routing::Candidate>& candidates, Tick now);
+
+  // --- cheap incremental hooks ---
+  void noteCreditStall() { *creditStalls_ += 1; }
+  std::uint64_t creditStallCount() const { return *creditStalls_; }
+  // Called by source-adaptive algorithms (VAL/UGAL/Clos-AD) when they commit
+  // a packet to a non-minimal intermediate: a path-level deroute, distinct
+  // from the hop-level deroute flags of the incremental algorithms.
+  void notePathDeroute() { *pathDeroutes_ += 1; }
+
+  // --- sampler interface ---
+  void onSample(const SampleRow& row);
+  const std::vector<SampleRow>& samples() const { return samples_; }
+
+  // Snapshot of the routing-decision slots (copied into SteadyStateResult).
+  RoutingCounters routingCounters() const;
+
+  const TraceBuffer& trace() const { return trace_; }
+
+  // Stall-watchdog diagnostic dump: every counter, every gauge, and the tail
+  // of the sample log.
+  void dumpDiagnostics(std::FILE* f) const;
+
+ private:
+  std::uint32_t portDimAt(RouterId r, PortId p) const {
+    const std::size_t idx = static_cast<std::size_t>(r) * maxPorts_ + p;
+    return idx < portDim_.size() ? portDim_[idx] : dims_;
+  }
+
+  ObsOptions opts_;
+  bool tracing_ = false;
+  std::uint64_t traceSample_ = 1;
+
+  // Per-(router, port) dimension index; dims_ = unattributable.
+  std::vector<std::uint8_t> portDim_;
+  std::uint32_t maxPorts_ = 0;
+  std::uint32_t dims_ = 0;
+
+  Registry registry_;
+  // Cached counter slots (addresses stable for the registry's lifetime).
+  std::uint64_t* decisions_ = nullptr;
+  std::uint64_t* derouteGrants_ = nullptr;
+  std::uint64_t* derouteRefusals_ = nullptr;
+  std::uint64_t* faultEscapes_ = nullptr;
+  std::uint64_t* pathDeroutes_ = nullptr;
+  std::uint64_t* creditStalls_ = nullptr;
+  std::vector<std::uint64_t*> takenByDim_;    // [dims_ + 1]
+  std::vector<std::uint64_t*> refusedByDim_;  // [dims_ + 1]
+  std::vector<std::uint64_t*> grantsByVc_;    // [numVcs]
+
+  TraceBuffer trace_;
+  std::vector<SampleRow> samples_;
+};
+
+}  // namespace hxwar::obs

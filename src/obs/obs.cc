@@ -1,0 +1,46 @@
+#include "obs/obs.h"
+
+namespace hxwar::obs {
+
+std::uint64_t* Registry::counter(const std::string& name) {
+  for (const auto& [n, slot] : counterIndex_) {
+    if (n == name) return slot;
+  }
+  slots_.push_back(0);
+  std::uint64_t* slot = &slots_.back();
+  counterIndex_.emplace_back(name, slot);
+  return slot;
+}
+
+void Registry::gauge(const std::string& name, std::function<double()> fn) {
+  for (auto& [n, f] : gauges_) {
+    if (n == name) {
+      f = std::move(fn);
+      return;
+    }
+  }
+  gauges_.emplace_back(name, std::move(fn));
+}
+
+const std::function<double()>* Registry::findGauge(const std::string& name) const {
+  for (const auto& [n, f] : gauges_) {
+    if (n == name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<Registry::CounterView> Registry::counters() const {
+  std::vector<CounterView> out;
+  out.reserve(counterIndex_.size());
+  for (const auto& [name, slot] : counterIndex_) out.push_back({name, *slot});
+  return out;
+}
+
+std::vector<Registry::GaugeView> Registry::gauges() const {
+  std::vector<GaugeView> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) out.push_back({name, fn()});
+  return out;
+}
+
+}  // namespace hxwar::obs

@@ -1,0 +1,137 @@
+// Observability core: named counter/gauge registry and the option surface
+// shared by the tracing, histogram, and sampling subsystems (DESIGN.md §9).
+//
+// Design constraints, in order:
+//   * Zero cost when disabled. Hot-path instrumentation compiles down to one
+//     branch on a cached raw pointer (`if (obs_ != nullptr)`), and the whole
+//     layer can be compiled out with -DHXWAR_OBS=OFF (see kCompiledIn).
+//   * No virtual calls on the hot path. Counters are raw uint64 slots whose
+//     addresses are stable for the registry's lifetime; instrumented code
+//     caches the slot pointer once and does `*slot += 1`.
+//   * Determinism. Every value recorded derives from simulation state only
+//     (ticks, packet ids, flit counts) — never wall clock or thread identity
+//     — so observability output is byte-identical across --jobs values.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hxwar::obs {
+
+// False when the build was configured with -DHXWAR_OBS=OFF: instrumentation
+// sites wrap their hooks in `if constexpr (obs::kCompiledIn)` so the branch
+// and the cached pointer load vanish entirely from the hot path.
+#if defined(HXWAR_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+// Operational observability options. These ride on ExperimentSpec but are
+// deliberately NOT part of an experiment's identity: like --jobs or --csv,
+// they change what gets recorded, never what gets simulated.
+struct ObsOptions {
+  std::string traceOut;    // Chrome-trace JSON path; empty = tracing off
+  std::string metricsJson; // structured metrics JSON path; empty = off
+  // Trace 1-in-N packets (by packet id). 1 = every packet. Ignored unless
+  // traceOut is set.
+  std::uint64_t traceSample = 64;
+  // Periodic sampler cadence in ticks; 0 = sampler off.
+  Tick sampleInterval = 0;
+  // Stall watchdog: abort with a diagnostic dump if no flit moves for this
+  // many consecutive ticks while packets are outstanding. Only armed when the
+  // sampler runs (checked at sampler cadence).
+  Tick stallWindow = 100000;
+
+  bool tracing() const { return !traceOut.empty(); }
+  bool sampling() const { return sampleInterval > 0; }
+  // Any subsystem on => the harness attaches a NetObserver to the network.
+  bool enabled() const { return tracing() || sampling() || !metricsJson.empty(); }
+};
+
+// Canonical gauge names installed by the harness (see Experiment). The
+// sampler resolves these once at construction; missing gauges CHECK-fail so a
+// miswired harness fails loudly instead of sampling zeros.
+namespace gauges {
+inline constexpr const char* kFlitsInjected = "net.flits_injected";
+inline constexpr const char* kFlitsEjected = "net.flits_ejected";
+inline constexpr const char* kFlitMovements = "net.flit_movements";
+inline constexpr const char* kBacklogFlits = "net.backlog_flits";
+inline constexpr const char* kQueuedFlits = "net.queued_flits";
+inline constexpr const char* kPacketsOutstanding = "net.packets_outstanding";
+}  // namespace gauges
+
+// Registry of named counters and gauges.
+//
+// Counters are owned uint64 slots in a deque (stable addresses across
+// registration), handed out as raw pointers so instrumented code pays one
+// indirect increment, no lookup, no virtual call. Gauges are pull-style
+// std::function callbacks registered by whoever owns the sampled state; they
+// are polled off the hot path (sampler cadence, diagnostic dumps).
+class Registry {
+ public:
+  // Returns the slot for `name`, creating it at zero on first use. The
+  // pointer stays valid for the registry's lifetime.
+  std::uint64_t* counter(const std::string& name);
+
+  // Registers (or replaces) a pull gauge.
+  void gauge(const std::string& name, std::function<double()> fn);
+
+  // nullptr when no gauge of that name is registered.
+  const std::function<double()>* findGauge(const std::string& name) const;
+
+  struct CounterView {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeView {
+    std::string name;
+    double value = 0.0;
+  };
+  // Snapshots in registration order (deterministic dump order).
+  std::vector<CounterView> counters() const;
+  std::vector<GaugeView> gauges() const;  // polls every gauge
+
+ private:
+  std::deque<std::uint64_t> slots_;  // deque: stable addresses on growth
+  std::vector<std::pair<std::string, std::uint64_t*>> counterIndex_;
+  std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+};
+
+// One periodic sampler snapshot. All fields are cumulative simulation
+// counters at `tick` (consumers difference adjacent rows for rates).
+struct SampleRow {
+  Tick tick = 0;
+  std::uint64_t flitsInjected = 0;
+  std::uint64_t flitsEjected = 0;
+  std::uint64_t flitMovements = 0;
+  std::uint64_t backlogFlits = 0;   // source-queue backlog (saturation signal)
+  std::uint64_t queuedFlits = 0;    // flits buffered inside routers
+  std::uint64_t creditStalls = 0;   // output ports with flits but no credits
+  std::uint64_t packetsOutstanding = 0;
+};
+
+// Aggregated routing-decision telemetry, snapshotted from a NetObserver's
+// registry into SteadyStateResult. Per-dim arrays have numDims()+1 entries:
+// index d counts moves in dimension d, the last slot collects ports the
+// topology cannot attribute to a dimension (terminal/unknown).
+struct RoutingCounters {
+  std::uint64_t decisions = 0;        // head-flit route grants
+  std::uint64_t derouteGrants = 0;    // grants flagged deroute (hop-level)
+  std::uint64_t derouteRefusals = 0;  // decisions that had a deroute offer but
+                                      // granted a minimal candidate instead
+  std::uint64_t faultEscapes = 0;     // deroutes forced by dead links (DAL retry)
+  std::uint64_t pathDeroutes = 0;     // source-adaptive non-minimal commitments
+                                      // (VAL/UGAL/Clos-AD intermediate choice)
+  std::uint64_t creditStalls = 0;
+  std::vector<std::uint64_t> derouteTakenByDim;
+  std::vector<std::uint64_t> derouteRefusedByDim;
+  std::vector<std::uint64_t> grantsByVc;
+};
+
+}  // namespace hxwar::obs

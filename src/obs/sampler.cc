@@ -1,0 +1,73 @@
+#include "obs/sampler.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace hxwar::obs {
+namespace {
+
+std::function<double()> resolveGauge(Registry& registry, const char* name) {
+  const std::function<double()>* fn = registry.findGauge(name);
+  HXWAR_CHECK_MSG(fn != nullptr,
+                  "sampler: required gauge not installed (harness wiring bug)");
+  return *fn;
+}
+
+std::uint64_t asU64(double v) { return static_cast<std::uint64_t>(v); }
+
+}  // namespace
+
+Sampler::Sampler(sim::Simulator& sim, NetObserver& observer, Tick interval,
+                 Tick stallWindow)
+    : Component(sim, "sampler"),
+      obs_(observer),
+      interval_(interval),
+      stallWindow_(stallWindow),
+      gInjected_(resolveGauge(observer.registry(), gauges::kFlitsInjected)),
+      gEjected_(resolveGauge(observer.registry(), gauges::kFlitsEjected)),
+      gMovements_(resolveGauge(observer.registry(), gauges::kFlitMovements)),
+      gBacklog_(resolveGauge(observer.registry(), gauges::kBacklogFlits)),
+      gQueued_(resolveGauge(observer.registry(), gauges::kQueuedFlits)),
+      gOutstanding_(resolveGauge(observer.registry(), gauges::kPacketsOutstanding)) {
+  HXWAR_CHECK(interval_ > 0);
+  sim.scheduleIn(interval_, sim::kEpsControl, this, 0);
+}
+
+void Sampler::processEvent(std::uint64_t) {
+  SampleRow row;
+  row.tick = sim().now();
+  row.flitsInjected = asU64(gInjected_());
+  row.flitsEjected = asU64(gEjected_());
+  row.flitMovements = asU64(gMovements_());
+  row.backlogFlits = asU64(gBacklog_());
+  row.queuedFlits = asU64(gQueued_());
+  row.packetsOutstanding = asU64(gOutstanding_());
+  row.creditStalls = obs_.creditStallCount();
+  obs_.onSample(row);
+
+  // Stall watchdog: no flit moved since the previous sample while packets
+  // are outstanding. Accumulate the stalled span; reset on any movement.
+  if (havePrev_ && row.flitMovements == prevMovements_ && row.packetsOutstanding > 0) {
+    stalledFor_ += interval_;
+    if (stallWindow_ > 0 && stalledFor_ >= stallWindow_) {
+      obs_.dumpDiagnostics(stderr);
+      HXWAR_CHECK_MSG(false,
+                      "stall watchdog: no flit movement with packets outstanding "
+                      "(diagnostic dump above)");
+    }
+  } else {
+    stalledFor_ = 0;
+  }
+  havePrev_ = true;
+  prevMovements_ = row.flitMovements;
+
+  // Reschedule only while other work remains: an empty queue means the
+  // network has quiesced, and a lone sampler event must not keep a bounded
+  // sim.run() ticking forever.
+  if (!sim().idle()) {
+    sim().scheduleIn(interval_, sim::kEpsControl, this, 0);
+  }
+}
+
+}  // namespace hxwar::obs

@@ -1,0 +1,48 @@
+// Periodic sampler + stall watchdog.
+//
+// A sim::Component that wakes every `interval` ticks at kEpsControl (after
+// all same-tick network activity), polls the canonical network gauges from
+// the observer's registry, and records a SampleRow (plus a Chrome counter
+// event when tracing). Because the event queue's (tick, epsilon, seq) order
+// is total and sampler events never touch network state, an attached sampler
+// cannot perturb the simulation — obs-on and obs-off runs are identical.
+//
+// Watchdog: if the flit-movement gauge is unchanged across consecutive
+// samples while packets are outstanding for at least `stallWindow` ticks, the
+// sampler dumps every counter, gauge, and recent sample to stderr and aborts.
+// This turns a silent hang (routing deadlock, miswired credit loop) into an
+// actionable diagnostic.
+//
+// The sampler stops rescheduling once the event queue is otherwise empty, so
+// it never keeps a bounded `sim.run()` spinning past quiescence.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "obs/net_observer.h"
+#include "sim/simulator.h"
+
+namespace hxwar::obs {
+
+class Sampler final : public sim::Component {
+ public:
+  // Resolves the canonical gauges (obs::gauges) from the observer's registry;
+  // CHECK-fails if the harness has not installed them. Schedules itself
+  // immediately.
+  Sampler(sim::Simulator& sim, NetObserver& observer, Tick interval, Tick stallWindow);
+
+  void processEvent(std::uint64_t tag) override;
+
+ private:
+  NetObserver& obs_;
+  Tick interval_;
+  Tick stallWindow_;
+  std::function<double()> gInjected_, gEjected_, gMovements_, gBacklog_, gQueued_,
+      gOutstanding_;
+  bool havePrev_ = false;
+  std::uint64_t prevMovements_ = 0;
+  Tick stalledFor_ = 0;
+};
+
+}  // namespace hxwar::obs

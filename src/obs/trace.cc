@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hxwar::obs {
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Common prefix of every async packet event: category, phase, id, pid, ts.
+void appendPktHeader(std::string& out, const char* name, const char* ph,
+                     const TraceEvent& e, std::uint32_t pid) {
+  appendf(out,
+          "{\"cat\":\"pkt\",\"name\":\"%s\",\"ph\":\"%s\",\"id\":\"%" PRIu64
+          "\",\"pid\":%u,\"tid\":0,\"ts\":%" PRIu64,
+          name, ph, e.id, pid, static_cast<std::uint64_t>(e.ts));
+}
+
+}  // namespace
+
+void appendChromeJson(const TraceBuffer& buffer, std::uint32_t pid, std::string& out) {
+  bool first = true;
+  for (const TraceEvent& e : buffer.events()) {
+    if (!first) out += ',';
+    first = false;
+    switch (e.kind) {
+      case TraceKind::kBegin:
+        appendPktHeader(out, "packet", "b", e, pid);
+        appendf(out, ",\"args\":{\"src\":%u,\"dst\":%u,\"flits\":%u}}", e.a, e.b, e.c);
+        break;
+      case TraceKind::kInject:
+        appendPktHeader(out, "inject", "n", e, pid);
+        appendf(out, ",\"args\":{\"src\":%u}}", e.a);
+        break;
+      case TraceKind::kRoute: {
+        const bool deroute = (e.d & 1u) != 0;
+        const bool faultEscape = (e.d & 2u) != 0;
+        const std::uint32_t dim = (e.d >> 8) & 0xffu;
+        appendPktHeader(out, "route", "n", e, pid);
+        appendf(out, ",\"args\":{\"router\":%u,\"port\":%u,\"vc\":%u,\"verdict\":\"%s\"",
+                e.a, e.b, e.c, deroute ? "deroute" : "min");
+        if (dim != 0xffu) appendf(out, ",\"dim\":%u", dim);
+        if (faultEscape) out += ",\"fault_escape\":1";
+        out += "}}";
+        break;
+      }
+      case TraceKind::kHop:
+        appendPktHeader(out, "xbar", "n", e, pid);
+        appendf(out, ",\"args\":{\"router\":%u,\"in\":%u,\"out\":%u}}", e.a, e.b, e.c);
+        break;
+      case TraceKind::kEnd:
+        appendPktHeader(out, "packet", "e", e, pid);
+        appendf(out, ",\"args\":{\"dropped\":%u,\"hops\":%u,\"deroutes\":%u}}", e.a, e.b,
+                e.c);
+        break;
+      case TraceKind::kCounter:
+        // Two counter tracks per point: flit rates and queue depths.
+        appendf(out,
+                "{\"name\":\"net.flits\",\"ph\":\"C\",\"pid\":%u,\"ts\":%" PRIu64
+                ",\"args\":{\"injected\":%.0f,\"ejected\":%.0f,\"credit_stalls\":%u}}",
+                pid, static_cast<std::uint64_t>(e.ts), e.v0, e.v1, e.a);
+        out += ',';
+        appendf(out,
+                "{\"name\":\"net.queues\",\"ph\":\"C\",\"pid\":%u,\"ts\":%" PRIu64
+                ",\"args\":{\"backlog\":%.0f,\"queued\":%.0f}}",
+                pid, static_cast<std::uint64_t>(e.ts), e.v2, e.v3);
+        break;
+    }
+  }
+}
+
+std::string chromeProcessName(std::uint32_t pid, const std::string& name) {
+  std::string out;
+  appendf(out,
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+          "\"args\":{\"name\":\"%s\"}}",
+          pid, name.c_str());
+  return out;
+}
+
+}  // namespace hxwar::obs

@@ -1,0 +1,68 @@
+// Packet lifecycle trace buffer and its Chrome-trace (Perfetto) JSON
+// serialization.
+//
+// Events are recorded as compact PODs on the simulation thread and serialized
+// after the run. Packet lifetimes map onto Chrome async events: "b" at
+// creation, "n" instants for injection / route decisions / crossbar
+// traversals, "e" at ejection or drop, keyed by (cat="pkt", id=packet id,
+// pid). The pid is the sweep-point index, so a multi-point sweep merges into
+// one trace with one Perfetto process group per load — and the merge order is
+// point order, independent of --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hxwar::obs {
+
+enum class TraceKind : std::uint8_t {
+  kBegin,    // packet entered its source queue
+  kInject,   // head flit left the terminal
+  kRoute,    // head flit won route + VC allocation at a router
+  kHop,      // head flit entered the crossbar toward an inter-router port
+  kEnd,      // packet ejected (or dropped) at its destination
+  kCounter,  // periodic sampler snapshot (Chrome "C" counter event)
+};
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kBegin;
+  Tick ts = 0;
+  std::uint64_t id = 0;  // packet id; 0 for kCounter
+  // Kind-specific payload:
+  //   kBegin:   a=src node, b=dst node, c=size flits
+  //   kInject:  a=src node
+  //   kRoute:   a=router, b=out port, c=out vc, d=flags
+  //             (bit 0 deroute, bit 1 fault escape, bits 8..15 dimension,
+  //              0xff = not attributable to a dimension)
+  //   kHop:     a=router, b=in port, c=out port
+  //   kEnd:     a=dropped (0/1), b=hops, c=deroutes
+  //   kCounter: a=credit-stall delta; deltas in v0..v3
+  std::uint32_t a = 0, b = 0, c = 0, d = 0;
+  double v0 = 0.0, v1 = 0.0, v2 = 0.0, v3 = 0.0;
+};
+
+class TraceBuffer {
+ public:
+  void add(const TraceEvent& e) { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Appends this buffer's events to `out` as comma-separated Chrome-trace JSON
+// objects under process `pid` (no enclosing brackets — the caller assembles
+// the traceEvents array and any metadata events).
+void appendChromeJson(const TraceBuffer& buffer, std::uint32_t pid, std::string& out);
+
+// One Chrome "M" metadata event naming process `pid` (shown as the Perfetto
+// process group label).
+std::string chromeProcessName(std::uint32_t pid, const std::string& name);
+
+}  // namespace hxwar::obs

@@ -54,6 +54,10 @@ void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
                           static_cast<std::uint8_t>(d));
         }
       }
+      // Everything emitted by the retry exists only because faults killed the
+      // budgeted candidates — telemetry separates these from congestion
+      // deroutes.
+      for (auto& c : out) c.faultEscape = true;
     }
     if (!out.empty()) {
       for (auto& c : out) c.atomic = atomic_;

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "net/router.h"
+#include "obs/net_observer.h"
 
 namespace hxwar::routing {
 
@@ -105,6 +106,10 @@ void ValiantRouting::route(const RouteContext& ctx, net::Packet& pkt,
   const RouterId dst = destRouter(pkt);
   if (ctx.atSource && pkt.intermediate == kRouterInvalid) {
     pkt.intermediate = static_cast<RouterId>(ctx.router.rng().below(topo_.numRouters()));
+    // Committing to an intermediate is Valiant's (path-level) deroute: every
+    // routed packet takes exactly one. Hop-level deroute flags stay false —
+    // each DOR phase is minimal toward its phase target.
+    if (ctx.obs != nullptr) ctx.obs->notePathDeroute();
   }
   if (!pkt.phase2 && cur == pkt.intermediate) pkt.phase2 = true;
   if (!pkt.phase2) {
@@ -147,6 +152,7 @@ void UgalRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<C
       pkt.minimalCommitted = true;
     } else {
       pkt.intermediate = ri;
+      if (ctx.obs != nullptr) ctx.obs->notePathDeroute();
     }
   }
 
@@ -234,6 +240,10 @@ void ClosAdRouting::route(const RouteContext& ctx, net::Packet& pkt,
       }
     }
     pkt.intermediate = topo_.routerAt(ic);
+    // A non-minimal winner commits the packet to a Valiant-style detour.
+    if (ctx.obs != nullptr && bestCoord != topo_.coord(dst, bestDim)) {
+      ctx.obs->notePathDeroute();
+    }
   }
 
   if (!pkt.phase2 && cur == pkt.intermediate) pkt.phase2 = true;

@@ -27,6 +27,10 @@ namespace hxwar::net {
 class Router;
 }
 
+namespace hxwar::obs {
+class NetObserver;
+}
+
 namespace hxwar::routing {
 
 struct Candidate {
@@ -41,6 +45,10 @@ struct Candidate {
   // If this deroute is granted, the router sets bit `derouteDim` in the
   // packet's deroutedDims mask (DAL's once-per-dimension bookkeeping).
   std::uint8_t derouteDim = 0xff;
+  // This deroute exists only because a fault killed the minimal option (DAL's
+  // re-deroute retry); telemetry counts these separately from congestion
+  // deroutes.
+  bool faultEscape = false;
 };
 
 // Context handed to route(): where the head flit sits.
@@ -57,6 +65,9 @@ struct RouteContext {
   // non-fault-aware algorithms fail loudly (or drop, under --fault-drop) at
   // the dead end instead of stalling forever.
   const fault::DeadPortMask* deadPorts = nullptr;
+  // Observability sink when attached (nullptr otherwise). Source-adaptive
+  // algorithms report path-level deroute commitments through it.
+  obs::NetObserver* obs = nullptr;
 };
 
 // Static implementation properties (reproduces Table 1).

@@ -42,6 +42,10 @@ class HyperX final : public Topology {
   PortId nodePort(NodeId n) const override { return n % k_; }
   std::uint32_t minHops(RouterId a, RouterId b) const override;
   std::uint32_t diameter() const override { return numDims(); }
+  std::uint32_t numPortDims() const override { return numDims(); }
+  std::uint32_t portDim(RouterId r, PortId p) const override {
+    return isTerminalPort(p) ? kPortDimUnknown : portMove(r, p).dim;
+  }
 
   // --- HyperX-specific structural queries used by routing algorithms ---
 

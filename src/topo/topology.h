@@ -43,6 +43,16 @@ class Topology {
 
   // Network diameter in router-to-router hops.
   virtual std::uint32_t diameter() const = 0;
+
+  // --- dimension attribution (telemetry) ---
+  // Lattice topologies (HyperX, torus) attribute each inter-router port to
+  // the coordinate dimension it moves in; the observability layer uses this
+  // to break routing decisions down per dimension. Topologies without a
+  // dimension structure keep the defaults (no dimensions, every port
+  // unattributable).
+  static constexpr std::uint32_t kPortDimUnknown = 0xffffffffu;
+  virtual std::uint32_t numPortDims() const { return 0; }
+  virtual std::uint32_t portDim(RouterId, PortId) const { return kPortDimUnknown; }
 };
 
 }  // namespace hxwar::topo

@@ -34,6 +34,10 @@ class Torus final : public Topology {
   PortId nodePort(NodeId n) const override { return n % k_; }
   std::uint32_t minHops(RouterId a, RouterId b) const override;
   std::uint32_t diameter() const override;
+  std::uint32_t numPortDims() const override { return numDims(); }
+  std::uint32_t portDim(RouterId, PortId p) const override {
+    return p < k_ ? kPortDimUnknown : (p - k_) / 2;  // inverse of dimPort()
+  }
 
   // --- torus-specific ---
   std::uint32_t numDims() const { return static_cast<std::uint32_t>(widths_.size()); }

@@ -1,0 +1,46 @@
+# End-to-end observability gate: runs hxsim with tracing, metrics, and the
+# periodic sampler enabled, at --jobs=1 and --jobs=4, then
+#   * fails unless the CSV, trace JSON, and metrics JSON are byte-identical
+#     across the two runs (observability must not break the determinism
+#     contract), and
+#   * validates the trace and metrics files with trace_check (well-formed
+#     JSON, matched async spans, histogram/packet consistency).
+#
+# Required -D variables: HXSIM, TRACE_CHECK (binary paths), WORKDIR.
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(common
+    --widths=3,3 --terminals=2 --routing=dimwar --experiment=sweep
+    --loads=0.1,0.2 --warmup-window=300 --warmup-windows=6
+    --measure-window=800 --drain-window=2000
+    --trace-sample=1 --sample-interval=200)
+
+foreach(jobs 1 4)
+  execute_process(COMMAND "${HXSIM}" ${common} --jobs=${jobs}
+                          --csv=${WORKDIR}/jobs${jobs}.csv
+                          --trace-out=${WORKDIR}/jobs${jobs}.trace.json
+                          --metrics-json=${WORKDIR}/jobs${jobs}.metrics.json
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hxsim --jobs=${jobs} traced sweep failed (exit ${rc})")
+  endif()
+endforeach()
+
+foreach(out csv trace.json metrics.json)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          "${WORKDIR}/jobs1.${out}" "${WORKDIR}/jobs4.${out}"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "--jobs=4 ${out} differs from --jobs=1: observability broke the determinism contract")
+  endif()
+endforeach()
+
+execute_process(COMMAND "${TRACE_CHECK}" "${WORKDIR}/jobs1.trace.json" --min-spans=10
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_check rejected the Chrome trace (exit ${rc})")
+endif()
+execute_process(COMMAND "${TRACE_CHECK}" --metrics "${WORKDIR}/jobs1.metrics.json"
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace_check rejected the metrics JSON (exit ${rc})")
+endif()

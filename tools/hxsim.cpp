@@ -23,6 +23,14 @@
 // byte-identical for any --jobs value. --perf-json captures per-point wall
 // time and event throughput.
 //
+// Observability (steady/sweep): --trace-out=FILE writes a Chrome-trace JSON
+// of sampled packet lifecycles (open in ui.perfetto.dev; --trace-sample=N
+// traces 1-in-N packets by id), --metrics-json=FILE dumps latency histograms,
+// tail percentiles, and per-dimension routing-decision counters, and
+// --sample-interval=T snapshots network load every T cycles (with a stall
+// watchdog after --stall-window quiet cycles). All observability output is
+// --jobs-invariant; see obs/obs.h.
+//
 // Configuration can come from a file (`hxsim --config my.cfg`) with
 // `key = value` lines; command-line flags override file values. See
 // harness/builder.h for the topology/router keys.
@@ -38,6 +46,7 @@
 #include "common/flags.h"
 #include "harness/builder.h"
 #include "harness/csv.h"
+#include "harness/obs_io.h"
 #include "harness/registry.h"
 #include "harness/spec.h"
 #include "harness/sweep_runner.h"
@@ -53,7 +62,9 @@ std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult
   std::vector<std::string> row = {Table::pct(load),
                                   Table::pct(r.accepted),
                                   r.saturated ? "-" : Table::num(r.latencyMean, 1),
+                                  r.saturated ? "-" : Table::num(r.latencyP90, 1),
                                   r.saturated ? "-" : Table::num(r.latencyP99, 1),
+                                  r.saturated ? "-" : Table::num(r.latencyP999, 1),
                                   Table::num(r.avgHops, 2),
                                   Table::num(r.avgDeroutes, 3),
                                   r.saturated ? "SATURATED" : "stable"};
@@ -95,8 +106,9 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   // No wall-clock columns: the table and CSV stay byte-identical for any
   // --jobs value. Telemetry goes to --perf-json instead. Resilience columns
   // appear only on faulted runs, keeping fault-free output unchanged.
-  std::vector<std::string> columns = {"offered", "accepted", "lat_mean", "lat_p99",
-                                      "hops",    "deroutes", "state"};
+  std::vector<std::string> columns = {"offered",  "accepted", "lat_mean",
+                                      "lat_p90",  "lat_p99",  "lat_p999",
+                                      "hops",     "deroutes", "state"};
   const bool faulted = spec.fault.active();
   if (faulted) {
     columns.push_back("dropped");
@@ -118,6 +130,10 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   if (!perf.writeJson(perfJson, "hxsim", spec.topology, sweepOpts.jobs)) {
     std::fprintf(stderr, "warning: could not write %s\n", perfJson.c_str());
   }
+
+  // Observability outputs, assembled in point order (jobs-invariant).
+  harness::writeTraceJson(spec.obs.traceOut, spec, points);
+  harness::writeMetricsJson(spec.obs.metricsJson, spec, points);
   return 0;
 }
 

@@ -13,7 +13,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-tsan"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" --target parallel_sweep_test fault_test -j"$(nproc)"
+cmake --build "${BUILD}" --target parallel_sweep_test fault_test hxsim -j"$(nproc)"
 
 # TSAN_OPTIONS defaults: fail loudly on the first race.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -25,3 +25,15 @@ echo "parallel_sweep_test passed under ThreadSanitizer"
 # Death tests fork and are meaningless under TSan; skip them.
 "${BUILD}/tests/fault_test" --gtest_filter='-*Death*' "$@"
 echo "fault_test (transient-fault sweep) passed under ThreadSanitizer"
+
+# Traced multi-threaded sweep: per-point NetObservers (trace buffers, counter
+# slots, sampler rows) must stay thread-local until the point-ordered merge.
+OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "${OBS_DIR}"' EXIT
+"${BUILD}/tools/hxsim" --widths=3,3 --terminals=2 --routing=dimwar \
+  --experiment=sweep --loads=0.1,0.2 --jobs=4 \
+  --warmup-window=300 --warmup-windows=6 --measure-window=800 --drain-window=2000 \
+  --trace-sample=1 --sample-interval=200 \
+  --trace-out="${OBS_DIR}/sweep.trace.json" \
+  --metrics-json="${OBS_DIR}/sweep.metrics.json" > /dev/null
+echo "traced --jobs=4 sweep passed under ThreadSanitizer"

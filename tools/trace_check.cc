@@ -1,0 +1,190 @@
+// trace_check — validates observability output files (used by the tier-1
+// ctest gate, see tests/trace_validate.cmake).
+//
+//   trace_check TRACE.json [--min-spans=N]
+//     Parses a Chrome-trace JSON file and checks structural invariants:
+//     traceEvents is an array, every event carries name/ph/pid (and ts except
+//     metadata), every async "e" closes an open "b" with the same
+//     (pid, cat, id), counter events have numeric args, and at least N packet
+//     spans open (default 1). Unmatched "b" events are tolerated: packets
+//     still in flight when a sweep point ends never see their "e".
+//
+//   trace_check --metrics METRICS.json
+//     Parses a --metrics-json file and checks every point has a latency
+//     object with p99/p999, a latency_histogram whose bucket counts sum to
+//     `packets`, and a routing object with the per-dimension deroute arrays.
+//
+// Exit code 0 = valid, 1 = invalid (with a message on stderr).
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace {
+
+using hxwar::obs::JsonValue;
+
+bool fail(const char* fmt, const std::string& detail) {
+  std::fprintf(stderr, fmt, detail.c_str());
+  std::fprintf(stderr, "\n");
+  return false;
+}
+
+bool readFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("trace_check: cannot open %s", path);
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool checkTrace(const JsonValue& root, std::uint64_t minSpans) {
+  const JsonValue* events = root.get("traceEvents");
+  if (events == nullptr || !events->isArray()) {
+    return fail("trace_check: %s", "missing traceEvents array");
+  }
+  // Open async spans keyed the way Perfetto matches them: (pid, cat, id).
+  std::map<std::tuple<double, std::string, std::string>, std::uint64_t> open;
+  std::uint64_t spans = 0;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (!e.isObject()) return fail("trace_check: %s", "event is not an object");
+    const JsonValue* name = e.get("name");
+    const JsonValue* ph = e.get("ph");
+    const JsonValue* pid = e.get("pid");
+    if (name == nullptr || !name->isString() || ph == nullptr || !ph->isString() ||
+        pid == nullptr || !pid->isNumber()) {
+      return fail("trace_check: %s", "event missing name/ph/pid at index " +
+                                         std::to_string(i));
+    }
+    const std::string& phase = ph->string;
+    if (phase == "M") continue;  // metadata carries no ts
+    const JsonValue* ts = e.get("ts");
+    if (ts == nullptr || !ts->isNumber()) {
+      return fail("trace_check: %s", "event missing numeric ts: " + name->string);
+    }
+    if (phase == "C") {
+      const JsonValue* args = e.get("args");
+      if (args == nullptr || !args->isObject() || args->object.empty()) {
+        return fail("trace_check: %s", "counter event without args: " + name->string);
+      }
+      for (const auto& [key, value] : args->object) {
+        if (!value.isNumber()) {
+          return fail("trace_check: %s", "non-numeric counter arg: " + key);
+        }
+      }
+      continue;
+    }
+    if (phase == "b" || phase == "n" || phase == "e") {
+      const JsonValue* cat = e.get("cat");
+      const JsonValue* id = e.get("id");
+      if (cat == nullptr || !cat->isString() || id == nullptr || !id->isString()) {
+        return fail("trace_check: %s", "async event missing cat/id: " + name->string);
+      }
+      const auto key = std::make_tuple(pid->number, cat->string, id->string);
+      if (phase == "b") {
+        open[key] += 1;
+        spans += 1;
+      } else if (phase == "e") {
+        auto it = open.find(key);
+        if (it == open.end() || it->second == 0) {
+          return fail("trace_check: %s", "\"e\" without open \"b\" for id " + id->string);
+        }
+        it->second -= 1;
+      } else {  // "n" instants must fall inside an open span
+        auto it = open.find(key);
+        if (it == open.end() || it->second == 0) {
+          return fail("trace_check: %s",
+                      "\"n\" outside an open span for id " + id->string);
+        }
+      }
+    }
+  }
+  if (spans < minSpans) {
+    return fail("trace_check: %s", "only " + std::to_string(spans) + " packet spans, need " +
+                                       std::to_string(minSpans));
+  }
+  std::printf("trace_check: OK (%llu packet spans)\n",
+              static_cast<unsigned long long>(spans));
+  return true;
+}
+
+bool checkMetrics(const JsonValue& root) {
+  const JsonValue* points = root.get("points");
+  if (points == nullptr || !points->isArray() || points->array.empty()) {
+    return fail("trace_check: %s", "metrics file has no points array");
+  }
+  for (std::size_t i = 0; i < points->array.size(); ++i) {
+    const JsonValue& p = points->array[i];
+    const std::string at = " at point " + std::to_string(i);
+    const JsonValue* latency = p.get("latency");
+    if (latency == nullptr || latency->get("p99") == nullptr ||
+        latency->get("p999") == nullptr) {
+      return fail("trace_check: %s", "missing latency.p99/.p999" + at);
+    }
+    const JsonValue* packets = p.get("packets");
+    const JsonValue* histogram = p.get("latency_histogram");
+    if (packets == nullptr || !packets->isNumber() || histogram == nullptr ||
+        !histogram->isArray()) {
+      return fail("trace_check: %s", "missing packets/latency_histogram" + at);
+    }
+    double bucketSum = 0.0;
+    for (const JsonValue& bucket : histogram->array) {
+      const JsonValue* count = bucket.get("count");
+      if (count == nullptr || !count->isNumber()) {
+        return fail("trace_check: %s", "histogram bucket without count" + at);
+      }
+      bucketSum += count->number;
+    }
+    if (bucketSum != packets->number) {
+      return fail("trace_check: %s", "histogram counts do not sum to packets" + at);
+    }
+    const JsonValue* routing = p.get("routing");
+    if (routing == nullptr || routing->get("decisions") == nullptr ||
+        routing->get("deroutes_taken_by_dim") == nullptr ||
+        routing->get("deroutes_refused_by_dim") == nullptr) {
+      return fail("trace_check: %s", "missing routing counters" + at);
+    }
+  }
+  std::printf("trace_check: metrics OK (%zu points)\n", points->array.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool metricsMode = false;
+  std::uint64_t minSpans = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metricsMode = true;
+    } else if (arg.rfind("--min-spans=", 0) == 0) {
+      minSpans = std::strtoull(arg.c_str() + std::strlen("--min-spans="), nullptr, 10);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_check TRACE.json [--min-spans=N]\n"
+                         "       trace_check --metrics METRICS.json\n");
+    return 1;
+  }
+  std::string text;
+  if (!readFile(path, text)) return 1;
+  JsonValue root;
+  std::string error;
+  if (!hxwar::obs::parseJson(text, root, error)) {
+    std::fprintf(stderr, "trace_check: %s is not valid JSON: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const bool ok = metricsMode ? checkMetrics(root) : checkTrace(root, minSpans);
+  return ok ? 0 : 1;
+}
