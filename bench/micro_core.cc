@@ -37,11 +37,18 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   sim::EventQueue q;
   Rng rng(1);
   const std::size_t batch = 1024;
+  Tick now = 0;  // pushes must not precede the last popped tick
   for (auto _ : state) {
+    Tick maxT = now;
     for (std::size_t i = 0; i < batch; ++i) {
-      q.push(rng.below(1000), sim::kEpsRouter, nullptr, i);
+      // Mostly near-future (ring) pushes with a ~1/16 far-future (spill) mix,
+      // mirroring the simulator's channel-latency-dominated schedule stream.
+      const Tick t = now + (i % 16 == 15 ? 300 + rng.below(1000) : rng.below(64));
+      q.push(t, sim::kEpsRouter, nullptr, i);
+      maxT = std::max(maxT, t);
     }
     while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    now = maxT;
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
@@ -235,7 +242,17 @@ double timeTopologyLookups(const topo::Topology& topo, std::uint64_t iterations)
 // every-packet tracing (the worst case --trace-sample=1 configuration).
 enum class ObsMode { kOff, kCounters, kTraced };
 
-double timeEndToEndEventsPerSec(ObsMode mode = ObsMode::kOff) {
+// Events/sec alone cannot compare event-core stages: wakeup batching
+// deliberately coalesces same-tick deliveries, so the same simulation runs
+// fewer, fatter events. Wall seconds for the fixed workload is the
+// cross-stage metric; events and events/sec are kept for context.
+struct EndToEndResult {
+  double eventsPerSec = 0;
+  double wallSec = 0;
+  std::uint64_t events = 0;
+};
+
+EndToEndResult timeEndToEnd(ObsMode mode = ObsMode::kOff) {
   sim::Simulator sim;
   topo::HyperX topo({{4, 4, 4}, 4});
   auto routing = routing::makeHyperXRouting("dimwar", topo);
@@ -264,16 +281,20 @@ double timeEndToEndEventsPerSec(ObsMode mode = ObsMode::kOff) {
   injector.stop();
   sim.run();
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
-  return static_cast<double>(sim.eventsProcessed()) / dt.count();
+  return EndToEndResult{static_cast<double>(sim.eventsProcessed()) / dt.count(), dt.count(),
+                        sim.eventsProcessed()};
 }
 
 void writeCoreBaseline(const char* path) {
   const std::uint64_t churn = 4'000'000;
   const double unpooled = timePacketChurn(false, churn);
   const double pooled = timePacketChurn(true, churn);
-  const double evps = timeEndToEndEventsPerSec();
-  const double evpsCounters = timeEndToEndEventsPerSec(ObsMode::kCounters);
-  const double evpsTraced = timeEndToEndEventsPerSec(ObsMode::kTraced);
+  const EndToEndResult e2e = timeEndToEnd();
+  const EndToEndResult e2eCounters = timeEndToEnd(ObsMode::kCounters);
+  const EndToEndResult e2eTraced = timeEndToEnd(ObsMode::kTraced);
+  const double evps = e2e.eventsPerSec;
+  const double evpsCounters = e2eCounters.eventsPerSec;
+  const double evpsTraced = e2eTraced.eventsPerSec;
   topo::HyperX hx({{4, 4, 4}, 4});
   std::uint32_t maxPorts = 0;
   for (RouterId r = 0; r < hx.numRouters(); ++r) {
@@ -289,7 +310,8 @@ void writeCoreBaseline(const char* path) {
   std::printf("topology lookup sweeps: raw %.1f M/s, degraded(0 faults) %.1f M/s "
               "(%.3fx overhead)\n",
               rawLookups / 1e6, degradedLookups / 1e6, rawLookups / degradedLookups);
-  std::printf("end-to-end dimwar/ur small: %.2f Mev/s\n", evps / 1e6);
+  std::printf("end-to-end dimwar/ur small: %.2f Mev/s (%llu events, %.3f s wall)\n",
+              evps / 1e6, static_cast<unsigned long long>(e2e.events), e2e.wallSec);
   std::printf("  with obs counters: %.2f Mev/s (%.3fx overhead), traced 1-in-1: "
               "%.2f Mev/s (%.3fx overhead)\n",
               evpsCounters / 1e6, evps / evpsCounters, evpsTraced / 1e6,
@@ -299,9 +321,40 @@ void writeCoreBaseline(const char* path) {
     std::fprintf(stderr, "warning: could not write %s\n", path);
     return;
   }
+  // Event-core optimization trajectory (DESIGN.md §10). The first three rows
+  // are frozen best-of-N reference measurements taken on one machine across
+  // the change series (the heap and intermediate stages no longer exist in
+  // the tree); the last row is this run's live number. Events/sec cannot
+  // compare stages across the batching boundary — batching runs the same
+  // simulation in fewer, fatter events — so wall seconds for the fixed
+  // workload is the cross-stage column.
+  struct TrajectoryRow {
+    const char* stage;
+    std::uint64_t events;
+    double wallSec;
+  };
+  const TrajectoryRow frozen[] = {
+      {"binary_heap", 5'531'749, 1.352},
+      {"calendar_queue", 5'531'749, 0.890},
+      {"calendar_plus_wakeup_batching", 4'270'873, 0.633},
+  };
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"micro_core\",\n"
+               "  \"event_core_trajectory\": [\n");
+  for (const TrajectoryRow& row : frozen) {
+    std::fprintf(f,
+                 "    {\"stage\": \"%s\", \"events\": %llu, \"wall_sec\": %.4f, "
+                 "\"events_per_sec\": %.1f, \"frozen\": true},\n",
+                 row.stage, static_cast<unsigned long long>(row.events), row.wallSec,
+                 static_cast<double>(row.events) / row.wallSec);
+  }
+  std::fprintf(f,
+               "    {\"stage\": \"calendar_batching_route_caches\", \"events\": %llu, "
+               "\"wall_sec\": %.4f, \"events_per_sec\": %.1f, \"frozen\": false}\n"
+               "  ],\n",
+               static_cast<unsigned long long>(e2e.events), e2e.wallSec, evps);
+  std::fprintf(f,
                "  \"packet_alloc_unpooled_per_sec\": %.1f,\n"
                "  \"packet_alloc_pooled_per_sec\": %.1f,\n"
                "  \"packet_pool_speedup\": %.3f,\n"
@@ -309,14 +362,17 @@ void writeCoreBaseline(const char* path) {
                "  \"topology_lookup_degraded_per_sec\": %.1f,\n"
                "  \"degraded_lookup_overhead\": %.3f,\n"
                "  \"end_to_end_events_per_sec\": %.1f,\n"
+               "  \"end_to_end_events\": %llu,\n"
+               "  \"end_to_end_wall_sec\": %.4f,\n"
                "  \"end_to_end_obs_counters_events_per_sec\": %.1f,\n"
                "  \"end_to_end_obs_traced_events_per_sec\": %.1f,\n"
                "  \"obs_counters_overhead\": %.3f,\n"
                "  \"obs_traced_overhead\": %.3f\n"
                "}\n",
                unpooled, pooled, pooled / unpooled, rawLookups, degradedLookups,
-               rawLookups / degradedLookups, evps, evpsCounters, evpsTraced,
-               evps / evpsCounters, evps / evpsTraced);
+               rawLookups / degradedLookups, evps,
+               static_cast<unsigned long long>(e2e.events), e2e.wallSec, evpsCounters,
+               evpsTraced, evps / evpsCounters, evps / evpsTraced);
   std::fclose(f);
 }
 

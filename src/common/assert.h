@@ -26,3 +26,20 @@ namespace hxwar::detail {
   do {                                                                   \
     if (!(expr)) ::hxwar::detail::checkFailed(#expr, __FILE__, __LINE__, msg); \
   } while (false)
+
+// Debug-only variants for per-event hot paths (event scheduling, channel
+// drains): the conditions they guard are exercised by the Debug test suite
+// and the event-queue property test, and a branch on every single event push
+// is measurable at the simulator's event rates. Release builds (NDEBUG)
+// compile them out entirely; expressions must be side-effect free.
+#ifdef NDEBUG
+#define HXWAR_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#define HXWAR_DCHECK_MSG(expr, msg) \
+  do {                              \
+  } while (false)
+#else
+#define HXWAR_DCHECK(expr) HXWAR_CHECK(expr)
+#define HXWAR_DCHECK_MSG(expr, msg) HXWAR_CHECK_MSG(expr, msg)
+#endif

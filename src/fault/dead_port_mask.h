@@ -33,6 +33,7 @@ class DeadPortMask {
   void resize(std::uint32_t numRouters, std::uint32_t maxPorts) {
     maxPorts_ = maxPorts;
     dead_.assign(static_cast<std::size_t>(numRouters) * maxPorts, 0);
+    ++version_;
   }
 
   bool isDead(RouterId r, PortId p) const {
@@ -41,7 +42,14 @@ class DeadPortMask {
 
   void set(RouterId r, PortId p, bool dead) {
     dead_[static_cast<std::size_t>(r) * maxPorts_ + p] = dead ? 1 : 0;
+    ++version_;
   }
+
+  // Bumped on every write. Consumers that cache mask-derived state (e.g. the
+  // routing layer's filtered candidate lists) tag entries with the version
+  // and lazily invalidate on mismatch, so FaultController kill/revive flips
+  // need no registration with their readers.
+  std::uint64_t version() const { return version_; }
 
   // Applies/clears a list of directed (router, port) entries — the format
   // FaultSet::ports uses (both directions of every failed link present).
@@ -66,6 +74,7 @@ class DeadPortMask {
  private:
   std::uint32_t maxPorts_ = 0;
   std::vector<std::uint8_t> dead_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace hxwar::fault

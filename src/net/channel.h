@@ -80,17 +80,27 @@ class CreditChannel final : public sim::Component {
     HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
   }
 
+  // Unlike flits, many credits can enter a channel in one cycle (the crossbar
+  // frees one input-buffer slot per flit it moves). Same-arrival-tick sends
+  // coalesce into a single delivery event that drains them all: credit
+  // application is commutative (each is `credits += 1` downstream), so the
+  // batch is replay-identical to one event per credit (DESIGN.md §10).
   void send(VcId vc) {
-    inflight_.push_back(Entry{sim().now() + latency_, vc});
-    sim().schedule(sim().now() + latency_, sim::kEpsDeliver, this, 0);
+    const Tick arrival = sim().now() + latency_;
+    inflight_.push_back(Entry{arrival, vc});
+    if (lastArrival_ != arrival) {
+      lastArrival_ = arrival;
+      sim().schedule(arrival, sim::kEpsDeliver, this, 0);
+    }
   }
 
   void processEvent(std::uint64_t) override {
-    HXWAR_CHECK(!inflight_.empty());
-    const Entry e = inflight_.front();
-    HXWAR_CHECK(e.arrival == sim().now());
-    inflight_.pop_front();
-    sink_->receiveCredit(sinkPort_, e.vc);
+    HXWAR_CHECK(!inflight_.empty() && inflight_.front().arrival == sim().now());
+    do {
+      const Entry e = inflight_.front();
+      inflight_.pop_front();
+      sink_->receiveCredit(sinkPort_, e.vc);
+    } while (!inflight_.empty() && inflight_.front().arrival == sim().now());
   }
 
  private:
@@ -103,6 +113,7 @@ class CreditChannel final : public sim::Component {
   CreditSink* sink_;
   PortId sinkPort_;
   std::deque<Entry> inflight_;
+  Tick lastArrival_ = kTickInvalid;  // one delivery event per arrival tick
 };
 
 }  // namespace hxwar::net

@@ -16,32 +16,35 @@
 
 namespace hxwar::net {
 
+// Fields are ordered by alignment (8-byte, then 4-byte, then narrower) so
+// the struct carries no interior padding — packets are pool-recycled by the
+// thousand and every byte of the record is hot in the age-based arbiter.
 struct Packet {
+  // --- 8-byte fields ---
   PacketId id = 0;
-  NodeId src = kNodeInvalid;
-  NodeId dst = kNodeInvalid;
-  std::uint32_t sizeFlits = 1;
-
   Tick createdAt = 0;               // entered the source queue (age basis)
   Tick injectedAt = kTickInvalid;   // head flit left the terminal
   Tick ejectedAt = kTickInvalid;    // tail flit absorbed at destination
+  void* appMessage = nullptr;       // application linkage (nullptr = synthetic)
 
-  std::uint16_t hops = 0;      // router-to-router hops taken
-  std::uint16_t deroutes = 0;  // non-minimal hops taken
+  // --- 4-byte fields ---
+  NodeId src = kNodeInvalid;
+  NodeId dst = kNodeInvalid;
+  std::uint32_t sizeFlits = 1;
+  RouterId intermediate = kRouterInvalid;  // routing scratch: VAL/UGAL/Clos-AD
+  std::uint32_t deroutedDims = 0;          // routing scratch: DAL derouted-dims mask
+  std::uint32_t arrivedFlits = 0;          // destination-side reassembly
+  std::uint32_t msgSeq = 0;                // packet index within its message
 
-  // --- routing scratch (source-adaptive algorithms only) ---
-  RouterId intermediate = kRouterInvalid;  // VAL/UGAL/Clos-AD
-  bool phase2 = false;                     // reached the intermediate router
-  bool minimalCommitted = false;           // UGAL chose the minimal route
-  std::uint32_t deroutedDims = 0;          // DAL: bitmask of derouted dims
-
-  // --- destination-side reassembly ---
-  std::uint32_t arrivedFlits = 0;
-
-  // --- application linkage (nullptr for synthetic traffic) ---
-  void* appMessage = nullptr;
-  std::uint32_t msgSeq = 0;  // packet index within its message
+  // --- narrow fields ---
+  std::uint16_t hops = 0;         // router-to-router hops taken
+  std::uint16_t deroutes = 0;     // non-minimal hops taken
+  bool phase2 = false;            // routing scratch: reached the intermediate
+  bool minimalCommitted = false;  // routing scratch: UGAL chose minimal
 };
+
+static_assert(sizeof(Packet) == 80,
+              "Packet must stay padding-free: 5x8 + 7x4 + 2x2 + 2x1 rounded to 80");
 
 struct Flit {
   Packet* packet = nullptr;

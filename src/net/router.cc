@@ -36,6 +36,7 @@ Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t
       inCredit_(numPorts, nullptr),
       terminalPort_(numPorts, 0),
       outputActive_(numPorts, 0),
+      outOccPort_(numPorts, 0),
       outFlits_(numPorts, 0),
       outDeroutes_(numPorts, 0),
       rrNext_(numPorts, 0) {
@@ -62,11 +63,12 @@ double Router::congestionFlits(PortId port) const {
   // channel — which makes adaptive algorithms deroute on noise. Downstream
   // congestion still surfaces here: once credits run dry the output queue
   // backs up and occupancy rises.
-  std::uint64_t flits = 0;
-  for (VcId v = 0; v < config_.numVcs; ++v) {
-    flits += out(port, v).occ;
-  }
-  return static_cast<double>(flits) / config_.numVcs;
+  //
+  // outOccPort_ aggregates the per-VC occ counters so this sits-on-every-
+  // candidate query is O(1). The division must stay a division (not a
+  // multiply by a precomputed reciprocal): routing weights feed tie-breaks,
+  // and a one-ULP difference would change replay.
+  return static_cast<double>(outOccPort_[port]) / config_.numVcs;
 }
 
 std::uint64_t Router::bufferedFlits() const {
@@ -143,12 +145,18 @@ void Router::ensureCycle() {
 
 void Router::processEvent(std::uint64_t tag) {
   if (tag == kTagXbar) {
-    // A flit finished crossbar traversal: land it in its output queue.
+    // Flits finished crossbar traversal: land every one arriving this tick in
+    // its output queue. stageCrossbar schedules one event per arrival tick,
+    // not per flit; landings only append to (disjoint) output queues and
+    // activate ports in pipe order, so the batch drain is replay-identical to
+    // one event per flit (DESIGN.md §10).
     HXWAR_CHECK(!xbarPipe_.empty() && xbarPipe_.front().arrive == sim().now());
-    const XbarEntry e = xbarPipe_.front();
-    xbarPipe_.pop_front();
-    out(e.outPort, e.outVc).q.push_back(e.flit);
-    markOutputActive(e.outPort);
+    do {
+      const XbarEntry e = xbarPipe_.front();
+      xbarPipe_.pop_front();
+      out(e.outPort, e.outVc).q.push_back(e.flit);
+      markOutputActive(e.outPort);
+    } while (!xbarPipe_.empty() && xbarPipe_.front().arrive == sim().now());
     ensureCycle();
     return;
   }
@@ -201,6 +209,7 @@ void Router::stageOutput() {
       const Flit f = o.q.front();
       o.q.pop_front();
       o.occ -= 1;
+      outOccPort_[p] -= 1;
       o.credits -= 1;
       outChannel_[p]->send(best, f);
       outFlits_[p] += 1;
@@ -268,8 +277,13 @@ void Router::stageCrossbar() {
       iv.q.pop_front();
       budget[p] -= 1;
       o.occ += 1;
-      xbarPipe_.push_back(XbarEntry{sim().now() + config_.crossbarLatency, f, iv.outPort, iv.outVc});
-      sim().schedule(sim().now() + config_.crossbarLatency, sim::kEpsDeliver, this, kTagXbar);
+      outOccPort_[iv.outPort] += 1;
+      const Tick arrive = sim().now() + config_.crossbarLatency;
+      xbarPipe_.push_back(XbarEntry{arrive, f, iv.outPort, iv.outVc});
+      if (lastXbarArrival_ != arrive) {
+        lastXbarArrival_ = arrive;
+        sim().schedule(arrive, sim::kEpsDeliver, this, kTagXbar);
+      }
       network_->noteFlitMoved();
       // Return the buffer slot upstream (terminals also track credits).
       HXWAR_CHECK(inCredit_[p] != nullptr);

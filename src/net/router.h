@@ -168,6 +168,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::vector<CreditChannel*> inCredit_;
   std::vector<std::uint8_t> terminalPort_;
   std::vector<std::uint8_t> outputActive_;
+  std::vector<std::uint32_t> outOccPort_;  // sum of OutVc::occ per port (O(1) congestion)
   std::vector<std::uint64_t> outFlits_;
   std::vector<std::uint64_t> outDeroutes_;
   std::vector<VcId> rrNext_;  // round-robin pointer per output port
@@ -177,6 +178,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::vector<std::uint32_t> activeOutPorts_;
 
   std::deque<XbarEntry> xbarPipe_;
+  Tick lastXbarArrival_ = kTickInvalid;  // one kTagXbar event per arrival tick
 
   bool cyclePending_ = false;
   Tick lastCycleTick_ = kTickInvalid;

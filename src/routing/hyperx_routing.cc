@@ -282,30 +282,56 @@ void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
     // it. On a one-deroute-routable degraded network this set is never empty
     // (DESIGN.md §8); if a worse fault set empties it, fall through to the
     // plain emission and let the router's dead-end policy decide.
-    if (moveLive(mask, cur, d, dc)) {
-      emitDimMoveLive(mask, out, cur, d, dc, 0, unaligned, false);
-    }
-    if (ctx.inClass == 0) {
+    //
+    // The filtered list is pure in (cur, dst, mask), so it is cached per
+    // (cur, dst) tagged with the mask version; the inClass restriction is an
+    // emission-time filter so one entry serves both classes.
+    MaskedRouteCache::Entry& e = maskedCache_.slot(cur, dst);
+    if (e.cur != cur || e.dst != dst || e.maskVersion != mask->version()) {
+      e.cur = cur;
+      e.dst = dst;
+      e.maskVersion = mask->version();
+      e.items.clear();
+      if (moveLive(mask, cur, d, dc)) {
+        for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+          const PortId port = topo_.dimPort(cur, d, dc, t);
+          if (mask->isDead(cur, port)) continue;
+          e.items.push_back(MaskedItem{port, unaligned, static_cast<std::uint8_t>(d), false});
+        }
+      }
       for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
         if (x == cc || x == dc) continue;
         if (!moveLive(mask, cur, d, x)) continue;
         if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
-        emitDimMoveLive(mask, out, cur, d, x, 1, unaligned + 1, true);
+        for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+          const PortId port = topo_.dimPort(cur, d, x, t);
+          if (mask->isDead(cur, port)) continue;
+          e.items.push_back(
+              MaskedItem{port, unaligned + 1, static_cast<std::uint8_t>(d), true});
+        }
       }
+    }
+    for (const MaskedItem& it : e.items) {
+      if (it.deroute && ctx.inClass != 0) continue;
+      out.push_back(Candidate{it.port, it.deroute ? 1u : 0u, it.hopsRemaining, it.deroute});
     }
     if (!out.empty()) return;
   }
 
   // Minimal hop in the current dimension always rides class 0.
-  emitDimMove(out, cur, d, dc, 0, unaligned, false);
+  const DimMoveCache::Entry& geo = dimCache_.entry(d, cc, dc);
+  const PortId* minPorts = dimCache_.ports(geo.minBegin);
+  for (std::uint32_t t = 0; t < dimCache_.trunking(); ++t) {
+    out.push_back(Candidate{minPorts[t], 0, unaligned, false});
+  }
 
   // One deroute per dimension: only permitted while on class 0 (a packet on
   // class 1 has just derouted and must take the minimal hop next). Deroutes
   // stay within the current dimension and ride class 1.
   if (ctx.inClass == 0) {
-    for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
-      if (x == cc || x == dc) continue;
-      emitDimMove(out, cur, d, x, 1, unaligned + 1, true);
+    const PortId* derPorts = dimCache_.ports(geo.derBegin);
+    for (std::uint32_t i = 0; i < geo.derCount; ++i) {
+      out.push_back(Candidate{derPorts[i], 1, unaligned + 1, true});
     }
   }
 }
@@ -354,21 +380,51 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
     // candidate and always has classes left to finish (DESIGN.md §8). With
     // M >= N deroute classes (the default M = N) the invariant holds from
     // the source: R = N + M >= 2k for any k <= N.
-    for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
-      const std::uint32_t cc = topo_.coord(cur, d);
-      const std::uint32_t dc = topo_.coord(dst, d);
-      if (cc == dc) continue;
-      if (moveLive(mask, cur, d, dc)) {
-        emitDimMoveLive(mask, out, cur, d, dc, c, unaligned, false);
+    //
+    // The mask-filtered lists (including the both-legs lookahead) are pure in
+    // (cur, dst, mask), so they are cached per (cur, dst) tagged with the
+    // mask version. The per-call restrictions — distance class, deroute
+    // budget, came-from dimension — are emission-time filters, never baked
+    // into the cached entry.
+    MaskedRouteCache::Entry& e = maskedCache_.slot(cur, dst);
+    if (e.cur != cur || e.dst != dst || e.maskVersion != mask->version()) {
+      e.cur = cur;
+      e.dst = dst;
+      e.maskVersion = mask->version();
+      e.items.clear();
+      for (std::uint32_t d = 0; d < topo_.numDims(); ++d) {
+        const std::uint32_t cc = topo_.coord(cur, d);
+        const std::uint32_t dc = topo_.coord(dst, d);
+        if (cc == dc) continue;
+        if (moveLive(mask, cur, d, dc)) {
+          for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+            const PortId port = topo_.dimPort(cur, d, dc, t);
+            if (mask->isDead(cur, port)) continue;
+            e.items.push_back(
+                MaskedItem{port, unaligned, static_cast<std::uint8_t>(d), false});
+          }
+        }
+        if (minimalOnly_) continue;
+        for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+          if (x == cc || x == dc) continue;
+          if (!moveLive(mask, cur, d, x)) continue;
+          if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+          for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+            const PortId port = topo_.dimPort(cur, d, x, t);
+            if (mask->isDead(cur, port)) continue;
+            e.items.push_back(
+                MaskedItem{port, unaligned + 1, static_cast<std::uint8_t>(d), true});
+          }
+        }
       }
-      if (minimalOnly_ || remainingAfter < 2 * unaligned) continue;
-      if (restrictBackToBack_ && d == cameFromDim) continue;
-      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
-        if (x == cc || x == dc) continue;
-        if (!moveLive(mask, cur, d, x)) continue;
-        if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
-        emitDimMoveLive(mask, out, cur, d, x, c, unaligned + 1, true);
+    }
+    const bool maskedDerouteOk = !minimalOnly_ && remainingAfter >= 2 * unaligned;
+    for (const MaskedItem& it : e.items) {
+      if (it.deroute) {
+        if (!maskedDerouteOk) continue;
+        if (restrictBackToBack_ && it.dim == cameFromDim) continue;
       }
+      out.push_back(Candidate{it.port, c, it.hopsRemaining, it.deroute});
     }
     if (!out.empty()) return;
     // Degraded beyond the routable guarantee: fall through to the plain
@@ -379,12 +435,16 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
     const std::uint32_t cc = topo_.coord(cur, d);
     const std::uint32_t dc = topo_.coord(dst, d);
     if (cc == dc) continue;  // only unaligned dimensions are valid
-    emitDimMove(out, cur, d, dc, c, unaligned, false);
+    const DimMoveCache::Entry& geo = dimCache_.entry(d, cc, dc);
+    const PortId* minPorts = dimCache_.ports(geo.minBegin);
+    for (std::uint32_t t = 0; t < dimCache_.trunking(); ++t) {
+      out.push_back(Candidate{minPorts[t], c, unaligned, false});
+    }
     if (!derouteOk) continue;
     if (restrictBackToBack_ && d == cameFromDim) continue;  // §5.2 optimization
-    for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
-      if (x == cc || x == dc) continue;
-      emitDimMove(out, cur, d, x, c, unaligned + 1, true);
+    const PortId* derPorts = dimCache_.ports(geo.derBegin);
+    for (std::uint32_t i = 0; i < geo.derCount; ++i) {
+      out.push_back(Candidate{derPorts[i], c, unaligned + 1, true});
     }
   }
 }

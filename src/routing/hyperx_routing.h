@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "routing/route_cache.h"
 #include "routing/routing.h"
 #include "topo/hyperx.h"
 
@@ -127,10 +128,15 @@ class ClosAdRouting final : public HyperXRoutingBase {
 // hops class 0 — two classes regardless of dimensionality.
 class DimWarRouting final : public HyperXRoutingBase {
  public:
-  using HyperXRoutingBase::HyperXRoutingBase;
+  explicit DimWarRouting(const topo::HyperX& topo)
+      : HyperXRoutingBase(topo), dimCache_(topo) {}
   void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
   std::uint32_t numClasses() const override { return 2; }
   AlgorithmInfo info() const override;
+
+ private:
+  DimMoveCache dimCache_;         // fault-free port geometry, immutable
+  MaskedRouteCache maskedCache_;  // filtered lists under a fault mask
 };
 
 // Omni-dimensional Weighted Adaptive Routing (§5.2): any unaligned dimension
@@ -142,6 +148,7 @@ class OmniWarRouting final : public HyperXRoutingBase {
   OmniWarRouting(const topo::HyperX& topo, std::uint32_t deroutes, bool restrictBackToBack,
                  bool minimalOnly = false)
       : HyperXRoutingBase(topo),
+        dimCache_(topo),
         deroutes_(deroutes),
         restrictBackToBack_(restrictBackToBack),
         minimalOnly_(minimalOnly) {}
@@ -153,6 +160,8 @@ class OmniWarRouting final : public HyperXRoutingBase {
   bool minimalOnly() const { return minimalOnly_; }
 
  private:
+  DimMoveCache dimCache_;         // fault-free port geometry, immutable
+  MaskedRouteCache maskedCache_;  // filtered lists under a fault mask
   std::uint32_t deroutes_;
   bool restrictBackToBack_;
   // Min-AD mode: never emit deroute candidates. (Plain OmniWAR with M = 0 can

@@ -1,0 +1,44 @@
+#include "routing/route_cache.h"
+
+namespace hxwar::routing {
+
+DimMoveCache::DimMoveCache(const topo::HyperX& topo) : trunking_(topo.trunking()) {
+  const std::uint32_t dims = topo.numDims();
+  dimBase_.resize(dims);
+  width_.resize(dims);
+  std::uint32_t total = 0;
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    dimBase_[d] = total;
+    width_[d] = topo.width(d);
+    total += width_[d] * width_[d];
+  }
+  entries_.resize(total);
+  // dimPort is router-uniform given the router's own coordinate in the move
+  // dimension, so router 0 shifted to coordinate cc stands in for every
+  // router with that coordinate. Walk cc's row of each dimension once.
+  for (std::uint32_t d = 0; d < dims; ++d) {
+    for (std::uint32_t cc = 0; cc < width_[d]; ++cc) {
+      // A representative router whose coordinate in d is cc: router 0 has
+      // all-zero coordinates; moving it to cc in d keeps the others zero.
+      const RouterId rep = cc == 0 ? 0 : topo.neighbor(0, d, cc);
+      for (std::uint32_t dc = 0; dc < width_[d]; ++dc) {
+        if (dc == cc) continue;
+        Entry& e = entries_[dimBase_[d] + cc * width_[d] + dc];
+        e.minBegin = static_cast<std::uint32_t>(pool_.size());
+        for (std::uint32_t t = 0; t < trunking_; ++t) {
+          pool_.push_back(topo.dimPort(rep, d, dc, t));
+        }
+        e.derBegin = static_cast<std::uint32_t>(pool_.size());
+        for (std::uint32_t x = 0; x < width_[d]; ++x) {
+          if (x == cc || x == dc) continue;
+          for (std::uint32_t t = 0; t < trunking_; ++t) {
+            pool_.push_back(topo.dimPort(rep, d, x, t));
+          }
+        }
+        e.derCount = static_cast<std::uint32_t>(pool_.size()) - e.derBegin;
+      }
+    }
+  }
+}
+
+}  // namespace hxwar::routing

@@ -1,0 +1,98 @@
+// Route-candidate caches for the incremental adaptive algorithms.
+//
+// Candidate generation splits into a static part (which ports implement a
+// dimension move, how many hops each choice costs) and a live part (the
+// congestion weighting the router applies afterwards). Only the live part
+// depends on simulation state, so the static part is computed once and
+// replayed — the emitted candidate lists are element-for-element identical to
+// regenerating them, including order, which the rng tie-break in the router's
+// selection depends on (DESIGN.md §10).
+//
+// Two layers:
+//
+//   * DimMoveCache — fault-free geometry. In a HyperX, dimPort(r, d, to, t)
+//     depends on the router only through its own coordinate in d
+//     (dimPortBase[d] + (to < cc ? to : to-1)*T + t), so the port list for
+//     "move in d from coordinate cc to dc" plus the deroute list "move in d
+//     from cc to any x != cc, dc (x ascending)" is a function of (d, cc, dc)
+//     alone. Built eagerly at algorithm construction, immutable, shared by
+//     every router the instance serves. Sum over dims of width² entries.
+//
+//   * MaskedRouteCache — faulted candidate lists. Under a dead-port mask the
+//     per-(current router, destination router) filtered lists (including the
+//     both-legs deroute lookahead) are cached in a small direct-mapped table
+//     tagged with DeadPortMask::version(). Every mask write bumps the
+//     version, so FaultController kill/revive flips invalidate lazily: a
+//     stale tag forces regeneration on next use. Collisions just overwrite —
+//     correctness only needs the (cur, dst, version) tag to match.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::routing {
+
+class DimMoveCache {
+ public:
+  explicit DimMoveCache(const topo::HyperX& topo);
+
+  struct Entry {
+    std::uint32_t minBegin = 0;  // trunking() ports: the move to dc
+    std::uint32_t derBegin = 0;  // deroutes: x ascending skipping cc/dc, trunks inner
+    std::uint32_t derCount = 0;
+  };
+
+  // Valid for cc != dc (aligned dimensions have no move).
+  const Entry& entry(std::uint32_t dim, std::uint32_t cc, std::uint32_t dc) const {
+    return entries_[dimBase_[dim] + cc * width_[dim] + dc];
+  }
+  const PortId* ports(std::uint32_t begin) const { return pool_.data() + begin; }
+  std::uint32_t trunking() const { return trunking_; }
+
+ private:
+  std::vector<Entry> entries_;  // indexed dimBase_[d] + cc*width(d) + dc
+  std::vector<PortId> pool_;
+  std::vector<std::uint32_t> dimBase_;
+  std::vector<std::uint32_t> width_;
+  std::uint32_t trunking_ = 1;
+};
+
+// One mask-filtered candidate, stored with everything needed to re-emit it
+// under any (input class, deroute budget, came-from dimension) — those vary
+// per call and are applied as emission-time filters, never baked in.
+struct MaskedItem {
+  PortId port;
+  std::uint32_t hopsRemaining;
+  std::uint8_t dim;
+  bool deroute;
+};
+
+class MaskedRouteCache {
+ public:
+  static constexpr std::uint32_t kSlots = 2048;  // power of two (direct-mapped)
+
+  struct Entry {
+    RouterId cur = kRouterInvalid;
+    RouterId dst = kRouterInvalid;
+    std::uint64_t maskVersion = ~std::uint64_t{0};
+    std::vector<MaskedItem> items;
+  };
+
+  // The slot this (cur, dst) pair maps to; the caller checks the tag and
+  // regenerates in place on mismatch.
+  Entry& slot(RouterId cur, RouterId dst) {
+    std::uint64_t h = (static_cast<std::uint64_t>(cur) << 32) | dst;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return slots_[h & (kSlots - 1)];
+  }
+
+ private:
+  std::vector<Entry> slots_ = std::vector<Entry>(kSlots);
+};
+
+}  // namespace hxwar::routing

@@ -1,0 +1,102 @@
+#include "sim/event_queue.h"
+
+#include <bit>
+
+namespace hxwar::sim {
+
+EventQueue::EventQueue() : lanes_(kRingSize * kNumEpsilons) {}
+
+Tick EventQueue::nextTime() const {
+  if (ringCount_ != 0) return base_ + occupiedDistance();
+  if (!spill_.empty()) return spill_.front().time;
+  return kTickInvalid;
+}
+
+std::uint32_t EventQueue::occupiedDistance() const {
+  constexpr std::uint32_t kWords = kRingSize / 64;
+  const std::uint32_t start = slotOf(base_);
+  const std::uint32_t startWord = start >> 6;
+  const std::uint32_t startBit = start & 63;
+  // Common case: an occupied bucket at or just after base_ within the first
+  // bitmap word — one mask, one ctz.
+  const std::uint64_t first = occupancy_[startWord] & (~std::uint64_t{0} << startBit);
+  if (first != 0) return static_cast<std::uint32_t>(std::countr_zero(first)) - startBit;
+  for (std::uint32_t i = 1; i <= kWords; ++i) {
+    const std::uint32_t word = (startWord + i) & (kWords - 1);
+    const std::uint64_t bits = occupancy_[word];
+    if (bits != 0) {
+      const std::uint32_t slot = word * 64 + static_cast<std::uint32_t>(std::countr_zero(bits));
+      return (slot + kRingSize - start) & (kRingSize - 1);
+    }
+  }
+  HXWAR_CHECK_MSG(false, "occupiedDistance on an empty ring");
+  return 0;
+}
+
+void EventQueue::drainSpill() {
+  // Migrate, in heap order == (tick, epsilon, seq) order, every spill event
+  // that now falls inside the ring window. Heap order guarantees same-lane
+  // events append in seq order, and the migration runs before any direct
+  // push for these ticks can happen (pushes only see the new base after this
+  // returns), so lane FIFO order remains global seq order.
+  while (!spill_.empty() && spill_.front().time - base_ < kRingSize) {
+    std::pop_heap(spill_.begin(), spill_.end(), EventAfter{});
+    const Event e = spill_.back();
+    spill_.pop_back();
+    const std::uint32_t slot = slotOf(e.time);
+    lanes_[slot * kNumEpsilons + e.epsilon()].items.push_back(LaneItem{e.component, e.tag});
+    occupancy_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    ++ringCount_;
+  }
+}
+
+Event EventQueue::pop() {
+  HXWAR_DCHECK_MSG(!empty(), "pop from an empty queue");
+  if (ringCount_ == 0) {
+    // Everything pending is far-future: jump the window to it.
+    base_ = spill_.front().time;
+    drainSpill();
+  } else {
+    const std::uint32_t d = occupiedDistance();
+    if (d != 0) {
+      base_ += d;
+      drainSpill();
+    }
+  }
+  const std::uint32_t slot = slotOf(base_);
+  Lane* bucket = &lanes_[static_cast<std::size_t>(slot) * kNumEpsilons];
+  for (std::uint32_t e = 0; e < kNumEpsilons; ++e) {
+    Lane& lane = bucket[e];
+    if (lane.head >= lane.items.size()) continue;
+    const LaneItem item = lane.items[lane.head++];
+    --ringCount_;
+    if (lane.head == lane.items.size()) {
+      lane.items.clear();
+      lane.head = 0;
+      bool occupied = false;
+      for (std::uint32_t k = 0; k < kNumEpsilons; ++k) {
+        if (!bucket[k].items.empty()) {
+          occupied = true;
+          break;
+        }
+      }
+      if (!occupied) occupancy_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+    }
+    // Ring items carry no seq (lane position is the order); synthesize 0.
+    return Event{base_, Event::packEpsSeq(static_cast<std::uint8_t>(e), 0), item.component,
+                 item.tag};
+  }
+  HXWAR_CHECK_MSG(false, "occupancy bitmap out of sync with lanes");
+  return {};
+}
+
+void EventQueue::reserve(std::size_t n) {
+  // Spread the expected concurrent-event count over the ring. Bursty ticks
+  // (every channel delivering at once) grow their lanes once and keep the
+  // capacity — lanes are clear()ed, never shrunk, when drained.
+  const std::size_t perLane = std::max<std::size_t>(4, n / kRingSize);
+  for (auto& lane : lanes_) lane.items.reserve(perLane);
+  spill_.reserve(std::min<std::size_t>(n, 4096));
+}
+
+}  // namespace hxwar::sim

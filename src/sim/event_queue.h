@@ -1,20 +1,45 @@
-// Deterministic discrete-event queue.
+// Deterministic discrete-event queue: a tick-bucketed calendar queue with a
+// spill heap for far-future events.
 //
 // Events are totally ordered by (tick, epsilon, sequence number). Epsilon
 // orders the phases within a tick (e.g., channel delivery before router
 // allocation); the sequence number makes same-phase events FIFO so repeated
 // runs with the same seed replay identically.
 //
-// The queue owns its backing vector directly (rather than wrapping
-// std::priority_queue) so pop() can move the top event out instead of
-// copying it, and so callers sizing a simulation up front can reserve() the
-// backing store and avoid reallocation in the hot loop.
+// Layout. Nearly every event a network simulation schedules lands a small,
+// bounded number of ticks in the future (channel latencies, crossbar
+// traversal, next-cycle retries — all single- or double-digit tick deltas).
+// The queue exploits that: a ring of kRingSize one-tick buckets covers the
+// window [base_, base_ + kRingSize), and each bucket holds one FIFO lane per
+// epsilon phase. A push inside the window is an O(1) append to
+// lane[tick % kRingSize][epsilon]; a pop is an O(1) read from the lowest
+// non-empty epsilon lane of the current bucket (a 256-bit occupancy bitmap
+// finds the next non-empty bucket with a couple of ctz instructions when the
+// current tick drains). Events beyond the window — fault windows, samplers,
+// trace replays — go to a conventional binary heap and migrate into the ring
+// as the base advances, which costs them one extra move but keeps the hot
+// path allocation- and comparison-free.
+//
+// Replay exactness. The (tick, epsilon, seq) order is preserved bit-for-bit:
+//   * within a lane, append order IS seq order (seq is a monotone push
+//     counter), so lane FIFO == seq FIFO;
+//   * spill events for a tick T are, by construction, all pushed while T was
+//     outside the ring window, and the window boundary only moves forward —
+//     so every spill event for T has a smaller seq than every direct ring
+//     push for T. Migrating the spill (in heap order, i.e. (tick, epsilon,
+//     seq) order) into the lanes *before* the base advances past T therefore
+//     restores the exact global order. drainSpill_() runs on every base
+//     advance to maintain the invariant spill.top.time >= base_ + kRingSize.
+// The property test in tests/event_queue_test.cc pits this structure against
+// a reference heap over randomized mixed workloads and asserts identical pop
+// sequences; DESIGN.md §10 carries the full argument.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 
 namespace hxwar::sim {
@@ -30,44 +55,116 @@ enum Epsilon : std::uint8_t {
   kEpsControl = 4,   // harness controllers (sampling, warmup checks)
 };
 
+// A popped (or spilled) event. Epsilon rides the top byte of `epsSeq` and the
+// sequence number the low 56 bits, so the far-future heap orders (epsilon,
+// seq) with a single integer compare and the struct stays at 32 bytes — the
+// pre-calendar layout spent 40 (u8 epsilon + 7 bytes padding + u64 seq).
+// Ring-resident events are slimmer still: their tick, epsilon, and seq are
+// implied by bucket, lane, and lane position, so they store only
+// (component, tag) — see EventQueue::LaneItem.
 struct Event {
   Tick time;
-  std::uint8_t epsilon;
-  std::uint64_t seq;
+  std::uint64_t epsSeq;
   Component* component;
   std::uint64_t tag;
+
+  static constexpr std::uint32_t kEpsilonShift = 56;
+  static constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kEpsilonShift) - 1;
+
+  static std::uint64_t packEpsSeq(std::uint8_t epsilon, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(epsilon) << kEpsilonShift) | seq;
+  }
+  std::uint8_t epsilon() const { return static_cast<std::uint8_t>(epsSeq >> kEpsilonShift); }
+  std::uint64_t seq() const { return epsSeq & kSeqMask; }
 };
+
+static_assert(sizeof(Event) == 32, "Event must stay 4 words: epsilon packs into seq");
 
 struct EventAfter {
   bool operator()(const Event& a, const Event& b) const {
     if (a.time != b.time) return a.time > b.time;
-    if (a.epsilon != b.epsilon) return a.epsilon > b.epsilon;
-    return a.seq > b.seq;
+    return a.epsSeq > b.epsSeq;  // epsilon (high byte) then seq, one compare
   }
 };
 
 class EventQueue {
  public:
+  // Number of distinct epsilon phases (lanes per bucket).
+  static constexpr std::uint32_t kNumEpsilons = 5;
+  // Ring window in ticks. Must comfortably exceed every hot scheduling delta
+  // (channel latencies, crossbar traversal, next-cycle retries); events
+  // farther out take the spill heap. Power of two for cheap slot masking.
+  static constexpr std::uint32_t kRingBits = 8;
+  static constexpr std::uint32_t kRingSize = 1u << kRingBits;
+
+  EventQueue();
+
+  // `time` must be >= the time of the last popped event (checked in Debug
+  // builds only: this sits on every event push — see Simulator::schedule).
   void push(Tick time, std::uint8_t epsilon, Component* component, std::uint64_t tag) {
-    heap_.push_back(Event{time, epsilon, seq_++, component, tag});
-    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
+    HXWAR_DCHECK_MSG(epsilon < kNumEpsilons, "epsilon out of range");
+    HXWAR_DCHECK_MSG(time >= base_, "push precedes the calendar base");
+    if (time - base_ < kRingSize) {
+      const std::uint32_t slot = static_cast<std::uint32_t>(time) & (kRingSize - 1);
+      lanes_[slot * kNumEpsilons + epsilon].items.push_back(LaneItem{component, tag});
+      occupancy_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+      ++ringCount_;
+    } else {
+      spill_.push_back(Event{time, Event::packEpsSeq(epsilon, seq_++), component, tag});
+      std::push_heap(spill_.begin(), spill_.end(), EventAfter{});
+    }
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
-  std::size_t capacity() const { return heap_.capacity(); }
-  void reserve(std::size_t n) { heap_.reserve(n); }
-  const Event& top() const { return heap_.front(); }
-  Event pop() {
-    std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
-    Event e = heap_.back();
-    heap_.pop_back();
-    return e;
-  }
+  bool empty() const { return ringCount_ == 0 && spill_.empty(); }
+  std::size_t size() const { return ringCount_ + spill_.size(); }
+
+  // Time of the next event without popping it; kTickInvalid when empty.
+  // O(1) when the current bucket is occupied (the common case).
+  Tick nextTime() const;
+
+  // Pops the globally least (tick, epsilon, seq) event. Queue must not be
+  // empty.
+  Event pop();
+
+  // Pre-sizes the backing stores: spreads `n` expected concurrent events over
+  // the ring lanes and reserves the spill heap, so steady-state runs never
+  // reallocate in the hot loop.
+  void reserve(std::size_t n);
 
  private:
-  std::vector<Event> heap_;
-  std::uint64_t seq_ = 0;
+  // Ring-resident representation: tick is the bucket, epsilon the lane, and
+  // FIFO position the sequence — only the payload needs storing.
+  struct LaneItem {
+    Component* component;
+    std::uint64_t tag;
+  };
+  static_assert(sizeof(LaneItem) == 16, "hot-path ring events are 2 words");
+
+  struct Lane {
+    std::vector<LaneItem> items;
+    std::uint32_t head = 0;  // consumed prefix; items.clear() when drained
+  };
+
+  static std::uint32_t slotOf(Tick time) {
+    return static_cast<std::uint32_t>(time) & (kRingSize - 1);
+  }
+  bool slotOccupied(std::uint32_t slot) const {
+    return (occupancy_[slot >> 6] >> (slot & 63)) & 1;
+  }
+
+  // Distance in ticks from base_ to the next occupied bucket, scanning the
+  // occupancy bitmap circularly from base_'s slot (inclusive).
+  std::uint32_t occupiedDistance() const;
+  // Moves every spill event inside [base_, base_ + kRingSize) into the ring,
+  // in heap order, restoring the spill invariant after a base advance.
+  void drainSpill();
+
+  std::vector<Lane> lanes_;              // kRingSize * kNumEpsilons
+  std::uint64_t occupancy_[kRingSize / 64] = {};  // per-bucket non-empty bits
+  Tick base_ = 0;                        // lowest tick the ring can hold
+  std::size_t ringCount_ = 0;
+  std::vector<Event> spill_;             // min-heap on (time, epsilon, seq)
+  std::uint64_t seq_ = 0;                // spill-only monotone push counter
 };
 
 }  // namespace hxwar::sim

@@ -10,7 +10,7 @@ std::uint64_t Simulator::run(Tick until) {
 
 bool Simulator::step(Tick until) {
   if (queue_.empty()) return false;
-  if (queue_.top().time >= until) {
+  if (queue_.nextTime() >= until) {
     // Advance the clock to the horizon so callers can resume later.
     if (until != kTickInvalid && until > now_) now_ = until;
     return false;

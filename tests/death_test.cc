@@ -50,6 +50,9 @@ TEST(DeathTest, InjectPacketValidatesEndpoints) {
   EXPECT_DEATH(network.injectPacket(0, 1, 0), "");
 }
 
+#ifndef NDEBUG
+// The past-scheduling guard is a DCHECK: it sits on every event push, so
+// Release builds compile it out (see DESIGN.md §10).
 TEST(DeathTest, SimulatorRejectsPastScheduling) {
   sim::Simulator sim;
 
@@ -65,6 +68,7 @@ TEST(DeathTest, SimulatorRejectsPastScheduling) {
   sim.schedule(5, sim::kEpsRouter, &r, 0);
   EXPECT_DEATH(sim.run(), "cannot schedule into the past");
 }
+#endif  // !NDEBUG
 
 TEST(DeathTest, FlitChannelOverdriveDetected) {
   sim::Simulator sim;

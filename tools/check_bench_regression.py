@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Guard the event-core perf trajectory against silent regressions.
+
+Runs the micro_core benchmark binary (or takes an existing output file) and
+compares its hand-timed baseline numbers against the committed
+BENCH_core.json. Throughput-style keys (events/sec, packets/sec) must not
+fall below baseline * (1 - tolerance).
+
+The default tolerance is deliberately loose: shared CI machines jitter by
+tens of percent, and this gate exists to catch order-of-magnitude mistakes
+(an accidentally quadratic queue, a lost fast path), not single-digit drift.
+Wired as a non-tier-1 ctest (label: bench) so correctness runs stay fast.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_core.json --micro-core build/bench/micro_core
+  check_bench_regression.py --baseline BENCH_core.json --fresh fresh.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Higher-is-better keys checked against the committed baseline. Ratio-style
+# keys (speedups, overheads) are reported but never gate: they divide two
+# noisy numbers.
+THROUGHPUT_KEYS = [
+    "end_to_end_events_per_sec",
+    "packet_alloc_pooled_per_sec",
+    "topology_lookup_raw_per_sec",
+]
+
+
+def run_micro_core(binary: str) -> dict:
+    """Runs micro_core (skipping google-benchmark suites) in a temp dir and
+    returns its freshly written BENCH_core.json."""
+    with tempfile.TemporaryDirectory() as tmp:
+        subprocess.run(
+            [os.path.abspath(binary), "--benchmark_filter=NONE"],
+            cwd=tmp,
+            check=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        with open(os.path.join(tmp, "BENCH_core.json"), encoding="utf-8") as f:
+            return json.load(f)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True, help="committed BENCH_core.json")
+    ap.add_argument("--fresh", help="pre-generated fresh BENCH_core.json")
+    ap.add_argument("--micro-core", help="micro_core binary to run for fresh numbers")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional drop below baseline (default 0.5)",
+    )
+    args = ap.parse_args()
+
+    if not args.fresh and not args.micro_core:
+        ap.error("need --fresh or --micro-core")
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+    if args.fresh:
+        with open(args.fresh, encoding="utf-8") as f:
+            fresh = json.load(f)
+    else:
+        fresh = run_micro_core(args.micro_core)
+
+    failures = []
+    for key in THROUGHPUT_KEYS:
+        if key not in baseline:
+            print(f"note: baseline lacks {key}; skipping")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        base, now = float(baseline[key]), float(fresh[key])
+        floor = base * (1.0 - args.tolerance)
+        ratio = now / base if base > 0 else float("inf")
+        status = "OK " if now >= floor else "REGRESSION"
+        print(f"{status} {key}: fresh {now:,.0f} vs baseline {base:,.0f} ({ratio:.2f}x)")
+        if now < floor:
+            failures.append(
+                f"{key}: {now:,.0f} < floor {floor:,.0f} "
+                f"(baseline {base:,.0f}, tolerance {args.tolerance:.0%})"
+            )
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

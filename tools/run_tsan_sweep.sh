@@ -13,10 +13,16 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-tsan"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" --target parallel_sweep_test fault_test hxsim -j"$(nproc)"
+cmake --build "${BUILD}" --target parallel_sweep_test fault_test event_queue_test hxsim -j"$(nproc)"
 
 # TSAN_OPTIONS defaults: fail loudly on the first race.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+# Calendar-queue property suite first: each sweep worker owns a queue, so the
+# structure itself must be clean before checking the cross-thread layers.
+"${BUILD}/tests/event_queue_test" "$@"
+echo "event_queue_test passed under ThreadSanitizer"
+
 "${BUILD}/tests/parallel_sweep_test" "$@"
 echo "parallel_sweep_test passed under ThreadSanitizer"
 
