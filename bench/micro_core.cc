@@ -29,7 +29,7 @@ using namespace hxwar;
 
 class NullComponent final : public sim::Component {
  public:
-  explicit NullComponent(sim::Simulator& sim) : Component(sim, "null") {}
+  explicit NullComponent(sim::Simulator& sim) : Component(sim) {}
   void processEvent(std::uint64_t) override {}
 };
 
@@ -108,7 +108,7 @@ void BM_RouteCandidates(benchmark::State& state) {
     pkt.minimalCommitted = false;
     pkt.phase2 = false;
     const RouterId r = static_cast<RouterId>(rng.below(topo.numRouters()));
-    const routing::RouteContext ctx{network.router(r), 0, 0, true, 0};
+    const routing::RouteContext ctx{network.router(r), r, 0, 0, true, 0};
     if (r == topo.nodeRouter(pkt.dst)) continue;
     routing->route(ctx, pkt, out);
     benchmark::DoNotOptimize(out.data());
@@ -285,6 +285,32 @@ EndToEndResult timeEndToEnd(ObsMode mode = ObsMode::kOff) {
                         sim.eventsProcessed()};
 }
 
+// Idle structural memory of a freshly built network: what one sweep point
+// costs before any traffic. Paper scale (8x8x8 K=8, fig. 6 buffering) is the
+// budget row the paper-scale ctest is gated on.
+net::Network::MemoryFootprint measureFootprint(topo::HyperX::Params shape,
+                                               net::NetworkConfig cfg) {
+  sim::Simulator sim;
+  topo::HyperX topo(shape);
+  auto routing = routing::makeHyperXRouting("omniwar", topo);
+  net::Network network(sim, topo, *routing, cfg);
+  return network.memoryFootprint();
+}
+
+net::NetworkConfig paperNetConfig() {
+  // Mirrors harness::paperScaleConfig() (experiment.cc) without pulling the
+  // harness library into the bench.
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 50;
+  cfg.channelLatencyTerminal = 5;
+  cfg.router.numVcs = 8;
+  cfg.router.inputBufferDepth = 160;
+  cfg.router.outputQueueDepth = 32;
+  cfg.router.crossbarLatency = 50;
+  cfg.router.inputSpeedup = 4;
+  return cfg;
+}
+
 void writeCoreBaseline(const char* path) {
   const std::uint64_t churn = 4'000'000;
   const double unpooled = timePacketChurn(false, churn);
@@ -305,6 +331,10 @@ void writeCoreBaseline(const char* path) {
   const std::uint64_t sweeps = 4'000'000;
   const double rawLookups = timeTopologyLookups(hx, sweeps);
   const double degradedLookups = timeTopologyLookups(degraded, sweeps);
+  const net::Network::MemoryFootprint paperMem =
+      measureFootprint({{8, 8, 8}, 8}, paperNetConfig());
+  const net::Network::MemoryFootprint smallMem =
+      measureFootprint({{4, 4, 4}, 4}, net::NetworkConfig{});
   std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
               unpooled / 1e6, pooled / 1e6, pooled / unpooled);
   std::printf("topology lookup sweeps: raw %.1f M/s, degraded(0 faults) %.1f M/s "
@@ -316,6 +346,12 @@ void writeCoreBaseline(const char* path) {
               "%.2f Mev/s (%.3fx overhead)\n",
               evpsCounters / 1e6, evps / evpsCounters, evpsTraced / 1e6,
               evps / evpsTraced);
+  std::printf("idle memory: paper scale %.1f MiB (%.1f KiB/terminal, %.1f B/flit slot), "
+              "small scale %.1f MiB (%.1f KiB/terminal)\n",
+              static_cast<double>(paperMem.totalBytes) / (1024.0 * 1024.0),
+              paperMem.bytesPerTerminal / 1024.0, paperMem.bytesPerFlitSlot,
+              static_cast<double>(smallMem.totalBytes) / (1024.0 * 1024.0),
+              smallMem.bytesPerTerminal / 1024.0);
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "warning: could not write %s\n", path);
@@ -337,6 +373,7 @@ void writeCoreBaseline(const char* path) {
       {"binary_heap", 5'531'749, 1.352},
       {"calendar_queue", 5'531'749, 0.890},
       {"calendar_plus_wakeup_batching", 4'270'873, 0.633},
+      {"calendar_batching_route_caches", 4'270'873, 0.543},
   };
   std::fprintf(f,
                "{\n"
@@ -350,7 +387,7 @@ void writeCoreBaseline(const char* path) {
                  static_cast<double>(row.events) / row.wallSec);
   }
   std::fprintf(f,
-               "    {\"stage\": \"calendar_batching_route_caches\", \"events\": %llu, "
+               "    {\"stage\": \"index_core\", \"events\": %llu, "
                "\"wall_sec\": %.4f, \"events_per_sec\": %.1f, \"frozen\": false}\n"
                "  ],\n",
                static_cast<unsigned long long>(e2e.events), e2e.wallSec, evps);
@@ -367,12 +404,22 @@ void writeCoreBaseline(const char* path) {
                "  \"end_to_end_obs_counters_events_per_sec\": %.1f,\n"
                "  \"end_to_end_obs_traced_events_per_sec\": %.1f,\n"
                "  \"obs_counters_overhead\": %.3f,\n"
-               "  \"obs_traced_overhead\": %.3f\n"
+               "  \"obs_traced_overhead\": %.3f,\n"
+               "  \"memory_paper_total_bytes\": %llu,\n"
+               "  \"memory_paper_bytes_per_terminal\": %.1f,\n"
+               "  \"memory_paper_bytes_per_flit_slot\": %.1f,\n"
+               "  \"memory_small_total_bytes\": %llu,\n"
+               "  \"memory_small_bytes_per_terminal\": %.1f,\n"
+               "  \"memory_small_bytes_per_flit_slot\": %.1f\n"
                "}\n",
                unpooled, pooled, pooled / unpooled, rawLookups, degradedLookups,
                rawLookups / degradedLookups, evps,
                static_cast<unsigned long long>(e2e.events), e2e.wallSec, evpsCounters,
-               evpsTraced, evps / evpsCounters, evps / evpsTraced);
+               evpsTraced, evps / evpsCounters, evps / evpsTraced,
+               static_cast<unsigned long long>(paperMem.totalBytes),
+               paperMem.bytesPerTerminal, paperMem.bytesPerFlitSlot,
+               static_cast<unsigned long long>(smallMem.totalBytes),
+               smallMem.bytesPerTerminal, smallMem.bytesPerFlitSlot);
   std::fclose(f);
 }
 

@@ -102,7 +102,8 @@ int main(int argc, char** argv) {
     std::uint64_t bgFlits = 0;
     const Tick warm = cycles / 3;
     Tick measureStart = kTickInvalid;  // nothing recorded until warmed up
-    exp.network().setEjectionListener([&](const net::Packet& p) {
+    net::CallbackListener cb105;
+    cb105.ejected = [&](const net::Packet& p) {
       if (measureStart == kTickInvalid || p.createdAt < measureStart) return;
       deroutes.add(p.deroutes);
       if (hotMask[p.src]) {
@@ -111,7 +112,8 @@ int main(int argc, char** argv) {
         bgLat.add(static_cast<double>(p.ejectedAt - p.createdAt));
         bgFlits += p.sizeFlits;
       }
-    });
+    };
+    exp.network().setListener(&cb105);
 
     hotInj.start();
     bgInj.start();

@@ -51,9 +51,11 @@ int main(int argc, char** argv) {
     auto toPattern = traffic::makePattern(toName, exp.hyperx());
 
     metrics::StreamingStats windowLat;
-    exp.network().setEjectionListener([&](const net::Packet& p) {
+    net::CallbackListener cb54;
+    cb54.ejected = [&](const net::Packet& p) {
       windowLat.add(static_cast<double>(p.ejectedAt - p.createdAt));
-    });
+    };
+    exp.network().setListener(&cb54);
 
     exp.injector().start();
     exp.sim().run(3000);  // reach steady state on the benign pattern

@@ -7,10 +7,10 @@ namespace hxwar::app {
 MessageLayer::MessageLayer(net::Network& network, MessageConfig config)
     : network_(network), config_(config) {
   HXWAR_CHECK(config_.flitBytes >= 1 && config_.maxPacketFlits >= 1);
-  network_.setEjectionListener([this](const net::Packet& p) { onPacketEjected(p); });
+  network_.setListener(this);
 }
 
-MessageLayer::~MessageLayer() { network_.setEjectionListener(nullptr); }
+MessageLayer::~MessageLayer() { network_.setListener(nullptr); }
 
 std::uint32_t MessageLayer::flitsFor(std::uint64_t bytes) const {
   return static_cast<std::uint32_t>((bytes + config_.flitBytes - 1) / config_.flitBytes);

@@ -30,9 +30,9 @@ struct Message {
   Tick deliveredAt = kTickInvalid;
 };
 
-// Owns in-flight messages. Installs itself as the network's ejection
+// Owns in-flight messages. Installs itself as the network's lifecycle
 // listener; synthetic injectors must not be used concurrently.
-class MessageLayer {
+class MessageLayer final : public net::NetListener {
  public:
   // Called when the final packet of a message is ejected at the destination.
   using DeliveryHandler = std::function<void(const Message&)>;
@@ -55,9 +55,9 @@ class MessageLayer {
   // Flits needed for `bytes` of payload.
   std::uint32_t flitsFor(std::uint64_t bytes) const;
 
- private:
-  void onPacketEjected(const net::Packet& pkt);
+  void onPacketEjected(const net::Packet& pkt) override;
 
+ private:
   net::Network& network_;
   MessageConfig config_;
   DeliveryHandler handler_;

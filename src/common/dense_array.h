@@ -1,0 +1,85 @@
+// DenseArray: contiguous, index-addressed storage for non-movable objects.
+//
+// The network core keeps routers, terminals, and channels in DenseArrays
+// indexed by RouterId/NodeId/ChannelId instead of vectors of unique_ptr: one
+// allocation per kind, elements laid out back-to-back (the iteration order of
+// the wiring and teardown loops is the memory order), and a dense integer is
+// the element's identity — which is what later lets router state shard across
+// workers (IDs partition; heap pointers don't).
+//
+// sim::Component subclasses are neither copyable nor movable (they hand their
+// `this` to the event queue), so std::vector cannot hold them. DenseArray
+// sidesteps the MoveInsertable requirement: capacity is fixed once by
+// reserve(), emplace_back() placement-constructs in order, and elements are
+// destroyed in reverse construction order. Addresses are stable for the
+// array's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace hxwar::common {
+
+template <typename T>
+class DenseArray {
+ public:
+  DenseArray() = default;
+  ~DenseArray() { clear(); }
+
+  DenseArray(const DenseArray&) = delete;
+  DenseArray& operator=(const DenseArray&) = delete;
+
+  // Allocates storage for exactly `capacity` elements. Must be called once,
+  // before any emplace_back; a zero capacity keeps the array empty.
+  void reserve(std::size_t capacity) {
+    HXWAR_CHECK_MSG(data_ == nullptr && size_ == 0, "DenseArray::reserve called twice");
+    if (capacity == 0) return;
+    data_ = static_cast<T*>(
+        ::operator new(capacity * sizeof(T), std::align_val_t(alignof(T))));
+    capacity_ = capacity;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    HXWAR_CHECK_MSG(size_ < capacity_, "DenseArray full: reserve() must size exactly");
+    T* slot = new (data_ + size_) T(std::forward<Args>(args)...);
+    size_ += 1;
+    return *slot;
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  // Bytes owned by the backing allocation (memory-accounting hook).
+  std::size_t capacityBytes() const { return capacity_ * sizeof(T); }
+
+  void clear() {
+    while (size_ > 0) {
+      size_ -= 1;
+      data_[size_].~T();
+    }
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(alignof(T)));
+      data_ = nullptr;
+      capacity_ = 0;
+    }
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace hxwar::common

@@ -1,0 +1,80 @@
+// Ring: a growable FIFO of trivially-copyable records, the storage behind
+// every hot queue in the network core (input/output VC buffers, channel
+// pipes, crossbar pipes, source queues).
+//
+// Why not std::deque: libstdc++ allocates a ~512-byte node per deque even
+// when empty, and the paper-scale network (4,096 nodes, 8x8x8 HyperX) holds
+// hundreds of thousands of VC queues — almost all empty at any instant. A
+// Ring is 16 bytes of header and allocates nothing until the first push;
+// after that it doubles a single flat buffer (power-of-two capacity, masked
+// indices). FIFO order is identical to a deque's, and capacity never
+// influences behavior, so swapping one for the other is replay-invisible.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "common/assert.h"
+
+namespace hxwar::common {
+
+template <typename T>
+class Ring {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Ring is memcpy-grown; element type must be trivially copyable");
+
+ public:
+  Ring() = default;
+
+  bool empty() const { return count_ == 0; }
+  std::uint32_t size() const { return count_; }
+
+  const T& front() const {
+    HXWAR_DCHECK(count_ > 0);
+    return data_[head_];
+  }
+
+  // Index 0 is the front (FIFO order), matching deque::operator[].
+  const T& operator[](std::uint32_t i) const {
+    HXWAR_DCHECK(i < count_);
+    return data_[(head_ + i) & (cap_ - 1)];
+  }
+
+  void push_back(const T& v) {
+    if (count_ == cap_) grow();
+    data_[(head_ + count_) & (cap_ - 1)] = v;
+    count_ += 1;
+  }
+
+  void pop_front() {
+    HXWAR_DCHECK(count_ > 0);
+    head_ = (head_ + 1) & (cap_ - 1);
+    count_ -= 1;
+  }
+
+  // Bytes owned by the backing buffer (memory-accounting hook).
+  std::size_t capacityBytes() const { return static_cast<std::size_t>(cap_) * sizeof(T); }
+  std::uint32_t capacity() const { return cap_; }
+
+ private:
+  void grow() {
+    const std::uint32_t newCap = cap_ == 0 ? 4 : cap_ * 2;
+    auto next = std::make_unique<T[]>(newCap);
+    // Linearize: front moves to slot 0 so the masked arithmetic stays valid.
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      next[i] = data_[(head_ + i) & (cap_ - 1)];
+    }
+    data_ = std::move(next);
+    head_ = 0;
+    cap_ = newCap;
+  }
+
+  std::unique_ptr<T[]> data_;
+  std::uint32_t head_ = 0;
+  std::uint32_t count_ = 0;
+  std::uint32_t cap_ = 0;  // always a power of two (or 0 before first push)
+};
+
+}  // namespace hxwar::common

@@ -19,12 +19,20 @@ using NodeId = std::uint32_t;     // terminal/endpoint id
 using RouterId = std::uint32_t;   // router id
 using PortId = std::uint32_t;     // port index within a router
 using VcId = std::uint32_t;       // virtual channel index within a port
+using ChannelId = std::uint32_t;  // index into the network's dense channel arrays
 using PacketId = std::uint64_t;   // globally unique packet id
 using MessageId = std::uint64_t;  // globally unique application message id
+
+// Arena slot of a live packet in the network's packet slab (net::PacketPool).
+// Flits and source queues carry this 4-byte ref instead of a Packet*: slots
+// are dense, stable across pool recycling, and partitionable across workers.
+using PacketRef = std::uint32_t;
 
 constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
 constexpr RouterId kRouterInvalid = std::numeric_limits<RouterId>::max();
 constexpr PortId kPortInvalid = std::numeric_limits<PortId>::max();
 constexpr VcId kVcInvalid = std::numeric_limits<VcId>::max();
+constexpr ChannelId kChannelInvalid = std::numeric_limits<ChannelId>::max();
+constexpr PacketRef kPacketRefInvalid = std::numeric_limits<PacketRef>::max();
 
 }  // namespace hxwar

@@ -7,7 +7,7 @@ namespace hxwar::fault {
 
 FaultController::FaultController(sim::Simulator& sim, DeadPortMask& mask, FaultSet set,
                                  Tick at, Tick until)
-    : Component(sim, "faultctl"), mask_(mask), set_(std::move(set)), at_(at), until_(until) {
+    : Component(sim), mask_(mask), set_(std::move(set)), at_(at), until_(until) {
   HXWAR_CHECK_MSG(at_ != kTickInvalid, "FaultController needs a kill cycle");
   HXWAR_CHECK_MSG(until_ == kTickInvalid || until_ > at_, "fault-until must be after fault-at");
   // kEpsDeliver orders the mask write before any router cycle at the same

@@ -11,16 +11,17 @@ std::unique_ptr<NetworkBundle> NetworkBundle::fromFlags(const Flags& flags) {
   auto bundle = std::unique_ptr<NetworkBundle>(new NetworkBundle());
   auto& registry = ExperimentRegistry::instance();
 
-  const TopologyFamily& family = registry.topology(flags.str("topology", "hyperx"));
-  bundle->topology_ = family.build(flags);
-  const std::string algo = flags.str("routing", family.defaultRouting);
-  bundle->routing_ = registry.routing(family.name, algo).build(*bundle->topology_, flags);
+  // Resolve through the spec so --scale presets shape the bundle exactly the
+  // way they shape an experiment; explicit flags override preset fields.
+  const ExperimentSpec spec = ExperimentSpec::fromFlags(flags);
+  const Flags params = spec.paramFlags();
+  const TopologyFamily& family = registry.topology(spec.topology);
+  bundle->topology_ = family.build(params);
+  const std::string algo = spec.routing.empty() ? family.defaultRouting : spec.routing;
+  bundle->routing_ = registry.routing(family.name, algo).build(*bundle->topology_, params);
 
-  // ExperimentSpec's default network config IS the builder default (spec.cc);
-  // flags override individual fields.
-  bundle->network_ = std::make_unique<net::Network>(
-      bundle->sim_, *bundle->topology_, *bundle->routing_,
-      networkConfigFromFlags(flags, ExperimentSpec().net));
+  bundle->network_ = std::make_unique<net::Network>(bundle->sim_, *bundle->topology_,
+                                                    *bundle->routing_, spec.net);
 
   std::ostringstream d;
   d << bundle->topology_->name() << " + " << bundle->routing_->info().name;

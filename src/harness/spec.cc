@@ -159,7 +159,11 @@ ExperimentSpec::ExperimentSpec() {
 }
 
 ExperimentSpec ExperimentSpec::fromFlags(const Flags& flags) {
+  // --scale=tiny|small|paper seeds the spec from a named preset (topology,
+  // buffering, latencies, steady-state windows); explicit flags then override
+  // individual fields on top of it.
   ExperimentSpec spec;
+  if (flags.has("scale")) spec = scaleSpec(flags.str("scale", "small"));
   spec.applyFlags(flags);
   return spec;
 }

@@ -23,11 +23,16 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   SteadyStateResult result;
   result.offered = injector.rate();
 
+  // Lifecycle listener for the whole run: the ejection hook is re-pointed
+  // between the warmup and measurement phases.
+  net::CallbackListener listener;
+
   // Window latency accumulator used during warmup.
   StreamingStats windowLatency;
-  network.setEjectionListener([&](const net::Packet& pkt) {
+  listener.ejected = [&](const net::Packet& pkt) {
     windowLatency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
-  });
+  };
+  network.setListener(&listener);
 
   injector.start();
   const Tick start = sim.now();
@@ -98,7 +103,7 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   std::uint64_t markedDropped = 0;
   const topo::Topology& topology = network.topology();
 
-  network.setEjectionListener([&](const net::Packet& pkt) {
+  listener.ejected = [&](const net::Packet& pkt) {
     if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
     const Tick lat = pkt.ejectedAt - pkt.createdAt;
     latency.add(static_cast<double>(lat));
@@ -116,11 +121,11 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
       stretch.add(static_cast<double>(pkt.hops) / static_cast<double>(minHops));
     }
     markedEjected += 1;
-  });
-  network.setDropListener([&](const net::Packet& pkt) {
+  };
+  listener.dropped = [&](const net::Packet& pkt) {
     if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
     markedDropped += 1;
-  });
+  };
 
   const std::uint64_t createdBefore = network.packetsCreated();
   const std::uint64_t ejectedFlitsBefore = network.flitsEjected();
@@ -153,8 +158,7 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   }
 
   injector.stop();
-  network.setEjectionListener(nullptr);
-  network.setDropListener(nullptr);
+  network.setListener(nullptr);
 
   result.packetsMeasured = markedEjected;
   result.packetsDropped = markedDropped;

@@ -5,13 +5,15 @@
 // send() (at most once per cycle for flits, checked), the channel schedules
 // itself, and on delivery invokes the sink callback at epsilon kEpsDeliver so
 // receivers observe arrivals before their own cycle processing.
+//
+// A channel's identity is its ChannelId index in the network's dense channel
+// arrays; the in-flight pipe is a Ring (16-byte header, nothing allocated
+// while idle) because paper-scale networks carry tens of thousands of mostly
+// idle channels.
 #pragma once
 
-#include <deque>
-#include <string>
-#include <utility>
-
 #include "common/assert.h"
+#include "common/ring.h"
 #include "common/types.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -32,9 +34,8 @@ class CreditSink {
 
 class FlitChannel final : public sim::Component {
  public:
-  FlitChannel(sim::Simulator& sim, std::string name, Tick latency, FlitSink* sink,
-              PortId sinkPort)
-      : Component(sim, std::move(name)), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+  FlitChannel(sim::Simulator& sim, Tick latency, FlitSink* sink, PortId sinkPort)
+      : Component(sim), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
     HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
   }
 
@@ -57,6 +58,7 @@ class FlitChannel final : public sim::Component {
 
   Tick latency() const { return latency_; }
   std::size_t inflightFlits() const { return inflight_.size(); }
+  std::size_t memoryBytes() const { return inflight_.capacityBytes(); }
 
  private:
   struct Entry {
@@ -68,15 +70,14 @@ class FlitChannel final : public sim::Component {
   Tick latency_;
   FlitSink* sink_;
   PortId sinkPort_;
-  std::deque<Entry> inflight_;
+  common::Ring<Entry> inflight_;
   Tick lastSend_ = kTickInvalid;
 };
 
 class CreditChannel final : public sim::Component {
  public:
-  CreditChannel(sim::Simulator& sim, std::string name, Tick latency, CreditSink* sink,
-                PortId sinkPort)
-      : Component(sim, std::move(name)), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+  CreditChannel(sim::Simulator& sim, Tick latency, CreditSink* sink, PortId sinkPort)
+      : Component(sim), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
     HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
   }
 
@@ -103,6 +104,8 @@ class CreditChannel final : public sim::Component {
     } while (!inflight_.empty() && inflight_.front().arrival == sim().now());
   }
 
+  std::size_t memoryBytes() const { return inflight_.capacityBytes(); }
+
  private:
   struct Entry {
     Tick arrival;
@@ -112,7 +115,7 @@ class CreditChannel final : public sim::Component {
   Tick latency_;
   CreditSink* sink_;
   PortId sinkPort_;
-  std::deque<Entry> inflight_;
+  common::Ring<Entry> inflight_;
   Tick lastArrival_ = kTickInvalid;  // one delivery event per arrival tick
 };
 

@@ -1,0 +1,56 @@
+// NetListener: the network's packet-lifecycle notification interface.
+//
+// Replaces the old std::function EjectionListener/DropListener/HopListener
+// trio. A std::function dispatch costs an indirect call through a type-erased
+// thunk plus (for capturing lambdas) a heap-allocated closure; an interface
+// pointer is one branch when unset and one virtual call when set, and the
+// hop hook sits on the per-head-flit hot path. Attach with
+// Network::setListener (ejection + drop) / Network::setHopListener (hops) —
+// the two slots are separate so measurement code listening for ejections does
+// not drag a no-op virtual call into every switch-allocation grant.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace hxwar::net {
+
+class NetListener {
+ public:
+  virtual ~NetListener() = default;
+
+  // Packet fully reassembled at its destination, about to be recycled.
+  virtual void onPacketEjected(const Packet& /*pkt*/) {}
+  // Packet dropped at a fault dead end, about to be recycled.
+  virtual void onPacketDropped(const Packet& /*pkt*/) {}
+  // A packet's head flit won switch allocation at `router` (hop-listener
+  // slot only; see Network::setHopListener).
+  virtual void onHop(const Packet& /*pkt*/, RouterId /*router*/, PortId /*inPort*/,
+                     PortId /*outPort*/, Tick /*now*/) {}
+};
+
+// Adapter for tests and tools that want ad-hoc lambdas without declaring a
+// listener class. The std::function indirection is paid only by code that
+// opts into this adapter; the simulator's own layers implement NetListener
+// directly.
+class CallbackListener final : public NetListener {
+ public:
+  std::function<void(const Packet&)> ejected;
+  std::function<void(const Packet&)> dropped;
+  std::function<void(const Packet&, RouterId, PortId, PortId, Tick)> hop;
+
+  void onPacketEjected(const Packet& pkt) override {
+    if (ejected) ejected(pkt);
+  }
+  void onPacketDropped(const Packet& pkt) override {
+    if (dropped) dropped(pkt);
+  }
+  void onHop(const Packet& pkt, RouterId router, PortId inPort, PortId outPort,
+             Tick now) override {
+    if (hop) hop(pkt, router, inPort, outPort, now);
+  }
+};
+
+}  // namespace hxwar::net

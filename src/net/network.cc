@@ -1,6 +1,6 @@
 #include "net/network.h"
 
-#include <string>
+#include <algorithm>
 
 #include "common/assert.h"
 #include "common/rng.h"
@@ -19,18 +19,35 @@ Network::Network(sim::Simulator& sim, const topo::Topology& topology,
 
   SplitMix64 seeds(config.rngSeed);
 
-  routers_.reserve(numRouters);
+  // Size the dense arrays exactly before constructing anything: DenseArray
+  // capacity is fixed once, and element addresses must stay stable while the
+  // wiring loop below hands them out.
+  std::size_t terminalPorts = 0;
+  std::size_t routerPorts = 0;
   for (RouterId r = 0; r < numRouters; ++r) {
-    maxPorts_ = std::max(maxPorts_, topology.numPorts(r));
+    const std::uint32_t ports = topology.numPorts(r);
+    maxPorts_ = std::max(maxPorts_, ports);
+    for (PortId p = 0; p < ports; ++p) {
+      using Kind = topo::Topology::PortTarget::Kind;
+      const auto kind = topology.portTarget(r, p).kind;
+      if (kind == Kind::kTerminal) terminalPorts += 1;
+      if (kind == Kind::kRouter) routerPorts += 1;
+    }
   }
+  // Each terminal port carries an injection and an ejection pipe (flit +
+  // credit each); each directed router port carries one flit + one credit.
+  routers_.reserve(numRouters);
+  terminals_.reserve(numNodes);
+  flitChannels_.reserve(2 * terminalPorts + routerPorts);
+  creditChannels_.reserve(2 * terminalPorts + routerPorts);
+
   portIsTerminal_.assign(static_cast<std::size_t>(numRouters) * maxPorts_, 0);
   for (RouterId r = 0; r < numRouters; ++r) {
-    routers_.push_back(std::make_unique<Router>(sim, this, r, topology.numPorts(r),
-                                                config.router, &routing, vcMap, seeds.next()));
+    routers_.emplace_back(sim, this, r, topology.numPorts(r), config.router, &routing, vcMap,
+                          seeds.next());
   }
-  terminals_.reserve(numNodes);
   for (NodeId n = 0; n < numNodes; ++n) {
-    terminals_.push_back(std::make_unique<Terminal>(sim, this, n, config.router.numVcs));
+    terminals_.emplace_back(sim, this, n, config.router.numVcs);
   }
 
   // Wire every router port.
@@ -42,43 +59,35 @@ Network::Network(sim::Simulator& sim, const topo::Topology& topology,
       if (target.kind == Kind::kUnused) continue;
       if (target.kind == Kind::kTerminal) {
         portIsTerminal_[static_cast<std::size_t>(r) * maxPorts_ + p] = 1;
-        Terminal& t = *terminals_[target.node];
-        Router& rt = *routers_[r];
+        Terminal& t = terminals_[target.node];
+        Router& rt = routers_[r];
         rt.setTerminalPort(p, true);
         // Injection path: terminal -> router flits, router -> terminal credits.
-        auto inj = std::make_unique<FlitChannel>(
-            sim, "inj" + std::to_string(target.node), config.channelLatencyTerminal, &rt, p);
-        auto injCr = std::make_unique<CreditChannel>(
-            sim, "injcr" + std::to_string(target.node), config.channelLatencyTerminal, &t, 0);
-        t.connectOutput(inj.get(), config.router.inputBufferDepth);
-        rt.connectInputCredit(p, injCr.get());
+        FlitChannel& inj =
+            flitChannels_.emplace_back(sim, config.channelLatencyTerminal, &rt, p);
+        CreditChannel& injCr =
+            creditChannels_.emplace_back(sim, config.channelLatencyTerminal, &t, PortId{0});
+        t.connectOutput(&inj, config.router.inputBufferDepth);
+        rt.connectInputCredit(p, &injCr);
         // Ejection path: router -> terminal flits, terminal -> router credits.
-        auto ej = std::make_unique<FlitChannel>(
-            sim, "ej" + std::to_string(target.node), config.channelLatencyTerminal, &t, 0);
-        auto ejCr = std::make_unique<CreditChannel>(
-            sim, "ejcr" + std::to_string(target.node), config.channelLatencyTerminal, &rt, p);
-        rt.connectOutput(p, ej.get(), config.terminalEjectDepth);
-        t.connectInputCredit(ejCr.get());
-        flitChannels_.push_back(std::move(inj));
-        flitChannels_.push_back(std::move(ej));
-        creditChannels_.push_back(std::move(injCr));
-        creditChannels_.push_back(std::move(ejCr));
+        FlitChannel& ej =
+            flitChannels_.emplace_back(sim, config.channelLatencyTerminal, &t, PortId{0});
+        CreditChannel& ejCr =
+            creditChannels_.emplace_back(sim, config.channelLatencyTerminal, &rt, p);
+        rt.connectOutput(p, &ej, config.terminalEjectDepth);
+        t.connectInputCredit(&ejCr);
         continue;
       }
       // Router-to-router: create the forward flit channel and its paired
       // reverse credit channel. Each directed (r, p) is visited exactly once.
-      Router& src = *routers_[r];
-      Router& dst = *routers_[target.router];
-      auto fc = std::make_unique<FlitChannel>(
-          sim, "ch" + std::to_string(r) + "." + std::to_string(p), config.channelLatencyRouter,
-          &dst, target.port);
-      auto cc = std::make_unique<CreditChannel>(
-          sim, "cr" + std::to_string(r) + "." + std::to_string(p), config.channelLatencyRouter,
-          &src, p);
-      src.connectOutput(p, fc.get(), config.router.inputBufferDepth);
-      dst.connectInputCredit(target.port, cc.get());
-      flitChannels_.push_back(std::move(fc));
-      creditChannels_.push_back(std::move(cc));
+      Router& src = routers_[r];
+      Router& dst = routers_[target.router];
+      FlitChannel& fc =
+          flitChannels_.emplace_back(sim, config.channelLatencyRouter, &dst, target.port);
+      CreditChannel& cc =
+          creditChannels_.emplace_back(sim, config.channelLatencyRouter, &src, p);
+      src.connectOutput(p, &fc, config.router.inputBufferDepth);
+      dst.connectInputCredit(target.port, &cc);
     }
   }
 
@@ -96,36 +105,19 @@ std::uint32_t Network::downstreamDepth(RouterId r, PortId p) const {
              : config_.router.inputBufferDepth;
 }
 
-Packet* Network::allocPacket() {
-  if (freePackets_.empty()) {
-    packetArena_.push_back(std::make_unique<Packet>());
-    return packetArena_.back().get();
-  }
-  Packet* pkt = freePackets_.back();
-  freePackets_.pop_back();
-  packetPoolReuses_ += 1;
-  *pkt = Packet{};  // reset timestamps, routing scratch, reassembly state
-  return pkt;
-}
-
 Packet& Network::injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits) {
   HXWAR_CHECK(src < numNodes() && dst < numNodes() && sizeFlits >= 1);
-  Packet* pkt = allocPacket();
-  pkt->id = nextPacketId_++;
-  pkt->src = src;
-  pkt->dst = dst;
-  pkt->sizeFlits = sizeFlits;
+  Packet& pkt = pool_.get(pool_.alloc());
+  pkt.id = nextPacketId_++;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.sizeFlits = sizeFlits;
   packetsCreated_ += 1;
-  terminals_[src]->enqueuePacket(pkt);
+  terminals_[src].enqueuePacket(&pkt);
   if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketCreated(*pkt, sim_.now());
+    if (obs_ != nullptr) obs_->onPacketCreated(pkt, sim_.now());
   }
-  return *pkt;
-}
-
-void Network::trackInFlight(Packet* pkt) {
-  HXWAR_CHECK(pkt != nullptr);
-  packetsInFlight_ += 1;
+  return pkt;
 }
 
 void Network::setDeadPortMask(const fault::DeadPortMask* mask) {
@@ -133,42 +125,68 @@ void Network::setDeadPortMask(const fault::DeadPortMask* mask) {
     HXWAR_CHECK_MSG(mask->numRouters() == numRouters() && mask->maxPorts() >= maxPorts_,
                     "dead-port mask shape does not match the network");
   }
-  for (auto& r : routers_) r->setDeadPortMask(mask);
+  for (Router& r : routers_) r.setDeadPortMask(mask);
 }
 
 void Network::setObserver(obs::NetObserver* observer) {
   obs_ = observer;
-  for (auto& r : routers_) r->setObserver(observer);
+  for (Router& r : routers_) r.setObserver(observer);
 }
 
-void Network::dropPacket(Packet* pkt) {
-  flitsDropped_ += pkt->sizeFlits;
+void Network::dropPacket(PacketRef ref) {
+  Packet& pkt = pool_.get(ref);
+  flitsDropped_ += pkt.sizeFlits;
   packetsDropped_ += 1;
   HXWAR_CHECK(packetsInFlight_ > 0);
   packetsInFlight_ -= 1;
   if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketDone(*pkt, /*dropped=*/true, sim_.now());
+    if (obs_ != nullptr) obs_->onPacketDone(pkt, /*dropped=*/true, sim_.now());
   }
-  if (dropListener_) dropListener_(*pkt);
-  recyclePacket(pkt);
+  if (listener_ != nullptr) listener_->onPacketDropped(pkt);
+  pool_.recycle(ref);
 }
 
-void Network::completePacket(Packet* pkt) {
-  flitsEjected_ += pkt->sizeFlits;
+void Network::completePacket(PacketRef ref) {
+  Packet& pkt = pool_.get(ref);
+  flitsEjected_ += pkt.sizeFlits;
   packetsEjected_ += 1;
   HXWAR_CHECK(packetsInFlight_ > 0);
   packetsInFlight_ -= 1;
   if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketDone(*pkt, /*dropped=*/false, sim_.now());
+    if (obs_ != nullptr) obs_->onPacketDone(pkt, /*dropped=*/false, sim_.now());
   }
-  if (listener_) listener_(*pkt);
-  recyclePacket(pkt);
+  if (listener_ != nullptr) listener_->onPacketEjected(pkt);
+  pool_.recycle(ref);
 }
 
-std::uint64_t Network::totalSourceBacklogFlits() const {
-  std::uint64_t n = 0;
-  for (const auto& t : terminals_) n += t->sourceQueueFlits();
-  return n;
+Network::MemoryFootprint Network::memoryFootprint() const {
+  MemoryFootprint m;
+  m.routersBytes = routers_.capacityBytes();
+  for (const Router& r : routers_) m.routersBytes += r.memoryBytes();
+  m.terminalsBytes = terminals_.capacityBytes();
+  for (const Terminal& t : terminals_) m.terminalsBytes += t.memoryBytes();
+  m.channelsBytes = flitChannels_.capacityBytes() + creditChannels_.capacityBytes();
+  for (const FlitChannel& c : flitChannels_) m.channelsBytes += c.memoryBytes();
+  for (const CreditChannel& c : creditChannels_) m.channelsBytes += c.memoryBytes();
+  m.packetPoolBytes = pool_.memoryBytes();
+  m.miscBytes = sizeof(Network) + portIsTerminal_.capacity();
+  m.totalBytes =
+      m.routersBytes + m.terminalsBytes + m.channelsBytes + m.packetPoolBytes + m.miscBytes;
+  // Configured buffering capacity: per router VC, one input buffer and one
+  // output queue. Load-independent, so the budget row is comparable across
+  // runs and scales.
+  for (RouterId r = 0; r < numRouters(); ++r) {
+    m.flitSlots += static_cast<std::uint64_t>(topology_.numPorts(r)) *
+                   config_.router.numVcs *
+                   (config_.router.inputBufferDepth + config_.router.outputQueueDepth);
+  }
+  if (numNodes() > 0) {
+    m.bytesPerTerminal = static_cast<double>(m.totalBytes) / numNodes();
+  }
+  if (m.flitSlots > 0) {
+    m.bytesPerFlitSlot = static_cast<double>(m.totalBytes) / static_cast<double>(m.flitSlots);
+  }
+  return m;
 }
 
 }  // namespace hxwar::net

@@ -1,16 +1,25 @@
 // Network: instantiates routers, terminals, and channels from a Topology and
 // a RoutingAlgorithm, owns all packets in flight, and aggregates counters for
 // the measurement layer.
+//
+// Storage is dense and ID-indexed: routers, terminals, and the two channel
+// kinds live in contiguous DenseArrays addressed by RouterId/NodeId/
+// ChannelId (one allocation per kind, no per-object unique_ptr), and packets
+// live in a PacketPool slab addressed by PacketRef. Integer IDs — not heap
+// pointers — are the identities that cross layer boundaries, which is what
+// lets router state shard across workers later (IDs partition; pointers
+// don't).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
+#include "common/dense_array.h"
 #include "common/types.h"
 #include "net/channel.h"
+#include "net/listener.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/router.h"
 #include "net/terminal.h"
 #include "routing/routing.h"
@@ -33,15 +42,22 @@ struct NetworkConfig {
 
 class Network {
  public:
-  // Called (if set) for every packet that completes, before it is freed.
-  using EjectionListener = std::function<void(const Packet&)>;
-
-  // Called (if set) whenever a packet's head flit wins switch allocation:
-  // (packet, router, input port, output port, tick). Enables path tracing
-  // and structural property checks; costs one branch per head flit when
-  // unset.
-  using HopListener =
-      std::function<void(const Packet&, RouterId, PortId, PortId, Tick)>;
+  // Memory accounting for the paper-scale budget (see DESIGN.md §11): every
+  // byte the network core owns, attributed by layer, plus the two normalized
+  // budget rows tracked in BENCH_core.json. `flitSlots` is the configured
+  // buffering capacity (input buffers + output queues across all routers), a
+  // load-independent denominator.
+  struct MemoryFootprint {
+    std::size_t totalBytes = 0;
+    std::size_t routersBytes = 0;
+    std::size_t terminalsBytes = 0;
+    std::size_t channelsBytes = 0;
+    std::size_t packetPoolBytes = 0;
+    std::size_t miscBytes = 0;
+    std::uint64_t flitSlots = 0;
+    double bytesPerTerminal = 0.0;
+    double bytesPerFlitSlot = 0.0;
+  };
 
   Network(sim::Simulator& sim, const topo::Topology& topology,
           routing::RoutingAlgorithm& routing, const NetworkConfig& config);
@@ -50,55 +66,67 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  Router& router(RouterId r) { return *routers_[r]; }
-  Terminal& terminal(NodeId n) { return *terminals_[n]; }
+  Router& router(RouterId r) { return routers_[r]; }
+  Terminal& terminal(NodeId n) { return terminals_[n]; }
   std::uint32_t numRouters() const { return static_cast<std::uint32_t>(routers_.size()); }
   std::uint32_t numNodes() const { return static_cast<std::uint32_t>(terminals_.size()); }
+  std::uint32_t numChannels() const {
+    return static_cast<std::uint32_t>(flitChannels_.size() + creditChannels_.size());
+  }
   const topo::Topology& topology() const { return topology_; }
   const NetworkConfig& config() const { return config_; }
   sim::Simulator& simulator() { return sim_; }
 
-  void setEjectionListener(EjectionListener listener) { listener_ = std::move(listener); }
-  // Called (if set) for every packet dropped at a fault dead end.
-  void setDropListener(EjectionListener listener) { dropListener_ = std::move(listener); }
+  // Lifecycle listener (ejection + drop hooks); one branch and one virtual
+  // call per completed packet when set, one branch when unset.
+  void setListener(NetListener* listener) { listener_ = listener; }
+  // Per-hop listener, a separate slot so measurement code listening for
+  // ejections does not drag a virtual call into every head-flit grant.
+  void setHopListener(NetListener* listener) { hopListener_ = listener; }
   // Installs the fault mask on every router (nullptr disables fault logic).
   // Routers filter candidates and silence dead output ports through it; the
   // mask contents may change mid-run (FaultController transient windows).
   void setDeadPortMask(const fault::DeadPortMask* mask);
-  void setHopListener(HopListener listener) { hopListener_ = std::move(listener); }
   // Attaches the observability sink to this network and all its routers
   // (nullptr detaches). One observer per network, same threading rules as the
   // network itself. Hot paths pay one branch on the cached pointer when no
   // observer is attached; see obs/net_observer.h.
   void setObserver(obs::NetObserver* observer);
   obs::NetObserver* observer() const { return obs_; }
-  bool hasHopListener() const { return static_cast<bool>(hopListener_); }
+  bool hasHopListener() const { return hopListener_ != nullptr; }
   void notifyHop(const Packet& pkt, RouterId router, PortId inPort, PortId outPort) {
-    if (hopListener_) hopListener_(pkt, router, inPort, outPort, sim_.now());
+    if (hopListener_ != nullptr) hopListener_->onHop(pkt, router, inPort, outPort, sim_.now());
   }
 
   // Convenience: build a packet and hand it to the source terminal.
   Packet& injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits);
 
-  // --- packet pool ---
-  // Packets are recycled through a per-network free list instead of being
-  // heap-allocated per send: at steady state every allocation is a pointer
-  // pop + field reset. The arena owns every packet ever handed out, so
-  // packets still queued or in flight at teardown are reclaimed with the
-  // network.
-  Packet* allocPacket();
-  void recyclePacket(Packet* pkt) { freePackets_.push_back(pkt); }
-  std::size_t packetPoolSize() const { return packetArena_.size(); }
-  std::uint64_t packetPoolReuses() const { return packetPoolReuses_; }
+  // --- packet slab ---
+  // Packets live in the pool's chunked slab and are addressed by 4-byte
+  // PacketRef slot ids; flits and source queues carry refs, and resolve them
+  // here. At steady state every allocation is a ref pop + field reset.
+  PacketPool& pool() { return pool_; }
+  Packet& packet(PacketRef ref) { return pool_.get(ref); }
+  const Packet& packet(PacketRef ref) const { return pool_.get(ref); }
+  Packet* allocPacket() { return &pool_.get(pool_.alloc()); }
+  void recyclePacket(Packet* pkt) { pool_.recycle(pkt->slot); }
+  std::size_t packetPoolSize() const { return pool_.size(); }
+  std::uint64_t packetPoolReuses() const { return pool_.reuses(); }
 
   // --- hooks used by routers/terminals ---
   std::uint32_t downstreamDepth(RouterId r, PortId p) const;
   void noteFlitMoved() { flitMovements_ += 1; }
   void noteFlitInjected() { flitsInjected_ += 1; }
-  void trackInFlight(Packet* pkt);
-  void completePacket(Packet* pkt);
+  // Source-backlog delta (terminals report enqueue/injection), keeping
+  // totalSourceBacklogFlits O(1) for the per-window saturation probe and the
+  // obs sampler gauge.
+  void noteBacklogFlits(std::int64_t delta) {
+    backlogFlits_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(backlogFlits_) + delta);
+  }
+  void trackInFlight() { packetsInFlight_ += 1; }
+  void completePacket(PacketRef ref);
   // Fault dead end: count the loss, notify the drop listener, recycle.
-  void dropPacket(Packet* pkt);
+  void dropPacket(PacketRef ref);
 
   // --- counters ---
   std::uint64_t flitMovements() const { return flitMovements_; }
@@ -112,28 +140,30 @@ class Network {
   std::uint64_t packetsOutstanding() const {
     return packetsCreated_ - packetsEjected_ - packetsDropped_;
   }
-  // Sum of all source-queue backlogs in flits (saturation signal).
-  std::uint64_t totalSourceBacklogFlits() const;
+  // Sum of all source-queue backlogs in flits (saturation signal). O(1):
+  // maintained by terminal enqueue/injection notifications.
+  std::uint64_t totalSourceBacklogFlits() const { return backlogFlits_; }
+
+  // Walks every owned structure and reports the memory budget rows.
+  MemoryFootprint memoryFootprint() const;
 
  private:
   sim::Simulator& sim_;
   const topo::Topology& topology_;
   NetworkConfig config_;
-  EjectionListener listener_;
-  EjectionListener dropListener_;
-  HopListener hopListener_;
+  NetListener* listener_ = nullptr;     // ejection + drop
+  NetListener* hopListener_ = nullptr;  // per-hop
   obs::NetObserver* obs_ = nullptr;
 
-  std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<std::unique_ptr<Terminal>> terminals_;
-  std::vector<std::unique_ptr<FlitChannel>> flitChannels_;
-  std::vector<std::unique_ptr<CreditChannel>> creditChannels_;
+  // pool_ precedes the component arrays: routers and terminals cache its
+  // address at construction.
+  PacketPool pool_;
+  common::DenseArray<Router> routers_;
+  common::DenseArray<Terminal> terminals_;
+  common::DenseArray<FlitChannel> flitChannels_;
+  common::DenseArray<CreditChannel> creditChannels_;
   std::vector<std::uint8_t> portIsTerminal_;  // [router * maxPorts + port]
   std::uint32_t maxPorts_ = 0;
-
-  std::vector<std::unique_ptr<Packet>> packetArena_;
-  std::vector<Packet*> freePackets_;
-  std::uint64_t packetPoolReuses_ = 0;
 
   std::uint64_t nextPacketId_ = 1;
   std::uint64_t flitMovements_ = 0;
@@ -144,6 +174,7 @@ class Network {
   std::uint64_t packetsDropped_ = 0;
   std::uint64_t flitsDropped_ = 0;
   std::uint64_t packetsInFlight_ = 0;
+  std::uint64_t backlogFlits_ = 0;
 };
 
 }  // namespace hxwar::net

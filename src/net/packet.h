@@ -1,13 +1,16 @@
 // Packets and flits.
 //
 // A packet is the unit of routing; a flit is the unit of flow control. Flits
-// are lightweight (pointer + index) and are passed by value through buffers
-// and channels. The packet object carries measurement timestamps and the
-// per-packet routing scratch state used by source-adaptive algorithms
-// (Valiant/UGAL/Clos-AD intermediate address, DAL deroute mask). DimWAR and
-// OmniWAR deliberately do not read this scratch state: everything they need
-// is derived from the input VC class and the destination, mirroring the
-// paper's claim that they need no extra packet contents.
+// are 8-byte values (arena slot ref + index/tail word) passed by value
+// through buffers and channels; the owning Packet lives in the network's
+// PacketPool slab and is resolved from the slot ref only where packet fields
+// are actually needed (age arbitration, hop counting, reassembly). The packet
+// object carries measurement timestamps and the per-packet routing scratch
+// state used by source-adaptive algorithms (Valiant/UGAL/Clos-AD intermediate
+// address, DAL deroute mask). DimWAR and OmniWAR deliberately do not read
+// this scratch state: everything they need is derived from the input VC class
+// and the destination, mirroring the paper's claim that they need no extra
+// packet contents.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +38,7 @@ struct Packet {
   std::uint32_t deroutedDims = 0;          // routing scratch: DAL derouted-dims mask
   std::uint32_t arrivedFlits = 0;          // destination-side reassembly
   std::uint32_t msgSeq = 0;                // packet index within its message
+  PacketRef slot = kPacketRefInvalid;      // own slab slot (set once by PacketPool)
 
   // --- narrow fields ---
   std::uint16_t hops = 0;         // router-to-router hops taken
@@ -44,14 +48,28 @@ struct Packet {
 };
 
 static_assert(sizeof(Packet) == 80,
-              "Packet must stay padding-free: 5x8 + 7x4 + 2x2 + 2x1 rounded to 80");
+              "Packet must stay padding-free: 5x8 + 8x4 + 2x2 + 2x1 rounded to 80");
 
+// A flit names its packet by slab slot, not pointer: half the size of the old
+// {Packet*, index} pair, which halves every VC buffer and channel pipe, and a
+// 4-byte ref partitions across workers where a heap pointer cannot. The tail
+// flag rides in the top bit of the index word so flow control (tail frees the
+// VC, finalizes drops, completes reassembly) never has to resolve the packet.
 struct Flit {
-  Packet* packet = nullptr;
-  std::uint32_t index = 0;
+  static constexpr std::uint32_t kTailBit = 0x80000000u;
 
-  bool isHead() const { return index == 0; }
-  bool isTail() const { return index + 1 == packet->sizeFlits; }
+  PacketRef packet = kPacketRefInvalid;
+  std::uint32_t bits = 0;  // [31] = tail flag, [30:0] = flit index
+
+  std::uint32_t index() const { return bits & ~kTailBit; }
+  bool isHead() const { return index() == 0; }
+  bool isTail() const { return (bits & kTailBit) != 0; }
 };
+
+static_assert(sizeof(Flit) == 8, "Flit must stay an 8-byte value type");
+
+inline Flit makeFlit(PacketRef packet, std::uint32_t index, bool tail) {
+  return Flit{packet, index | (tail ? Flit::kTailBit : 0u)};
+}
 
 }  // namespace hxwar::net

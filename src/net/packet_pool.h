@@ -1,0 +1,116 @@
+// PacketPool: chunked slab of Packets addressed by 4-byte slot refs.
+//
+// PR 1's pool recycled heap packets through a free list but still paid one
+// unique_ptr allocation per slot forever. This is a true slab: packets live
+// in 1,024-element chunks, a slot's PacketRef is (chunk << 10) | offset, and
+// the ref — not the address — is the packet's identity while live. Chunk
+// addresses never move, so `Packet&` resolved from a ref stays valid across
+// later growth; flits and source queues carry the 4-byte ref.
+//
+// Recycling reuses slots LIFO (the hottest slot first). A slot's ref is
+// stable across recycle — the same slot hands out the same ref to its next
+// tenant — and alloc() fully resets the record, so no state leaks between
+// tenants. Double-recycle is a protocol violation, caught in !NDEBUG builds
+// by a per-slot liveness bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace hxwar::net {
+
+class PacketPool {
+ public:
+  static constexpr std::uint32_t kChunkShift = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  Packet& get(PacketRef ref) {
+    HXWAR_DCHECK(ref < slots_);
+    return chunks_[ref >> kChunkShift][ref & (kChunkSize - 1)];
+  }
+  const Packet& get(PacketRef ref) const {
+    HXWAR_DCHECK(ref < slots_);
+    return chunks_[ref >> kChunkShift][ref & (kChunkSize - 1)];
+  }
+
+  // Hands out a fully reset packet with `slot` stamped. Grows by one chunk
+  // when the free list is dry.
+  PacketRef alloc() {
+    if (free_.empty()) addChunk();
+    const PacketRef ref = free_.back();
+    free_.pop_back();
+    // Fresh chunks enter the LIFO so refs pop in ascending order; a ref below
+    // the high-water mark has had a previous tenant.
+    if (ref < highWater_) {
+      reuses_ += 1;
+    } else {
+      highWater_ = ref + 1;
+    }
+#ifndef NDEBUG
+    live_[ref] = 1;
+#endif
+    Packet& pkt = get(ref);
+    pkt = Packet{};  // reset timestamps, routing scratch, reassembly state
+    pkt.slot = ref;
+    return ref;
+  }
+
+  void recycle(PacketRef ref) {
+    HXWAR_DCHECK(ref < slots_);
+#ifndef NDEBUG
+    HXWAR_DCHECK_MSG(live_[ref] != 0, "packet double-recycle (slot already free)");
+    live_[ref] = 0;
+#endif
+    free_.push_back(ref);
+  }
+
+  std::size_t size() const { return slots_; }
+  std::size_t freeCount() const { return free_.size(); }
+  std::uint64_t reuses() const { return reuses_; }
+
+  // Bytes owned by the slab and its bookkeeping (memory-accounting hook).
+  std::size_t memoryBytes() const {
+    std::size_t n = chunks_.capacity() * sizeof(chunks_[0]) +
+                    chunks_.size() * kChunkSize * sizeof(Packet) +
+                    free_.capacity() * sizeof(PacketRef);
+#ifndef NDEBUG
+    n += live_.capacity();
+#endif
+    return n;
+  }
+
+ private:
+  void addChunk() {
+    HXWAR_CHECK_MSG(slots_ + kChunkSize > slots_, "packet slab exhausted (2^32 slots)");
+    chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    const PacketRef base = slots_;
+    slots_ += kChunkSize;
+#ifndef NDEBUG
+    live_.resize(slots_, 0);
+#endif
+    free_.reserve(free_.size() + kChunkSize);
+    for (std::uint32_t i = 0; i < kChunkSize; ++i) {
+      free_.push_back(base + (kChunkSize - 1 - i));  // LIFO pops base first
+    }
+  }
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<PacketRef> free_;  // LIFO: hottest slot first
+  std::uint32_t slots_ = 0;
+  std::uint32_t highWater_ = 0;  // refs below this have been allocated before
+  std::uint64_t reuses_ = 0;
+#ifndef NDEBUG
+  std::vector<std::uint8_t> live_;  // double-recycle guard
+#endif
+};
+
+}  // namespace hxwar::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 #include "common/assert.h"
 #include "net/network.h"
@@ -22,16 +23,23 @@ bool olderThan(const Packet& a, const Packet& b) {
 Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t numPorts,
                const RouterConfig& config, routing::RoutingAlgorithm* routing,
                const routing::VcMap& vcMap, std::uint64_t rngSeed)
-    : Component(sim, "router" + std::to_string(id)),
+    : Component(sim),
       network_(network),
+      pool_(&network->pool()),
       id_(id),
       numPorts_(numPorts),
       config_(config),
       routing_(routing),
       vcMap_(vcMap),
       rng_(rngSeed),
-      inputs_(numPorts * config.numVcs),
-      outputs_(numPorts * config.numVcs),
+      inQ_(numPorts * config.numVcs),
+      inFlags_(numPorts * config.numVcs, 0),
+      inOutPort_(numPorts * config.numVcs, kPortInvalid),
+      inOutVc_(numPorts * config.numVcs, kVcInvalid),
+      outQ_(numPorts * config.numVcs),
+      outOcc_(numPorts * config.numVcs, 0),
+      outCredits_(numPorts * config.numVcs, 0),
+      outOwned_(numPorts * config.numVcs, 0),
       outChannel_(numPorts, nullptr),
       inCredit_(numPorts, nullptr),
       terminalPort_(numPorts, 0),
@@ -44,9 +52,12 @@ Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t
   HXWAR_CHECK(config_.outputQueueDepth >= 1 && config_.crossbarLatency >= 1);
 }
 
+const Packet& Router::packetOf(Flit f) const { return pool_->get(f.packet); }
+Packet& Router::packetOf(Flit f) { return pool_->get(f.packet); }
+
 void Router::connectOutput(PortId port, FlitChannel* channel, std::uint32_t downstreamDepth) {
   outChannel_[port] = channel;
-  for (VcId v = 0; v < config_.numVcs; ++v) out(port, v).credits = downstreamDepth;
+  for (VcId v = 0; v < config_.numVcs; ++v) outCredits_[code(port, v)] = downstreamDepth;
 }
 
 void Router::connectInputCredit(PortId port, CreditChannel* channel) {
@@ -73,33 +84,52 @@ double Router::congestionFlits(PortId port) const {
 
 std::uint64_t Router::bufferedFlits() const {
   std::uint64_t n = 0;
-  for (const auto& i : inputs_) n += i.q.size();
-  for (const auto& o : outputs_) n += o.q.size();
+  for (const auto& q : inQ_) n += q.size();
+  for (const auto& q : outQ_) n += q.size();
   n += xbarPipe_.size();
   return n;
 }
 
+std::size_t Router::memoryBytes() const {
+  std::size_t n = 0;
+  for (const auto& q : inQ_) n += q.capacityBytes();
+  for (const auto& q : outQ_) n += q.capacityBytes();
+  n += inQ_.capacity() * sizeof(inQ_[0]) + outQ_.capacity() * sizeof(outQ_[0]);
+  n += inFlags_.capacity() + outOwned_.capacity() + terminalPort_.capacity() +
+       outputActive_.capacity();
+  n += (inOutPort_.capacity() + inOutVc_.capacity() + outOcc_.capacity() +
+        outCredits_.capacity() + outOccPort_.capacity() + rrNext_.capacity() +
+        routePending_.capacity() + xferList_.capacity() + activeOutPorts_.capacity()) *
+       sizeof(std::uint32_t);
+  n += (outFlits_.capacity() + outDeroutes_.capacity()) * sizeof(std::uint64_t);
+  n += (outChannel_.capacity() + inCredit_.capacity()) * sizeof(void*);
+  n += xbarPipe_.capacityBytes();
+  n += scratchCandidates_.capacity() * sizeof(routing::Candidate) +
+       scratchBest_.capacity() * sizeof(std::uint32_t);
+  return n;
+}
+
 void Router::receiveFlit(PortId port, VcId vc, Flit flit) {
-  InVc& iv = in(port, vc);
-  if (iv.dropping) {
+  const std::uint32_t c = code(port, vc);
+  if (inFlags_[c] & kInDropping) {
     // The packet at the front of this VC hit a fault dead end before its tail
     // arrived: consume the remaining flits on arrival, returning the buffer
     // slot upstream, and finalize the drop at the tail.
-    HXWAR_CHECK(iv.q.empty() && !flit.isHead());
+    HXWAR_CHECK(inQ_[c].empty() && !flit.isHead());
     inCredit_[port]->send(vc);
     network_->noteFlitMoved();
     if (flit.isTail()) {
-      iv.dropping = false;
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInDropping);
       network_->dropPacket(flit.packet);
     }
     return;
   }
-  HXWAR_CHECK_MSG(iv.q.size() < config_.inputBufferDepth,
+  HXWAR_CHECK_MSG(inQ_[c].size() < config_.inputBufferDepth,
                   "credit protocol violated: input buffer overflow");
-  iv.q.push_back(flit);
-  if (iv.routed) {
+  inQ_[c].push_back(flit);
+  if (inFlags_[c] & kInRouted) {
     addXfer(port, vc);
-  } else if (iv.q.size() == 1) {
+  } else if (inQ_[c].size() == 1) {
     HXWAR_CHECK_MSG(flit.isHead(), "non-head flit at idle input VC front");
     addRoutePending(port, vc);
   }
@@ -107,26 +137,26 @@ void Router::receiveFlit(PortId port, VcId vc, Flit flit) {
 }
 
 void Router::receiveCredit(PortId port, VcId vc) {
-  OutVc& o = out(port, vc);
-  o.credits += 1;
-  HXWAR_CHECK_MSG(o.credits <= network_->downstreamDepth(id_, port),
+  const std::uint32_t c = code(port, vc);
+  outCredits_[c] += 1;
+  HXWAR_CHECK_MSG(outCredits_[c] <= network_->downstreamDepth(id_, port),
                   "credit overflow at output");
-  if (!o.q.empty()) markOutputActive(port);
+  if (!outQ_[c].empty()) markOutputActive(port);
   ensureCycle();
 }
 
 void Router::addRoutePending(PortId p, VcId v) {
-  InVc& iv = in(p, v);
-  if (iv.inRouteList) return;
-  iv.inRouteList = true;
-  routePending_.push_back(p * config_.numVcs + v);
+  const std::uint32_t c = code(p, v);
+  if (inFlags_[c] & kInRouteList) return;
+  inFlags_[c] |= kInRouteList;
+  routePending_.push_back(c);
 }
 
 void Router::addXfer(PortId p, VcId v) {
-  InVc& iv = in(p, v);
-  if (iv.inXferList) return;
-  iv.inXferList = true;
-  xferList_.push_back(p * config_.numVcs + v);
+  const std::uint32_t c = code(p, v);
+  if (inFlags_[c] & kInXferList) return;
+  inFlags_[c] |= kInXferList;
+  xferList_.push_back(c);
 }
 
 void Router::markOutputActive(PortId p) {
@@ -154,7 +184,7 @@ void Router::processEvent(std::uint64_t tag) {
     do {
       const XbarEntry e = xbarPipe_.front();
       xbarPipe_.pop_front();
-      out(e.outPort, e.outVc).q.push_back(e.flit);
+      outQ_[code(e.outPort, e.outVc)].push_back(e.flit);
       markOutputActive(e.outPort);
     } while (!xbarPipe_.empty() && xbarPipe_.front().arrive == sim().now());
     ensureCycle();
@@ -186,10 +216,10 @@ void Router::stageOutput() {
     if (portDead) {
     } else if (config_.arbiter == ArbiterPolicy::kAgeBased) {
       for (VcId v = 0; v < config_.numVcs; ++v) {
-        OutVc& o = out(p, v);
-        if (o.q.empty() || o.credits == 0) continue;
+        const std::uint32_t c = code(p, v);
+        if (outQ_[c].empty() || outCredits_[c] == 0) continue;
         if (best == kVcInvalid ||
-            olderThan(*o.q.front().packet, *out(p, best).q.front().packet)) {
+            olderThan(packetOf(outQ_[c].front()), packetOf(outQ_[code(p, best)].front()))) {
           best = v;
         }
       }
@@ -197,27 +227,27 @@ void Router::stageOutput() {
       // Round-robin: scan from the pointer; advance past the grant.
       for (std::uint32_t k = 0; k < config_.numVcs; ++k) {
         const VcId v = (rrNext_[p] + k) % config_.numVcs;
-        const OutVc& o = out(p, v);
-        if (o.q.empty() || o.credits == 0) continue;
+        const std::uint32_t c = code(p, v);
+        if (outQ_[c].empty() || outCredits_[c] == 0) continue;
         best = v;
         rrNext_[p] = (v + 1) % config_.numVcs;
         break;
       }
     }
     if (best != kVcInvalid) {
-      OutVc& o = out(p, best);
-      const Flit f = o.q.front();
-      o.q.pop_front();
-      o.occ -= 1;
+      const std::uint32_t c = code(p, best);
+      const Flit f = outQ_[c].front();
+      outQ_[c].pop_front();
+      outOcc_[c] -= 1;
       outOccPort_[p] -= 1;
-      o.credits -= 1;
+      outCredits_[c] -= 1;
       outChannel_[p]->send(best, f);
       outFlits_[p] += 1;
       network_->noteFlitMoved();
     }
     bool anyQueued = false;
     for (VcId v = 0; v < config_.numVcs; ++v) {
-      if (!out(p, v).q.empty()) {
+      if (!outQ_[code(p, v)].empty()) {
         anyQueued = true;
         break;
       }
@@ -251,35 +281,34 @@ void Router::stageCrossbar() {
   // (round-robin mode keeps arrival order, which rotates naturally).
   if (config_.arbiter == ArbiterPolicy::kAgeBased)
   std::sort(xferList_.begin(), xferList_.end(), [this](std::uint32_t a, std::uint32_t b) {
-    const InVc& ia = inputs_[a];
-    const InVc& ib = inputs_[b];
-    const bool aReady = ia.routed && !ia.q.empty();
-    const bool bReady = ib.routed && !ib.q.empty();
+    const bool aReady = (inFlags_[a] & kInRouted) && !inQ_[a].empty();
+    const bool bReady = (inFlags_[b] & kInRouted) && !inQ_[b].empty();
     if (aReady != bReady) return aReady;
     if (!aReady) return a < b;
-    return olderThan(*ia.q.front().packet, *ib.q.front().packet);
+    return olderThan(packetOf(inQ_[a].front()), packetOf(inQ_[b].front()));
   });
 
   for (std::size_t idx = 0; idx < xferList_.size(); ++idx) {
-    const std::uint32_t code = xferList_[idx];
-    const PortId p = code / config_.numVcs;
-    const VcId v = code % config_.numVcs;
-    InVc& iv = inputs_[code];
-    if (!iv.routed || iv.q.empty()) {
-      iv.inXferList = false;  // stale entry; re-added when eligible again
+    const std::uint32_t c = xferList_[idx];
+    const PortId p = c / config_.numVcs;
+    const VcId v = c % config_.numVcs;
+    if (!(inFlags_[c] & kInRouted) || inQ_[c].empty()) {
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInXferList);  // stale; re-added when eligible
       continue;
     }
     bool keep = true;
-    while (budget[p] > 0 && !iv.q.empty()) {
-      OutVc& o = out(iv.outPort, iv.outVc);
-      if (o.occ >= config_.outputQueueDepth) break;  // no space: retry next cycle
-      const Flit f = iv.q.front();
-      iv.q.pop_front();
+    while (budget[p] > 0 && !inQ_[c].empty()) {
+      const PortId op = inOutPort_[c];
+      const VcId ov = inOutVc_[c];
+      const std::uint32_t oc = code(op, ov);
+      if (outOcc_[oc] >= config_.outputQueueDepth) break;  // no space: retry next cycle
+      const Flit f = inQ_[c].front();
+      inQ_[c].pop_front();
       budget[p] -= 1;
-      o.occ += 1;
-      outOccPort_[iv.outPort] += 1;
+      outOcc_[oc] += 1;
+      outOccPort_[op] += 1;
       const Tick arrive = sim().now() + config_.crossbarLatency;
-      xbarPipe_.push_back(XbarEntry{arrive, f, iv.outPort, iv.outVc});
+      xbarPipe_.push_back(XbarEntry{arrive, f, op, ov});
       if (lastXbarArrival_ != arrive) {
         lastXbarArrival_ = arrive;
         sim().schedule(arrive, sim::kEpsDeliver, this, kTagXbar);
@@ -289,34 +318,34 @@ void Router::stageCrossbar() {
       HXWAR_CHECK(inCredit_[p] != nullptr);
       inCredit_[p]->send(v);
       if (f.isHead()) {
-        if (!terminalPort_[iv.outPort]) {
-          f.packet->hops += 1;
-          if (iv.deroute) f.packet->deroutes += 1;
+        Packet& pkt = packetOf(f);
+        if (!terminalPort_[op]) {
+          pkt.hops += 1;
+          if (inFlags_[c] & kInDeroute) pkt.deroutes += 1;
         }
-        network_->notifyHop(*f.packet, id_, p, iv.outPort);
+        network_->notifyHop(pkt, id_, p, op);
         if constexpr (obs::kCompiledIn) {
-          if (obs_ != nullptr) obs_->onHop(id_, p, iv.outPort, *f.packet, sim().now());
+          if (obs_ != nullptr) obs_->onHop(id_, p, op, pkt, sim().now());
         }
       }
       if (f.isTail()) {
         // Wormhole allocation ends: free the output VC and reset the input.
-        o.owned = false;
-        iv.routed = false;
-        iv.deroute = false;
-        iv.outPort = kPortInvalid;
-        iv.outVc = kVcInvalid;
+        outOwned_[oc] = 0;
+        inFlags_[c] &= static_cast<std::uint8_t>(~(kInRouted | kInDeroute));
+        inOutPort_[c] = kPortInvalid;
+        inOutVc_[c] = kVcInvalid;
         keep = false;
-        if (!iv.q.empty()) {
-          HXWAR_CHECK_MSG(iv.q.front().isHead(), "packet interleaving on input VC");
+        if (!inQ_[c].empty()) {
+          HXWAR_CHECK_MSG(inQ_[c].front().isHead(), "packet interleaving on input VC");
           addRoutePending(p, v);
         }
         break;
       }
     }
-    if (keep && iv.routed && !iv.q.empty()) {
-      xferList_[w++] = code;
+    if (keep && (inFlags_[c] & kInRouted) && !inQ_[c].empty()) {
+      xferList_[w++] = c;
     } else {
-      iv.inXferList = false;
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInXferList);
     }
   }
   xferList_.resize(w);
@@ -325,14 +354,16 @@ void Router::stageCrossbar() {
 }
 
 Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
-  InVc& iv = in(port, vc);
-  HXWAR_CHECK(!iv.q.empty() && iv.q.front().isHead() && !iv.routed);
-  Packet& pkt = *iv.q.front().packet;
+  const std::uint32_t c = code(port, vc);
+  HXWAR_CHECK(!inQ_[c].empty() && inQ_[c].front().isHead() && !(inFlags_[c] & kInRouted));
+  Packet& pkt = packetOf(inQ_[c].front());
 
   scratchCandidates_.clear();
   const bool atSource = terminalPort_[port];
-  const routing::RouteContext ctx{*this, port, vc, atSource,
-                                  atSource ? 0u : vcMap_.classOf(vc), deadPorts_, obs_};
+  const routing::RouteContext ctx{*this,    id_,
+                                  port,     vc,
+                                  atSource, atSource ? 0u : vcMap_.classOf(vc),
+                                  deadPorts_, obs_};
   routing_->route(ctx, pkt, scratchCandidates_);
   HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
 
@@ -341,9 +372,9 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
     // avoided them; this filter turns a non-fault-aware algorithm's dead end
     // into an explicit drop (or a loud abort) instead of an eternal stall.
     std::size_t live = 0;
-    for (std::size_t c = 0; c < scratchCandidates_.size(); ++c) {
-      if (!deadPorts_->isDead(id_, scratchCandidates_[c].port)) {
-        scratchCandidates_[live++] = scratchCandidates_[c];
+    for (std::size_t i = 0; i < scratchCandidates_.size(); ++i) {
+      if (!deadPorts_->isDead(id_, scratchCandidates_[i].port)) {
+        scratchCandidates_[live++] = scratchCandidates_[i];
       }
     }
     scratchCandidates_.resize(live);
@@ -369,8 +400,8 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   // ownership into spurious deroutes.
   double bestWeight = std::numeric_limits<double>::infinity();
   scratchBest_.clear();
-  for (std::size_t c = 0; c < scratchCandidates_.size(); ++c) {
-    const routing::Candidate& cand = scratchCandidates_[c];
+  for (std::size_t i = 0; i < scratchCandidates_.size(); ++i) {
+    const routing::Candidate& cand = scratchCandidates_[i];
     const double weight =
         (congestionFlits(cand.port) + config_.weightBias) * cand.hopsRemaining;
     if (weight < bestWeight - 1e-12) {
@@ -378,7 +409,7 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
       scratchBest_.clear();
     }
     if (weight <= bestWeight + 1e-12) {
-      scratchBest_.push_back(static_cast<std::uint32_t>(c));
+      scratchBest_.push_back(static_cast<std::uint32_t>(i));
     }
   }
   HXWAR_CHECK(!scratchBest_.empty());
@@ -401,10 +432,13 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   const std::uint32_t setSize = vcMap_.vcsInClass(cand.vcClass);
   for (std::uint32_t k = 0; k < setSize; ++k) {
     const VcId v = vcMap_.vcOf(cand.vcClass, k);
-    const OutVc& o = out(cand.port, v);
-    if (o.owned || o.occ >= config_.outputQueueDepth || o.credits < neededCredits) continue;
-    if (cand.atomic && o.occ != 0) continue;
-    const std::uint32_t room = o.credits + (config_.outputQueueDepth - o.occ);
+    const std::uint32_t oc = code(cand.port, v);
+    if (outOwned_[oc] || outOcc_[oc] >= config_.outputQueueDepth ||
+        outCredits_[oc] < neededCredits) {
+      continue;
+    }
+    if (cand.atomic && outOcc_[oc] != 0) continue;
+    const std::uint32_t room = outCredits_[oc] + (config_.outputQueueDepth - outOcc_[oc]);
     if (ov == kVcInvalid || room > bestRoom) {
       ov = v;
       bestRoom = room;
@@ -412,12 +446,15 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   }
   if (ov == kVcInvalid) return RouteOutcome::kBlocked;  // winner busy: wait and re-evaluate
 
-  OutVc& o = out(cand.port, ov);
-  o.owned = true;
-  iv.routed = true;
-  iv.deroute = cand.deroute;
-  iv.outPort = cand.port;
-  iv.outVc = ov;
+  outOwned_[code(cand.port, ov)] = 1;
+  inFlags_[c] |= kInRouted;
+  if (cand.deroute) {
+    inFlags_[c] |= kInDeroute;
+  } else {
+    inFlags_[c] &= static_cast<std::uint8_t>(~kInDeroute);
+  }
+  inOutPort_[c] = cand.port;
+  inOutVc_[c] = ov;
   if (cand.deroute) {
     outDeroutes_[cand.port] += 1;
     if (cand.derouteDim != 0xff) {
@@ -434,12 +471,12 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
 }
 
 void Router::startDrop(PortId port, VcId vc) {
-  InVc& iv = in(port, vc);
-  Packet* pkt = iv.q.front().packet;
+  const std::uint32_t c = code(port, vc);
+  const PacketRef ref = inQ_[c].front().packet;
   bool sawTail = false;
-  while (!iv.q.empty() && iv.q.front().packet == pkt) {
-    const Flit f = iv.q.front();
-    iv.q.pop_front();
+  while (!inQ_[c].empty() && inQ_[c].front().packet == ref) {
+    const Flit f = inQ_[c].front();
+    inQ_[c].pop_front();
     inCredit_[port]->send(vc);
     network_->noteFlitMoved();
     if (f.isTail()) {
@@ -448,35 +485,34 @@ void Router::startDrop(PortId port, VcId vc) {
     }
   }
   if (sawTail) {
-    if (!iv.q.empty()) {
-      HXWAR_CHECK_MSG(iv.q.front().isHead(), "packet interleaving on input VC");
+    if (!inQ_[c].empty()) {
+      HXWAR_CHECK_MSG(inQ_[c].front().isHead(), "packet interleaving on input VC");
     }
-    network_->dropPacket(pkt);
+    network_->dropPacket(ref);
   } else {
-    iv.dropping = true;  // remaining flits consumed on arrival (receiveFlit)
+    inFlags_[c] |= kInDropping;  // remaining flits consumed on arrival (receiveFlit)
   }
 }
 
 void Router::stageRoute() {
   std::size_t w = 0;
   for (std::size_t idx = 0; idx < routePending_.size(); ++idx) {
-    const std::uint32_t code = routePending_[idx];
-    const PortId p = code / config_.numVcs;
-    const VcId v = code % config_.numVcs;
-    InVc& iv = inputs_[code];
-    if (iv.routed || iv.q.empty()) {
-      iv.inRouteList = false;  // stale
+    const std::uint32_t c = routePending_[idx];
+    const PortId p = c / config_.numVcs;
+    const VcId v = c % config_.numVcs;
+    if ((inFlags_[c] & kInRouted) || inQ_[c].empty()) {
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInRouteList);  // stale
       continue;
     }
     const RouteOutcome outcome = tryRoute(p, v);
     if (outcome == RouteOutcome::kGranted) {
-      iv.inRouteList = false;
-    } else if (outcome == RouteOutcome::kBlocked || !iv.q.empty()) {
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInRouteList);
+    } else if (outcome == RouteOutcome::kBlocked || !inQ_[c].empty()) {
       // Blocked heads retry next cycle; after a finalized drop the next
       // packet's head may already be queued and routes next cycle.
-      routePending_[w++] = code;
+      routePending_[w++] = c;
     } else {
-      iv.inRouteList = false;
+      inFlags_[c] &= static_cast<std::uint8_t>(~kInRouteList);
     }
   }
   routePending_.resize(w);

@@ -12,14 +12,19 @@
 //
 // Work is event-driven: the router only burns a cycle event when it has
 // pending work, so large idle networks simulate cheaply.
+//
+// VC state is struct-of-arrays, indexed by code = port * numVcs + vc: the
+// per-VC hot fields (queue, occupancy, credits, grant target, flag byte)
+// live in parallel flat vectors instead of per-VC structs of deques, so the
+// arbitration loops stream through contiguous memory and an idle VC costs 40
+// bytes instead of a ~600-byte deque node. Cold per-router configuration
+// stays in the single RouterConfig record.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <string>
 #include <vector>
 
+#include "common/ring.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/channel.h"
@@ -30,6 +35,7 @@
 namespace hxwar::net {
 
 class Network;
+class PacketPool;
 
 // Output-channel and crossbar arbitration policy. The paper's platform uses
 // age-based arbitration (§6); round-robin is the common cheap alternative
@@ -101,26 +107,19 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // Deroute-flagged packet-head grants per output port (adaptivity telemetry).
   std::uint64_t portDeroutesGranted(PortId port) const { return outDeroutes_[port]; }
 
- private:
-  struct InVc {
-    std::deque<Flit> q;
-    bool routed = false;
-    bool deroute = false;  // the granted hop is a deroute (for stats)
-    // Mid-drop: the packet at the front hit a fault dead end before its tail
-    // arrived; remaining flits are consumed (credits returned) on arrival.
-    bool dropping = false;
-    PortId outPort = kPortInvalid;
-    VcId outVc = kVcInvalid;
-    bool inRouteList = false;
-    bool inXferList = false;
-  };
+  // Heap bytes owned by this router's state arrays (memory accounting);
+  // sizeof(Router) itself is accounted by the owning DenseArray.
+  std::size_t memoryBytes() const;
 
-  struct OutVc {
-    std::deque<Flit> q;    // flits that finished crossbar traversal
-    std::uint32_t occ = 0;  // q.size() + flits in the crossbar pipe
-    std::uint32_t credits = 0;
-    bool owned = false;  // allocated to a packet until its tail passes
-  };
+ private:
+  // Per-input-VC flag byte (SoA: one byte per VC in inFlags_).
+  static constexpr std::uint8_t kInRouted = 1u << 0;
+  static constexpr std::uint8_t kInDeroute = 1u << 1;  // granted hop is a deroute (stats)
+  // Mid-drop: the packet at the front hit a fault dead end before its tail
+  // arrived; remaining flits are consumed (credits returned) on arrival.
+  static constexpr std::uint8_t kInDropping = 1u << 2;
+  static constexpr std::uint8_t kInRouteList = 1u << 3;
+  static constexpr std::uint8_t kInXferList = 1u << 4;
 
   struct XbarEntry {
     Tick arrive;
@@ -132,10 +131,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   static constexpr std::uint64_t kTagCycle = 0;
   static constexpr std::uint64_t kTagXbar = 1;
 
-  InVc& in(PortId p, VcId v) { return inputs_[p * config_.numVcs + v]; }
-  const InVc& in(PortId p, VcId v) const { return inputs_[p * config_.numVcs + v]; }
-  OutVc& out(PortId p, VcId v) { return outputs_[p * config_.numVcs + v]; }
-  const OutVc& out(PortId p, VcId v) const { return outputs_[p * config_.numVcs + v]; }
+  std::uint32_t code(PortId p, VcId v) const { return p * config_.numVcs + v; }
 
   enum class RouteOutcome { kGranted, kBlocked, kDropped };
 
@@ -146,13 +142,16 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   RouteOutcome tryRoute(PortId port, VcId vc);
   // Fault dead end: consume the front packet's queued flits (returning
   // credits) and finalize the drop once the tail is seen; flits still in
-  // flight are consumed by receiveFlit while `dropping` is set.
+  // flight are consumed by receiveFlit while `kInDropping` is set.
   void startDrop(PortId port, VcId vc);
   void addRoutePending(PortId p, VcId v);
   void addXfer(PortId p, VcId v);
   void markOutputActive(PortId p);
+  const Packet& packetOf(Flit f) const;
+  Packet& packetOf(Flit f);
 
   Network* network_;
+  PacketPool* pool_;  // the network's packet slab (flit refs resolve here)
   RouterId id_;
   std::uint32_t numPorts_;
   RouterConfig config_;
@@ -162,13 +161,24 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   obs::NetObserver* obs_ = nullptr;
   Rng rng_;
 
-  std::vector<InVc> inputs_;    // [port][vc]
-  std::vector<OutVc> outputs_;  // [port][vc]
+  // --- input VC state, SoA over code = port * numVcs + vc ---
+  std::vector<common::Ring<Flit>> inQ_;  // buffered flits (credit-bounded)
+  std::vector<std::uint8_t> inFlags_;    // kIn* bits
+  std::vector<PortId> inOutPort_;        // granted output port (while routed)
+  std::vector<VcId> inOutVc_;            // granted output VC (while routed)
+
+  // --- output VC state, SoA over the same code ---
+  std::vector<common::Ring<Flit>> outQ_;   // flits that finished crossbar traversal
+  std::vector<std::uint32_t> outOcc_;      // q size + flits in the crossbar pipe
+  std::vector<std::uint32_t> outCredits_;  // downstream buffer slots available
+  std::vector<std::uint8_t> outOwned_;     // allocated to a packet until its tail passes
+
+  // --- per-port state ---
   std::vector<FlitChannel*> outChannel_;
   std::vector<CreditChannel*> inCredit_;
   std::vector<std::uint8_t> terminalPort_;
   std::vector<std::uint8_t> outputActive_;
-  std::vector<std::uint32_t> outOccPort_;  // sum of OutVc::occ per port (O(1) congestion)
+  std::vector<std::uint32_t> outOccPort_;  // sum of per-VC occ per port (O(1) congestion)
   std::vector<std::uint64_t> outFlits_;
   std::vector<std::uint64_t> outDeroutes_;
   std::vector<VcId> rrNext_;  // round-robin pointer per output port
@@ -177,7 +187,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::vector<std::uint32_t> xferList_;
   std::vector<std::uint32_t> activeOutPorts_;
 
-  std::deque<XbarEntry> xbarPipe_;
+  common::Ring<XbarEntry> xbarPipe_;
   Tick lastXbarArrival_ = kTickInvalid;  // one kTagXbar event per arrival tick
 
   bool cyclePending_ = false;

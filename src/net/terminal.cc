@@ -7,8 +7,9 @@
 namespace hxwar::net {
 
 Terminal::Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs)
-    : Component(sim, "terminal" + std::to_string(id)),
+    : Component(sim),
       network_(network),
+      pool_(&network->pool()),
       id_(id),
       numVcs_(numVcs) {}
 
@@ -23,7 +24,8 @@ void Terminal::enqueuePacket(Packet* pkt) {
   pkt->createdAt = sim().now();
   pkt->src = id_;
   sourceQueueFlits_ += pkt->sizeFlits;
-  sourceQueue_.push_back(pkt);
+  network_->noteBacklogFlits(pkt->sizeFlits);
+  sourceQueue_.push_back(pkt->slot);
   ensureCycle();
 }
 
@@ -44,7 +46,8 @@ void Terminal::processEvent(std::uint64_t) {
 
 void Terminal::injectionCycle() {
   if (sourceQueue_.empty()) return;
-  Packet& pkt = *sourceQueue_.front();
+  const PacketRef ref = sourceQueue_.front();
+  Packet& pkt = pool_->get(ref);
   if (currentVc_ == kVcInvalid) {
     // Pick the injection VC for this packet: any VC works for deadlock
     // purposes (injection buffers are pure sources), so take the one with the
@@ -66,15 +69,16 @@ void Terminal::injectionCycle() {
       if (obs::NetObserver* o = network_->observer()) o->onInjectStart(pkt, sim().now());
     }
   }
-  toRouter_->send(currentVc_, Flit{&pkt, nextFlit_});
+  toRouter_->send(currentVc_, makeFlit(ref, nextFlit_, nextFlit_ + 1 == pkt.sizeFlits));
   flitsInjected_ += 1;
   sourceQueueFlits_ -= 1;
+  network_->noteBacklogFlits(-1);
   network_->noteFlitInjected();
   nextFlit_ += 1;
   if (nextFlit_ == pkt.sizeFlits) {
     // Whole packet is in flight; the destination terminal recycles it into
     // the network's pool once reassembly completes.
-    network_->trackInFlight(sourceQueue_.front());
+    network_->trackInFlight();
     sourceQueue_.pop_front();
     currentVc_ = kVcInvalid;
     nextFlit_ = 0;
@@ -90,14 +94,14 @@ void Terminal::receiveFlit(PortId, VcId vc, Flit flit) {
   // Ejection: bottomless sink; return the buffer slot immediately.
   creditReturn_->send(vc);
   flitsEjected_ += 1;
-  Packet* pkt = flit.packet;
-  pkt->arrivedFlits += 1;
-  HXWAR_CHECK_MSG(pkt->arrivedFlits == flit.index + 1, "flit reordering within packet");
+  Packet& pkt = pool_->get(flit.packet);
+  pkt.arrivedFlits += 1;
+  HXWAR_CHECK_MSG(pkt.arrivedFlits == flit.index() + 1, "flit reordering within packet");
   if (flit.isTail()) {
-    HXWAR_CHECK_MSG(pkt->arrivedFlits == pkt->sizeFlits, "packet completed early");
-    HXWAR_CHECK_MSG(pkt->dst == id_, "packet ejected at wrong terminal");
-    pkt->ejectedAt = sim().now();
-    network_->completePacket(pkt);  // notifies listeners and frees the packet
+    HXWAR_CHECK_MSG(pkt.arrivedFlits == pkt.sizeFlits, "packet completed early");
+    HXWAR_CHECK_MSG(pkt.dst == id_, "packet ejected at wrong terminal");
+    pkt.ejectedAt = sim().now();
+    network_->completePacket(flit.packet);  // notifies listeners and frees the packet
   }
 }
 

@@ -5,8 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
+#include "common/ring.h"
 #include "common/types.h"
 #include "net/channel.h"
 #include "net/packet.h"
@@ -15,6 +16,7 @@
 namespace hxwar::net {
 
 class Network;
+class PacketPool;
 
 class Terminal final : public sim::Component, public FlitSink, public CreditSink {
  public:
@@ -25,8 +27,9 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   void connectInputCredit(CreditChannel* toRouter);
 
   // --- injection ---
-  // The packet stays owned by the network's pool arena; createdAt is stamped
-  // here and the pointer is held until the last flit enters the network.
+  // The packet stays owned by the network's pool slab; createdAt is stamped
+  // here and the 4-byte slot ref is queued until the last flit enters the
+  // network.
   void enqueuePacket(Packet* pkt);
 
   std::size_t sourceQueuePackets() const { return sourceQueue_.size(); }
@@ -34,6 +37,11 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   std::uint64_t flitsInjected() const { return flitsInjected_; }
   std::uint64_t flitsEjected() const { return flitsEjected_; }
   NodeId nodeId() const { return id_; }
+
+  // Heap bytes owned by this terminal's queues (memory accounting).
+  std::size_t memoryBytes() const {
+    return sourceQueue_.capacityBytes() + credits_.capacity() * sizeof(std::uint32_t);
+  }
 
   // --- sinks ---
   void receiveFlit(PortId port, VcId vc, Flit flit) override;  // ejection
@@ -46,6 +54,7 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   void injectionCycle();
 
   Network* network_;
+  PacketPool* pool_;  // the network's packet slab
   NodeId id_;
   std::uint32_t numVcs_;
 
@@ -53,7 +62,7 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   CreditChannel* creditReturn_ = nullptr;
   std::vector<std::uint32_t> credits_;  // per VC toward the router
 
-  std::deque<Packet*> sourceQueue_;
+  common::Ring<PacketRef> sourceQueue_;
   std::uint64_t sourceQueueFlits_ = 0;
   std::uint32_t nextFlit_ = 0;   // index within the packet being injected
   VcId currentVc_ = kVcInvalid;  // VC pinned for the packet being injected

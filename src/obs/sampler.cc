@@ -20,7 +20,7 @@ std::uint64_t asU64(double v) { return static_cast<std::uint64_t>(v); }
 
 Sampler::Sampler(sim::Simulator& sim, NetObserver& observer, Tick interval,
                  Tick stallWindow)
-    : Component(sim, "sampler"),
+    : Component(sim),
       obs_(observer),
       interval_(interval),
       stallWindow_(stallWindow),

@@ -8,7 +8,7 @@ namespace hxwar::routing {
 void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
                        std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
   const std::uint32_t unaligned = topo_.minHops(cur, dst);
   const fault::DeadPortMask* mask = ctx.deadPorts;

@@ -9,7 +9,7 @@ namespace hxwar::routing {
 
 bool DragonflyRoutingBase::emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
                                             std::vector<Candidate>& out) const {
-  if (ctx.router.id() != destRouter(pkt)) return false;
+  if (ctx.routerId != destRouter(pkt)) return false;
   const PortId port = topo_.nodePort(pkt.dst);
   for (std::uint32_t c = 0; c < numClasses(); ++c) {
     out.push_back(Candidate{port, c, 0, false});
@@ -69,7 +69,7 @@ void restrictAfterLocalHop(const topo::Dragonfly& topo, const RouteContext& ctx,
 void DragonflyMinimal::route(const RouteContext& ctx, net::Packet& pkt,
                              std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
   HXWAR_CHECK_MSG(c < numClasses(), "dragonfly minimal ran out of distance classes");
   minimalCandidates(cur, destRouter(pkt), c, 0, out);
@@ -128,7 +128,7 @@ void DragonflyUgal::decide(const RouteContext& ctx, net::Packet& pkt, RouterId c
 void DragonflyUgal::route(const RouteContext& ctx, net::Packet& pkt,
                           std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
 
   bool rediverted = false;

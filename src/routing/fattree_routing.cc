@@ -7,7 +7,7 @@ namespace hxwar::routing {
 
 void FatTreeAdaptive::route(const RouteContext& ctx, net::Packet& pkt,
                             std::vector<Candidate>& out) {
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const std::uint32_t level = topo_.level(cur);
   const std::uint32_t subtree = topo_.subtree(cur);
   const NodeId dst = pkt.dst;

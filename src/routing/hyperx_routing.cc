@@ -13,7 +13,7 @@ namespace hxwar::routing {
 bool HyperXRoutingBase::emitEjectIfLocal(const RouteContext& ctx, const net::Packet& pkt,
                                          std::vector<Candidate>& out) const {
   const RouterId dstR = destRouter(pkt);
-  if (ctx.router.id() != dstR) return false;
+  if (ctx.routerId != dstR) return false;
   const PortId port = topo_.nodePort(pkt.dst);
   // Ejection may use any class: terminal buffers always drain, so they never
   // participate in a deadlock cycle. Emitting one candidate per class lets
@@ -85,7 +85,7 @@ void HyperXRoutingBase::emitDimMoveLive(const fault::DeadPortMask* mask,
 
 void DorRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
   // Oblivious trunk choice: hash the packet id over the parallel links.
   out.push_back(dorStep(cur, dst, 0, topo_.minHops(cur, dst),
@@ -102,7 +102,7 @@ AlgorithmInfo DorRouting::info() const {
 void ValiantRouting::route(const RouteContext& ctx, net::Packet& pkt,
                            std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
   if (ctx.atSource && pkt.intermediate == kRouterInvalid) {
     pkt.intermediate = static_cast<RouterId>(ctx.router.rng().below(topo_.numRouters()));
@@ -132,7 +132,7 @@ AlgorithmInfo ValiantRouting::info() const {
 
 void UgalRouting::route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
 
   if (ctx.atSource && !pkt.minimalCommitted && pkt.intermediate == kRouterInvalid) {
@@ -180,7 +180,7 @@ AlgorithmInfo UgalRouting::info() const {
 void ClosAdRouting::route(const RouteContext& ctx, net::Packet& pkt,
                           std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
 
   if (ctx.atSource && pkt.intermediate == kRouterInvalid) {
@@ -266,7 +266,7 @@ AlgorithmInfo ClosAdRouting::info() const {
 void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
                           std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
   const std::uint32_t unaligned = topo_.minHops(cur, dst);
   const std::uint32_t d = firstUnalignedDim(cur, dst);
@@ -346,7 +346,7 @@ AlgorithmInfo DimWarRouting::info() const {
 void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
                            std::vector<Candidate>& out) {
   if (emitEjectIfLocal(ctx, pkt, out)) return;
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
   const std::uint32_t classes = numClasses();
   // Distance classes: the next hop's class is the hop index.

@@ -54,6 +54,7 @@ struct Candidate {
 // Context handed to route(): where the head flit sits.
 struct RouteContext {
   net::Router& router;  // current router (congestion queries, rng)
+  RouterId routerId;    // dense id of `router` — the identity algorithms key on
   PortId inPort;
   VcId inVc;        // meaningless when atSource
   bool atSource;    // head is at its source router (arrived from a terminal)

@@ -7,7 +7,7 @@ namespace hxwar::routing {
 
 void SlimFlyMinimal::route(const RouteContext& ctx, net::Packet& pkt,
                            std::vector<Candidate>& out) {
-  const RouterId cur = ctx.router.id();
+  const RouterId cur = ctx.routerId;
   const RouterId dst = topo_.nodeRouter(pkt.dst);
   if (cur == dst) {
     const PortId port = topo_.nodePort(pkt.dst);

@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "common/assert.h"
 #include "common/types.h"
@@ -45,17 +44,25 @@ class Simulator {
   // is known so steady-state runs never reallocate mid-simulation.
   void reserveEvents(std::size_t n) { queue_.reserve(n); }
 
+  // Hands out construction-order ordinals to components (see Component).
+  std::uint32_t nextComponentOrdinal() { return componentCount_++; }
+
  private:
   EventQueue queue_;
   Tick now_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint32_t componentCount_ = 0;
 };
 
-// Anything that receives events. Components are identified by a name for
-// diagnostics; they are owned by the network/harness, never by the simulator.
+// Anything that receives events. Components are owned by the network/harness,
+// never by the simulator. A component's identity is its dense index in the
+// owning layer's arrays (RouterId/NodeId/ChannelId) plus a per-simulator
+// ordinal assigned at construction — not a stored name string: tens of
+// thousands of components exist at paper scale and the strings were pure
+// memory weight (they were never read outside construction).
 class Component {
  public:
-  Component(Simulator& sim, std::string name) : sim_(sim), name_(std::move(name)) {}
+  explicit Component(Simulator& sim) : sim_(sim), ordinal_(sim.nextComponentOrdinal()) {}
   virtual ~Component() = default;
 
   Component(const Component&) = delete;
@@ -65,11 +72,12 @@ class Component {
 
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }
-  const std::string& name() const { return name_; }
+  // Construction order within this simulator (diagnostics; dense and unique).
+  std::uint32_t ordinal() const { return ordinal_; }
 
  private:
   Simulator& sim_;
-  std::string name_;
+  std::uint32_t ordinal_;
 };
 
 }  // namespace hxwar::sim

@@ -6,7 +6,7 @@ namespace hxwar::traffic {
 
 SyntheticInjector::SyntheticInjector(sim::Simulator& sim, net::Network& network,
                                      TrafficPattern& pattern, const Params& params)
-    : Component(sim, "injector"),
+    : Component(sim),
       network_(network),
       pattern_(&pattern),
       params_(params),

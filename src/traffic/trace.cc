@@ -52,7 +52,7 @@ void saveTrace(const std::string& path, const std::vector<TraceEntry>& entries) 
 
 TraceInjector::TraceInjector(sim::Simulator& sim, net::Network& network,
                              std::vector<TraceEntry> entries, const Params& params)
-    : Component(sim, "trace-injector"),
+    : Component(sim),
       network_(network),
       entries_(std::move(entries)),
       params_(params) {

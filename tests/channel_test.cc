@@ -15,7 +15,7 @@ namespace {
 class RecordingSink final : public FlitSink, public CreditSink {
  public:
   void receiveFlit(PortId port, VcId vc, Flit flit) override {
-    flits.push_back({port, vc, flit.index});
+    flits.push_back({port, vc, flit.index()});
   }
   void receiveCredit(PortId port, VcId vc) override { credits.push_back({port, vc}); }
 
@@ -31,10 +31,8 @@ class RecordingSink final : public FlitSink, public CreditSink {
 TEST(FlitChannel, DeliversAfterLatency) {
   sim::Simulator sim;
   RecordingSink sink;
-  FlitChannel ch(sim, "ch", 7, &sink, 3);
-  Packet pkt;
-  pkt.sizeFlits = 1;
-  ch.send(2, Flit{&pkt, 0});
+  FlitChannel ch(sim, 7, &sink, 3);
+  ch.send(2, makeFlit(/*packet=*/0, /*index=*/0, /*tail=*/true));
   EXPECT_EQ(ch.inflightFlits(), 1u);
   sim.run(7);  // exclusive horizon: not yet delivered
   EXPECT_TRUE(sink.flits.empty());
@@ -49,21 +47,17 @@ TEST(FlitChannel, DeliversAfterLatency) {
 TEST(FlitChannel, PreservesFifoOrderAcrossVcs) {
   sim::Simulator sim;
   RecordingSink sink;
-  FlitChannel ch(sim, "ch", 4, &sink, 0);
-  Packet pkt;
-  pkt.sizeFlits = 3;
-
+  FlitChannel ch(sim, 4, &sink, 0);
   class Sender final : public sim::Component {
    public:
-    Sender(sim::Simulator& s, FlitChannel& ch, Packet& pkt)
-        : Component(s, "sender"), ch_(ch), pkt_(pkt) {}
+    Sender(sim::Simulator& s, FlitChannel& ch) : Component(s), ch_(ch) {}
     void processEvent(std::uint64_t tag) override {
-      ch_.send(static_cast<VcId>(tag % 3), Flit{&pkt_, static_cast<std::uint32_t>(tag)});
+      ch_.send(static_cast<VcId>(tag % 3),
+               makeFlit(/*packet=*/0, static_cast<std::uint32_t>(tag), /*tail=*/tag == 2));
     }
     FlitChannel& ch_;
-    Packet& pkt_;
   };
-  Sender sender(sim, ch, pkt);
+  Sender sender(sim, ch);
   for (std::uint64_t i = 0; i < 3; ++i) sim.schedule(i, sim::kEpsTerminal, &sender, i);
   sim.run();
   ASSERT_EQ(sink.flits.size(), 3u);
@@ -73,7 +67,7 @@ TEST(FlitChannel, PreservesFifoOrderAcrossVcs) {
 TEST(CreditChannel, DeliversVcAfterLatency) {
   sim::Simulator sim;
   RecordingSink sink;
-  CreditChannel ch(sim, "cr", 5, &sink, 9);
+  CreditChannel ch(sim, 5, &sink, 9);
   ch.send(6);
   ch.send(1);
   sim.run();
@@ -97,7 +91,9 @@ TEST(FlowControl, TinyBuffersStillDeliver) {
   cfg.channelLatencyRouter = 6;
   net::Network network(sim, topo, *routing, cfg);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  net::CallbackListener cb100;
+  cb100.ejected = [&](const Packet&) { delivered += 1; };
+  network.setListener(&cb100);
   for (NodeId n = 0; n < network.numNodes(); ++n) {
     network.injectPacket(n, (n + 4) % network.numNodes(), 8);
   }
@@ -117,8 +113,9 @@ TEST(FlowControl, VctUncontendedLatencyIndependentOfOtherVcs) {
     cfg.router.inputBufferDepth = 32;
     net::Network network(sim, topo, *routing, cfg);
     Tick latency = 0;
-    network.setEjectionListener(
-        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    net::CallbackListener cb120;
+    cb120.ejected = [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; };
+    network.setListener(&cb120);
     network.injectPacket(0, 1, sizeFlits);
     sim.run();
     return latency;
@@ -144,7 +141,9 @@ TEST(PaperScale, FullSizeNetworkConstructsAndDelivers) {
   EXPECT_EQ(network.numNodes(), 4096u);
   EXPECT_EQ(network.numRouters(), 512u);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  net::CallbackListener cb147;
+  cb147.ejected = [&](const Packet&) { delivered += 1; };
+  network.setListener(&cb147);
   Rng rng(11);
   for (int i = 0; i < 2000; ++i) {
     const NodeId src = static_cast<NodeId>(rng.below(4096));

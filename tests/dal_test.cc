@@ -27,7 +27,7 @@ TEST(Dal, CandidatesCoverAllUnalignedDims) {
   net::Packet pkt;
   pkt.dst = rig.topo.routerAt({2, 3, 1}) * 2;
   std::vector<Candidate> out;
-  const RouteContext ctx{rig.network.router(0), 0, 0, true, 0};
+  const RouteContext ctx{rig.network.router(0), 0, 0, 0, true, 0};
   rig.routing->route(ctx, pkt, out);
   // 3 minimal + 3 dims x 2 lateral coords.
   EXPECT_EQ(out.size(), 9u);
@@ -46,7 +46,7 @@ TEST(Dal, DeroutedDimensionsAreExcluded) {
   pkt.dst = rig.topo.routerAt({2, 3, 1}) * 2;
   pkt.deroutedDims = 0b011;  // dims 0 and 1 already derouted
   std::vector<Candidate> out;
-  const RouteContext ctx{rig.network.router(0), 0, 0, true, 0};
+  const RouteContext ctx{rig.network.router(0), 0, 0, 0, true, 0};
   rig.routing->route(ctx, pkt, out);
   for (const auto& c : out) {
     if (!c.deroute) continue;
@@ -69,10 +69,12 @@ TEST(Dal, DeliversTrafficInAtomicMode) {
   cfg.channelLatencyRouter = 4;
   Rig rig({{3, 3}, 2}, true, cfg);
   std::uint64_t delivered = 0;
-  rig.network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb72;
+  cb72.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_LE(p.deroutes, 2u);  // once per dimension
-  });
+  };
+  rig.network.setListener(&cb72);
   traffic::UniformRandom pattern(rig.network.numNodes());
   traffic::SyntheticInjector::Params params;
   params.rate = 0.05;  // atomic mode is slow by design

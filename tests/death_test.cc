@@ -79,11 +79,9 @@ TEST(DeathTest, FlitChannelOverdriveDetected) {
   };
 
   NullSink sink;
-  net::FlitChannel ch(sim, "ch", 4, &sink, 0);
-  net::Packet pkt;
-  pkt.sizeFlits = 2;
-  ch.send(0, net::Flit{&pkt, 0});
-  EXPECT_DEATH(ch.send(0, net::Flit{&pkt, 1}), "overdriven");
+  net::FlitChannel ch(sim, 4, &sink, 0);
+  ch.send(0, net::makeFlit(0, 0, false));
+  EXPECT_DEATH(ch.send(0, net::makeFlit(0, 1, true)), "overdriven");
 }
 
 TEST(DeathTest, OversubscribedInjectionRateRejected) {

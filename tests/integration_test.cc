@@ -59,7 +59,8 @@ TEST_P(DrainProperty, BurstDrainsCompletelyWithBoundedPaths) {
 
   const bool omni = algorithm == "omniwar";
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb62;
+  cb62.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_LE(p.hops, maxHops) << algorithm << " exceeded its hop bound";
     const auto minimal = topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst));
@@ -71,7 +72,8 @@ TEST_P(DrainProperty, BurstDrainsCompletelyWithBoundedPaths) {
       EXPECT_LE(p.deroutes, maxDeroutes);
     }
     EXPECT_GE(p.hops, minimal);
-  });
+  };
+  network.setListener(&cb62);
 
   // High-rate burst to force contention, then full drain.
   traffic::SyntheticInjector::Params params;
@@ -123,8 +125,9 @@ TEST(Determinism, SameSeedSameResult) {
     params.seed = seed;
     traffic::SyntheticInjector injector(sim, network, pattern, params);
     std::uint64_t latencySum = 0;
-    network.setEjectionListener(
-        [&](const net::Packet& p) { latencySum += p.ejectedAt - p.createdAt; });
+    net::CallbackListener cb126;
+    cb126.ejected = [&](const net::Packet& p) { latencySum += p.ejectedAt - p.createdAt; };
+    network.setListener(&cb126);
     injector.start();
     sim.run(4000);
     injector.stop();
@@ -148,11 +151,13 @@ TEST(DimWarInvariant, AtMostOneDeroutePerDimension) {
   params.rate = 0.6;
   traffic::SyntheticInjector injector(sim, network, *pattern, params);
   std::uint64_t maxDeroutes = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb151;
+  cb151.ejected = [&](const net::Packet& p) {
     maxDeroutes = std::max<std::uint64_t>(maxDeroutes, p.deroutes);
     EXPECT_LE(p.deroutes, 3u);
     EXPECT_LE(p.hops, 6u);
-  });
+  };
+  network.setListener(&cb151);
   injector.start();
   sim.run(3000);
   injector.stop();
@@ -173,13 +178,15 @@ TEST(OmniWarInvariant, DerouteBudgetHolds) {
   traffic::SyntheticInjector::Params params;
   params.rate = 0.6;
   traffic::SyntheticInjector injector(sim, network, *pattern, params);
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb176;
+  cb176.ejected = [&](const net::Packet& p) {
     // Deroute budget per §5.2 step 2: remaining classes minus remaining
     // minimal hops; over a whole path that is (N + M) - minimal.
     const auto minimal = topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst));
     EXPECT_LE(p.deroutes, 5u - minimal);
     EXPECT_LE(p.hops, 5u);  // N + M distance classes bound the path length
-  });
+  };
+  network.setListener(&cb176);
   injector.start();
   sim.run(3000);
   injector.stop();

@@ -33,7 +33,9 @@ TEST(Network, ConstructionCounts) {
 TEST(Network, SinglePacketDelivered) {
   Rig rig({{2}, 1});
   std::vector<Packet> delivered;
-  rig.network.setEjectionListener([&](const Packet& p) { delivered.push_back(p); });
+  net::CallbackListener cb36;
+  cb36.ejected = [&](const Packet& p) { delivered.push_back(p); };
+  rig.network.setListener(&cb36);
   rig.network.injectPacket(0, 1, 4);
   rig.sim.run();
   ASSERT_EQ(delivered.size(), 1u);
@@ -48,7 +50,9 @@ TEST(Network, SinglePacketDelivered) {
 TEST(Network, SameRouterDeliveryTakesZeroHops) {
   Rig rig({{2}, 2});  // nodes 0,1 on router 0
   std::vector<Packet> delivered;
-  rig.network.setEjectionListener([&](const Packet& p) { delivered.push_back(p); });
+  net::CallbackListener cb51;
+  cb51.ejected = [&](const Packet& p) { delivered.push_back(p); };
+  rig.network.setListener(&cb51);
   rig.network.injectPacket(0, 1, 1);
   rig.sim.run();
   ASSERT_EQ(delivered.size(), 1u);
@@ -62,8 +66,9 @@ TEST(Network, ZeroLoadLatencyMatchesPipelineModel) {
   cfg.router.crossbarLatency = 4;
   Rig rig({{2}, 1}, "dor", cfg);
   Tick latency = 0;
-  rig.network.setEjectionListener(
-      [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+  net::CallbackListener cb65;
+  cb65.ejected = [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; };
+  rig.network.setListener(&cb65);
   rig.network.injectPacket(0, 1, 1);
   rig.sim.run();
   // inj channel (1) + src router (>=1 route + 4 xbar + send) + channel (10)
@@ -75,7 +80,9 @@ TEST(Network, ZeroLoadLatencyMatchesPipelineModel) {
 TEST(Network, ManyPacketsAllDeliveredExactlyOnce) {
   Rig rig({{4, 4}, 2}, "dor");
   std::uint64_t delivered = 0;
-  rig.network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  net::CallbackListener cb78;
+  cb78.ejected = [&](const Packet&) { delivered += 1; };
+  rig.network.setListener(&cb78);
   Rng rng(3);
   constexpr int kPackets = 500;
   for (int i = 0; i < kPackets; ++i) {
@@ -95,7 +102,9 @@ TEST(Network, FlitsArriveInOrderWithinPacket) {
   // config with contention so interleaving would be caught.
   Rig rig({{3, 3}, 2}, "dor");
   std::uint64_t delivered = 0;
-  rig.network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  net::CallbackListener cb98;
+  cb98.ejected = [&](const Packet&) { delivered += 1; };
+  rig.network.setListener(&cb98);
   for (NodeId n = 0; n < rig.network.numNodes(); ++n) {
     rig.network.injectPacket(n, (n + 5) % rig.network.numNodes(), 16);
     rig.network.injectPacket(n, (n + 7) % rig.network.numNodes(), 16);
@@ -107,7 +116,9 @@ TEST(Network, FlitsArriveInOrderWithinPacket) {
 TEST(Network, HopCountMatchesMinimalUnderDor) {
   Rig rig({{4, 4, 4}, 1}, "dor");
   std::vector<Packet> delivered;
-  rig.network.setEjectionListener([&](const Packet& p) { delivered.push_back(p); });
+  net::CallbackListener cb110;
+  cb110.ejected = [&](const Packet& p) { delivered.push_back(p); };
+  rig.network.setListener(&cb110);
   // 3 packets with known hop distances.
   rig.network.injectPacket(0, 1, 2);                  // 1 dim differs
   rig.network.injectPacket(0, 1 + 4, 2);              // 2 dims differ
@@ -154,7 +165,9 @@ class PacketSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
 TEST_P(PacketSizeSweep, RoundTripAllSizes) {
   Rig rig({{4}, 1}, "dor");
   std::vector<Packet> delivered;
-  rig.network.setEjectionListener([&](const Packet& p) { delivered.push_back(p); });
+  net::CallbackListener cb157;
+  cb157.ejected = [&](const Packet& p) { delivered.push_back(p); };
+  rig.network.setListener(&cb157);
   rig.network.injectPacket(0, 3, GetParam());
   rig.sim.run();
   ASSERT_EQ(delivered.size(), 1u);

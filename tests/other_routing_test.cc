@@ -23,7 +23,7 @@ struct DfRig {
   std::vector<Candidate> routeAt(RouterId r, net::Packet& pkt, bool atSource,
                                  std::uint32_t inClass = 0, PortId inPort = 0) {
     std::vector<Candidate> out;
-    const RouteContext ctx{network.router(r), inPort, atSource ? 0 : inClass, atSource,
+    const RouteContext ctx{network.router(r), r, inPort, atSource ? 0 : inClass, atSource,
                            atSource ? 0 : inClass};
     routing->route(ctx, pkt, out);
     return out;
@@ -123,7 +123,7 @@ struct FtRig {
 
   std::vector<Candidate> routeAt(RouterId r, net::Packet& pkt) {
     std::vector<Candidate> out;
-    const RouteContext ctx{network.router(r), 0, 0, false, 0};
+    const RouteContext ctx{network.router(r), r, 0, 0, false, 0};
     routing->route(ctx, pkt, out);
     return out;
   }

@@ -1,0 +1,140 @@
+// Packet arena/slab contract: slot refs are stable identities across
+// recycle, exhaustion grows by whole chunks without moving live packets, and
+// double-recycle is a loud protocol violation in checked builds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/network.h"
+#include "net/packet_pool.h"
+#include "routing/hyperx_routing.h"
+#include "sim/simulator.h"
+#include "topo/hyperx.h"
+
+namespace hxwar::net {
+namespace {
+
+TEST(PacketPool, AllocStampsSlotAndResetsState) {
+  PacketPool pool;
+  const PacketRef ref = pool.alloc();
+  Packet& pkt = pool.get(ref);
+  EXPECT_EQ(pkt.slot, ref);
+  EXPECT_EQ(pkt.hops, 0u);
+  EXPECT_EQ(pkt.createdAt, 0u);
+  EXPECT_EQ(pkt.ejectedAt, kTickInvalid);
+  pkt.hops = 7;
+  pkt.dst = 42;
+  pool.recycle(ref);
+  const PacketRef again = pool.alloc();
+  EXPECT_EQ(again, ref) << "LIFO free list must reuse the hottest slot";
+  EXPECT_EQ(pool.get(again).hops, 0u) << "alloc must fully reset the record";
+  EXPECT_EQ(pool.get(again).slot, again);
+}
+
+TEST(PacketPool, SlotRefStableAcrossRecycle) {
+  PacketPool pool;
+  // A slot's ref is its identity: after recycle, the same storage hands the
+  // same ref to its next tenant, and the address resolved from the ref never
+  // changes.
+  const PacketRef ref = pool.alloc();
+  Packet* addr = &pool.get(ref);
+  for (int round = 0; round < 5; ++round) {
+    pool.recycle(ref);
+    const PacketRef next = pool.alloc();
+    EXPECT_EQ(next, ref);
+    EXPECT_EQ(&pool.get(next), addr) << "slab addresses must be stable";
+  }
+}
+
+TEST(PacketPool, ExhaustionGrowsByChunkWithoutMovingLivePackets) {
+  PacketPool pool;
+  std::vector<PacketRef> refs;
+  std::vector<Packet*> addrs;
+  // Drain the first chunk completely, then force growth and verify every
+  // previously resolved address still points at its packet.
+  const std::uint32_t more = PacketPool::kChunkSize + 16;
+  for (std::uint32_t i = 0; i < more; ++i) {
+    const PacketRef ref = pool.alloc();
+    pool.get(ref).dst = i;
+    refs.push_back(ref);
+    addrs.push_back(&pool.get(ref));
+  }
+  EXPECT_EQ(pool.size(), 2 * PacketPool::kChunkSize) << "growth is whole chunks";
+  EXPECT_EQ(pool.freeCount(), pool.size() - more);
+  for (std::uint32_t i = 0; i < more; ++i) {
+    EXPECT_EQ(&pool.get(refs[i]), addrs[i]) << "chunk addresses must never move";
+    EXPECT_EQ(pool.get(refs[i]).dst, i);
+  }
+  // All refs must be distinct identities.
+  std::vector<PacketRef> sorted = refs;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(PacketPool, ReuseCounterTracksRecycledSlotsOnly) {
+  PacketPool pool;
+  const PacketRef a = pool.alloc();
+  const PacketRef b = pool.alloc();
+  EXPECT_EQ(pool.reuses(), 0u) << "first tenants are not reuses";
+  pool.recycle(a);
+  pool.recycle(b);
+  pool.alloc();
+  pool.alloc();
+  EXPECT_EQ(pool.reuses(), 2u);
+}
+
+TEST(PacketPoolDeathTest, DoubleRecycleAborts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "liveness bits are compiled out in NDEBUG builds";
+#else
+  PacketPool pool;
+  const PacketRef ref = pool.alloc();
+  pool.recycle(ref);
+  EXPECT_DEATH(pool.recycle(ref), "double-recycle");
+#endif
+}
+
+TEST(NetworkMemoryFootprint, PartsSumToTotalAndRatesAreConsistent) {
+  sim::Simulator sim;
+  topo::HyperX topo({{4, 4}, 2});
+  auto routing = routing::makeHyperXRouting("dimwar", topo);
+  net::Network network(sim, topo, *routing, net::NetworkConfig{});
+  const auto fp = network.memoryFootprint();
+  EXPECT_EQ(fp.totalBytes, fp.routersBytes + fp.terminalsBytes + fp.channelsBytes +
+                               fp.packetPoolBytes + fp.miscBytes);
+  EXPECT_GT(fp.routersBytes, 0u);
+  EXPECT_GT(fp.terminalsBytes, 0u);
+  EXPECT_GT(fp.channelsBytes, 0u);
+  EXPECT_GT(fp.flitSlots, 0u);
+  EXPECT_DOUBLE_EQ(fp.bytesPerTerminal,
+                   static_cast<double>(fp.totalBytes) / network.numNodes());
+  EXPECT_DOUBLE_EQ(fp.bytesPerFlitSlot,
+                   static_cast<double>(fp.totalBytes) / fp.flitSlots);
+}
+
+TEST(NetworkMemoryFootprint, PaperScaleFitsBudget) {
+  // The recorded budget for the 4,096-node 8x8x8 fig. 6 configuration
+  // (BENCH_core.json memory_paper_* rows): idle structural memory measured
+  // at ~12.1 MiB / ~3.1 KiB per terminal. The gate leaves 2x headroom so it
+  // trips on structural regressions (a fattened per-VC record, eager buffer
+  // allocation), not on small bookkeeping additions.
+  sim::Simulator sim;
+  topo::HyperX topo({{8, 8, 8}, 8});
+  auto routing = routing::makeHyperXRouting("omniwar", topo);
+  net::NetworkConfig cfg;
+  cfg.channelLatencyRouter = 50;
+  cfg.channelLatencyTerminal = 5;
+  cfg.router.numVcs = 8;
+  cfg.router.inputBufferDepth = 160;
+  cfg.router.outputQueueDepth = 32;
+  cfg.router.crossbarLatency = 50;
+  cfg.router.inputSpeedup = 4;
+  net::Network network(sim, topo, *routing, cfg);
+  const auto fp = network.memoryFootprint();
+  EXPECT_LE(fp.totalBytes, 32u * 1024 * 1024) << "paper-scale idle budget: 32 MiB";
+  EXPECT_LE(fp.bytesPerTerminal, 8.0 * 1024) << "budget: 8 KiB per terminal";
+}
+
+}  // namespace
+}  // namespace hxwar::net

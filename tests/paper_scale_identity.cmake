@@ -1,0 +1,31 @@
+# One --scale=paper fig06-style sweep point (4,096-node 8x8x8 HyperX,
+# OmniWAR, uniform random) end-to-end through the real hxsim binary:
+# --jobs=2 must write a byte-identical CSV to --jobs=1. Windows are reduced
+# from the full fig. 6 methodology so the point finishes in ctest time while
+# still building, warming, measuring, and draining the full-size network.
+#
+# Required -D variables: HXSIM (path to the hxsim binary), WORKDIR (scratch).
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(csv1 "${WORKDIR}/paper_jobs1.csv")
+set(csv2 "${WORKDIR}/paper_jobs2.csv")
+set(common
+    --scale=paper --routing=omniwar --pattern=ur --experiment=sweep
+    --loads=0.05 --warmup-window=1000 --warmup-windows=4
+    --measure-window=2000 --drain-window=20000)
+
+execute_process(COMMAND "${HXSIM}" ${common} --jobs=1 --csv=${csv1}
+                RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "hxsim --scale=paper --jobs=1 failed (exit ${rc1})")
+endif()
+execute_process(COMMAND "${HXSIM}" ${common} --jobs=2 --csv=${csv2}
+                RESULT_VARIABLE rc2 OUTPUT_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "hxsim --scale=paper --jobs=2 failed (exit ${rc2})")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${csv1}" "${csv2}"
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "paper scale: --jobs=2 CSV differs from --jobs=1 (${csv1} vs ${csv2})")
+endif()

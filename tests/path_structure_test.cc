@@ -25,20 +25,21 @@ struct Hop {
 
 constexpr std::uint32_t kEject = 0xffffffffu;
 
-class PathRecorder {
+class PathRecorder final : public net::NetListener {
  public:
   PathRecorder(net::Network& network, const topo::HyperX& topo) : topo_(topo) {
-    network.setHopListener(
-        [this](const net::Packet& p, RouterId r, PortId, PortId outPort, Tick) {
-          Hop hop{r, kEject, 0, false};
-          if (!topo_.isTerminalPort(outPort)) {
-            const auto mv = topo_.portMove(r, outPort);
-            hop.dim = mv.dim;
-            hop.toCoord = mv.toCoord;
-            hop.lateral = mv.toCoord != topo_.coord(topo_.nodeRouter(p.dst), mv.dim);
-          }
-          paths_[p.id].push_back(hop);
-        });
+    network.setHopListener(this);
+  }
+
+  void onHop(const net::Packet& p, RouterId r, PortId, PortId outPort, Tick) override {
+    Hop hop{r, kEject, 0, false};
+    if (!topo_.isTerminalPort(outPort)) {
+      const auto mv = topo_.portMove(r, outPort);
+      hop.dim = mv.dim;
+      hop.toCoord = mv.toCoord;
+      hop.lateral = mv.toCoord != topo_.coord(topo_.nodeRouter(p.dst), mv.dim);
+    }
+    paths_[p.id].push_back(hop);
   }
 
   const std::map<PacketId, std::vector<Hop>>& paths() const { return paths_; }
@@ -167,9 +168,11 @@ TEST(PathStructure, TraceAgreesWithPacketHopCounters) {
   net::Network network(sim, topo, *routing, net::NetworkConfig{});
   PathRecorder recorder(network, topo);
   std::map<PacketId, std::pair<std::uint16_t, std::uint16_t>> counters;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb171;
+  cb171.ejected = [&](const net::Packet& p) {
     counters[p.id] = {p.hops, p.deroutes};
-  });
+  };
+  network.setListener(&cb171);
   auto pattern = traffic::makePattern("bc", topo);
   traffic::SyntheticInjector::Params params;
   params.rate = 0.5;

@@ -32,8 +32,9 @@ TEST(RouterTiming, CrossbarLatencyAddsExactCycles) {
     cfg.router.crossbarLatency = xbar;
     Rig rig(cfg);
     Tick latency = 0;
-    rig.network.setEjectionListener(
-        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    net::CallbackListener cb35;
+    cb35.ejected = [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; };
+    rig.network.setListener(&cb35);
     rig.network.injectPacket(0, 2, 1);  // crosses one router-to-router hop
     rig.sim.run();
     (xbar == 4 ? lat4 : lat12) = latency;
@@ -49,8 +50,9 @@ TEST(RouterTiming, ChannelLatencyAddsExactCycles) {
     cfg.channelLatencyRouter = chan;
     Rig rig(cfg);
     Tick latency = 0;
-    rig.network.setEjectionListener(
-        [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; });
+    net::CallbackListener cb52;
+    cb52.ejected = [&](const Packet& p) { latency = p.ejectedAt - p.createdAt; };
+    rig.network.setListener(&cb52);
     rig.network.injectPacket(0, 2, 1);
     rig.sim.run();
     (chan == 4 ? lat4 : lat20) = latency;
@@ -64,7 +66,9 @@ TEST(RouterArbitration, OlderPacketWinsTheChannel) {
   // younger one is injected from a closer terminal.
   Rig rig(NetworkConfig{}, {{2}, 2});  // routers 0,1; nodes 0,1 @ r0, 2,3 @ r1
   std::vector<NodeId> order;
-  rig.network.setEjectionListener([&](const Packet& p) { order.push_back(p.src); });
+  net::CallbackListener cb67;
+  cb67.ejected = [&](const Packet& p) { order.push_back(p.src); };
+  rig.network.setListener(&cb67);
   rig.network.injectPacket(0, 2, 8);  // created first => older
   rig.sim.run(rig.sim.now() + 1);
   rig.network.injectPacket(1, 3, 8);  // younger, same output channel r0->r1
@@ -80,7 +84,9 @@ TEST(RouterWormhole, PacketsOnOneVcNeverInterleave) {
   cfg.router.numVcs = 1;
   Rig rig(cfg, {{2}, 2});
   std::uint64_t delivered = 0;
-  rig.network.setEjectionListener([&](const Packet&) { delivered += 1; });
+  net::CallbackListener cb83;
+  cb83.ejected = [&](const Packet&) { delivered += 1; };
+  rig.network.setListener(&cb83);
   for (int i = 0; i < 20; ++i) {
     rig.network.injectPacket(0, 2, 4);
     rig.network.injectPacket(1, 3, 4);
@@ -95,7 +101,9 @@ TEST(RouterSpeedup, HigherSpeedupNeverSlower) {
     NetworkConfig cfg;
     cfg.router.inputSpeedup = speedup;
     Rig rig(cfg, {{2}, 4});
-    rig.network.setEjectionListener([](const Packet&) {});
+    net::CallbackListener cb98;
+    cb98.ejected = [](const Packet&) {};
+    rig.network.setListener(&cb98);
     for (NodeId n = 0; n < 4; ++n) {
       rig.network.injectPacket(n, n + 4, 16);  // all cross the same channel
     }
@@ -110,7 +118,9 @@ TEST(RouterBackpressure, ThroughputBoundedByChannel) {
   // channel (1 flit/cycle) bounds the drain time from below.
   Rig rig(NetworkConfig{}, {{2}, 8});
   std::uint64_t flits = 0;
-  rig.network.setEjectionListener([&](const Packet& p) { flits += p.sizeFlits; });
+  net::CallbackListener cb113;
+  cb113.ejected = [&](const Packet& p) { flits += p.sizeFlits; };
+  rig.network.setListener(&cb113);
   for (NodeId n = 0; n < 8; ++n) rig.network.injectPacket(n, n + 8, 16);
   const Tick start = rig.sim.now();
   rig.sim.run();
@@ -120,7 +130,9 @@ TEST(RouterBackpressure, ThroughputBoundedByChannel) {
 
 TEST(RouterCounters, PortFlitCountsMatchTraffic) {
   Rig rig(NetworkConfig{}, {{2}, 2});
-  rig.network.setEjectionListener([](const Packet&) {});
+  net::CallbackListener cb123;
+  cb123.ejected = [](const Packet&) {};
+  rig.network.setListener(&cb123);
   rig.network.injectPacket(0, 2, 10);
   rig.sim.run();
   // Router 0's port toward router 1 carried exactly 10 flits.

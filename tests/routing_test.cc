@@ -24,7 +24,7 @@ struct Rig {
     std::vector<Candidate> out;
     // For non-source calls pick a representative VC of the class.
     const VcId inVc = atSource ? 0 : inClass;
-    const RouteContext ctx{network.router(r), inPort, inVc, atSource,
+    const RouteContext ctx{network.router(r), r, inPort, inVc, atSource,
                            atSource ? 0 : inClass};
     routing->route(ctx, pkt, out);
     return out;

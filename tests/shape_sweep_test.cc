@@ -51,11 +51,13 @@ TEST_P(ShapeSweep, AdversarialBurstDrains) {
                                     ? 2 * topo.numDims()
                                     : routing->numClasses();
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb54;
+  cb54.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_LE(p.hops, maxHops);
     EXPECT_GE(p.hops, topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst)));
-  });
+  };
+  network.setListener(&cb54);
 
   injector.start();
   sim.run(1500);
@@ -102,8 +104,9 @@ TEST(HypercubeDegeneracy, NoDeroutesPossible) {
     traffic::SyntheticInjector::Params params;
     params.rate = 0.5;
     traffic::SyntheticInjector injector(sim, network, pattern, params);
-    network.setEjectionListener(
-        [&](const net::Packet& p) { EXPECT_EQ(p.deroutes, 0u) << algorithm; });
+    net::CallbackListener cb105;
+    cb105.ejected = [&](const net::Packet& p) { EXPECT_EQ(p.deroutes, 0u) << algorithm; };
+    network.setListener(&cb105);
     injector.start();
     sim.run(1000);
     injector.stop();

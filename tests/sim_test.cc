@@ -10,7 +10,7 @@ namespace {
 // Records every event it receives as (time, tag).
 class Recorder final : public Component {
  public:
-  explicit Recorder(Simulator& sim) : Component(sim, "recorder") {}
+  explicit Recorder(Simulator& sim) : Component(sim) {}
   void processEvent(std::uint64_t tag) override {
     events.emplace_back(sim().now(), tag);
   }
@@ -76,7 +76,7 @@ TEST(Simulator, SchedulingDuringEventWorks) {
 
   class Chainer final : public Component {
    public:
-    explicit Chainer(Simulator& sim) : Component(sim, "chainer") {}
+    explicit Chainer(Simulator& sim) : Component(sim) {}
     void processEvent(std::uint64_t tag) override {
       ticksSeen.push_back(sim().now());
       if (tag < 5) sim().scheduleIn(2, kEpsRouter, this, tag + 1);
@@ -106,7 +106,7 @@ TEST(Simulator, SameTickLaterEpsilonFromEarlierEpsilon) {
   // within the same tick — the router relies on this to react to arrivals.
   class SameTick final : public Component {
    public:
-    explicit SameTick(Simulator& sim) : Component(sim, "sametick") {}
+    explicit SameTick(Simulator& sim) : Component(sim) {}
     void processEvent(std::uint64_t tag) override {
       if (tag == 0) {
         sim().schedule(sim().now(), kEpsRouter, this, 1);

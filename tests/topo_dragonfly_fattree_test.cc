@@ -115,11 +115,13 @@ TEST_P(DragonflyDelivery, RandomTrafficDrains) {
   params.rate = 0.5;
   traffic::SyntheticInjector injector(sim, network, pattern, params);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb118;
+  cb118.ejected = [&](const net::Packet& p) {
     delivered += 1;
     const std::uint32_t bound = GetParam() == "min" ? 3u : (GetParam() == "par" ? 7u : 6u);
     EXPECT_LE(p.hops, bound);
-  });
+  };
+  network.setListener(&cb118);
   injector.start();
   sim.run(2000);
   injector.stop();
@@ -206,10 +208,12 @@ TEST(FatTree, RandomTrafficDrains) {
   params.rate = 0.6;
   traffic::SyntheticInjector injector(sim, network, pattern, params);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb209;
+  cb209.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_LE(p.hops, 4u);  // 2*(h-1)
-  });
+  };
+  network.setListener(&cb209);
   injector.start();
   sim.run(2000);
   injector.stop();

@@ -109,11 +109,13 @@ TEST(SlimFlyRouting, DeliversUniformTraffic) {
   params.rate = 0.5;
   traffic::SyntheticInjector injector(sim, network, pattern, params);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb112;
+  cb112.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_LE(p.hops, 2u);
     EXPECT_GE(p.hops, topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst)));
-  });
+  };
+  network.setListener(&cb112);
   injector.start();
   sim.run(2000);
   injector.stop();
@@ -134,10 +136,12 @@ TEST(SlimFlyRouting, AverageHopsNearTheoreticalMean) {
   net::Network network(sim, topo, *routing, net::NetworkConfig{});
   double hops = 0;
   std::uint64_t count = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb137;
+  cb137.ejected = [&](const net::Packet& p) {
     hops += p.hops;
     count += 1;
-  });
+  };
+  network.setListener(&cb137);
   traffic::UniformRandom pattern(topo.numNodes());
   traffic::SyntheticInjector::Params params;
   params.rate = 0.2;

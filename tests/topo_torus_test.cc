@@ -60,14 +60,14 @@ TEST(TorusDateline, CrossingHopUsesClassOne) {
   net::Packet pkt;
   pkt.dst = 1;  // from router 4 to 1: hops 4 -> 0 (crossing), 0 -> 1
   std::vector<routing::Candidate> out;
-  const routing::RouteContext atWrap{network.router(4), 0, 0, true, 0};
+  const routing::RouteContext atWrap{network.router(4), 4, 0, 0, true, 0};
   routing->route(atWrap, pkt, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].vcClass, 1u) << "wrap hop must take the dateline class";
 
   out.clear();
   // Continuing after the wrap (arrived on class 1 via the ring port).
-  const routing::RouteContext after{network.router(0), topo.dimPort(0, false), 1, false, 1};
+  const routing::RouteContext after{network.router(0), 0, topo.dimPort(0, false), 1, false, 1};
   routing->route(after, pkt, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].vcClass, 1u) << "stay on class 1 until the dimension ends";
@@ -83,7 +83,7 @@ TEST(TorusDateline, NewDimensionResetsClass) {
   // Arrived at (1, 0) via dim 0 on class 1; next hop is dim 1: class resets.
   const RouterId cur = topo.routerAt({1, 0});
   std::vector<routing::Candidate> out;
-  const routing::RouteContext ctx{network.router(cur), topo.dimPort(0, false), 1, false, 1};
+  const routing::RouteContext ctx{network.router(cur), cur, topo.dimPort(0, false), 1, false, 1};
   routing->route(ctx, pkt, out);
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].vcClass, 0u);
@@ -103,10 +103,12 @@ TEST_P(TorusDrain, AdversarialBurstDrains) {
   params.rate = 0.6;
   traffic::SyntheticInjector injector(sim, network, pattern, params);
   std::uint64_t delivered = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb106;
+  cb106.ejected = [&](const net::Packet& p) {
     delivered += 1;
     EXPECT_EQ(p.hops, topo.minHops(topo.nodeRouter(p.src), topo.nodeRouter(p.dst)));
-  });
+  };
+  network.setListener(&cb106);
   injector.start();
   sim.run(1500);
   injector.stop();

@@ -67,8 +67,9 @@ struct Rig {
 TEST(TraceInjector, ReplaysAtTheRightTicks) {
   Rig rig;
   std::vector<Tick> createdAt;
-  rig.network.setEjectionListener(
-      [&](const net::Packet& p) { createdAt.push_back(p.createdAt); });
+  net::CallbackListener cb70;
+  cb70.ejected = [&](const net::Packet& p) { createdAt.push_back(p.createdAt); };
+  rig.network.setListener(&cb70);
   TraceInjector inj(rig.sim, rig.network,
                     {{10, 0, 9, 64}, {50, 3, 12, 64}, {50, 5, 1, 2048}}, {});
   inj.start();
@@ -82,10 +83,12 @@ TEST(TraceInjector, ReplaysAtTheRightTicks) {
 TEST(TraceInjector, SegmentsLargeMessages) {
   Rig rig;
   std::uint64_t packets = 0, flits = 0;
-  rig.network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb85;
+  cb85.ejected = [&](const net::Packet& p) {
     packets += 1;
     flits += p.sizeFlits;
-  });
+  };
+  rig.network.setListener(&cb85);
   // 100 kB at 64 B flits = 1600 flits = 100 packets of 16.
   TraceInjector inj(rig.sim, rig.network, {{0, 0, 17, 100 * 1024}}, {});
   inj.start();
@@ -98,7 +101,9 @@ TEST(TraceInjector, SegmentsLargeMessages) {
 TEST(TraceInjector, OffsetShiftsReplay) {
   Rig rig;
   Tick created = 0;
-  rig.network.setEjectionListener([&](const net::Packet& p) { created = p.createdAt; });
+  net::CallbackListener cb101;
+  cb101.ejected = [&](const net::Packet& p) { created = p.createdAt; };
+  rig.network.setListener(&cb101);
   TraceInjector::Params params;
   params.offset = 500;
   TraceInjector inj(rig.sim, rig.network, {{10, 0, 9, 64}}, params);
@@ -116,7 +121,9 @@ TEST(TraceFromPattern, GeneratesReplayableTraffic) {
     EXPECT_GE(entries[i].tick, entries[i - 1].tick);
   }
   std::uint64_t delivered = 0;
-  rig.network.setEjectionListener([&](const net::Packet&) { delivered += 1; });
+  net::CallbackListener cb119;
+  cb119.ejected = [&](const net::Packet&) { delivered += 1; };
+  rig.network.setListener(&cb119);
   TraceInjector inj(rig.sim, rig.network, entries, {});
   inj.start();
   rig.sim.run();

@@ -187,7 +187,9 @@ TEST(Injector, NodeMaskRestrictsSources) {
   auto routing = routing::makeHyperXRouting("dor", topo);
   net::Network network(sim, topo, *routing, net::NetworkConfig{});
   std::set<NodeId> sources;
-  network.setEjectionListener([&](const net::Packet& p) { sources.insert(p.src); });
+  net::CallbackListener cb190;
+  cb190.ejected = [&](const net::Packet& p) { sources.insert(p.src); };
+  network.setListener(&cb190);
   UniformRandom pattern(topo.numNodes());
   SyntheticInjector::Params params;
   params.rate = 0.5;
@@ -242,10 +244,12 @@ TEST(Injector, PatternSwapMidRun) {
   std::uint64_t bcPackets = 0, totalPackets = 0;
   BitComplement bc(topo.numNodes());
   Rng probe(1);
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb245;
+  cb245.ejected = [&](const net::Packet& p) {
     totalPackets += 1;
     if (p.dst == bc.dest(p.src, probe)) bcPackets += 1;
-  });
+  };
+  network.setListener(&cb245);
   UniformRandom ur(topo.numNodes());
   SyntheticInjector::Params params;
   params.rate = 0.3;
@@ -268,10 +272,12 @@ TEST(Injector, PacketSizesInRange) {
   auto routing = routing::makeHyperXRouting("dor", topo);
   net::Network network(sim, topo, *routing, net::NetworkConfig{});
   std::uint32_t minSeen = 1000, maxSeen = 0;
-  network.setEjectionListener([&](const net::Packet& p) {
+  net::CallbackListener cb271;
+  cb271.ejected = [&](const net::Packet& p) {
     minSeen = std::min(minSeen, p.sizeFlits);
     maxSeen = std::max(maxSeen, p.sizeFlits);
-  });
+  };
+  network.setListener(&cb271);
   UniformRandom pattern(topo.numNodes());
   SyntheticInjector::Params params;
   params.rate = 0.4;

@@ -32,6 +32,17 @@ THROUGHPUT_KEYS = [
     "topology_lookup_raw_per_sec",
 ]
 
+# Lower-is-better memory-budget keys: idle structural bytes of a freshly
+# built network. These are deterministic (sizeof arithmetic, not timers), so
+# the ceiling is tight — growth past baseline * (1 + MEMORY_TOLERANCE) means
+# someone fattened a hot structure.
+MEMORY_KEYS = [
+    "memory_paper_bytes_per_terminal",
+    "memory_paper_bytes_per_flit_slot",
+    "memory_small_bytes_per_terminal",
+]
+MEMORY_TOLERANCE = 0.10
+
 
 def run_micro_core(binary: str) -> dict:
     """Runs micro_core (skipping google-benchmark suites) in a temp dir and
@@ -89,6 +100,24 @@ def main() -> int:
             failures.append(
                 f"{key}: {now:,.0f} < floor {floor:,.0f} "
                 f"(baseline {base:,.0f}, tolerance {args.tolerance:.0%})"
+            )
+
+    for key in MEMORY_KEYS:
+        if key not in baseline:
+            print(f"note: baseline lacks {key}; skipping")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        base, now = float(baseline[key]), float(fresh[key])
+        ceiling = base * (1.0 + MEMORY_TOLERANCE)
+        ratio = now / base if base > 0 else float("inf")
+        status = "OK " if now <= ceiling else "REGRESSION"
+        print(f"{status} {key}: fresh {now:,.1f} vs baseline {base:,.1f} ({ratio:.2f}x)")
+        if now > ceiling:
+            failures.append(
+                f"{key}: {now:,.1f} > ceiling {ceiling:,.1f} "
+                f"(baseline {base:,.1f}, tolerance {MEMORY_TOLERANCE:.0%})"
             )
 
     if failures:

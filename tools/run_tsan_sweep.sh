@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Race-checks the parallel sweep engine: configures a ThreadSanitizer side
-# build (build-tsan/, separate from the main build/) and runs the
-# parallel-sweep test suite under TSan, then the fault suite (transient
-# kill/revive events mutate the shared dead-port mask, and the faulted
-# --jobs sweep exercises per-thread fault-set construction). Any data race
-# in the thread pool, the sweep reduction, or the fault layer fails the run.
+# Sanitizer sweeps over the simulator core.
+#
+# Pass 1 (TSan): configures a ThreadSanitizer side build (build-tsan/,
+# separate from the main build/) and runs the parallel-sweep test suite
+# under TSan, then the fault suite (transient kill/revive events mutate the
+# shared dead-port mask, and the faulted --jobs sweep exercises per-thread
+# fault-set construction). Any data race in the thread pool, the sweep
+# reduction, or the fault layer fails the run.
+#
+# Pass 2 (ASan+UBSan): a second side build (build-asan/,
+# HXWAR_SANITIZE=address,undefined) runs the index-core memory suites —
+# packet slab, router SoA state, channel rings — plus a --scale=paper smoke
+# point, so out-of-bounds slot arithmetic or use-after-recycle in the dense
+# ID-indexed storage fails loudly at full network size.
 #
 # Usage: tools/run_tsan_sweep.sh [extra gtest args...]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${ROOT}/build-tsan"
+BUILD_ASAN="${ROOT}/build-asan"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD}" --target parallel_sweep_test fault_test event_queue_test hxsim -j"$(nproc)"
@@ -43,3 +52,28 @@ trap 'rm -rf "${OBS_DIR}"' EXIT
   --trace-out="${OBS_DIR}/sweep.trace.json" \
   --metrics-json="${OBS_DIR}/sweep.metrics.json" > /dev/null
 echo "traced --jobs=4 sweep passed under ThreadSanitizer"
+
+# ---- ASan+UBSan pass: index-core memory discipline -------------------------
+
+cmake -B "${BUILD_ASAN}" -S "${ROOT}" -DHXWAR_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_ASAN}" --target packet_pool_test net_test channel_test \
+  router_test hxsim -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+# The slab and SoA suites: slot-ref arithmetic, recycle liveness, ring
+# growth/linearize, dense component arenas. Death tests fork; skip them.
+for t in packet_pool_test net_test channel_test router_test; do
+  "${BUILD_ASAN}/tests/${t}" --gtest_filter='-*Death*' "$@"
+  echo "${t} passed under ASan+UBSan"
+done
+
+# Paper-scale smoke: build the 4,096-node network and push one reduced
+# fig06 point through it, so index arithmetic is exercised at full size.
+"${BUILD_ASAN}/tools/hxsim" --scale=paper --routing=omniwar --pattern=ur \
+  --experiment=sweep --loads=0.05 --jobs=1 \
+  --warmup-window=1000 --warmup-windows=2 --measure-window=1000 \
+  --drain-window=20000 > /dev/null
+echo "--scale=paper smoke point passed under ASan+UBSan"
