@@ -47,6 +47,7 @@ BenchOptions parseBenchOptions(int argc, char** argv, std::vector<double> defaul
   // including --topology and family construction params — override it.
   opts.spec = opts.base.toSpec();
   opts.spec.applyFlags(flags);
+  opts.pointJobs = opts.spec.pointJobs;
   const std::string algos = flags.str("algorithms", "");
   opts.algorithms =
       algos.empty()

@@ -28,6 +28,10 @@ struct BenchOptions {
   // concurrency; 1 = exact serial path). Results are bit-identical for any
   // value — see the determinism contract in harness/sweep_runner.h.
   unsigned jobs = 1;
+  // --point-jobs=N: shards *inside* each point (conservative parallel
+  // engine); rides on spec.pointJobs and composes with --jobs. Results are
+  // bit-identical for any value.
+  unsigned pointJobs = 1;
   // --perf-json=<file>: per-point perf telemetry trajectory (empty disables).
   std::string perfJsonPath = "BENCH_sweep.json";
 };

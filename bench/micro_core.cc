@@ -12,8 +12,12 @@
 #include <cstdio>
 #include <memory>
 
+#include <thread>
+
 #include "common/rng.h"
 #include "fault/degraded_topology.h"
+#include "harness/experiment.h"
+#include "harness/spec.h"
 #include "net/network.h"
 #include "obs/net_observer.h"
 #include "routing/hyperx_routing.h"
@@ -297,6 +301,33 @@ net::Network::MemoryFootprint measureFootprint(topo::HyperX::Params shape,
   return network.memoryFootprint();
 }
 
+// Intra-point sharding scaling (DESIGN.md §12): the identical reduced
+// paper-scale fig06 point at --point-jobs=1/2/4. Results are bit-identical
+// by contract, so the rows differ only in wall time and engine telemetry.
+// The speedup is only meaningful when the machine has cores to back the
+// shards — par_scaling_cores records what this run had.
+struct ParScalingRow {
+  std::uint32_t pointJobs = 1;
+  std::uint64_t events = 0;
+  double wallSec = 0.0;
+  double eventsPerSec = 0.0;
+};
+
+ParScalingRow timeParScaling(std::uint32_t pointJobs) {
+  harness::ExperimentSpec spec = harness::scaleSpec("paper");
+  spec.routing = "omniwar";
+  spec.pattern = "ur";
+  spec.injection.rate = 0.05;
+  spec.steady.warmupWindow = 1000;
+  spec.steady.maxWarmupWindows = 2;
+  spec.steady.measureWindow = 2000;
+  spec.steady.drainWindow = 20000;
+  spec.steady.minMeasurePackets = 1;
+  spec.pointJobs = pointJobs;
+  const harness::SweepPoint p = harness::runSweepPoint(spec, spec.injection.rate, 0);
+  return ParScalingRow{pointJobs, p.eventsProcessed, p.wallSeconds, p.eventsPerSec};
+}
+
 net::NetworkConfig paperNetConfig() {
   // Mirrors harness::paperScaleConfig() (experiment.cc) without pulling the
   // harness library into the bench.
@@ -335,6 +366,9 @@ void writeCoreBaseline(const char* path) {
       measureFootprint({{8, 8, 8}, 8}, paperNetConfig());
   const net::Network::MemoryFootprint smallMem =
       measureFootprint({{4, 4, 4}, 4}, net::NetworkConfig{});
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const ParScalingRow parRows[] = {timeParScaling(1), timeParScaling(2),
+                                   timeParScaling(4)};
   std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
               unpooled / 1e6, pooled / 1e6, pooled / unpooled);
   std::printf("topology lookup sweeps: raw %.1f M/s, degraded(0 faults) %.1f M/s "
@@ -346,6 +380,13 @@ void writeCoreBaseline(const char* path) {
               "%.2f Mev/s (%.3fx overhead)\n",
               evpsCounters / 1e6, evps / evpsCounters, evpsTraced / 1e6,
               evps / evpsTraced);
+  std::printf("par scaling (paper-scale point, %u cores): pj1 %.2f Mev/s, "
+              "pj2 %.2f Mev/s, pj4 %.2f Mev/s (%.2fx at 4 shards)\n",
+              cores, parRows[0].eventsPerSec / 1e6, parRows[1].eventsPerSec / 1e6,
+              parRows[2].eventsPerSec / 1e6,
+              parRows[0].eventsPerSec > 0
+                  ? parRows[2].eventsPerSec / parRows[0].eventsPerSec
+                  : 0.0);
   std::printf("idle memory: paper scale %.1f MiB (%.1f KiB/terminal, %.1f B/flit slot), "
               "small scale %.1f MiB (%.1f KiB/terminal)\n",
               static_cast<double>(paperMem.totalBytes) / (1024.0 * 1024.0),
@@ -391,6 +432,28 @@ void writeCoreBaseline(const char* path) {
                "\"wall_sec\": %.4f, \"events_per_sec\": %.1f, \"frozen\": false}\n"
                "  ],\n",
                static_cast<unsigned long long>(e2e.events), e2e.wallSec, evps);
+  // Intra-point shard scaling on the reduced paper-scale point. Wall-clock
+  // speedup requires cores >= shards; par_scaling_cores says whether this
+  // run's ratios mean anything (on a 1-core container they degenerate to
+  // barrier overhead, ~1x or below).
+  std::fprintf(f, "  \"par_scaling_cores\": %u,\n  \"par_scaling\": [\n", cores);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ParScalingRow& row = parRows[i];
+    std::fprintf(f,
+                 "    {\"point_jobs\": %u, \"events\": %llu, \"wall_sec\": %.4f, "
+                 "\"events_per_sec\": %.1f}%s\n",
+                 row.pointJobs, static_cast<unsigned long long>(row.events), row.wallSec,
+                 row.eventsPerSec, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"par_scaling_pj1_events_per_sec\": %.1f,\n"
+               "  \"par_scaling_pj4_events_per_sec\": %.1f,\n"
+               "  \"par_scaling_speedup_pj4\": %.3f,\n",
+               parRows[0].eventsPerSec, parRows[2].eventsPerSec,
+               parRows[0].eventsPerSec > 0
+                   ? parRows[2].eventsPerSec / parRows[0].eventsPerSec
+                   : 0.0);
   std::fprintf(f,
                "  \"packet_alloc_unpooled_per_sec\": %.1f,\n"
                "  \"packet_alloc_pooled_per_sec\": %.1f,\n"

@@ -129,31 +129,84 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
     netCfg.router.faultDropDeadEnd = netCfg.router.faultDropDeadEnd || spec_.fault.drop;
   }
 
+  // Shard plan: contiguous router ID ranges (HyperX numbering makes these
+  // dimension-0 slices). pointJobs clamps to the router count; one shard is
+  // the exact legacy serial construction.
+  pointJobs_ = std::max<std::uint32_t>(1, std::min<std::uint32_t>(
+                                              spec_.pointJobs, topo_->numRouters()));
+
   // Routing algorithms build against the *base* topology: coordinate math is
   // unaffected by missing links, and faults reach them via the dead-port mask.
+  // One instance per shard: adaptive algorithms keep mutable scratch (masked
+  // route caches) that two workers must not share.
   const std::string algo = spec_.routing.empty() ? family.defaultRouting : spec_.routing;
-  routing_ = registry.routing(family.name, algo).build(*topo_, params);
-  network_ = std::make_unique<net::Network>(sim_, effectiveTopology(), *routing_, netCfg);
+  net::ShardLayout layout;
+  if (pointJobs_ == 1) {
+    layout.sims.push_back(&sim_);
+  } else {
+    plan_ = sim::par::contiguousShards(topo_->numRouters(), pointJobs_);
+    pointJobs_ = plan_.numShards;
+    mail_ = std::make_unique<sim::par::Mailboxes>(pointJobs_);
+    layout.plan = &plan_;
+    layout.mail = mail_.get();
+    for (std::uint32_t s = 0; s < pointJobs_; ++s) {
+      shardSims_.push_back(std::make_unique<sim::Simulator>());
+      layout.sims.push_back(shardSims_.back().get());
+    }
+  }
+  for (std::uint32_t s = 0; s < pointJobs_; ++s) {
+    routing_.push_back(registry.routing(family.name, algo).build(*topo_, params));
+    layout.routing.push_back(routing_.back().get());
+  }
+  network_ = std::make_unique<net::Network>(layout, effectiveTopology(), netCfg);
   if (spec_.fault.active()) {
     network_->setDeadPortMask(&mask_);
     if (spec_.fault.transient()) {
+      // The controller lives in sim_ — the control simulator when sharded.
+      // The parallel engine runs control events below kEpsControl only after
+      // every shard has finished all strictly-earlier ticks, so the mask flip
+      // precedes all same-tick routing reads exactly as in the serial order.
       faultCtrl_ = std::make_unique<fault::FaultController>(sim_, mask_, faultSet_,
                                                             spec_.fault.at, spec_.fault.until);
     }
   }
-  pattern_ = registry.pattern(spec_.pattern).build(*topo_, spec_.patternSeed);
-  injector_ = std::make_unique<traffic::SyntheticInjector>(sim_, *network_, *pattern_,
-                                                           spec_.injection);
+
+  // One injector per lane, each driving its shard's terminals from its
+  // shard's simulator. Injection decisions are a pure per-node function of
+  // (seed, node) — see traffic/injector.h — so the union of the per-shard
+  // injections equals the serial injector's stream exactly. Patterns are
+  // per-lane instances of the same (pattern, seed) pair: identical tables,
+  // no cross-thread sharing.
+  for (std::uint32_t l = 0; l < network_->numLanes(); ++l) {
+    patterns_.push_back(registry.pattern(spec_.pattern).build(*topo_, spec_.patternSeed));
+    traffic::SyntheticInjector::Params inj = spec_.injection;
+    if (network_->numLanes() > 1) {
+      for (NodeId n = 0; n < network_->numNodes(); ++n) {
+        if (network_->laneOfNode(n) == l) inj.nodes.push_back(n);
+      }
+    }
+    injectors_.push_back(std::make_unique<traffic::SyntheticInjector>(
+        *layout.sims[l], *network_, *patterns_[l], inj));
+  }
 
   if constexpr (obs::kCompiledIn) {
     if (spec_.obs.enabled()) {
-      observer_ = std::make_unique<obs::NetObserver>(effectiveTopology(),
-                                                     spec_.net.router.numVcs, spec_.obs);
-      network_->setObserver(observer_.get());
+      // One observer per lane (hot-path hooks must never cross threads).
+      // Lane 0 is the primary: it owns the gauge registry the sampler polls
+      // (gauges read lane-summed network totals, so the rows are shard-count
+      // invariant) and collects the sampler rows; traces and routing counters
+      // are merged across all lanes after the run.
+      std::vector<obs::NetObserver*> raw;
+      for (std::uint32_t l = 0; l < network_->numLanes(); ++l) {
+        observers_.push_back(std::make_unique<obs::NetObserver>(
+            effectiveTopology(), spec_.net.router.numVcs, spec_.obs));
+        raw.push_back(observers_.back().get());
+      }
+      network_->setObservers(raw);
       // Pull gauges over the network's aggregate counters (polled at sampler
       // cadence / diagnostic dumps only, so the per-call cost is irrelevant).
       net::Network* net = network_.get();
-      obs::Registry& reg = observer_->registry();
+      obs::Registry& reg = observers_[0]->registry();
       reg.gauge(obs::gauges::kFlitsInjected,
                 [net] { return static_cast<double>(net->flitsInjected()); });
       reg.gauge(obs::gauges::kFlitsEjected,
@@ -172,10 +225,42 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
       reg.gauge(obs::gauges::kPacketsOutstanding,
                 [net] { return static_cast<double>(net->packetsOutstanding()); });
       if (spec_.obs.sampling()) {
-        sampler_ = std::make_unique<obs::Sampler>(sim_, *observer_,
+        sampler_ = std::make_unique<obs::Sampler>(sim_, *observers_[0],
                                                   spec_.obs.sampleInterval,
                                                   spec_.obs.stallWindow);
       }
+    }
+  }
+
+  if (pointJobs_ == 1) {
+    serial_ = std::make_unique<sim::SerialBackend>(sim_);
+    backend_ = serial_.get();
+  } else {
+    // Lookahead: the minimum cross-shard channel latency. A plan with no
+    // cross-shard channels imposes no bound; fall back to the network-wide
+    // minimum so windows stay finite.
+    Tick lookahead = network_->crossShardLookahead();
+    std::string detail = network_->lookaheadDetail();
+    if (lookahead == kTickInvalid) {
+      lookahead = network_->minChannelLatency() != kTickInvalid
+                      ? network_->minChannelLatency()
+                      : 1;
+      detail = "no cross-shard channels";
+    }
+    engine_ = std::make_unique<sim::par::Engine>(layout.sims, &sim_, mail_.get(),
+                                                 lookahead, detail);
+    engine_->setBarrierHook([net = network_.get()] { net->drainDeferredFrees(); });
+    backend_ = engine_.get();
+    if (sampler_ != nullptr) {
+      sim::par::Engine* eng = engine_.get();
+      sampler_->setBusyProbe([eng] { return eng->busy(); });
+      std::vector<obs::NetObserver*> all;
+      for (auto& o : observers_) all.push_back(o.get());
+      sampler_->setCreditStallProvider([all = std::move(all)] {
+        std::uint64_t total = 0;
+        for (const auto* o : all) total += o->creditStallCount();
+        return total;
+      });
     }
   }
 }
@@ -187,7 +272,10 @@ const topo::HyperX& Experiment::hyperx() const {
 }
 
 metrics::SteadyStateResult Experiment::run() {
-  return metrics::runSteadyState(sim_, *network_, *injector_, spec_.steady);
+  std::vector<traffic::SyntheticInjector*> injectors;
+  injectors.reserve(injectors_.size());
+  for (auto& inj : injectors_) injectors.push_back(inj.get());
+  return metrics::runSteadyState(*backend_, *network_, injectors, spec_.steady);
 }
 
 namespace {
@@ -233,14 +321,22 @@ SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t in
   p.result = exp.run();
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - t0;
   p.wallSeconds = elapsed.count();
-  p.eventsProcessed = exp.sim().eventsProcessed();
+  p.eventsProcessed = exp.backend().eventsProcessed();
   p.eventsPerSec = p.wallSeconds > 0.0
                        ? static_cast<double>(p.eventsProcessed) / p.wallSeconds
                        : 0.0;
+  p.pointJobs = exp.pointJobs();
   if constexpr (obs::kCompiledIn) {
-    if (obs::NetObserver* o = exp.observer()) {
-      p.trace = o->trace();
-      p.samples = o->samples();
+    if (exp.observer() != nullptr) {
+      // Merge the per-lane traces and canonicalize: serial and sharded runs
+      // record the same event multiset in different interleavings, and the
+      // canonical (ts, id, kind) order makes the serialized trace identical.
+      // Sampler rows live on the lane-0 observer only.
+      for (const auto& o : exp.observers()) {
+        for (const obs::TraceEvent& e : o->trace().events()) p.trace.add(e);
+      }
+      obs::canonicalize(p.trace);
+      p.samples = exp.observer()->samples();
     }
   }
   return p;

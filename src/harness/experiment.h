@@ -18,6 +18,9 @@
 #include "obs/net_observer.h"
 #include "obs/sampler.h"
 #include "routing/hyperx_routing.h"
+#include "sim/backend.h"
+#include "sim/par/engine.h"
+#include "sim/par/shard_plan.h"
 #include "sim/simulator.h"
 #include "topo/hyperx.h"
 #include "traffic/injector.h"
@@ -53,11 +56,20 @@ ExperimentConfig scaleConfig(const std::string& name);
 
 // One self-contained simulation instance. Construct fresh per data point so
 // measurements never leak state across points.
+//
+// With spec.pointJobs > 1 the network is sharded across that many simulators
+// (contiguous router ranges, sim/par/shard_plan.h) and run() drives the
+// conservative parallel engine; sim_ becomes the control simulator hosting
+// the fault controller and sampler. Every deterministic output — steady-state
+// result, trace, samples, routing counters — is bit-identical to pointJobs=1.
 class Experiment {
  public:
   explicit Experiment(const ExperimentSpec& spec);
   explicit Experiment(const ExperimentConfig& config) : Experiment(config.toSpec()) {}
 
+  // The control simulator: the only simulator when pointJobs == 1, the
+  // sampler/fault-controller host otherwise. Network components live in the
+  // shard simulators when sharded — drive time through backend(), not here.
   sim::Simulator& sim() { return sim_; }
   // The base (fault-free) topology the factories built.
   const topo::Topology& topology() const { return *topo_; }
@@ -69,40 +81,65 @@ class Experiment {
   // CHECK'd downcast for HyperX-specific callers (benches, examples).
   const topo::HyperX& hyperx() const;
   net::Network& network() { return *network_; }
-  traffic::SyntheticInjector& injector() { return *injector_; }
-  routing::RoutingAlgorithm& routing() { return *routing_; }
+  // Lane-0 injector (the only one when pointJobs == 1).
+  traffic::SyntheticInjector& injector() { return *injectors_[0]; }
+  const std::vector<std::unique_ptr<traffic::SyntheticInjector>>& injectors() {
+    return injectors_;
+  }
+  // Lane-0 routing instance (sharded runs build one per shard — adaptive
+  // algorithms keep per-instance scratch two workers must not share).
+  routing::RoutingAlgorithm& routing() { return *routing_[0]; }
   const ExperimentSpec& spec() const { return spec_; }
+  // Effective shard count: spec.pointJobs clamped to the router count.
+  std::uint32_t pointJobs() const { return pointJobs_; }
+  // The engine that run() drives: SerialBackend over sim() when pointJobs is
+  // 1, the conservative parallel engine otherwise.
+  sim::SimBackend& backend() { return *backend_; }
+  // Non-null only when sharded (telemetry: per-shard event counts, windows).
+  sim::par::Engine* parEngine() { return engine_.get(); }
   // Fault set applied to this experiment (empty when fault-free).
   const fault::FaultSet& faultSet() const { return faultSet_; }
   const fault::DeadPortMask* deadPortMask() const {
     return spec_.fault.active() ? &mask_ : nullptr;
   }
-  // Attached observability sink; nullptr when spec.obs is all-defaults or the
-  // obs layer is compiled out.
-  obs::NetObserver* observer() { return observer_.get(); }
+  // Lane-0 observability sink (the only one when pointJobs == 1); nullptr
+  // when spec.obs is all-defaults or the obs layer is compiled out.
+  obs::NetObserver* observer() { return observers_.empty() ? nullptr : observers_[0].get(); }
+  // All per-lane observers (one per shard when sharded). Traces and routing
+  // counters must be merged across them — see runSweepPoint.
+  const std::vector<std::unique_ptr<obs::NetObserver>>& observers() { return observers_; }
 
   // Runs warmup + measurement at the configured injection rate.
   metrics::SteadyStateResult run();
 
  private:
   ExperimentSpec spec_;
-  sim::Simulator sim_;
+  sim::Simulator sim_;  // control sim when sharded, the sim otherwise
+  std::uint32_t pointJobs_ = 1;
+  sim::par::ShardPlan plan_;
+  std::vector<std::unique_ptr<sim::Simulator>> shardSims_;
+  std::unique_ptr<sim::par::Mailboxes> mail_;
   std::unique_ptr<topo::Topology> topo_;
   // Fault state. Declaration order matters: degraded_ holds references to
   // topo_ and mask_, so it must be declared (and thus destroyed) after them.
   fault::FaultSet faultSet_;
   fault::DeadPortMask mask_;
   std::unique_ptr<fault::DegradedTopology> degraded_;
-  std::unique_ptr<routing::RoutingAlgorithm> routing_;
+  std::vector<std::unique_ptr<routing::RoutingAlgorithm>> routing_;  // one per shard
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<fault::FaultController> faultCtrl_;
-  std::unique_ptr<traffic::TrafficPattern> pattern_;
-  std::unique_ptr<traffic::SyntheticInjector> injector_;
-  // Observability (optional): the observer outlives the sampler that polls it
-  // and the network that holds a raw pointer to it; both are declared after
-  // network_ so teardown order is safe.
-  std::unique_ptr<obs::NetObserver> observer_;
+  std::vector<std::unique_ptr<traffic::TrafficPattern>> patterns_;   // one per lane
+  std::vector<std::unique_ptr<traffic::SyntheticInjector>> injectors_;  // one per lane
+  // Observability (optional): the observers outlive the sampler that polls
+  // them and the network that holds raw pointers to them; all are declared
+  // after network_ so teardown order is safe.
+  std::vector<std::unique_ptr<obs::NetObserver>> observers_;
   std::unique_ptr<obs::Sampler> sampler_;
+  // Engine last: its destructor joins the workers while every component they
+  // might touch is still alive.
+  std::unique_ptr<sim::par::Engine> engine_;
+  std::unique_ptr<sim::SimBackend> serial_;
+  sim::SimBackend* backend_ = nullptr;
 };
 
 // Load-latency sweep: fresh Experiment per load. Stops early once two
@@ -117,6 +154,9 @@ struct SweepPoint {
   double wallSeconds = 0.0;
   std::uint64_t eventsProcessed = 0;
   double eventsPerSec = 0.0;
+  // Effective intra-point shard count (spec.pointJobs clamped to the router
+  // count). Telemetry only — results are pointJobs-invariant.
+  std::uint32_t pointJobs = 1;
   // Observability captures (empty unless the spec enables them). Deterministic
   // like `result`: trace sampling keys on packet ids, sampler rows on ticks.
   obs::TraceBuffer trace;

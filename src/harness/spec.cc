@@ -42,8 +42,8 @@ const std::set<std::string>& structuredKeys() {
       "fault-rate", "fault-seed", "fault-links", "fault-routers", "fault-at",
       "fault-until", "fault-drop",
       // front-end operational keys, never part of an experiment's identity
-      "loads", "csv", "jobs", "perf-json", "experiment", "config", "scale",
-      "algorithms", "list",
+      "loads", "csv", "jobs", "point-jobs", "perf-json", "experiment", "config",
+      "scale", "algorithms", "list",
       // observability (operational; omitted from serialize())
       "trace-out", "trace-sample", "metrics-json", "sample-interval",
       "stall-window"};
@@ -177,6 +177,8 @@ void ExperimentSpec::applyFlags(const Flags& flags) {
   injection = injectionFromFlags(flags, injection);
   fault = faultSpecFromFlags(flags, fault);
   obs = obsOptionsFromFlags(flags, obs);
+  pointJobs = u32Flag(flags, "point-jobs", pointJobs);
+  HXWAR_CHECK_MSG(pointJobs >= 1, "point-jobs must be >= 1");
   if (flags.has("pattern-seed")) {
     patternSeed = flags.u64("pattern-seed", patternSeed);
   } else if (flags.has("seed")) {

@@ -80,6 +80,15 @@ struct ExperimentSpec {
   // a traced run simulates bit-identically to an untraced one.
   obs::ObsOptions obs;
 
+  // --point-jobs=N: worker threads *inside* one sweep point — the network is
+  // sharded across N simulators driven by the conservative parallel engine
+  // (sim/par, DESIGN.md §12). Composes with --jobs (points × shards).
+  // Operational like `obs`: never part of an experiment's identity — every
+  // output surface except wall-clock telemetry is bit-identical for any
+  // value — so serialize() omits it. Clamped to the router count at
+  // construction.
+  std::uint32_t pointJobs = 1;
+
   ExperimentSpec();  // installs the builder-default network config
 
   // Default spec overridden by every recognized flag; defaults match the

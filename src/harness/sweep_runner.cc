@@ -69,7 +69,8 @@ std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
 
 void SweepPerfLog::add(const std::string& series, const SweepPoint& point) {
   entries_.push_back(Entry{series, point.load, point.result.saturated,
-                           point.wallSeconds, point.eventsProcessed, point.eventsPerSec});
+                           point.wallSeconds, point.eventsProcessed, point.eventsPerSec,
+                           point.pointJobs});
   totalWall_ += point.wallSeconds;
   totalEvents_ += point.eventsProcessed;
 }
@@ -103,9 +104,10 @@ bool SweepPerfLog::writeJson(const std::string& path, const std::string& bench,
     const Entry& e = entries_[i];
     std::fprintf(f,
                  "    {\"series\": \"%s\", \"load\": %.6f, \"saturated\": %s, "
-                 "\"wall_seconds\": %.6f, \"events\": %llu, \"events_per_second\": %.1f}%s\n",
+                 "\"wall_seconds\": %.6f, \"events\": %llu, \"events_per_second\": %.1f, "
+                 "\"point_jobs\": %u}%s\n",
                  e.series.c_str(), e.load, e.saturated ? "true" : "false", e.wallSeconds,
-                 static_cast<unsigned long long>(e.events), e.eventsPerSec,
+                 static_cast<unsigned long long>(e.events), e.eventsPerSec, e.pointJobs,
                  i + 1 < entries_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -65,6 +65,8 @@ class SweepPerfLog {
     double wallSeconds = 0.0;
     std::uint64_t events = 0;
     double eventsPerSec = 0.0;
+    // Intra-point shard count the point ran with (see --point-jobs).
+    std::uint32_t pointJobs = 1;
   };
 
   void add(const std::string& series, const SweepPoint& point);

@@ -1,5 +1,8 @@
 #include "metrics/steady_state.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/assert.h"
 #include "common/log.h"
 #include "obs/net_observer.h"
@@ -15,27 +18,74 @@ void watchdog(const net::Network& network, std::uint64_t movesBefore) {
                   "network stalled: possible routing deadlock");
 }
 
+// Per-lane measurement accumulator. Each lane's listener callbacks run on
+// that lane's worker thread (or the one serial thread); nothing here is
+// shared across lanes, and everything is merged in lane order between run()
+// calls — by integer sums or sorted-sample ranks, never by arrival order —
+// so the merged statistics are identical for any shard count.
+struct LaneAcc {
+  // Warmup: mean latency of packets ejected in the current window.
+  std::uint64_t winCount = 0;
+  std::uint64_t winLatSum = 0;
+
+  // Measurement (marked packets only).
+  std::vector<Tick> latencies;  // raw samples, for exact percentiles
+  std::uint64_t latSum = 0;
+  std::uint64_t hopsSum = 0;
+  std::uint64_t deroutesSum = 0;
+  std::uint64_t ejected = 0;
+  std::uint64_t dropped = 0;
+  obs::LogHistogram hist;
+  struct HopBucket {
+    std::uint64_t count = 0;
+    std::uint64_t latSum = 0;
+  };
+  std::vector<HopBucket> perHop;  // indexed by hop count
+  struct StretchBucket {
+    std::uint64_t count = 0;
+    std::uint64_t hopsSum = 0;
+  };
+  std::vector<StretchBucket> byMinHops;  // indexed by minimal hop count
+};
+
+double percentileOf(const std::vector<Tick>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Same nearest-rank convention as SampleStats::percentile.
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]);
+}
+
 }  // namespace
 
-SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
-                                 traffic::SyntheticInjector& injector,
+SteadyStateResult runSteadyState(sim::SimBackend& backend, net::Network& network,
+                                 const std::vector<traffic::SyntheticInjector*>& injectors,
                                  const SteadyStateConfig& config) {
+  HXWAR_CHECK_MSG(!injectors.empty(), "steady state needs at least one injector");
   SteadyStateResult result;
-  result.offered = injector.rate();
+  result.offered = injectors[0]->rate();
+  for (const auto* inj : injectors) {
+    HXWAR_CHECK_MSG(inj->rate() == result.offered,
+                    "all steady-state injectors must share one offered rate");
+  }
 
-  // Lifecycle listener for the whole run: the ejection hook is re-pointed
-  // between the warmup and measurement phases.
-  net::CallbackListener listener;
+  const std::uint32_t lanes = network.numLanes();
+  std::vector<LaneAcc> acc(lanes);
+  std::vector<net::CallbackListener> listeners(lanes);
 
-  // Window latency accumulator used during warmup.
-  StreamingStats windowLatency;
-  listener.ejected = [&](const net::Packet& pkt) {
-    windowLatency.add(static_cast<double>(pkt.ejectedAt - pkt.createdAt));
-  };
-  network.setListener(&listener);
+  // Lifecycle listeners for the whole run: the ejection hooks are re-pointed
+  // between the warmup and measurement phases (only while the backend is
+  // parked between run() calls — never mid-window).
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    LaneAcc& a = acc[l];
+    listeners[l].ejected = [&a](const net::Packet& pkt) {
+      a.winCount += 1;
+      a.winLatSum += pkt.ejectedAt - pkt.createdAt;
+    };
+    network.setListener(l, &listeners[l]);
+  }
 
-  injector.start();
-  const Tick start = sim.now();
+  for (auto* inj : injectors) inj->start();
+  const Tick start = backend.now();
 
   // --- warmup ---
   bool stable = false;
@@ -43,11 +93,14 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   std::uint32_t stableCount = 0;
   std::uint64_t prevBacklog = 0;
   for (std::uint32_t w = 0; w < config.maxWarmupWindows; ++w) {
-    windowLatency.reset();
+    for (auto& a : acc) {
+      a.winCount = 0;
+      a.winLatSum = 0;
+    }
     const std::uint64_t movesBefore = network.flitMovements();
     const std::uint64_t ejectedBefore = network.flitsEjected();
     const std::uint64_t droppedBefore = network.flitsDropped();
-    sim.run(sim.now() + config.warmupWindow);
+    backend.run(backend.now() + config.warmupWindow);
     watchdog(network, movesBefore);
 
     // A saturated network can show stable latencies for the packets it does
@@ -61,7 +114,7 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
         static_cast<double>(network.flitsEjected() - ejectedBefore +
                             network.flitsDropped() - droppedBefore) /
         (static_cast<double>(network.numNodes()) * static_cast<double>(config.warmupWindow));
-    const bool underDelivering = windowAccepted < config.acceptedTol * injector.rate();
+    const bool underDelivering = windowAccepted < config.acceptedTol * result.offered;
 
     const std::uint64_t backlog = network.totalSourceBacklogFlits();
     const bool backlogGrowing =
@@ -70,68 +123,83 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
         backlog > network.numNodes();  // ignore noise at trivial backlogs
     prevBacklog = backlog;
 
-    if (windowLatency.count() > 0 && prevMean > 0.0 && !backlogGrowing && !underDelivering) {
-      const double rel = std::abs(windowLatency.mean() - prevMean) / prevMean;
+    std::uint64_t winCount = 0;
+    std::uint64_t winLatSum = 0;
+    for (const auto& a : acc) {
+      winCount += a.winCount;
+      winLatSum += a.winLatSum;
+    }
+    const double winMean =
+        winCount > 0 ? static_cast<double>(winLatSum) / static_cast<double>(winCount) : 0.0;
+    if (winCount > 0 && prevMean > 0.0 && !backlogGrowing && !underDelivering) {
+      const double rel = std::abs(winMean - prevMean) / prevMean;
       stableCount = (rel <= config.stabilityTol) ? stableCount + 1 : 0;
     } else {
       stableCount = 0;
     }
-    prevMean = windowLatency.count() > 0 ? windowLatency.mean() : prevMean;
+    prevMean = winCount > 0 ? winMean : prevMean;
     if (stableCount >= config.stableWindows) {
       stable = true;
-      result.warmupCycles = sim.now() - start;
+      result.warmupCycles = backend.now() - start;
       break;
     }
   }
   if (!stable) {
     result.saturated = true;
-    result.warmupCycles = sim.now() - start;
+    result.warmupCycles = backend.now() - start;
   }
 
   // --- measurement ---
   // Even when saturated we measure accepted throughput (needed for the
   // Fig. 6g throughput comparison); latency statistics are only meaningful
   // when the warmup stabilized.
-  SampleStats latency;
-  StreamingStats hops;
-  StreamingStats deroutes;
-  StreamingStats stretch;
-  std::vector<StreamingStats> perHopLatency;
-  const Tick mStart = sim.now();
+  const Tick mStart = backend.now();
   const Tick mEnd = mStart + config.measureWindow;
-  std::uint64_t markedEjected = 0;
-  std::uint64_t markedDropped = 0;
   const topo::Topology& topology = network.topology();
 
-  listener.ejected = [&](const net::Packet& pkt) {
-    if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
-    const Tick lat = pkt.ejectedAt - pkt.createdAt;
-    latency.add(static_cast<double>(lat));
-    result.latencyHistogram.add(lat);
-    if (pkt.hops >= perHopLatency.size()) perHopLatency.resize(pkt.hops + 1);
-    perHopLatency[pkt.hops].add(static_cast<double>(lat));
-    hops.add(pkt.hops);
-    deroutes.add(pkt.deroutes);
-    // Path stretch against the effective topology: on a degraded network
-    // minHops is the BFS distance over surviving links, so routing around a
-    // fault on a shortest reachable path still scores 1.0.
-    const std::uint32_t minHops =
-        topology.minHops(topology.nodeRouter(pkt.src), topology.nodeRouter(pkt.dst));
-    if (minHops > 0) {
-      stretch.add(static_cast<double>(pkt.hops) / static_cast<double>(minHops));
-    }
-    markedEjected += 1;
-  };
-  listener.dropped = [&](const net::Packet& pkt) {
-    if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
-    markedDropped += 1;
+  for (std::uint32_t l = 0; l < lanes; ++l) {
+    LaneAcc& a = acc[l];
+    listeners[l].ejected = [&a, &topology, mStart, mEnd](const net::Packet& pkt) {
+      if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
+      const Tick lat = pkt.ejectedAt - pkt.createdAt;
+      a.latencies.push_back(lat);
+      a.latSum += lat;
+      a.hist.add(static_cast<double>(lat));
+      if (pkt.hops >= a.perHop.size()) a.perHop.resize(pkt.hops + 1);
+      a.perHop[pkt.hops].count += 1;
+      a.perHop[pkt.hops].latSum += lat;
+      a.hopsSum += pkt.hops;
+      a.deroutesSum += pkt.deroutes;
+      // Path stretch against the effective topology: on a degraded network
+      // minHops is the BFS distance over surviving links, so routing around a
+      // fault on a shortest reachable path still scores 1.0. Bucketed by
+      // minHops (integer sums) so the mean is order-invariant.
+      const std::uint32_t minHops =
+          topology.minHops(topology.nodeRouter(pkt.src), topology.nodeRouter(pkt.dst));
+      if (minHops > 0) {
+        if (minHops >= a.byMinHops.size()) a.byMinHops.resize(minHops + 1);
+        a.byMinHops[minHops].count += 1;
+        a.byMinHops[minHops].hopsSum += pkt.hops;
+      }
+      a.ejected += 1;
+    };
+    listeners[l].dropped = [&a, mStart, mEnd](const net::Packet& pkt) {
+      if (pkt.createdAt < mStart || pkt.createdAt >= mEnd) return;
+      a.dropped += 1;
+    };
+  }
+
+  const auto markedDone = [&acc] {
+    std::uint64_t done = 0;
+    for (const auto& a : acc) done += a.ejected + a.dropped;
+    return done;
   };
 
   const std::uint64_t createdBefore = network.packetsCreated();
   const std::uint64_t ejectedFlitsBefore = network.flitsEjected();
   {
     const std::uint64_t movesBefore = network.flitMovements();
-    sim.run(mEnd);
+    backend.run(mEnd);
     watchdog(network, movesBefore);
   }
   const std::uint64_t markedCreated = network.packetsCreated() - createdBefore;
@@ -142,23 +210,54 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
   // Drain: keep injecting (per the paper) until every marked packet arrives
   // or the drain budget runs out.
   const Tick drainDeadline = mEnd + config.drainWindow;
-  while (!result.saturated && markedEjected + markedDropped < markedCreated &&
-         sim.now() < drainDeadline) {
+  while (!result.saturated && markedDone() < markedCreated &&
+         backend.now() < drainDeadline) {
     const std::uint64_t movesBefore = network.flitMovements();
-    sim.run(std::min(sim.now() + config.warmupWindow, drainDeadline));
+    backend.run(std::min(backend.now() + config.warmupWindow, drainDeadline));
     watchdog(network, movesBefore);
   }
-  if (markedEjected + markedDropped < markedCreated && !result.saturated) {
+  if (markedDone() < markedCreated && !result.saturated) {
     // Could not drain: the network is effectively saturated at this load.
     result.saturated = true;
   }
+
+  for (auto* inj : injectors) inj->stop();
+  for (std::uint32_t l = 0; l < lanes; ++l) network.setListener(l, nullptr);
+
+  // --- merge (lane order; integer sums and sorted samples only) ---
+  std::uint64_t markedEjected = 0;
+  std::uint64_t markedDropped = 0;
+  std::vector<Tick> latencies;
+  std::uint64_t latSum = 0;
+  std::uint64_t hopsSum = 0;
+  std::uint64_t deroutesSum = 0;
+  std::vector<LaneAcc::HopBucket> perHop;
+  std::vector<LaneAcc::StretchBucket> byMinHops;
+  for (const auto& a : acc) {
+    markedEjected += a.ejected;
+    markedDropped += a.dropped;
+    latencies.insert(latencies.end(), a.latencies.begin(), a.latencies.end());
+    latSum += a.latSum;
+    hopsSum += a.hopsSum;
+    deroutesSum += a.deroutesSum;
+    result.latencyHistogram.merge(a.hist);
+    if (perHop.size() < a.perHop.size()) perHop.resize(a.perHop.size());
+    for (std::size_t h = 0; h < a.perHop.size(); ++h) {
+      perHop[h].count += a.perHop[h].count;
+      perHop[h].latSum += a.perHop[h].latSum;
+    }
+    if (byMinHops.size() < a.byMinHops.size()) byMinHops.resize(a.byMinHops.size());
+    for (std::size_t m = 0; m < a.byMinHops.size(); ++m) {
+      byMinHops[m].count += a.byMinHops[m].count;
+      byMinHops[m].hopsSum += a.byMinHops[m].hopsSum;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+
   if (!result.saturated && markedEjected < config.minMeasurePackets) {
     HXWAR_LOG_WARN("steady-state measurement captured only %llu packets",
                    static_cast<unsigned long long>(markedEjected));
   }
-
-  injector.stop();
-  network.setListener(nullptr);
 
   result.packetsMeasured = markedEjected;
   result.packetsDropped = markedDropped;
@@ -167,28 +266,54 @@ SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
         static_cast<double>(markedDropped) / static_cast<double>(markedCreated);
   }
   if (markedEjected > 0) {
-    result.latencyMean = latency.mean();
-    result.latencyP50 = latency.percentile(0.50);
-    result.latencyP90 = latency.percentile(0.90);
-    result.latencyP99 = latency.percentile(0.99);
-    result.latencyP999 = latency.percentile(0.999);
-    result.latencyMin = latency.min();
-    result.latencyMax = latency.max();
-    result.avgHops = hops.mean();
-    result.avgDeroutes = deroutes.mean();
-    result.avgStretch = stretch.count() > 0 ? stretch.mean() : 0.0;
-    result.hopLatency.resize(perHopLatency.size());
-    for (std::size_t h = 0; h < perHopLatency.size(); ++h) {
-      result.hopLatency[h].packets = perHopLatency[h].count();
-      result.hopLatency[h].meanLatency = perHopLatency[h].mean();
+    const auto n = static_cast<double>(markedEjected);
+    result.latencyMean = static_cast<double>(latSum) / n;
+    result.latencyP50 = percentileOf(latencies, 0.50);
+    result.latencyP90 = percentileOf(latencies, 0.90);
+    result.latencyP99 = percentileOf(latencies, 0.99);
+    result.latencyP999 = percentileOf(latencies, 0.999);
+    result.latencyMin = static_cast<double>(latencies.front());
+    result.latencyMax = static_cast<double>(latencies.back());
+    result.avgHops = static_cast<double>(hopsSum) / n;
+    result.avgDeroutes = static_cast<double>(deroutesSum) / n;
+    std::uint64_t stretchCount = 0;
+    double stretchSum = 0.0;
+    for (std::size_t m = 1; m < byMinHops.size(); ++m) {
+      if (byMinHops[m].count == 0) continue;
+      stretchCount += byMinHops[m].count;
+      stretchSum += static_cast<double>(byMinHops[m].hopsSum) / static_cast<double>(m);
+    }
+    result.avgStretch =
+        stretchCount > 0 ? stretchSum / static_cast<double>(stretchCount) : 0.0;
+    result.hopLatency.resize(perHop.size());
+    for (std::size_t h = 0; h < perHop.size(); ++h) {
+      result.hopLatency[h].packets = perHop[h].count;
+      if (perHop[h].count > 0) {
+        result.hopLatency[h].meanLatency =
+            static_cast<double>(perHop[h].latSum) / static_cast<double>(perHop[h].count);
+      }
     }
   }
   if constexpr (obs::kCompiledIn) {
-    if (network.observer() != nullptr) {
-      result.routing = network.observer()->routingCounters();
+    // Sum routing telemetry across lane observers in lane order. Lanes may
+    // share one observer (legacy setObserver fan-out): count each once.
+    std::vector<const obs::NetObserver*> seen;
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      const obs::NetObserver* o = network.observer(l);
+      if (o == nullptr) continue;
+      if (std::find(seen.begin(), seen.end(), o) != seen.end()) continue;
+      seen.push_back(o);
+      result.routing.merge(o->routingCounters());
     }
   }
   return result;
+}
+
+SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
+                                 traffic::SyntheticInjector& injector,
+                                 const SteadyStateConfig& config) {
+  sim::SerialBackend backend(sim);
+  return runSteadyState(backend, network, {&injector}, config);
 }
 
 }  // namespace hxwar::metrics

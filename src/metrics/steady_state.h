@@ -27,6 +27,7 @@
 #include "net/network.h"
 #include "obs/histogram.h"
 #include "obs/obs.h"
+#include "sim/backend.h"
 #include "sim/simulator.h"
 #include "traffic/injector.h"
 
@@ -88,8 +89,25 @@ struct SteadyStateResult {
   obs::RoutingCounters routing;
 };
 
-// Runs warmup + measurement for an already-constructed network/injector.
-// The injector is started by this call and left stopped afterwards.
+// Runs warmup + measurement for an already-constructed network.
+//
+// Backend-driven form: `injectors` holds one injector per network lane (the
+// sharded harness passes one per shard, each covering that shard's nodes; the
+// serial harness passes one covering every node). All injectors are started
+// by this call and left stopped afterwards; every one must use the same
+// offered rate.
+//
+// Every statistic is accumulated per lane and merged in lane order with
+// integer sums (means = sum/count, percentiles = nearest-rank over the merged
+// sorted samples), so the result is bit-identical for any shard count —
+// including every warmup stability decision, which is recomputed from the
+// same merged integers on both engines.
+SteadyStateResult runSteadyState(sim::SimBackend& backend, net::Network& network,
+                                 const std::vector<traffic::SyntheticInjector*>& injectors,
+                                 const SteadyStateConfig& config);
+
+// Legacy serial form: wraps the Simulator in a SerialBackend and drives the
+// single injector over lane 0.
 SteadyStateResult runSteadyState(sim::Simulator& sim, net::Network& network,
                                  traffic::SyntheticInjector& injector,
                                  const SteadyStateConfig& config);

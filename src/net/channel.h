@@ -10,12 +10,22 @@
 // arrays; the in-flight pipe is a Ring (16-byte header, nothing allocated
 // while idle) because paper-scale networks carry tens of thousands of mostly
 // idle channels.
+//
+// Sharded execution: a channel is a Component of the simulator that owns its
+// *receiver*. When the network classifies a channel cross-shard at build
+// time (bindRemote), send() no longer schedules — the sender's shard posts
+// (arrival, payload) into its outbox and the parallel engine replays the
+// post into this channel via deliverRemote() at the next barrier. The
+// receiver-side event structure (one delivery event per flit send, one per
+// distinct credit-arrival tick) is identical to the local path, which is
+// what keeps the sharded replay bit-identical to the serial engine.
 #pragma once
 
 #include "common/assert.h"
 #include "common/ring.h"
 #include "common/types.h"
 #include "net/packet.h"
+#include "sim/par/mailbox.h"
 #include "sim/simulator.h"
 
 namespace hxwar::net {
@@ -35,17 +45,40 @@ class CreditSink {
 class FlitChannel final : public sim::Component {
  public:
   FlitChannel(sim::Simulator& sim, Tick latency, FlitSink* sink, PortId sinkPort)
-      : Component(sim), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+      : Component(sim), latency_(latency), srcSim_(&sim), sink_(sink), sinkPort_(sinkPort) {
     HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
+  }
+
+  // Classifies this channel cross-shard: the sender lives in `srcSim`'s
+  // shard and sends become posts into `outbox` (the sender shard's mailbox
+  // toward the receiver shard). Called once during network wiring.
+  void bindRemote(sim::Simulator* srcSim, std::vector<sim::par::RemotePost>* outbox) {
+    srcSim_ = srcSim;
+    outbox_ = outbox;
   }
 
   // Sends a flit on virtual channel `vc`; delivery after `latency_` cycles.
   void send(VcId vc, Flit flit) {
-    HXWAR_CHECK_MSG(lastSend_ != sim().now(),
+    const Tick now = srcSim_->now();
+    HXWAR_CHECK_MSG(lastSend_ != now,
                     "flit channel overdriven (more than one flit per cycle)");
-    lastSend_ = sim().now();
-    inflight_.push_back(Entry{sim().now() + latency_, vc, flit});
-    sim().schedule(sim().now() + latency_, sim::kEpsDeliver, this, 0);
+    lastSend_ = now;
+    const Tick arrival = now + latency_;
+    if (outbox_ != nullptr) {
+      outbox_->push_back(sim::par::RemotePost{
+          arrival, this, (static_cast<std::uint64_t>(flit.packet) << 32) | flit.bits, vc});
+      return;
+    }
+    inflight_.push_back(Entry{arrival, vc, flit});
+    sim().schedule(arrival, sim::kEpsDeliver, this, 0);
+  }
+
+  // Barrier replay of a cross-shard send: same inflight push and same
+  // one-event-per-send schedule the local path would have done.
+  void deliverRemote(Tick time, std::uint64_t a, std::uint32_t b) override {
+    const Flit flit{static_cast<PacketRef>(a >> 32), static_cast<std::uint32_t>(a)};
+    inflight_.push_back(Entry{time, static_cast<VcId>(b), flit});
+    sim().schedule(time, sim::kEpsDeliver, this, 0);
   }
 
   void processEvent(std::uint64_t) override {
@@ -57,6 +90,7 @@ class FlitChannel final : public sim::Component {
   }
 
   Tick latency() const { return latency_; }
+  bool isRemote() const { return outbox_ != nullptr; }
   std::size_t inflightFlits() const { return inflight_.size(); }
   std::size_t memoryBytes() const { return inflight_.capacityBytes(); }
 
@@ -68,6 +102,8 @@ class FlitChannel final : public sim::Component {
   };
 
   Tick latency_;
+  sim::Simulator* srcSim_;  // sender shard's clock (== &sim() when local)
+  std::vector<sim::par::RemotePost>* outbox_ = nullptr;  // non-null = cross-shard
   FlitSink* sink_;
   PortId sinkPort_;
   common::Ring<Entry> inflight_;
@@ -77,8 +113,16 @@ class FlitChannel final : public sim::Component {
 class CreditChannel final : public sim::Component {
  public:
   CreditChannel(sim::Simulator& sim, Tick latency, CreditSink* sink, PortId sinkPort)
-      : Component(sim), latency_(latency), sink_(sink), sinkPort_(sinkPort) {
+      : Component(sim), latency_(latency), srcSim_(&sim), sink_(sink), sinkPort_(sinkPort) {
     HXWAR_CHECK_MSG(latency_ >= 1, "channel latency must be >= 1 cycle");
+  }
+
+  // See FlitChannel::bindRemote. Credits post one RemotePost each; the
+  // arrival-tick coalescing below moves to the receiver side (deliverRemote),
+  // so the event structure matches the local path exactly.
+  void bindRemote(sim::Simulator* srcSim, std::vector<sim::par::RemotePost>* outbox) {
+    srcSim_ = srcSim;
+    outbox_ = outbox;
   }
 
   // Unlike flits, many credits can enter a channel in one cycle (the crossbar
@@ -87,11 +131,26 @@ class CreditChannel final : public sim::Component {
   // application is commutative (each is `credits += 1` downstream), so the
   // batch is replay-identical to one event per credit (DESIGN.md §10).
   void send(VcId vc) {
-    const Tick arrival = sim().now() + latency_;
+    const Tick arrival = srcSim_->now() + latency_;
+    if (outbox_ != nullptr) {
+      outbox_->push_back(sim::par::RemotePost{arrival, this, vc, 0});
+      return;
+    }
     inflight_.push_back(Entry{arrival, vc});
     if (lastArrival_ != arrival) {
       lastArrival_ = arrival;
       sim().schedule(arrival, sim::kEpsDeliver, this, 0);
+    }
+  }
+
+  // Barrier replay of a cross-shard credit. Posts from one sender arrive in
+  // send order (ascending arrival), so the lastArrival_ coalescing behaves
+  // exactly as it does on the sender side locally.
+  void deliverRemote(Tick time, std::uint64_t a, std::uint32_t) override {
+    inflight_.push_back(Entry{time, static_cast<VcId>(a)});
+    if (lastArrival_ != time) {
+      lastArrival_ = time;
+      sim().schedule(time, sim::kEpsDeliver, this, 0);
     }
   }
 
@@ -113,6 +172,8 @@ class CreditChannel final : public sim::Component {
   };
 
   Tick latency_;
+  sim::Simulator* srcSim_;  // sender shard's clock (== &sim() when local)
+  std::vector<sim::par::RemotePost>* outbox_ = nullptr;  // non-null = cross-shard
   CreditSink* sink_;
   PortId sinkPort_;
   common::Ring<Entry> inflight_;

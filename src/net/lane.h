@@ -1,0 +1,52 @@
+// Per-shard ("lane") mutable network state.
+//
+// Sharded execution partitions routers and terminals across worker threads;
+// every piece of network state a component mutates on the hot path must be
+// written by exactly one shard. LaneStats groups those per-shard slots:
+// counters (summed on read, which only happens at window barriers or after a
+// run), the lane's listener/observer hooks, and the deferred-free list for
+// packet slots owned by another lane's pool. A single-shard network is lane 0
+// everywhere, so the serial engine runs the identical code path.
+//
+// All counters are commutative accumulations (sums of deltas), so the lane
+// split cannot change any observable total — a requirement for bit-identical
+// serial/parallel replay (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hxwar::obs {
+class NetObserver;
+}
+
+namespace hxwar::net {
+
+class NetListener;
+
+struct alignas(64) LaneStats {
+  std::uint64_t flitMovements = 0;
+  std::uint64_t flitsInjected = 0;
+  std::uint64_t flitsEjected = 0;
+  std::uint64_t packetsCreated = 0;
+  std::uint64_t packetsEjected = 0;
+  std::uint64_t packetsDropped = 0;
+  std::uint64_t flitsDropped = 0;
+  // Signed: a packet injects (increments) at its source lane but completes
+  // (decrements) at its destination lane, so a single lane can go negative.
+  std::int64_t packetsInFlight = 0;
+  std::int64_t backlogFlits = 0;
+
+  // Packet slots freed by this lane but owned by another lane's pool; the
+  // engine's barrier hook recycles them into the owning pools while workers
+  // are parked (Network::drainDeferredFrees).
+  std::vector<PacketRef> deferredFrees;
+
+  NetListener* listener = nullptr;     // ejection + drop
+  NetListener* hopListener = nullptr;  // per-hop
+  obs::NetObserver* observer = nullptr;
+};
+
+}  // namespace hxwar::net

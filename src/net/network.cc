@@ -1,6 +1,7 @@
 #include "net/network.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/assert.h"
 #include "common/rng.h"
@@ -10,14 +11,62 @@ namespace hxwar::net {
 
 Network::Network(sim::Simulator& sim, const topo::Topology& topology,
                  routing::RoutingAlgorithm& routing, const NetworkConfig& config)
-    : sim_(sim), topology_(topology), config_(config) {
-  const std::uint32_t numRouters = topology.numRouters();
-  const std::uint32_t numNodes = topology.numNodes();
-  const routing::VcMap vcMap(config.router.numVcs, routing.numClasses());
-  HXWAR_CHECK_MSG(routing.numClasses() <= config.router.numVcs,
-                  "routing algorithm needs more VCs than configured");
+    : Network(ShardLayout{{&sim}, nullptr, nullptr, {&routing}}, topology, config) {}
 
-  SplitMix64 seeds(config.rngSeed);
+Network::Network(const ShardLayout& layout, const topo::Topology& topology,
+                 const NetworkConfig& config)
+    : topology_(topology), config_(config) {
+  build(layout);
+}
+
+void Network::build(const ShardLayout& layout) {
+  const std::uint32_t numShards = static_cast<std::uint32_t>(layout.sims.size());
+  HXWAR_CHECK_MSG(numShards >= 1, "shard layout needs at least one simulator");
+  HXWAR_CHECK_MSG(layout.routing.size() == layout.sims.size(),
+                  "shard layout needs one routing instance per shard");
+  HXWAR_CHECK_MSG(numShards <= (1u << (32 - PacketPool::kLaneShift)),
+                  "too many shards for the packet-ref lane bits");
+  sims_ = layout.sims;
+
+  const std::uint32_t numRouters = topology_.numRouters();
+  const std::uint32_t numNodes = topology_.numNodes();
+  if (layout.plan != nullptr) {
+    HXWAR_CHECK_MSG(layout.plan->routerShard.size() == numRouters,
+                    "shard plan does not cover every router");
+    routerShard_ = layout.plan->routerShard;
+    for (const std::uint32_t s : routerShard_) HXWAR_CHECK(s < numShards);
+  } else {
+    HXWAR_CHECK_MSG(numShards == 1, "multi-shard layout needs a shard plan");
+    routerShard_.assign(numRouters, 0);
+  }
+  if (numShards > 1) {
+    HXWAR_CHECK_MSG(layout.mail != nullptr && layout.mail->numShards() >= numShards,
+                    "multi-shard layout needs mailboxes sized for the shard count");
+    mail_ = layout.mail;
+  }
+  nodeLane_.resize(numNodes);
+  for (NodeId n = 0; n < numNodes; ++n) nodeLane_[n] = routerShard_[topology_.nodeRouter(n)];
+
+  routing::RoutingAlgorithm& routing0 = *layout.routing[0];
+  const routing::VcMap vcMap(config_.router.numVcs, routing0.numClasses());
+  HXWAR_CHECK_MSG(routing0.numClasses() <= config_.router.numVcs,
+                  "routing algorithm needs more VCs than configured");
+  for (routing::RoutingAlgorithm* alg : layout.routing) {
+    HXWAR_CHECK_MSG(alg->numClasses() == routing0.numClasses(),
+                    "per-shard routing instances disagree on VC classes");
+  }
+
+  lanes_.resize(numShards);
+  pools_.reserve(numShards);
+  poolTable_.reserve(numShards);
+  for (std::uint32_t s = 0; s < numShards; ++s) {
+    pools_.push_back(std::make_unique<PacketPool>(
+        static_cast<PacketRef>(s) << PacketPool::kLaneShift));
+    poolTable_.push_back(pools_.back().get());
+  }
+  srcSeq_.assign(numNodes, 0);
+
+  SplitMix64 seeds(config_.rngSeed);
 
   // Size the dense arrays exactly before constructing anything: DenseArray
   // capacity is fixed once, and element addresses must stay stable while the
@@ -25,11 +74,11 @@ Network::Network(sim::Simulator& sim, const topo::Topology& topology,
   std::size_t terminalPorts = 0;
   std::size_t routerPorts = 0;
   for (RouterId r = 0; r < numRouters; ++r) {
-    const std::uint32_t ports = topology.numPorts(r);
+    const std::uint32_t ports = topology_.numPorts(r);
     maxPorts_ = std::max(maxPorts_, ports);
     for (PortId p = 0; p < ports; ++p) {
       using Kind = topo::Topology::PortTarget::Kind;
-      const auto kind = topology.portTarget(r, p).kind;
+      const auto kind = topology_.portTarget(r, p).kind;
       if (kind == Kind::kTerminal) terminalPorts += 1;
       if (kind == Kind::kRouter) routerPorts += 1;
     }
@@ -43,58 +92,97 @@ Network::Network(sim::Simulator& sim, const topo::Topology& topology,
 
   portIsTerminal_.assign(static_cast<std::size_t>(numRouters) * maxPorts_, 0);
   for (RouterId r = 0; r < numRouters; ++r) {
-    routers_.emplace_back(sim, this, r, topology.numPorts(r), config.router, &routing, vcMap,
-                          seeds.next());
+    const std::uint32_t lane = routerShard_[r];
+    routers_.emplace_back(*sims_[lane], this, r, topology_.numPorts(r), config_.router,
+                          layout.routing[lane], vcMap, seeds.next(), lane, &lanes_[lane],
+                          poolTable_.data());
   }
   for (NodeId n = 0; n < numNodes; ++n) {
-    terminals_.emplace_back(sim, this, n, config.router.numVcs);
+    const std::uint32_t lane = nodeLane_[n];
+    terminals_.emplace_back(*sims_[lane], this, n, config_.router.numVcs, lane,
+                            &lanes_[lane], poolTable_.data());
   }
+
+  // Per-shard event-reservation tallies (each channel can carry roughly one
+  // flit and one credit event in flight per cycle of latency, plus component
+  // cycle events).
+  std::vector<std::size_t> reserve(numShards, 0);
+  const auto noteLatency = [this](Tick latency) {
+    minChannelLatency_ = std::min(minChannelLatency_, latency);
+  };
+  const auto noteCrossLatency = [this](Tick latency, const char* kind, RouterId src,
+                                       PortId port, RouterId dst) {
+    if (latency >= crossLookahead_ && crossLookahead_ != kTickInvalid) return;
+    crossLookahead_ = latency;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s channel router %u port %u -> router %u (latency %llu)", kind, src,
+                  port, dst, static_cast<unsigned long long>(latency));
+    lookaheadDetail_ = buf;
+  };
 
   // Wire every router port.
   for (RouterId r = 0; r < numRouters; ++r) {
-    const std::uint32_t ports = topology.numPorts(r);
+    const std::uint32_t rLane = routerShard_[r];
+    sim::Simulator& rSim = *sims_[rLane];
+    const std::uint32_t ports = topology_.numPorts(r);
     for (PortId p = 0; p < ports; ++p) {
-      const auto target = topology.portTarget(r, p);
+      const auto target = topology_.portTarget(r, p);
       using Kind = topo::Topology::PortTarget::Kind;
       if (target.kind == Kind::kUnused) continue;
       if (target.kind == Kind::kTerminal) {
+        // Terminals share their router's shard, so terminal channels are
+        // always shard-local and never constrain the lookahead.
         portIsTerminal_[static_cast<std::size_t>(r) * maxPorts_ + p] = 1;
         Terminal& t = terminals_[target.node];
         Router& rt = routers_[r];
         rt.setTerminalPort(p, true);
         // Injection path: terminal -> router flits, router -> terminal credits.
         FlitChannel& inj =
-            flitChannels_.emplace_back(sim, config.channelLatencyTerminal, &rt, p);
+            flitChannels_.emplace_back(rSim, config_.channelLatencyTerminal, &rt, p);
         CreditChannel& injCr =
-            creditChannels_.emplace_back(sim, config.channelLatencyTerminal, &t, PortId{0});
-        t.connectOutput(&inj, config.router.inputBufferDepth);
+            creditChannels_.emplace_back(rSim, config_.channelLatencyTerminal, &t, PortId{0});
+        t.connectOutput(&inj, config_.router.inputBufferDepth);
         rt.connectInputCredit(p, &injCr);
         // Ejection path: router -> terminal flits, terminal -> router credits.
         FlitChannel& ej =
-            flitChannels_.emplace_back(sim, config.channelLatencyTerminal, &t, PortId{0});
+            flitChannels_.emplace_back(rSim, config_.channelLatencyTerminal, &t, PortId{0});
         CreditChannel& ejCr =
-            creditChannels_.emplace_back(sim, config.channelLatencyTerminal, &rt, p);
-        rt.connectOutput(p, &ej, config.terminalEjectDepth);
+            creditChannels_.emplace_back(rSim, config_.channelLatencyTerminal, &rt, p);
+        rt.connectOutput(p, &ej, config_.terminalEjectDepth);
         t.connectInputCredit(&ejCr);
+        noteLatency(config_.channelLatencyTerminal);
+        reserve[rLane] += 8;
         continue;
       }
       // Router-to-router: create the forward flit channel and its paired
       // reverse credit channel. Each directed (r, p) is visited exactly once.
+      // A channel is a Component of its receiver's shard; when the sender is
+      // elsewhere, bind it to the sender shard's outbox toward the receiver.
       Router& src = routers_[r];
       Router& dst = routers_[target.router];
-      FlitChannel& fc =
-          flitChannels_.emplace_back(sim, config.channelLatencyRouter, &dst, target.port);
+      const std::uint32_t dLane = routerShard_[target.router];
+      FlitChannel& fc = flitChannels_.emplace_back(*sims_[dLane], config_.channelLatencyRouter,
+                                                   &dst, target.port);
       CreditChannel& cc =
-          creditChannels_.emplace_back(sim, config.channelLatencyRouter, &src, p);
-      src.connectOutput(p, &fc, config.router.inputBufferDepth);
+          creditChannels_.emplace_back(rSim, config_.channelLatencyRouter, &src, p);
+      if (rLane != dLane) {
+        fc.bindRemote(sims_[rLane], &mail_->box(rLane, dLane));
+        cc.bindRemote(sims_[dLane], &mail_->box(dLane, rLane));
+        noteCrossLatency(config_.channelLatencyRouter, "flit", r, p, target.router);
+      }
+      src.connectOutput(p, &fc, config_.router.inputBufferDepth);
       dst.connectInputCredit(target.port, &cc);
+      noteLatency(config_.channelLatencyRouter);
+      reserve[dLane] += 2;
+      reserve[rLane] += 2;
     }
   }
 
-  // Pre-size the event heap: each channel can carry roughly one flit and one
-  // credit event in flight per cycle of latency, plus per-component cycle
-  // events. Avoids reallocation once the network is warm.
-  sim.reserveEvents(flitChannels_.size() * 4 + routers_.size() * 2 + terminals_.size() * 2);
+  // Pre-size each shard's event heap (avoids reallocation once warm).
+  for (RouterId r = 0; r < numRouters; ++r) reserve[routerShard_[r]] += 2;
+  for (NodeId n = 0; n < numNodes; ++n) reserve[nodeLane_[n]] += 2;
+  for (std::uint32_t s = 0; s < numShards; ++s) sims_[s]->reserveEvents(reserve[s]);
 }
 
 Network::~Network() = default;
@@ -107,15 +195,20 @@ std::uint32_t Network::downstreamDepth(RouterId r, PortId p) const {
 
 Packet& Network::injectPacket(NodeId src, NodeId dst, std::uint32_t sizeFlits) {
   HXWAR_CHECK(src < numNodes() && dst < numNodes() && sizeFlits >= 1);
-  Packet& pkt = pool_.get(pool_.alloc());
-  pkt.id = nextPacketId_++;
+  const std::uint32_t lane = nodeLane_[src];
+  PacketPool& pool = *poolTable_[lane];
+  Packet& pkt = pool.get(pool.alloc());
+  // Per-source ids: unique, partition-invariant, and identical under any
+  // shard count — the property the age arbiter's tie-break and the trace
+  // identity surface rely on.
+  pkt.id = (static_cast<std::uint64_t>(src) << 32) | ++srcSeq_[src];
   pkt.src = src;
   pkt.dst = dst;
   pkt.sizeFlits = sizeFlits;
-  packetsCreated_ += 1;
+  lanes_[lane].packetsCreated += 1;
   terminals_[src].enqueuePacket(&pkt);
   if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketCreated(pkt, sim_.now());
+    if (obs::NetObserver* o = lanes_[lane].observer) o->onPacketCreated(pkt, sims_[lane]->now());
   }
   return pkt;
 }
@@ -129,34 +222,64 @@ void Network::setDeadPortMask(const fault::DeadPortMask* mask) {
 }
 
 void Network::setObserver(obs::NetObserver* observer) {
-  obs_ = observer;
+  for (LaneStats& l : lanes_) l.observer = observer;
   for (Router& r : routers_) r.setObserver(observer);
 }
 
-void Network::dropPacket(PacketRef ref) {
-  Packet& pkt = pool_.get(ref);
-  flitsDropped_ += pkt.sizeFlits;
-  packetsDropped_ += 1;
-  HXWAR_CHECK(packetsInFlight_ > 0);
-  packetsInFlight_ -= 1;
-  if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketDone(pkt, /*dropped=*/true, sim_.now());
+void Network::setObservers(const std::vector<obs::NetObserver*>& observers) {
+  HXWAR_CHECK_MSG(observers.size() == lanes_.size(), "need one observer slot per lane");
+  for (std::uint32_t s = 0; s < lanes_.size(); ++s) lanes_[s].observer = observers[s];
+  for (RouterId r = 0; r < numRouters(); ++r) {
+    routers_[r].setObserver(observers[routerShard_[r]]);
   }
-  if (listener_ != nullptr) listener_->onPacketDropped(pkt);
-  pool_.recycle(ref);
 }
 
-void Network::completePacket(PacketRef ref) {
-  Packet& pkt = pool_.get(ref);
-  flitsEjected_ += pkt.sizeFlits;
-  packetsEjected_ += 1;
-  HXWAR_CHECK(packetsInFlight_ > 0);
-  packetsInFlight_ -= 1;
+void Network::dropPacket(PacketRef ref, std::uint32_t lane, Tick now) {
+  Packet& pkt = packet(ref);
+  LaneStats& l = lanes_[lane];
+  l.flitsDropped += pkt.sizeFlits;
+  l.packetsDropped += 1;
+  if (lanes_.size() == 1) HXWAR_CHECK(l.packetsInFlight > 0);
+  l.packetsInFlight -= 1;
   if constexpr (obs::kCompiledIn) {
-    if (obs_ != nullptr) obs_->onPacketDone(pkt, /*dropped=*/false, sim_.now());
+    if (obs::NetObserver* o = l.observer) o->onPacketDone(pkt, /*dropped=*/true, now);
   }
-  if (listener_ != nullptr) listener_->onPacketEjected(pkt);
-  pool_.recycle(ref);
+  if (l.listener != nullptr) l.listener->onPacketDropped(pkt);
+  releasePacket(ref, lane);
+}
+
+void Network::completePacket(PacketRef ref, std::uint32_t lane, Tick now) {
+  Packet& pkt = packet(ref);
+  LaneStats& l = lanes_[lane];
+  l.flitsEjected += pkt.sizeFlits;
+  l.packetsEjected += 1;
+  if (lanes_.size() == 1) HXWAR_CHECK(l.packetsInFlight > 0);
+  l.packetsInFlight -= 1;
+  if constexpr (obs::kCompiledIn) {
+    if (obs::NetObserver* o = l.observer) o->onPacketDone(pkt, /*dropped=*/false, now);
+  }
+  if (l.listener != nullptr) l.listener->onPacketEjected(pkt);
+  releasePacket(ref, lane);
+}
+
+void Network::releasePacket(PacketRef ref, std::uint32_t freeingLane) {
+  const std::uint32_t owner = ref >> PacketPool::kLaneShift;
+  if (owner == freeingLane) {
+    poolTable_[owner]->recycle(ref);
+    return;
+  }
+  // Another lane's slab: recycling here would race with the owner's worker.
+  // Park the ref; the engine's barrier hook drains it (drainDeferredFrees).
+  lanes_[freeingLane].deferredFrees.push_back(ref);
+}
+
+void Network::drainDeferredFrees() {
+  for (LaneStats& l : lanes_) {
+    for (const PacketRef ref : l.deferredFrees) {
+      poolTable_[ref >> PacketPool::kLaneShift]->recycle(ref);
+    }
+    l.deferredFrees.clear();
+  }
 }
 
 Network::MemoryFootprint Network::memoryFootprint() const {
@@ -168,8 +291,13 @@ Network::MemoryFootprint Network::memoryFootprint() const {
   m.channelsBytes = flitChannels_.capacityBytes() + creditChannels_.capacityBytes();
   for (const FlitChannel& c : flitChannels_) m.channelsBytes += c.memoryBytes();
   for (const CreditChannel& c : creditChannels_) m.channelsBytes += c.memoryBytes();
-  m.packetPoolBytes = pool_.memoryBytes();
-  m.miscBytes = sizeof(Network) + portIsTerminal_.capacity();
+  for (const PacketPool* p : poolTable_) m.packetPoolBytes += p->memoryBytes();
+  m.miscBytes = sizeof(Network) + portIsTerminal_.capacity() +
+                lanes_.capacity() * sizeof(LaneStats) +
+                (routerShard_.capacity() + nodeLane_.capacity() + srcSeq_.capacity()) *
+                    sizeof(std::uint32_t) +
+                (sims_.capacity() + pools_.capacity() + poolTable_.capacity()) * sizeof(void*);
+  for (const LaneStats& l : lanes_) m.miscBytes += l.deferredFrees.capacity() * sizeof(PacketRef);
   m.totalBytes =
       m.routersBytes + m.terminalsBytes + m.channelsBytes + m.packetPoolBytes + m.miscBytes;
   // Configured buffering capacity: per router VC, one input buffer and one

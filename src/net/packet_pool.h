@@ -12,6 +12,12 @@
 // tenant — and alloc() fully resets the record, so no state leaks between
 // tenants. Double-recycle is a protocol violation, caught in !NDEBUG builds
 // by a per-slot liveness bit.
+//
+// Sharded execution gives each lane its own pool, namespaced by `refBase`
+// (lane << kLaneShift): refs from different lanes never collide, so a flit's
+// 4-byte ref still identifies its packet globally — the network resolves the
+// owning pool from the ref's top bits. Each pool caps at kLaneSpan slots so
+// the lane bits stay disjoint.
 #pragma once
 
 #include <cstdint>
@@ -28,18 +34,27 @@ class PacketPool {
  public:
   static constexpr std::uint32_t kChunkShift = 10;
   static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  // Lane namespace: ref = (lane << kLaneShift) | slot. 64 lanes max, 64M
+  // live packets per lane (~5 GiB of Packet records — far past any budget).
+  static constexpr std::uint32_t kLaneShift = 26;
+  static constexpr std::uint32_t kLaneSpan = 1u << kLaneShift;
 
   PacketPool() = default;
+  explicit PacketPool(PacketRef refBase) : refBase_(refBase) {
+    HXWAR_CHECK_MSG((refBase & (kLaneSpan - 1)) == 0, "pool refBase must be lane-aligned");
+  }
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
   Packet& get(PacketRef ref) {
-    HXWAR_DCHECK(ref < slots_);
-    return chunks_[ref >> kChunkShift][ref & (kChunkSize - 1)];
+    HXWAR_DCHECK(ref - refBase_ < slots_);
+    const PacketRef local = ref - refBase_;
+    return chunks_[local >> kChunkShift][local & (kChunkSize - 1)];
   }
   const Packet& get(PacketRef ref) const {
-    HXWAR_DCHECK(ref < slots_);
-    return chunks_[ref >> kChunkShift][ref & (kChunkSize - 1)];
+    HXWAR_DCHECK(ref - refBase_ < slots_);
+    const PacketRef local = ref - refBase_;
+    return chunks_[local >> kChunkShift][local & (kChunkSize - 1)];
   }
 
   // Hands out a fully reset packet with `slot` stamped. Grows by one chunk
@@ -50,13 +65,13 @@ class PacketPool {
     free_.pop_back();
     // Fresh chunks enter the LIFO so refs pop in ascending order; a ref below
     // the high-water mark has had a previous tenant.
-    if (ref < highWater_) {
+    if (ref - refBase_ < highWater_) {
       reuses_ += 1;
     } else {
-      highWater_ = ref + 1;
+      highWater_ = ref - refBase_ + 1;
     }
 #ifndef NDEBUG
-    live_[ref] = 1;
+    live_[ref - refBase_] = 1;
 #endif
     Packet& pkt = get(ref);
     pkt = Packet{};  // reset timestamps, routing scratch, reassembly state
@@ -65,10 +80,10 @@ class PacketPool {
   }
 
   void recycle(PacketRef ref) {
-    HXWAR_DCHECK(ref < slots_);
+    HXWAR_DCHECK(ref - refBase_ < slots_);
 #ifndef NDEBUG
-    HXWAR_DCHECK_MSG(live_[ref] != 0, "packet double-recycle (slot already free)");
-    live_[ref] = 0;
+    HXWAR_DCHECK_MSG(live_[ref - refBase_] != 0, "packet double-recycle (slot already free)");
+    live_[ref - refBase_] = 0;
 #endif
     free_.push_back(ref);
   }
@@ -90,9 +105,9 @@ class PacketPool {
 
  private:
   void addChunk() {
-    HXWAR_CHECK_MSG(slots_ + kChunkSize > slots_, "packet slab exhausted (2^32 slots)");
+    HXWAR_CHECK_MSG(slots_ + kChunkSize <= kLaneSpan, "packet slab exhausted (2^26 slots/lane)");
     chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
-    const PacketRef base = slots_;
+    const PacketRef base = refBase_ + slots_;
     slots_ += kChunkSize;
 #ifndef NDEBUG
     live_.resize(slots_, 0);
@@ -104,9 +119,10 @@ class PacketPool {
   }
 
   std::vector<std::unique_ptr<Packet[]>> chunks_;
-  std::vector<PacketRef> free_;  // LIFO: hottest slot first
-  std::uint32_t slots_ = 0;
-  std::uint32_t highWater_ = 0;  // refs below this have been allocated before
+  std::vector<PacketRef> free_;   // LIFO: hottest slot first (global refs)
+  PacketRef refBase_ = 0;         // lane << kLaneShift
+  std::uint32_t slots_ = 0;       // local slot count
+  std::uint32_t highWater_ = 0;   // local slots below this had a previous tenant
   std::uint64_t reuses_ = 0;
 #ifndef NDEBUG
   std::vector<std::uint8_t> live_;  // double-recycle guard

@@ -22,10 +22,13 @@ bool olderThan(const Packet& a, const Packet& b) {
 
 Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t numPorts,
                const RouterConfig& config, routing::RoutingAlgorithm* routing,
-               const routing::VcMap& vcMap, std::uint64_t rngSeed)
+               const routing::VcMap& vcMap, std::uint64_t rngSeed, std::uint32_t lane,
+               LaneStats* stats, PacketPool* const* pools)
     : Component(sim),
       network_(network),
-      pool_(&network->pool()),
+      pools_(pools),
+      stats_(stats),
+      lane_(lane),
       id_(id),
       numPorts_(numPorts),
       config_(config),
@@ -52,8 +55,10 @@ Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t
   HXWAR_CHECK(config_.outputQueueDepth >= 1 && config_.crossbarLatency >= 1);
 }
 
-const Packet& Router::packetOf(Flit f) const { return pool_->get(f.packet); }
-Packet& Router::packetOf(Flit f) { return pool_->get(f.packet); }
+const Packet& Router::packetOf(Flit f) const {
+  return pools_[f.packet >> PacketPool::kLaneShift]->get(f.packet);
+}
+Packet& Router::packetOf(Flit f) { return pools_[f.packet >> PacketPool::kLaneShift]->get(f.packet); }
 
 void Router::connectOutput(PortId port, FlitChannel* channel, std::uint32_t downstreamDepth) {
   outChannel_[port] = channel;
@@ -117,10 +122,10 @@ void Router::receiveFlit(PortId port, VcId vc, Flit flit) {
     // slot upstream, and finalize the drop at the tail.
     HXWAR_CHECK(inQ_[c].empty() && !flit.isHead());
     inCredit_[port]->send(vc);
-    network_->noteFlitMoved();
+    stats_->flitMovements += 1;
     if (flit.isTail()) {
       inFlags_[c] &= static_cast<std::uint8_t>(~kInDropping);
-      network_->dropPacket(flit.packet);
+      network_->dropPacket(flit.packet, lane_, sim().now());
     }
     return;
   }
@@ -243,7 +248,7 @@ void Router::stageOutput() {
       outCredits_[c] -= 1;
       outChannel_[p]->send(best, f);
       outFlits_[p] += 1;
-      network_->noteFlitMoved();
+      stats_->flitMovements += 1;
     }
     bool anyQueued = false;
     for (VcId v = 0; v < config_.numVcs; ++v) {
@@ -277,16 +282,22 @@ void Router::stageCrossbar() {
   static thread_local std::vector<std::uint32_t> budget;
   budget.assign(numPorts_, config_.inputSpeedup);
 
-  // Age-order the candidates so older packets get crossbar slots first
-  // (round-robin mode keeps arrival order, which rotates naturally).
-  if (config_.arbiter == ArbiterPolicy::kAgeBased)
-  std::sort(xferList_.begin(), xferList_.end(), [this](std::uint32_t a, std::uint32_t b) {
-    const bool aReady = (inFlags_[a] & kInRouted) && !inQ_[a].empty();
-    const bool bReady = (inFlags_[b] & kInRouted) && !inQ_[b].empty();
-    if (aReady != bReady) return aReady;
-    if (!aReady) return a < b;
-    return olderThan(packetOf(inQ_[a].front()), packetOf(inQ_[b].front()));
-  });
+  // Age-order the candidates so older packets get crossbar slots first. In
+  // round-robin mode, order by input VC code instead. Either way the order is
+  // a total function of router state, never of the list's insertion order —
+  // insertion order depends on same-tick delivery interleaving, which differs
+  // between the serial and sharded engines (DESIGN.md §12).
+  if (config_.arbiter == ArbiterPolicy::kAgeBased) {
+    std::sort(xferList_.begin(), xferList_.end(), [this](std::uint32_t a, std::uint32_t b) {
+      const bool aReady = (inFlags_[a] & kInRouted) && !inQ_[a].empty();
+      const bool bReady = (inFlags_[b] & kInRouted) && !inQ_[b].empty();
+      if (aReady != bReady) return aReady;
+      if (!aReady) return a < b;
+      return olderThan(packetOf(inQ_[a].front()), packetOf(inQ_[b].front()));
+    });
+  } else {
+    std::sort(xferList_.begin(), xferList_.end());
+  }
 
   for (std::size_t idx = 0; idx < xferList_.size(); ++idx) {
     const std::uint32_t c = xferList_[idx];
@@ -313,7 +324,7 @@ void Router::stageCrossbar() {
         lastXbarArrival_ = arrive;
         sim().schedule(arrive, sim::kEpsDeliver, this, kTagXbar);
       }
-      network_->noteFlitMoved();
+      stats_->flitMovements += 1;
       // Return the buffer slot upstream (terminals also track credits).
       HXWAR_CHECK(inCredit_[p] != nullptr);
       inCredit_[p]->send(v);
@@ -323,7 +334,7 @@ void Router::stageCrossbar() {
           pkt.hops += 1;
           if (inFlags_[c] & kInDeroute) pkt.deroutes += 1;
         }
-        network_->notifyHop(pkt, id_, p, op);
+        network_->notifyHop(lane_, pkt, id_, p, op, sim().now());
         if constexpr (obs::kCompiledIn) {
           if (obs_ != nullptr) obs_->onHop(id_, p, op, pkt, sim().now());
         }
@@ -478,7 +489,7 @@ void Router::startDrop(PortId port, VcId vc) {
     const Flit f = inQ_[c].front();
     inQ_[c].pop_front();
     inCredit_[port]->send(vc);
-    network_->noteFlitMoved();
+    stats_->flitMovements += 1;
     if (f.isTail()) {
       sawTail = true;
       break;
@@ -488,13 +499,19 @@ void Router::startDrop(PortId port, VcId vc) {
     if (!inQ_[c].empty()) {
       HXWAR_CHECK_MSG(inQ_[c].front().isHead(), "packet interleaving on input VC");
     }
-    network_->dropPacket(ref);
+    network_->dropPacket(ref, lane_, sim().now());
   } else {
     inFlags_[c] |= kInDropping;  // remaining flits consumed on arrival (receiveFlit)
   }
 }
 
 void Router::stageRoute() {
+  // Canonical order: route in input-VC-code order, not insertion order.
+  // tryRoute consumes RNG draws (tie-breaks) and claims output VCs as it
+  // goes, so the iteration order is observable; insertion order tracks
+  // same-tick delivery interleaving, which the sharded engine cannot
+  // reproduce (DESIGN.md §12).
+  std::sort(routePending_.begin(), routePending_.end());
   std::size_t w = 0;
   for (std::size_t idx = 0; idx < routePending_.size(); ++idx) {
     const std::uint32_t c = routePending_[idx];

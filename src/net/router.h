@@ -28,14 +28,15 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/channel.h"
+#include "net/lane.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "routing/routing.h"
 #include "sim/simulator.h"
 
 namespace hxwar::net {
 
 class Network;
-class PacketPool;
 
 // Output-channel and crossbar arbitration policy. The paper's platform uses
 // age-based arbitration (§6); round-robin is the common cheap alternative
@@ -62,9 +63,13 @@ struct RouterConfig {
 
 class Router final : public sim::Component, public FlitSink, public CreditSink {
  public:
+  // `lane`/`stats`/`pools` locate this router's shard slots: counters go to
+  // `stats` (written only by this shard's worker), and flit refs resolve
+  // through the network's per-lane pool table `pools`.
   Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t numPorts,
          const RouterConfig& config, routing::RoutingAlgorithm* routing,
-         const routing::VcMap& vcMap, std::uint64_t rngSeed);
+         const routing::VcMap& vcMap, std::uint64_t rngSeed, std::uint32_t lane,
+         LaneStats* stats, PacketPool* const* pools);
 
   // --- wiring (done by Network during construction) ---
   // Output side: the channel that carries flits out of `port`, and the
@@ -151,7 +156,9 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   Packet& packetOf(Flit f);
 
   Network* network_;
-  PacketPool* pool_;  // the network's packet slab (flit refs resolve here)
+  PacketPool* const* pools_;  // per-lane pool table (flit refs resolve here)
+  LaneStats* stats_;          // this shard's counter slots
+  std::uint32_t lane_;
   RouterId id_;
   std::uint32_t numPorts_;
   RouterConfig config_;

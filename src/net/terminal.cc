@@ -6,10 +6,13 @@
 
 namespace hxwar::net {
 
-Terminal::Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs)
+Terminal::Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs,
+                   std::uint32_t lane, LaneStats* stats, PacketPool* const* pools)
     : Component(sim),
       network_(network),
-      pool_(&network->pool()),
+      pools_(pools),
+      stats_(stats),
+      lane_(lane),
       id_(id),
       numVcs_(numVcs) {}
 
@@ -24,7 +27,7 @@ void Terminal::enqueuePacket(Packet* pkt) {
   pkt->createdAt = sim().now();
   pkt->src = id_;
   sourceQueueFlits_ += pkt->sizeFlits;
-  network_->noteBacklogFlits(pkt->sizeFlits);
+  stats_->backlogFlits += pkt->sizeFlits;
   sourceQueue_.push_back(pkt->slot);
   ensureCycle();
 }
@@ -47,7 +50,7 @@ void Terminal::processEvent(std::uint64_t) {
 void Terminal::injectionCycle() {
   if (sourceQueue_.empty()) return;
   const PacketRef ref = sourceQueue_.front();
-  Packet& pkt = pool_->get(ref);
+  Packet& pkt = pools_[ref >> PacketPool::kLaneShift]->get(ref);
   if (currentVc_ == kVcInvalid) {
     // Pick the injection VC for this packet: any VC works for deadlock
     // purposes (injection buffers are pure sources), so take the one with the
@@ -66,19 +69,19 @@ void Terminal::injectionCycle() {
   if (nextFlit_ == 0) {
     pkt.injectedAt = sim().now();
     if constexpr (obs::kCompiledIn) {
-      if (obs::NetObserver* o = network_->observer()) o->onInjectStart(pkt, sim().now());
+      if (obs::NetObserver* o = network_->observer(lane_)) o->onInjectStart(pkt, sim().now());
     }
   }
   toRouter_->send(currentVc_, makeFlit(ref, nextFlit_, nextFlit_ + 1 == pkt.sizeFlits));
   flitsInjected_ += 1;
   sourceQueueFlits_ -= 1;
-  network_->noteBacklogFlits(-1);
-  network_->noteFlitInjected();
+  stats_->backlogFlits -= 1;
+  stats_->flitsInjected += 1;
   nextFlit_ += 1;
   if (nextFlit_ == pkt.sizeFlits) {
     // Whole packet is in flight; the destination terminal recycles it into
-    // the network's pool once reassembly completes.
-    network_->trackInFlight();
+    // the owning lane's pool once reassembly completes.
+    stats_->packetsInFlight += 1;
     sourceQueue_.pop_front();
     currentVc_ = kVcInvalid;
     nextFlit_ = 0;
@@ -94,14 +97,15 @@ void Terminal::receiveFlit(PortId, VcId vc, Flit flit) {
   // Ejection: bottomless sink; return the buffer slot immediately.
   creditReturn_->send(vc);
   flitsEjected_ += 1;
-  Packet& pkt = pool_->get(flit.packet);
+  Packet& pkt = pools_[flit.packet >> PacketPool::kLaneShift]->get(flit.packet);
   pkt.arrivedFlits += 1;
   HXWAR_CHECK_MSG(pkt.arrivedFlits == flit.index() + 1, "flit reordering within packet");
   if (flit.isTail()) {
     HXWAR_CHECK_MSG(pkt.arrivedFlits == pkt.sizeFlits, "packet completed early");
     HXWAR_CHECK_MSG(pkt.dst == id_, "packet ejected at wrong terminal");
     pkt.ejectedAt = sim().now();
-    network_->completePacket(flit.packet);  // notifies listeners and frees the packet
+    // Notifies this lane's listeners and frees (or defers) the packet slot.
+    network_->completePacket(flit.packet, lane_, sim().now());
   }
 }
 

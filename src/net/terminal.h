@@ -10,17 +10,21 @@
 #include "common/ring.h"
 #include "common/types.h"
 #include "net/channel.h"
+#include "net/lane.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace hxwar::net {
 
 class Network;
-class PacketPool;
 
 class Terminal final : public sim::Component, public FlitSink, public CreditSink {
  public:
-  Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs);
+  // `lane`/`stats`/`pools`: the terminal's shard slots (same as its router's);
+  // see Router. Arriving flit refs may point into any lane's pool.
+  Terminal(sim::Simulator& sim, Network* network, NodeId id, std::uint32_t numVcs,
+           std::uint32_t lane, LaneStats* stats, PacketPool* const* pools);
 
   // --- wiring ---
   void connectOutput(FlitChannel* toRouter, std::uint32_t routerInputDepth);
@@ -54,7 +58,9 @@ class Terminal final : public sim::Component, public FlitSink, public CreditSink
   void injectionCycle();
 
   Network* network_;
-  PacketPool* pool_;  // the network's packet slab
+  PacketPool* const* pools_;  // per-lane pool table (flit refs resolve here)
+  LaneStats* stats_;          // this shard's counter slots
+  std::uint32_t lane_;
   NodeId id_;
   std::uint32_t numVcs_;
 

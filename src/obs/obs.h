@@ -132,6 +132,26 @@ struct RoutingCounters {
   std::vector<std::uint64_t> derouteTakenByDim;
   std::vector<std::uint64_t> derouteRefusedByDim;
   std::vector<std::uint64_t> grantsByVc;
+
+  // Field-wise sum; the sharded harness merges one per-shard observer's
+  // counters per lane (all increments are commutative, so the merged totals
+  // match a serial run exactly).
+  void merge(const RoutingCounters& other) {
+    decisions += other.decisions;
+    derouteGrants += other.derouteGrants;
+    derouteRefusals += other.derouteRefusals;
+    faultEscapes += other.faultEscapes;
+    pathDeroutes += other.pathDeroutes;
+    creditStalls += other.creditStalls;
+    const auto addVec = [](std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b) {
+      if (a.size() < b.size()) a.resize(b.size(), 0);
+      for (std::size_t i = 0; i < b.size(); ++i) a[i] += b[i];
+    };
+    addVec(derouteTakenByDim, other.derouteTakenByDim);
+    addVec(derouteRefusedByDim, other.derouteRefusedByDim);
+    addVec(grantsByVc, other.grantsByVc);
+  }
 };
 
 }  // namespace hxwar::obs

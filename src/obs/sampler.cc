@@ -43,7 +43,7 @@ void Sampler::processEvent(std::uint64_t) {
   row.backlogFlits = asU64(gBacklog_());
   row.queuedFlits = asU64(gQueued_());
   row.packetsOutstanding = asU64(gOutstanding_());
-  row.creditStalls = obs_.creditStallCount();
+  row.creditStalls = creditStalls_ ? creditStalls_() : obs_.creditStallCount();
   obs_.onSample(row);
 
   // Stall watchdog: no flit moved since the previous sample while packets
@@ -65,7 +65,8 @@ void Sampler::processEvent(std::uint64_t) {
   // Reschedule only while other work remains: an empty queue means the
   // network has quiesced, and a lone sampler event must not keep a bounded
   // sim.run() ticking forever.
-  if (!sim().idle()) {
+  const bool busy = busyProbe_ ? busyProbe_() : !sim().idle();
+  if (busy) {
     sim().scheduleIn(interval_, sim::kEpsControl, this, 0);
   }
 }

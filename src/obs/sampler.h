@@ -32,12 +32,24 @@ class Sampler final : public sim::Component {
   // immediately.
   Sampler(sim::Simulator& sim, NetObserver& observer, Tick interval, Tick stallWindow);
 
+  // Parallel-engine hooks (sim/par): when the sampler lives in the control
+  // simulator, the network's events are in the shard simulators — so "other
+  // work remains" must be probed across shards, and credit stalls must be
+  // summed across the per-shard observers. Both default to the serial
+  // behaviour (own sim's queue, own observer's counter) when unset.
+  void setBusyProbe(std::function<bool()> fn) { busyProbe_ = std::move(fn); }
+  void setCreditStallProvider(std::function<std::uint64_t()> fn) {
+    creditStalls_ = std::move(fn);
+  }
+
   void processEvent(std::uint64_t tag) override;
 
  private:
   NetObserver& obs_;
   Tick interval_;
   Tick stallWindow_;
+  std::function<bool()> busyProbe_;
+  std::function<std::uint64_t()> creditStalls_;
   std::function<double()> gInjected_, gEjected_, gMovements_, gBacklog_, gQueued_,
       gOutstanding_;
   bool havePrev_ = false;

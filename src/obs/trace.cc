@@ -1,8 +1,10 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <tuple>
 
 namespace hxwar::obs {
 namespace {
@@ -26,6 +28,17 @@ void appendPktHeader(std::string& out, const char* name, const char* ph,
 }
 
 }  // namespace
+
+void canonicalize(TraceBuffer& buffer) {
+  auto key = [](const TraceEvent& e) {
+    return std::make_tuple(e.ts, e.id, static_cast<std::uint8_t>(e.kind), e.a, e.b,
+                           e.c, e.d);
+  };
+  std::stable_sort(buffer.events().begin(), buffer.events().end(),
+                   [&key](const TraceEvent& x, const TraceEvent& y) {
+                     return key(x) < key(y);
+                   });
+}
 
 void appendChromeJson(const TraceBuffer& buffer, std::uint32_t pid, std::string& out) {
   bool first = true;

@@ -48,6 +48,7 @@ class TraceBuffer {
  public:
   void add(const TraceEvent& e) { events_.push_back(e); }
   const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent>& events() { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
   void clear() { events_.clear(); }
@@ -55,6 +56,15 @@ class TraceBuffer {
  private:
   std::vector<TraceEvent> events_;
 };
+
+// Sorts the buffer into the canonical (ts, id, kind, payload) order. Serial
+// and sharded runs of the same experiment record the same event *multiset*
+// but interleave packets differently, so the harness canonicalizes every
+// extracted trace — from both engines — before serialization; the sorted
+// sequences are then byte-identical. Within one (ts, id) pair the kind enum
+// is already causal order (begin < inject < route < hop < end) and a packet
+// records at most one event per kind per tick.
+void canonicalize(TraceBuffer& buffer);
 
 // Appends this buffer's events to `out` as comma-separated Chrome-trace JSON
 // objects under process `pid` (no enclosing brackets — the caller assembles

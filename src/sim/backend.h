@@ -1,0 +1,57 @@
+// SimBackend: the seam between the harness/metrics layers and the engine
+// that actually advances simulated time.
+//
+// The steady-state driver only ever needs four operations — "what time is
+// it", "run to this horizon", "how many events so far", and "is anything
+// still pending" — so those four are the whole interface. The serial path
+// stays exactly what it was (SerialBackend is a thin adapter over
+// sim::Simulator; Simulator itself stays non-virtual because now() sits on
+// the hot path), and the conservative parallel engine (sim/par/engine.h)
+// implements the same contract over a set of sharded simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+
+namespace hxwar::sim {
+
+class SimBackend {
+ public:
+  virtual ~SimBackend() = default;
+
+  // Current simulated time as seen by the driver between run() calls.
+  virtual Tick now() const = 0;
+
+  // Advances simulation to `until` (exclusive): every event with
+  // time < until is processed before this returns. kTickInvalid runs until
+  // all queues drain.
+  virtual void run(Tick until) = 0;
+
+  // Total events processed so far, across all shards for a parallel backend.
+  // Serial and parallel engines deliberately do NOT process the same event
+  // count for the same workload (per-shard traffic sources each tick their
+  // own event, barriers change coalescing) — this is telemetry for perf
+  // rows, never part of the deterministic output surface.
+  virtual std::uint64_t eventsProcessed() const = 0;
+
+  // True while any event is pending anywhere.
+  virtual bool busy() const = 0;
+};
+
+// The serial engine: one Simulator, unchanged semantics.
+class SerialBackend final : public SimBackend {
+ public:
+  explicit SerialBackend(Simulator& sim) : sim_(sim) {}
+
+  Tick now() const override { return sim_.now(); }
+  void run(Tick until) override { sim_.run(until); }
+  std::uint64_t eventsProcessed() const override { return sim_.eventsProcessed(); }
+  bool busy() const override { return !sim_.idle(); }
+
+ private:
+  Simulator& sim_;
+};
+
+}  // namespace hxwar::sim

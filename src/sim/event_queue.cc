@@ -12,6 +12,22 @@ Tick EventQueue::nextTime() const {
   return kTickInvalid;
 }
 
+std::uint8_t EventQueue::nextEpsilon() const {
+  HXWAR_DCHECK_MSG(!empty(), "nextEpsilon on an empty queue");
+  if (ringCount_ != 0) {
+    // The ring invariant guarantees every ring event precedes every spill
+    // event (pushes inside the window go to the ring; drainSpill keeps
+    // spill.top.time >= base_ + kRingSize), so the next event is in the ring.
+    const std::uint32_t slot = slotOf(base_ + occupiedDistance());
+    const Lane* bucket = &lanes_[static_cast<std::size_t>(slot) * kNumEpsilons];
+    for (std::uint32_t e = 0; e < kNumEpsilons; ++e) {
+      if (bucket[e].head < bucket[e].items.size()) return static_cast<std::uint8_t>(e);
+    }
+    HXWAR_CHECK_MSG(false, "occupancy bitmap out of sync with lanes");
+  }
+  return spill_.front().epsilon();
+}
+
 std::uint32_t EventQueue::occupiedDistance() const {
   constexpr std::uint32_t kWords = kRingSize / 64;
   const std::uint32_t start = slotOf(base_);

@@ -47,12 +47,20 @@ namespace hxwar::sim {
 class Component;
 
 // Intra-tick phase ordering. Lower runs first.
+//
+// kEpsInject gets its own lane (rather than sharing kEpsTerminal with the
+// terminal cycles) so that traffic sources always enqueue their packets
+// before any terminal processes its same-tick cycle. With a shared lane the
+// relative order would depend on push order, which the sharded parallel
+// engine cannot reproduce — credit deliveries drained from mailboxes wake
+// terminals at different lane positions than the serial engine would.
 enum Epsilon : std::uint8_t {
   kEpsDeliver = 0,   // channel payload/credit delivery
   kEpsRouter = 1,    // router allocation & crossbar cycles
-  kEpsTerminal = 2,  // terminal injection/ejection processing
-  kEpsApp = 3,       // application-model reactions
-  kEpsControl = 4,   // harness controllers (sampling, warmup checks)
+  kEpsInject = 2,    // traffic sources enqueue new packets
+  kEpsTerminal = 3,  // terminal injection/ejection processing
+  kEpsApp = 4,       // application-model reactions
+  kEpsControl = 5,   // harness controllers (sampling, warmup checks)
 };
 
 // A popped (or spilled) event. Epsilon rides the top byte of `epsSeq` and the
@@ -90,7 +98,7 @@ struct EventAfter {
 class EventQueue {
  public:
   // Number of distinct epsilon phases (lanes per bucket).
-  static constexpr std::uint32_t kNumEpsilons = 5;
+  static constexpr std::uint32_t kNumEpsilons = 6;
   // Ring window in ticks. Must comfortably exceed every hot scheduling delta
   // (channel latencies, crossbar traversal, next-cycle retries); events
   // farther out take the spill heap. Power of two for cheap slot masking.
@@ -121,6 +129,12 @@ class EventQueue {
   // Time of the next event without popping it; kTickInvalid when empty.
   // O(1) when the current bucket is occupied (the common case).
   Tick nextTime() const;
+
+  // Epsilon phase of the next event without popping it. Queue must not be
+  // empty. The parallel engine uses (nextTime, nextEpsilon) of the control
+  // simulator to decide whether a control event must run before or after the
+  // worker shards complete the same tick.
+  std::uint8_t nextEpsilon() const;
 
   // Pops the globally least (tick, epsilon, seq) event. Queue must not be
   // empty.

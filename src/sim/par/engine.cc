@@ -1,0 +1,153 @@
+#include "sim/par/engine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "sim/event_queue.h"
+
+namespace hxwar::sim::par {
+
+Engine::Engine(std::vector<Simulator*> shards, Simulator* control, Mailboxes* mail,
+               Tick lookahead, std::string lookaheadDetail)
+    : shards_(std::move(shards)), control_(control), mail_(mail), lookahead_(lookahead) {
+  HXWAR_CHECK_MSG(!shards_.empty(), "parallel engine needs at least one shard");
+  HXWAR_CHECK_MSG(mail_ != nullptr && mail_->numShards() >= shards_.size(),
+                  "mailboxes not sized for the shard count");
+  // The synchronization window is the lookahead: a zero-latency cross-shard
+  // channel would force zero-width windows (no possible progress). Channels
+  // already CHECK latency >= 1 at construction; this names the offender if
+  // that floor is ever relaxed.
+  if (lookahead_ < 1) {
+    const std::string msg =
+        "parallel engine: synchronization window would be < 1 tick; offending channel: " +
+        (lookaheadDetail.empty() ? std::string("(unknown)") : lookaheadDetail);
+    HXWAR_CHECK_MSG(false, msg.c_str());
+  }
+  workers_.reserve(shards_.size());
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] { workerLoop(s); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cvWork_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void Engine::workerLoop(std::uint32_t shard) {
+  Simulator* sim = shards_[shard];
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    Tick target;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cvWork_.wait(lock, [&] { return stop_ || generation_ != seenGeneration; });
+      if (stop_) return;
+      seenGeneration = generation_;
+      target = windowTarget_;
+    }
+    sim->run(target);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) cvDone_.notify_one();
+    }
+  }
+}
+
+void Engine::runWindow(Tick target) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    windowTarget_ = target;
+    pending_ = static_cast<std::uint32_t>(shards_.size());
+    ++generation_;
+    cvWork_.notify_all();
+    cvDone_.wait(lock, [&] { return pending_ == 0; });
+  }
+  // Workers are parked (they cannot pass the generation gate until the next
+  // runWindow), and their window writes are visible here via mutex_; the
+  // coordinator's drain writes below are published to them by the next
+  // runWindow's critical section.
+  drainMailboxes();
+  if (barrierHook_) barrierHook_();
+  ++windowsRun_;
+}
+
+void Engine::drainMailboxes() {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  for (std::uint32_t dst = 0; dst < n; ++dst) {
+    for (std::uint32_t src = 0; src < n; ++src) {
+      std::vector<RemotePost>& box = mail_->box(src, dst);
+      for (const RemotePost& post : box) {
+        post.target->deliverRemote(post.time, post.a, post.b);
+      }
+      box.clear();
+    }
+  }
+}
+
+void Engine::run(Tick until) {
+  for (;;) {
+    Tick shardNext = kTickInvalid;
+    for (const Simulator* sim : shards_) {
+      shardNext = std::min(shardNext, sim->nextEventTime());
+    }
+    const bool haveControl = control_ != nullptr && !control_->idle();
+    if (haveControl) {
+      const Tick ct = control_->nextEventTime();
+      if (ct < until) {
+        // A control event below kEpsControl (fault-mask flips at kEpsDeliver)
+        // must run before any shard event at its tick; a kEpsControl event
+        // (sampler) must run after the shards complete its tick entirely.
+        const Tick controlBound =
+            control_->nextEventEpsilon() == kEpsControl ? ct + 1 : ct;
+        if (controlBound <= shardNext) {
+          control_->step(until);
+          continue;
+        }
+      }
+    }
+    if (shardNext >= until) {
+      // Nothing left below the horizon (control included, see above).
+      if (until != kTickInvalid && until > now_) now_ = until;
+      return;
+    }
+    Tick target = shardNext + lookahead_;
+    if (haveControl) {
+      const Tick ct = control_->nextEventTime();
+      const Tick controlBound =
+          control_->nextEventEpsilon() == kEpsControl ? ct + 1 : ct;
+      target = std::min(target, controlBound);
+    }
+    target = std::min(target, until);
+    HXWAR_CHECK_MSG(target > now_, "parallel engine window made no progress");
+    runWindow(target);
+    now_ = target;
+  }
+}
+
+std::uint64_t Engine::eventsProcessed() const {
+  std::uint64_t total = control_ != nullptr ? control_->eventsProcessed() : 0;
+  for (const Simulator* sim : shards_) total += sim->eventsProcessed();
+  return total;
+}
+
+bool Engine::busy() const {
+  if (control_ != nullptr && !control_->idle()) return true;
+  for (const Simulator* sim : shards_) {
+    if (!sim->idle()) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint64_t> Engine::shardEventsProcessed() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const Simulator* sim : shards_) counts.push_back(sim->eventsProcessed());
+  return counts;
+}
+
+}  // namespace hxwar::sim::par

@@ -1,0 +1,65 @@
+// Cross-shard delivery mailboxes for the conservative parallel engine.
+//
+// During a synchronization window, a channel whose sender and receiver live
+// in different shards turns its send into a RemotePost appended to the
+// (srcShard, dstShard) outbox. Each outbox has exactly one writer — the
+// source shard's worker thread — and is only read and cleared by the engine
+// at the barrier, under the barrier mutex, so no post is ever touched
+// concurrently.
+//
+// Determinism: the engine drains outboxes in (dstShard ascending, srcShard
+// ascending) order, FIFO within each outbox. Post order within an outbox is
+// the source shard's deterministic event-replay order, and the drain order
+// is a fixed function of shard indices — never of thread completion order —
+// so the resulting (tick, epsilon, seq) positions in the destination shard's
+// calendar queue are identical on every run for a given shard count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace hxwar::sim {
+class Component;
+}
+
+namespace hxwar::sim::par {
+
+// One cross-shard delivery: replayed as target->deliverRemote(time, a, b).
+// The payload meaning is the target's business (flit channels pack the flit
+// into `a` and the VC into `b`; credit channels pack the VC into `a`).
+struct RemotePost {
+  Tick time;
+  Component* target;
+  std::uint64_t a;
+  std::uint32_t b;
+};
+
+// Padded so two workers appending to adjacent outboxes never share a line.
+struct alignas(64) Outbox {
+  std::vector<RemotePost> posts;
+};
+
+class Mailboxes {
+ public:
+  explicit Mailboxes(std::uint32_t numShards) : numShards_(numShards) {
+    HXWAR_CHECK_MSG(numShards > 0, "mailboxes need at least one shard");
+    boxes_.resize(static_cast<std::size_t>(numShards) * numShards);
+  }
+
+  std::uint32_t numShards() const { return numShards_; }
+
+  // The outbox written by `srcShard` workers for deliveries into `dstShard`.
+  std::vector<RemotePost>& box(std::uint32_t srcShard, std::uint32_t dstShard) {
+    HXWAR_DCHECK_MSG(srcShard < numShards_ && dstShard < numShards_, "shard out of range");
+    return boxes_[static_cast<std::size_t>(srcShard) * numShards_ + dstShard].posts;
+  }
+
+ private:
+  std::uint32_t numShards_;
+  std::vector<Outbox> boxes_;
+};
+
+}  // namespace hxwar::sim::par

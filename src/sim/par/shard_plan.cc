@@ -1,0 +1,25 @@
+#include "sim/par/shard_plan.h"
+
+#include <algorithm>
+
+namespace hxwar::sim::par {
+
+ShardPlan contiguousShards(std::uint32_t numRouters, std::uint32_t numShards) {
+  HXWAR_CHECK_MSG(numRouters > 0, "cannot shard an empty network");
+  HXWAR_CHECK_MSG(numShards > 0, "shard count must be at least 1");
+  ShardPlan plan;
+  plan.numShards = std::min(numShards, numRouters);
+  plan.routerShard.resize(numRouters);
+  // Shard s owns [s*N/S, (s+1)*N/S): balanced to within one router, and the
+  // boundaries are reproducible integer arithmetic (no accumulation).
+  for (std::uint32_t s = 0; s < plan.numShards; ++s) {
+    const std::uint32_t lo =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(s) * numRouters) / plan.numShards);
+    const std::uint32_t hi = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(s + 1) * numRouters) / plan.numShards);
+    for (std::uint32_t r = lo; r < hi; ++r) plan.routerShard[r] = s;
+  }
+  return plan;
+}
+
+}  // namespace hxwar::sim::par

@@ -1,0 +1,36 @@
+// Static partition of a network's routers across parallel-engine shards.
+//
+// The plan is plain data — a router -> shard map plus the shard count — so
+// any partitioner can fill one in. The v1 partitioner is contiguous dense-ID
+// ranges: router IDs in this codebase are assigned in topology iteration
+// order (row-major coordinates for the lattice families), so contiguous
+// ranges are exactly the HyperX dimension-0 slices, which cut the fewest
+// channels of any axis-aligned split. Terminals are never partitioned
+// separately: a terminal always lives in its router's shard, so
+// terminal-side channels (the lowest-latency links in every preset) stay
+// shard-local and never constrain the lookahead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace hxwar::sim::par {
+
+struct ShardPlan {
+  std::uint32_t numShards = 1;
+  std::vector<std::uint32_t> routerShard;  // dense RouterId -> shard index
+
+  std::uint32_t shardOf(RouterId r) const {
+    HXWAR_DCHECK_MSG(r < routerShard.size(), "router id out of plan range");
+    return routerShard[r];
+  }
+};
+
+// Contiguous dense-ID ranges, balanced to within one router. `numShards` is
+// clamped to `numRouters` so every shard owns at least one router.
+ShardPlan contiguousShards(std::uint32_t numRouters, std::uint32_t numShards);
+
+}  // namespace hxwar::sim::par

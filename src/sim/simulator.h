@@ -40,6 +40,12 @@ class Simulator {
   bool idle() const { return queue_.empty(); }
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  // Peek at the next pending event without running it. nextEventTime()
+  // returns kTickInvalid when idle; nextEventEpsilon() requires a pending
+  // event. The parallel engine sizes synchronization windows from these.
+  Tick nextEventTime() const { return queue_.nextTime(); }
+  std::uint8_t nextEventEpsilon() const { return queue_.nextEpsilon(); }
+
   // Pre-sizes the event heap; called by the network once the component count
   // is known so steady-state runs never reallocate mid-simulation.
   void reserveEvents(std::size_t n) { queue_.reserve(n); }
@@ -69,6 +75,18 @@ class Component {
   Component& operator=(const Component&) = delete;
 
   virtual void processEvent(std::uint64_t tag) = 0;
+
+  // Cross-shard delivery entry point for the parallel engine: a remote
+  // sender posted (time, a, b) into a mailbox during a window, and the
+  // engine replays the post into the owning shard at the next barrier. Only
+  // channel endpoints classified cross-shard at build time ever receive
+  // this; everything else keeps the default, which fails loudly.
+  virtual void deliverRemote(Tick time, std::uint64_t a, std::uint32_t b) {
+    (void)time;
+    (void)a;
+    (void)b;
+    HXWAR_CHECK_MSG(false, "deliverRemote on a component without remote support");
+  }
 
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }

@@ -6,24 +6,41 @@ namespace hxwar::traffic {
 
 SyntheticInjector::SyntheticInjector(sim::Simulator& sim, net::Network& network,
                                      TrafficPattern& pattern, const Params& params)
-    : Component(sim),
-      network_(network),
-      pattern_(&pattern),
-      params_(params),
-      rng_(params.seed) {
+    : Component(sim), network_(network), pattern_(&pattern), params_(params) {
   HXWAR_CHECK(params_.minFlits >= 1 && params_.minFlits <= params_.maxFlits);
   HXWAR_CHECK_MSG(params_.nodeMask.empty() || params_.nodeMask.size() == network.numNodes(),
                   "node mask size must match the node count");
   const double meanFlits = (params_.minFlits + params_.maxFlits) / 2.0;
   perCycleProb_ = params_.rate / meanFlits;
   HXWAR_CHECK_MSG(perCycleProb_ <= 1.0, "offered rate too high for packet size range");
+  // Materialize the driven node set and one RNG stream per node. The stream
+  // is a function of (seed, node) only — never of the node set — so any
+  // partition of the nodes across injectors reproduces the same decisions.
+  const auto driven = [&](NodeId n) {
+    return params_.nodeMask.empty() || params_.nodeMask[n] != 0;
+  };
+  if (params_.nodes.empty()) {
+    for (NodeId n = 0; n < network.numNodes(); ++n) {
+      if (driven(n)) nodes_.push_back(n);
+    }
+  } else {
+    for (const NodeId n : params_.nodes) {
+      HXWAR_CHECK_MSG(n < network.numNodes(), "injector node out of range");
+      if (driven(n)) nodes_.push_back(n);
+    }
+  }
+  nodeRng_.reserve(nodes_.size());
+  for (const NodeId n : nodes_) {
+    nodeRng_.emplace_back(
+        SplitMix64(params_.seed ^ ((n + 1ull) * 0x9e3779b97f4a7c15ull)).next());
+  }
 }
 
 void SyntheticInjector::start() {
   if (running_) return;
   running_ = true;
   epoch_ += 1;
-  sim().schedule(sim().now(), sim::kEpsTerminal, this, epoch_);
+  sim().schedule(sim().now(), sim::kEpsInject, this, epoch_);
 }
 
 void SyntheticInjector::stop() {
@@ -33,20 +50,20 @@ void SyntheticInjector::stop() {
 
 void SyntheticInjector::processEvent(std::uint64_t tag) {
   if (!running_ || tag != epoch_) return;
-  const std::uint32_t nodes = network_.numNodes();
-  for (NodeId n = 0; n < nodes; ++n) {
-    if (!params_.nodeMask.empty() && !params_.nodeMask[n]) continue;
-    if (!rng_.chance(perCycleProb_)) continue;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const NodeId n = nodes_[i];
+    Rng& rng = nodeRng_[i];
+    if (!rng.chance(perCycleProb_)) continue;
     const std::uint32_t size = static_cast<std::uint32_t>(
-        rng_.range(params_.minFlits, params_.maxFlits));
-    const NodeId dst = pattern_->dest(n, rng_);
+        rng.range(params_.minFlits, params_.maxFlits));
+    const NodeId dst = pattern_->dest(n, rng);
     if (dst == n) continue;  // patterns with fixed points (e.g. transpose
                              // diagonal) simply don't send from those nodes
     network_.injectPacket(n, dst, size);
     offeredFlits_ += size;
     offeredPackets_ += 1;
   }
-  sim().schedule(sim().now() + 1, sim::kEpsTerminal, this, epoch_);
+  sim().schedule(sim().now() + 1, sim::kEpsInject, this, epoch_);
 }
 
 }  // namespace hxwar::traffic

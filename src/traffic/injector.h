@@ -4,6 +4,13 @@
 // probability rate / meanPacketFlits, so the offered load in flits per
 // terminal per cycle equals `rate` (1.0 = channel capacity). Packet sizes are
 // uniform in [minFlits, maxFlits] — the paper uses 1..16.
+//
+// Every injection decision draws from a per-node RNG stream derived from
+// (seed, node) alone, so the decisions are a pure per-node function —
+// independent of which other nodes an injector instance covers. The sharded
+// harness runs one injector per shard over that shard's nodes (Params::nodes)
+// and the union of their injections is exactly the serial injector's,
+// which is one pillar of bit-identical parallel replay (DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
@@ -27,6 +34,9 @@ class SyntheticInjector final : public sim::Component {
     // Restrict injection to a subset of nodes (empty = all nodes). Multiple
     // injectors with disjoint masks model co-located jobs (§3.2).
     std::vector<std::uint8_t> nodeMask;
+    // Explicit node set (ascending; empty = all nodes), composed with
+    // nodeMask. The sharded harness passes each shard's terminal range here.
+    std::vector<NodeId> nodes;
   };
 
   SyntheticInjector(sim::Simulator& sim, net::Network& network, TrafficPattern& pattern,
@@ -50,7 +60,8 @@ class SyntheticInjector final : public sim::Component {
   net::Network& network_;
   TrafficPattern* pattern_;
   Params params_;
-  Rng rng_;
+  std::vector<NodeId> nodes_;  // nodes this injector drives, ascending
+  std::vector<Rng> nodeRng_;   // one stream per node, derived from (seed, node)
   double perCycleProb_;
   bool running_ = false;
   std::uint64_t epoch_ = 0;  // invalidates queued events across start/stop

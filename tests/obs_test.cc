@@ -35,6 +35,12 @@ harness::ExperimentSpec quickTinySpec(const std::string& routing, double load) {
   spec.steady.measureWindow = 800;
   spec.steady.drainWindow = 3000;
   spec.steady.minMeasurePackets = 1;
+  // 18 nodes at low load put only ~50 packets in each short window, so the
+  // per-window accepted rate carries ~±13% sampling noise. Loosen the
+  // saturation-detector tolerances: these tests exercise metric plumbing at
+  // loads far below saturation, not the detector's discrimination.
+  spec.steady.acceptedTol = 0.70;
+  spec.steady.stabilityTol = 0.15;
   return spec;
 }
 

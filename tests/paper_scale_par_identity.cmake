@@ -1,0 +1,37 @@
+# The intra-point parallel engine at paper scale: one --scale=paper
+# fig06-style sweep point (4,096-node 8x8x8 HyperX, OmniWAR, uniform random)
+# through the real hxsim binary, --point-jobs=4 vs --point-jobs=1. Every
+# output surface — the CSV, the metrics JSON, and the trace JSON — must be
+# byte-identical; only --perf-json wall-clock telemetry may differ, so it is
+# not compared. Windows are reduced from the full fig. 6 methodology so the
+# point finishes in ctest time while still building, warming, measuring, and
+# draining the full-size network across shards.
+#
+# Required -D variables: HXSIM (path to the hxsim binary), WORKDIR (scratch).
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(common
+    --scale=paper --routing=omniwar --pattern=ur --experiment=sweep
+    --loads=0.05 --warmup-window=1000 --warmup-windows=4
+    --measure-window=2000 --drain-window=20000
+    --trace-sample=4096 --sample-interval=1000)
+
+foreach(pj 1 4)
+  execute_process(COMMAND "${HXSIM}" ${common} --point-jobs=${pj}
+                          --csv=${WORKDIR}/paper_pj${pj}.csv
+                          --metrics-json=${WORKDIR}/paper_pj${pj}_metrics.json
+                          --trace-out=${WORKDIR}/paper_pj${pj}_trace.json
+                  RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hxsim --scale=paper --point-jobs=${pj} failed (exit ${rc})")
+  endif()
+endforeach()
+
+foreach(out ".csv" "_metrics.json" "_trace.json")
+  set(f1 "${WORKDIR}/paper_pj1${out}")
+  set(f4 "${WORKDIR}/paper_pj4${out}")
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files "${f1}" "${f4}"
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "paper scale: --point-jobs=4 ${out} differs from --point-jobs=1 (${f1} vs ${f4})")
+  endif()
+endforeach()

@@ -30,6 +30,16 @@ THROUGHPUT_KEYS = [
     "end_to_end_events_per_sec",
     "packet_alloc_pooled_per_sec",
     "topology_lookup_raw_per_sec",
+    "par_scaling_pj1_events_per_sec",
+]
+
+# Reported for visibility, never gating: par_scaling_speedup_pj4 divides two
+# noisy throughputs and only exceeds 1x when the machine has cores to back
+# the shards (par_scaling_cores records what the run had).
+REPORT_KEYS = [
+    "par_scaling_cores",
+    "par_scaling_speedup_pj4",
+    "par_scaling_pj4_events_per_sec",
 ]
 
 # Lower-is-better memory-budget keys: idle structural bytes of a freshly
@@ -119,6 +129,11 @@ def main() -> int:
                 f"{key}: {now:,.1f} > ceiling {ceiling:,.1f} "
                 f"(baseline {base:,.1f}, tolerance {MEMORY_TOLERANCE:.0%})"
             )
+
+    for key in REPORT_KEYS:
+        if key in fresh:
+            base = f" (baseline {float(baseline[key]):,.2f})" if key in baseline else ""
+            print(f"INFO {key}: {float(fresh[key]):,.2f}{base}")
 
     if failures:
         print("\nbench regression gate FAILED:")

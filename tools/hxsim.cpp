@@ -8,6 +8,11 @@
 //                          points concurrently; output is jobs-invariant)
 //   --experiment=stencil   27-pt stencil app (--halo-kb, --iterations, --mode)
 //
+// --point-jobs=N shards each point's network across N worker threads via the
+// conservative parallel engine (sim/par, DESIGN.md §12); composes with
+// --jobs. Every output surface except --perf-json wall-clock telemetry is
+// bit-identical for any --point-jobs value.
+//
 // `hxsim --list` prints the registered topologies, routing algorithms, and
 // traffic patterns and exits.
 //
@@ -138,6 +143,12 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
 }
 
 int runStencil(const Flags& flags) {
+  // Application workloads drive a single-simulator NetworkBundle directly;
+  // intra-point sharding only exists on the steady/sweep Experiment path.
+  if (flags.u64("point-jobs", 1) > 1) {
+    std::fprintf(stderr, "--point-jobs applies to steady/sweep experiments only\n");
+    return 1;
+  }
   auto bundle = harness::NetworkBundle::fromFlags(flags);
   app::StencilConfig sc;
   const auto gridList = flags.f64List("grid", {});

@@ -5,8 +5,11 @@
 # separate from the main build/) and runs the parallel-sweep test suite
 # under TSan, then the fault suite (transient kill/revive events mutate the
 # shared dead-port mask, and the faulted --jobs sweep exercises per-thread
-# fault-set construction). Any data race in the thread pool, the sweep
-# reduction, or the fault layer fails the run.
+# fault-set construction), then the intra-point parallel engine suite and a
+# faulted+traced --jobs x --point-jobs sweep (shard workers, mailbox
+# hand-off, barrier merges; DESIGN.md §12). Any data race in the thread
+# pool, the sweep reduction, the fault layer, or the sharded engine fails
+# the run.
 #
 # Pass 2 (ASan+UBSan): a second side build (build-asan/,
 # HXWAR_SANITIZE=address,undefined) runs the index-core memory suites —
@@ -22,7 +25,8 @@ BUILD="${ROOT}/build-tsan"
 BUILD_ASAN="${ROOT}/build-asan"
 
 cmake -B "${BUILD}" -S "${ROOT}" -DHXWAR_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD}" --target parallel_sweep_test fault_test event_queue_test hxsim -j"$(nproc)"
+cmake --build "${BUILD}" --target parallel_sweep_test fault_test event_queue_test \
+  par_sim_test hxsim -j"$(nproc)"
 
 # TSAN_OPTIONS defaults: fail loudly on the first race.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -52,6 +56,23 @@ trap 'rm -rf "${OBS_DIR}"' EXIT
   --trace-out="${OBS_DIR}/sweep.trace.json" \
   --metrics-json="${OBS_DIR}/sweep.metrics.json" > /dev/null
 echo "traced --jobs=4 sweep passed under ThreadSanitizer"
+
+# Intra-point parallel engine: the sharded window loop, mailbox hand-off, and
+# barrier merge paths of sim/par (shard workers + control sim + coordinator).
+"${BUILD}/tests/par_sim_test" "$@"
+echo "par_sim_test passed under ThreadSanitizer"
+
+# The composed axes — sweep workers each driving a 4-shard engine — through
+# the real binary, traced and faulted so observer merge and fault-mask reads
+# cross the shard boundary too.
+"${BUILD}/tools/hxsim" --widths=3,3 --terminals=2 --routing=omniwar \
+  --experiment=sweep --loads=0.1,0.2 --jobs=2 --point-jobs=4 \
+  --fault-rate=0.05 --fault-drop=true \
+  --warmup-window=300 --warmup-windows=6 --measure-window=800 --drain-window=2000 \
+  --trace-sample=1 --sample-interval=200 \
+  --trace-out="${OBS_DIR}/par.trace.json" \
+  --metrics-json="${OBS_DIR}/par.metrics.json" > /dev/null
+echo "faulted+traced --jobs=2 --point-jobs=4 sweep passed under ThreadSanitizer"
 
 # ---- ASan+UBSan pass: index-core memory discipline -------------------------
 
