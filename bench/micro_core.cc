@@ -16,7 +16,9 @@
 
 #include "common/rng.h"
 #include "fault/degraded_topology.h"
+#include "fault/fault_model.h"
 #include "harness/experiment.h"
+#include "harness/registry.h"
 #include "harness/spec.h"
 #include "net/network.h"
 #include "obs/net_observer.h"
@@ -328,6 +330,58 @@ ParScalingRow timeParScaling(std::uint32_t pointJobs) {
   return ParScalingRow{pointJobs, p.eventsProcessed, p.wallSeconds, p.eventsPerSec};
 }
 
+// Fault-tolerant escape routing on a connected degraded network past the
+// deroute budget (connected but NOT one-deroute-routable): ftar's delivery
+// guarantee as a measured invariant. `dropped` lands in BENCH_core.json and
+// is gated at exactly zero by tools/check_bench_regression.py — a nonzero
+// value is a broken guarantee, not a perf regression.
+struct FaultEscapeRow {
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+  double stretch = 0.0;
+  double eventsPerSec = 0.0;
+};
+
+FaultEscapeRow timeFaultEscape() {
+  harness::ExperimentSpec spec = harness::scaleSpec("tiny");
+  spec.routing = "ftar";
+  spec.pattern = "ur";
+  spec.injection.rate = 0.08;
+  spec.fault.rate = 0.15;
+  spec.fault.policy = fault::FaultPolicy::kEscape;
+  spec.steady.warmupWindow = 300;
+  spec.steady.maxWarmupWindows = 6;
+  spec.steady.measureWindow = 800;
+  spec.steady.drainWindow = 4000;
+  spec.steady.minMeasurePackets = 1;
+
+  // Scan for the escape-only regime on the spec's own topology.
+  auto& registry = harness::ExperimentRegistry::instance();
+  const auto probe = registry.topology(spec.topology).build(spec.paramFlags());
+  const auto* hx = dynamic_cast<const topo::HyperX*>(probe.get());
+  std::uint32_t maxPorts = 0;
+  for (RouterId r = 0; r < hx->numRouters(); ++r) {
+    maxPorts = std::max(maxPorts, hx->numPorts(r));
+  }
+  for (std::uint64_t seed = 1; seed < 50'000; ++seed) {
+    fault::FaultSpec fs;
+    fs.rate = spec.fault.rate;
+    fs.seed = seed;
+    const auto set = fault::buildFaultSet(*hx, fs);
+    if (set.failedLinks == 0) continue;
+    fault::DeadPortMask mask(hx->numRouters(), maxPorts);
+    mask.apply(set.ports);
+    if (!fault::checkConnectivity(*hx, mask).connected) continue;
+    if (fault::hyperxOneDerouteRoutable(*hx, mask)) continue;
+    spec.fault.seed = seed;
+    break;
+  }
+
+  const harness::SweepPoint p = harness::runSweepPoint(spec, spec.injection.rate, 0);
+  return FaultEscapeRow{p.result.packetsDropped, p.result.packetsMeasured,
+                        p.result.avgStretch, p.eventsPerSec};
+}
+
 net::NetworkConfig paperNetConfig() {
   // Mirrors harness::paperScaleConfig() (experiment.cc) without pulling the
   // harness library into the bench.
@@ -369,6 +423,7 @@ void writeCoreBaseline(const char* path) {
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const ParScalingRow parRows[] = {timeParScaling(1), timeParScaling(2),
                                    timeParScaling(4)};
+  const FaultEscapeRow escape = timeFaultEscape();
   std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
               unpooled / 1e6, pooled / 1e6, pooled / unpooled);
   std::printf("topology lookup sweeps: raw %.1f M/s, degraded(0 faults) %.1f M/s "
@@ -387,6 +442,11 @@ void writeCoreBaseline(const char* path) {
               parRows[0].eventsPerSec > 0
                   ? parRows[2].eventsPerSec / parRows[0].eventsPerSec
                   : 0.0);
+  std::printf("fault escape (ftar, escape-only degraded tiny): %llu delivered, "
+              "%llu dropped, stretch %.3f, %.2f Mev/s\n",
+              static_cast<unsigned long long>(escape.delivered),
+              static_cast<unsigned long long>(escape.dropped), escape.stretch,
+              escape.eventsPerSec / 1e6);
   std::printf("idle memory: paper scale %.1f MiB (%.1f KiB/terminal, %.1f B/flit slot), "
               "small scale %.1f MiB (%.1f KiB/terminal)\n",
               static_cast<double>(paperMem.totalBytes) / (1024.0 * 1024.0),
@@ -454,6 +514,16 @@ void writeCoreBaseline(const char* path) {
                parRows[0].eventsPerSec > 0
                    ? parRows[2].eventsPerSec / parRows[0].eventsPerSec
                    : 0.0);
+  // Delivery-guarantee row: exact counts, not timings. fault_escape_dropped
+  // is gated at zero by tools/check_bench_regression.py.
+  std::fprintf(f,
+               "  \"fault_escape_dropped\": %llu,\n"
+               "  \"fault_escape_delivered\": %llu,\n"
+               "  \"fault_escape_stretch\": %.4f,\n"
+               "  \"fault_escape_events_per_sec\": %.1f,\n",
+               static_cast<unsigned long long>(escape.dropped),
+               static_cast<unsigned long long>(escape.delivered), escape.stretch,
+               escape.eventsPerSec);
   std::fprintf(f,
                "  \"packet_alloc_unpooled_per_sec\": %.1f,\n"
                "  \"packet_alloc_pooled_per_sec\": %.1f,\n"

@@ -1,0 +1,29 @@
+// hxwar::Error — the recoverable failure type for the experiment harness.
+//
+// HXWAR_CHECK stays the contract-violation tool: it aborts, because a broken
+// invariant means the process state is unreliable. Error is for *expected*
+// failure modes of an otherwise healthy process — a sweep point whose fault
+// policy is `abort` hitting a routing dead end, or the stall watchdog
+// detecting a credit-wait deadlock. Those must not take down a --jobs=N
+// sweep: runSweepPoint catches Error, retries the point once with the same
+// seed, and on a second failure emits a structured failed-point row instead
+// of killing the other workers' points.
+//
+// Throw sites must run on the harness thread (between SimBackend::run calls
+// or in the steady-state loop), never inside a shard worker — the parallel
+// engine's workers record problems in per-lane slots that the harness checks
+// at barriers (see Network fatal-error slots), which keeps the throwing
+// thread deterministic for any --point-jobs value.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hxwar {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& message) : std::runtime_error(message) {}
+};
+
+}  // namespace hxwar

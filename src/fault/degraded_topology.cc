@@ -5,10 +5,13 @@
 
 namespace hxwar::fault {
 
-DegradedTopology::DegradedTopology(const topo::Topology& base, const DeadPortMask& mask)
+DegradedTopology::DegradedTopology(const topo::Topology& base, const DeadPortMask& mask,
+                                   bool allowPartition)
     : base_(base), mask_(mask), n_(base.numRouters()) {
-  const ConnectivityReport report = checkConnectivity(base, mask);
-  HXWAR_CHECK_MSG(report.connected, report.message.c_str());
+  connectivity_ = checkConnectivity(base, mask);
+  if (!allowPartition) {
+    HXWAR_CHECK_MSG(connectivity_.connected, connectivity_.message.c_str());
+  }
 
   dist_.resize(static_cast<std::size_t>(n_) * n_);
   std::vector<std::uint32_t> row;
@@ -16,7 +19,9 @@ DegradedTopology::DegradedTopology(const topo::Topology& base, const DeadPortMas
     bfsDistances(base, r, &mask_, row);
     for (RouterId b = 0; b < n_; ++b) {
       dist_[static_cast<std::size_t>(r) * n_ + b] = row[b];
-      diameter_ = std::max(diameter_, row[b]);
+      // Partitioned pairs stay kUnreachable in dist_ but must not poison the
+      // diameter (it sizes hop-bucketed metrics arrays).
+      if (row[b] != kUnreachable) diameter_ = std::max(diameter_, row[b]);
     }
   }
 }

@@ -8,8 +8,11 @@
 // compare against what is actually reachable.
 //
 // Construction CHECK-fails on a partitioned fault set with the actionable
-// checkConnectivity() message (callers that must not abort run
-// checkConnectivity() themselves first).
+// checkConnectivity() message — unless built with allowPartition, the
+// partition-tolerant mode used by the non-abort fault policies: minHops()
+// then returns kUnreachable for cut pairs (callers bucketing stretch must
+// guard on it), diameter() spans only the reachable pairs, and the
+// unreachable-pair census is surfaced via connectivity().
 //
 // Routing algorithms keep operating on the *base* topology: HyperX coordinate
 // math is unaffected by missing links, and the registry factories downcast to
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "fault/dead_port_mask.h"
+#include "fault/fault_model.h"
 #include "topo/topology.h"
 
 namespace hxwar::fault {
@@ -28,7 +32,8 @@ namespace hxwar::fault {
 class DegradedTopology final : public topo::Topology {
  public:
   // Both references must outlive the decorator.
-  DegradedTopology(const topo::Topology& base, const DeadPortMask& mask);
+  DegradedTopology(const topo::Topology& base, const DeadPortMask& mask,
+                   bool allowPartition = false);
 
   std::string name() const override { return base_.name() + "+faults"; }
   std::uint32_t numRouters() const override { return base_.numRouters(); }
@@ -49,6 +54,9 @@ class DegradedTopology final : public topo::Topology {
 
   const topo::Topology& base() const { return base_; }
   const DeadPortMask& mask() const { return mask_; }
+  // The census taken at construction (unreachable pairs/routers when built
+  // with allowPartition on a partitioned set).
+  const ConnectivityReport& connectivity() const { return connectivity_; }
 
  private:
   const topo::Topology& base_;
@@ -56,6 +64,7 @@ class DegradedTopology final : public topo::Topology {
   std::uint32_t n_;
   std::uint32_t diameter_ = 0;
   std::vector<std::uint32_t> dist_;  // all-pairs hops over the degraded graph
+  ConnectivityReport connectivity_;
 };
 
 }  // namespace hxwar::fault

@@ -126,12 +126,12 @@ void bfsDistances(const topo::Topology& topo, RouterId src, const DeadPortMask* 
 
 ConnectivityReport checkConnectivity(const topo::Topology& topo, const DeadPortMask& mask) {
   ConnectivityReport report;
+  const RouterId n = topo.numRouters();
   std::vector<std::uint32_t> dist;
   bfsDistances(topo, 0, &mask, dist);
-  std::size_t unreachable = 0;
-  for (RouterId r = 0; r < topo.numRouters(); ++r) {
+  for (RouterId r = 0; r < n; ++r) {
     if (dist[r] != kUnreachable) continue;
-    unreachable += 1;
+    report.unreachableRouters += 1;
     if (report.connected) {
       report.connected = false;
       report.from = 0;
@@ -139,10 +139,28 @@ ConnectivityReport checkConnectivity(const topo::Topology& topo, const DeadPortM
     }
   }
   if (!report.connected) {
+    // Component census for the unreachable-pair metric: an ordered pair
+    // (a, b) is unreachable iff a and b sit in different components, so
+    // pairs = n^2 - sum(componentSize^2). Repeated BFS is O(V + E) total.
+    std::uint64_t sumSq = 0;
+    std::vector<std::uint8_t> seen(n, 0);
+    std::vector<std::uint32_t> compDist;
+    for (RouterId r = 0; r < n; ++r) {
+      if (seen[r]) continue;
+      bfsDistances(topo, r, &mask, compDist);
+      std::uint64_t size = 0;
+      for (RouterId x = 0; x < n; ++x) {
+        if (compDist[x] == kUnreachable) continue;
+        seen[x] = 1;
+        size += 1;
+      }
+      sumSq += size * size;
+    }
+    report.unreachablePairs = static_cast<std::uint64_t>(n) * n - sumSq;
     std::ostringstream msg;
     msg << "fault set partitions the network: router " << report.from
-        << " cannot reach router " << report.to << " (" << unreachable << " of "
-        << topo.numRouters() << " routers unreachable); lower --fault-rate, change "
+        << " cannot reach router " << report.to << " (" << report.unreachableRouters
+        << " of " << n << " routers unreachable); lower --fault-rate, change "
         << "--fault-seed, or remove entries from --fault-links/--fault-routers";
     report.message = msg.str();
   }

@@ -28,6 +28,7 @@
 
 #include "common/types.h"
 #include "fault/dead_port_mask.h"
+#include "fault/fault_policy.h"
 #include "topo/hyperx.h"
 #include "topo/topology.h"
 
@@ -40,13 +41,21 @@ struct FaultSpec {
   std::string routers;         // explicit "r,r,..." failed routers
   Tick at = kTickInvalid;      // transient: cycle the faults strike
   Tick until = kTickInvalid;   // transient: cycle the channels revive
-  // Dead-end policy: true = routers drop packets with no live candidate
-  // (delivered/dropped accounting); false = abort loudly (default, so a
-  // non-fault-aware algorithm on a degraded network is an error, not silence).
+  // Legacy dead-end switch (--fault-drop=true), kept so PR 3 specs parse and
+  // serialize unchanged; it is folded into `policy` by effectivePolicy().
   bool drop = false;
+  // Graceful-degradation ladder selector (--fault-policy); see
+  // fault/fault_policy.h. kAbort + drop=true means the legacy drop mode.
+  FaultPolicy policy = FaultPolicy::kAbort;
 
   bool active() const { return rate > 0.0 || !links.empty() || !routers.empty(); }
   bool transient() const { return at != kTickInvalid; }
+  FaultPolicy effectivePolicy() const {
+    return (policy == FaultPolicy::kAbort && drop) ? FaultPolicy::kDrop : policy;
+  }
+  bool toleratesPartition() const {
+    return faultPolicyToleratesPartition(effectivePolicy());
+  }
 };
 
 struct FaultSet {
@@ -72,10 +81,17 @@ struct ConnectivityReport {
   RouterId from = kRouterInvalid;  // first unreachable pair, when partitioned
   RouterId to = kRouterInvalid;
   std::string message;  // actionable error text, empty when connected
+  // Routers cut off from router 0's component, and the number of ordered
+  // router pairs (a, b) with no surviving path. Zero when connected. The
+  // partition-tolerant policies report these as metrics instead of rejecting
+  // the spec (DESIGN.md §13).
+  std::uint32_t unreachableRouters = 0;
+  std::uint64_t unreachablePairs = 0;
 };
 
 // BFS from router 0 over the masked topology; reports the first unreachable
-// pair when the fault set partitions the network.
+// pair when the fault set partitions the network, plus the component census
+// behind the unreachable-pair metrics.
 ConnectivityReport checkConnectivity(const topo::Topology& topo, const DeadPortMask& mask);
 
 // HyperX one-deroute routability: for every dimension d and every ordered

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "common/assert.h"
+#include "common/error.h"
 #include "common/rng.h"
 #include "harness/registry.h"
 
@@ -110,23 +112,30 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
       maxPorts = std::max(maxPorts, topo_->numPorts(r));
     }
     mask_.resize(topo_->numRouters(), maxPorts);
+    const bool allowPartition = spec_.fault.toleratesPartition();
     if (spec_.fault.transient()) {
       // Transient window: the network wires the full topology and the
-      // controller flips the shared mask at the scheduled cycles. Validate
-      // upfront that the degraded phase would stay connected — a partition is
-      // a configuration error whether it lasts one cycle or the whole run.
+      // controller flips the shared mask at the scheduled cycles. Under the
+      // abort policy, validate upfront that the degraded phase would stay
+      // connected — a partition is a configuration error whether it lasts one
+      // cycle or the whole run. The softer policies accept it and report the
+      // census as metrics instead (DESIGN.md §13).
       fault::DeadPortMask preview(topo_->numRouters(), maxPorts);
       preview.apply(faultSet_.ports);
-      const auto report = fault::checkConnectivity(*topo_, preview);
-      HXWAR_CHECK_MSG(report.connected, report.message.c_str());
+      connectivity_ = fault::checkConnectivity(*topo_, preview);
+      if (!allowPartition) {
+        HXWAR_CHECK_MSG(connectivity_.connected, connectivity_.message.c_str());
+      }
     } else {
-      // Static faults: failures are structural. The DegradedTopology rejects
-      // partitioned fault sets in its constructor and the Network simply
-      // never wires the dead channels.
+      // Static faults: failures are structural. Under the abort policy the
+      // DegradedTopology rejects partitioned fault sets in its constructor;
+      // partition-tolerant policies build the (possibly disconnected)
+      // degraded graph and the Network simply never wires the dead channels.
       mask_.apply(faultSet_.ports);
-      degraded_ = std::make_unique<fault::DegradedTopology>(*topo_, mask_);
+      degraded_ = std::make_unique<fault::DegradedTopology>(*topo_, mask_, allowPartition);
+      connectivity_ = degraded_->connectivity();
     }
-    netCfg.router.faultDropDeadEnd = netCfg.router.faultDropDeadEnd || spec_.fault.drop;
+    netCfg.router.faultPolicy = spec_.fault.effectivePolicy();
   }
 
   // Shard plan: contiguous router ID ranges (HyperX numbering makes these
@@ -261,6 +270,27 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
         for (const auto* o : all) total += o->creditStallCount();
         return total;
       });
+      // Watchdog dump extension: per-shard progress and mailbox depths, so a
+      // cross-shard stall names the starved shard. The sampler is a control
+      // event — it runs with all workers parked at the barrier, so the
+      // engine and mailbox reads race with nothing.
+      sampler_->setEngineDiagnostics([eng, mail = mail_.get()](std::FILE* f) {
+        const std::vector<std::uint64_t> events = eng->shardEventsProcessed();
+        std::fprintf(f, "par engine: %u shards, %llu windows run\n", eng->numShards(),
+                     static_cast<unsigned long long>(eng->windowsRun()));
+        for (std::uint32_t s = 0; s < eng->numShards(); ++s) {
+          std::fprintf(f, "  shard %u: %llu events processed\n", s,
+                       static_cast<unsigned long long>(events[s]));
+        }
+        for (std::uint32_t src = 0; src < mail->numShards(); ++src) {
+          for (std::uint32_t dst = 0; dst < mail->numShards(); ++dst) {
+            const std::size_t depth = mail->box(src, dst).size();
+            if (depth != 0) {
+              std::fprintf(f, "  mailbox %u->%u: %zu undelivered posts\n", src, dst, depth);
+            }
+          }
+        }
+      });
     }
   }
 }
@@ -275,7 +305,13 @@ metrics::SteadyStateResult Experiment::run() {
   std::vector<traffic::SyntheticInjector*> injectors;
   injectors.reserve(injectors_.size());
   for (auto& inj : injectors_) injectors.push_back(inj.get());
-  return metrics::runSteadyState(*backend_, *network_, injectors, spec_.steady);
+  metrics::SteadyStateResult result =
+      metrics::runSteadyState(*backend_, *network_, injectors, spec_.steady);
+  // Partition census is a property of the (spec, fault set) pair, not of the
+  // measurement — stamped here so every caller of run() sees it.
+  result.unreachablePairs = connectivity_.unreachablePairs;
+  result.unreachableRouters = connectivity_.unreachableRouters;
+  return result;
 }
 
 namespace {
@@ -312,7 +348,12 @@ ExperimentConfig sweepPointConfig(const ExperimentConfig& base, double load,
   return cfg;
 }
 
-SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t index) {
+namespace {
+
+// One attempt at a sweep point; hxwar::Error propagates to runSweepPoint's
+// isolation wrapper below. CHECK failures still abort the process — they are
+// simulator contract violations, not expected degraded-run outcomes.
+SweepPoint runSweepPointOnce(const ExperimentSpec& base, double load, std::size_t index) {
   SweepPoint p;
   p.load = load;
   p.index = index;
@@ -340,6 +381,27 @@ SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t in
     }
   }
   return p;
+}
+
+}  // namespace
+
+SweepPoint runSweepPoint(const ExperimentSpec& base, double load, std::size_t index) {
+  // Crash isolation: one same-seed retry (guards against environment flakes
+  // — the simulation itself is deterministic), then a structured failed row.
+  // Sweeps keep their other points; front ends surface status/message.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return runSweepPointOnce(base, load, index);
+    } catch (const Error& e) {
+      if (attempt == 0) continue;
+      SweepPoint p;
+      p.load = load;
+      p.index = index;
+      p.status = "failed";
+      p.message = e.what();
+      return p;
+    }
+  }
 }
 
 SweepPoint runSweepPoint(const ExperimentConfig& base, double load, std::size_t index) {

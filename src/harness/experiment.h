@@ -102,6 +102,10 @@ class Experiment {
   const fault::DeadPortMask* deadPortMask() const {
     return spec_.fault.active() ? &mask_ : nullptr;
   }
+  // Connectivity census of the degraded graph (all-connected defaults when
+  // fault-free). Partition-tolerant policies surface its unreachable-pair
+  // counts through SteadyStateResult; run() copies them over.
+  const fault::ConnectivityReport& connectivity() const { return connectivity_; }
   // Lane-0 observability sink (the only one when pointJobs == 1); nullptr
   // when spec.obs is all-defaults or the obs layer is compiled out.
   obs::NetObserver* observer() { return observers_.empty() ? nullptr : observers_[0].get(); }
@@ -124,6 +128,7 @@ class Experiment {
   // topo_ and mask_, so it must be declared (and thus destroyed) after them.
   fault::FaultSet faultSet_;
   fault::DeadPortMask mask_;
+  fault::ConnectivityReport connectivity_;
   std::unique_ptr<fault::DegradedTopology> degraded_;
   std::vector<std::unique_ptr<routing::RoutingAlgorithm>> routing_;  // one per shard
   std::unique_ptr<net::Network> network_;
@@ -148,6 +153,14 @@ class Experiment {
 struct SweepPoint {
   double load = 0.0;
   std::size_t index = 0;  // position in the load grid (seed derivation key)
+  // Crash isolation (DESIGN.md §13): a point whose simulation raises
+  // hxwar::Error — e.g. a fault dead end under --fault-policy=abort — is
+  // retried once with the same seeds and, if it fails again, reported as a
+  // structured failed row (status="failed", message=the error text) instead
+  // of tearing down the whole sweep. `result` keeps its defaults then.
+  std::string status = "ok";
+  std::string message;
+  bool failed() const { return status != "ok"; }
   metrics::SteadyStateResult result;
   // Perf telemetry for this point. Wall-clock values vary run to run; every
   // field of `result` is deterministic given (spec, load, index).

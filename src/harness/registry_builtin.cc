@@ -35,11 +35,20 @@ const T& topoAs(const topo::Topology& topo, const std::string& what) {
   return *typed;
 }
 
+routing::VcPolicy vcPolicyParam(const Flags& params) {
+  routing::VcPolicy policy = routing::VcPolicy::kStatic;
+  const std::string name = params.str("vc-policy", "static");
+  HXWAR_CHECK_MSG(routing::parseVcPolicy(name, &policy),
+                  ("vc-policy must be static, dateline, or escape; got " + name).c_str());
+  return policy;
+}
+
 routing::HyperXRoutingOptions hyperxOptions(const Flags& params) {
   routing::HyperXRoutingOptions opts;
   opts.ugalBias = params.f64("ugal-bias", 1.0);
   if (params.has("omni-deroutes")) opts.omniDeroutes = u32(params, "omni-deroutes", 0);
   opts.omniRestrictBackToBack = params.b("omni-restrict-b2b", true);
+  opts.vcPolicy = vcPolicyParam(params);
   return opts;
 }
 
@@ -123,14 +132,18 @@ void registerBuiltinExperimentFactories() {
   reg.addRouting(hyperxEntry("ugal", "ugal-bias=1.0", true));
   reg.addRouting(hyperxEntry("closad", "ugal-bias=1.0", true));
   reg.addRouting(hyperxEntry("ugal+", "alias of closad", false));
-  reg.addRouting(hyperxEntry("dimwar", "", true));
-  reg.addRouting(
-      hyperxEntry("omniwar", "omni-deroutes=N omni-restrict-b2b=true", true));
-  reg.addRouting({"hyperx", "dal", "dal-atomic=true", false,
+  reg.addRouting(hyperxEntry("dimwar", "vc-policy=static|dateline|escape", true));
+  reg.addRouting(hyperxEntry(
+      "omniwar", "omni-deroutes=N omni-restrict-b2b=true vc-policy=static|escape", true));
+  reg.addRouting({"hyperx", "dal", "dal-atomic=true vc-policy=static|escape", false,
                   [](const topo::Topology& topo, const Flags& params) {
                     return routing::makeDalRouting(topoAs<topo::HyperX>(topo, "dal"),
-                                                   params.b("dal-atomic", true));
+                                                   params.b("dal-atomic", true),
+                                                   vcPolicyParam(params));
                   }});
+  // Fault-tolerant escape routing (routing/ftar.h): excluded from the
+  // headline bench sweeps like dal/minad, swept by bench/fault_resilience.
+  reg.addRouting(hyperxEntry("ftar", "", false));
 
   reg.addRouting(dragonflyEntry("min", ""));
   reg.addRouting(dragonflyEntry("ugal", "ugal-bias=1.0"));

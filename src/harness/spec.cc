@@ -40,7 +40,7 @@ const std::set<std::string>& structuredKeys() {
       "min-measure-packets",
       // fault injection
       "fault-rate", "fault-seed", "fault-links", "fault-routers", "fault-at",
-      "fault-until", "fault-drop",
+      "fault-until", "fault-drop", "fault-policy",
       // front-end operational keys, never part of an experiment's identity
       "loads", "csv", "jobs", "point-jobs", "perf-json", "experiment", "config",
       "scale", "algorithms", "list",
@@ -128,6 +128,12 @@ fault::FaultSpec faultSpecFromFlags(const Flags& flags, fault::FaultSpec d) {
   if (flags.has("fault-at")) d.at = flags.u64("fault-at", d.at);
   if (flags.has("fault-until")) d.until = flags.u64("fault-until", d.until);
   d.drop = flags.b("fault-drop", d.drop);
+  if (flags.has("fault-policy")) {
+    const std::string name = flags.str("fault-policy", "abort");
+    HXWAR_CHECK_MSG(
+        fault::parseFaultPolicy(name, &d.policy),
+        ("fault-policy must be abort, drop, retry, or escape; got " + name).c_str());
+  }
   return d;
 }
 
@@ -236,6 +242,11 @@ std::string ExperimentSpec::serialize() const {
     if (fault.at != kTickInvalid) out << "fault-at = " << fault.at << "\n";
     if (fault.until != kTickInvalid) out << "fault-until = " << fault.until << "\n";
     if (fault.drop) out << "fault-drop = true\n";
+    // The policy line appears only when set, so pre-ladder spec text (and
+    // legacy --fault-drop specs) round-trips byte-identically.
+    if (fault.policy != fault::FaultPolicy::kAbort) {
+      out << "fault-policy = " << fault::faultPolicyName(fault.policy) << "\n";
+    }
   }
   for (const auto& [key, value] : params) {
     if (structuredKeys().count(key) == 0) out << key << " = " << value << "\n";

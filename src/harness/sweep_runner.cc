@@ -19,6 +19,32 @@ bool reduceWave(std::vector<SweepPoint>&& wave, bool stopAtSaturation,
   return false;
 }
 
+// Minimal JSON string escaping for error messages (quotes, backslashes,
+// control characters). Series names and statuses are identifier-like and
+// never need it, but failure messages quote arbitrary CHECK text.
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
@@ -70,7 +96,7 @@ std::vector<SweepPoint> runLoadSweep(const ExperimentSpec& base,
 void SweepPerfLog::add(const std::string& series, const SweepPoint& point) {
   entries_.push_back(Entry{series, point.load, point.result.saturated,
                            point.wallSeconds, point.eventsProcessed, point.eventsPerSec,
-                           point.pointJobs});
+                           point.pointJobs, point.status, point.message});
   totalWall_ += point.wallSeconds;
   totalEvents_ += point.eventsProcessed;
 }
@@ -105,10 +131,14 @@ bool SweepPerfLog::writeJson(const std::string& path, const std::string& bench,
     std::fprintf(f,
                  "    {\"series\": \"%s\", \"load\": %.6f, \"saturated\": %s, "
                  "\"wall_seconds\": %.6f, \"events\": %llu, \"events_per_second\": %.1f, "
-                 "\"point_jobs\": %u}%s\n",
+                 "\"point_jobs\": %u, \"status\": \"%s\"",
                  e.series.c_str(), e.load, e.saturated ? "true" : "false", e.wallSeconds,
                  static_cast<unsigned long long>(e.events), e.eventsPerSec, e.pointJobs,
-                 i + 1 < entries_.size() ? "," : "");
+                 e.status.c_str());
+    if (!e.message.empty()) {
+      std::fprintf(f, ", \"message\": \"%s\"", jsonEscape(e.message).c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -67,6 +67,11 @@ class SweepPerfLog {
     double eventsPerSec = 0.0;
     // Intra-point shard count the point ran with (see --point-jobs).
     std::uint32_t pointJobs = 1;
+    // Crash isolation (SweepPoint::status): "ok", or "failed" with the error
+    // text in `message` — failed points stay in the perf log as attributed
+    // rows rather than vanishing.
+    std::string status = "ok";
+    std::string message;
   };
 
   void add(const std::string& series, const SweepPoint& point);

@@ -4,18 +4,32 @@
 #include <cmath>
 
 #include "common/assert.h"
+#include "common/error.h"
 #include "common/log.h"
+#include "net/deadlock.h"
 #include "obs/net_observer.h"
 
 namespace hxwar::metrics {
 namespace {
 
-// Aborts on a network-wide stall: nothing moved for a full window while
-// packets are outstanding. With correct deadlock avoidance this never fires.
+// Health check between windows (the backend is parked, so lane state is safe
+// to read). Raises hxwar::Error — not a CHECK-abort — so one bad sweep point
+// becomes a structured failed row instead of killing the whole --jobs sweep:
+//   * a deferred-fatal message from a router (abort fault policy, recorded
+//     worker-side; see net/lane.h) is rethrown verbatim;
+//   * a network-wide stall (nothing moved for a full window while packets
+//     are outstanding) walks the SoA VC state for a credit- or
+//     allocation-wait cycle and names the blocking chain instead of just
+//     the tick (DESIGN.md §13).
 void watchdog(const net::Network& network, std::uint64_t movesBefore) {
+  const std::string fatal = network.fatalError();
+  if (!fatal.empty()) throw Error(fatal);
   if (network.packetsOutstanding() == 0) return;
-  HXWAR_CHECK_MSG(network.flitMovements() != movesBefore,
-                  "network stalled: possible routing deadlock");
+  if (network.flitMovements() != movesBefore) return;
+  std::string msg = "network stalled: possible routing deadlock";
+  const std::string cycle = net::findCreditWaitCycle(network);
+  if (!cycle.empty()) msg += "\n" + cycle;
+  throw Error(msg);
 }
 
 // Per-lane measurement accumulator. Each lane's listener callbacks run on
@@ -176,7 +190,10 @@ SteadyStateResult runSteadyState(sim::SimBackend& backend, net::Network& network
       // minHops (integer sums) so the mean is order-invariant.
       const std::uint32_t minHops =
           topology.minHops(topology.nodeRouter(pkt.src), topology.nodeRouter(pkt.dst));
-      if (minHops > 0) {
+      // An ejected packet's pair is reachable by construction, but a
+      // partition-tolerant DegradedTopology can hold kUnreachable entries;
+      // never let one size the stretch buckets.
+      if (minHops > 0 && minHops != 0xffffffffu) {
         if (minHops >= a.byMinHops.size()) a.byMinHops.resize(minHops + 1);
         a.byMinHops[minHops].count += 1;
         a.byMinHops[minHops].hopsSum += pkt.hops;

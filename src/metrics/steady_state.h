@@ -71,6 +71,12 @@ struct SteadyStateResult {
   // distance over the surviving links. 1.0 = every packet took a shortest
   // reachable path; the excess is the price of routing around faults.
   double avgStretch = 0.0;
+  // Partition census when a partition-tolerant fault policy accepted a
+  // disconnecting fault set (filled by the harness from the connectivity
+  // report; zero on connected networks): ordered router pairs with no
+  // surviving path, and routers cut off from router 0's component.
+  std::uint64_t unreachablePairs = 0;
+  std::uint32_t unreachableRouters = 0;
   // --- observability extensions ---
   // Log2-bucketed latency distribution over the marked packets; the tail
   // percentiles above are nearest-rank over the raw samples, the histogram

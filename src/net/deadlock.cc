@@ -1,0 +1,185 @@
+#include "net/deadlock.h"
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "net/network.h"
+#include "net/router.h"
+#include "topo/topology.h"
+
+namespace hxwar::net {
+namespace {
+
+constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+struct Walker {
+  const Network& net;
+  const topo::Topology& topo;
+  std::uint32_t numVcs;
+  std::uint64_t stride;  // out-VC codes per router: maxPorts * numVcs
+
+  std::uint64_t codeOf(RouterId r, PortId p, VcId v) const {
+    return static_cast<std::uint64_t>(r) * stride + static_cast<std::uint64_t>(p) * numVcs + v;
+  }
+  RouterId routerOf(std::uint64_t code) const { return static_cast<RouterId>(code / stride); }
+  PortId portOf(std::uint64_t code) const {
+    return static_cast<PortId>((code % stride) / numVcs);
+  }
+  VcId vcOf(std::uint64_t code) const { return static_cast<VcId>(code % numVcs); }
+
+  // An output VC that can make no forward progress: creditless while flits
+  // wait on it — queued locally or in the crossbar pipe (transmission-
+  // blocked), or filling the downstream input buffer it feeds (the upstream
+  // half of an allocation-blocked wait edge).
+  bool blocked(RouterId r, PortId p, VcId v) const {
+    const Router& rt = net.router(r);
+    if (rt.outCreditsAt(p, v) != 0) return false;
+    if (rt.outQueueLen(p, v) > 0 || rt.outOccupancy(p, v) > 0) return true;
+    const auto target = topo.portTarget(r, p);
+    if (target.kind != topo::Topology::PortTarget::Kind::kRouter) return false;
+    return net.router(target.router).inQueueLen(target.port, v) > 0;
+  }
+
+  // The output VC this blocked one waits-for, or kNone when the chain ends
+  // (terminal port, idle downstream head, or a draining successor). A routed
+  // downstream head waits on its granted output; an unrouted one waits on the
+  // output its last allocation attempt was denied (recorded by the router on
+  // every blocked attempt — see Router::inGrantPort).
+  std::uint64_t successor(RouterId r, PortId p, VcId v) const {
+    const auto target = topo.portTarget(r, p);
+    if (target.kind != topo::Topology::PortTarget::Kind::kRouter) return kNone;
+    const RouterId r2 = target.router;
+    const PortId p2 = target.port;
+    const Router& rt2 = net.router(r2);
+    if (rt2.inQueueLen(p2, v) == 0) return kNone;
+    const PortId gp = rt2.inGrantPort(p2, v);
+    const VcId gv = rt2.inGrantVc(p2, v);
+    if (gp == kPortInvalid || gv == kVcInvalid) return kNone;
+    if (!blocked(r2, gp, gv)) return kNone;
+    return codeOf(r2, gp, gv);
+  }
+};
+
+}  // namespace
+
+std::string findCreditWaitCycle(const Network& network) {
+  Walker w{network, network.topology(), network.config().router.numVcs,
+           static_cast<std::uint64_t>(network.maxPorts()) * network.config().router.numVcs};
+
+  // Color the out-VC nodes: 0 = unvisited, 1 = on the current chain,
+  // 2 = finished (leads out of any cycle). Chains are simple paths — each
+  // node has at most one successor — so the walk is linear overall.
+  std::vector<std::uint8_t> color(network.numRouters() * w.stride, 0);
+  std::vector<std::uint64_t> chain;
+
+  for (RouterId r = 0; r < network.numRouters(); ++r) {
+    const std::uint32_t ports = network.router(r).numPorts();
+    for (PortId p = 0; p < ports; ++p) {
+      for (VcId v = 0; v < w.numVcs; ++v) {
+        if (!w.blocked(r, p, v) || color[w.codeOf(r, p, v)] != 0) continue;
+        chain.clear();
+        std::uint64_t cur = w.codeOf(r, p, v);
+        while (cur != kNone && color[cur] == 0) {
+          color[cur] = 1;
+          chain.push_back(cur);
+          cur = w.successor(w.routerOf(cur), w.portOf(cur), w.vcOf(cur));
+        }
+        if (cur != kNone && color[cur] == 1) {
+          // Found: `cur` closes a cycle within the current chain. Trim the
+          // lead-in tail so only the cycle proper is reported.
+          std::size_t start = 0;
+          while (chain[start] != cur) start += 1;
+          std::ostringstream out;
+          out << "credit-wait cycle (" << (chain.size() - start) << " links):";
+          for (std::size_t i = start; i < chain.size(); ++i) {
+            const std::uint64_t c = chain[i];
+            const RouterId cr = w.routerOf(c);
+            const PortId cp = w.portOf(c);
+            const VcId cv = w.vcOf(c);
+            const Router& rt = network.router(cr);
+            const auto target = network.topology().portTarget(cr, cp);
+            const Router& rt2 = network.router(target.router);
+            out << "\n  router " << cr << " port " << cp << " vc " << static_cast<int>(cv)
+                << ": " << rt.outQueueLen(cp, cv) << " flits queued, 0 credits -> "
+                << "router " << target.router << " port " << target.port << " vc "
+                << static_cast<int>(cv) << " (" << rt2.inQueueLen(target.port, cv)
+                << " buffered, "
+                << (rt2.inIsRouted(target.port, cv) ? "granted to" : "head waiting for")
+                << " port " << static_cast<int>(rt2.inGrantPort(target.port, cv))
+                << " vc " << static_cast<int>(rt2.inGrantVc(target.port, cv)) << ")";
+          }
+          out << "\n  ... closing back to router " << w.routerOf(cur) << " port "
+              << w.portOf(cur) << " vc " << static_cast<int>(w.vcOf(cur));
+          return out.str();
+        }
+        for (const std::uint64_t c : chain) color[c] = 2;
+      }
+    }
+  }
+
+  // No creditless cycle: look for an allocation-wait cycle over input heads.
+  // An atomic-allocation algorithm (DAL, paper §4.2) grants an output VC only
+  // when the downstream buffer it feeds is completely empty, so the network
+  // can wedge with credits everywhere: every head is denied because the
+  // buffer it wants still holds flits whose own heads are denied in turn.
+  // Nodes are input VCs whose head is allocation-blocked (present, unrouted,
+  // with a recorded wanted output — refreshed every cycle); the wait edge
+  // follows the wanted port to the downstream input buffer it must drain.
+  std::vector<std::uint8_t> inColor(network.numRouters() * w.stride, 0);
+  std::vector<std::uint64_t> chain2;
+  const auto inBlocked = [&](RouterId r, PortId p, VcId v) {
+    const Router& rt = network.router(r);
+    return rt.inQueueLen(p, v) > 0 && !rt.inIsRouted(p, v) &&
+           rt.inGrantPort(p, v) != kPortInvalid && rt.inGrantVc(p, v) != kVcInvalid;
+  };
+  const auto inSuccessor = [&](RouterId r, PortId p, VcId v) -> std::uint64_t {
+    const Router& rt = network.router(r);
+    const PortId wp = rt.inGrantPort(p, v);
+    const VcId wv = rt.inGrantVc(p, v);
+    const auto target = network.topology().portTarget(r, wp);
+    if (target.kind != topo::Topology::PortTarget::Kind::kRouter) return kNone;
+    if (!inBlocked(target.router, target.port, wv)) return kNone;
+    return w.codeOf(target.router, target.port, wv);
+  };
+  for (RouterId r = 0; r < network.numRouters(); ++r) {
+    const std::uint32_t ports = network.router(r).numPorts();
+    for (PortId p = 0; p < ports; ++p) {
+      for (VcId v = 0; v < w.numVcs; ++v) {
+        if (!inBlocked(r, p, v) || inColor[w.codeOf(r, p, v)] != 0) continue;
+        chain2.clear();
+        std::uint64_t cur = w.codeOf(r, p, v);
+        while (cur != kNone && inColor[cur] == 0) {
+          inColor[cur] = 1;
+          chain2.push_back(cur);
+          cur = inSuccessor(w.routerOf(cur), w.portOf(cur), w.vcOf(cur));
+        }
+        if (cur != kNone && inColor[cur] == 1) {
+          std::size_t start = 0;
+          while (chain2[start] != cur) start += 1;
+          std::ostringstream out;
+          out << "allocation-wait cycle (" << (chain2.size() - start) << " links):";
+          for (std::size_t i = start; i < chain2.size(); ++i) {
+            const std::uint64_t c = chain2[i];
+            const RouterId cr = w.routerOf(c);
+            const PortId cp = w.portOf(c);
+            const VcId cv = w.vcOf(c);
+            const Router& rt = network.router(cr);
+            out << "\n  router " << cr << " input port " << cp << " vc "
+                << static_cast<int>(cv) << ": " << rt.inQueueLen(cp, cv)
+                << " buffered, head denied output port "
+                << static_cast<int>(rt.inGrantPort(cp, cv)) << " vc "
+                << static_cast<int>(rt.inGrantVc(cp, cv));
+          }
+          out << "\n  ... closing back to router " << w.routerOf(cur) << " input port "
+              << w.portOf(cur) << " vc " << static_cast<int>(w.vcOf(cur));
+          return out.str();
+        }
+        for (const std::uint64_t c : chain2) inColor[c] = 2;
+      }
+    }
+  }
+  return std::string();
+}
+
+}  // namespace hxwar::net

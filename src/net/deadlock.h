@@ -1,0 +1,43 @@
+// Credit-wait-cycle deadlock detector (DESIGN.md §13).
+//
+// When the stall watchdog fires, the interesting question is *why* nothing
+// moves. This walks the routers' SoA VC state and builds the classic
+// wait-for graph over output VCs:
+//
+//   * an output VC (router, port, vc) is BLOCKED when it has flits queued
+//     but zero credits — it is waiting for the downstream input buffer on
+//     the other end of the channel to drain;
+//   * that downstream input VC drains only if its granted output VC drains,
+//     so a blocked output VC waits-for the output VC the downstream input
+//     is routed to.
+//
+// A cycle in this graph is a credit deadlock: every participant holds
+// buffer slots the next one needs, and no flit will ever move again. The
+// detector reports the first cycle found (scanning nodes in (router, port,
+// vc) order, so the report is deterministic) as a human-readable chain
+// naming each router:port:vc link with its queue depth and credit state.
+//
+// When that graph is acyclic a second walk covers allocation deadlocks with
+// credits still available: atomic queue allocation (DAL, paper §4.2) grants
+// an output only when the downstream buffer is completely empty, so heads
+// can deny each other in a cycle while every credit counter is positive.
+// Nodes are allocation-blocked input heads (unrouted, with the wanted
+// output recorded by the router on every denied attempt) and the wait edge
+// follows the wanted port to the downstream input buffer that must drain.
+//
+// This is a cold diagnostic path — O(total VC codes) time and memory, run
+// only from the watchdog or tests, never during normal simulation.
+#pragma once
+
+#include <string>
+
+namespace hxwar::net {
+
+class Network;
+
+// Returns a multi-line description of the first credit-wait cycle, or an
+// empty string when the wait-for graph is acyclic (the stall has another
+// cause: e.g. a transiently dead port, or the network is simply idle).
+std::string findCreditWaitCycle(const Network& network);
+
+}  // namespace hxwar::net

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
@@ -43,6 +44,14 @@ struct alignas(64) LaneStats {
   // engine's barrier hook recycles them into the owning pools while workers
   // are parked (Network::drainDeferredFrees).
   std::vector<PacketRef> deferredFrees;
+
+  // Deferred-fatal slot for the `abort` fault policy: a router that hits a
+  // dead end records the first message here (worker-thread code must never
+  // throw — the harness reads the slots between windows, with workers
+  // parked, and raises hxwar::Error on its own thread; DESIGN.md §13). The
+  // first message per lane is deterministic, so the error the harness
+  // reports is identical for any --point-jobs value.
+  std::string fatalError;
 
   NetListener* listener = nullptr;     // ejection + drop
   NetListener* hopListener = nullptr;  // per-hop

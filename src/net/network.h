@@ -95,7 +95,9 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   Router& router(RouterId r) { return routers_[r]; }
+  const Router& router(RouterId r) const { return routers_[r]; }
   Terminal& terminal(NodeId n) { return terminals_[n]; }
+  std::uint32_t maxPorts() const { return maxPorts_; }
   std::uint32_t numRouters() const { return static_cast<std::uint32_t>(routers_.size()); }
   std::uint32_t numNodes() const { return static_cast<std::uint32_t>(terminals_.size()); }
   std::uint32_t numChannels() const {
@@ -194,6 +196,17 @@ class Network {
   void completePacket(PacketRef ref, std::uint32_t lane, Tick now);
   // Fault dead end: count the loss, notify the drop listener, recycle.
   void dropPacket(PacketRef ref, std::uint32_t lane, Tick now);
+
+  // First deferred-fatal message recorded by any lane, scanned in lane order
+  // so the reported message is deterministic for any shard count (empty =
+  // healthy). Read only between windows or after a run — the writers are the
+  // shard workers. The steady-state loop raises hxwar::Error on it.
+  std::string fatalError() const {
+    for (const LaneStats& l : lanes_) {
+      if (!l.fatalError.empty()) return l.fatalError;
+    }
+    return std::string();
+  }
 
   // --- counters (lane sums; read at barriers or after a run) ---
   std::uint64_t flitMovements() const { return sum(&LaneStats::flitMovements); }

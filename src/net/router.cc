@@ -53,6 +53,10 @@ Router::Router(sim::Simulator& sim, Network* network, RouterId id, std::uint32_t
       rrNext_(numPorts, 0) {
   HXWAR_CHECK(config_.numVcs >= 1 && config_.inputBufferDepth >= 1);
   HXWAR_CHECK(config_.outputQueueDepth >= 1 && config_.crossbarLatency >= 1);
+  if (config_.faultPolicy == fault::FaultPolicy::kRetry) {
+    inRetries_.assign(numPorts * config_.numVcs, 0);
+    retryAt_.assign(numPorts * config_.numVcs, 0);
+  }
 }
 
 const Packet& Router::packetOf(Flit f) const {
@@ -106,6 +110,7 @@ std::size_t Router::memoryBytes() const {
         outCredits_.capacity() + outOccPort_.capacity() + rrNext_.capacity() +
         routePending_.capacity() + xferList_.capacity() + activeOutPorts_.capacity()) *
        sizeof(std::uint32_t);
+  n += inRetries_.capacity() + retryAt_.capacity() * sizeof(Tick);
   n += (outFlits_.capacity() + outDeroutes_.capacity()) * sizeof(std::uint64_t);
   n += (outChannel_.capacity() + inCredit_.capacity()) * sizeof(void*);
   n += xbarPipe_.capacityBytes();
@@ -376,12 +381,17 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
                                   atSource, atSource ? 0u : vcMap_.classOf(vc),
                                   deadPorts_, obs_};
   routing_->route(ctx, pkt, scratchCandidates_);
-  HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
+  // On a fault-free network an empty candidate list is an algorithm contract
+  // violation; under a mask it is a dead end (e.g. an unreachable destination
+  // on a partition-tolerant run) and enters the degradation ladder below.
+  if (deadPorts_ == nullptr) {
+    HXWAR_CHECK_MSG(!scratchCandidates_.empty(), "routing returned no candidates");
+  }
 
   if (deadPorts_ != nullptr) {
     // Reject candidates targeting dead ports. Fault-aware algorithms already
     // avoided them; this filter turns a non-fault-aware algorithm's dead end
-    // into an explicit drop (or a loud abort) instead of an eternal stall.
+    // into the configured ladder instead of an eternal stall.
     std::size_t live = 0;
     for (std::size_t i = 0; i < scratchCandidates_.size(); ++i) {
       if (!deadPorts_->isDead(id_, scratchCandidates_[i].port)) {
@@ -389,18 +399,10 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
       }
     }
     scratchCandidates_.resize(live);
-    if (scratchCandidates_.empty()) {
-      if (config_.faultDropDeadEnd) {
-        startDrop(port, vc);
-        return RouteOutcome::kDropped;
-      }
-      const std::string msg =
-          "fault dead end: " + routing_->info().name + " at router " +
-          std::to_string(id_) + " has no live output for packet " +
-          std::to_string(pkt.id) + " (dst node " + std::to_string(pkt.dst) +
-          "); use a fault-aware algorithm (dal/dimwar/omniwar) or --fault-drop=true";
-      HXWAR_CHECK_MSG(false, msg.c_str());
-    }
+    if (scratchCandidates_.empty()) return deadEnd(port, vc, pkt);
+    // A live candidate ends any dead-end episode: reset the retry budget so
+    // the bound applies per episode, not per packet lifetime.
+    if (!inRetries_.empty()) inRetries_[c] = 0;
   }
 
   // Selection: pick the minimum-weight candidate by congestion x hops,
@@ -455,7 +457,26 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
       bestRoom = room;
     }
   }
-  if (ov == kVcInvalid) return RouteOutcome::kBlocked;  // winner busy: wait and re-evaluate
+  if (ov == kVcInvalid) {
+    // Winner busy: wait and re-evaluate next cycle. Record the denied target
+    // so the credit-wait-cycle detector can follow allocation-blocked heads:
+    // while kInRouted is clear these fields carry the *wanted* output (see
+    // router.h), refreshed on every attempt. Pick the class VC with the
+    // fewest credits — the one actually wedging the allocation.
+    VcId want = vcMap_.vcOf(cand.vcClass, 0);
+    std::uint32_t fewest = ~0u;
+    for (std::uint32_t k = 0; k < setSize; ++k) {
+      const VcId v = vcMap_.vcOf(cand.vcClass, k);
+      const std::uint32_t credits = outCredits_[code(cand.port, v)];
+      if (credits < fewest) {
+        fewest = credits;
+        want = v;
+      }
+    }
+    inOutPort_[c] = cand.port;
+    inOutVc_[c] = want;
+    return RouteOutcome::kBlocked;
+  }
 
   outOwned_[code(cand.port, ov)] = 1;
   inFlags_[c] |= kInRouted;
@@ -479,6 +500,56 @@ Router::RouteOutcome Router::tryRoute(PortId port, VcId vc) {
   }
   addXfer(port, vc);
   return RouteOutcome::kGranted;
+}
+
+Router::RouteOutcome Router::deadEnd(PortId port, VcId vc, const Packet& pkt) {
+  // No live candidate: clear any recorded wanted output so the deadlock
+  // detector never follows a stale wait edge from a dead-end episode.
+  const std::uint32_t dc = code(port, vc);
+  inOutPort_[dc] = kPortInvalid;
+  inOutVc_[dc] = kVcInvalid;
+  switch (config_.faultPolicy) {
+    case fault::FaultPolicy::kDrop:
+    case fault::FaultPolicy::kEscape:
+      // Under `escape` the routing algorithm already escalated onto its
+      // escape class, so reaching here means the destination is genuinely
+      // unreachable (partitioned) — an attributed drop either way.
+      startDrop(port, vc);
+      return RouteOutcome::kDropped;
+    case fault::FaultPolicy::kRetry: {
+      const std::uint32_t c = code(port, vc);
+      if (inRetries_[c] < config_.faultRetryLimit) {
+        inRetries_[c] += 1;
+        // Exponential backoff, shift-capped so the window stays sane even
+        // with a large retry limit. The head stays in routePending_ and the
+        // route recomputes against the live mask at each attempt.
+        const std::uint32_t shift = std::min<std::uint32_t>(inRetries_[c] - 1, 10);
+        retryAt_[c] = sim().now() + (config_.faultRetryBackoff << shift);
+        return RouteOutcome::kBlocked;
+      }
+      inRetries_[c] = 0;
+      startDrop(port, vc);
+      return RouteOutcome::kDropped;
+    }
+    case fault::FaultPolicy::kAbort: {
+      // Deferred fatal: record the message in this lane's slot (first wins)
+      // and drop the packet so the simulation stays consistent until the
+      // harness reads the slot between windows and raises hxwar::Error.
+      // Worker threads must not throw or abort (DESIGN.md §13).
+      if (stats_->fatalError.empty()) {
+        stats_->fatalError =
+            "fault dead end: " + routing_->info().name + " at router " +
+            std::to_string(id_) + " has no live output for packet " +
+            std::to_string(pkt.id) + " (dst node " + std::to_string(pkt.dst) +
+            "); use a fault-aware algorithm (dal/dimwar/omniwar/ftar) or a softer "
+            "--fault-policy (drop/retry/escape)";
+      }
+      startDrop(port, vc);
+      return RouteOutcome::kDropped;
+    }
+  }
+  HXWAR_CHECK_MSG(false, "unreachable fault policy");
+  return RouteOutcome::kDropped;
 }
 
 void Router::startDrop(PortId port, VcId vc) {
@@ -519,6 +590,12 @@ void Router::stageRoute() {
     const VcId v = c % config_.numVcs;
     if ((inFlags_[c] & kInRouted) || inQ_[c].empty()) {
       inFlags_[c] &= static_cast<std::uint8_t>(~kInRouteList);  // stale
+      continue;
+    }
+    if (!retryAt_.empty() && retryAt_[c] > sim().now()) {
+      // Dead-end backoff (retry policy): the head waits out its window
+      // before the route is recomputed against the live mask.
+      routePending_[w++] = c;
       continue;
     }
     const RouteOutcome outcome = tryRoute(p, v);

@@ -27,6 +27,7 @@
 #include "common/ring.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault_policy.h"
 #include "net/channel.h"
 #include "net/lane.h"
 #include "net/packet.h"
@@ -55,10 +56,17 @@ struct RouterConfig {
   // output VC is granted only when the downstream buffer has room for the
   // whole packet, so packets never stall mid-stream across a channel.
   bool virtualCutThrough = true;
-  // Dead-end policy on a faulted network: when every candidate a routing
-  // algorithm emits targets a dead port, true drops the packet (counted by
-  // the network) and false aborts loudly. Irrelevant without a fault mask.
-  bool faultDropDeadEnd = false;
+  // Dead-end ladder on a faulted network: what happens when every candidate
+  // a routing algorithm emits targets a dead port (or the algorithm emits
+  // none, e.g. an unreachable destination under a partition-tolerant
+  // policy). See fault/fault_policy.h; irrelevant without a fault mask.
+  fault::FaultPolicy faultPolicy = fault::FaultPolicy::kAbort;
+  // `retry` policy: attempts before the dead end becomes an attributed drop,
+  // and the base backoff in cycles (doubled per attempt, capped). Each retry
+  // recomputes the route against the live mask, so a transient fault that
+  // revives inside the backoff window rescues the packet.
+  std::uint32_t faultRetryLimit = 8;
+  Tick faultRetryBackoff = 16;
 };
 
 class Router final : public sim::Component, public FlitSink, public CreditSink {
@@ -116,6 +124,21 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // sizeof(Router) itself is accounted by the owning DenseArray.
   std::size_t memoryBytes() const;
 
+  // --- diagnostics (cold path: the credit-wait-cycle deadlock detector in
+  // net/deadlock.cc walks the SoA VC state through these) ---
+  std::uint32_t inQueueLen(PortId p, VcId v) const { return static_cast<std::uint32_t>(inQ_[code(p, v)].size()); }
+  bool inIsRouted(PortId p, VcId v) const { return inFlags_[code(p, v)] & kInRouted; }
+  // Dual semantics: while the head is routed these are the *granted* output;
+  // while it is allocation-blocked (head present, !inIsRouted) they are the
+  // output the last route attempt *wanted* and was denied, refreshed each
+  // cycle (kPortInvalid/kVcInvalid before any attempt or after a dead end).
+  PortId inGrantPort(PortId p, VcId v) const { return inOutPort_[code(p, v)]; }
+  VcId inGrantVc(PortId p, VcId v) const { return inOutVc_[code(p, v)]; }
+  std::uint32_t outQueueLen(PortId p, VcId v) const { return static_cast<std::uint32_t>(outQ_[code(p, v)].size()); }
+  std::uint32_t outOccupancy(PortId p, VcId v) const { return outOcc_[code(p, v)]; }
+  std::uint32_t outCreditsAt(PortId p, VcId v) const { return outCredits_[code(p, v)]; }
+  bool outIsOwned(PortId p, VcId v) const { return outOwned_[code(p, v)]; }
+
  private:
   // Per-input-VC flag byte (SoA: one byte per VC in inFlags_).
   static constexpr std::uint8_t kInRouted = 1u << 0;
@@ -145,6 +168,11 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   void stageCrossbar();
   void stageRoute();
   RouteOutcome tryRoute(PortId port, VcId vc);
+  // Graceful-degradation ladder for a fault dead end (DESIGN.md §13):
+  // abort records a deferred-fatal message and drops; drop drops; retry
+  // backs the head off (bounded, exponential) before dropping; escape only
+  // reaches here for genuinely unreachable destinations, which drop.
+  RouteOutcome deadEnd(PortId port, VcId vc, const Packet& pkt);
   // Fault dead end: consume the front packet's queued flits (returning
   // credits) and finalize the drop once the tail is seen; flits still in
   // flight are consumed by receiveFlit while `kInDropping` is set.
@@ -171,8 +199,14 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // --- input VC state, SoA over code = port * numVcs + vc ---
   std::vector<common::Ring<Flit>> inQ_;  // buffered flits (credit-bounded)
   std::vector<std::uint8_t> inFlags_;    // kIn* bits
-  std::vector<PortId> inOutPort_;        // granted output port (while routed)
-  std::vector<VcId> inOutVc_;            // granted output VC (while routed)
+  std::vector<PortId> inOutPort_;        // granted (routed) or wanted (blocked) output port
+  std::vector<VcId> inOutVc_;            // granted (routed) or wanted (blocked) output VC
+  // Retry-policy state, allocated only under faultPolicy == kRetry so the
+  // default configuration pays no memory (the paper-scale budget gates
+  // bytes/terminal): dead-end attempts so far and the earliest tick the head
+  // may try again.
+  std::vector<std::uint8_t> inRetries_;
+  std::vector<Tick> retryAt_;
 
   // --- output VC state, SoA over the same code ---
   std::vector<common::Ring<Flit>> outQ_;   // flits that finished crossbar traversal

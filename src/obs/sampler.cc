@@ -52,6 +52,7 @@ void Sampler::processEvent(std::uint64_t) {
     stalledFor_ += interval_;
     if (stallWindow_ > 0 && stalledFor_ >= stallWindow_) {
       obs_.dumpDiagnostics(stderr);
+      if (engineDiagnostics_) engineDiagnostics_(stderr);
       HXWAR_CHECK_MSG(false,
                       "stall watchdog: no flit movement with packets outstanding "
                       "(diagnostic dump above)");

@@ -17,6 +17,7 @@
 // it never keeps a bounded `sim.run()` spinning past quiescence.
 #pragma once
 
+#include <cstdio>
 #include <functional>
 
 #include "common/types.h"
@@ -41,6 +42,14 @@ class Sampler final : public sim::Component {
   void setCreditStallProvider(std::function<std::uint64_t()> fn) {
     creditStalls_ = std::move(fn);
   }
+  // Extra engine-level state appended to the watchdog's diagnostic dump —
+  // the sharded harness prints per-shard event counts and mailbox depths so
+  // a cross-shard stall names the starved shard instead of just "no
+  // movement". Runs on the coordinator thread with all workers parked at the
+  // barrier, so reading engine state is safe.
+  void setEngineDiagnostics(std::function<void(std::FILE*)> fn) {
+    engineDiagnostics_ = std::move(fn);
+  }
 
   void processEvent(std::uint64_t tag) override;
 
@@ -50,6 +59,7 @@ class Sampler final : public sim::Component {
   Tick stallWindow_;
   std::function<bool()> busyProbe_;
   std::function<std::uint64_t()> creditStalls_;
+  std::function<void(std::FILE*)> engineDiagnostics_;
   std::function<double()> gInjected_, gEjected_, gMovements_, gBacklog_, gQueued_,
       gOutstanding_;
   bool havePrev_ = false;

@@ -13,6 +13,14 @@ void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
   const std::uint32_t unaligned = topo_.minHops(cur, dst);
   const fault::DeadPortMask* mask = ctx.deadPorts;
 
+  // Monotone escape class (VcPolicy::kEscape): see routing/fault_escape.h.
+  // Escape candidates already carry atomic=true, matching DAL's allocation.
+  if (vcPolicy_ == VcPolicy::kEscape && !ctx.atSource && ctx.inClass == 1) {
+    HXWAR_CHECK_MSG(mask != nullptr, "DAL escape-class packet without a fault mask");
+    escape_.emitEscape(*mask, cur, dst, 1, out);
+    return;
+  }
+
   if (mask != nullptr) {
     // Fault-aware emission: minimal hops only on surviving links; deroutes
     // only when both legs survive, so a deroute never lands facing a dead
@@ -63,6 +71,13 @@ void DalRouting::route(const RouteContext& ctx, net::Packet& pkt,
       for (auto& c : out) c.atomic = atomic_;
       return;
     }
+    if (vcPolicy_ == VcPolicy::kEscape) {
+      // Even the re-deroute retry found nothing live: escalate onto the
+      // escape class (empty output = destination partitioned away, and the
+      // router's dead-end ladder decides).
+      escape_.emitEscape(*mask, cur, dst, 1, out);
+      return;
+    }
     // Degraded beyond one-deroute routability from this router: fall through
     // to the plain emission so the router's dead-end policy decides.
   }
@@ -93,8 +108,8 @@ AlgorithmInfo DalRouting::info() const {
 }
 
 std::unique_ptr<RoutingAlgorithm> makeDalRouting(const topo::HyperX& topo,
-                                                 bool atomicAllocation) {
-  return std::make_unique<DalRouting>(topo, atomicAllocation);
+                                                 bool atomicAllocation, VcPolicy vcPolicy) {
+  return std::make_unique<DalRouting>(topo, atomicAllocation, vcPolicy);
 }
 
 }  // namespace hxwar::routing

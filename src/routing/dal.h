@@ -29,18 +29,31 @@ class DalRouting final : public HyperXRoutingBase {
   // behaviour from the original paper) for comparison; it relies on the
   // deroute budget alone and is only deadlock-safe as an escape-less
   // approximation, so use it for analysis benches only.
-  DalRouting(const topo::HyperX& topo, bool atomicAllocation = true)
-      : HyperXRoutingBase(topo), atomic_(atomicAllocation) {}
+  //
+  // VcPolicy::kEscape reserves class 1 as a BFS-descent escape network
+  // (routing/fault_escape.h) the packet escalates onto when even the fault
+  // re-deroute retry dead-ends; kDateline has no DAL-specific meaning (the
+  // escape-path allocation rule already avoids deadlock at any deroute
+  // count) and maps to the static single-class scheme.
+  DalRouting(const topo::HyperX& topo, bool atomicAllocation = true,
+             VcPolicy vcPolicy = VcPolicy::kStatic)
+      : HyperXRoutingBase(topo), atomic_(atomicAllocation), vcPolicy_(vcPolicy),
+        escape_(topo) {}
 
   void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
-  std::uint32_t numClasses() const override { return 1; }
+  std::uint32_t numClasses() const override {
+    return vcPolicy_ == VcPolicy::kEscape ? 2 : 1;
+  }
   AlgorithmInfo info() const override;
 
  private:
   bool atomic_;
+  VcPolicy vcPolicy_;
+  EscapeTable escape_;  // used only under VcPolicy::kEscape
 };
 
 std::unique_ptr<RoutingAlgorithm> makeDalRouting(const topo::HyperX& topo,
-                                                 bool atomicAllocation = true);
+                                                 bool atomicAllocation = true,
+                                                 VcPolicy vcPolicy = VcPolicy::kStatic);
 
 }  // namespace hxwar::routing

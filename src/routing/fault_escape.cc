@@ -1,0 +1,74 @@
+#include "routing/fault_escape.h"
+
+#include "common/assert.h"
+#include "fault/fault_model.h"
+
+namespace hxwar::routing {
+
+const char* vcPolicyName(VcPolicy policy) {
+  switch (policy) {
+    case VcPolicy::kStatic:
+      return "static";
+    case VcPolicy::kDateline:
+      return "dateline";
+    case VcPolicy::kEscape:
+      return "escape";
+  }
+  HXWAR_CHECK_MSG(false, "unreachable vc policy");
+  return "static";
+}
+
+bool parseVcPolicy(const std::string& name, VcPolicy* out) {
+  if (name == "static") {
+    *out = VcPolicy::kStatic;
+  } else if (name == "dateline") {
+    *out = VcPolicy::kDateline;
+  } else if (name == "escape") {
+    *out = VcPolicy::kEscape;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<std::uint32_t>& EscapeTable::distances(const fault::DeadPortMask& mask,
+                                                         RouterId dst) {
+  if (slots_.empty()) slots_.resize(kSlots);
+  Entry& e = slots_[dst % kSlots];
+  if (e.dst != dst || e.maskVersion != mask.version()) {
+    e.dst = dst;
+    e.maskVersion = mask.version();
+    // The mask is symmetric (a failed link kills both directions), so the BFS
+    // tree rooted at dst gives every router's distance TO dst.
+    fault::bfsDistances(topo_, dst, &mask, e.dist);
+  }
+  return e.dist;
+}
+
+std::uint32_t EscapeTable::distance(const fault::DeadPortMask& mask, RouterId cur,
+                                    RouterId dst) {
+  return distances(mask, dst)[cur];
+}
+
+void EscapeTable::emitEscape(const fault::DeadPortMask& mask, RouterId cur, RouterId dst,
+                             std::uint32_t escapeClass, std::vector<Candidate>& out) {
+  const std::vector<std::uint32_t>& dist = distances(mask, dst);
+  const std::uint32_t here = dist[cur];
+  if (here == fault::kUnreachable || here == 0) return;  // partitioned apart / at dst
+  const std::uint32_t ports = topo_.numPorts(cur);
+  for (PortId p = 0; p < ports; ++p) {
+    if (mask.isDead(cur, p)) continue;
+    const topo::Topology::PortTarget target = topo_.portTarget(cur, p);
+    if (target.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+    if (dist[target.router] >= here) continue;
+    // Strict distance descent: the escape network is the BFS DAG toward dst,
+    // so an escape packet reaches dst in `here` hops regardless of which
+    // descending port wins the weight comparison.
+    Candidate c{p, escapeClass, here, false};
+    c.atomic = true;
+    c.faultEscape = true;
+    out.push_back(c);
+  }
+}
+
+}  // namespace hxwar::routing

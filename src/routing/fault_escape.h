@@ -1,0 +1,81 @@
+// Fault-escape routing infrastructure (DESIGN.md §13).
+//
+// Two pieces shared by FTAR (routing/ftar.h) and the escape retrofits in
+// DimWAR / OmniWAR / DAL:
+//
+//   * VcPolicy — the pluggable VC-allocation / deadlock-avoidance axis
+//     (--vc-policy). `static` keeps each algorithm's native class scheme,
+//     `dateline` swaps DimWAR onto per-deroute class escalation, and `escape`
+//     reserves one extra class as a Duato-style escape network.
+//
+//   * EscapeTable — per-destination BFS distances over the masked (degraded)
+//     graph, emitted as strictly-distance-decreasing escape candidates. Every
+//     escape hop uses atomic queue allocation (§4.2) and the escape class is
+//     monotone (a packet that enters it never leaves), so the escape network
+//     is deadlock-safe and delivers on ANY connected degraded network — the
+//     guarantee the adaptive candidate rules lose beyond one-deroute
+//     routability.
+//
+// Distance vectors are cached per destination in a direct-mapped table tagged
+// with the DeadPortMask version, so transient kill/revive flips invalidate
+// lazily, exactly like MaskedRouteCache. All state is per-routing-instance
+// (one per shard), never shared across workers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/dead_port_mask.h"
+#include "routing/routing.h"
+#include "topo/topology.h"
+
+namespace hxwar::routing {
+
+// VC allocation / deadlock-avoidance policy (--vc-policy).
+enum class VcPolicy : std::uint8_t {
+  kStatic = 0,    // each algorithm's native class scheme (default)
+  kDateline = 1,  // DimWAR: per-deroute class escalation; others: as static
+  kEscape = 2,    // reserve one escape class fed by EscapeTable
+};
+
+const char* vcPolicyName(VcPolicy policy);
+// Returns false (leaving *out untouched) on an unrecognized name.
+bool parseVcPolicy(const std::string& name, VcPolicy* out);
+
+class EscapeTable {
+ public:
+  explicit EscapeTable(const topo::Topology& topo) : topo_(topo) {}
+
+  // Appends one candidate on `escapeClass` per live port whose far router is
+  // strictly closer (masked BFS) to the destination, in ascending port order.
+  // Candidates carry atomic=true (escape-path allocation rule) and
+  // faultEscape=true (telemetry). Emits nothing when dst is unreachable from
+  // cur over the surviving links — the router's dead-end ladder then decides.
+  void emitEscape(const fault::DeadPortMask& mask, RouterId cur, RouterId dst,
+                  std::uint32_t escapeClass, std::vector<Candidate>& out);
+
+  // Masked BFS hop count cur -> dst (fault::kUnreachable when partitioned
+  // apart). Exposed for tests and the resilience bench.
+  std::uint32_t distance(const fault::DeadPortMask& mask, RouterId cur, RouterId dst);
+
+ private:
+  struct Entry {
+    RouterId dst = kRouterInvalid;
+    std::uint64_t maskVersion = ~std::uint64_t{0};
+    std::vector<std::uint32_t> dist;  // dist[r] = hops r -> dst (mask symmetric)
+  };
+
+  const std::vector<std::uint32_t>& distances(const fault::DeadPortMask& mask,
+                                              RouterId dst);
+
+  // Direct-mapped, sized lazily on first use: fault-free runs never pay for
+  // the table. 64 slots x numRouters u32 each — refill is one BFS, and the
+  // escape path is exercised only at dead ends, far off the common case.
+  static constexpr std::size_t kSlots = 64;
+
+  const topo::Topology& topo_;
+  std::vector<Entry> slots_;
+};
+
+}  // namespace hxwar::routing

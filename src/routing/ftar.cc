@@ -1,0 +1,97 @@
+#include "routing/ftar.h"
+
+#include "common/assert.h"
+#include "net/router.h"
+
+namespace hxwar::routing {
+
+void FtarRouting::route(const RouteContext& ctx, net::Packet& pkt,
+                        std::vector<Candidate>& out) {
+  if (emitEjectIfLocal(ctx, pkt, out)) return;
+  const RouterId cur = ctx.routerId;
+  const RouterId dst = destRouter(pkt);
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+
+  // Monotone escalation: a packet that entered the escape class stays on it
+  // to the destination — class order 0/1 -> 2 is acyclic, and within class 2
+  // every hop strictly decreases the masked BFS distance, so the escape
+  // network cannot cycle. (inClass can be 2 only after an escape grant, which
+  // requires a mask; the mask pointer persists for the run once faults are
+  // configured.)
+  if (!ctx.atSource && ctx.inClass == kEscapeClass) {
+    HXWAR_CHECK_MSG(mask != nullptr, "FTAR escape-class packet without a fault mask");
+    escape_.emitEscape(*mask, cur, dst, kEscapeClass, out);
+    return;
+  }
+
+  const std::uint32_t unaligned = topo_.minHops(cur, dst);
+  const std::uint32_t d = firstUnalignedDim(cur, dst);
+  const std::uint32_t cc = topo_.coord(cur, d);
+  const std::uint32_t dc = topo_.coord(dst, d);
+
+  if (mask != nullptr) {
+    // DimWAR's fault-aware adaptive emission (see DimWarRouting::route for
+    // the lookahead rationale); cached per (cur, dst) tagged with the mask
+    // version, class restriction applied at emission time.
+    MaskedRouteCache::Entry& e = maskedCache_.slot(cur, dst);
+    if (e.cur != cur || e.dst != dst || e.maskVersion != mask->version()) {
+      e.cur = cur;
+      e.dst = dst;
+      e.maskVersion = mask->version();
+      e.items.clear();
+      if (moveLive(mask, cur, d, dc)) {
+        for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+          const PortId port = topo_.dimPort(cur, d, dc, t);
+          if (mask->isDead(cur, port)) continue;
+          e.items.push_back(MaskedItem{port, unaligned, static_cast<std::uint8_t>(d), false});
+        }
+      }
+      for (std::uint32_t x = 0; x < topo_.width(d); ++x) {
+        if (x == cc || x == dc) continue;
+        if (!moveLive(mask, cur, d, x)) continue;
+        if (!moveLive(mask, topo_.neighbor(cur, d, x), d, dc)) continue;
+        for (std::uint32_t t = 0; t < topo_.trunking(); ++t) {
+          const PortId port = topo_.dimPort(cur, d, x, t);
+          if (mask->isDead(cur, port)) continue;
+          e.items.push_back(
+              MaskedItem{port, unaligned + 1, static_cast<std::uint8_t>(d), true});
+        }
+      }
+    }
+    for (const MaskedItem& it : e.items) {
+      if (it.deroute && ctx.inClass != 0) continue;
+      out.push_back(Candidate{it.port, it.deroute ? 1u : 0u, it.hopsRemaining, it.deroute});
+    }
+    if (!out.empty()) return;
+    // Adaptive dead end — degraded beyond one-deroute routability from here.
+    // Escalate onto the escape class instead of falling through to dead
+    // candidates; empty escape output means the destination is partitioned
+    // away and the router's dead-end ladder takes over.
+    escape_.emitEscape(*mask, cur, dst, kEscapeClass, out);
+    return;
+  }
+
+  // Fault-free: exactly DimWAR's emission on classes 0/1.
+  const DimMoveCache::Entry& geo = dimCache_.entry(d, cc, dc);
+  const PortId* minPorts = dimCache_.ports(geo.minBegin);
+  for (std::uint32_t t = 0; t < dimCache_.trunking(); ++t) {
+    out.push_back(Candidate{minPorts[t], 0, unaligned, false});
+  }
+  if (ctx.inClass == 0) {
+    const PortId* derPorts = dimCache_.ports(geo.derBegin);
+    for (std::uint32_t i = 0; i < geo.derCount; ++i) {
+      out.push_back(Candidate{derPorts[i], 1, unaligned + 1, true});
+    }
+  }
+}
+
+AlgorithmInfo FtarRouting::info() const {
+  return AlgorithmInfo{"FTAR", true, AlgorithmInfo::Style::kIncremental,
+                       "2+1e", "R.R. & escape", "seq. alloc.", "none"};
+}
+
+std::unique_ptr<RoutingAlgorithm> makeFtarRouting(const topo::HyperX& topo) {
+  return std::make_unique<FtarRouting>(topo);
+}
+
+}  // namespace hxwar::routing

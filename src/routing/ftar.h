@@ -1,0 +1,45 @@
+// FTAR — Fault-Tolerant Adaptive Routing for HyperX (DESIGN.md §13).
+//
+// DimWAR's adaptive core (dimension order, one deroute per dimension, two
+// classes) plus one reserved escape class fed by masked-BFS distance descent
+// (routing/fault_escape.h), in the spirit of Camarero et al.'s fault-tolerant
+// HyperX routing: whenever the fault-aware adaptive candidate rules dead-end —
+// the network is degraded beyond one-deroute routability — the packet
+// escalates onto the escape class and follows a strictly-distance-decreasing
+// path over the surviving links. Escape hops use atomic queue allocation
+// (§4.2) and the escape class is monotone, so FTAR is deadlock-safe and
+// delivers every packet on ANY connected degraded network; only a packet
+// whose destination is partitioned away reaches the router's dead-end ladder.
+//
+// Fault-free, FTAR routes identically to DimWAR (the escape class sits idle),
+// at the cost of one VC class reserved out of the configured budget.
+#pragma once
+
+#include <memory>
+
+#include "routing/fault_escape.h"
+#include "routing/hyperx_routing.h"
+
+namespace hxwar::routing {
+
+class FtarRouting final : public HyperXRoutingBase {
+ public:
+  explicit FtarRouting(const topo::HyperX& topo)
+      : HyperXRoutingBase(topo), dimCache_(topo), escape_(topo) {}
+
+  void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
+  // Classes 0/1 = DimWAR's minimal/deroute pair, class 2 = reserved escape.
+  std::uint32_t numClasses() const override { return 3; }
+  AlgorithmInfo info() const override;
+
+  static constexpr std::uint32_t kEscapeClass = 2;
+
+ private:
+  DimMoveCache dimCache_;         // fault-free port geometry, immutable
+  MaskedRouteCache maskedCache_;  // filtered adaptive lists under a fault mask
+  EscapeTable escape_;            // masked-BFS distance descent
+};
+
+std::unique_ptr<RoutingAlgorithm> makeFtarRouting(const topo::HyperX& topo);
+
+}  // namespace hxwar::routing

@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "net/router.h"
 #include "obs/net_observer.h"
+#include "routing/ftar.h"
 
 namespace hxwar::routing {
 
@@ -268,12 +269,33 @@ void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
   if (emitEjectIfLocal(ctx, pkt, out)) return;
   const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+
+  // VcPolicy::kEscape reserves class 2 as a monotone escape network: once a
+  // packet escalates it descends the masked BFS DAG to the destination
+  // (routing/fault_escape.h) and never returns to the adaptive classes.
+  if (vcPolicy_ == VcPolicy::kEscape && !ctx.atSource && ctx.inClass == 2) {
+    HXWAR_CHECK_MSG(mask != nullptr, "DimWAR escape-class packet without a fault mask");
+    escape_.emitEscape(*mask, cur, dst, 2, out);
+    return;
+  }
+
   const std::uint32_t unaligned = topo_.minHops(cur, dst);
   const std::uint32_t d = firstUnalignedDim(cur, dst);
   const std::uint32_t cc = topo_.coord(cur, d);
   const std::uint32_t dc = topo_.coord(dst, d);
 
-  const fault::DeadPortMask* mask = ctx.deadPorts;
+  // Class scheme per VC policy. static/escape: minimal hops ride class 0,
+  // deroutes ride class 1, and a deroute is allowed only from class 0 (one
+  // deroute, then the minimal hop). dateline: the class counts deroutes taken
+  // so far — minimal hops keep it, every deroute escalates — so the budget
+  // becomes N deroutes anywhere (class headroom) instead of one per
+  // dimension, with deadlock freedom from the acyclic class order.
+  const std::uint32_t curClass = ctx.atSource ? 0u : ctx.inClass;
+  const bool dateline = vcPolicy_ == VcPolicy::kDateline;
+  const std::uint32_t minClass = dateline ? curClass : 0u;
+  const std::uint32_t derClass = dateline ? curClass + 1 : 1u;
+  const bool derouteOk = dateline ? curClass < topo_.numDims() : curClass == 0;
   if (mask != nullptr) {
     // Fault-aware emission: minimal hop only when its link survives, and a
     // deroute to x only when both legs (cur->x and x->dc) survive — the
@@ -312,26 +334,32 @@ void DimWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
       }
     }
     for (const MaskedItem& it : e.items) {
-      if (it.deroute && ctx.inClass != 0) continue;
-      out.push_back(Candidate{it.port, it.deroute ? 1u : 0u, it.hopsRemaining, it.deroute});
+      if (it.deroute && !derouteOk) continue;
+      out.push_back(
+          Candidate{it.port, it.deroute ? derClass : minClass, it.hopsRemaining, it.deroute});
     }
     if (!out.empty()) return;
+    if (vcPolicy_ == VcPolicy::kEscape) {
+      // Adaptive dead end: escalate onto the escape class. Empty escape
+      // output means the destination is partitioned away, and the router's
+      // dead-end ladder takes over.
+      escape_.emitEscape(*mask, cur, dst, 2, out);
+      return;
+    }
   }
 
-  // Minimal hop in the current dimension always rides class 0.
+  // Minimal hop in the current dimension rides minClass (class 0 static).
   const DimMoveCache::Entry& geo = dimCache_.entry(d, cc, dc);
   const PortId* minPorts = dimCache_.ports(geo.minBegin);
   for (std::uint32_t t = 0; t < dimCache_.trunking(); ++t) {
-    out.push_back(Candidate{minPorts[t], 0, unaligned, false});
+    out.push_back(Candidate{minPorts[t], minClass, unaligned, false});
   }
 
-  // One deroute per dimension: only permitted while on class 0 (a packet on
-  // class 1 has just derouted and must take the minimal hop next). Deroutes
-  // stay within the current dimension and ride class 1.
-  if (ctx.inClass == 0) {
+  // Deroutes stay within the current dimension and escalate the class.
+  if (derouteOk) {
     const PortId* derPorts = dimCache_.ports(geo.derBegin);
     for (std::uint32_t i = 0; i < geo.derCount; ++i) {
-      out.push_back(Candidate{derPorts[i], 1, unaligned + 1, true});
+      out.push_back(Candidate{derPorts[i], derClass, unaligned + 1, true});
     }
   }
 }
@@ -348,12 +376,30 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
   if (emitEjectIfLocal(ctx, pkt, out)) return;
   const RouterId cur = ctx.routerId;
   const RouterId dst = destRouter(pkt);
-  const std::uint32_t classes = numClasses();
+  const fault::DeadPortMask* mask = ctx.deadPorts;
+  const bool escapeMode = vcPolicy_ == VcPolicy::kEscape;
+
+  // Monotone escape class (VcPolicy::kEscape): see routing/fault_escape.h.
+  if (escapeMode && !ctx.atSource && ctx.inClass == escapeClass()) {
+    HXWAR_CHECK_MSG(mask != nullptr, "OmniWAR escape-class packet without a fault mask");
+    escape_.emitEscape(*mask, cur, dst, escapeClass(), out);
+    return;
+  }
+
+  const std::uint32_t distClasses = numClasses() - (escapeMode ? 1u : 0u);
   // Distance classes: the next hop's class is the hop index.
   const std::uint32_t c = ctx.atSource ? 0 : ctx.inClass + 1;
-  HXWAR_CHECK_MSG(c < classes, "OmniWAR ran out of distance classes");
   const std::uint32_t unaligned = topo_.minHops(cur, dst);
-  const std::uint32_t remainingAfter = classes - c - 1;
+  if (escapeMode && mask != nullptr &&
+      (c >= distClasses || unaligned - 1 > distClasses - c - 1)) {
+    // Out of distance classes — reachable only when plain fall-through hops
+    // past the 2k reserve on a network degraded beyond one-deroute
+    // routability. Escalate instead of violating the invariant.
+    escape_.emitEscape(*mask, cur, dst, escapeClass(), out);
+    return;
+  }
+  HXWAR_CHECK_MSG(c < distClasses, "OmniWAR ran out of distance classes");
+  const std::uint32_t remainingAfter = distClasses - c - 1;
   HXWAR_CHECK_MSG(unaligned - 1 <= remainingAfter,
                   "OmniWAR invariant violated: cannot finish minimally");
   const bool derouteOk = !minimalOnly_ && remainingAfter >= unaligned;
@@ -367,7 +413,6 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
     cameFromDim = topo_.portMove(cur, ctx.inPort).dim;
   }
 
-  const fault::DeadPortMask* mask = ctx.deadPorts;
   if (mask != nullptr) {
     // Fault-aware emission. Minimal moves only on surviving links; deroutes
     // need both legs alive AND the tighter budget remainingAfter >= 2k
@@ -427,6 +472,12 @@ void OmniWarRouting::route(const RouteContext& ctx, net::Packet& pkt,
       out.push_back(Candidate{it.port, c, it.hopsRemaining, it.deroute});
     }
     if (!out.empty()) return;
+    if (escapeMode) {
+      // Degraded beyond the routable guarantee: escalate onto the escape
+      // class (empty output = destination partitioned away, dead-end ladder).
+      escape_.emitEscape(*mask, cur, dst, escapeClass(), out);
+      return;
+    }
     // Degraded beyond the routable guarantee: fall through to the plain
     // emission so the router's dead-end policy decides.
   }
@@ -474,14 +525,18 @@ std::unique_ptr<RoutingAlgorithm> makeHyperXRouting(const std::string& name,
   if (name == "closad" || name == "ugal+") {
     return std::make_unique<ClosAdRouting>(topo, opts.ugalBias);
   }
-  if (name == "dimwar") return std::make_unique<DimWarRouting>(topo);
+  if (name == "dimwar") return std::make_unique<DimWarRouting>(topo, opts.vcPolicy);
   if (name == "omniwar") {
-    return std::make_unique<OmniWarRouting>(topo, omniM, opts.omniRestrictBackToBack);
+    return std::make_unique<OmniWarRouting>(topo, omniM, opts.omniRestrictBackToBack,
+                                            /*minimalOnly=*/false, opts.vcPolicy);
   }
+  if (name == "ftar") return std::make_unique<FtarRouting>(topo);
   HXWAR_CHECK_MSG(false, ("unknown HyperX routing algorithm: " + name).c_str());
   return nullptr;
 }
 
+// ftar is factory-reachable but, like dal/minad, not part of the headline
+// evaluation list (it exists for the fault-resilience studies).
 const std::vector<std::string>& hyperxAlgorithmNames() {
   static const std::vector<std::string> names = {"dor",    "val",    "ugal",
                                                  "closad", "dimwar", "omniwar"};

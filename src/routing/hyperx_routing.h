@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "routing/fault_escape.h"
 #include "routing/route_cache.h"
 #include "routing/routing.h"
 #include "topo/hyperx.h"
@@ -128,15 +129,31 @@ class ClosAdRouting final : public HyperXRoutingBase {
 // hops class 0 — two classes regardless of dimensionality.
 class DimWarRouting final : public HyperXRoutingBase {
  public:
-  explicit DimWarRouting(const topo::HyperX& topo)
-      : HyperXRoutingBase(topo), dimCache_(topo) {}
+  explicit DimWarRouting(const topo::HyperX& topo, VcPolicy vcPolicy = VcPolicy::kStatic)
+      : HyperXRoutingBase(topo), dimCache_(topo), vcPolicy_(vcPolicy), escape_(topo) {}
   void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
-  std::uint32_t numClasses() const override { return 2; }
+  // static: minimal on 0, deroutes on 1. dateline: class = deroutes taken so
+  // far (each deroute escalates, budget N anywhere instead of one per
+  // dimension). escape: the static pair plus one reserved escape class.
+  std::uint32_t numClasses() const override {
+    switch (vcPolicy_) {
+      case VcPolicy::kDateline:
+        return topo_.numDims() + 1;
+      case VcPolicy::kEscape:
+        return 3;
+      case VcPolicy::kStatic:
+        break;
+    }
+    return 2;
+  }
   AlgorithmInfo info() const override;
+  VcPolicy vcPolicy() const { return vcPolicy_; }
 
  private:
   DimMoveCache dimCache_;         // fault-free port geometry, immutable
   MaskedRouteCache maskedCache_;  // filtered lists under a fault mask
+  VcPolicy vcPolicy_;
+  EscapeTable escape_;            // used only under VcPolicy::kEscape
 };
 
 // Omni-dimensional Weighted Adaptive Routing (§5.2): any unaligned dimension
@@ -146,20 +163,30 @@ class DimWarRouting final : public HyperXRoutingBase {
 class OmniWarRouting final : public HyperXRoutingBase {
  public:
   OmniWarRouting(const topo::HyperX& topo, std::uint32_t deroutes, bool restrictBackToBack,
-                 bool minimalOnly = false)
+                 bool minimalOnly = false, VcPolicy vcPolicy = VcPolicy::kStatic)
       : HyperXRoutingBase(topo),
         dimCache_(topo),
         deroutes_(deroutes),
         restrictBackToBack_(restrictBackToBack),
-        minimalOnly_(minimalOnly) {}
+        minimalOnly_(minimalOnly),
+        vcPolicy_(vcPolicy),
+        escape_(topo) {}
   void route(const RouteContext& ctx, net::Packet& pkt, std::vector<Candidate>& out) override;
-  std::uint32_t numClasses() const override { return topo_.numDims() + deroutes_; }
+  // Distance classes, plus one reserved escape class under VcPolicy::kEscape.
+  // (OmniWAR's distance classes already act as datelines, so kDateline maps
+  // to the static scheme.)
+  std::uint32_t numClasses() const override {
+    return topo_.numDims() + deroutes_ + (vcPolicy_ == VcPolicy::kEscape ? 1 : 0);
+  }
   AlgorithmInfo info() const override;
 
   std::uint32_t maxDeroutes() const { return deroutes_; }
   bool minimalOnly() const { return minimalOnly_; }
+  VcPolicy vcPolicy() const { return vcPolicy_; }
 
  private:
+  std::uint32_t escapeClass() const { return topo_.numDims() + deroutes_; }
+
   DimMoveCache dimCache_;         // fault-free port geometry, immutable
   MaskedRouteCache maskedCache_;  // filtered lists under a fault mask
   std::uint32_t deroutes_;
@@ -168,6 +195,8 @@ class OmniWarRouting final : public HyperXRoutingBase {
   // still deroute packets whose minimal distance is below N, because the
   // budget check is against remaining distance classes — paper §5.2 step 2.)
   bool minimalOnly_;
+  VcPolicy vcPolicy_;
+  EscapeTable escape_;  // used only under VcPolicy::kEscape
 };
 
 // --- Factory --------------------------------------------------------------
@@ -180,9 +209,14 @@ struct HyperXRoutingOptions {
   // 0 is honored as a genuine zero budget (deroutes only on distance slack).
   std::uint32_t omniDeroutes = kOmniDeroutesDefault;
   bool omniRestrictBackToBack = true;
+  // VC allocation / deadlock-avoidance axis (--vc-policy); honored by
+  // DimWAR, OmniWAR, and DAL (routing/dal.h). FTAR always carries its escape
+  // class; the oblivious/source baselines have no fault-aware emission to
+  // escalate from, so the axis is a no-op for them.
+  VcPolicy vcPolicy = VcPolicy::kStatic;
 };
 
-// names: dor, val, minad, ugal, closad (alias ugal+), dimwar, omniwar
+// names: dor, val, minad, ugal, closad (alias ugal+), dimwar, omniwar, ftar
 std::unique_ptr<RoutingAlgorithm> makeHyperXRouting(const std::string& name,
                                                     const topo::HyperX& topo,
                                                     const HyperXRoutingOptions& opts = {});

@@ -8,12 +8,14 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "fault/degraded_topology.h"
 #include "fault/fault_model.h"
 #include "harness/experiment.h"
 #include "harness/registry.h"
 #include "harness/spec.h"
 #include "harness/sweep_runner.h"
+#include "routing/fault_escape.h"
 #include "topo/hyperx.h"
 
 namespace hxwar {
@@ -45,6 +47,26 @@ std::uint64_t routableSeed(const topo::HyperX& topo, double rate, std::uint64_t 
     return seed;
   }
   ADD_FAILURE() << "no routable fault seed found near " << from;
+  return from;
+}
+
+// First seed >= `from` whose fault set keeps the network connected but NOT
+// one-deroute-routable: the regime where the classic adaptives' delivery
+// guarantee lapses and only the escape-VC escalation (ftar, vc-policy=escape)
+// still guarantees delivery.
+std::uint64_t escapeOnlySeed(const topo::HyperX& topo, double rate, std::uint64_t from) {
+  for (std::uint64_t seed = from; seed < from + 4000; ++seed) {
+    fault::FaultSpec spec;
+    spec.rate = rate;
+    spec.seed = seed;
+    const auto set = fault::buildFaultSet(topo, spec);
+    if (set.failedLinks == 0) continue;
+    const auto mask = maskFor(topo, set);
+    if (!fault::checkConnectivity(topo, mask).connected) continue;
+    if (fault::hyperxOneDerouteRoutable(topo, mask)) continue;
+    return seed;
+  }
+  ADD_FAILURE() << "no connected-but-not-one-deroute-routable seed near " << from;
   return from;
 }
 
@@ -314,11 +336,146 @@ TEST(FaultRouting, DorDropsAtDeadEndsWhenAsked) {
   EXPECT_GT(r.packetsMeasured, 0u);
 }
 
-TEST(FaultRoutingDeath, DorAbortsLoudlyByDefault) {
+TEST(FaultRouting, DorRaisesErrorByDefault) {
+  // The abort policy is now a recoverable hxwar::Error (deferred-fatal slot,
+  // raised by the between-window watchdog), not a process abort: one bad
+  // sweep point must not take down a --jobs=N sweep.
   topo::HyperX probe({{4, 4}, 2});
   const std::uint64_t seed = routableSeed(probe, 0.08, 100);
   harness::Experiment exp(degradedSpec("dor", 0.08, seed));
-  EXPECT_DEATH(exp.run(), "fault dead end");
+  try {
+    exp.run();
+    FAIL() << "abort policy must raise hxwar::Error at the first dead end";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fault dead end"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--fault-policy"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultSweep, AbortingPointBecomesStructuredFailedRow) {
+  // Crash isolation: the same dead-ending configuration run through
+  // runSweepPoint retries once, then reports status="failed" with the error
+  // text instead of propagating — the rest of a sweep keeps its points.
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = routableSeed(probe, 0.08, 100);
+  const auto spec = degradedSpec("dor", 0.08, seed);
+  const auto point = harness::runSweepPoint(spec, spec.injection.rate, 0);
+  EXPECT_TRUE(point.failed());
+  EXPECT_EQ(point.status, "failed");
+  EXPECT_NE(point.message.find("fault dead end"), std::string::npos) << point.message;
+}
+
+TEST(FaultRouting, FtarDeliversWhereOneDerouteDoesNotSuffice) {
+  // The headline ftar guarantee: on any *connected* degraded network — even
+  // one the once-per-dim deroute budget cannot route — the escape-VC
+  // escalation delivers every packet.
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = escapeOnlySeed(probe, 0.20, 500);
+  auto spec = degradedSpec("ftar", 0.20, seed);
+  spec.fault.policy = fault::FaultPolicy::kEscape;
+  spec.injection.rate = 0.05;  // heavily degraded: stay well under saturation
+  harness::Experiment exp(spec);
+  EXPECT_TRUE(exp.connectivity().connected);
+  const auto r = exp.run();
+  EXPECT_GT(r.packetsMeasured, 0u);
+  EXPECT_EQ(exp.network().packetsDropped(), 0u);
+  EXPECT_EQ(r.packetsDropped, 0u);
+  EXPECT_GE(r.avgStretch, 1.0);
+}
+
+TEST(FaultRouting, EscapeVcPolicyRescuesDimWarBeyondItsBudget) {
+  // Same regime, but via the pluggable VC-policy axis: stock DimWAR carries
+  // the escape class as a retrofit (vc-policy=escape) and must also deliver.
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = escapeOnlySeed(probe, 0.20, 500);
+  auto spec = degradedSpec("dimwar", 0.20, seed);
+  spec.params["vc-policy"] = "escape";
+  spec.fault.policy = fault::FaultPolicy::kEscape;
+  spec.injection.rate = 0.05;
+  harness::Experiment exp(spec);
+  const auto r = exp.run();
+  EXPECT_GT(r.packetsMeasured, 0u);
+  EXPECT_EQ(exp.network().packetsDropped(), 0u);
+}
+
+TEST(FaultRouting, DatelineVcPolicyDeliversOnRoutableDegradedNetwork) {
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = routableSeed(probe, 0.08, 100);
+  auto spec = degradedSpec("dimwar", 0.08, seed);
+  spec.params["vc-policy"] = "dateline";
+  harness::Experiment exp(spec);
+  const auto r = exp.run();
+  EXPECT_GT(r.packetsMeasured, 0u);
+  EXPECT_EQ(exp.network().packetsDropped(), 0u);
+}
+
+TEST(FaultRouting, RetryPolicyRecoversAcrossTransientFault) {
+  // Bounded in-place retry: packets that dead-end while the fault window is
+  // live wait out their backoff and re-route against the revived mask, so a
+  // transient fault costs latency, not loss — even for oblivious DOR.
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = routableSeed(probe, 0.06, 300);
+  auto spec = degradedSpec("dor", 0.06, seed);
+  spec.fault.policy = fault::FaultPolicy::kRetry;
+  spec.fault.at = 1000;
+  spec.fault.until = 3000;
+  harness::Experiment exp(spec);
+  const auto r = exp.run();
+  EXPECT_GT(r.packetsMeasured, 0u);
+  // Drain the remaining retried packets past the revival.
+  exp.sim().run();
+  EXPECT_EQ(exp.network().packetsDropped(), 0u);
+}
+
+TEST(FaultRouting, EscapePolicyAcceptsPartitionAndAttributesDrops) {
+  // Partition tolerance: cutting router 0 off no longer rejects the spec
+  // under a softer policy — the census surfaces as metrics and traffic to
+  // the lost routers becomes attributed drops, not a crash.
+  topo::HyperX probe({{4, 4}, 2});
+  auto spec = degradedSpec("ftar", 0.0, 1);
+  std::string links;
+  for (PortId p = probe.terminalsPerRouter(); p < probe.numPorts(0); ++p) {
+    if (!links.empty()) links += ",";
+    links += "0:" + std::to_string(p);
+  }
+  spec.fault.links = links;
+  spec.fault.policy = fault::FaultPolicy::kEscape;
+  harness::Experiment exp(spec);
+  EXPECT_FALSE(exp.connectivity().connected);
+  // Components {router 0} and {the other 15}: 2 * 15 ordered pairs.
+  EXPECT_EQ(exp.connectivity().unreachablePairs, 30u);
+  EXPECT_EQ(exp.connectivity().unreachableRouters, 15u);
+  const auto r = exp.run();
+  EXPECT_EQ(r.unreachablePairs, 30u);
+  EXPECT_EQ(r.unreachableRouters, 15u);
+  EXPECT_GT(r.packetsMeasured, 0u);
+  EXPECT_GT(exp.network().packetsDropped(), 0u);  // traffic across the cut
+}
+
+TEST(FaultRouting, TransientMidFlightKillReviveMatchesAcrossPointJobs) {
+  // Satellite of the §13 contract: kill links while packets are mid-flight
+  // on them, revive later, and require bit-identical results between the
+  // serial engine and --point-jobs=4 — with nothing lost.
+  topo::HyperX probe({{4, 4}, 2});
+  const std::uint64_t seed = routableSeed(probe, 0.06, 300);
+  auto spec = degradedSpec("omniwar", 0.06, seed);
+  spec.fault.at = 800;  // strike mid-warmup: flits are queued on dying links
+  spec.fault.until = 2600;
+  spec.fault.policy = fault::FaultPolicy::kEscape;
+  const auto serial = harness::runSweepPoint(spec, spec.injection.rate, 0);
+  auto shardedSpec = spec;
+  shardedSpec.pointJobs = 4;
+  const auto sharded = harness::runSweepPoint(shardedSpec, spec.injection.rate, 0);
+  EXPECT_EQ(serial.status, "ok");
+  EXPECT_EQ(sharded.status, "ok");
+  EXPECT_EQ(serial.result.packetsMeasured, sharded.result.packetsMeasured);
+  EXPECT_EQ(serial.result.packetsDropped, sharded.result.packetsDropped);
+  EXPECT_EQ(serial.result.latencyMean, sharded.result.latencyMean);
+  EXPECT_EQ(serial.result.accepted, sharded.result.accepted);
+  EXPECT_EQ(serial.result.avgStretch, sharded.result.avgStretch);
+  EXPECT_GT(serial.result.packetsMeasured, 0u);
+  EXPECT_EQ(serial.result.packetsDropped, 0u);
 }
 
 TEST(FaultRouting, TransientKillAndReviveDeliversEverything) {
@@ -380,6 +537,57 @@ TEST(FaultSpecSerialize, RoundTripsThroughConfigText) {
   EXPECT_EQ(back.fault.at, spec.fault.at);
   EXPECT_EQ(back.fault.until, spec.fault.until);
   EXPECT_EQ(back.fault.drop, spec.fault.drop);
+}
+
+TEST(FaultSpecSerialize, FaultPolicyRoundTrips) {
+  for (const auto policy : {fault::FaultPolicy::kDrop, fault::FaultPolicy::kRetry,
+                            fault::FaultPolicy::kEscape}) {
+    SCOPED_TRACE(fault::faultPolicyName(policy));
+    harness::ExperimentSpec spec;
+    spec.fault.rate = 0.05;
+    spec.fault.policy = policy;
+    Flags flags;
+    ASSERT_TRUE(flags.loadText(spec.serialize()));
+    EXPECT_EQ(harness::ExperimentSpec::fromFlags(flags).fault.policy, policy);
+  }
+  // The legacy drop flag folds into the effective policy without rewriting
+  // the serialized spec.
+  harness::ExperimentSpec legacy;
+  legacy.fault.rate = 0.05;
+  legacy.fault.drop = true;
+  EXPECT_EQ(legacy.fault.effectivePolicy(), fault::FaultPolicy::kDrop);
+  EXPECT_EQ(legacy.serialize().find("fault-policy"), std::string::npos);
+}
+
+TEST(FaultEscape, EscapeTableEmitsDistanceDescentOnly) {
+  // The escape table's candidates walk strictly downhill on the masked BFS
+  // distance to the destination — the monotone-descent property behind the
+  // connected-network delivery guarantee.
+  topo::HyperX topo({{4}, 1});  // K4 clique
+  fault::FaultSpec spec;
+  spec.links = "0:" + std::to_string(topo.dimPort(0, 0, 1));
+  const auto mask = maskFor(topo, fault::buildFaultSet(topo, spec));
+  routing::EscapeTable table(topo);
+
+  // 0 -> 1 direct is dead: distance 2, and every candidate must step to a
+  // router at distance 1 (any surviving neighbor of 1).
+  EXPECT_EQ(table.distance(mask, 0, 1), 2u);
+  std::vector<routing::Candidate> out;
+  table.emitEscape(mask, 0, 1, /*escapeClass=*/1, out);
+  ASSERT_FALSE(out.empty());
+  for (const auto& c : out) {
+    EXPECT_TRUE(c.atomic);
+    EXPECT_TRUE(c.faultEscape);
+    EXPECT_EQ(c.vcClass, 1u);
+    EXPECT_EQ(c.hopsRemaining, 2u);
+    const auto target = topo.portTarget(0, c.port);
+    ASSERT_EQ(target.kind, topo::Topology::PortTarget::Kind::kRouter);
+    EXPECT_EQ(table.distance(mask, target.router, 1), 1u);
+  }
+  // At the destination router there is no escape step to take.
+  out.clear();
+  table.emitEscape(mask, 1, 1, 1, out);
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(FaultSpecSerialize, FaultlessSpecStaysFaultFree) {

@@ -55,6 +55,8 @@ void expectResultsIdentical(const metrics::SteadyStateResult& a,
   EXPECT_EQ(a.droppedShare, b.droppedShare);
   EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
   EXPECT_EQ(a.packetsDropped, b.packetsDropped);
+  EXPECT_EQ(a.unreachablePairs, b.unreachablePairs);
+  EXPECT_EQ(a.unreachableRouters, b.unreachableRouters);
   EXPECT_EQ(a.warmupCycles, b.warmupCycles);
   ASSERT_EQ(a.hopLatency.size(), b.hopLatency.size());
   for (std::size_t h = 0; h < a.hopLatency.size(); ++h) {
@@ -138,6 +140,26 @@ TEST(ParSim, BitIdenticalFaulted) {
     spec.fault.seed = 99;
     spec.fault.drop = true;  // dead ends drop instead of aborting
     expectPointJobsInvariant(spec);
+  }
+}
+
+TEST(ParSim, BitIdenticalFaultPolicyMatrix) {
+  // The graceful-degradation ladder (--fault-policy) must be
+  // --point-jobs-invariant in every mode, including ftar's escape-VC
+  // escalation and the retry path's backoff timing. The softer policies
+  // tolerate partitioned fault sets, so no seed screening is needed.
+  const fault::FaultPolicy policies[] = {fault::FaultPolicy::kDrop,
+                                         fault::FaultPolicy::kRetry,
+                                         fault::FaultPolicy::kEscape};
+  for (const std::string algo : {"dimwar", "ftar"}) {
+    for (const fault::FaultPolicy policy : policies) {
+      SCOPED_TRACE(algo + "/" + fault::faultPolicyName(policy));
+      harness::ExperimentSpec spec = tinySpec(algo);
+      spec.fault.rate = 0.10;
+      spec.fault.seed = 77;
+      spec.fault.policy = policy;
+      expectPointJobsInvariant(spec);
+    }
   }
 }
 

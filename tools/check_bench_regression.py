@@ -42,6 +42,15 @@ REPORT_KEYS = [
     "par_scaling_pj4_events_per_sec",
 ]
 
+# Exact-invariant keys gated at zero, independent of --tolerance: these are
+# correctness counts wearing a perf-trajectory hat. fault_escape_dropped is
+# the number of packets ftar dropped on a connected escape-only degraded
+# network (BENCH_core.json, bench/micro_core.cc) — the delivery guarantee
+# says exactly zero, so any nonzero value fails the gate outright.
+ZERO_KEYS = [
+    "fault_escape_dropped",
+]
+
 # Lower-is-better memory-budget keys: idle structural bytes of a freshly
 # built network. These are deterministic (sizeof arithmetic, not timers), so
 # the ceiling is tight — growth past baseline * (1 + MEMORY_TOLERANCE) means
@@ -129,6 +138,19 @@ def main() -> int:
                 f"{key}: {now:,.1f} > ceiling {ceiling:,.1f} "
                 f"(baseline {base:,.1f}, tolerance {MEMORY_TOLERANCE:.0%})"
             )
+
+    for key in ZERO_KEYS:
+        if key not in baseline:
+            print(f"note: baseline lacks {key}; skipping")
+            continue
+        if key not in fresh:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        now = float(fresh[key])
+        status = "OK " if now == 0 else "REGRESSION"
+        print(f"{status} {key}: fresh {now:,.0f} (must be exactly 0)")
+        if now != 0:
+            failures.append(f"{key}: {now:,.0f} != 0 (delivery guarantee broken)")
 
     for key in REPORT_KEYS:
         if key in fresh:

@@ -19,8 +19,13 @@
 // Fault injection (steady/sweep): --fault-rate + --fault-seed draw random
 // link failures, --fault-links=r:p,... / --fault-routers=r,... name them
 // explicitly, --fault-at/--fault-until make them transient, and
-// --fault-drop=true switches the dead-end policy from abort to drop (adds
-// `dropped`/`stretch` columns). See fault/fault_model.h.
+// --fault-policy={abort,drop,retry,escape} selects the dead-end ladder
+// (--fault-drop=true remains as the legacy spelling of drop; faulted runs add
+// `dropped`/`stretch` columns). escape/drop/retry tolerate partitioned fault
+// sets, reporting unreachable pairs as metrics. A point that still aborts is
+// retried once and then reported as a FAILED row (crash isolation) rather
+// than killing the sweep. --vc-policy={static,dateline,escape} selects the
+// VC/deadlock-avoidance scheme per algorithm. See fault/fault_model.h.
 //
 // steady/sweep run through the shared harness::runLoadSweep engine for every
 // topology family, with the standard determinism contract: each point's seeds
@@ -61,10 +66,21 @@ namespace {
 
 using namespace hxwar;
 
-std::vector<std::string> resultRow(double load, const metrics::SteadyStateResult& r,
-                                   bool faulted) {
+std::vector<std::string> resultRow(const harness::SweepPoint& p, bool faulted) {
   using harness::Table;
-  std::vector<std::string> row = {Table::pct(load),
+  const metrics::SteadyStateResult& r = p.result;
+  if (p.failed()) {
+    // Crash isolation: the point raised hxwar::Error twice with the same
+    // seeds; keep it as a structured row instead of dropping the whole sweep.
+    std::vector<std::string> row = {Table::pct(p.load), "-", "-", "-", "-",
+                                    "-",               "-", "-", "FAILED"};
+    if (faulted) {
+      row.push_back("-");
+      row.push_back("-");
+    }
+    return row;
+  }
+  std::vector<std::string> row = {Table::pct(p.load),
                                   Table::pct(r.accepted),
                                   r.saturated ? "-" : Table::num(r.latencyMean, 1),
                                   r.saturated ? "-" : Table::num(r.latencyP90, 1),
@@ -122,9 +138,13 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   harness::Table table(columns);
   harness::CsvWriter csv(flags.str("csv", ""), columns);
   for (const auto& p : points) {
-    const auto row = resultRow(p.load, p.result, faulted);
+    const auto row = resultRow(p, faulted);
     table.addRow(row);
     csv.row(row);
+    if (p.failed()) {
+      std::fprintf(stderr, "point %zu (load %.3f) failed: %s\n", p.index, p.load,
+                   p.message.c_str());
+    }
   }
   table.print();
 

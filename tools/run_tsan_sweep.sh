@@ -15,7 +15,10 @@
 # HXWAR_SANITIZE=address,undefined) runs the index-core memory suites —
 # packet slab, router SoA state, channel rings — plus a --scale=paper smoke
 # point, so out-of-bounds slot arithmetic or use-after-recycle in the dense
-# ID-indexed storage fails loudly at full network size.
+# ID-indexed storage fails loudly at full network size. A high-fault-rate
+# ftar sweep rides along: 20% failed links under --fault-policy=escape
+# drives the masked-BFS escape tables, escape-VC escalation, and the
+# partition-tolerant fault-set builder through the sanitizers.
 #
 # Usage: tools/run_tsan_sweep.sh [extra gtest args...]
 set -euo pipefail
@@ -90,6 +93,18 @@ for t in packet_pool_test net_test channel_test router_test; do
   "${BUILD_ASAN}/tests/${t}" --gtest_filter='-*Death*' "$@"
   echo "${t} passed under ASan+UBSan"
 done
+
+# High-fault-rate escape routing: ftar at 20% failed links with the escape
+# fault policy. The degraded network may not even be connected at this rate —
+# escape tolerates partitions and attributes the unreachable-destination
+# drops — so the masked-BFS distance tables, escape-VC escalation, and the
+# partition census all run with sanitizers watching.
+"${BUILD_ASAN}/tools/hxsim" --widths=4,4 --terminals=2 --routing=ftar \
+  --experiment=sweep --loads=0.05,0.10 --jobs=2 \
+  --fault-rate=0.20 --fault-policy=escape \
+  --warmup-window=300 --warmup-windows=6 --measure-window=800 \
+  --drain-window=3000 > /dev/null
+echo "high-fault-rate ftar escape sweep passed under ASan+UBSan"
 
 # Paper-scale smoke: build the 4,096-node network and push one reduced
 # fig06 point through it, so index arithmetic is exercised at full size.
