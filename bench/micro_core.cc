@@ -22,6 +22,7 @@
 #include "harness/spec.h"
 #include "net/network.h"
 #include "obs/net_observer.h"
+#include "obs/recorder.h"
 #include "routing/hyperx_routing.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
@@ -244,9 +245,12 @@ double timeTopologyLookups(const topo::Topology& topo, std::uint64_t iterations)
 }
 
 // Observer attachment levels for the end-to-end rate: detached (the pre-obs
-// hot path plus one null-pointer branch per hook), counters only, and
-// every-packet tracing (the worst case --trace-sample=1 configuration).
-enum class ObsMode { kOff, kCounters, kTraced };
+// hot path plus one null-pointer branch per hook), counters only,
+// every-packet tracing (the worst case --trace-sample=1 configuration),
+// windowed observer with no recorder draining it (the per-packet
+// histogram-add cost alone), and the full flight recorder with all providers
+// wired (--window-ticks=200, an aggressive cadence for the 4k-tick run).
+enum class ObsMode { kOff, kCounters, kTraced, kTimelineDetached, kTimeline };
 
 // Events/sec alone cannot compare event-core stages: wakeup batching
 // deliberately coalesces same-tick deliveries, so the same simulation runs
@@ -266,16 +270,48 @@ EndToEndResult timeEndToEnd(ObsMode mode = ObsMode::kOff) {
   cfg.channelLatencyRouter = 8;
   net::Network network(sim, topo, *routing, cfg);
   std::unique_ptr<obs::NetObserver> observer;
+  std::unique_ptr<obs::FlightRecorder> recorder;
   if (mode != ObsMode::kOff) {
     obs::ObsOptions opts;
     if (mode == ObsMode::kTraced) {
       opts.traceOut = "bench";  // enables tracing; nothing is written here
       opts.traceSample = 1;
+    } else if (mode == ObsMode::kTimelineDetached || mode == ObsMode::kTimeline) {
+      opts.windowTicks = 200;  // windowed observer; recorder only in kTimeline
     } else {
       opts.metricsJson = "bench";  // counters only
     }
     observer = std::make_unique<obs::NetObserver>(topo, cfg.router.numVcs, opts);
     network.setObserver(observer.get());
+    if (mode == ObsMode::kTimeline) {
+      // Full recorder with every provider wired, mirroring the harness setup
+      // (harness/experiment.cc) over the bench's raw Network.
+      net::Network* net = &network;
+      recorder = std::make_unique<obs::FlightRecorder>(sim, opts.windowTicks);
+      recorder->addObserver(observer.get());
+      recorder->setFlowProvider([net] {
+        obs::FlowSample s;
+        s.flitsInjected = net->flitsInjected();
+        s.flitsEjected = net->flitsEjected();
+        s.packetsCreated = net->packetsCreated();
+        s.packetsEjected = net->packetsEjected();
+        s.packetsDropped = net->packetsDropped();
+        s.backlogFlits = net->totalSourceBacklogFlits();
+        std::uint64_t queued = 0;
+        for (RouterId r = 0; r < net->numRouters(); ++r) {
+          queued += net->router(r).bufferedFlits();
+        }
+        s.queuedFlits = queued;
+        s.packetsOutstanding = net->packetsOutstanding();
+        return s;
+      });
+      recorder->setLinkWalker(
+          [net](const std::function<void(const obs::LinkStatsRow&)>& cb) {
+            net->forEachLinkStats(cb);
+          },
+          network.numRouters(), network.maxPorts());
+      recorder->setVcOccupancyProvider([net] { return net->vcOccupancySums(); });
+    }
   }
   traffic::UniformRandom pattern(topo.numNodes());
   traffic::SyntheticInjector::Params params;
@@ -315,7 +351,7 @@ struct ParScalingRow {
   double eventsPerSec = 0.0;
 };
 
-ParScalingRow timeParScaling(std::uint32_t pointJobs) {
+ParScalingRow timeParScaling(std::uint32_t pointJobs, Tick windowTicks = 0) {
   harness::ExperimentSpec spec = harness::scaleSpec("paper");
   spec.routing = "omniwar";
   spec.pattern = "ur";
@@ -326,6 +362,7 @@ ParScalingRow timeParScaling(std::uint32_t pointJobs) {
   spec.steady.drainWindow = 20000;
   spec.steady.minMeasurePackets = 1;
   spec.pointJobs = pointJobs;
+  spec.obs.windowTicks = windowTicks;  // 0 = no flight recorder
   const harness::SweepPoint p = harness::runSweepPoint(spec, spec.injection.rate, 0);
   return ParScalingRow{pointJobs, p.eventsProcessed, p.wallSeconds, p.eventsPerSec};
 }
@@ -403,9 +440,13 @@ void writeCoreBaseline(const char* path) {
   const EndToEndResult e2e = timeEndToEnd();
   const EndToEndResult e2eCounters = timeEndToEnd(ObsMode::kCounters);
   const EndToEndResult e2eTraced = timeEndToEnd(ObsMode::kTraced);
+  const EndToEndResult e2eTlDetached = timeEndToEnd(ObsMode::kTimelineDetached);
+  const EndToEndResult e2eTimeline = timeEndToEnd(ObsMode::kTimeline);
   const double evps = e2e.eventsPerSec;
   const double evpsCounters = e2eCounters.eventsPerSec;
   const double evpsTraced = e2eTraced.eventsPerSec;
+  const double evpsTlDetached = e2eTlDetached.eventsPerSec;
+  const double evpsTimeline = e2eTimeline.eventsPerSec;
   topo::HyperX hx({{4, 4, 4}, 4});
   std::uint32_t maxPorts = 0;
   for (RouterId r = 0; r < hx.numRouters(); ++r) {
@@ -423,6 +464,9 @@ void writeCoreBaseline(const char* path) {
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const ParScalingRow parRows[] = {timeParScaling(1), timeParScaling(2),
                                    timeParScaling(4)};
+  // Paper-scale point with the flight recorder attached (--window-ticks=2000):
+  // the acceptance bar is staying within a few percent of parRows[0].
+  const ParScalingRow paperTimeline = timeParScaling(1, 2000);
   const FaultEscapeRow escape = timeFaultEscape();
   std::printf("\npacket alloc: unpooled %.1f Mpkt/s, pooled %.1f Mpkt/s (%.2fx)\n",
               unpooled / 1e6, pooled / 1e6, pooled / unpooled);
@@ -435,6 +479,16 @@ void writeCoreBaseline(const char* path) {
               "%.2f Mev/s (%.3fx overhead)\n",
               evpsCounters / 1e6, evps / evpsCounters, evpsTraced / 1e6,
               evps / evpsTraced);
+  std::printf("  timeline detached: %.2f Mev/s (%.3fx overhead), recorder w=200: "
+              "%.2f Mev/s (%.3fx overhead)\n",
+              evpsTlDetached / 1e6, evps / evpsTlDetached, evpsTimeline / 1e6,
+              evps / evpsTimeline);
+  std::printf("paper-scale recorder (w=2000, pj1): %.2f Mev/s vs %.2f Mev/s "
+              "no-recorder (%.3fx overhead)\n",
+              paperTimeline.eventsPerSec / 1e6, parRows[0].eventsPerSec / 1e6,
+              paperTimeline.eventsPerSec > 0
+                  ? parRows[0].eventsPerSec / paperTimeline.eventsPerSec
+                  : 0.0);
   std::printf("par scaling (paper-scale point, %u cores): pj1 %.2f Mev/s, "
               "pj2 %.2f Mev/s, pj4 %.2f Mev/s (%.2fx at 4 shards)\n",
               cores, parRows[0].eventsPerSec / 1e6, parRows[1].eventsPerSec / 1e6,
@@ -536,8 +590,14 @@ void writeCoreBaseline(const char* path) {
                "  \"end_to_end_wall_sec\": %.4f,\n"
                "  \"end_to_end_obs_counters_events_per_sec\": %.1f,\n"
                "  \"end_to_end_obs_traced_events_per_sec\": %.1f,\n"
+               "  \"end_to_end_obs_timeline_detached_events_per_sec\": %.1f,\n"
+               "  \"end_to_end_obs_timeline_events_per_sec\": %.1f,\n"
                "  \"obs_counters_overhead\": %.3f,\n"
                "  \"obs_traced_overhead\": %.3f,\n"
+               "  \"obs_timeline_detached_overhead\": %.3f,\n"
+               "  \"obs_timeline_overhead\": %.3f,\n"
+               "  \"obs_timeline_paper_events_per_sec\": %.1f,\n"
+               "  \"obs_timeline_paper_overhead\": %.3f,\n"
                "  \"memory_paper_total_bytes\": %llu,\n"
                "  \"memory_paper_bytes_per_terminal\": %.1f,\n"
                "  \"memory_paper_bytes_per_flit_slot\": %.1f,\n"
@@ -548,7 +608,12 @@ void writeCoreBaseline(const char* path) {
                unpooled, pooled, pooled / unpooled, rawLookups, degradedLookups,
                rawLookups / degradedLookups, evps,
                static_cast<unsigned long long>(e2e.events), e2e.wallSec, evpsCounters,
-               evpsTraced, evps / evpsCounters, evps / evpsTraced,
+               evpsTraced, evpsTlDetached, evpsTimeline, evps / evpsCounters,
+               evps / evpsTraced, evps / evpsTlDetached, evps / evpsTimeline,
+               paperTimeline.eventsPerSec,
+               paperTimeline.eventsPerSec > 0
+                   ? parRows[0].eventsPerSec / paperTimeline.eventsPerSec
+                   : 0.0,
                static_cast<unsigned long long>(paperMem.totalBytes),
                paperMem.bytesPerTerminal, paperMem.bytesPerFlitSlot,
                static_cast<unsigned long long>(smallMem.totalBytes),

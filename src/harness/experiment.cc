@@ -238,6 +238,47 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
                                                   spec_.obs.sampleInterval,
                                                   spec_.obs.stallWindow);
       }
+      if (spec_.obs.windowed()) {
+        // Flight recorder: a second kEpsControl component in the control sim
+        // (constructed after the sampler, so on shared ticks the sampler's
+        // row precedes the window close — deterministically, like everything
+        // scheduled here). Providers read lane-summed network state, which at
+        // a kEpsControl boundary equals the serial engine's values.
+        recorder_ = std::make_unique<obs::FlightRecorder>(sim_, spec_.obs.windowTicks);
+        for (auto& o : observers_) recorder_->addObserver(o.get());
+        recorder_->setFlowProvider([net] {
+          obs::FlowSample s;
+          s.flitsInjected = net->flitsInjected();
+          s.flitsEjected = net->flitsEjected();
+          s.packetsCreated = net->packetsCreated();
+          s.packetsEjected = net->packetsEjected();
+          s.packetsDropped = net->packetsDropped();
+          s.backlogFlits = net->totalSourceBacklogFlits();
+          std::uint64_t queued = 0;
+          for (RouterId r = 0; r < net->numRouters(); ++r) {
+            queued += net->router(r).bufferedFlits();
+          }
+          s.queuedFlits = queued;
+          s.packetsOutstanding = net->packetsOutstanding();
+          return s;
+        });
+        recorder_->setLinkWalker(
+            [net](const std::function<void(const obs::LinkStatsRow&)>& cb) {
+              net->forEachLinkStats(cb);
+            },
+            network_->numRouters(), network_->maxPorts());
+        recorder_->setVcOccupancyProvider([net] { return net->vcOccupancySums(); });
+        if (faultCtrl_ != nullptr) {
+          recorder_->setFaultWindow(faultCtrl_->killAt(), faultCtrl_->reviveAt());
+        }
+        if (sampler_ != nullptr) {
+          // A watchdog trip streams the whole timeline before the diagnostic
+          // dump: the deadlock walk and the windows leading up to it land in
+          // one artifact.
+          sampler_->setStallDump(
+              [rec = recorder_.get()](std::FILE* f) { rec->dumpTimeline(f); });
+        }
+      }
     }
   }
 
@@ -260,8 +301,21 @@ Experiment::Experiment(const ExperimentSpec& spec) : spec_(spec) {
                                                  lookahead, detail);
     engine_->setBarrierHook([net = network_.get()] { net->drainDeferredFrees(); });
     backend_ = engine_.get();
+    sim::par::Engine* eng = engine_.get();
+    if (recorder_ != nullptr) {
+      recorder_->setBusyProbe([eng] { return eng->busy(); });
+      // Load-balance telemetry: cumulative per-shard events, mailbox posts
+      // drained, and wall-clock barrier waits. The recorder is a control
+      // event — all workers are parked when this runs.
+      recorder_->setEngineProvider([eng] {
+        obs::EngineSample es;
+        es.shardEvents = eng->shardEventsProcessed();
+        es.mailboxPosts = eng->mailboxPostsDrained();
+        es.barrierWaitSeconds = eng->workerBarrierWaitSeconds();
+        return es;
+      });
+    }
     if (sampler_ != nullptr) {
-      sim::par::Engine* eng = engine_.get();
       sampler_->setBusyProbe([eng] { return eng->busy(); });
       std::vector<obs::NetObserver*> all;
       for (auto& o : observers_) all.push_back(o.get());
@@ -378,6 +432,10 @@ SweepPoint runSweepPointOnce(const ExperimentSpec& base, double load, std::size_
       }
       obs::canonicalize(p.trace);
       p.samples = exp.observer()->samples();
+    }
+    if (exp.recorder() != nullptr) {
+      p.windows = exp.recorder()->windows();
+      p.shardWindows = exp.recorder()->shardWindows();
     }
   }
   return p;

@@ -16,6 +16,7 @@
 #include "metrics/steady_state.h"
 #include "net/network.h"
 #include "obs/net_observer.h"
+#include "obs/recorder.h"
 #include "obs/sampler.h"
 #include "routing/hyperx_routing.h"
 #include "sim/backend.h"
@@ -112,6 +113,9 @@ class Experiment {
   // All per-lane observers (one per shard when sharded). Traces and routing
   // counters must be merged across them — see runSweepPoint.
   const std::vector<std::unique_ptr<obs::NetObserver>>& observers() { return observers_; }
+  // Windowed flight recorder; nullptr unless spec.obs.windowed() (or the obs
+  // layer is compiled out).
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
 
   // Runs warmup + measurement at the configured injection rate.
   metrics::SteadyStateResult run();
@@ -140,6 +144,7 @@ class Experiment {
   // after network_ so teardown order is safe.
   std::vector<std::unique_ptr<obs::NetObserver>> observers_;
   std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   // Engine last: its destructor joins the workers while every component they
   // might touch is still alive.
   std::unique_ptr<sim::par::Engine> engine_;
@@ -174,6 +179,12 @@ struct SweepPoint {
   // like `result`: trace sampling keys on packet ids, sampler rows on ticks.
   obs::TraceBuffer trace;
   std::vector<obs::SampleRow> samples;
+  // Flight-recorder captures (empty unless spec.obs.windowed()). `windows` is
+  // jobs- AND point-jobs-invariant; `shardWindows` is jobs-invariant but its
+  // shape follows the shard count (empty on serial runs) — it feeds the
+  // metrics-json shard_balance section, never --timeline-out.
+  std::vector<obs::WindowRecord> windows;
+  std::vector<obs::ShardWindowRecord> shardWindows;
 };
 
 // Derives the per-point configuration for point `index` at `load`. Seeds are

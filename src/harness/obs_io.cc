@@ -1,5 +1,6 @@
 #include "harness/obs_io.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -21,6 +22,52 @@ void writeU64Array(std::FILE* f, const char* key,
   std::fprintf(f, "\"%s\":[", key);
   for (std::size_t i = 0; i < values.size(); ++i) {
     std::fprintf(f, "%s%" PRIu64, i == 0 ? "" : ",", values[i]);
+  }
+  std::fprintf(f, "]");
+}
+
+// Aggregate heat over a point's windows: sums each window's top-K hot-link
+// entries by (router, port) and returns the overall top-K. Approximate below
+// the per-window K cutoff, exact for the links that matter (the hot ones).
+std::vector<obs::LinkWindowStat> aggregateHotLinks(
+    const std::vector<obs::WindowRecord>& windows) {
+  std::vector<obs::LinkWindowStat> agg;
+  for (const obs::WindowRecord& w : windows) {
+    for (const obs::LinkWindowStat& l : w.hotLinks) {
+      auto it = std::find_if(agg.begin(), agg.end(), [&](const obs::LinkWindowStat& a) {
+        return a.router == l.router && a.port == l.port;
+      });
+      if (it == agg.end()) {
+        agg.push_back(l);
+      } else {
+        it->flits += l.flits;
+        it->stallTicks += l.stallTicks;
+        it->queuedFlits = l.queuedFlits;  // latest window's snapshot
+      }
+    }
+  }
+  std::sort(agg.begin(), agg.end(),
+            [](const obs::LinkWindowStat& a, const obs::LinkWindowStat& b) {
+              if (a.flits != b.flits) return a.flits > b.flits;
+              if (a.stallTicks != b.stallTicks) return a.stallTicks > b.stallTicks;
+              if (a.router != b.router) return a.router < b.router;
+              return a.port < b.port;
+            });
+  if (agg.size() > obs::FlightRecorder::kHotLinks) {
+    agg.resize(obs::FlightRecorder::kHotLinks);
+  }
+  return agg;
+}
+
+void writeHotLinks(std::FILE* f, const std::vector<obs::LinkWindowStat>& links) {
+  std::fprintf(f, "\"hottest_links\":[");
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const obs::LinkWindowStat& l = links[i];
+    std::fprintf(f,
+                 "%s{\"router\":%u,\"port\":%u,\"peer_router\":%u,\"peer_port\":%u,"
+                 "\"flits\":%" PRIu64 ",\"stall_ticks\":%" PRIu64 "}",
+                 i == 0 ? "" : ",", l.router, l.port, l.peerRouter, l.peerPort, l.flits,
+                 l.stallTicks);
   }
   std::fprintf(f, "]");
 }
@@ -119,7 +166,76 @@ bool writeMetricsJson(const std::string& path, const ExperimentSpec& spec,
     writeU64Array(f, "deroutes_refused_by_dim", r.routing.derouteRefusedByDim);
     std::fprintf(f, ",");
     writeU64Array(f, "grants_by_vc", r.routing.grantsByVc);
-    std::fprintf(f, "},\"samples\":[");
+    std::fprintf(f, "},");
+
+    if (!p.windows.empty()) {
+      // Flight-recorder hotspot summary. Everything here is point-jobs-
+      // invariant: window deltas, aggregated hot links, per-dim deroute
+      // rates over the whole recorded span.
+      std::uint64_t totalDecisions = 0;
+      std::uint64_t peakInjected = 0, peakStalls = 0, peakDeroutes = 0;
+      std::vector<std::uint64_t> deroutesByDim;
+      for (const obs::WindowRecord& w : p.windows) {
+        totalDecisions += w.routeDecisions;
+        peakInjected = std::max(peakInjected, w.flitsInjected);
+        peakStalls = std::max(peakStalls, w.creditStalls);
+        peakDeroutes = std::max(peakDeroutes, w.deroutesTaken);
+        if (deroutesByDim.size() < w.deroutesTakenByDim.size()) {
+          deroutesByDim.resize(w.deroutesTakenByDim.size(), 0);
+        }
+        for (std::size_t d = 0; d < w.deroutesTakenByDim.size(); ++d) {
+          deroutesByDim[d] += w.deroutesTakenByDim[d];
+        }
+      }
+      std::fprintf(f,
+                   "\"timeline\":{\"window_ticks\":%" PRIu64 ",\"windows\":%zu,"
+                   "\"peak_window_injected\":%" PRIu64
+                   ",\"peak_window_credit_stalls\":%" PRIu64
+                   ",\"peak_window_deroutes\":%" PRIu64 ",",
+                   static_cast<std::uint64_t>(spec.obs.windowTicks), p.windows.size(),
+                   peakInjected, peakStalls, peakDeroutes);
+      std::fprintf(f, "\"deroute_rate_by_dim\":[");
+      for (std::size_t d = 0; d < deroutesByDim.size(); ++d) {
+        const double rate = totalDecisions > 0 ? static_cast<double>(deroutesByDim[d]) /
+                                                     static_cast<double>(totalDecisions)
+                                               : 0.0;
+        std::fprintf(f, "%s%s", d == 0 ? "" : ",", formatDouble(rate).c_str());
+      }
+      std::fprintf(f, "],");
+      writeHotLinks(f, aggregateHotLinks(p.windows));
+      std::fprintf(f, "},");
+    }
+
+    if (p.pointJobs > 1 && !p.shardWindows.empty()) {
+      // Shard load balance. Deterministic for a fixed --point-jobs and
+      // byte-identical across --jobs, but its *shape* follows the shard
+      // count, so it is emitted only for sharded points and never reaches
+      // --timeline-out (which must be point-jobs-invariant). Wall-clock
+      // barrier waits stay out of this file entirely.
+      double maxRatio = 0.0, sumRatio = 0.0;
+      for (const obs::ShardWindowRecord& sr : p.shardWindows) {
+        maxRatio = std::max(maxRatio, sr.loadRatio);
+        sumRatio += sr.loadRatio;
+      }
+      std::fprintf(f,
+                   "\"shard_balance\":{\"shards\":%u,\"max_load_ratio\":%s,"
+                   "\"mean_load_ratio\":%s,\"windows\":[",
+                   p.pointJobs, formatDouble(maxRatio).c_str(),
+                   formatDouble(sumRatio / static_cast<double>(p.shardWindows.size()))
+                       .c_str());
+      for (std::size_t s = 0; s < p.shardWindows.size(); ++s) {
+        const obs::ShardWindowRecord& sr = p.shardWindows[s];
+        std::uint64_t posts = 0;
+        for (const std::uint64_t v : sr.mailboxPosts) posts += v;
+        std::fprintf(f, "%s{\"window\":%" PRIu64 ",", s == 0 ? "" : ",", sr.index);
+        writeU64Array(f, "events", sr.shardEvents);
+        std::fprintf(f, ",\"posts\":%" PRIu64 ",\"ratio\":%s}", posts,
+                     formatDouble(sr.loadRatio).c_str());
+      }
+      std::fprintf(f, "]},");
+    }
+
+    std::fprintf(f, "\"samples\":[");
     for (std::size_t s = 0; s < p.samples.size(); ++s) {
       const obs::SampleRow& row = p.samples[s];
       std::fprintf(f,
@@ -135,6 +251,37 @@ bool writeMetricsJson(const std::string& path, const ExperimentSpec& spec,
     std::fprintf(f, "]}");
   }
   std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return true;
+}
+
+bool writeTimelineJsonl(const std::string& path, const ExperimentSpec& spec,
+                        const std::vector<SweepPoint>& points) {
+  if (path.empty()) return true;
+  std::FILE* f = openOut(path);
+  if (f == nullptr) return false;
+
+  // Header line, then per point a meta line and one line per window. Window
+  // lines are integer-only (see obs/window.cc), and points emit in grid
+  // order, so the stream is byte-identical across --jobs and --point-jobs.
+  std::fprintf(f,
+               "{\"tool\":\"hxsim\",\"version\":1,\"topology\":\"%s\","
+               "\"routing\":\"%s\",\"pattern\":\"%s\",\"window_ticks\":%" PRIu64 "}\n",
+               spec.topology.c_str(),
+               spec.routing.empty() ? "default" : spec.routing.c_str(),
+               spec.pattern.c_str(), static_cast<std::uint64_t>(spec.obs.windowTicks));
+  std::string line;
+  for (const SweepPoint& p : points) {
+    std::fprintf(f,
+                 "{\"point\":%zu,\"load\":%s,\"status\":\"%s\",\"windows\":%zu}\n",
+                 p.index, formatDouble(p.load).c_str(), p.status.c_str(),
+                 p.windows.size());
+    for (const obs::WindowRecord& w : p.windows) {
+      line.clear();
+      obs::appendWindowJsonl(p.index, w, line);
+      std::fputs(line.c_str(), f);
+    }
+  }
   std::fclose(f);
   return true;
 }

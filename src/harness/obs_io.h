@@ -25,8 +25,19 @@ bool writeTraceJson(const std::string& path, const ExperimentSpec& spec,
 // p50/p90/p99/p999 / min/max plus the nonzero log2 histogram buckets and the
 // per-hop-count breakdown), the routing-decision counters (deroutes taken and
 // refused per dimension, fault escapes, path deroutes, VC grants), and the
-// periodic sampler rows when --sample-interval is set.
+// periodic sampler rows when --sample-interval is set. When the flight
+// recorder ran, each point also carries a "timeline" hotspot summary
+// (point-jobs-invariant) and — on sharded runs only — a "shard_balance"
+// section whose shape follows the shard count (per-window shard event deltas
+// and max/mean load ratios; jobs-invariant, point-jobs-variant by nature).
 bool writeMetricsJson(const std::string& path, const ExperimentSpec& spec,
                       const std::vector<SweepPoint>& points);
+
+// Windowed-telemetry JSONL (--timeline-out): one header line, then per sweep
+// point a point-meta line followed by one line per closed window (see
+// obs::appendWindowJsonl). Every line derives from simulation state only, so
+// the file is byte-identical across --jobs AND --point-jobs values.
+bool writeTimelineJsonl(const std::string& path, const ExperimentSpec& spec,
+                        const std::vector<SweepPoint>& points);
 
 }  // namespace hxwar::harness

@@ -46,7 +46,7 @@ const std::set<std::string>& structuredKeys() {
       "scale", "algorithms", "list",
       // observability (operational; omitted from serialize())
       "trace-out", "trace-sample", "metrics-json", "sample-interval",
-      "stall-window"};
+      "stall-window", "window-ticks", "timeline-out"};
   return keys;
 }
 
@@ -144,6 +144,10 @@ obs::ObsOptions obsOptionsFromFlags(const Flags& flags, obs::ObsOptions d) {
   HXWAR_CHECK_MSG(d.traceSample > 0, "trace-sample must be >= 1");
   d.sampleInterval = flags.u64("sample-interval", d.sampleInterval);
   d.stallWindow = flags.u64("stall-window", d.stallWindow);
+  if (flags.has("timeline-out")) d.timelineOut = flags.str("timeline-out", d.timelineOut);
+  d.windowTicks = flags.u64("window-ticks", d.windowTicks);
+  // A timeline destination implies recording; pick a sane default cadence.
+  if (!d.timelineOut.empty() && d.windowTicks == 0) d.windowTicks = 1000;
   return d;
 }
 

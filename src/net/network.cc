@@ -234,6 +234,33 @@ void Network::setObservers(const std::vector<obs::NetObserver*>& observers) {
   }
 }
 
+void Network::forEachLinkStats(
+    const std::function<void(const obs::LinkStatsRow&)>& fn) const {
+  for (RouterId r = 0; r < numRouters(); ++r) {
+    const Router& router = routers_[r];
+    const std::uint32_t ports = topology_.numPorts(r);
+    for (PortId p = 0; p < ports; ++p) {
+      const topo::Topology::PortTarget t = topology_.portTarget(r, p);
+      if (t.kind != topo::Topology::PortTarget::Kind::kRouter) continue;
+      obs::LinkStatsRow row;
+      row.router = r;
+      row.port = p;
+      row.peerRouter = t.router;
+      row.peerPort = t.port;
+      row.flitsSent = router.portFlitsSent(p);
+      row.stallTicks = router.portCreditStallTicks(p);
+      row.queuedFlits = router.portOutputOccupancy(p);
+      fn(row);
+    }
+  }
+}
+
+std::vector<std::uint64_t> Network::vcOccupancySums() const {
+  std::vector<std::uint64_t> acc(config_.router.numVcs, 0);
+  for (const Router& r : routers_) r.vcOccupancyInto(acc);
+  return acc;
+}
+
 void Network::dropPacket(PacketRef ref, std::uint32_t lane, Tick now) {
   Packet& pkt = packet(ref);
   LaneStats& l = lanes_[lane];

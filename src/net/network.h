@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "common/dense_array.h"
 #include "common/types.h"
 #include "net/channel.h"
+#include "obs/window.h"
 #include "net/lane.h"
 #include "net/listener.h"
 #include "net/packet.h"
@@ -230,6 +232,17 @@ class Network {
 
   // Walks every owned structure and reports the memory budget rows.
   MemoryFootprint memoryFootprint() const;
+
+  // --- flight-recorder walks (cold path; read at kEpsControl boundaries or
+  // after a run, when router SoA state is frozen) ---
+  // Invokes `fn` once per inter-router link in (router, port) order with the
+  // cumulative flits-sent / credit-stall counters and the instantaneous
+  // output occupancy of the sending port. Deterministic order and values for
+  // any shard count.
+  void forEachLinkStats(const std::function<void(const obs::LinkStatsRow&)>& fn) const;
+  // Flits buffered per VC index across every router (input queues + output
+  // occupancy) — the per-VC heatmap row. Size = configured numVcs.
+  std::vector<std::uint64_t> vcOccupancySums() const;
 
  private:
   void build(const ShardLayout& layout);

@@ -111,7 +111,8 @@ std::size_t Router::memoryBytes() const {
         routePending_.capacity() + xferList_.capacity() + activeOutPorts_.capacity()) *
        sizeof(std::uint32_t);
   n += inRetries_.capacity() + retryAt_.capacity() * sizeof(Tick);
-  n += (outFlits_.capacity() + outDeroutes_.capacity()) * sizeof(std::uint64_t);
+  n += (outFlits_.capacity() + outDeroutes_.capacity() + outStalls_.capacity()) *
+       sizeof(std::uint64_t);
   n += (outChannel_.capacity() + inCredit_.capacity()) * sizeof(void*);
   n += xbarPipe_.capacityBytes();
   n += scratchCandidates_.capacity() * sizeof(routing::Candidate) +
@@ -266,7 +267,10 @@ void Router::stageOutput() {
     // (no credits, or the port is transiently dead). Counted once per port
     // per cycle, so the sampler sees stalled-port-cycles.
     if constexpr (obs::kCompiledIn) {
-      if (obs_ != nullptr && best == kVcInvalid && anyQueued) obs_->noteCreditStall();
+      if (obs_ != nullptr && best == kVcInvalid && anyQueued) {
+        obs_->noteCreditStall();
+        outStalls_[p] += 1;  // allocated by setObserver when obs_ is non-null
+      }
     }
     if (anyQueued) {
       activeOutPorts_[w++] = p;  // keep active

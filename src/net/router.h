@@ -91,8 +91,14 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   // faults, keeping the fault logic entirely off the no-fault fast path).
   void setDeadPortMask(const fault::DeadPortMask* mask) { deadPorts_ = mask; }
   // Observability sink (set by Network::setObserver; nullptr = detached,
-  // keeping instrumentation entirely off the hot path).
-  void setObserver(obs::NetObserver* observer) { obs_ = observer; }
+  // keeping instrumentation entirely off the hot path). Per-port stall
+  // counters allocate lazily here so detached networks pay no memory.
+  void setObserver(obs::NetObserver* observer) {
+    obs_ = observer;
+    if (observer != nullptr && outStalls_.empty()) {
+      outStalls_.assign(numPorts_, 0);
+    }
+  }
 
   // --- sinks ---
   void receiveFlit(PortId port, VcId vc, Flit flit) override;
@@ -119,6 +125,11 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::uint64_t portFlitsSent(PortId port) const { return outFlits_[port]; }
   // Deroute-flagged packet-head grants per output port (adaptivity telemetry).
   std::uint64_t portDeroutesGranted(PortId port) const { return outDeroutes_[port]; }
+  // Cycles this output port wanted to send but had no credited VC (heatmap
+  // stall attribution). Zero until an observer attaches (lazy allocation).
+  std::uint64_t portCreditStallTicks(PortId port) const {
+    return outStalls_.empty() ? 0 : outStalls_[port];
+  }
 
   // Heap bytes owned by this router's state arrays (memory accounting);
   // sizeof(Router) itself is accounted by the owning DenseArray.
@@ -138,6 +149,19 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::uint32_t outOccupancy(PortId p, VcId v) const { return outOcc_[code(p, v)]; }
   std::uint32_t outCreditsAt(PortId p, VcId v) const { return outCredits_[code(p, v)]; }
   bool outIsOwned(PortId p, VcId v) const { return outOwned_[code(p, v)]; }
+  // Queued + in-crossbar flits at this output port, all VCs (O(1): the
+  // maintained per-port sum the congestion query also reads).
+  std::uint32_t portOutputOccupancy(PortId p) const { return outOccPort_[p]; }
+  // Adds this router's buffered flits into `acc[vc]` (input queues + output
+  // occupancy); acc must have >= numVcs entries. Flight-recorder VC heatmap.
+  void vcOccupancyInto(std::vector<std::uint64_t>& acc) const {
+    for (PortId p = 0; p < numPorts_; ++p) {
+      for (VcId v = 0; v < config_.numVcs; ++v) {
+        const std::uint32_t c = code(p, v);
+        acc[v] += inQ_[c].size() + outOcc_[c];
+      }
+    }
+  }
 
  private:
   // Per-input-VC flag byte (SoA: one byte per VC in inFlags_).
@@ -222,6 +246,7 @@ class Router final : public sim::Component, public FlitSink, public CreditSink {
   std::vector<std::uint32_t> outOccPort_;  // sum of per-VC occ per port (O(1) congestion)
   std::vector<std::uint64_t> outFlits_;
   std::vector<std::uint64_t> outDeroutes_;
+  std::vector<std::uint64_t> outStalls_;  // lazy: sized only once observed
   std::vector<VcId> rrNext_;  // round-robin pointer per output port
 
   std::vector<std::uint32_t> routePending_;  // encoded port*numVcs+vc

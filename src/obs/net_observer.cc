@@ -10,6 +10,7 @@ NetObserver::NetObserver(const topo::Topology& topology, std::uint32_t numVcs,
                          const ObsOptions& options)
     : opts_(options),
       tracing_(options.tracing()),
+      windowed_(options.windowed()),
       traceSample_(std::max<std::uint64_t>(1, options.traceSample)) {
   // Per-dim arrays are indexed by a bitmask below, so cap at 32 dimensions
   // (any real lattice here has <= 8); extra dimensions fall into the

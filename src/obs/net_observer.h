@@ -15,6 +15,7 @@
 
 #include "common/types.h"
 #include "net/packet.h"
+#include "obs/histogram.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "routing/routing.h"
@@ -62,6 +63,11 @@ class NetObserver {
     trace_.add({TraceKind::kHop, now, pkt.id, router, inPort, outPort, 0});
   }
   void onPacketDone(const net::Packet& pkt, bool dropped, Tick now) {
+    // Window latency accumulation first: it is independent of trace sampling
+    // (the flight recorder needs every delivered packet, not 1-in-N).
+    if (windowed_ && !dropped) {
+      winLatency_.add(static_cast<double>(now - pkt.createdAt));
+    }
     if (!sampled(pkt.id)) return;
     trace_.add({TraceKind::kEnd, now, pkt.id, dropped ? 1u : 0u, pkt.hops,
                 pkt.deroutes, 0});
@@ -89,6 +95,15 @@ class NetObserver {
   // Snapshot of the routing-decision slots (copied into SteadyStateResult).
   RoutingCounters routingCounters() const;
 
+  // --- flight-recorder interface ---
+  // Drains the latency histogram accumulated since the last call (packets
+  // completed this window). Only populated when options.windowed().
+  LogHistogram takeWindowLatency() {
+    LogHistogram h = winLatency_;
+    winLatency_ = LogHistogram();
+    return h;
+  }
+
   const TraceBuffer& trace() const { return trace_; }
 
   // Stall-watchdog diagnostic dump: every counter, every gauge, and the tail
@@ -103,6 +118,7 @@ class NetObserver {
 
   ObsOptions opts_;
   bool tracing_ = false;
+  bool windowed_ = false;
   std::uint64_t traceSample_ = 1;
 
   // Per-(router, port) dimension index; dims_ = unattributable.
@@ -124,6 +140,9 @@ class NetObserver {
 
   TraceBuffer trace_;
   std::vector<SampleRow> samples_;
+  // Latencies of packets completed in the current recorder window; drained
+  // by FlightRecorder via takeWindowLatency().
+  LogHistogram winLatency_;
 };
 
 }  // namespace hxwar::obs

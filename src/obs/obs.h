@@ -47,11 +47,19 @@ struct ObsOptions {
   // many consecutive ticks while packets are outstanding. Only armed when the
   // sampler runs (checked at sampler cadence).
   Tick stallWindow = 100000;
+  // Flight-recorder window length in ticks; 0 = recorder off. The harness
+  // defaults this to 1000 when --timeline-out is given without a cadence.
+  Tick windowTicks = 0;
+  std::string timelineOut;  // windowed-telemetry JSONL path; empty = off
 
   bool tracing() const { return !traceOut.empty(); }
   bool sampling() const { return sampleInterval > 0; }
+  bool windowed() const { return windowTicks > 0; }
   // Any subsystem on => the harness attaches a NetObserver to the network.
-  bool enabled() const { return tracing() || sampling() || !metricsJson.empty(); }
+  bool enabled() const {
+    return tracing() || sampling() || windowed() || !metricsJson.empty() ||
+           !timelineOut.empty();
+  }
 };
 
 // Canonical gauge names installed by the harness (see Experiment). The

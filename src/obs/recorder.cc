@@ -1,0 +1,177 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "common/assert.h"
+
+namespace hxwar::obs {
+
+namespace {
+
+// Element-wise delta with resize: cumulative per-dim/per-shard vectors only
+// ever grow, so missing previous entries difference against zero.
+std::vector<std::uint64_t> deltaVec(const std::vector<std::uint64_t>& cur,
+                                    std::vector<std::uint64_t>& prev) {
+  std::vector<std::uint64_t> d(cur.size(), 0);
+  if (prev.size() < cur.size()) prev.resize(cur.size(), 0);
+  for (std::size_t i = 0; i < cur.size(); ++i) d[i] = cur[i] - prev[i];
+  prev = cur;
+  return d;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(sim::Simulator& sim, Tick windowTicks)
+    : Component(sim), windowTicks_(windowTicks) {
+  HXWAR_CHECK(windowTicks_ > 0);
+  sim.scheduleIn(windowTicks_, sim::kEpsControl, this, 0);
+}
+
+void FlightRecorder::setLinkWalker(LinkWalker fn, std::uint32_t numRouters,
+                                   std::uint32_t maxPorts) {
+  linkWalker_ = std::move(fn);
+  maxPorts_ = maxPorts;
+  const std::size_t slots = static_cast<std::size_t>(numRouters) * maxPorts;
+  prevLinkFlits_.assign(slots, 0);
+  prevLinkStalls_.assign(slots, 0);
+}
+
+void FlightRecorder::processEvent(std::uint64_t) {
+  closeWindow(sim().now(), nullptr);
+  const bool busy = busyProbe_ ? busyProbe_() : !sim().idle();
+  if (busy) {
+    sim().scheduleIn(windowTicks_, sim::kEpsControl, this, 0);
+  }
+}
+
+void FlightRecorder::closeWindow(Tick now, const char* forcedAnnotation) {
+  WindowRecord w;
+  w.index = windows_.size();
+  w.start = lastClose_;
+  w.end = now;
+
+  if (flow_) {
+    const FlowSample cur = flow_();
+    w.flitsInjected = cur.flitsInjected - prevFlow_.flitsInjected;
+    w.flitsEjected = cur.flitsEjected - prevFlow_.flitsEjected;
+    w.packetsCreated = cur.packetsCreated - prevFlow_.packetsCreated;
+    w.packetsEjected = cur.packetsEjected - prevFlow_.packetsEjected;
+    w.packetsDropped = cur.packetsDropped - prevFlow_.packetsDropped;
+    w.backlogFlits = cur.backlogFlits;
+    w.queuedFlits = cur.queuedFlits;
+    w.packetsOutstanding = cur.packetsOutstanding;
+    prevFlow_ = cur;
+  }
+
+  // Routing counters: merge lanes in lane order, then difference against the
+  // previous merged snapshot. Increments are commutative, so the merged
+  // cumulative values (and hence the deltas) are shard-order-invariant.
+  RoutingCounters cur;
+  for (NetObserver* o : observers_) cur.merge(o->routingCounters());
+  w.routeDecisions = cur.decisions - prevRouting_.decisions;
+  w.deroutesTaken = cur.derouteGrants - prevRouting_.derouteGrants;
+  w.deroutesRefused = cur.derouteRefusals - prevRouting_.derouteRefusals;
+  w.faultEscapes = cur.faultEscapes - prevRouting_.faultEscapes;
+  w.pathDeroutes = cur.pathDeroutes - prevRouting_.pathDeroutes;
+  w.creditStalls = cur.creditStalls - prevRouting_.creditStalls;
+  w.deroutesTakenByDim = deltaVec(cur.derouteTakenByDim, prevRouting_.derouteTakenByDim);
+  prevRouting_ = cur;
+
+  // Per-window latency histogram: each lane observer accumulates latencies of
+  // packets it completed this window; merge is commutative so lane-order
+  // merging matches the serial engine byte for byte.
+  for (NetObserver* o : observers_) {
+    w.latency.merge(o->takeWindowLatency());
+  }
+
+  if (vcOccupancy_) w.vcOccupancy = vcOccupancy_();
+
+  if (linkWalker_) {
+    linkScratch_.clear();
+    linkWalker_([&](const LinkStatsRow& row) {
+      const std::size_t slot = static_cast<std::size_t>(row.router) * maxPorts_ + row.port;
+      HXWAR_DCHECK(slot < prevLinkFlits_.size());
+      const std::uint64_t flits = row.flitsSent - prevLinkFlits_[slot];
+      const std::uint64_t stalls = row.stallTicks - prevLinkStalls_[slot];
+      prevLinkFlits_[slot] = row.flitsSent;
+      prevLinkStalls_[slot] = row.stallTicks;
+      w.linkFlitsTotal += flits;
+      w.linkStallTicksTotal += stalls;
+      if (flits > 0) w.activeLinks += 1;
+      if (flits > 0 || stalls > 0) {
+        linkScratch_.push_back({row.router, row.port, row.peerRouter, row.peerPort,
+                                flits, stalls, row.queuedFlits});
+      }
+    });
+    const std::size_t k = std::min(kHotLinks, linkScratch_.size());
+    std::partial_sort(linkScratch_.begin(), linkScratch_.begin() + k, linkScratch_.end(),
+                      [](const LinkWindowStat& a, const LinkWindowStat& b) {
+                        if (a.flits != b.flits) return a.flits > b.flits;
+                        if (a.stallTicks != b.stallTicks) return a.stallTicks > b.stallTicks;
+                        if (a.router != b.router) return a.router < b.router;
+                        return a.port < b.port;
+                      });
+    w.hotLinks.assign(linkScratch_.begin(), linkScratch_.begin() + k);
+  }
+
+  // Fault-schedule annotations: edges landing inside (start, end].
+  char buf[64];
+  if (killAt_ != kTickInvalid && killAt_ > w.start && killAt_ <= w.end) {
+    std::snprintf(buf, sizeof(buf), "fault_kill tick=%" PRIu64, killAt_);
+    w.annotations.emplace_back(buf);
+  }
+  if (reviveAt_ != kTickInvalid && reviveAt_ > w.start && reviveAt_ <= w.end) {
+    std::snprintf(buf, sizeof(buf), "fault_revive tick=%" PRIu64, reviveAt_);
+    w.annotations.emplace_back(buf);
+  }
+  if (w.faultEscapes > 0) {
+    std::snprintf(buf, sizeof(buf), "escape_escalations=%" PRIu64, w.faultEscapes);
+    w.annotations.emplace_back(buf);
+  }
+  if (forcedAnnotation != nullptr) {
+    w.annotations.emplace_back(forcedAnnotation);
+  }
+
+  if (engine_) {
+    const EngineSample es = engine_();
+    ShardWindowRecord sr;
+    sr.index = w.index;
+    sr.shardEvents = deltaVec(es.shardEvents, prevEngine_.shardEvents);
+    sr.mailboxPosts = deltaVec(es.mailboxPosts, prevEngine_.mailboxPosts);
+    sr.barrierWaitSeconds = es.barrierWaitSeconds;
+    sr.loadRatio = shardLoadRatio(sr.shardEvents);
+    shardWindows_.push_back(std::move(sr));
+  }
+
+  lastClose_ = now;
+  windows_.push_back(std::move(w));
+}
+
+void FlightRecorder::dumpTimeline(std::FILE* f) {
+  // Force-close the in-progress window so the activity right up to the stall
+  // is captured, then stream the whole timeline. Point index 0: the dump is a
+  // per-process diagnostic on the way to an abort, not sweep output.
+  closeWindow(sim().now(), "stall_watchdog");
+  std::fprintf(f, "=== flight recorder timeline (%zu windows of %" PRIu64 " ticks) ===\n",
+               windows_.size(), windowTicks_);
+  std::string line;
+  for (const WindowRecord& w : windows_) {
+    line.clear();
+    appendWindowJsonl(0, w, line);
+    std::fputs(line.c_str(), f);
+  }
+  if (engine_ && !shardWindows_.empty()) {
+    std::fprintf(f, "--- per-shard window deltas (events per shard) ---\n");
+    for (const ShardWindowRecord& sr : shardWindows_) {
+      std::fprintf(f, "window %" PRIu64 ":", sr.index);
+      for (const std::uint64_t e : sr.shardEvents) {
+        std::fprintf(f, " %" PRIu64, e);
+      }
+      std::fprintf(f, " (max/mean %.3f)\n", sr.loadRatio);
+    }
+  }
+  std::fprintf(f, "=== end flight recorder timeline ===\n");
+}
+
+}  // namespace hxwar::obs

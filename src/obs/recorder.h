@@ -1,0 +1,106 @@
+// Windowed telemetry flight recorder (DESIGN.md §14).
+//
+// A sim::Component that wakes every `windowTicks` at kEpsControl — after all
+// same-tick network activity, like the Sampler — and closes one observation
+// window: per-window deltas of flow/routing counters, the per-window latency
+// histogram drained from each lane's NetObserver, per-VC occupancy, the
+// top-K hottest links from a Network::forEachLinkStats walk, and (when the
+// intra-point parallel engine drives the run) per-shard load-balance deltas.
+//
+// Determinism: the recorder only reads simulation state, and every value in a
+// WindowRecord is shard-count-invariant — cumulative counters read at a
+// kEpsControl boundary equal the serial engine's values, lane observers merge
+// in lane order, and LogHistogram::merge is commutative. ShardWindowRecords
+// are kept on a separate stream because their shape describes the sharding
+// (see window.h). In the parallel engine the recorder lives in the control
+// simulator and its events run on the coordinator with all shard workers
+// parked at the barrier, so walking Router SoA state is race-free.
+//
+// Like the Sampler, the recorder stops rescheduling once the busy probe says
+// the network has quiesced, so it never keeps a bounded sim.run() spinning.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/net_observer.h"
+#include "obs/window.h"
+#include "sim/simulator.h"
+
+namespace hxwar::obs {
+
+class FlightRecorder final : public sim::Component {
+ public:
+  // Links with >= 1 flit or stall this window compete for this many hot-link
+  // slots per record (flits desc, stallTicks desc, router asc, port asc).
+  static constexpr std::size_t kHotLinks = 8;
+
+  // Schedules itself immediately; `windowTicks` must be > 0.
+  FlightRecorder(sim::Simulator& sim, Tick windowTicks);
+
+  // Lane observers, added in lane order (merge order = lane order).
+  void addObserver(NetObserver* observer) { observers_.push_back(observer); }
+
+  // --- providers, wired by the harness (std::function keeps the obs layer
+  // free of net/harness includes; see the CMake dependency direction) ---
+  void setFlowProvider(std::function<FlowSample()> fn) { flow_ = std::move(fn); }
+  // `walker(cb)` must invoke cb once per inter-router link in a deterministic
+  // (router, port) order; numRouters/maxPorts size the cumulative-delta table.
+  using LinkWalker = std::function<void(const std::function<void(const LinkStatsRow&)>&)>;
+  void setLinkWalker(LinkWalker fn, std::uint32_t numRouters, std::uint32_t maxPorts);
+  void setVcOccupancyProvider(std::function<std::vector<std::uint64_t>()> fn) {
+    vcOccupancy_ = std::move(fn);
+  }
+  // Parallel-engine snapshot; unset on serial runs (no shard records then).
+  void setEngineProvider(std::function<EngineSample()> fn) { engine_ = std::move(fn); }
+  void setBusyProbe(std::function<bool()> fn) { busyProbe_ = std::move(fn); }
+  // Transient-fault schedule for kill/revive window annotations (kTickInvalid
+  // = no such edge).
+  void setFaultWindow(Tick killAt, Tick reviveAt) {
+    killAt_ = killAt;
+    reviveAt_ = reviveAt;
+  }
+
+  void processEvent(std::uint64_t tag) override;
+
+  Tick windowTicks() const { return windowTicks_; }
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+  const std::vector<ShardWindowRecord>& shardWindows() const { return shardWindows_; }
+
+  // Stall-watchdog hook: force-closes the in-progress window annotated
+  // "stall_watchdog" and streams every window as JSONL to `f`, so the
+  // deadlock walk and the windows leading up to it land in one artifact.
+  void dumpTimeline(std::FILE* f);
+
+ private:
+  void closeWindow(Tick now, const char* forcedAnnotation);
+
+  Tick windowTicks_;
+  std::function<bool()> busyProbe_;
+  std::vector<NetObserver*> observers_;
+
+  std::function<FlowSample()> flow_;
+  LinkWalker linkWalker_;
+  std::uint32_t maxPorts_ = 0;
+  std::function<std::vector<std::uint64_t>()> vcOccupancy_;
+  std::function<EngineSample()> engine_;
+
+  Tick killAt_ = kTickInvalid;
+  Tick reviveAt_ = kTickInvalid;
+
+  // Previous cumulative snapshots for window deltas.
+  Tick lastClose_ = 0;
+  FlowSample prevFlow_;
+  RoutingCounters prevRouting_;
+  std::vector<std::uint64_t> prevLinkFlits_;   // [router * maxPorts + port]
+  std::vector<std::uint64_t> prevLinkStalls_;  // [router * maxPorts + port]
+  EngineSample prevEngine_;
+
+  std::vector<WindowRecord> windows_;
+  std::vector<ShardWindowRecord> shardWindows_;
+  std::vector<LinkWindowStat> linkScratch_;  // reused across closes
+};
+
+}  // namespace hxwar::obs

@@ -51,6 +51,7 @@ void Sampler::processEvent(std::uint64_t) {
   if (havePrev_ && row.flitMovements == prevMovements_ && row.packetsOutstanding > 0) {
     stalledFor_ += interval_;
     if (stallWindow_ > 0 && stalledFor_ >= stallWindow_) {
+      if (stallDump_) stallDump_(stderr);
       obs_.dumpDiagnostics(stderr);
       if (engineDiagnostics_) engineDiagnostics_(stderr);
       HXWAR_CHECK_MSG(false,

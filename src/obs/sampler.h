@@ -50,6 +50,10 @@ class Sampler final : public sim::Component {
   void setEngineDiagnostics(std::function<void(std::FILE*)> fn) {
     engineDiagnostics_ = std::move(fn);
   }
+  // Runs FIRST on a watchdog trip, before the counter/gauge dump: the harness
+  // points this at FlightRecorder::dumpTimeline so the deadlock walk and the
+  // windows leading up to it land in one stderr artifact.
+  void setStallDump(std::function<void(std::FILE*)> fn) { stallDump_ = std::move(fn); }
 
   void processEvent(std::uint64_t tag) override;
 
@@ -60,6 +64,7 @@ class Sampler final : public sim::Component {
   std::function<bool()> busyProbe_;
   std::function<std::uint64_t()> creditStalls_;
   std::function<void(std::FILE*)> engineDiagnostics_;
+  std::function<void(std::FILE*)> stallDump_;
   std::function<double()> gInjected_, gEjected_, gMovements_, gBacklog_, gQueued_,
       gOutstanding_;
   bool havePrev_ = false;

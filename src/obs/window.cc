@@ -1,0 +1,164 @@
+#include "obs/window.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hxwar::obs {
+
+namespace {
+
+void appendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void appendKeyU64(std::string& out, const char* key, std::uint64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  appendU64(out, v);
+}
+
+void appendU64Array(std::string& out, const char* key, const std::vector<std::uint64_t>& vs) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i != 0) out += ',';
+    appendU64(out, vs[i]);
+  }
+  out += ']';
+}
+
+// Annotation strings are simulation-derived (tick numbers, port ids) but
+// escape defensively so the line stays valid JSON whatever lands in them.
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+double shardLoadRatio(const std::vector<std::uint64_t>& shardEvents) {
+  if (shardEvents.empty()) return 0.0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  for (const std::uint64_t e : shardEvents) {
+    sum += e;
+    if (e > max) max = e;
+  }
+  if (sum == 0) return 0.0;
+  const double mean = static_cast<double>(sum) / static_cast<double>(shardEvents.size());
+  return static_cast<double>(max) / mean;
+}
+
+void appendWindowJsonl(std::size_t point, const WindowRecord& w, std::string& out) {
+  out += '{';
+  appendKeyU64(out, "point", point);
+  out += ',';
+  appendKeyU64(out, "window", w.index);
+  out += ',';
+  appendKeyU64(out, "start", w.start);
+  out += ',';
+  appendKeyU64(out, "end", w.end);
+  out += ',';
+  appendKeyU64(out, "injected", w.flitsInjected);
+  out += ',';
+  appendKeyU64(out, "ejected", w.flitsEjected);
+  out += ',';
+  appendKeyU64(out, "packets_created", w.packetsCreated);
+  out += ',';
+  appendKeyU64(out, "packets_ejected", w.packetsEjected);
+  out += ',';
+  appendKeyU64(out, "packets_dropped", w.packetsDropped);
+  out += ',';
+  appendKeyU64(out, "route_decisions", w.routeDecisions);
+  out += ',';
+  appendKeyU64(out, "deroutes_taken", w.deroutesTaken);
+  out += ',';
+  appendKeyU64(out, "deroutes_refused", w.deroutesRefused);
+  out += ',';
+  appendKeyU64(out, "fault_escapes", w.faultEscapes);
+  out += ',';
+  appendKeyU64(out, "path_deroutes", w.pathDeroutes);
+  out += ',';
+  appendKeyU64(out, "credit_stalls", w.creditStalls);
+  out += ',';
+  appendU64Array(out, "deroutes_by_dim", w.deroutesTakenByDim);
+  out += ',';
+  appendKeyU64(out, "backlog", w.backlogFlits);
+  out += ',';
+  appendKeyU64(out, "queued", w.queuedFlits);
+  out += ',';
+  appendKeyU64(out, "outstanding", w.packetsOutstanding);
+  out += ',';
+  appendU64Array(out, "vc_occupancy", w.vcOccupancy);
+  out += ',';
+  appendKeyU64(out, "link_flits", w.linkFlitsTotal);
+  out += ',';
+  appendKeyU64(out, "link_stall_ticks", w.linkStallTicksTotal);
+  out += ',';
+  appendKeyU64(out, "active_links", w.activeLinks);
+  out += ",\"hot_links\":[";
+  for (std::size_t i = 0; i < w.hotLinks.size(); ++i) {
+    const LinkWindowStat& l = w.hotLinks[i];
+    if (i != 0) out += ',';
+    out += '{';
+    appendKeyU64(out, "router", l.router);
+    out += ',';
+    appendKeyU64(out, "port", l.port);
+    out += ',';
+    appendKeyU64(out, "peer_router", l.peerRouter);
+    out += ',';
+    appendKeyU64(out, "peer_port", l.peerPort);
+    out += ',';
+    appendKeyU64(out, "flits", l.flits);
+    out += ',';
+    appendKeyU64(out, "stall_ticks", l.stallTicks);
+    out += ',';
+    appendKeyU64(out, "queued", l.queuedFlits);
+    out += '}';
+  }
+  // Latency histogram as sparse [bucket, count] pairs: bucket edges are exact
+  // powers of two, so integers round-trip and the stream stays float-free.
+  out += "],\"latency\":{";
+  appendKeyU64(out, "total", w.latency.total());
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (std::uint32_t b = 0; b < LogHistogram::kBuckets; ++b) {
+    const std::uint64_t c = w.latency.count(b);
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    appendU64(out, b);
+    out += ',';
+    appendU64(out, c);
+    out += ']';
+  }
+  out += "]},\"annotations\":[";
+  for (std::size_t i = 0; i < w.annotations.size(); ++i) {
+    if (i != 0) out += ',';
+    appendEscaped(out, w.annotations[i]);
+  }
+  out += "]}\n";
+}
+
+}  // namespace hxwar::obs

@@ -1,0 +1,140 @@
+// Windowed telemetry records for the flight recorder (DESIGN.md §14).
+//
+// A WindowRecord is one closed observation window: per-window deltas of the
+// network flow and routing counters, a per-window log2 latency histogram, the
+// instantaneous occupancy gauges at window close, per-VC occupancy, and the
+// top-K hottest links by flits sent. Every field derives from simulation
+// state only (ticks, counters, queue depths), so the serialized window stream
+// is byte-identical across --jobs and --point-jobs values.
+//
+// Per-shard load-balance telemetry (ShardWindowRecord) is deliberately a
+// separate stream: its shape *describes* the sharding (one entry per shard,
+// mailbox traffic between shards), so it can never ride in a surface that
+// must be --point-jobs-invariant. It is deterministic for a fixed shard count
+// and jobs-invariant, and flows to --metrics-json's shard_balance section and
+// the watchdog diagnostics, never to --timeline-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/histogram.h"
+
+namespace hxwar::obs {
+
+// One row of Network::forEachLinkStats: cumulative per-port counters plus the
+// instantaneous output-queue depth, read from the frozen Router SoA state.
+struct LinkStatsRow {
+  RouterId router = kRouterInvalid;
+  PortId port = kPortInvalid;
+  RouterId peerRouter = kRouterInvalid;
+  PortId peerPort = kPortInvalid;
+  std::uint64_t flitsSent = 0;    // cumulative
+  std::uint64_t stallTicks = 0;   // cumulative credit-stall port-cycles
+  std::uint32_t queuedFlits = 0;  // instantaneous output occupancy
+};
+
+// Network flow snapshot pulled by the recorder at each window close.
+// Counters are cumulative (lane-summed); the last three are instantaneous.
+struct FlowSample {
+  std::uint64_t flitsInjected = 0;
+  std::uint64_t flitsEjected = 0;
+  std::uint64_t packetsCreated = 0;
+  std::uint64_t packetsEjected = 0;
+  std::uint64_t packetsDropped = 0;
+  std::uint64_t backlogFlits = 0;
+  std::uint64_t queuedFlits = 0;
+  std::uint64_t packetsOutstanding = 0;
+};
+
+// Parallel-engine snapshot (cumulative): per-shard events processed, posts
+// drained per (src*numShards+dst) mailbox, and per-worker barrier wait.
+struct EngineSample {
+  std::vector<std::uint64_t> shardEvents;
+  std::vector<std::uint64_t> mailboxPosts;
+  std::vector<double> barrierWaitSeconds;
+};
+
+// One inter-router link's per-window statistics (flits/stalls are window
+// deltas; queuedFlits is the instantaneous output-queue depth at close).
+struct LinkWindowStat {
+  RouterId router = kRouterInvalid;
+  PortId port = kPortInvalid;
+  RouterId peerRouter = kRouterInvalid;
+  PortId peerPort = kPortInvalid;
+  std::uint64_t flits = 0;
+  std::uint64_t stallTicks = 0;
+  std::uint32_t queuedFlits = 0;
+};
+
+struct WindowRecord {
+  std::uint64_t index = 0;  // 0-based window number
+  Tick start = 0;           // window covers (start, end]
+  Tick end = 0;
+
+  // --- flow deltas over the window (lane-summed network counters) ---
+  std::uint64_t flitsInjected = 0;
+  std::uint64_t flitsEjected = 0;
+  std::uint64_t packetsCreated = 0;
+  std::uint64_t packetsEjected = 0;
+  std::uint64_t packetsDropped = 0;
+
+  // --- routing-decision deltas (merged across per-lane observers) ---
+  std::uint64_t routeDecisions = 0;
+  std::uint64_t deroutesTaken = 0;
+  std::uint64_t deroutesRefused = 0;
+  std::uint64_t faultEscapes = 0;
+  std::uint64_t pathDeroutes = 0;
+  std::uint64_t creditStalls = 0;
+  // Per-dimension deroute grants this window; last slot = unattributable.
+  std::vector<std::uint64_t> deroutesTakenByDim;
+
+  // --- instantaneous occupancy at window close ---
+  std::uint64_t backlogFlits = 0;
+  std::uint64_t queuedFlits = 0;
+  std::uint64_t packetsOutstanding = 0;
+  // Flits buffered per VC (input queues + output occupancy, summed over every
+  // router) — the per-VC attribution the SoA router state exposes cheaply.
+  std::vector<std::uint64_t> vcOccupancy;
+
+  // --- link heatmap ---
+  std::uint64_t linkFlitsTotal = 0;       // window flits over all inter-router links
+  std::uint64_t linkStallTicksTotal = 0;  // window credit-stall port-cycles
+  std::uint32_t activeLinks = 0;          // links with >= 1 flit this window
+  // Top-K links by (flits desc, stallTicks desc, router, port) — bounded so
+  // paper-scale windows stay small; the totals above keep the tail visible.
+  std::vector<LinkWindowStat> hotLinks;
+
+  // Packet latencies (created -> delivered) for packets completed this
+  // window. LogHistogram::merge is commutative, so lane-order merging makes
+  // the histogram independent of shard interleaving.
+  LogHistogram latency;
+
+  // Deterministic annotations: fault kill/revive edges, escape escalations,
+  // stall-watchdog force-close. Simulation-state-derived strings only.
+  std::vector<std::string> annotations;
+};
+
+// Per-shard load balance for one window. Wall-clock barrier waits are
+// telemetry like SweepPoint::wallSeconds: they vary run to run and must never
+// reach a byte-compared surface.
+struct ShardWindowRecord {
+  std::uint64_t index = 0;                  // matching WindowRecord::index
+  std::vector<std::uint64_t> shardEvents;   // events processed per shard (delta)
+  std::vector<std::uint64_t> mailboxPosts;  // posts drained per (src*n+dst) (delta)
+  std::vector<double> barrierWaitSeconds;   // cumulative wait per worker (wall clock)
+  // max/mean of shardEvents (1.0 = perfectly balanced; 0 when idle).
+  double loadRatio = 0.0;
+};
+
+// max/mean imbalance of one delta vector (0.0 when the sum is zero).
+double shardLoadRatio(const std::vector<std::uint64_t>& shardEvents);
+
+// Appends one JSONL line (with trailing '\n') describing `w` under sweep
+// point `point`. Shared by the --timeline-out writer and the stall-watchdog
+// stderr dump so both emit byte-identical window lines.
+void appendWindowJsonl(std::size_t point, const WindowRecord& w, std::string& out);
+
+}  // namespace hxwar::obs

@@ -1,6 +1,7 @@
 #include "sim/par/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.h"
 #include "sim/event_queue.h"
@@ -23,6 +24,8 @@ Engine::Engine(std::vector<Simulator*> shards, Simulator* control, Mailboxes* ma
         (lookaheadDetail.empty() ? std::string("(unknown)") : lookaheadDetail);
     HXWAR_CHECK_MSG(false, msg.c_str());
   }
+  postsDrained_.assign(shards_.size() * shards_.size(), 0);
+  barrierWaitNanos_.assign(shards_.size(), 0);
   workers_.reserve(shards_.size());
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
     workers_.emplace_back([this, s] { workerLoop(s); });
@@ -45,7 +48,12 @@ void Engine::workerLoop(std::uint32_t shard) {
     Tick target;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      const auto waitStart = std::chrono::steady_clock::now();
       cvWork_.wait(lock, [&] { return stop_ || generation_ != seenGeneration; });
+      barrierWaitNanos_[shard] += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - waitStart)
+              .count());
       if (stop_) return;
       seenGeneration = generation_;
       target = windowTarget_;
@@ -81,6 +89,7 @@ void Engine::drainMailboxes() {
   for (std::uint32_t dst = 0; dst < n; ++dst) {
     for (std::uint32_t src = 0; src < n; ++src) {
       std::vector<RemotePost>& box = mail_->box(src, dst);
+      postsDrained_[static_cast<std::size_t>(src) * n + dst] += box.size();
       for (const RemotePost& post : box) {
         post.target->deliverRemote(post.time, post.a, post.b);
       }
@@ -141,6 +150,16 @@ bool Engine::busy() const {
     if (!sim->idle()) return true;
   }
   return false;
+}
+
+std::vector<double> Engine::workerBarrierWaitSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> secs;
+  secs.reserve(barrierWaitNanos_.size());
+  for (const std::uint64_t ns : barrierWaitNanos_) {
+    secs.push_back(static_cast<double>(ns) * 1e-9);
+  }
+  return secs;
 }
 
 std::vector<std::uint64_t> Engine::shardEventsProcessed() const {

@@ -78,6 +78,14 @@ class Engine final : public SimBackend {
   // these across repeated runs).
   std::vector<std::uint64_t> shardEventsProcessed() const;
   std::uint64_t windowsRun() const { return windowsRun_; }
+  // Cumulative cross-shard posts drained per (src * numShards + dst) mailbox
+  // since construction. Coordinator-thread state: read it from control events
+  // or between runs (the flight recorder's load-balance window does).
+  const std::vector<std::uint64_t>& mailboxPostsDrained() const { return postsDrained_; }
+  // Cumulative wall-clock seconds each worker has spent parked at the window
+  // barrier. Takes the barrier mutex; safe wherever mailboxPostsDrained() is.
+  // Wall-clock telemetry — never feeds a byte-compared output surface.
+  std::vector<double> workerBarrierWaitSeconds() const;
 
  private:
   void workerLoop(std::uint32_t shard);
@@ -91,12 +99,14 @@ class Engine final : public SimBackend {
   Tick now_ = 0;
   std::uint64_t windowsRun_ = 0;
   std::function<void()> barrierHook_;
+  std::vector<std::uint64_t> postsDrained_;     // [src * numShards + dst], coordinator-only
+  std::vector<std::uint64_t> barrierWaitNanos_;  // per worker, guarded by mutex_
 
   // Window barrier. All shared simulation state is published across threads
   // through mutex_: workers see the coordinator's pre-window writes when they
   // take the lock to read the new generation, and the coordinator sees all
   // worker writes when it takes the lock to observe pending_ == 0.
-  std::mutex mutex_;
+  mutable std::mutex mutex_;  // mutable: const telemetry reads lock it too
   std::condition_variable cvWork_;
   std::condition_variable cvDone_;
   std::uint64_t generation_ = 0;

@@ -14,7 +14,9 @@
 #include "obs/json.h"
 #include "obs/net_observer.h"
 #include "obs/obs.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace hxwar {
 namespace {
@@ -298,6 +300,105 @@ TEST(Obs, ObserverDoesNotPerturbTheSimulation) {
                 expObs.observer()->samples().size(),
             expObs.sim().eventsProcessed())
       << "observer added events beyond the sampler's own ticks";
+}
+
+// The flight recorder's windows tile the run: contiguous [start, end) spans,
+// indices from 0, and per-window count consistency (every delivered packet
+// lands in exactly one window's latency histogram).
+TEST(Obs, RecorderWindowsAreContiguousAndConsistent) {
+  HXWAR_REQUIRE_OBS();
+  harness::ExperimentSpec spec = quickTinySpec("dimwar", 0.25);
+  spec.obs.windowTicks = 250;
+  harness::Experiment exp(spec);
+  exp.run();
+  ASSERT_NE(exp.recorder(), nullptr);
+  const std::vector<obs::WindowRecord>& ws = exp.recorder()->windows();
+  ASSERT_GT(ws.size(), 2u);
+  std::uint64_t ejected = 0;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    SCOPED_TRACE("window " + std::to_string(i));
+    const obs::WindowRecord& w = ws[i];
+    EXPECT_EQ(w.index, i);
+    EXPECT_EQ(w.start, i == 0 ? 0u : ws[i - 1].end);
+    EXPECT_GT(w.end, w.start);
+    // The windowed histogram and the packets_ejected delta count the same
+    // completions, read at the same kEpsControl boundary.
+    EXPECT_EQ(w.latency.total(), w.packetsEjected);
+    EXPECT_EQ(w.vcOccupancy.size(), spec.net.router.numVcs);
+    EXPECT_LE(w.hotLinks.size(), obs::FlightRecorder::kHotLinks);
+    for (std::size_t j = 1; j < w.hotLinks.size(); ++j) {
+      const obs::LinkWindowStat& a = w.hotLinks[j - 1];
+      const obs::LinkWindowStat& b = w.hotLinks[j];
+      EXPECT_TRUE(a.flits > b.flits ||
+                  (a.flits == b.flits && a.stallTicks >= b.stallTicks))
+          << "hot links not sorted at slot " << j;
+    }
+    ejected += w.packetsEjected;
+  }
+  EXPECT_GT(ejected, 0u);
+  EXPECT_LE(ejected, exp.network().packetsEjected());
+  // Serial run: no parallel engine, so no shard-balance records.
+  EXPECT_TRUE(exp.recorder()->shardWindows().empty());
+}
+
+// Transient-fault kill/revive edges land as annotations in the windows that
+// contain them.
+TEST(Obs, RecorderAnnotatesTransientFaultEdges) {
+  HXWAR_REQUIRE_OBS();
+  harness::ExperimentSpec spec = quickTinySpec("dal", 0.2);
+  spec.fault.rate = 0.06;
+  spec.fault.seed = 99;
+  spec.fault.drop = true;
+  spec.fault.at = 500;
+  spec.fault.until = 1400;
+  spec.obs.windowTicks = 400;
+  harness::Experiment exp(spec);
+  exp.run();
+  ASSERT_NE(exp.recorder(), nullptr);
+  bool sawKill = false;
+  bool sawRevive = false;
+  for (const obs::WindowRecord& w : exp.recorder()->windows()) {
+    for (const std::string& a : w.annotations) {
+      if (a == "fault_kill tick=500") {
+        EXPECT_TRUE(w.start < 500 && 500 <= w.end);
+        sawKill = true;
+      }
+      if (a == "fault_revive tick=1400") {
+        EXPECT_TRUE(w.start < 1400 && 1400 <= w.end);
+        sawRevive = true;
+      }
+    }
+  }
+  EXPECT_TRUE(sawKill);
+  EXPECT_TRUE(sawRevive);
+}
+
+// Attaching the flight recorder (with the sampler riding along) must not
+// change a single measured value: recording reads simulation state only.
+TEST(Obs, RecorderDoesNotPerturbTheSimulation) {
+  HXWAR_REQUIRE_OBS();
+  const harness::ExperimentSpec base = quickTinySpec("dimwar", 0.25);
+
+  harness::Experiment expPlain(base);
+  const metrics::SteadyStateResult a = expPlain.run();
+  EXPECT_EQ(expPlain.recorder(), nullptr);
+
+  harness::ExperimentSpec windowed = base;
+  windowed.obs.windowTicks = 200;
+  windowed.obs.sampleInterval = 100;
+  harness::Experiment expWin(windowed);
+  const metrics::SteadyStateResult b = expWin.run();
+  ASSERT_NE(expWin.recorder(), nullptr);
+
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.latencyMean, b.latencyMean);
+  EXPECT_EQ(a.latencyP50, b.latencyP50);
+  EXPECT_EQ(a.latencyP99, b.latencyP99);
+  EXPECT_EQ(a.avgHops, b.avgHops);
+  EXPECT_EQ(a.avgDeroutes, b.avgDeroutes);
+  EXPECT_EQ(a.packetsMeasured, b.packetsMeasured);
+  EXPECT_EQ(a.warmupCycles, b.warmupCycles);
 }
 
 TEST(Obs, SamplerRecordsMonotonicRows) {

@@ -15,6 +15,7 @@
 #include "net/network.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "sim/par/engine.h"
 
 namespace hxwar {
@@ -123,6 +124,73 @@ void expectPointJobsInvariant(const harness::ExperimentSpec& base) {
     expectTracesIdentical(ref.trace, got.trace);
     expectSamplesIdentical(ref.samples, got.samples);
   }
+}
+
+// Canonical byte serialization of a point's window stream — exactly what
+// --timeline-out writes per window, so equality here is equality of the
+// shipped artifact.
+std::string windowsJsonl(const std::vector<obs::WindowRecord>& windows) {
+  std::string out;
+  for (const obs::WindowRecord& w : windows) obs::appendWindowJsonl(0, w, out);
+  return out;
+}
+
+// The flight-recorder contract on top of the engine contract: the window
+// stream must be byte-identical across shard counts, while the shard-balance
+// stream's shape follows the shard count (empty serial, one vector entry per
+// shard when sharded).
+void expectWindowsInvariant(harness::ExperimentSpec base) {
+  base.obs.windowTicks = 250;
+  harness::ExperimentSpec serial = base;
+  serial.pointJobs = 1;
+  const harness::SweepPoint ref = harness::runSweepPoint(serial, base.injection.rate, 0);
+  ASSERT_FALSE(ref.windows.empty());
+  ASSERT_TRUE(ref.shardWindows.empty());
+  const std::string refJsonl = windowsJsonl(ref.windows);
+  for (const std::uint32_t jobs : {2u, 4u}) {
+    SCOPED_TRACE("point-jobs=" + std::to_string(jobs));
+    harness::ExperimentSpec sharded = base;
+    sharded.pointJobs = jobs;
+    const harness::SweepPoint got = harness::runSweepPoint(sharded, base.injection.rate, 0);
+    expectResultsIdentical(ref.result, got.result);
+    EXPECT_EQ(refJsonl, windowsJsonl(got.windows));
+    ASSERT_FALSE(got.shardWindows.empty());
+    EXPECT_EQ(got.shardWindows.size(), got.windows.size());
+    for (const obs::ShardWindowRecord& sr : got.shardWindows) {
+      EXPECT_EQ(sr.shardEvents.size(), jobs);
+      EXPECT_EQ(sr.loadRatio, obs::shardLoadRatio(sr.shardEvents));
+    }
+  }
+}
+
+TEST(ParSim, TimelineBitIdenticalPlain) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "built with HXWAR_OBS=OFF";
+  for (const std::string algo : {"dimwar", "omniwar"}) {
+    SCOPED_TRACE(algo);
+    expectWindowsInvariant(tinySpec(algo));
+  }
+}
+
+TEST(ParSim, TimelineBitIdenticalFaulted) {
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "built with HXWAR_OBS=OFF";
+  harness::ExperimentSpec spec = tinySpec("dal");
+  spec.fault.rate = 0.06;
+  spec.fault.seed = 99;
+  spec.fault.drop = true;
+  expectWindowsInvariant(spec);
+}
+
+TEST(ParSim, TimelineBitIdenticalTransientFault) {
+  // The kill/revive annotations ride inside the serialized windows, so the
+  // byte comparison also proves the annotation stream is shard-invariant.
+  if constexpr (!obs::kCompiledIn) GTEST_SKIP() << "built with HXWAR_OBS=OFF";
+  harness::ExperimentSpec spec = tinySpec("dal");
+  spec.fault.rate = 0.06;
+  spec.fault.seed = 99;
+  spec.fault.drop = true;
+  spec.fault.at = 500;
+  spec.fault.until = 1400;
+  expectWindowsInvariant(spec);
 }
 
 TEST(ParSim, BitIdenticalPlain) {

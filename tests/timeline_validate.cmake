@@ -1,0 +1,79 @@
+# End-to-end flight-recorder gate: runs windowed hxsim sweeps (plain and
+# transient-fault) across --jobs and --point-jobs and checks
+#   * the CSV and --timeline-out JSONL are byte-identical across --jobs=1/4
+#     AND --point-jobs=1/4 (the timeline stream carries only simulation-derived
+#     integers, so it must honor the full determinism contract),
+#   * --metrics-json is byte-identical across --jobs (across --point-jobs it
+#     legitimately differs: the shard_balance section's shape follows the
+#     shard count, see DESIGN.md §14), and
+#   * the timeline files pass the timeline_check validator (header/meta/window
+#     grammar, contiguous windows, histogram and hot-link consistency).
+#
+# Required -D variables: HXSIM, TIMELINE_CHECK (binary paths), WORKDIR.
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(plain
+    --widths=3,3 --terminals=2 --routing=dimwar --experiment=sweep
+    --loads=0.1,0.2 --warmup-window=300 --warmup-windows=6
+    --measure-window=800 --drain-window=2000
+    --window-ticks=500)
+# Transient fault: link 0:2 dies at tick 500 and revives at 1400, so the
+# kill/revive edges land inside recorded windows as annotations.
+set(faulted
+    --widths=3,3 --terminals=2 --routing=dal --experiment=sweep
+    --loads=0.2 --fault-links=0:2 --fault-at=500 --fault-until=1400
+    --warmup-window=300 --warmup-windows=6
+    --measure-window=800 --drain-window=2000
+    --window-ticks=400)
+
+foreach(mode plain faulted)
+  foreach(combo "jobs1:--jobs=1" "jobs4:--jobs=4" "pj4:--point-jobs=4")
+    string(REPLACE ":" ";" combo "${combo}")
+    list(GET combo 0 tag)
+    list(GET combo 1 flag)
+    execute_process(COMMAND "${HXSIM}" ${${mode}} ${flag}
+                            --csv=${WORKDIR}/${mode}_${tag}.csv
+                            --timeline-out=${WORKDIR}/${mode}_${tag}.jsonl
+                            --metrics-json=${WORKDIR}/${mode}_${tag}.metrics.json
+                    RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "hxsim ${mode} ${flag} windowed sweep failed (exit ${rc})")
+    endif()
+  endforeach()
+
+  # Full identity across --jobs (all three surfaces).
+  foreach(out csv jsonl metrics.json)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${WORKDIR}/${mode}_jobs1.${out}"
+                            "${WORKDIR}/${mode}_jobs4.${out}"
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR "${mode}: --jobs=4 ${out} differs from --jobs=1: the flight recorder broke the determinism contract")
+    endif()
+  endforeach()
+
+  # CSV + timeline identity across --point-jobs (metrics excluded by design:
+  # shard_balance shape follows the shard count).
+  foreach(out csv jsonl)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                            "${WORKDIR}/${mode}_jobs1.${out}"
+                            "${WORKDIR}/${mode}_pj4.${out}"
+                    RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR "${mode}: --point-jobs=4 ${out} differs from --point-jobs=1: the flight recorder broke the shard-invariance contract")
+    endif()
+  endforeach()
+
+  execute_process(COMMAND "${TIMELINE_CHECK}" "${WORKDIR}/${mode}_jobs1.jsonl"
+                          --min-windows=3
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "timeline_check rejected the ${mode} timeline (exit ${rc})")
+  endif()
+endforeach()
+
+# The transient-fault timeline must carry the kill and revive annotations.
+file(READ "${WORKDIR}/faulted_jobs1.jsonl" faulted_text)
+if(NOT faulted_text MATCHES "fault_kill tick=500" OR
+   NOT faulted_text MATCHES "fault_revive tick=1400")
+  message(FATAL_ERROR "faulted timeline lacks fault_kill/fault_revive annotations")
+endif()

@@ -3,8 +3,17 @@
 
 Runs the micro_core benchmark binary (or takes an existing output file) and
 compares its hand-timed baseline numbers against the committed
-BENCH_core.json. Throughput-style keys (events/sec, packets/sec) must not
-fall below baseline * (1 - tolerance).
+BENCH_core.json, printing one delta table covering every gated and reported
+key. A failing run names each offending key together with the threshold it
+crossed — never just the first failure.
+
+Gate classes:
+  throughput  higher-is-better; fresh must stay above baseline*(1-tolerance)
+  memory      lower-is-better deterministic bytes; ceiling baseline*(1+10%)
+  zero        exact correctness counts that must be 0 (delivery guarantees)
+  overhead    ratio keys gated against an absolute ceiling, independent of
+              the baseline (the detached flight recorder must stay ~ noise)
+  report      visibility only, never gating (ratios of two noisy numbers)
 
 The default tolerance is deliberately loose: shared CI machines jitter by
 tens of percent, and this gate exists to catch order-of-magnitude mistakes
@@ -23,9 +32,7 @@ import subprocess
 import sys
 import tempfile
 
-# Higher-is-better keys checked against the committed baseline. Ratio-style
-# keys (speedups, overheads) are reported but never gate: they divide two
-# noisy numbers.
+# Higher-is-better keys checked against the committed baseline.
 THROUGHPUT_KEYS = [
     "end_to_end_events_per_sec",
     "packet_alloc_pooled_per_sec",
@@ -33,13 +40,17 @@ THROUGHPUT_KEYS = [
     "par_scaling_pj1_events_per_sec",
 ]
 
-# Reported for visibility, never gating: par_scaling_speedup_pj4 divides two
-# noisy throughputs and only exceeds 1x when the machine has cores to back
-# the shards (par_scaling_cores records what the run had).
+# Reported for visibility, never gating: speedups and attached-recorder
+# overheads divide two noisy throughputs, and par_scaling_speedup_pj4 only
+# exceeds 1x when the machine has cores to back the shards
+# (par_scaling_cores records what the run had).
 REPORT_KEYS = [
     "par_scaling_cores",
     "par_scaling_speedup_pj4",
     "par_scaling_pj4_events_per_sec",
+    "obs_timeline_overhead",
+    "obs_timeline_paper_events_per_sec",
+    "obs_timeline_paper_overhead",
 ]
 
 # Exact-invariant keys gated at zero, independent of --tolerance: these are
@@ -62,6 +73,15 @@ MEMORY_KEYS = [
 ]
 MEMORY_TOLERANCE = 0.10
 
+# Ratio keys gated against an absolute ceiling (not the baseline): the
+# windowed observer with no recorder draining it adds one histogram bucket
+# increment per delivered packet, so its end-to-end overhead must stay at
+# noise level. The ceiling is generous because it divides two noisy
+# throughputs, but a recorder hook accidentally left hot would blow past it.
+OVERHEAD_CEILING_KEYS = {
+    "obs_timeline_detached_overhead": 1.5,
+}
+
 
 def run_micro_core(binary: str) -> dict:
     """Runs micro_core (skipping google-benchmark suites) in a temp dir and
@@ -76,6 +96,92 @@ def run_micro_core(binary: str) -> dict:
         )
         with open(os.path.join(tmp, "BENCH_core.json"), encoding="utf-8") as f:
             return json.load(f)
+
+
+def build_rows(baseline: dict, fresh: dict, tolerance: float):
+    """One row per key across every gate class: (key, kind, baseline, fresh,
+    threshold-description, failure-message-or-None)."""
+    rows = []
+
+    def values(key, kind):
+        if key not in baseline and kind != "overhead":
+            rows.append((key, kind, None, None, "", None))
+            return None, None
+        if key not in fresh:
+            rows.append((key, kind, baseline.get(key), None, "",
+                         f"{key}: missing from fresh run"))
+            return None, None
+        return (float(baseline[key]) if key in baseline else None,
+                float(fresh[key]))
+
+    for key in THROUGHPUT_KEYS:
+        base, now = values(key, "throughput")
+        if now is None:
+            continue
+        floor = base * (1.0 - tolerance)
+        failure = None
+        if now < floor:
+            failure = (f"{key}: {now:,.0f} < floor {floor:,.0f} "
+                       f"(baseline {base:,.0f}, tolerance {tolerance:.0%})")
+        rows.append((key, "throughput", base, now, f">= {floor:,.0f}", failure))
+
+    for key in MEMORY_KEYS:
+        base, now = values(key, "memory")
+        if now is None:
+            continue
+        ceiling = base * (1.0 + MEMORY_TOLERANCE)
+        failure = None
+        if now > ceiling:
+            failure = (f"{key}: {now:,.1f} > ceiling {ceiling:,.1f} "
+                       f"(baseline {base:,.1f}, tolerance {MEMORY_TOLERANCE:.0%})")
+        rows.append((key, "memory", base, now, f"<= {ceiling:,.1f}", failure))
+
+    for key in ZERO_KEYS:
+        base, now = values(key, "zero")
+        if now is None:
+            continue
+        failure = None
+        if now != 0:
+            failure = f"{key}: {now:,.0f} != 0 (delivery guarantee broken)"
+        rows.append((key, "zero", base, now, "== 0", failure))
+
+    for key, ceiling in OVERHEAD_CEILING_KEYS.items():
+        base, now = values(key, "overhead")
+        if now is None:
+            continue
+        failure = None
+        if now > ceiling:
+            failure = (f"{key}: {now:.3f} > absolute ceiling {ceiling:.2f} "
+                       f"(detached recorder must stay ~ noise)")
+        rows.append((key, "overhead", base, now, f"<= {ceiling:.2f}", failure))
+
+    for key in REPORT_KEYS:
+        if key in fresh:
+            rows.append((key, "report", float(baseline[key]) if key in baseline else None,
+                         float(fresh[key]), "", None))
+    return rows
+
+
+def print_table(rows):
+    header = (f"{'status':10} {'kind':10} {'key':48} "
+              f"{'baseline':>16} {'fresh':>16} {'ratio':>7}  gate")
+    print(header)
+    print("-" * len(header))
+    for key, kind, base, now, gate, failure in rows:
+        if base is None and now is None:
+            print(f"{'SKIP':10} {kind:10} {key:48} {'absent':>16}")
+            continue
+        if now is None:
+            print(f"{'MISSING':10} {kind:10} {key:48} {base:>16,.1f}")
+            continue
+        if kind == "report":
+            status = "INFO"
+        else:
+            status = "REGRESSION" if failure else "OK"
+        base_s = f"{base:,.1f}" if base is not None else "-"
+        ratio_s = f"{now / base:.2f}x" if base else "-"
+        print(f"{status:10} {kind:10} {key:48} {base_s:>16} {now:>16,.1f} "
+              f"{ratio_s:>7}  {gate}")
 
 
 def main() -> int:
@@ -102,63 +208,12 @@ def main() -> int:
     else:
         fresh = run_micro_core(args.micro_core)
 
-    failures = []
-    for key in THROUGHPUT_KEYS:
-        if key not in baseline:
-            print(f"note: baseline lacks {key}; skipping")
-            continue
-        if key not in fresh:
-            failures.append(f"{key}: missing from fresh run")
-            continue
-        base, now = float(baseline[key]), float(fresh[key])
-        floor = base * (1.0 - args.tolerance)
-        ratio = now / base if base > 0 else float("inf")
-        status = "OK " if now >= floor else "REGRESSION"
-        print(f"{status} {key}: fresh {now:,.0f} vs baseline {base:,.0f} ({ratio:.2f}x)")
-        if now < floor:
-            failures.append(
-                f"{key}: {now:,.0f} < floor {floor:,.0f} "
-                f"(baseline {base:,.0f}, tolerance {args.tolerance:.0%})"
-            )
+    rows = build_rows(baseline, fresh, args.tolerance)
+    print_table(rows)
 
-    for key in MEMORY_KEYS:
-        if key not in baseline:
-            print(f"note: baseline lacks {key}; skipping")
-            continue
-        if key not in fresh:
-            failures.append(f"{key}: missing from fresh run")
-            continue
-        base, now = float(baseline[key]), float(fresh[key])
-        ceiling = base * (1.0 + MEMORY_TOLERANCE)
-        ratio = now / base if base > 0 else float("inf")
-        status = "OK " if now <= ceiling else "REGRESSION"
-        print(f"{status} {key}: fresh {now:,.1f} vs baseline {base:,.1f} ({ratio:.2f}x)")
-        if now > ceiling:
-            failures.append(
-                f"{key}: {now:,.1f} > ceiling {ceiling:,.1f} "
-                f"(baseline {base:,.1f}, tolerance {MEMORY_TOLERANCE:.0%})"
-            )
-
-    for key in ZERO_KEYS:
-        if key not in baseline:
-            print(f"note: baseline lacks {key}; skipping")
-            continue
-        if key not in fresh:
-            failures.append(f"{key}: missing from fresh run")
-            continue
-        now = float(fresh[key])
-        status = "OK " if now == 0 else "REGRESSION"
-        print(f"{status} {key}: fresh {now:,.0f} (must be exactly 0)")
-        if now != 0:
-            failures.append(f"{key}: {now:,.0f} != 0 (delivery guarantee broken)")
-
-    for key in REPORT_KEYS:
-        if key in fresh:
-            base = f" (baseline {float(baseline[key]):,.2f})" if key in baseline else ""
-            print(f"INFO {key}: {float(fresh[key]):,.2f}{base}")
-
+    failures = [failure for *_, failure in rows if failure]
     if failures:
-        print("\nbench regression gate FAILED:")
+        print(f"\nbench regression gate FAILED ({len(failures)} key(s)):")
         for f in failures:
             print(f"  {f}")
         return 1

@@ -38,8 +38,14 @@
 // traces 1-in-N packets by id), --metrics-json=FILE dumps latency histograms,
 // tail percentiles, and per-dimension routing-decision counters, and
 // --sample-interval=T snapshots network load every T cycles (with a stall
-// watchdog after --stall-window quiet cycles). All observability output is
-// --jobs-invariant; see obs/obs.h.
+// watchdog after --stall-window quiet cycles). --window-ticks=T attaches the
+// windowed flight recorder (per-window flow/routing deltas, link/VC heatmaps,
+// a per-window log2 latency histogram, fault annotations; DESIGN.md §14) and
+// --timeline-out=FILE streams its windows as JSONL (implies a 1000-tick
+// window when --window-ticks is unset); a hotspot/imbalance summary rides in
+// --metrics-json and below the sweep table. All observability output is
+// --jobs-invariant, and the timeline JSONL is --point-jobs-invariant too;
+// see obs/obs.h.
 //
 // Configuration can come from a file (`hxsim --config my.cfg`) with
 // `key = value` lines; command-line flags override file values. See
@@ -50,6 +56,7 @@
 //   hxsim --topology=dragonfly --routing=ugal --experiment=sweep --jobs=4
 //   hxsim --experiment=stencil --routing=dimwar --halo-kb=64 --iterations=2
 //   hxsim --config experiments/urby.cfg --csv=out.csv
+#include <algorithm>
 #include <cstdio>
 
 #include "app/stencil.h"
@@ -148,6 +155,46 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   }
   table.print();
 
+  // Flight-recorder summary: one line per recorded point with its window
+  // count, peak per-window deroutes/stalls, the hottest link, and — when
+  // sharded — the worst shard load ratio. Derived from the same deterministic
+  // windows as --timeline-out, so this block is jobs- and point-jobs-
+  // invariant aside from shard_balance ratios existing only when sharded.
+  if (spec.obs.windowed()) {
+    for (const auto& p : points) {
+      if (p.windows.empty()) continue;
+      std::uint64_t peakDeroutes = 0, peakStalls = 0;
+      std::uint64_t hotFlits = 0;
+      RouterId hotRouter = kRouterInvalid;
+      PortId hotPort = kPortInvalid;
+      for (const auto& w : p.windows) {
+        peakDeroutes = std::max(peakDeroutes, w.deroutesTaken);
+        peakStalls = std::max(peakStalls, w.creditStalls);
+        if (!w.hotLinks.empty() && w.hotLinks[0].flits > hotFlits) {
+          hotFlits = w.hotLinks[0].flits;
+          hotRouter = w.hotLinks[0].router;
+          hotPort = w.hotLinks[0].port;
+        }
+      }
+      double maxRatio = 0.0;
+      for (const auto& sr : p.shardWindows) maxRatio = std::max(maxRatio, sr.loadRatio);
+      std::printf("timeline point %zu: %zu windows x %llu ticks, peak deroutes/win %llu,"
+                  " peak credit stalls/win %llu",
+                  p.index, p.windows.size(),
+                  static_cast<unsigned long long>(spec.obs.windowTicks),
+                  static_cast<unsigned long long>(peakDeroutes),
+                  static_cast<unsigned long long>(peakStalls));
+      if (hotRouter != kRouterInvalid) {
+        std::printf(", hottest link r%u:p%u (%llu flits/win)", hotRouter, hotPort,
+                    static_cast<unsigned long long>(hotFlits));
+      }
+      if (!p.shardWindows.empty()) {
+        std::printf(", max shard load ratio %.3f", maxRatio);
+      }
+      std::printf("\n");
+    }
+  }
+
   harness::SweepPerfLog perf;
   const std::string algo = spec.routing.empty() ? "default" : spec.routing;
   perf.addAll(algo + "/" + spec.pattern, points);
@@ -159,6 +206,7 @@ int runSteadyOrSweep(const Flags& flags, bool sweep) {
   // Observability outputs, assembled in point order (jobs-invariant).
   harness::writeTraceJson(spec.obs.traceOut, spec, points);
   harness::writeMetricsJson(spec.obs.metricsJson, spec, points);
+  harness::writeTimelineJsonl(spec.obs.timelineOut, spec, points);
   return 0;
 }
 

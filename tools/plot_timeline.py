@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Reduce a --timeline-out JSONL file to per-window CSV and gnuplot scripts.
+
+Stdlib only (json/csv/argparse): runs anywhere the simulator runs. The input
+is the hxsim flight-recorder stream (tools/timeline_check.cc documents the
+line grammar): a header line, then per sweep point a point-meta line followed
+by that point's window lines.
+
+Modes:
+  plot_timeline.py TIMELINE.jsonl                      # CSV to stdout
+  plot_timeline.py TIMELINE.jsonl --csv out.csv        # CSV to a file
+  plot_timeline.py TIMELINE.jsonl --gnuplot PREFIX     # PREFIX.dat + PREFIX.gp
+  plot_timeline.py TIMELINE.jsonl --point 2            # restrict to one point
+  plot_timeline.py TIMELINE.jsonl --annotations        # list annotated windows
+
+CSV columns are per-window deltas plus derived rates and the p50/p99
+estimated from the log2 latency buckets (bucket b covers [2^(b-1), 2^b),
+matching obs::LogHistogram). The gnuplot script draws three stacked panels —
+throughput (injected/ejected per tick), congestion (credit stalls, deroutes,
+queued flits), and latency percentiles — with annotated windows (fault
+kill/revive, escape escalations, stall_watchdog) marked as vertical lines.
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+CSV_COLUMNS = [
+    "point", "window", "start", "end", "ticks",
+    "injected", "ejected", "inj_per_tick", "ej_per_tick",
+    "packets_created", "packets_ejected", "packets_dropped",
+    "route_decisions", "deroutes_taken", "deroutes_refused", "deroute_rate",
+    "fault_escapes", "path_deroutes", "credit_stalls",
+    "backlog", "queued", "outstanding",
+    "link_flits", "link_stall_ticks", "active_links",
+    "hot_link", "hot_link_flits",
+    "lat_p50", "lat_p99", "lat_total",
+    "annotations",
+]
+
+
+def percentile(buckets, total, p):
+    """Mirror of obs::LogHistogram::percentile over sparse [bucket, count]
+    pairs: nearest-rank target, linear interpolation inside the hit bucket."""
+    if total == 0:
+        return 0.0
+    target = p * (total - 1)
+    cum = 0
+    for b, count in buckets:
+        lo = cum
+        cum += count
+        if target < cum:
+            frac = 0.0 if count == 1 else (target - lo) / (count - 1)
+            blo = 0.0 if b == 0 else 2.0 ** (b - 1)
+            bhi = 2.0 ** b
+            return blo + frac * (bhi - blo)
+    return 2.0 ** buckets[-1][0] if buckets else 0.0
+
+
+def parse_timeline(path):
+    """Returns (header, [window dict, ...]); meta fields (load/status) are
+    folded into each window under 'load'/'status'."""
+    header = None
+    meta = {}
+    windows = []
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"plot_timeline: invalid JSON at line {line_no}: {e}")
+            if header is None:
+                header = obj
+                continue
+            if "window" not in obj:
+                meta = obj
+                continue
+            obj["load"] = meta.get("load", 0.0)
+            obj["status"] = meta.get("status", "ok")
+            windows.append(obj)
+    if header is None:
+        sys.exit("plot_timeline: empty timeline file")
+    return header, windows
+
+
+def window_row(w):
+    ticks = w["end"] - w["start"]
+    decisions = w["route_decisions"]
+    lat = w["latency"]
+    hot = w["hot_links"][0] if w["hot_links"] else None
+    return {
+        "point": w["point"],
+        "window": w["window"],
+        "start": w["start"],
+        "end": w["end"],
+        "ticks": ticks,
+        "injected": w["injected"],
+        "ejected": w["ejected"],
+        "inj_per_tick": f"{w['injected'] / ticks:.4f}" if ticks else 0,
+        "ej_per_tick": f"{w['ejected'] / ticks:.4f}" if ticks else 0,
+        "packets_created": w["packets_created"],
+        "packets_ejected": w["packets_ejected"],
+        "packets_dropped": w["packets_dropped"],
+        "route_decisions": decisions,
+        "deroutes_taken": w["deroutes_taken"],
+        "deroutes_refused": w["deroutes_refused"],
+        "deroute_rate": f"{w['deroutes_taken'] / decisions:.4f}" if decisions else 0,
+        "fault_escapes": w["fault_escapes"],
+        "path_deroutes": w["path_deroutes"],
+        "credit_stalls": w["credit_stalls"],
+        "backlog": w["backlog"],
+        "queued": w["queued"],
+        "outstanding": w["outstanding"],
+        "link_flits": w["link_flits"],
+        "link_stall_ticks": w["link_stall_ticks"],
+        "active_links": w["active_links"],
+        "hot_link": f"r{hot['router']}:p{hot['port']}" if hot else "",
+        "hot_link_flits": hot["flits"] if hot else 0,
+        "lat_p50": f"{percentile(lat['buckets'], lat['total'], 0.50):.1f}",
+        "lat_p99": f"{percentile(lat['buckets'], lat['total'], 0.99):.1f}",
+        "lat_total": lat["total"],
+        "annotations": ";".join(w["annotations"]),
+    }
+
+
+GNUPLOT_TEMPLATE = """\
+# Generated by tools/plot_timeline.py — gnuplot {dat} for the window stream.
+set terminal pngcairo size 1200,900
+set output '{prefix}.png'
+set multiplot layout 3,1 title 'hxsim flight recorder ({title})'
+set datafile separator ','
+set key autotitle columnhead
+set xlabel 'tick'
+set grid
+{marks}
+set ylabel 'flits / tick'
+plot '{dat}' using 'end':'inj_per_tick' with lines lw 2, \\
+     '' using 'end':'ej_per_tick' with lines lw 2
+set ylabel 'per-window count'
+plot '{dat}' using 'end':'credit_stalls' with lines lw 2, \\
+     '' using 'end':'deroutes_taken' with lines lw 2, \\
+     '' using 'end':'queued' with lines lw 2
+set ylabel 'latency (ticks)'
+plot '{dat}' using 'end':'lat_p50' with lines lw 2, \\
+     '' using 'end':'lat_p99' with lines lw 2
+unset multiplot
+"""
+
+
+def write_gnuplot(prefix, rows, title):
+    dat = f"{prefix}.dat"
+    with open(dat, "w", newline="", encoding="utf-8") as f:
+        writer = csv.DictWriter(f, fieldnames=CSV_COLUMNS)
+        writer.writeheader()
+        writer.writerows(rows)
+    marks = []
+    for row in rows:
+        if row["annotations"]:
+            label = row["annotations"].replace("'", "")
+            marks.append(
+                f"set arrow from {row['end']}, graph 0 to {row['end']}, graph 1 "
+                f"nohead dt 2 lc rgb 'red'  # {label}"
+            )
+    with open(f"{prefix}.gp", "w", encoding="utf-8") as f:
+        f.write(GNUPLOT_TEMPLATE.format(prefix=prefix, dat=dat, title=title,
+                                        marks="\n".join(marks)))
+    print(f"plot_timeline: wrote {dat} and {prefix}.gp "
+          f"({len(rows)} windows, {len(marks)} annotated)")
+    print(f"  render with: gnuplot {prefix}.gp")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("timeline", help="--timeline-out JSONL file")
+    ap.add_argument("--csv", help="write CSV here instead of stdout")
+    ap.add_argument("--gnuplot", metavar="PREFIX",
+                    help="write PREFIX.dat and PREFIX.gp instead of CSV")
+    ap.add_argument("--point", type=int, help="restrict to one sweep point")
+    ap.add_argument("--annotations", action="store_true",
+                    help="list annotated windows and exit")
+    args = ap.parse_args()
+
+    header, windows = parse_timeline(args.timeline)
+    if args.point is not None:
+        windows = [w for w in windows if w["point"] == args.point]
+        if not windows:
+            sys.exit(f"plot_timeline: no windows for point {args.point}")
+
+    if args.annotations:
+        hits = [w for w in windows if w["annotations"]]
+        for w in hits:
+            print(f"point {w['point']} window {w['window']} "
+                  f"[{w['start']}, {w['end']}): {'; '.join(w['annotations'])}")
+        print(f"plot_timeline: {len(hits)} annotated of {len(windows)} windows")
+        return
+
+    rows = [window_row(w) for w in windows]
+    if args.gnuplot:
+        title = (f"{header.get('topology', '?')} {header.get('routing', '?')} "
+                 f"{header.get('pattern', '?')}, w={header.get('window_ticks', '?')}")
+        write_gnuplot(args.gnuplot, rows, title)
+        return
+
+    out = open(args.csv, "w", newline="", encoding="utf-8") if args.csv else sys.stdout
+    writer = csv.DictWriter(out, fieldnames=CSV_COLUMNS)
+    writer.writeheader()
+    writer.writerows(rows)
+    if args.csv:
+        out.close()
+        print(f"plot_timeline: wrote {args.csv} ({len(rows)} windows)")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        # CSV piped into head/less: the consumer closed the pipe mid-stream.
+        sys.stderr.close()
+        sys.exit(0)

@@ -18,7 +18,8 @@
 # ID-indexed storage fails loudly at full network size. A high-fault-rate
 # ftar sweep rides along: 20% failed links under --fault-policy=escape
 # drives the masked-BFS escape tables, escape-VC escalation, and the
-# partition-tolerant fault-set builder through the sanitizers.
+# partition-tolerant fault-set builder through the sanitizers. So does a
+# windowed flight-recorder sweep validated by timeline_check (DESIGN.md §14).
 #
 # Usage: tools/run_tsan_sweep.sh [extra gtest args...]
 set -euo pipefail
@@ -66,23 +67,26 @@ echo "traced --jobs=4 sweep passed under ThreadSanitizer"
 echo "par_sim_test passed under ThreadSanitizer"
 
 # The composed axes — sweep workers each driving a 4-shard engine — through
-# the real binary, traced and faulted so observer merge and fault-mask reads
-# cross the shard boundary too.
+# the real binary, traced, faulted, and windowed (the flight recorder's
+# kEpsControl closes read shard-updated counters and walk Router SoA state
+# with the workers parked at the barrier) so observer merge, fault-mask
+# reads, and the recorder's frozen-state walks all cross the shard boundary.
 "${BUILD}/tools/hxsim" --widths=3,3 --terminals=2 --routing=omniwar \
   --experiment=sweep --loads=0.1,0.2 --jobs=2 --point-jobs=4 \
   --fault-rate=0.05 --fault-drop=true \
-  --warmup-window=300 --warmup-windows=6 --measure-window=800 --drain-window=2000 \
   --trace-sample=1 --sample-interval=200 \
+  --warmup-window=300 --warmup-windows=6 --measure-window=800 --drain-window=2000 \
+  --window-ticks=400 --timeline-out="${OBS_DIR}/par.timeline.jsonl" \
   --trace-out="${OBS_DIR}/par.trace.json" \
   --metrics-json="${OBS_DIR}/par.metrics.json" > /dev/null
-echo "faulted+traced --jobs=2 --point-jobs=4 sweep passed under ThreadSanitizer"
+echo "faulted+traced+timeline --jobs=2 --point-jobs=4 sweep passed under ThreadSanitizer"
 
 # ---- ASan+UBSan pass: index-core memory discipline -------------------------
 
 cmake -B "${BUILD_ASAN}" -S "${ROOT}" -DHXWAR_SANITIZE=address,undefined \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_ASAN}" --target packet_pool_test net_test channel_test \
-  router_test hxsim -j"$(nproc)"
+  router_test hxsim timeline_check -j"$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
@@ -105,6 +109,19 @@ done
   --warmup-window=300 --warmup-windows=6 --measure-window=800 \
   --drain-window=3000 > /dev/null
 echo "high-fault-rate ftar escape sweep passed under ASan+UBSan"
+
+# Windowed flight-recorder sweep under ASan+UBSan: the recorder's snapshot
+# tables, link-walk deltas, and JSONL serialization, validated end to end by
+# timeline_check (itself built with the sanitizers, so the JSON parser runs
+# hot too).
+"${BUILD_ASAN}/tools/hxsim" --widths=3,3 --terminals=2 --routing=dal \
+  --experiment=sweep --loads=0.2 --point-jobs=4 \
+  --fault-links=0:2 --fault-at=500 --fault-until=1400 \
+  --warmup-window=300 --warmup-windows=6 --measure-window=800 \
+  --drain-window=2000 --window-ticks=400 \
+  --timeline-out="${OBS_DIR}/asan.timeline.jsonl" > /dev/null
+"${BUILD_ASAN}/tools/timeline_check" "${OBS_DIR}/asan.timeline.jsonl" --min-windows=3
+echo "windowed flight-recorder sweep + timeline_check passed under ASan+UBSan"
 
 # Paper-scale smoke: build the 4,096-node network and push one reduced
 # fig06 point through it, so index arithmetic is exercised at full size.

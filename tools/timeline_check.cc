@@ -1,0 +1,229 @@
+// timeline_check — validates a --timeline-out JSONL file (used by the tier-1
+// ctest gate, see tests/timeline_validate.cmake).
+//
+//   timeline_check TIMELINE.jsonl [--min-windows=N]
+//
+// The file is one JSON object per line: a header line, then per sweep point a
+// point-meta line followed by that point's window lines (harness/obs_io.cc,
+// obs::appendWindowJsonl). Checked invariants:
+//   - header: tool == "hxsim", numeric version, window_ticks > 0
+//   - each point-meta's `windows` count matches the window lines that follow,
+//     and point indices on window lines match the enclosing meta line
+//   - per point: window indices run 0,1,2,...; each window's `start` equals
+//     the previous window's `end`; `end` > `start`
+//   - latency.total equals the sum of the sparse bucket counts
+//   - hot_links are sorted by flits descending (stall_ticks descending on
+//     ties) and every listed link moved flits or stalled
+//   - deroutes_taken == sum(deroutes_by_dim)
+//   - at least N window lines across all points (default 1)
+//
+// Exit code 0 = valid, 1 = invalid (with a message on stderr).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using hxwar::obs::JsonValue;
+
+bool fail(const std::string& detail) {
+  std::fprintf(stderr, "timeline_check: %s\n", detail.c_str());
+  return false;
+}
+
+bool readFile(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail("cannot open " + path);
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+const JsonValue* number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.get(key);
+  return (v != nullptr && v->isNumber()) ? v : nullptr;
+}
+
+bool checkWindow(const JsonValue& w, const std::string& at) {
+  static const char* kRequired[] = {
+      "injected",        "ejected",      "packets_created", "packets_ejected",
+      "packets_dropped", "route_decisions", "deroutes_taken", "deroutes_refused",
+      "fault_escapes",   "path_deroutes", "credit_stalls",  "backlog",
+      "queued",          "outstanding",   "link_flits",     "link_stall_ticks",
+      "active_links"};
+  for (const char* key : kRequired) {
+    if (number(w, key) == nullptr) {
+      return fail("missing numeric \"" + std::string(key) + "\"" + at);
+    }
+  }
+  const JsonValue* byDim = w.get("deroutes_by_dim");
+  const JsonValue* vcOcc = w.get("vc_occupancy");
+  const JsonValue* annotations = w.get("annotations");
+  if (byDim == nullptr || !byDim->isArray() || vcOcc == nullptr || !vcOcc->isArray() ||
+      annotations == nullptr || !annotations->isArray()) {
+    return fail("missing deroutes_by_dim/vc_occupancy/annotations arrays" + at);
+  }
+  double dimSum = 0.0;
+  for (const JsonValue& d : byDim->array) {
+    if (!d.isNumber()) return fail("non-numeric deroutes_by_dim entry" + at);
+    dimSum += d.number;
+  }
+  if (dimSum != number(w, "deroutes_taken")->number) {
+    return fail("deroutes_taken != sum(deroutes_by_dim)" + at);
+  }
+  for (const JsonValue& a : annotations->array) {
+    if (!a.isString()) return fail("non-string annotation" + at);
+  }
+  const JsonValue* latency = w.get("latency");
+  const JsonValue* total = latency != nullptr ? number(*latency, "total") : nullptr;
+  const JsonValue* buckets = latency != nullptr ? latency->get("buckets") : nullptr;
+  if (total == nullptr || buckets == nullptr || !buckets->isArray()) {
+    return fail("missing latency.total/.buckets" + at);
+  }
+  double bucketSum = 0.0;
+  for (const JsonValue& pair : buckets->array) {
+    if (!pair.isArray() || pair.array.size() != 2 || !pair.array[0].isNumber() ||
+        !pair.array[1].isNumber() || pair.array[1].number <= 0) {
+      return fail("latency bucket is not a [bucket, count>0] pair" + at);
+    }
+    bucketSum += pair.array[1].number;
+  }
+  if (bucketSum != total->number) {
+    return fail("latency bucket counts do not sum to latency.total" + at);
+  }
+  const JsonValue* hot = w.get("hot_links");
+  if (hot == nullptr || !hot->isArray()) return fail("missing hot_links array" + at);
+  double prevFlits = -1.0;
+  double prevStalls = -1.0;
+  for (std::size_t i = 0; i < hot->array.size(); ++i) {
+    const JsonValue& l = hot->array[i];
+    const JsonValue* flits = number(l, "flits");
+    const JsonValue* stalls = number(l, "stall_ticks");
+    if (flits == nullptr || stalls == nullptr || number(l, "router") == nullptr ||
+        number(l, "port") == nullptr || number(l, "queued") == nullptr) {
+      return fail("hot_links entry missing router/port/flits/stall_ticks/queued" + at);
+    }
+    if (flits->number == 0 && stalls->number == 0) {
+      return fail("hot_links entry with zero flits and zero stalls" + at);
+    }
+    if (i > 0 && (flits->number > prevFlits ||
+                  (flits->number == prevFlits && stalls->number > prevStalls))) {
+      return fail("hot_links not sorted by (flits, stall_ticks) descending" + at);
+    }
+    prevFlits = flits->number;
+    prevStalls = stalls->number;
+  }
+  return true;
+}
+
+bool checkTimeline(const std::string& text, std::uint64_t minWindows) {
+  std::size_t lineNo = 0;
+  std::size_t pos = 0;
+  bool sawHeader = false;
+  double currentPoint = -1.0;   // point index from the active meta line
+  std::uint64_t expected = 0;   // window lines the meta line promised
+  std::uint64_t seen = 0;       // window lines consumed for this point
+  std::uint64_t totalWindows = 0;
+  double prevEnd = 0.0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) return fail("file does not end with a newline");
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    lineNo += 1;
+    const std::string at = " at line " + std::to_string(lineNo);
+    JsonValue v;
+    std::string error;
+    if (!hxwar::obs::parseJson(line, v, error) || !v.isObject()) {
+      return fail("invalid JSON" + at + ": " + error);
+    }
+    if (!sawHeader) {
+      const JsonValue* tool = v.get("tool");
+      const JsonValue* version = number(v, "version");
+      const JsonValue* ticks = number(v, "window_ticks");
+      if (tool == nullptr || !tool->isString() || tool->string != "hxsim" ||
+          version == nullptr || ticks == nullptr || ticks->number <= 0) {
+        return fail("bad header (tool/version/window_ticks)" + at);
+      }
+      sawHeader = true;
+      continue;
+    }
+    if (v.get("window") == nullptr) {  // point-meta line
+      if (seen != expected) {
+        return fail("point meta promised " + std::to_string(expected) + " windows, saw " +
+                    std::to_string(seen) + at);
+      }
+      const JsonValue* point = number(v, "point");
+      const JsonValue* windows = number(v, "windows");
+      const JsonValue* status = v.get("status");
+      if (point == nullptr || windows == nullptr || status == nullptr ||
+          !status->isString() || v.get("load") == nullptr) {
+        return fail("bad point meta line (point/load/status/windows)" + at);
+      }
+      currentPoint = point->number;
+      expected = static_cast<std::uint64_t>(windows->number);
+      seen = 0;
+      prevEnd = 0.0;
+      continue;
+    }
+    // Window line.
+    if (currentPoint < 0) return fail("window line before any point meta" + at);
+    const JsonValue* point = number(v, "point");
+    const JsonValue* window = number(v, "window");
+    const JsonValue* start = number(v, "start");
+    const JsonValue* end = number(v, "end");
+    if (point == nullptr || window == nullptr || start == nullptr || end == nullptr) {
+      return fail("window line missing point/window/start/end" + at);
+    }
+    if (point->number != currentPoint) return fail("window line point mismatch" + at);
+    if (window->number != static_cast<double>(seen)) {
+      return fail("window indices not contiguous from 0" + at);
+    }
+    if (seen > 0 && start->number != prevEnd) {
+      return fail("window start does not equal previous window end" + at);
+    }
+    if (end->number <= start->number) return fail("window end <= start" + at);
+    prevEnd = end->number;
+    if (!checkWindow(v, at)) return false;
+    seen += 1;
+    totalWindows += 1;
+  }
+  if (!sawHeader) return fail("empty file (no header line)");
+  if (seen != expected) {
+    return fail("last point meta promised " + std::to_string(expected) +
+                " windows, saw " + std::to_string(seen));
+  }
+  if (totalWindows < minWindows) {
+    return fail("only " + std::to_string(totalWindows) + " windows, need " +
+                std::to_string(minWindows));
+  }
+  std::printf("timeline_check: OK (%llu windows)\n",
+              static_cast<unsigned long long>(totalWindows));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::uint64_t minWindows = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--min-windows=", 0) == 0) {
+      minWindows = std::strtoull(arg.c_str() + std::strlen("--min-windows="), nullptr, 10);
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: timeline_check TIMELINE.jsonl [--min-windows=N]\n");
+    return 1;
+  }
+  std::string text;
+  if (!readFile(path, text)) return 1;
+  return checkTimeline(text, minWindows) ? 0 : 1;
+}
